@@ -1,0 +1,19 @@
+//! Criterion benches: analytic device-model evaluation throughput (the
+//! inner loop of the paper-scale DSE).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use device_models::{ef_ate, ef_frame_time, kf_ate, kf_frame_time, EfParams, KfParams};
+
+fn bench_models(c: &mut Criterion) {
+    let dev = device_models::odroid_xu3();
+    let gtx = device_models::gtx780ti();
+    let kf = KfParams::default_config();
+    let ef = EfParams::default_config();
+    c.bench_function("kf_frame_time", |b| b.iter(|| kf_frame_time(&kf, &dev)));
+    c.bench_function("kf_ate", |b| b.iter(|| kf_ate(&kf)));
+    c.bench_function("ef_frame_time", |b| b.iter(|| ef_frame_time(&ef, &gtx)));
+    c.bench_function("ef_ate", |b| b.iter(|| ef_ate(&ef)));
+}
+
+criterion_group!(benches, bench_models);
+criterion_main!(benches);

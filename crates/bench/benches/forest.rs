@@ -1,0 +1,52 @@
+//! Criterion benches: random forest training and prediction (the surrogate
+//! model cost per active-learning iteration).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use randforest::{Dataset, ForestConfig, RandomForest};
+
+fn training_data(n: usize) -> Dataset {
+    let mut d = Dataset::new(9);
+    for i in 0..n {
+        let row: Vec<f64> = (0..9).map(|f| ((i * (f + 3) * 2654435761) % 1000) as f64 / 100.0).collect();
+        let y = row[0] * 2.0 + (row[3] * 0.5).sin() * 10.0 + row[7];
+        d.push_row(&row, y);
+    }
+    d
+}
+
+fn bench_fit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("forest_fit");
+    group.sample_size(10);
+    for n in [500usize, 3000] {
+        let data = training_data(n);
+        for trees in [20usize, 100] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("{n}samples"), trees),
+                &trees,
+                |b, &trees| {
+                    b.iter(|| {
+                        RandomForest::fit(
+                            &data,
+                            &ForestConfig { n_trees: trees, seed: 1, ..Default::default() },
+                        )
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_predict(c: &mut Criterion) {
+    let data = training_data(3000);
+    let forest = RandomForest::fit(&data, &ForestConfig { n_trees: 100, seed: 1, ..Default::default() });
+    let rows: Vec<f64> = (0..10_000usize)
+        .flat_map(|i| (0..9).map(move |f| ((i * (f + 5)) % 997) as f64 / 99.0))
+        .collect();
+    c.bench_function("forest_predict_batch_10k", |b| {
+        b.iter(|| forest.predict_batch(&rows))
+    });
+}
+
+criterion_group!(benches, bench_fit, bench_predict);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Criterion benches: a full (reduced-scale) HyperMapper exploration on
+//! the simulated KFusion problem.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hypermapper::{HyperMapper, OptimizerConfig};
+use randforest::ForestConfig;
+use slambench::{kfusion_space, SimulatedKFusionEvaluator};
+
+fn bench_exploration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("optimizer");
+    group.sample_size(10);
+    group.bench_function("kfusion_dse_small", |b| {
+        b.iter(|| {
+            let hm = HyperMapper::new(
+                kfusion_space(),
+                OptimizerConfig {
+                    random_samples: 100,
+                    max_iterations: 2,
+                    max_evals_per_iteration: 50,
+                    pool_size: 5_000,
+                    forest: ForestConfig { n_trees: 20, ..Default::default() },
+                    seed: 1,
+                },
+            );
+            hm.run(&SimulatedKFusionEvaluator::new(device_models::odroid_xu3()))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_exploration);
+criterion_main!(benches);

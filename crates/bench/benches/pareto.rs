@@ -1,0 +1,36 @@
+//! Criterion benches: Pareto-front extraction and hypervolume (per
+//! active-learning iteration over the prediction pool).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hypermapper::{hypervolume_2d, pareto_front_2d};
+
+fn points(n: usize) -> Vec<(f64, f64)> {
+    (0..n as u64)
+        .map(|i| {
+            let x = ((i.wrapping_mul(2654435761)) % 100_000) as f64;
+            let y = ((i.wrapping_mul(40503).wrapping_add(77)) % 100_000) as f64;
+            (x, y)
+        })
+        .collect()
+}
+
+fn bench_front(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pareto_front_2d");
+    for n in [1_000usize, 50_000, 200_000] {
+        let pts = points(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &pts, |b, pts| {
+            b.iter(|| pareto_front_2d(pts))
+        });
+    }
+    group.finish();
+}
+
+fn bench_hypervolume(c: &mut Criterion) {
+    let pts = points(50_000);
+    c.bench_function("hypervolume_2d_50k", |b| {
+        b.iter(|| hypervolume_2d(&pts, (100_000.0, 100_000.0)))
+    });
+}
+
+criterion_group!(benches, bench_front, bench_hypervolume);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Criterion benches: real per-frame cost of the two SLAM pipelines at a
+//! small test resolution (the native-evaluation path).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use elasticfusion::{EFusionConfig, ElasticFusion};
+use icl_nuim_synth::{NoiseModel, SequenceConfig, SyntheticSequence, TrajectoryKind};
+use kfusion::{KFusion, KFusionConfig};
+
+fn sequence() -> SyntheticSequence {
+    SyntheticSequence::new(SequenceConfig {
+        width: 64,
+        height: 48,
+        n_frames: 200,
+        trajectory: TrajectoryKind::LivingRoomLoop,
+        noise: NoiseModel::none(),
+        seed: 0,
+    })
+}
+
+fn bench_kfusion(c: &mut Criterion) {
+    let seq = sequence();
+    let frames: Vec<_> = (0..4).map(|i| seq.frame(i)).collect();
+    let mut group = c.benchmark_group("kfusion_frame");
+    group.sample_size(10);
+    for vol in [64usize, 128] {
+        group.bench_function(format!("vol{vol}"), |b| {
+            b.iter(|| {
+                let cfg = KFusionConfig { volume_resolution: vol, ..Default::default() };
+                let mut kf = KFusion::new(cfg, seq.intrinsics(), seq.gt_pose(0));
+                for f in &frames {
+                    kf.process(f);
+                }
+                kf.pose()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_elasticfusion(c: &mut Criterion) {
+    let seq = sequence();
+    let frames: Vec<_> = (0..4).map(|i| seq.frame(i)).collect();
+    let mut group = c.benchmark_group("elasticfusion_frame");
+    group.sample_size(10);
+    for fast in [false, true] {
+        group.bench_function(format!("fast_odom_{fast}"), |b| {
+            b.iter(|| {
+                let cfg = EFusionConfig { fast_odom: fast, ..Default::default() };
+                let mut ef = ElasticFusion::new(cfg, seq.intrinsics(), seq.gt_pose(0));
+                for f in &frames {
+                    ef.process(f);
+                }
+                ef.pose()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_render(c: &mut Criterion) {
+    let seq = sequence();
+    c.bench_function("render_frame_64x48", |b| b.iter(|| seq.frame(1)));
+}
+
+criterion_group!(benches, bench_kfusion, bench_elasticfusion, bench_render);
+criterion_main!(benches);

@@ -1,0 +1,19 @@
+//! Ablation benches for the design choices called out in DESIGN.md §6:
+//! active learning vs. equal-budget random sampling, forest size, and
+//! prediction-pool size.
+//!
+//! Usage: `cargo run -p hm-bench --release --bin ablations`
+
+use hm_bench::experiments::ablations;
+use hm_bench::report::write_json;
+
+fn main() {
+    println!("=== Ablations (KFusion / ODROID model) ===");
+    let results = ablations(11);
+    println!("{:<28} {:>12} {:>8} {:>8}", "variant", "hypervolume", "evals", "valid");
+    for r in &results {
+        println!("{:<28} {:>12.5} {:>8} {:>8}", r.name, r.hypervolume, r.evaluations, r.valid);
+    }
+    write_json("ablations.json", &results).expect("write json");
+    println!("wrote results/ablations.json");
+}

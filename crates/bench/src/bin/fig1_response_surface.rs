@@ -1,0 +1,34 @@
+//! Regenerates Fig. 1: the KFusion runtime response surface over
+//! (µ, icp-threshold) on the ODROID-XU3 model.
+//!
+//! Usage: `cargo run -p hm-bench --release --bin fig1_response_surface`
+
+use hm_bench::experiments::fig1_response_surface;
+use hm_bench::report::{surface_csv, write_results_file};
+
+fn main() {
+    let cells = fig1_response_surface(&device_models::odroid_xu3());
+    let csv = surface_csv(&cells);
+    write_results_file("fig1_response_surface.csv", &csv).expect("write results");
+
+    let min = cells.iter().map(|c| c.frame_runtime_ms).fold(f64::INFINITY, f64::min);
+    let max = cells.iter().map(|c| c.frame_runtime_ms).fold(0.0, f64::max);
+    println!("Fig. 1 — KFusion runtime response surface (ODROID-XU3 model)");
+    println!("grid: 24 × 24 over mu ∈ [0.0125, 0.5], icp-threshold ∈ [1e-7, 1e4]");
+    println!("frame runtime range: {min:.1} .. {max:.1} ms (paper plot: ~800 .. 2400 ms at QVGA)");
+    println!("wrote results/fig1_response_surface.csv");
+
+    // Coarse ASCII rendering (rows = mu, cols = threshold decades).
+    println!("\nruntime heatmap ('.' fast → '@' slow):");
+    let ramp = [b'.', b':', b'-', b'=', b'+', b'*', b'#', b'@'];
+    for row in 0..24 {
+        let mut line = String::new();
+        for col in 0..24 {
+            let c = &cells[row * 24 + col];
+            let t = ((c.frame_runtime_ms - min) / (max - min + 1e-12) * (ramp.len() - 1) as f64)
+                .round() as usize;
+            line.push(ramp[t.min(ramp.len() - 1)] as char);
+        }
+        println!("mu={:>6.4} {line}", cells[row * 24].mu);
+    }
+}

@@ -1,0 +1,45 @@
+//! Regenerates Fig. 3: the KFusion algorithmic design-space exploration,
+//! random sampling vs. active learning, on the ODROID-XU3 (3a) or ASUS
+//! T200TA (3b) model.
+//!
+//! Usage: `cargo run -p hm-bench --release --bin fig3_kfusion_dse -- [odroid|asus|both] [--quick]`
+
+use hm_bench::experiments::{phase_points, run_kfusion_dse, DseScale};
+use hm_bench::report::{dse_csv, dse_summary, write_json, write_results_file};
+
+fn main() {
+    let scale = DseScale::from_args();
+    let which = std::env::args().nth(1).unwrap_or_else(|| "both".into());
+    let mut targets = Vec::new();
+    if which == "odroid" || which == "both" || which.starts_with("--") {
+        targets.push(("fig3a_odroid", device_models::odroid_xu3()));
+    }
+    if which == "asus" || which == "both" || which.starts_with("--") {
+        targets.push(("fig3b_asus", device_models::asus_t200ta()));
+    }
+
+    for (tag, device) in targets {
+        println!("=== Fig. 3 ({tag}) — scale {scale:?} ===");
+        let outcome = run_kfusion_dse(device, scale, 2017);
+        print!("{}", dse_summary(&outcome));
+        let (random, active) = phase_points(&outcome.result);
+        println!(
+            "random front hv vs full front hv: {:.5} vs {:.5}",
+            hypermapper::hypervolume_2d(&random, (0.6, 0.25)),
+            hypermapper::hypervolume_2d(
+                &random.iter().chain(&active).copied().collect::<Vec<_>>(),
+                (0.6, 0.25)
+            ),
+        );
+        write_results_file(&format!("{tag}.csv"), &dse_csv(&outcome)).expect("write");
+        write_json(&format!("{tag}_summary.json"), &serde_json::json!({
+            "platform": outcome.platform,
+            "random_samples": outcome.random_samples,
+            "active_samples": outcome.active_samples,
+            "valid_random": outcome.valid_random,
+            "valid_active": outcome.valid_active,
+            "pareto_points": outcome.pareto_points,
+        })).expect("write json");
+        println!("wrote results/{tag}.csv\n");
+    }
+}

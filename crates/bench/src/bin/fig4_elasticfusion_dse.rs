@@ -1,0 +1,16 @@
+//! Regenerates Fig. 4: the ElasticFusion DSE on the GTX 780 Ti desktop
+//! model, random sampling vs. active learning.
+//!
+//! Usage: `cargo run -p hm-bench --release --bin fig4_elasticfusion_dse -- [--quick]`
+
+use hm_bench::experiments::{run_elasticfusion_dse, DseScale};
+use hm_bench::report::{dse_csv, dse_summary, write_results_file};
+
+fn main() {
+    let scale = DseScale::from_args();
+    println!("=== Fig. 4 — ElasticFusion DSE (GTX 780 Ti model), scale {scale:?} ===");
+    let outcome = run_elasticfusion_dse(device_models::gtx780ti(), scale, 42);
+    print!("{}", dse_summary(&outcome));
+    write_results_file("fig4_elasticfusion.csv", &dse_csv(&outcome)).expect("write");
+    println!("wrote results/fig4_elasticfusion.csv");
+}

@@ -1,0 +1,34 @@
+//! Regenerates Fig. 5: speedups of the best ODROID-XU3 configuration over
+//! the default configuration across 83 crowd-sourced device models.
+//!
+//! Usage: `cargo run -p hm-bench --release --bin fig5_crowdsourcing -- [--quick]`
+
+use hm_bench::experiments::{
+    best_valid_speed_config, crowdsourcing_speedups, run_kfusion_dse, DseScale,
+};
+use hm_bench::report::{crowd_report, write_results_file};
+
+fn main() {
+    let scale = DseScale::from_args();
+    println!("=== Fig. 5 — crowd-sourcing (83 devices), scale {scale:?} ===");
+    // First find the best valid configuration on the ODROID model.
+    let outcome = run_kfusion_dse(device_models::odroid_xu3(), scale, 2017);
+    let best = best_valid_speed_config(&outcome)
+        .expect("exploration must find at least one valid configuration");
+    println!(
+        "deployed config: vol {} mu {} csr {} tr {} icp {:e} ir {} pyr {:?}",
+        best.volume_resolution, best.mu, best.compute_size_ratio, best.tracking_rate,
+        best.icp_threshold, best.integration_rate, best.pyramid
+    );
+    let results = crowdsourcing_speedups(&best);
+    let (csv, hist) = crowd_report(&results);
+    let speedups: Vec<f64> = results.iter().map(|r| r.speedup).collect();
+    let min = speedups.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = speedups.iter().copied().fold(0.0, f64::max);
+    let mean = speedups.iter().sum::<f64>() / speedups.len() as f64;
+    println!("speedups across 83 devices: min {min:.2}x  mean {mean:.2}x  max {max:.2}x");
+    println!("(paper: range 2x .. >12x)");
+    println!("{hist}");
+    write_results_file("fig5_crowdsourcing.csv", &csv).expect("write");
+    println!("wrote results/fig5_crowdsourcing.csv");
+}

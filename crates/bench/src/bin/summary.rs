@@ -1,0 +1,74 @@
+//! The §IV-B "Outcome in a glance" scalars: default vs. tuned frame rates
+//! and accuracies on each platform, paper-vs-measured.
+//!
+//! Usage: `cargo run -p hm-bench --release --bin summary -- [--quick]`
+
+use hm_bench::experiments::{
+    best_valid_speed_config, run_elasticfusion_dse, run_kfusion_dse, DseScale,
+};
+use device_models::{kf_ate, kf_frame_time, KfParams};
+
+fn main() {
+    let scale = DseScale::from_args();
+    println!("=== §IV-B summary, scale {scale:?} ===\n");
+
+    // KFusion on ODROID.
+    let odroid = device_models::odroid_xu3();
+    let default = KfParams::default_config();
+    let t_def = kf_frame_time(&default, &odroid);
+    println!("KFusion / ODROID-XU3:");
+    println!("  default: {:.1} FPS, max ATE {:.4} m   (paper: 6 FPS, 0.0447 m)", 1.0 / t_def, kf_ate(&default));
+    let outcome = run_kfusion_dse(odroid.clone(), scale, 2017);
+    if let Some(best) = best_valid_speed_config(&outcome) {
+        let t_best = kf_frame_time(&best, &odroid);
+        println!(
+            "  best valid (<5cm): {:.1} FPS, max ATE {:.4} m, speedup {:.2}x  (paper: 29.09 FPS, 6.35x)",
+            1.0 / t_best, kf_ate(&best), t_def / t_best
+        );
+    }
+    println!(
+        "  valid configs: random {} / AL {}  (paper: 333 random, 642 AL)",
+        outcome.valid_random, outcome.valid_active
+    );
+    println!("  pareto points: {}  (paper: 36)\n", outcome.pareto_points);
+
+    // ASUS.
+    let asus = device_models::asus_t200ta();
+    let outcome_asus = run_kfusion_dse(asus, scale, 2018);
+    println!("KFusion / ASUS T200TA:");
+    println!(
+        "  valid configs: random {} / AL {}  (paper: 291 random, 665 AL)",
+        outcome_asus.valid_random, outcome_asus.valid_active
+    );
+    println!("  pareto points: {}  (paper: 167)\n", outcome_asus.pareto_points);
+
+    // ElasticFusion on the desktop.
+    let ef = run_elasticfusion_dse(device_models::gtx780ti(), scale, 42);
+    let default_obj = {
+        use hypermapper::Evaluator;
+        let space = slambench::elasticfusion_space();
+        let c = slambench::spaces::elasticfusion_default_config(&space);
+        slambench::SimulatedEFusionEvaluator::new(device_models::gtx780ti()).evaluate(&c)
+    };
+    println!("ElasticFusion / GTX 780 Ti:");
+    println!(
+        "  default: {:.1} s/sequence, ATE {:.4} m   (paper: 22.2 s, 0.0558 m)",
+        default_obj[0], default_obj[1]
+    );
+    if let Some(fastest) = ef.result.best_by_objective(0) {
+        println!(
+            "  best speed: {:.1} s ({:.2}x), ATE {:.4} m   (paper: 14.6 s, 1.52x, 0.0420 m)",
+            fastest.objectives[0],
+            default_obj[0] / fastest.objectives[0],
+            fastest.objectives[1]
+        );
+    }
+    if let Some(most_acc) = ef.result.best_by_objective(1) {
+        println!(
+            "  best accuracy: ATE {:.4} m ({:.2}x better), {:.2}x speedup   (paper: 0.0269 m, ~2x, 1.25x)",
+            most_acc.objectives[1],
+            default_obj[1] / most_acc.objectives[1],
+            default_obj[0] / most_acc.objectives[0]
+        );
+    }
+}

@@ -1,0 +1,31 @@
+//! Regenerates Table I: the ElasticFusion Pareto-efficiency points with
+//! their full parameter values.
+//!
+//! Usage: `cargo run -p hm-bench --release --bin table1_pareto -- [--quick]`
+
+use hm_bench::experiments::{run_elasticfusion_dse, table1_rows, DseScale};
+use hm_bench::report::{table1_text, write_json};
+
+fn main() {
+    let scale = DseScale::from_args();
+    let outcome = run_elasticfusion_dse(device_models::gtx780ti(), scale, 42);
+    let rows = table1_rows(&outcome, 4);
+    println!("=== Table I — ElasticFusion Pareto points (scale {scale:?}) ===");
+    print!("{}", table1_text(&rows));
+    let default = &rows[0];
+    if rows.len() > 1 {
+        let best_speed = &rows[1];
+        let best_acc = rows.last().unwrap();
+        println!(
+            "\nbest-speed speedup over default: {:.2}x (paper: 1.52x), accuracy {:.4} m vs default {:.4} m",
+            default.runtime_s / best_speed.runtime_s, best_speed.error_m, default.error_m
+        );
+        println!(
+            "best-accuracy improvement: {:.2}x (paper: ~2x, 0.0269 vs 0.0558), at {:.2}x speedup (paper: 1.25x)",
+            default.error_m / best_acc.error_m,
+            default.runtime_s / best_acc.runtime_s
+        );
+    }
+    write_json("table1.json", &rows).expect("write json");
+    println!("wrote results/table1.json");
+}

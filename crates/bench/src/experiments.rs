@@ -1,0 +1,464 @@
+//! Shared experiment drivers.
+
+use device_models::{crowd_devices, kf_frame_time, DeviceModel, KfParams};
+use hypermapper::{
+    ExplorationResult, HyperMapper, OptimizerConfig, ParamSpace, Phase,
+};
+use randforest::ForestConfig;
+use serde::Serialize;
+use slambench::{
+    ef_params_from_config, elasticfusion_space, kf_params_from_config, kfusion_space,
+    SimulatedEFusionEvaluator, SimulatedKFusionEvaluator, ACCURACY_LIMIT_M,
+};
+
+/// The paper evaluates on the first 400 frames of ICL-NUIM Living Room 2.
+pub const KFUSION_SEQUENCE_FRAMES: usize = 400;
+
+/// Experiment scale: `Paper` matches the sample counts in §IV-C; `Quick`
+/// is a proportionally reduced run for CI and smoke testing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DseScale {
+    /// 3 000 random samples (2 400 for EF), 6 AL iterations, 200 K pool.
+    Paper,
+    /// 300 random samples, 3 AL iterations, 20 K pool.
+    Quick,
+}
+
+impl DseScale {
+    /// Parse from a CLI argument (`--quick` ⇒ Quick).
+    pub fn from_args() -> DseScale {
+        if std::env::args().any(|a| a == "--quick") {
+            DseScale::Quick
+        } else {
+            DseScale::Paper
+        }
+    }
+
+    fn kfusion_optimizer(self, seed: u64) -> OptimizerConfig {
+        match self {
+            DseScale::Paper => OptimizerConfig {
+                random_samples: 3000,
+                max_iterations: 6,
+                max_evals_per_iteration: 300,
+                pool_size: 200_000,
+                forest: ForestConfig { n_trees: 100, ..Default::default() },
+                seed,
+            },
+            DseScale::Quick => OptimizerConfig {
+                random_samples: 300,
+                max_iterations: 3,
+                max_evals_per_iteration: 100,
+                pool_size: 20_000,
+                forest: ForestConfig { n_trees: 40, ..Default::default() },
+                seed,
+            },
+        }
+    }
+
+    fn ef_optimizer(self, seed: u64) -> OptimizerConfig {
+        match self {
+            DseScale::Paper => OptimizerConfig {
+                random_samples: 2400,
+                max_iterations: 6,
+                max_evals_per_iteration: 200,
+                pool_size: 200_000,
+                forest: ForestConfig { n_trees: 100, ..Default::default() },
+                seed,
+            },
+            DseScale::Quick => OptimizerConfig {
+                random_samples: 240,
+                max_iterations: 3,
+                max_evals_per_iteration: 80,
+                pool_size: 20_000,
+                forest: ForestConfig { n_trees: 40, ..Default::default() },
+                seed,
+            },
+        }
+    }
+}
+
+/// One cell of the Fig. 1 response surface.
+#[derive(Debug, Clone, Serialize)]
+pub struct SurfaceCell {
+    pub mu: f64,
+    pub icp_threshold: f64,
+    pub frame_runtime_ms: f64,
+}
+
+/// Fig. 1: the KFusion frame-runtime response surface over (µ,
+/// icp-threshold) with every other parameter at its default, on the
+/// ODROID-XU3 model.
+pub fn fig1_response_surface(device: &DeviceModel) -> Vec<SurfaceCell> {
+    let mus: Vec<f64> = (0..24).map(|i| 0.0125 + i as f64 * (0.5 - 0.0125) / 23.0).collect();
+    let thresholds: Vec<f64> = (0..24).map(|i| 10f64.powf(-7.0 + i as f64 * 11.0 / 23.0)).collect();
+    let mut cells = Vec::with_capacity(mus.len() * thresholds.len());
+    for &mu in &mus {
+        for &thr in &thresholds {
+            let p = KfParams { mu, icp_threshold: thr, ..KfParams::default_config() };
+            cells.push(SurfaceCell {
+                mu,
+                icp_threshold: thr,
+                frame_runtime_ms: kf_frame_time(&p, device) * 1e3,
+            });
+        }
+    }
+    cells
+}
+
+/// Outcome of one DSE experiment, with the counts reported by the paper.
+#[derive(Debug, Serialize)]
+pub struct DseOutcome {
+    /// Platform name.
+    pub platform: String,
+    /// Full exploration result.
+    pub result: ExplorationResult,
+    /// Valid (<5 cm) configurations found by random sampling.
+    pub valid_random: usize,
+    /// Valid configurations newly found by active learning.
+    pub valid_active: usize,
+    /// Number of points on the final measured Pareto front.
+    pub pareto_points: usize,
+    /// Total samples drawn in the random phase.
+    pub random_samples: usize,
+    /// Total new samples produced by active learning.
+    pub active_samples: usize,
+}
+
+fn summarize(platform: &str, result: ExplorationResult, accuracy_objective: usize) -> DseOutcome {
+    let (valid_random, valid_active) = result.valid_counts(accuracy_objective, ACCURACY_LIMIT_M);
+    let pareto_points = result.pareto_indices.len();
+    let random_samples = result.random_samples().count();
+    let active_samples = result.active_samples().count();
+    DseOutcome {
+        platform: platform.to_string(),
+        result,
+        valid_random,
+        valid_active,
+        pareto_points,
+        random_samples,
+        active_samples,
+    }
+}
+
+/// Figs. 3a/3b: the KFusion algorithmic DSE on one device model.
+pub fn run_kfusion_dse(device: DeviceModel, scale: DseScale, seed: u64) -> DseOutcome {
+    let space = kfusion_space();
+    let name = device.name.clone();
+    let evaluator = SimulatedKFusionEvaluator::new(device);
+    let hm = HyperMapper::new(space, scale.kfusion_optimizer(seed));
+    let result = hm.run(&evaluator);
+    summarize(&name, result, 1)
+}
+
+/// Fig. 4: the ElasticFusion DSE on the desktop model.
+pub fn run_elasticfusion_dse(device: DeviceModel, scale: DseScale, seed: u64) -> DseOutcome {
+    let space = elasticfusion_space();
+    let name = device.name.clone();
+    let evaluator = SimulatedEFusionEvaluator::new(device);
+    let hm = HyperMapper::new(space, scale.ef_optimizer(seed));
+    let result = hm.run(&evaluator);
+    summarize(&name, result, 1)
+}
+
+/// One row of Table I.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table1Row {
+    pub label: String,
+    pub error_m: f64,
+    pub runtime_s: f64,
+    pub icp_weight: f64,
+    pub depth_cutoff: f64,
+    pub confidence: f64,
+    pub so3: u8,
+    pub close_loops: u8,
+    pub reloc: u8,
+    pub fast_odom: u8,
+    pub ftf_rgb: u8,
+}
+
+/// Table I: the default row plus selected Pareto rows (fastest first,
+/// most accurate last) from an ElasticFusion DSE outcome.
+pub fn table1_rows(outcome: &DseOutcome, max_rows: usize) -> Vec<Table1Row> {
+    let space = elasticfusion_space();
+    let default_config = slambench::spaces::elasticfusion_default_config(&space);
+    let eval = SimulatedEFusionEvaluator::new(device_models::gtx780ti());
+    let default_obj = hypermapper::Evaluator::evaluate(&eval, &default_config);
+
+    let row = |label: &str, config: &hypermapper::Configuration, obj: &[f64]| {
+        let p = ef_params_from_config(config);
+        Table1Row {
+            label: label.to_string(),
+            error_m: obj[1],
+            runtime_s: obj[0],
+            icp_weight: p.icp_weight,
+            depth_cutoff: p.depth_cutoff,
+            confidence: p.confidence,
+            so3: p.so3_disabled as u8,
+            close_loops: p.open_loop as u8,
+            reloc: p.relocalisation as u8,
+            fast_odom: p.fast_odom as u8,
+            ftf_rgb: p.frame_to_frame_rgb as u8,
+        }
+    };
+
+    let mut rows = vec![row("Default", &default_config, &default_obj)];
+    // Pareto samples sorted by runtime (first objective).
+    let pareto = outcome.result.pareto_samples();
+    if pareto.is_empty() {
+        return rows;
+    }
+    let take = max_rows.min(pareto.len());
+    // Spread picks across the front: fastest, evenly spaced, most accurate.
+    for j in 0..take {
+        let idx = if take == 1 { 0 } else { j * (pareto.len() - 1) / (take - 1) };
+        let s = pareto[idx];
+        let label = if j == 0 {
+            "Best speed"
+        } else if j == take - 1 {
+            "Best accuracy"
+        } else {
+            ""
+        };
+        rows.push(row(label, &s.config, &s.objectives));
+    }
+    rows
+}
+
+/// One device's crowd-sourcing datum.
+#[derive(Debug, Clone, Serialize)]
+pub struct CrowdResult {
+    pub device: String,
+    /// Frame time of the default configuration (s).
+    pub default_time: f64,
+    /// Frame time of the transplanted best configuration (s).
+    pub best_time: f64,
+    /// Speedup of best over default.
+    pub speedup: f64,
+}
+
+/// Fig. 5: run the best-runtime configuration found on the ODROID-XU3
+/// against the default configuration on all 83 crowd-sourced device
+/// models (the paper's app runs 100 frames of each; frame-time ratios are
+/// length-invariant here).
+pub fn crowdsourcing_speedups(best: &KfParams) -> Vec<CrowdResult> {
+    let default = KfParams::default_config();
+    crowd_devices()
+        .into_iter()
+        .map(|dev| {
+            let t_default = kf_frame_time(&default, &dev);
+            let t_best = kf_frame_time(best, &dev);
+            CrowdResult {
+                device: dev.name.clone(),
+                default_time: t_default,
+                best_time: t_best,
+                speedup: t_default / t_best,
+            }
+        })
+        .collect()
+}
+
+/// Extract the best-runtime configuration from a KFusion DSE outcome.
+pub fn best_speed_config(outcome: &DseOutcome) -> KfParams {
+    let best = outcome
+        .result
+        .best_by_objective(0)
+        .expect("non-empty exploration");
+    kf_params_from_config(&best.config)
+}
+
+/// Extract the best-runtime configuration *subject to the 5 cm validity
+/// limit*, which is what the paper deploys.
+pub fn best_valid_speed_config(outcome: &DseOutcome) -> Option<KfParams> {
+    outcome
+        .result
+        .samples
+        .iter()
+        .filter(|s| s.objectives[1] < ACCURACY_LIMIT_M)
+        .min_by(|a, b| a.objectives[0].partial_cmp(&b.objectives[0]).expect("finite"))
+        .map(|s| kf_params_from_config(&s.config))
+}
+
+/// Result of one ablation variant.
+#[derive(Debug, Clone, Serialize)]
+pub struct AblationResult {
+    pub name: String,
+    /// Hypervolume of the final front (higher is better), under a fixed
+    /// reference point.
+    pub hypervolume: f64,
+    /// Total configurations evaluated.
+    pub evaluations: usize,
+    /// Valid (<5 cm) configurations found.
+    pub valid: usize,
+}
+
+/// Ablations over the design choices called out in DESIGN.md §6, all on
+/// the KFusion/ODROID problem at reduced scale:
+/// forest size, pool size, and random-only vs. active learning.
+pub fn ablations(seed: u64) -> Vec<AblationResult> {
+    let space = kfusion_space();
+    let evaluator = SimulatedKFusionEvaluator::new(device_models::odroid_xu3());
+    let reference = (0.6, 0.25);
+
+    let run = |name: &str, cfg: OptimizerConfig, random_only: bool| {
+        let hm = HyperMapper::new(space.clone(), cfg);
+        let result = if random_only { hm.run_random_only(&evaluator) } else { hm.run(&evaluator) };
+        let pts: Vec<(f64, f64)> = result
+            .samples
+            .iter()
+            .map(|s| (s.objectives[0], s.objectives[1]))
+            .collect();
+        let valid = pts.iter().filter(|p| p.1 < ACCURACY_LIMIT_M).count();
+        AblationResult {
+            name: name.to_string(),
+            hypervolume: hypermapper::hypervolume_2d(&pts, reference),
+            evaluations: result.samples.len(),
+            valid,
+        }
+    };
+
+    let base = OptimizerConfig {
+        random_samples: 400,
+        max_iterations: 4,
+        max_evals_per_iteration: 150,
+        pool_size: 30_000,
+        forest: ForestConfig { n_trees: 100, ..Default::default() },
+        seed,
+    };
+
+    let mut out = Vec::new();
+    // Random-only baseline with the same total budget as the AL run.
+    out.push(run(
+        "random-only (equal budget)",
+        OptimizerConfig { random_samples: 1000, ..base.clone() },
+        true,
+    ));
+    out.push(run("active learning (base)", base.clone(), false));
+    for trees in [10, 50, 200] {
+        out.push(run(
+            &format!("forest with {trees} trees"),
+            OptimizerConfig {
+                forest: ForestConfig { n_trees: trees, ..Default::default() },
+                ..base.clone()
+            },
+            false,
+        ));
+    }
+    for pool in [3_000, 100_000] {
+        out.push(run(
+            &format!("pool size {pool}"),
+            OptimizerConfig { pool_size: pool, ..base.clone() },
+            false,
+        ));
+    }
+    out
+}
+
+/// Split samples of a result into (random, active) 2D points for plotting.
+pub fn phase_points(result: &ExplorationResult) -> (Vec<(f64, f64)>, Vec<(f64, f64)>) {
+    let mut random = Vec::new();
+    let mut active = Vec::new();
+    for s in &result.samples {
+        let p = (s.objectives[0], s.objectives[1]);
+        match s.phase {
+            Phase::Random => random.push(p),
+            Phase::Active(_) => active.push(p),
+        }
+    }
+    (random, active)
+}
+
+/// Re-export for binaries.
+pub fn kf_space() -> ParamSpace {
+    kfusion_space()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use device_models::{gtx780ti, odroid_xu3};
+
+    #[test]
+    fn fig1_surface_is_nontrivial() {
+        let cells = fig1_response_surface(&odroid_xu3());
+        assert_eq!(cells.len(), 24 * 24);
+        let min = cells.iter().map(|c| c.frame_runtime_ms).fold(f64::INFINITY, f64::min);
+        let max = cells.iter().map(|c| c.frame_runtime_ms).fold(0.0, f64::max);
+        assert!(max > min * 1.3, "surface too flat: {min}..{max}");
+        // Non-convexity proxy: some interior cell is a local max in µ.
+        let at = |i: usize, j: usize| cells[i * 24 + j].frame_runtime_ms;
+        let mut local_extremum = false;
+        for i in 1..23 {
+            for j in 1..23 {
+                let c = at(i, j);
+                if (c > at(i - 1, j) && c > at(i + 1, j)) || (c < at(i - 1, j) && c < at(i + 1, j)) {
+                    local_extremum = true;
+                }
+            }
+        }
+        assert!(local_extremum, "surface is monotone in µ everywhere");
+    }
+
+    #[test]
+    fn quick_kfusion_dse_end_to_end() {
+        let outcome = run_kfusion_dse(odroid_xu3(), DseScale::Quick, 3);
+        assert_eq!(outcome.random_samples, 300);
+        assert!(outcome.active_samples > 0, "AL produced nothing");
+        assert!(outcome.pareto_points > 3);
+        assert!(outcome.valid_random + outcome.valid_active > 0);
+    }
+
+    #[test]
+    fn quick_ef_dse_and_table1() {
+        let outcome = run_elasticfusion_dse(gtx780ti(), DseScale::Quick, 5);
+        assert!(outcome.pareto_points >= 2);
+        let rows = table1_rows(&outcome, 4);
+        assert_eq!(rows[0].label, "Default");
+        assert!(rows.len() >= 3);
+        // The front must contain a faster-than-default configuration.
+        let best_speed = rows[1].runtime_s;
+        assert!(
+            best_speed < rows[0].runtime_s,
+            "best {best_speed} vs default {}",
+            rows[0].runtime_s
+        );
+    }
+
+    #[test]
+    fn crowdsourcing_speedups_in_paper_band() {
+        // Use a representative tuned configuration.
+        let best = KfParams {
+            volume_resolution: 64.0,
+            mu: 0.2,
+            compute_size_ratio: 4.0,
+            tracking_rate: 2.0,
+            icp_threshold: 1e-4,
+            integration_rate: 5.0,
+            pyramid: [4.0, 3.0, 2.0],
+        };
+        let results = crowdsourcing_speedups(&best);
+        assert_eq!(results.len(), 83);
+        for r in &results {
+            assert!(r.speedup > 1.0, "{} slowed down: {}", r.device, r.speedup);
+        }
+        let min = results.iter().map(|r| r.speedup).fold(f64::INFINITY, f64::min);
+        let max = results.iter().map(|r| r.speedup).fold(0.0, f64::max);
+        assert!(min >= 1.5, "min speedup {min}");
+        assert!(max > 6.0, "max speedup {max}");
+        assert!(max < 25.0, "max speedup implausible {max}");
+    }
+
+    #[test]
+    fn ablations_run_and_al_beats_random() {
+        let results = ablations(11);
+        assert!(results.len() >= 5);
+        let random = results.iter().find(|r| r.name.starts_with("random-only")).unwrap();
+        let al = results.iter().find(|r| r.name.starts_with("active learning")).unwrap();
+        // Equal budget: AL hypervolume should not be (much) worse.
+        assert!(
+            al.hypervolume > random.hypervolume * 0.9,
+            "AL {} vs random {}",
+            al.hypervolume,
+            random.hypervolume
+        );
+    }
+}

@@ -1,0 +1,20 @@
+//! Experiment harness regenerating every table and figure of the paper.
+//!
+//! Each `fig*`/`table*` binary in `src/bin/` reproduces one artifact of the
+//! evaluation section; this library holds the shared experiment drivers so
+//! binaries, integration tests and ablations run the same code:
+//!
+//! | artifact | driver | binary |
+//! |---|---|---|
+//! | Fig. 1 response surface | [`experiments::fig1_response_surface`] | `fig1_response_surface` |
+//! | Fig. 3a/3b KFusion DSE | [`experiments::run_kfusion_dse`] | `fig3_kfusion_dse` |
+//! | Fig. 4 ElasticFusion DSE | [`experiments::run_elasticfusion_dse`] | `fig4_elasticfusion_dse` |
+//! | Table I Pareto points | [`experiments::table1_rows`] | `table1_pareto` |
+//! | Fig. 5 crowd-sourcing | [`experiments::crowdsourcing_speedups`] | `fig5_crowdsourcing` |
+//! | §IV-B summary scalars | aggregated | `summary` |
+//! | design-choice ablations | [`experiments::ablations`] | `ablations` |
+
+pub mod experiments;
+pub mod report;
+
+pub use experiments::{DseScale, KFUSION_SEQUENCE_FRAMES};

@@ -1,0 +1,159 @@
+//! Plain-text / CSV / JSON reporting helpers for the experiment binaries.
+
+use crate::experiments::{CrowdResult, DseOutcome, SurfaceCell, Table1Row};
+use std::fs;
+use std::path::Path;
+
+/// Directory where experiment binaries drop their machine-readable output.
+pub const RESULTS_DIR: &str = "results";
+
+/// Ensure the results directory exists and write `content` to
+/// `results/<name>`.
+pub fn write_results_file(name: &str, content: &str) -> std::io::Result<()> {
+    let dir = Path::new(RESULTS_DIR);
+    fs::create_dir_all(dir)?;
+    fs::write(dir.join(name), content)
+}
+
+/// Serialize any serde value into `results/<name>` as JSON.
+pub fn write_json<T: serde::Serialize>(name: &str, value: &T) -> std::io::Result<()> {
+    write_results_file(name, &serde_json::to_string_pretty(value).expect("serializable"))
+}
+
+/// Fig. 1 surface as CSV (`mu,icp_threshold,frame_runtime_ms`).
+pub fn surface_csv(cells: &[SurfaceCell]) -> String {
+    let mut out = String::from("mu,icp_threshold,frame_runtime_ms\n");
+    for c in cells {
+        out.push_str(&format!("{},{:e},{:.4}\n", c.mu, c.icp_threshold, c.frame_runtime_ms));
+    }
+    out
+}
+
+/// DSE scatter points as CSV (`phase,runtime,ate`), the data behind
+/// Figs. 3 and 4.
+pub fn dse_csv(outcome: &DseOutcome) -> String {
+    let mut out = String::from("phase,runtime,ate\n");
+    for s in &outcome.result.samples {
+        let phase = match s.phase {
+            hypermapper::Phase::Random => "random".to_string(),
+            hypermapper::Phase::Active(i) => format!("active{i}"),
+        };
+        out.push_str(&format!("{phase},{:.6},{:.6}\n", s.objectives[0], s.objectives[1]));
+    }
+    out
+}
+
+/// Human-readable DSE summary block (the counts reported in §IV-C).
+pub fn dse_summary(outcome: &DseOutcome) -> String {
+    let mut s = String::new();
+    s.push_str(&format!("platform:          {}\n", outcome.platform));
+    s.push_str(&format!("random samples:    {}\n", outcome.random_samples));
+    s.push_str(&format!("active samples:    {}\n", outcome.active_samples));
+    s.push_str(&format!("valid (<5cm) rnd:  {}\n", outcome.valid_random));
+    s.push_str(&format!("valid (<5cm) AL:   {}\n", outcome.valid_active));
+    s.push_str(&format!("pareto points:     {}\n", outcome.pareto_points));
+    for it in &outcome.result.iterations {
+        s.push_str(&format!(
+            "  iteration {}: +{} evals (predicted front {}), hv {:.5}\n",
+            it.iteration, it.new_evaluations, it.predicted_front_size, it.hypervolume
+        ));
+    }
+    s
+}
+
+/// Table I in aligned plain text.
+pub fn table1_text(rows: &[Table1Row]) -> String {
+    let mut s = String::from(
+        "Label          Error(m) Runtime(s)  ICP Depth Conf SO3 CL Reloc Fast FTF\n",
+    );
+    for r in rows {
+        s.push_str(&format!(
+            "{:<14} {:>8.4} {:>10.1} {:>4.1} {:>5.1} {:>4.1} {:>3} {:>2} {:>5} {:>4} {:>3}\n",
+            if r.label.is_empty() { "-" } else { &r.label },
+            r.error_m,
+            r.runtime_s,
+            r.icp_weight,
+            r.depth_cutoff,
+            r.confidence,
+            r.so3,
+            r.close_loops,
+            r.reloc,
+            r.fast_odom,
+            r.ftf_rgb,
+        ));
+    }
+    s
+}
+
+/// Fig. 5 as a CSV plus an ASCII histogram of the speedups.
+pub fn crowd_report(results: &[CrowdResult]) -> (String, String) {
+    let mut csv = String::from("device,default_s,best_s,speedup\n");
+    for r in results {
+        csv.push_str(&format!(
+            "\"{}\",{:.5},{:.5},{:.2}\n",
+            r.device, r.default_time, r.best_time, r.speedup
+        ));
+    }
+    // Histogram over speedup buckets 0-2, 2-4, ... 12+.
+    let mut buckets = [0usize; 8];
+    for r in results {
+        let b = ((r.speedup / 2.0).floor() as usize).min(7);
+        buckets[b] += 1;
+    }
+    let mut hist = String::from("speedup histogram (83 devices):\n");
+    for (i, &count) in buckets.iter().enumerate() {
+        let label = if i == 7 { "14+ ".to_string() } else { format!("{:>2}-{:<2}", i * 2, i * 2 + 2) };
+        hist.push_str(&format!("{label} | {}\n", "#".repeat(count)));
+    }
+    (csv, hist)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn surface_csv_has_header_and_rows() {
+        let cells = vec![SurfaceCell { mu: 0.1, icp_threshold: 1e-5, frame_runtime_ms: 100.0 }];
+        let csv = surface_csv(&cells);
+        assert!(csv.starts_with("mu,icp_threshold,frame_runtime_ms\n"));
+        assert_eq!(csv.lines().count(), 2);
+    }
+
+    #[test]
+    fn table1_text_formats_rows() {
+        let rows = vec![Table1Row {
+            label: "Default".into(),
+            error_m: 0.0558,
+            runtime_s: 22.2,
+            icp_weight: 10.0,
+            depth_cutoff: 3.0,
+            confidence: 10.0,
+            so3: 1,
+            close_loops: 0,
+            reloc: 1,
+            fast_odom: 0,
+            ftf_rgb: 0,
+        }];
+        let text = table1_text(&rows);
+        assert!(text.contains("Default"));
+        assert!(text.contains("0.0558"));
+        assert!(text.contains("22.2"));
+    }
+
+    #[test]
+    fn crowd_report_buckets_sum_to_devices() {
+        let results: Vec<CrowdResult> = (0..10)
+            .map(|i| CrowdResult {
+                device: format!("dev{i}"),
+                default_time: 0.2,
+                best_time: 0.2 / (2.0 + i as f64),
+                speedup: 2.0 + i as f64,
+            })
+            .collect();
+        let (csv, hist) = crowd_report(&results);
+        assert_eq!(csv.lines().count(), 11);
+        let hashes: usize = hist.matches('#').count();
+        assert_eq!(hashes, 10);
+    }
+}

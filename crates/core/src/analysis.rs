@@ -1,0 +1,196 @@
+//! Post-exploration analysis: correlations and parameter importance.
+//!
+//! The paper reports (a) the correlation between the feature space and each
+//! objective (ref. \[40\], §IV-C) and (b) cross-machine Pearson/Spearman
+//! correlations that justify the zero-shot transfer used by the
+//! crowd-sourcing experiment (ref. \[43\], §IV-D).
+
+use crate::optimizer::Sample;
+use crate::space::ParamSpace;
+use randforest::{Dataset, ForestConfig, RandomForest};
+
+/// Pearson linear correlation coefficient of two equal-length series.
+/// Returns 0 for degenerate inputs (length < 2 or zero variance).
+pub fn pearson(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "series length mismatch");
+    let n = a.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let ma = a.iter().sum::<f64>() / n as f64;
+    let mb = b.iter().sum::<f64>() / n as f64;
+    let mut cov = 0.0;
+    let mut va = 0.0;
+    let mut vb = 0.0;
+    for i in 0..n {
+        let da = a[i] - ma;
+        let db = b[i] - mb;
+        cov += da * db;
+        va += da * da;
+        vb += db * db;
+    }
+    if va <= 0.0 || vb <= 0.0 {
+        return 0.0;
+    }
+    cov / (va.sqrt() * vb.sqrt())
+}
+
+/// Spearman rank correlation: Pearson correlation of the rank vectors, with
+/// average ranks for ties.
+pub fn spearman(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "series length mismatch");
+    pearson(&ranks(a), &ranks(b))
+}
+
+/// Average-rank transform (1-based; ties share the mean of their ranks).
+fn ranks(xs: &[f64]) -> Vec<f64> {
+    let n = xs.len();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&i, &j| xs[i].partial_cmp(&xs[j]).expect("finite values"));
+    let mut r = vec![0.0; n];
+    let mut i = 0;
+    while i < n {
+        let mut j = i;
+        while j + 1 < n && xs[order[j + 1]] == xs[order[i]] {
+            j += 1;
+        }
+        // Positions i..=j tie; average their 1-based ranks.
+        let avg = (i + j) as f64 / 2.0 + 1.0;
+        for k in i..=j {
+            r[order[k]] = avg;
+        }
+        i = j + 1;
+    }
+    r
+}
+
+/// Importance of each tunable parameter for one objective, estimated from a
+/// forest fitted to exploration samples.
+#[derive(Debug, Clone)]
+pub struct ParamImportance {
+    /// Parameter names, in space order.
+    pub names: Vec<String>,
+    /// Normalized impurity importance (sums to 1 unless all zero).
+    pub impurity: Vec<f64>,
+    /// Pearson correlation of each (encoded) parameter feature with the
+    /// objective over the samples.
+    pub correlation: Vec<f64>,
+}
+
+impl ParamImportance {
+    /// Fit a fresh forest on `samples` for objective `k` and report
+    /// importances and per-parameter correlations.
+    pub fn from_samples(
+        space: &ParamSpace,
+        samples: &[Sample],
+        k: usize,
+        forest_config: &ForestConfig,
+    ) -> ParamImportance {
+        let mut data = Dataset::with_capacity(space.n_params(), samples.len());
+        let mut feat = Vec::with_capacity(space.n_params());
+        for s in samples {
+            feat.clear();
+            space.write_features(&s.config, &mut feat);
+            data.push_row(&feat, s.objectives[k]);
+        }
+        let forest = RandomForest::fit(&data, forest_config);
+        let impurity = forest.feature_importance();
+
+        let target: Vec<f64> = samples.iter().map(|s| s.objectives[k]).collect();
+        let correlation = (0..space.n_params())
+            .map(|f| {
+                let col: Vec<f64> = (0..data.len()).map(|i| data.feature(i, f)).collect();
+                pearson(&col, &target)
+            })
+            .collect();
+
+        ParamImportance {
+            names: space.params().iter().map(|p| p.name.clone()).collect(),
+            impurity,
+            correlation,
+        }
+    }
+
+    /// Parameters sorted by descending impurity importance.
+    pub fn ranked(&self) -> Vec<(&str, f64)> {
+        let mut idx: Vec<usize> = (0..self.names.len()).collect();
+        idx.sort_by(|&a, &b| self.impurity[b].partial_cmp(&self.impurity[a]).expect("finite"));
+        idx.into_iter().map(|i| (self.names[i].as_str(), self.impurity[i])).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evaluate::{Evaluator, FnEvaluator};
+    use crate::optimizer::{HyperMapper, OptimizerConfig};
+
+    #[test]
+    fn pearson_perfect_correlations() {
+        let a: Vec<f64> = (0..20).map(f64::from).collect();
+        let b: Vec<f64> = a.iter().map(|x| 3.0 * x + 1.0).collect();
+        let c: Vec<f64> = a.iter().map(|x| -2.0 * x).collect();
+        assert!((pearson(&a, &b) - 1.0).abs() < 1e-12);
+        assert!((pearson(&a, &c) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_uncorrelated_near_zero() {
+        // Orthogonal-ish periodic signals.
+        let a: Vec<f64> = (0..400).map(|i| (i as f64 * 0.7).sin()).collect();
+        let b: Vec<f64> = (0..400).map(|i| (i as f64 * 1.9 + 2.0).cos()).collect();
+        assert!(pearson(&a, &b).abs() < 0.15);
+    }
+
+    #[test]
+    fn pearson_degenerate_inputs() {
+        assert_eq!(pearson(&[1.0], &[2.0]), 0.0);
+        assert_eq!(pearson(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0]), 0.0);
+    }
+
+    #[test]
+    fn spearman_monotone_nonlinear_is_one() {
+        let a: Vec<f64> = (1..30).map(f64::from).collect();
+        let b: Vec<f64> = a.iter().map(|x| x.powi(3)).collect(); // monotone
+        assert!((spearman(&a, &b) - 1.0).abs() < 1e-12);
+        let c: Vec<f64> = a.iter().map(|x| 1.0 / x).collect(); // anti-monotone
+        assert!((spearman(&a, &c) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spearman_handles_ties() {
+        let a = [1.0, 2.0, 2.0, 3.0];
+        let b = [10.0, 20.0, 20.0, 30.0];
+        assert!((spearman(&a, &b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ranks_average_ties() {
+        assert_eq!(ranks(&[10.0, 20.0, 20.0, 5.0]), vec![2.0, 3.5, 3.5, 1.0]);
+    }
+
+    #[test]
+    fn importance_identifies_dominant_parameter() {
+        let space = crate::space::ParamSpace::builder()
+            .ordinal("noise", (0..10).map(f64::from))
+            .ordinal("signal", (0..10).map(f64::from))
+            .build()
+            .unwrap();
+        let eval = FnEvaluator::new(1, |c| vec![c.value_f64(1) * 10.0 + c.value_f64(0) * 0.01]);
+        let res = HyperMapper::new(
+            space.clone(),
+            OptimizerConfig { random_samples: 80, max_iterations: 0, seed: 1, ..Default::default() },
+        )
+        .run(&eval);
+        let imp = ParamImportance::from_samples(
+            &space,
+            &res.samples,
+            0,
+            &ForestConfig { n_trees: 30, seed: 3, ..Default::default() },
+        );
+        let ranked = imp.ranked();
+        assert_eq!(ranked[0].0, "signal");
+        assert!(imp.correlation[1] > 0.9, "correlation {:?}", imp.correlation);
+        let _ = eval.n_objectives();
+    }
+}

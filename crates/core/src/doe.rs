@@ -1,0 +1,172 @@
+//! Design-of-experiments sampling helpers.
+
+use crate::error::HmError;
+use crate::space::{Configuration, ParamSpace};
+use rand::Rng;
+use std::collections::HashSet;
+
+/// Draw `n` **distinct** uniformly random configurations from `space`,
+/// skipping any whose flat index is in `exclude` (pass an empty set when
+/// there is no history).
+///
+/// For spaces much larger than `n` this is a simple rejection loop; for
+/// small spaces it falls back to enumerating and shuffling the remaining
+/// indices so it always terminates.
+pub fn sample_distinct<R: Rng>(
+    space: &ParamSpace,
+    n: usize,
+    exclude: &HashSet<u64>,
+    rng: &mut R,
+) -> Result<Vec<Configuration>, HmError> {
+    let size = space.size();
+    let available = size.saturating_sub(exclude.len() as u64);
+    if (n as u64) > available {
+        return Err(HmError::NotEnoughConfigurations { requested: n, available });
+    }
+
+    // Dense case: enumerate what's left and partially shuffle.
+    if size <= (n as u64).saturating_mul(4).max(1024) {
+        let mut remaining: Vec<u64> = (0..size).filter(|i| !exclude.contains(i)).collect();
+        // Partial Fisher–Yates: we only need the first n.
+        let len = remaining.len();
+        for i in 0..n {
+            let j = rng.gen_range(i..len);
+            remaining.swap(i, j);
+        }
+        return Ok(remaining[..n].iter().map(|&i| space.config_at(i)).collect());
+    }
+
+    // Sparse case: rejection sampling.
+    let mut chosen = HashSet::with_capacity(n);
+    let mut out = Vec::with_capacity(n);
+    while out.len() < n {
+        let flat = rng.gen_range(0..size);
+        if exclude.contains(&flat) || !chosen.insert(flat) {
+            continue;
+        }
+        out.push(space.config_at(flat));
+    }
+    Ok(out)
+}
+
+/// Draw a prediction pool of up to `pool_size` distinct configurations. When
+/// the space is small enough the pool is the whole space (the paper predicts
+/// over all of `X`); otherwise a uniform subsample stands in for it.
+pub fn prediction_pool<R: Rng>(
+    space: &ParamSpace,
+    pool_size: usize,
+    rng: &mut R,
+) -> Vec<Configuration> {
+    if space.size() <= pool_size as u64 {
+        space.iter_all().collect()
+    } else {
+        sample_distinct(space, pool_size, &HashSet::new(), rng)
+            .expect("pool_size < space size by construction")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn space(n_values: usize) -> ParamSpace {
+        ParamSpace::builder()
+            .ordinal("a", (0..n_values).map(|i| i as f64))
+            .ordinal("b", (0..n_values).map(|i| i as f64))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn samples_are_distinct() {
+        let s = space(30); // 900 configs
+        let mut rng = StdRng::seed_from_u64(1);
+        let samples = sample_distinct(&s, 500, &HashSet::new(), &mut rng).unwrap();
+        let set: HashSet<u64> = samples.iter().map(|c| s.flat_index(c)).collect();
+        assert_eq!(set.len(), 500);
+    }
+
+    #[test]
+    fn excluded_indices_never_drawn() {
+        let s = space(10); // 100 configs
+        let exclude: HashSet<u64> = (0..50).collect();
+        let mut rng = StdRng::seed_from_u64(2);
+        let samples = sample_distinct(&s, 50, &exclude, &mut rng).unwrap();
+        assert_eq!(samples.len(), 50);
+        for c in &samples {
+            assert!(!exclude.contains(&s.flat_index(&c.clone())));
+        }
+    }
+
+    #[test]
+    fn requesting_too_many_errors() {
+        let s = space(3); // 9 configs
+        let mut rng = StdRng::seed_from_u64(3);
+        let err = sample_distinct(&s, 10, &HashSet::new(), &mut rng).unwrap_err();
+        assert!(matches!(err, HmError::NotEnoughConfigurations { requested: 10, available: 9 }));
+        // Exactly the space size works and enumerates everything.
+        let all = sample_distinct(&s, 9, &HashSet::new(), &mut rng).unwrap();
+        let set: HashSet<u64> = all.iter().map(|c| s.flat_index(c)).collect();
+        assert_eq!(set.len(), 9);
+    }
+
+    #[test]
+    fn exclusion_plus_request_exhausting_space() {
+        let s = space(4); // 16 configs
+        let exclude: HashSet<u64> = (0..10).collect();
+        let mut rng = StdRng::seed_from_u64(4);
+        let samples = sample_distinct(&s, 6, &exclude, &mut rng).unwrap();
+        let set: HashSet<u64> = samples.iter().map(|c| s.flat_index(c)).collect();
+        assert_eq!(set, (10..16).collect::<HashSet<u64>>());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let s = space(50);
+        let a = sample_distinct(&s, 100, &HashSet::new(), &mut StdRng::seed_from_u64(9)).unwrap();
+        let b = sample_distinct(&s, 100, &HashSet::new(), &mut StdRng::seed_from_u64(9)).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn pool_is_whole_space_when_small() {
+        let s = space(5); // 25
+        let mut rng = StdRng::seed_from_u64(5);
+        let pool = prediction_pool(&s, 100, &mut rng);
+        assert_eq!(pool.len(), 25);
+    }
+
+    #[test]
+    fn pool_subsamples_when_large() {
+        let s = space(100); // 10_000
+        let mut rng = StdRng::seed_from_u64(6);
+        let pool = prediction_pool(&s, 500, &mut rng);
+        assert_eq!(pool.len(), 500);
+        let set: HashSet<u64> = pool.iter().map(|c| s.flat_index(c)).collect();
+        assert_eq!(set.len(), 500);
+    }
+
+    #[test]
+    fn rough_uniformity_of_sampling() {
+        // Chi-square-ish sanity check: over many draws each first-param
+        // bucket should be hit a similar number of times.
+        let s = space(10);
+        let mut counts = [0usize; 10];
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..200 {
+            for c in sample_distinct(&s, 10, &HashSet::new(), &mut rng).unwrap() {
+                counts[c.choice(0)] += 1;
+            }
+        }
+        let total: usize = counts.iter().sum();
+        let expected = total as f64 / 10.0;
+        for &c in &counts {
+            assert!(
+                (c as f64) > expected * 0.6 && (c as f64) < expected * 1.4,
+                "bucket count {c} vs expected {expected}"
+            );
+        }
+    }
+}

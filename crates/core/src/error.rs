@@ -1,0 +1,62 @@
+//! Error type for space construction and exploration.
+
+use std::fmt;
+
+/// Errors produced while building parameter spaces or running explorations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HmError {
+    /// A parameter was declared with an empty domain.
+    EmptyDomain(String),
+    /// Two parameters share a name.
+    DuplicateParam(String),
+    /// A space with no parameters was requested.
+    EmptySpace,
+    /// An ordinal domain contained a non-finite value.
+    NonFiniteValue(String),
+    /// The requested number of distinct samples exceeds the space size.
+    NotEnoughConfigurations { requested: usize, available: u64 },
+    /// An evaluator returned the wrong number of objectives.
+    ObjectiveArity { expected: usize, got: usize },
+    /// An evaluator returned a non-finite objective value.
+    NonFiniteObjective { objective: usize },
+}
+
+impl fmt::Display for HmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HmError::EmptyDomain(name) => write!(f, "parameter `{name}` has an empty domain"),
+            HmError::DuplicateParam(name) => write!(f, "duplicate parameter name `{name}`"),
+            HmError::EmptySpace => write!(f, "a parameter space needs at least one parameter"),
+            HmError::NonFiniteValue(name) => {
+                write!(f, "parameter `{name}` contains a non-finite value")
+            }
+            HmError::NotEnoughConfigurations { requested, available } => write!(
+                f,
+                "requested {requested} distinct configurations but the space only has {available}"
+            ),
+            HmError::ObjectiveArity { expected, got } => {
+                write!(f, "evaluator returned {got} objectives, expected {expected}")
+            }
+            HmError::NonFiniteObjective { objective } => {
+                write!(f, "evaluator returned a non-finite value for objective {objective}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for HmError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_mention_context() {
+        let e = HmError::EmptyDomain("mu".into());
+        assert!(e.to_string().contains("mu"));
+        let e = HmError::NotEnoughConfigurations { requested: 10, available: 5 };
+        assert!(e.to_string().contains("10") && e.to_string().contains('5'));
+        let e = HmError::ObjectiveArity { expected: 2, got: 3 };
+        assert!(e.to_string().contains('2') && e.to_string().contains('3'));
+    }
+}

@@ -1,0 +1,179 @@
+//! The black-box evaluation interface.
+
+use crate::space::Configuration;
+use rayon::prelude::*;
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+/// A black-box objective function: given a configuration, measure (or model)
+/// each objective. All objectives are **minimized**.
+///
+/// In the paper this is "run SLAMBench on the board and record max-ATE and
+/// per-frame runtime"; in this reproduction it is either a real pipeline run
+/// or an analytic device model. Implementations must be `Sync` — the
+/// optimizer evaluates batches in parallel.
+pub trait Evaluator: Sync {
+    /// Number of objectives returned by [`Evaluator::evaluate`].
+    fn n_objectives(&self) -> usize;
+
+    /// Human-readable objective names, used in reports.
+    fn objective_names(&self) -> Vec<String> {
+        (0..self.n_objectives()).map(|i| format!("objective{i}")).collect()
+    }
+
+    /// Measure all objectives for one configuration.
+    fn evaluate(&self, config: &Configuration) -> Vec<f64>;
+
+    /// Evaluate a batch in parallel (order-preserving). The default uses
+    /// Rayon; override for evaluators with their own scheduling.
+    fn evaluate_batch(&self, configs: &[Configuration]) -> Vec<Vec<f64>> {
+        configs.par_iter().map(|c| self.evaluate(c)).collect()
+    }
+}
+
+/// Adapter turning a plain closure into an [`Evaluator`].
+///
+/// ```
+/// use hypermapper::{FnEvaluator, Evaluator, ParamSpace};
+/// let space = ParamSpace::builder().ordinal("x", [0.0, 1.0, 2.0]).build().unwrap();
+/// let eval = FnEvaluator::new(2, |c| vec![c.value_f64(0), -c.value_f64(0)]);
+/// assert_eq!(eval.evaluate(&space.config_at(2)), vec![2.0, -2.0]);
+/// ```
+pub struct FnEvaluator<F: Fn(&Configuration) -> Vec<f64> + Sync> {
+    n_objectives: usize,
+    names: Vec<String>,
+    f: F,
+}
+
+impl<F: Fn(&Configuration) -> Vec<f64> + Sync> FnEvaluator<F> {
+    /// Wrap `f`, which must return `n_objectives` values per call.
+    pub fn new(n_objectives: usize, f: F) -> Self {
+        FnEvaluator {
+            n_objectives,
+            names: (0..n_objectives).map(|i| format!("objective{i}")).collect(),
+            f,
+        }
+    }
+
+    /// Set the objective names reported by this evaluator.
+    pub fn with_names<S: Into<String>, I: IntoIterator<Item = S>>(mut self, names: I) -> Self {
+        self.names = names.into_iter().map(Into::into).collect();
+        assert_eq!(self.names.len(), self.n_objectives, "one name per objective");
+        self
+    }
+}
+
+impl<F: Fn(&Configuration) -> Vec<f64> + Sync> Evaluator for FnEvaluator<F> {
+    fn n_objectives(&self) -> usize {
+        self.n_objectives
+    }
+    fn objective_names(&self) -> Vec<String> {
+        self.names.clone()
+    }
+    fn evaluate(&self, config: &Configuration) -> Vec<f64> {
+        (self.f)(config)
+    }
+}
+
+/// Memoizing wrapper: caches objective vectors by configuration and counts
+/// the number of *distinct* underlying evaluations. Useful both to avoid
+/// re-running expensive pipelines and to audit an exploration's evaluation
+/// budget in tests.
+pub struct CachedEvaluator<'a, E: Evaluator> {
+    inner: &'a E,
+    cache: Mutex<HashMap<Configuration, Vec<f64>>>,
+}
+
+impl<'a, E: Evaluator> CachedEvaluator<'a, E> {
+    /// Wrap `inner` with an empty cache.
+    pub fn new(inner: &'a E) -> Self {
+        CachedEvaluator { inner, cache: Mutex::new(HashMap::new()) }
+    }
+
+    /// Number of distinct configurations evaluated so far.
+    pub fn distinct_evaluations(&self) -> usize {
+        self.cache.lock().expect("poisoned").len()
+    }
+}
+
+impl<E: Evaluator> Evaluator for CachedEvaluator<'_, E> {
+    fn n_objectives(&self) -> usize {
+        self.inner.n_objectives()
+    }
+    fn objective_names(&self) -> Vec<String> {
+        self.inner.objective_names()
+    }
+    fn evaluate(&self, config: &Configuration) -> Vec<f64> {
+        if let Some(hit) = self.cache.lock().expect("poisoned").get(config) {
+            return hit.clone();
+        }
+        let out = self.inner.evaluate(config);
+        self.cache.lock().expect("poisoned").insert(config.clone(), out.clone());
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::ParamSpace;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn space() -> ParamSpace {
+        ParamSpace::builder()
+            .ordinal("x", (0..10).map(f64::from))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn fn_evaluator_basics() {
+        let s = space();
+        let e = FnEvaluator::new(2, |c| vec![c.value_f64(0), 10.0 - c.value_f64(0)])
+            .with_names(["time", "error"]);
+        assert_eq!(e.n_objectives(), 2);
+        assert_eq!(e.objective_names(), vec!["time", "error"]);
+        assert_eq!(e.evaluate(&s.config_at(3)), vec![3.0, 7.0]);
+    }
+
+    #[test]
+    fn batch_matches_single_and_preserves_order() {
+        let s = space();
+        let e = FnEvaluator::new(1, |c| vec![c.value_f64(0) * 2.0]);
+        let configs: Vec<_> = (0..10).map(|i| s.config_at(i)).collect();
+        let batch = e.evaluate_batch(&configs);
+        for (i, out) in batch.iter().enumerate() {
+            assert_eq!(out, &e.evaluate(&configs[i]));
+        }
+    }
+
+    #[test]
+    fn cache_avoids_reevaluation() {
+        let s = space();
+        let calls = AtomicUsize::new(0);
+        let e = FnEvaluator::new(1, |c| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            vec![c.value_f64(0)]
+        });
+        let cached = CachedEvaluator::new(&e);
+        let c = s.config_at(5);
+        assert_eq!(cached.evaluate(&c), vec![5.0]);
+        assert_eq!(cached.evaluate(&c), vec![5.0]);
+        assert_eq!(cached.evaluate(&s.config_at(5)), vec![5.0]);
+        assert_eq!(calls.load(Ordering::Relaxed), 1);
+        assert_eq!(cached.distinct_evaluations(), 1);
+        cached.evaluate(&s.config_at(6));
+        assert_eq!(cached.distinct_evaluations(), 2);
+    }
+
+    #[test]
+    fn cached_batch_parallel_safe() {
+        let s = space();
+        let e = FnEvaluator::new(1, |c| vec![c.value_f64(0)]);
+        let cached = CachedEvaluator::new(&e);
+        let configs: Vec<_> = (0..10).map(|i| s.config_at(i % 5)).collect();
+        let out = cached.evaluate_batch(&configs);
+        assert_eq!(out.len(), 10);
+        assert_eq!(cached.distinct_evaluations(), 5);
+    }
+}

@@ -1,0 +1,67 @@
+//! # HyperMapper-RS
+//!
+//! A from-scratch Rust reproduction of **HyperMapper** — the multi-objective,
+//! random-forest, active-learning design-space-exploration framework of
+//! Nardi et al., *"Algorithmic Performance-Accuracy Trade-off in 3D Vision
+//! Applications Using HyperMapper"* (iWAPT 2017) and Bodin et al. (PACT
+//! 2016).
+//!
+//! The workflow mirrors Algorithm 1 of the paper:
+//!
+//! 1. draw `rs` distinct random configurations from the parameter space and
+//!    evaluate them on the target (hardware, simulator, or any black box),
+//! 2. fit one [`randforest::RandomForest`] per objective,
+//! 3. predict every objective over the (sub-sampled) configuration pool and
+//!    compute the **predicted** Pareto front,
+//! 4. evaluate the predicted-Pareto configurations that have not been run
+//!    yet, add them to the training set, and repeat until the predicted
+//!    front is fully evaluated (or an iteration cap is reached).
+//!
+//! The crate is application-agnostic: anything implementing [`Evaluator`]
+//! can be explored. The SLAM use cases from the paper live in the
+//! `slambench` crate.
+//!
+//! ```
+//! use hypermapper::{Evaluator, HyperMapper, OptimizerConfig, ParamSpace};
+//!
+//! // A toy 2-objective problem over a 2-parameter space.
+//! let space = ParamSpace::builder()
+//!     .ordinal("x", (0..=20).map(|i| i as f64 * 0.1))
+//!     .ordinal("y", (0..=20).map(|i| i as f64 * 0.1))
+//!     .build()
+//!     .unwrap();
+//!
+//! struct Toy;
+//! impl Evaluator for Toy {
+//!     fn n_objectives(&self) -> usize { 2 }
+//!     fn evaluate(&self, config: &hypermapper::Configuration) -> Vec<f64> {
+//!         let x = config.value_f64(0);
+//!         let y = config.value_f64(1);
+//!         vec![x * x + y, (x - 2.0) * (x - 2.0) + y * y]
+//!     }
+//! }
+//!
+//! let config = OptimizerConfig { random_samples: 30, seed: 1, ..Default::default() };
+//! let result = HyperMapper::new(space, config).run(&Toy);
+//! assert!(!result.pareto_indices.is_empty());
+//! ```
+
+pub mod analysis;
+pub mod doe;
+pub mod error;
+pub mod evaluate;
+pub mod optimizer;
+pub mod pareto;
+pub mod param;
+pub mod space;
+
+pub use analysis::{pearson, spearman, ParamImportance};
+pub use doe::sample_distinct;
+pub use error::HmError;
+pub use evaluate::{CachedEvaluator, Evaluator, FnEvaluator};
+pub use optimizer::{
+    ExplorationResult, HyperMapper, IterationStats, OptimizerConfig, Phase, Sample,
+};
+pub use pareto::{dominates, hypervolume_2d, pareto_front, pareto_front_2d};
+pub use param::{Domain, ParamDef};
+pub use space::{Configuration, ParamSpace, SpaceBuilder};

@@ -1,0 +1,540 @@
+//! The HyperMapper active-learning optimizer (Algorithm 1 of the paper).
+
+use crate::doe::{prediction_pool, sample_distinct};
+use crate::evaluate::Evaluator;
+use crate::pareto::{hypervolume_2d, pareto_front, pareto_front_2d};
+use crate::space::{Configuration, ParamSpace};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use randforest::{Dataset, ForestConfig, RandomForest};
+use serde::Serialize;
+use std::collections::HashSet;
+
+/// Which phase of the exploration produced a sample.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum Phase {
+    /// Uniform random bootstrap sampling.
+    Random,
+    /// Active-learning iteration `i` (1-based).
+    Active(usize),
+}
+
+/// One evaluated configuration.
+#[derive(Debug, Clone, Serialize)]
+pub struct Sample {
+    /// The configuration that was run.
+    pub config: Configuration,
+    /// Measured objectives (minimized).
+    pub objectives: Vec<f64>,
+    /// Where in the exploration it was produced.
+    pub phase: Phase,
+}
+
+/// Statistics recorded after each active-learning iteration.
+#[derive(Debug, Clone, Serialize)]
+pub struct IterationStats {
+    /// 1-based iteration number.
+    pub iteration: usize,
+    /// Size of the predicted Pareto front over the pool.
+    pub predicted_front_size: usize,
+    /// Number of configurations newly evaluated this iteration
+    /// (`P − X_out` in the paper, possibly capped).
+    pub new_evaluations: usize,
+    /// Out-of-bag RMSE of the per-objective forests, if estimable.
+    pub oob_rmse: Vec<Option<f64>>,
+    /// Hypervolume of the evaluated Pareto front after this iteration
+    /// (bi-objective runs only; 0 otherwise).
+    pub hypervolume: f64,
+}
+
+/// Tuning knobs for an exploration; the defaults follow the paper.
+#[derive(Debug, Clone)]
+pub struct OptimizerConfig {
+    /// `rs`: number of bootstrap random samples (the paper uses 3 000 for
+    /// KFusion, 2 400 for ElasticFusion).
+    pub random_samples: usize,
+    /// Maximum number of active-learning iterations (the paper observed
+    /// convergence after ~6).
+    pub max_iterations: usize,
+    /// Cap on new evaluations per iteration; the paper reports 100–300 new
+    /// samples per iteration. `0` disables the cap.
+    pub max_evals_per_iteration: usize,
+    /// Size of the prediction pool drawn from the space each iteration.
+    /// When the space is smaller, the whole space is used (as in the paper).
+    pub pool_size: usize,
+    /// Random forest hyper-parameters for the per-objective surrogates.
+    pub forest: ForestConfig,
+    /// Master seed — the full exploration is deterministic given this and
+    /// a deterministic evaluator.
+    pub seed: u64,
+}
+
+impl Default for OptimizerConfig {
+    fn default() -> Self {
+        OptimizerConfig {
+            random_samples: 100,
+            max_iterations: 6,
+            max_evals_per_iteration: 300,
+            pool_size: 50_000,
+            forest: ForestConfig { n_trees: 100, ..Default::default() },
+            seed: 0,
+        }
+    }
+}
+
+/// Result of an exploration.
+#[derive(Debug, Clone, Serialize)]
+pub struct ExplorationResult {
+    /// Every evaluated sample, in evaluation order (random phase first).
+    pub samples: Vec<Sample>,
+    /// Indices into `samples` of the measured Pareto-optimal points.
+    pub pareto_indices: Vec<usize>,
+    /// Per-iteration statistics of the active-learning loop.
+    pub iterations: Vec<IterationStats>,
+    /// Objective names from the evaluator.
+    pub objective_names: Vec<String>,
+}
+
+impl ExplorationResult {
+    /// The Pareto-optimal samples themselves, sorted by the first objective.
+    pub fn pareto_samples(&self) -> Vec<&Sample> {
+        let mut out: Vec<&Sample> = self.pareto_indices.iter().map(|&i| &self.samples[i]).collect();
+        out.sort_by(|a, b| a.objectives[0].partial_cmp(&b.objectives[0]).expect("finite"));
+        out
+    }
+
+    /// Samples produced by the random bootstrap phase.
+    pub fn random_samples(&self) -> impl Iterator<Item = &Sample> {
+        self.samples.iter().filter(|s| s.phase == Phase::Random)
+    }
+
+    /// Samples produced by active learning.
+    pub fn active_samples(&self) -> impl Iterator<Item = &Sample> {
+        self.samples.iter().filter(|s| matches!(s.phase, Phase::Active(_)))
+    }
+
+    /// Pareto front restricted to the random-phase samples — the paper's
+    /// "random sampling" baseline curve in Figs. 3 and 4.
+    pub fn random_phase_front(&self) -> Vec<&Sample> {
+        let randoms: Vec<&Sample> = self.random_samples().collect();
+        let pts: Vec<Vec<f64>> = randoms.iter().map(|s| s.objectives.clone()).collect();
+        let mut out: Vec<&Sample> = pareto_front(&pts).into_iter().map(|i| randoms[i]).collect();
+        out.sort_by(|a, b| a.objectives[0].partial_cmp(&b.objectives[0]).expect("finite"));
+        out
+    }
+
+    /// The sample minimizing objective `k`.
+    pub fn best_by_objective(&self, k: usize) -> Option<&Sample> {
+        self.samples
+            .iter()
+            .min_by(|a, b| a.objectives[k].partial_cmp(&b.objectives[k]).expect("finite"))
+    }
+
+    /// Count samples whose objective `k` is below `limit` — the paper's
+    /// "valid configurations" metric (ATE < 5 cm), split by phase.
+    pub fn valid_counts(&self, k: usize, limit: f64) -> (usize, usize) {
+        let rand = self
+            .random_samples()
+            .filter(|s| s.objectives[k] < limit)
+            .count();
+        let active = self
+            .active_samples()
+            .filter(|s| s.objectives[k] < limit)
+            .count();
+        (rand, active)
+    }
+}
+
+/// The multi-objective random-forest active-learning optimizer.
+///
+/// See the crate docs for the algorithm outline and an end-to-end example.
+pub struct HyperMapper {
+    space: ParamSpace,
+    config: OptimizerConfig,
+}
+
+impl HyperMapper {
+    /// Create an optimizer over `space` with the given knobs.
+    pub fn new(space: ParamSpace, config: OptimizerConfig) -> Self {
+        HyperMapper { space, config }
+    }
+
+    /// The parameter space being explored.
+    pub fn space(&self) -> &ParamSpace {
+        &self.space
+    }
+
+    /// Run the full exploration (random bootstrap + active learning) against
+    /// `evaluator`.
+    ///
+    /// # Panics
+    /// If the evaluator returns a wrong-arity or non-finite objective
+    /// vector, or if the space holds fewer configurations than
+    /// `random_samples`.
+    pub fn run<E: Evaluator>(&self, evaluator: &E) -> ExplorationResult {
+        let n_obj = evaluator.n_objectives();
+        assert!(n_obj >= 1, "need at least one objective");
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let mut evaluated: HashSet<u64> = HashSet::new();
+        let mut samples: Vec<Sample> = Vec::new();
+
+        // ---- Phase 1: random bootstrap (X_out ← rs distinct samples). ----
+        let boot = sample_distinct(
+            &self.space,
+            self.config.random_samples.min(self.space.size() as usize),
+            &evaluated,
+            &mut rng,
+        )
+        .expect("space must hold at least `random_samples` configurations");
+        let objectives = self.checked_batch(evaluator, &boot, n_obj);
+        for (config, obj) in boot.into_iter().zip(objectives) {
+            evaluated.insert(self.space.flat_index(&config));
+            samples.push(Sample { config, objectives: obj, phase: Phase::Random });
+        }
+
+        // ---- Phase 2: active learning. ----
+        let mut iterations = Vec::new();
+        for iter in 1..=self.config.max_iterations {
+            // Fit one forest per objective on everything evaluated so far.
+            let forests = self.fit_forests(&samples, n_obj);
+
+            // Predict over the pool and find the predicted Pareto front.
+            let pool = prediction_pool(&self.space, self.config.pool_size, &mut rng);
+            let predicted = self.predict_front(&forests, &pool, n_obj);
+            let predicted_front_size = predicted.len();
+
+            // P − X_out: keep only configurations not evaluated yet.
+            let mut fresh: Vec<Configuration> = predicted
+                .into_iter()
+                .filter(|c| !evaluated.contains(&self.space.flat_index(c)))
+                .collect();
+            if self.config.max_evals_per_iteration > 0
+                && fresh.len() > self.config.max_evals_per_iteration
+            {
+                fresh.truncate(self.config.max_evals_per_iteration);
+            }
+            if fresh.is_empty() {
+                // Predicted front fully evaluated: Algorithm 1's fixed point.
+                break;
+            }
+
+            let objectives = self.checked_batch(evaluator, &fresh, n_obj);
+            let new_evaluations = fresh.len();
+            for (config, obj) in fresh.into_iter().zip(objectives) {
+                evaluated.insert(self.space.flat_index(&config));
+                samples.push(Sample { config, objectives: obj, phase: Phase::Active(iter) });
+            }
+
+            let oob_rmse = {
+                let datasets = self.datasets(&samples, n_obj);
+                forests
+                    .iter()
+                    .zip(&datasets)
+                    .map(|(f, d)| f.oob_rmse(d))
+                    .collect()
+            };
+            iterations.push(IterationStats {
+                iteration: iter,
+                predicted_front_size,
+                new_evaluations,
+                oob_rmse,
+                hypervolume: measured_hypervolume(&samples),
+            });
+        }
+
+        let pts: Vec<Vec<f64>> = samples.iter().map(|s| s.objectives.clone()).collect();
+        let pareto_indices = pareto_front(&pts);
+        ExplorationResult {
+            samples,
+            pareto_indices,
+            iterations,
+            objective_names: evaluator.objective_names(),
+        }
+    }
+
+    /// Run only the random bootstrap phase — the paper's baseline.
+    pub fn run_random_only<E: Evaluator>(&self, evaluator: &E) -> ExplorationResult {
+        let reduced = HyperMapper {
+            space: self.space.clone(),
+            config: OptimizerConfig { max_iterations: 0, ..self.config.clone() },
+        };
+        reduced.run(evaluator)
+    }
+
+    /// Evaluate a batch and validate arity/finiteness.
+    fn checked_batch<E: Evaluator>(
+        &self,
+        evaluator: &E,
+        configs: &[Configuration],
+        n_obj: usize,
+    ) -> Vec<Vec<f64>> {
+        let out = evaluator.evaluate_batch(configs);
+        assert_eq!(out.len(), configs.len(), "batch size mismatch");
+        for obj in &out {
+            assert_eq!(obj.len(), n_obj, "evaluator returned wrong objective arity");
+            for (k, v) in obj.iter().enumerate() {
+                assert!(v.is_finite(), "non-finite objective {k}: {v}");
+            }
+        }
+        out
+    }
+
+    /// One training dataset per objective from the samples so far.
+    fn datasets(&self, samples: &[Sample], n_obj: usize) -> Vec<Dataset> {
+        let mut datasets: Vec<Dataset> =
+            (0..n_obj).map(|_| Dataset::with_capacity(self.space.n_params(), samples.len())).collect();
+        let mut feat = Vec::with_capacity(self.space.n_params());
+        for s in samples {
+            feat.clear();
+            self.space.write_features(&s.config, &mut feat);
+            for (k, d) in datasets.iter_mut().enumerate() {
+                d.push_row(&feat, s.objectives[k]);
+            }
+        }
+        datasets
+    }
+
+    /// Fit the per-objective surrogate forests (two separate regressors in
+    /// the paper: ATE and runtime).
+    fn fit_forests(&self, samples: &[Sample], n_obj: usize) -> Vec<RandomForest> {
+        self.datasets(samples, n_obj)
+            .iter()
+            .enumerate()
+            .map(|(k, d)| {
+                let cfg = ForestConfig {
+                    seed: self.config.forest.seed ^ ((k as u64 + 1) << 32) ^ self.config.seed,
+                    ..self.config.forest.clone()
+                };
+                RandomForest::fit(d, &cfg)
+            })
+            .collect()
+    }
+
+    /// Predict all objectives over `pool` and return the configurations on
+    /// the predicted Pareto front.
+    fn predict_front(
+        &self,
+        forests: &[RandomForest],
+        pool: &[Configuration],
+        n_obj: usize,
+    ) -> Vec<Configuration> {
+        // Flat feature buffer for batch prediction.
+        let mut rows = Vec::with_capacity(pool.len() * self.space.n_params());
+        for c in pool {
+            self.space.write_features(c, &mut rows);
+        }
+        let preds: Vec<Vec<f64>> = forests.iter().map(|f| f.predict_batch(&rows)).collect();
+
+        let front = if n_obj == 2 {
+            let pts: Vec<(f64, f64)> =
+                (0..pool.len()).map(|i| (preds[0][i], preds[1][i])).collect();
+            pareto_front_2d(&pts)
+        } else {
+            let pts: Vec<Vec<f64>> = (0..pool.len())
+                .map(|i| preds.iter().map(|p| p[i]).collect())
+                .collect();
+            pareto_front(&pts)
+        };
+        front.into_iter().map(|i| pool[i].clone()).collect()
+    }
+}
+
+/// Hypervolume of the measured front for bi-objective runs, using the
+/// nadir of all samples as the reference point.
+fn measured_hypervolume(samples: &[Sample]) -> f64 {
+    if samples.is_empty() || samples[0].objectives.len() != 2 {
+        return 0.0;
+    }
+    let pts: Vec<(f64, f64)> = samples.iter().map(|s| (s.objectives[0], s.objectives[1])).collect();
+    let ref_x = pts.iter().map(|p| p.0).fold(f64::NEG_INFINITY, f64::max);
+    let ref_y = pts.iter().map(|p| p.1).fold(f64::NEG_INFINITY, f64::max);
+    hypervolume_2d(&pts, (ref_x, ref_y))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evaluate::{CachedEvaluator, FnEvaluator};
+
+    /// A deterministic, non-convex bi-objective toy problem.
+    fn toy_space() -> ParamSpace {
+        ParamSpace::builder()
+            .ordinal("x", (0..40).map(|i| i as f64 * 0.25))
+            .ordinal("y", (0..40).map(|i| i as f64 * 0.25))
+            .ordinal("z", (0..4).map(f64::from))
+            .build()
+            .unwrap()
+    }
+
+    fn toy_evaluator() -> FnEvaluator<impl Fn(&Configuration) -> Vec<f64> + Sync> {
+        FnEvaluator::new(2, |c| {
+            let x = c.value_f64(0);
+            let y = c.value_f64(1);
+            let z = c.value_f64(2);
+            // "runtime": cheap at small x, with multi-modal ripples.
+            let runtime = 0.5 + x + (y * 1.7).sin().abs() * 2.0 + z * 0.1;
+            // "error": decreases as x grows (accuracy/perf trade-off).
+            let error = 10.0 - x * 0.9 + (y - 5.0).abs() * 0.3 + (z - 2.0).abs();
+            vec![runtime, error]
+        })
+        .with_names(["runtime", "error"])
+    }
+
+    fn quick_config(seed: u64) -> OptimizerConfig {
+        OptimizerConfig {
+            random_samples: 60,
+            max_iterations: 4,
+            max_evals_per_iteration: 50,
+            pool_size: 2000,
+            forest: ForestConfig { n_trees: 20, ..Default::default() },
+            seed,
+        }
+    }
+
+    #[test]
+    fn exploration_produces_nonempty_front() {
+        let hm = HyperMapper::new(toy_space(), quick_config(1));
+        let eval = toy_evaluator();
+        let res = hm.run(&eval);
+        assert!(!res.pareto_indices.is_empty());
+        assert!(res.samples.len() >= 60);
+        assert_eq!(res.objective_names, vec!["runtime", "error"]);
+        // The front must be mutually non-dominating.
+        let front = res.pareto_samples();
+        for a in &front {
+            for b in &front {
+                assert!(!crate::pareto::dominates(&a.objectives, &b.objectives));
+            }
+        }
+    }
+
+    #[test]
+    fn active_learning_extends_random_front() {
+        let hm = HyperMapper::new(toy_space(), quick_config(7));
+        let eval = toy_evaluator();
+        let res = hm.run(&eval);
+        let full_hv = measured_hypervolume(&res.samples);
+        let randoms: Vec<Sample> = res.random_samples().cloned().collect();
+        let rand_hv = measured_hypervolume(&randoms);
+        // Hypervolume uses the run-wide nadir here, so recompute both with a
+        // common reference.
+        let pts_all: Vec<(f64, f64)> =
+            res.samples.iter().map(|s| (s.objectives[0], s.objectives[1])).collect();
+        let reference = (
+            pts_all.iter().map(|p| p.0).fold(f64::NEG_INFINITY, f64::max),
+            pts_all.iter().map(|p| p.1).fold(f64::NEG_INFINITY, f64::max),
+        );
+        let pts_rand: Vec<(f64, f64)> =
+            randoms.iter().map(|s| (s.objectives[0], s.objectives[1])).collect();
+        let hv_all = hypervolume_2d(&pts_all, reference);
+        let hv_rand = hypervolume_2d(&pts_rand, reference);
+        assert!(hv_all >= hv_rand, "active learning can only extend coverage");
+        let _ = (full_hv, rand_hv);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let eval = toy_evaluator();
+        let r1 = HyperMapper::new(toy_space(), quick_config(42)).run(&eval);
+        let r2 = HyperMapper::new(toy_space(), quick_config(42)).run(&eval);
+        assert_eq!(r1.samples.len(), r2.samples.len());
+        for (a, b) in r1.samples.iter().zip(&r2.samples) {
+            assert_eq!(a.config, b.config);
+            assert_eq!(a.objectives, b.objectives);
+            assert_eq!(a.phase, b.phase);
+        }
+    }
+
+    #[test]
+    fn no_configuration_evaluated_twice() {
+        let eval = toy_evaluator();
+        let cached = CachedEvaluator::new(&eval);
+        let res = HyperMapper::new(toy_space(), quick_config(3)).run(&cached);
+        assert_eq!(cached.distinct_evaluations(), res.samples.len());
+    }
+
+    #[test]
+    fn random_only_runs_no_iterations() {
+        let eval = toy_evaluator();
+        let res = HyperMapper::new(toy_space(), quick_config(5)).run_random_only(&eval);
+        assert!(res.iterations.is_empty());
+        assert_eq!(res.samples.len(), 60);
+        assert!(res.active_samples().next().is_none());
+    }
+
+    #[test]
+    fn phases_are_labeled() {
+        let eval = toy_evaluator();
+        let res = HyperMapper::new(toy_space(), quick_config(9)).run(&eval);
+        assert_eq!(res.random_samples().count(), 60);
+        for s in res.active_samples() {
+            match s.phase {
+                Phase::Active(i) => assert!(i >= 1 && i <= 4),
+                Phase::Random => panic!("random sample in active iterator"),
+            }
+        }
+    }
+
+    #[test]
+    fn max_evals_cap_respected() {
+        let mut cfg = quick_config(11);
+        cfg.max_evals_per_iteration = 10;
+        let eval = toy_evaluator();
+        let res = HyperMapper::new(toy_space(), cfg).run(&eval);
+        for it in &res.iterations {
+            assert!(it.new_evaluations <= 10);
+        }
+    }
+
+    #[test]
+    fn best_by_objective_and_valid_counts() {
+        let eval = toy_evaluator();
+        let res = HyperMapper::new(toy_space(), quick_config(13)).run(&eval);
+        let fastest = res.best_by_objective(0).unwrap();
+        for s in &res.samples {
+            assert!(fastest.objectives[0] <= s.objectives[0]);
+        }
+        let (r, a) = res.valid_counts(1, 5.0);
+        assert!(r + a <= res.samples.len());
+    }
+
+    #[test]
+    fn hypervolume_nondecreasing_over_iterations() {
+        let eval = toy_evaluator();
+        let res = HyperMapper::new(toy_space(), quick_config(17)).run(&eval);
+        let mut prev = 0.0f64;
+        for it in &res.iterations {
+            // Note: reference point shifts as worse samples arrive, so use a
+            // loose check — the final HV must be at least the first.
+            prev = prev.max(it.hypervolume);
+        }
+        if let (Some(first), Some(last)) = (res.iterations.first(), res.iterations.last()) {
+            assert!(last.hypervolume >= first.hypervolume * 0.5);
+        }
+        let _ = prev;
+    }
+
+    #[test]
+    fn single_objective_works() {
+        let space = ParamSpace::builder()
+            .ordinal("x", (0..100).map(f64::from))
+            .build()
+            .unwrap();
+        let eval = FnEvaluator::new(1, |c| {
+            let x = c.value_f64(0);
+            vec![(x - 63.0).abs()]
+        });
+        let cfg = OptimizerConfig {
+            random_samples: 10,
+            max_iterations: 5,
+            pool_size: 100,
+            forest: ForestConfig { n_trees: 15, ..Default::default() },
+            seed: 2,
+            ..Default::default()
+        };
+        let res = HyperMapper::new(space, cfg).run(&eval);
+        let best = res.best_by_objective(0).unwrap();
+        // The optimum (x = 63) should be found or closely approached.
+        assert!(best.objectives[0] <= 5.0, "best {:?}", best.objectives);
+    }
+}

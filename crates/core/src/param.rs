@@ -1,0 +1,151 @@
+//! Parameter definitions.
+
+use serde::{Deserialize, Serialize};
+
+/// The domain of a single tunable parameter.
+///
+/// HyperMapper explores *finite* algorithmic spaces (the paper's KFusion
+/// space has ~1.8 M points, ElasticFusion ~450 K), so every domain is an
+/// explicit finite set; a configuration stores one choice index per
+/// parameter.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Domain {
+    /// Ordered numeric values, e.g. `µ ∈ {0.0125, 0.025, …}`. Order matters
+    /// to the surrogate model (the feature is the numeric value itself).
+    Ordinal(Vec<f64>),
+    /// Unordered labeled alternatives, e.g. an implementation choice.
+    /// Encoded for the surrogate by choice index.
+    Categorical(Vec<String>),
+    /// A binary flag (ElasticFusion's SO3 / open-loop / relocalisation /
+    /// fast-odometry / frame-to-frame-RGB switches).
+    Boolean,
+}
+
+impl Domain {
+    /// Number of possible choices.
+    pub fn cardinality(&self) -> usize {
+        match self {
+            Domain::Ordinal(v) => v.len(),
+            Domain::Categorical(v) => v.len(),
+            Domain::Boolean => 2,
+        }
+    }
+
+    /// Numeric value of choice `idx` as fed to the surrogate model
+    /// (before any log transform).
+    pub fn numeric_value(&self, idx: usize) -> f64 {
+        match self {
+            Domain::Ordinal(v) => v[idx],
+            Domain::Categorical(_) => idx as f64,
+            Domain::Boolean => idx as f64,
+        }
+    }
+
+    /// Human-readable form of choice `idx`.
+    pub fn label(&self, idx: usize) -> String {
+        match self {
+            Domain::Ordinal(v) => format!("{}", v[idx]),
+            Domain::Categorical(v) => v[idx].clone(),
+            Domain::Boolean => if idx == 1 { "true".into() } else { "false".into() },
+        }
+    }
+
+    /// Index of the ordinal value closest to `x` (panics on empty domain,
+    /// which the builder prevents). For categorical/boolean domains, `x`
+    /// is treated as an index.
+    pub fn nearest_index(&self, x: f64) -> usize {
+        match self {
+            Domain::Ordinal(v) => {
+                let mut best = 0;
+                let mut best_d = f64::INFINITY;
+                for (i, &val) in v.iter().enumerate() {
+                    let d = (val - x).abs();
+                    if d < best_d {
+                        best_d = d;
+                        best = i;
+                    }
+                }
+                best
+            }
+            _ => (x.round().max(0.0) as usize).min(self.cardinality() - 1),
+        }
+    }
+}
+
+/// A named parameter with its domain and feature-encoding hint.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ParamDef {
+    /// Unique name, e.g. `"volume-resolution"`.
+    pub name: String,
+    /// Set of allowed values.
+    pub domain: Domain,
+    /// When true the surrogate feature is `log10(value)` — appropriate for
+    /// parameters spanning orders of magnitude (µ, the ICP threshold).
+    pub log_feature: bool,
+}
+
+impl ParamDef {
+    /// Surrogate feature value for choice `idx`.
+    pub fn feature(&self, idx: usize) -> f64 {
+        let v = self.domain.numeric_value(idx);
+        if self.log_feature {
+            // Guard against log(0): clamp to a tiny positive value.
+            v.max(1e-300).log10()
+        } else {
+            v
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cardinalities() {
+        assert_eq!(Domain::Ordinal(vec![1.0, 2.0, 3.0]).cardinality(), 3);
+        assert_eq!(Domain::Categorical(vec!["a".into(), "b".into()]).cardinality(), 2);
+        assert_eq!(Domain::Boolean.cardinality(), 2);
+    }
+
+    #[test]
+    fn numeric_values_and_labels() {
+        let d = Domain::Ordinal(vec![0.5, 1.5]);
+        assert_eq!(d.numeric_value(1), 1.5);
+        assert_eq!(d.label(0), "0.5");
+        let c = Domain::Categorical(vec!["foo".into(), "bar".into()]);
+        assert_eq!(c.numeric_value(1), 1.0);
+        assert_eq!(c.label(1), "bar");
+        assert_eq!(Domain::Boolean.label(1), "true");
+        assert_eq!(Domain::Boolean.label(0), "false");
+    }
+
+    #[test]
+    fn nearest_index_ordinal() {
+        let d = Domain::Ordinal(vec![1.0, 2.0, 4.0, 8.0]);
+        assert_eq!(d.nearest_index(0.0), 0);
+        assert_eq!(d.nearest_index(2.4), 1);
+        assert_eq!(d.nearest_index(3.1), 2);
+        assert_eq!(d.nearest_index(100.0), 3);
+    }
+
+    #[test]
+    fn nearest_index_bool_clamps() {
+        assert_eq!(Domain::Boolean.nearest_index(-3.0), 0);
+        assert_eq!(Domain::Boolean.nearest_index(0.6), 1);
+        assert_eq!(Domain::Boolean.nearest_index(9.0), 1);
+    }
+
+    #[test]
+    fn log_feature_encoding() {
+        let p = ParamDef {
+            name: "icp-threshold".into(),
+            domain: Domain::Ordinal(vec![1e-6, 1e-3, 1e-1]),
+            log_feature: true,
+        };
+        assert!((p.feature(0) - (-6.0)).abs() < 1e-9);
+        assert!((p.feature(2) - (-1.0)).abs() < 1e-9);
+        let linear = ParamDef { name: "x".into(), domain: Domain::Ordinal(vec![5.0]), log_feature: false };
+        assert_eq!(linear.feature(0), 5.0);
+    }
+}

@@ -1,0 +1,230 @@
+//! Pareto-dominance machinery (all objectives are **minimized**).
+
+/// True when `a` Pareto-dominates `b`: `a` is no worse in every objective
+/// and strictly better in at least one.
+///
+/// # Panics
+/// If the two points have different arity.
+pub fn dominates(a: &[f64], b: &[f64]) -> bool {
+    assert_eq!(a.len(), b.len(), "objective arity mismatch");
+    let mut strictly_better = false;
+    for (x, y) in a.iter().zip(b) {
+        if x > y {
+            return false;
+        }
+        if x < y {
+            strictly_better = true;
+        }
+    }
+    strictly_better
+}
+
+/// Indices of the non-dominated points among `points` (each a slice of
+/// minimized objectives). Duplicated non-dominated points are all kept.
+///
+/// Dispatches to the fast sort-based routine for the bi-objective case
+/// (the paper's accuracy/runtime setting) and falls back to the general
+/// O(n²) scan otherwise.
+pub fn pareto_front(points: &[Vec<f64>]) -> Vec<usize> {
+    if points.is_empty() {
+        return Vec::new();
+    }
+    if points[0].len() == 2 {
+        return pareto_front_2d_impl(points.len(), |i| (points[i][0], points[i][1]));
+    }
+    let mut front = Vec::new();
+    'outer: for (i, p) in points.iter().enumerate() {
+        for (j, q) in points.iter().enumerate() {
+            if i != j && dominates(q, p) {
+                continue 'outer;
+            }
+        }
+        front.push(i);
+    }
+    front
+}
+
+/// Fast bi-objective Pareto front over `(x, y)` pairs: sort by `x` then
+/// sweep keeping points that improve the best `y` seen so far.
+/// Returns indices into the original slice, sorted by ascending `x`.
+pub fn pareto_front_2d(points: &[(f64, f64)]) -> Vec<usize> {
+    pareto_front_2d_impl(points.len(), |i| points[i])
+}
+
+fn pareto_front_2d_impl(n: usize, get: impl Fn(usize) -> (f64, f64)) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..n).collect();
+    // Sort by x, tie-break by y, so the sweep sees the best y first among
+    // equal-x points.
+    order.sort_by(|&a, &b| {
+        let (ax, ay) = get(a);
+        let (bx, by) = get(b);
+        ax.partial_cmp(&bx)
+            .expect("finite objectives")
+            .then(ay.partial_cmp(&by).expect("finite objectives"))
+    });
+    let mut front = Vec::new();
+    let mut best_y = f64::INFINITY;
+    let mut last_x = f64::NEG_INFINITY;
+    for &i in &order {
+        let (x, y) = get(i);
+        if y < best_y || (y == best_y && x == last_x) {
+            // Keep duplicates of an accepted point; a strictly worse-or-equal
+            // y at larger x is dominated.
+            if y < best_y {
+                best_y = y;
+                last_x = x;
+                front.push(i);
+            } else if x == last_x {
+                front.push(i);
+            }
+        }
+    }
+    front
+}
+
+/// Hypervolume (area) dominated by the bi-objective front of `points`,
+/// bounded by the reference point `(ref_x, ref_y)` (must be weakly worse
+/// than every point considered). Points beyond the reference are ignored.
+///
+/// This is the scalar progress measure used to compare random sampling vs.
+/// active learning across iterations.
+pub fn hypervolume_2d(points: &[(f64, f64)], reference: (f64, f64)) -> f64 {
+    let in_box: Vec<(f64, f64)> = points
+        .iter()
+        .copied()
+        .filter(|&(x, y)| x <= reference.0 && y <= reference.1)
+        .collect();
+    if in_box.is_empty() {
+        return 0.0;
+    }
+    let front = pareto_front_2d(&in_box);
+    // Front is sorted by ascending x (descending y); accumulate slabs.
+    let mut area = 0.0;
+    let mut prev_y = reference.1;
+    for &i in &front {
+        let (x, y) = in_box[i];
+        if y >= prev_y {
+            continue; // duplicate kept by the front routine
+        }
+        area += (reference.0 - x) * (prev_y - y);
+        prev_y = y;
+    }
+    area
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dominance_basics() {
+        assert!(dominates(&[1.0, 1.0], &[2.0, 2.0]));
+        assert!(dominates(&[1.0, 2.0], &[2.0, 2.0]));
+        assert!(!dominates(&[2.0, 2.0], &[1.0, 1.0]));
+        assert!(!dominates(&[1.0, 3.0], &[2.0, 2.0])); // trade-off
+        assert!(!dominates(&[1.0, 1.0], &[1.0, 1.0])); // equal: not strict
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn dominance_arity_checked() {
+        dominates(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn front_of_convex_set() {
+        let pts = vec![
+            (1.0, 5.0),
+            (2.0, 3.0),
+            (3.0, 4.0), // dominated by (2,3)
+            (4.0, 2.0),
+            (5.0, 2.5), // dominated by (4,2)
+            (6.0, 1.0),
+        ];
+        let mut front = pareto_front_2d(&pts);
+        front.sort_unstable();
+        assert_eq!(front, vec![0, 1, 3, 5]);
+    }
+
+    #[test]
+    fn front_2d_matches_general() {
+        // Deterministic pseudo-random points.
+        let pts: Vec<(f64, f64)> = (0..200u64)
+            .map(|i| {
+                let x = ((i.wrapping_mul(2654435761)) % 1000) as f64;
+                let y = ((i.wrapping_mul(40503).wrapping_add(17)) % 1000) as f64;
+                (x, y)
+            })
+            .collect();
+        let as_vecs: Vec<Vec<f64>> = pts.iter().map(|&(x, y)| vec![x, y]).collect();
+        let mut a = pareto_front_2d(&pts);
+        let mut b = pareto_front(&as_vecs);
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn front_general_3d() {
+        let pts = vec![
+            vec![1.0, 1.0, 1.0], // dominated by [1, 1, 0.5]
+            vec![2.0, 2.0, 2.0], // dominated
+            vec![0.5, 3.0, 1.0], // trade-off: kept
+            vec![1.0, 1.0, 0.5], // kept
+        ];
+        let mut front = pareto_front(&pts);
+        front.sort_unstable();
+        assert_eq!(front, vec![2, 3]);
+    }
+
+    #[test]
+    fn front_with_duplicates_keeps_all_copies() {
+        let pts = vec![(1.0, 1.0), (1.0, 1.0), (2.0, 0.5)];
+        let front = pareto_front_2d(&pts);
+        assert_eq!(front.len(), 3);
+    }
+
+    #[test]
+    fn front_of_single_point() {
+        assert_eq!(pareto_front_2d(&[(3.0, 4.0)]), vec![0]);
+        assert_eq!(pareto_front(&[]), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn front_all_on_a_line() {
+        // Strictly decreasing y with increasing x: everything is optimal.
+        let pts: Vec<(f64, f64)> = (0..10).map(|i| (i as f64, -(i as f64))).collect();
+        assert_eq!(pareto_front_2d(&pts).len(), 10);
+        // Strictly increasing y: only the first point survives.
+        let pts: Vec<(f64, f64)> = (0..10).map(|i| (i as f64, i as f64)).collect();
+        assert_eq!(pareto_front_2d(&pts), vec![0]);
+    }
+
+    #[test]
+    fn hypervolume_single_point() {
+        let hv = hypervolume_2d(&[(1.0, 1.0)], (3.0, 3.0));
+        assert!((hv - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hypervolume_two_points_staircase() {
+        let hv = hypervolume_2d(&[(1.0, 2.0), (2.0, 1.0)], (3.0, 3.0));
+        // (3-1)*(3-2) + (3-2)*(2-1) = 2 + 1 = 3
+        assert!((hv - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hypervolume_ignores_out_of_box_and_dominated() {
+        let hv1 = hypervolume_2d(&[(1.0, 1.0), (2.0, 2.0), (10.0, 0.0)], (3.0, 3.0));
+        let hv2 = hypervolume_2d(&[(1.0, 1.0)], (3.0, 3.0));
+        assert!((hv1 - hv2).abs() < 1e-12);
+        assert_eq!(hypervolume_2d(&[], (1.0, 1.0)), 0.0);
+    }
+
+    #[test]
+    fn hypervolume_monotone_under_improvement() {
+        let base = hypervolume_2d(&[(2.0, 2.0)], (4.0, 4.0));
+        let better = hypervolume_2d(&[(2.0, 2.0), (1.0, 3.0)], (4.0, 4.0));
+        assert!(better > base);
+    }
+}

@@ -1,0 +1,450 @@
+//! Finite cartesian parameter spaces and configurations.
+
+use crate::error::HmError;
+use crate::param::{Domain, ParamDef};
+use serde::{Deserialize, Serialize};
+
+/// One point in a [`ParamSpace`]: a choice index per parameter, plus the
+/// decoded numeric values so evaluators never need the space to read a
+/// configuration.
+///
+/// Equality and hashing consider only the choice indices, which makes
+/// de-duplication across active-learning iterations trivial.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Configuration {
+    choices: Vec<u32>,
+    values: Vec<f64>,
+}
+
+impl PartialEq for Configuration {
+    fn eq(&self, other: &Self) -> bool {
+        self.choices == other.choices
+    }
+}
+
+impl Eq for Configuration {}
+
+impl std::hash::Hash for Configuration {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.choices.hash(state);
+    }
+}
+
+impl Configuration {
+    /// Choice index of parameter `i`.
+    #[inline]
+    pub fn choice(&self, i: usize) -> usize {
+        self.choices[i] as usize
+    }
+
+    /// All choice indices.
+    pub fn choices(&self) -> &[u32] {
+        &self.choices
+    }
+
+    /// Numeric value of parameter `i` (ordinal value, or choice index for
+    /// categorical/boolean parameters).
+    #[inline]
+    pub fn value_f64(&self, i: usize) -> f64 {
+        self.values[i]
+    }
+
+    /// Numeric value rounded to the nearest integer — convenient for rate
+    /// and resolution parameters.
+    #[inline]
+    pub fn value_usize(&self, i: usize) -> usize {
+        self.values[i].round().max(0.0) as usize
+    }
+
+    /// Boolean flag value of parameter `i`.
+    #[inline]
+    pub fn value_bool(&self, i: usize) -> bool {
+        self.choices[i] == 1
+    }
+
+    /// All decoded numeric values.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Number of parameters.
+    pub fn len(&self) -> usize {
+        self.choices.len()
+    }
+
+    /// True for the (invalid) zero-parameter configuration.
+    pub fn is_empty(&self) -> bool {
+        self.choices.is_empty()
+    }
+}
+
+/// A finite cartesian product of parameter domains.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ParamSpace {
+    params: Vec<ParamDef>,
+}
+
+/// Builder for [`ParamSpace`].
+#[derive(Debug, Default)]
+pub struct SpaceBuilder {
+    params: Vec<ParamDef>,
+}
+
+impl SpaceBuilder {
+    /// Add an ordered numeric parameter.
+    pub fn ordinal<I: IntoIterator<Item = f64>>(mut self, name: &str, values: I) -> Self {
+        self.params.push(ParamDef {
+            name: name.to_string(),
+            domain: Domain::Ordinal(values.into_iter().collect()),
+            log_feature: false,
+        });
+        self
+    }
+
+    /// Add an ordered numeric parameter whose surrogate feature is
+    /// `log10(value)` (for ranges spanning decades, e.g. the ICP threshold).
+    pub fn ordinal_log<I: IntoIterator<Item = f64>>(mut self, name: &str, values: I) -> Self {
+        self.params.push(ParamDef {
+            name: name.to_string(),
+            domain: Domain::Ordinal(values.into_iter().collect()),
+            log_feature: true,
+        });
+        self
+    }
+
+    /// Add an unordered categorical parameter.
+    pub fn categorical<I, S>(mut self, name: &str, labels: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.params.push(ParamDef {
+            name: name.to_string(),
+            domain: Domain::Categorical(labels.into_iter().map(Into::into).collect()),
+            log_feature: false,
+        });
+        self
+    }
+
+    /// Add a boolean flag.
+    pub fn boolean(mut self, name: &str) -> Self {
+        self.params.push(ParamDef {
+            name: name.to_string(),
+            domain: Domain::Boolean,
+            log_feature: false,
+        });
+        self
+    }
+
+    /// Validate and produce the space.
+    pub fn build(self) -> Result<ParamSpace, HmError> {
+        if self.params.is_empty() {
+            return Err(HmError::EmptySpace);
+        }
+        let mut seen = std::collections::HashSet::new();
+        for p in &self.params {
+            if !seen.insert(p.name.clone()) {
+                return Err(HmError::DuplicateParam(p.name.clone()));
+            }
+            if p.domain.cardinality() == 0 {
+                return Err(HmError::EmptyDomain(p.name.clone()));
+            }
+            if let Domain::Ordinal(values) = &p.domain {
+                if values.iter().any(|v| !v.is_finite()) {
+                    return Err(HmError::NonFiniteValue(p.name.clone()));
+                }
+            }
+        }
+        Ok(ParamSpace { params: self.params })
+    }
+}
+
+impl ParamSpace {
+    /// Start building a space.
+    pub fn builder() -> SpaceBuilder {
+        SpaceBuilder::default()
+    }
+
+    /// The parameter definitions, in declaration order.
+    pub fn params(&self) -> &[ParamDef] {
+        &self.params
+    }
+
+    /// Number of parameters (= surrogate feature width).
+    pub fn n_params(&self) -> usize {
+        self.params.len()
+    }
+
+    /// Index of the parameter named `name`.
+    pub fn param_index(&self, name: &str) -> Option<usize> {
+        self.params.iter().position(|p| p.name == name)
+    }
+
+    /// Total number of configurations (saturating at `u64::MAX`).
+    pub fn size(&self) -> u64 {
+        self.params
+            .iter()
+            .fold(1u64, |acc, p| acc.saturating_mul(p.domain.cardinality() as u64))
+    }
+
+    /// The configuration at flat index `flat` under mixed-radix encoding
+    /// (first declared parameter varies slowest).
+    ///
+    /// # Panics
+    /// If `flat >= self.size()`.
+    pub fn config_at(&self, flat: u64) -> Configuration {
+        assert!(flat < self.size(), "flat index {flat} out of range");
+        let mut rem = flat;
+        let mut choices = vec![0u32; self.params.len()];
+        for (i, p) in self.params.iter().enumerate().rev() {
+            let card = p.domain.cardinality() as u64;
+            choices[i] = (rem % card) as u32;
+            rem /= card;
+        }
+        self.config_from_choices(choices)
+    }
+
+    /// Build a configuration from raw choice indices, decoding the numeric
+    /// values.
+    ///
+    /// # Panics
+    /// If the arity or any choice index is out of range.
+    pub fn config_from_choices(&self, choices: Vec<u32>) -> Configuration {
+        assert_eq!(choices.len(), self.params.len(), "choice count mismatch");
+        let values = self
+            .params
+            .iter()
+            .zip(&choices)
+            .map(|(p, &c)| {
+                assert!(
+                    (c as usize) < p.domain.cardinality(),
+                    "choice {c} out of range for `{}`",
+                    p.name
+                );
+                p.domain.numeric_value(c as usize)
+            })
+            .collect();
+        Configuration { choices, values }
+    }
+
+    /// Flat index of `config` (inverse of [`ParamSpace::config_at`]).
+    pub fn flat_index(&self, config: &Configuration) -> u64 {
+        debug_assert_eq!(config.len(), self.params.len());
+        let mut flat = 0u64;
+        for (i, p) in self.params.iter().enumerate() {
+            flat = flat * p.domain.cardinality() as u64 + config.choices[i] as u64;
+        }
+        flat
+    }
+
+    /// Whether every choice index is within its domain.
+    pub fn contains(&self, config: &Configuration) -> bool {
+        config.len() == self.params.len()
+            && config
+                .choices
+                .iter()
+                .zip(&self.params)
+                .all(|(&c, p)| (c as usize) < p.domain.cardinality())
+    }
+
+    /// Numeric value of parameter `i` in `config`.
+    pub fn value_f64(&self, config: &Configuration, i: usize) -> f64 {
+        self.params[i].domain.numeric_value(config.choice(i))
+    }
+
+    /// Boolean value of flag parameter `i` in `config`.
+    pub fn value_bool(&self, config: &Configuration, i: usize) -> bool {
+        config.choice(i) == 1
+    }
+
+    /// Numeric value of the parameter named `name`.
+    pub fn value_by_name(&self, config: &Configuration, name: &str) -> Option<f64> {
+        self.param_index(name).map(|i| self.value_f64(config, i))
+    }
+
+    /// Surrogate feature vector for `config` (one feature per parameter;
+    /// ordinal → value or log10(value), categorical/bool → index).
+    pub fn features(&self, config: &Configuration) -> Vec<f64> {
+        self.params
+            .iter()
+            .enumerate()
+            .map(|(i, p)| p.feature(config.choice(i)))
+            .collect()
+    }
+
+    /// Write the feature vector into `out` (for batch buffers).
+    pub fn write_features(&self, config: &Configuration, out: &mut Vec<f64>) {
+        for (i, p) in self.params.iter().enumerate() {
+            out.push(p.feature(config.choice(i)));
+        }
+    }
+
+    /// Human-readable `name=value` listing.
+    pub fn describe(&self, config: &Configuration) -> String {
+        self.params
+            .iter()
+            .enumerate()
+            .map(|(i, p)| format!("{}={}", p.name, p.domain.label(config.choice(i))))
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
+
+    /// The configuration with every choice nearest to the given numeric
+    /// values, e.g. to express a known default configuration.
+    pub fn config_from_values(&self, values: &[f64]) -> Configuration {
+        assert_eq!(values.len(), self.params.len(), "value count mismatch");
+        let choices = self
+            .params
+            .iter()
+            .zip(values)
+            .map(|(p, &v)| p.domain.nearest_index(v) as u32)
+            .collect();
+        self.config_from_choices(choices)
+    }
+
+    /// Iterate over all configurations — only sensible for small spaces;
+    /// use sampling for the paper-scale spaces.
+    pub fn iter_all(&self) -> impl Iterator<Item = Configuration> + '_ {
+        (0..self.size()).map(move |i| self.config_at(i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_space() -> ParamSpace {
+        ParamSpace::builder()
+            .ordinal("a", [1.0, 2.0, 3.0])
+            .boolean("b")
+            .categorical("c", ["x", "y", "z", "w"])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn size_is_product_of_cardinalities() {
+        assert_eq!(small_space().size(), 3 * 2 * 4);
+    }
+
+    #[test]
+    fn flat_index_roundtrip_all() {
+        let s = small_space();
+        for flat in 0..s.size() {
+            let c = s.config_at(flat);
+            assert!(s.contains(&c));
+            assert_eq!(s.flat_index(&c), flat);
+        }
+    }
+
+    #[test]
+    fn iter_all_yields_distinct_configs() {
+        let s = small_space();
+        let all: std::collections::HashSet<_> = s.iter_all().collect();
+        assert_eq!(all.len() as u64, s.size());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn config_at_out_of_range_panics() {
+        let s = small_space();
+        s.config_at(s.size());
+    }
+
+    #[test]
+    fn values_and_describe() {
+        let s = small_space();
+        let c = s.config_from_choices(vec![2, 1, 0]);
+        assert_eq!(s.value_f64(&c, 0), 3.0);
+        assert!(s.value_bool(&c, 1));
+        assert_eq!(c.value_f64(0), 3.0);
+        assert!(c.value_bool(1));
+        assert_eq!(c.value_usize(0), 3);
+        assert_eq!(s.value_by_name(&c, "a"), Some(3.0));
+        assert_eq!(s.value_by_name(&c, "missing"), None);
+        let d = s.describe(&c);
+        assert!(d.contains("a=3") && d.contains("b=true") && d.contains("c=x"), "{d}");
+    }
+
+    #[test]
+    fn features_respect_log_hint() {
+        let s = ParamSpace::builder()
+            .ordinal_log("thr", [1e-4, 1e-2])
+            .ordinal("lin", [10.0, 20.0])
+            .build()
+            .unwrap();
+        let c = s.config_from_choices(vec![0, 1]);
+        let f = s.features(&c);
+        assert!((f[0] + 4.0).abs() < 1e-9);
+        assert_eq!(f[1], 20.0);
+        let mut buf = Vec::new();
+        s.write_features(&c, &mut buf);
+        assert_eq!(buf, f);
+    }
+
+    #[test]
+    fn config_from_values_snaps_to_nearest() {
+        let s = small_space();
+        let c = s.config_from_values(&[2.4, 1.0, 2.0]);
+        assert_eq!(c.choices(), &[1, 1, 2]);
+    }
+
+    #[test]
+    fn builder_rejects_bad_spaces() {
+        assert_eq!(ParamSpace::builder().build().unwrap_err(), HmError::EmptySpace);
+        let dup = ParamSpace::builder()
+            .ordinal("a", [1.0])
+            .boolean("a")
+            .build()
+            .unwrap_err();
+        assert_eq!(dup, HmError::DuplicateParam("a".into()));
+        let empty = ParamSpace::builder().ordinal("v", []).build().unwrap_err();
+        assert_eq!(empty, HmError::EmptyDomain("v".into()));
+        let nan = ParamSpace::builder().ordinal("n", [f64::NAN]).build().unwrap_err();
+        assert_eq!(nan, HmError::NonFiniteValue("n".into()));
+    }
+
+    #[test]
+    fn contains_accepts_all_valid_configs() {
+        let s = small_space();
+        for c in s.iter_all() {
+            assert!(s.contains(&c));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn config_from_choices_rejects_bad_index() {
+        let s = small_space();
+        s.config_from_choices(vec![3, 0, 0]); // a has only 3 choices
+    }
+
+    #[test]
+    #[should_panic(expected = "choice count")]
+    fn config_from_choices_rejects_bad_arity() {
+        let s = small_space();
+        s.config_from_choices(vec![0, 0]);
+    }
+
+    #[test]
+    fn paper_scale_space_size() {
+        // The KFusion-like product reaches 1.8M as in the paper.
+        let s = ParamSpace::builder()
+            .ordinal("volume", [64.0, 128.0, 256.0])
+            .ordinal("mu", (0..6).map(|i| 0.0125 * 2f64.powi(i)))
+            .ordinal("csr", [1.0, 2.0, 4.0, 8.0])
+            .ordinal("tracking", (1..=5).map(f64::from))
+            .ordinal_log("icp", (0..5).map(|i| 10f64.powi(-(i as i32) - 1)))
+            .ordinal("integration", (1..=10).map(f64::from))
+            .ordinal("pyr0", (1..=5).map(f64::from))
+            .ordinal("pyr1", (0..=4).map(f64::from))
+            .ordinal("pyr2", (0..=3).map(f64::from))
+            .build()
+            .unwrap();
+        assert_eq!(s.size(), 1_800_000);
+        // Round-trip a few scattered flat indices.
+        for flat in [0u64, 1, 997, 123_456, 1_799_999] {
+            assert_eq!(s.flat_index(&s.config_at(flat)), flat);
+        }
+    }
+}

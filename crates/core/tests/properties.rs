@@ -1,0 +1,145 @@
+//! Property-based tests for spaces, Pareto machinery and the optimizer.
+
+use hypermapper::{
+    dominates, hypervolume_2d, pareto_front, pareto_front_2d, sample_distinct, Configuration,
+    Evaluator, FnEvaluator, HyperMapper, OptimizerConfig, ParamSpace,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashSet;
+
+fn points_2d() -> impl Strategy<Value = Vec<(f64, f64)>> {
+    prop::collection::vec((0.0f64..100.0, 0.0f64..100.0), 1..80)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// No point on the front is dominated by any sampled point.
+    #[test]
+    fn front_points_are_nondominated(pts in points_2d()) {
+        let front = pareto_front_2d(&pts);
+        for &i in &front {
+            for (j, q) in pts.iter().enumerate() {
+                if i != j {
+                    prop_assert!(
+                        !dominates(&[q.0, q.1], &[pts[i].0, pts[i].1]),
+                        "front point {:?} dominated by {:?}", pts[i], q
+                    );
+                }
+            }
+        }
+    }
+
+    /// Every non-front point is dominated by some front point (or is a
+    /// duplicate of one).
+    #[test]
+    fn non_front_points_are_dominated(pts in points_2d()) {
+        let front: HashSet<usize> = pareto_front_2d(&pts).into_iter().collect();
+        for (j, q) in pts.iter().enumerate() {
+            if front.contains(&j) {
+                continue;
+            }
+            let covered = front.iter().any(|&i| {
+                dominates(&[pts[i].0, pts[i].1], &[q.0, q.1]) || pts[i] == *q
+            });
+            prop_assert!(covered, "point {:?} neither on front nor dominated", q);
+        }
+    }
+
+    /// The 2D fast path agrees with the general N-D routine.
+    #[test]
+    fn fast_path_matches_general(pts in points_2d()) {
+        let as_vec: Vec<Vec<f64>> = pts.iter().map(|&(x, y)| vec![x, y]).collect();
+        let mut a = pareto_front_2d(&pts);
+        let mut b = pareto_front(&as_vec);
+        a.sort_unstable();
+        b.sort_unstable();
+        prop_assert_eq!(a, b);
+    }
+
+    /// Hypervolume is monotone: adding points never shrinks it.
+    #[test]
+    fn hypervolume_monotone(pts in points_2d(), extra in (0.0f64..100.0, 0.0f64..100.0)) {
+        let reference = (150.0, 150.0);
+        let hv1 = hypervolume_2d(&pts, reference);
+        let mut pts2 = pts.clone();
+        pts2.push(extra);
+        let hv2 = hypervolume_2d(&pts2, reference);
+        prop_assert!(hv2 + 1e-9 >= hv1);
+        // And bounded by the reference box.
+        prop_assert!(hv2 <= 150.0 * 150.0 + 1e-9);
+    }
+
+    /// Flat-index round trip for arbitrary (small) spaces.
+    #[test]
+    fn space_roundtrip(card in prop::collection::vec(1usize..6, 1..6), probe in 0u64..10_000) {
+        let mut b = ParamSpace::builder();
+        for (i, &c) in card.iter().enumerate() {
+            b = b.ordinal(&format!("p{i}"), (0..c).map(|v| v as f64));
+        }
+        let space = b.build().unwrap();
+        let flat = probe % space.size();
+        let config = space.config_at(flat);
+        prop_assert_eq!(space.flat_index(&config), flat);
+        prop_assert!(space.contains(&config));
+    }
+
+    /// Distinct sampling returns the requested count of unique configs.
+    #[test]
+    fn distinct_sampling(seed in 0u64..500, n in 1usize..40) {
+        let space = ParamSpace::builder()
+            .ordinal("a", (0..8).map(f64::from))
+            .ordinal("b", (0..8).map(f64::from))
+            .build()
+            .unwrap();
+        let n = n.min(space.size() as usize);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let samples = sample_distinct(&space, n, &HashSet::new(), &mut rng).unwrap();
+        let unique: HashSet<u64> = samples.iter().map(|c| space.flat_index(c)).collect();
+        prop_assert_eq!(unique.len(), n);
+    }
+}
+
+/// The measured Pareto front of a full exploration dominates-or-equals the
+/// front from the random phase alone (same seed ⇒ same random phase).
+#[test]
+fn active_learning_never_hurts_front() {
+    let space = ParamSpace::builder()
+        .ordinal("x", (0..30).map(|i| i as f64 * 0.3))
+        .ordinal("y", (0..30).map(|i| i as f64 * 0.3))
+        .build()
+        .unwrap();
+    let eval = FnEvaluator::new(2, |c: &Configuration| {
+        let x = c.value_f64(0);
+        let y = c.value_f64(1);
+        vec![x + (y * 2.0).sin().abs(), 9.0 - x + (y - 4.0).abs() * 0.5]
+    });
+    for seed in [1u64, 5, 9] {
+        let cfg = OptimizerConfig {
+            random_samples: 40,
+            max_iterations: 3,
+            pool_size: 900,
+            seed,
+            ..Default::default()
+        };
+        let res = HyperMapper::new(space.clone(), cfg).run(&eval);
+        let full: Vec<(f64, f64)> = res
+            .pareto_samples()
+            .iter()
+            .map(|s| (s.objectives[0], s.objectives[1]))
+            .collect();
+        let rand_front: Vec<(f64, f64)> = res
+            .random_phase_front()
+            .iter()
+            .map(|s| (s.objectives[0], s.objectives[1]))
+            .collect();
+        let reference = (50.0, 50.0);
+        assert!(
+            hypervolume_2d(&full, reference) + 1e-9 >= hypervolume_2d(&rand_front, reference),
+            "seed {seed}"
+        );
+    }
+    let _ = eval.n_objectives();
+}

@@ -1,0 +1,123 @@
+//! The crowd-sourcing device catalog.
+//!
+//! The paper's Android app collected results from 83 phones and tablets.
+//! This module generates 83 deterministic device models spanning the
+//! 2013–2017 mobile SoC landscape (mostly ARM Mali/Adreno/PowerVR parts,
+//! as in the paper's crowd), each with its own kernel-throughput balance.
+
+use crate::platform::DeviceModel;
+
+/// SoC families seeding the catalog: (name, relative GPU compute,
+/// relative memory bandwidth, relative overhead).
+const SOC_FAMILIES: [(&str, f64, f64, f64); 21] = [
+    ("Snapdragon 400 / Adreno 305", 0.25, 0.35, 1.8),
+    ("Snapdragon 600 / Adreno 320", 0.45, 0.55, 1.5),
+    ("Snapdragon 800 / Adreno 330", 0.75, 0.80, 1.2),
+    ("Snapdragon 801 / Adreno 330", 0.80, 0.85, 1.2),
+    ("Snapdragon 805 / Adreno 420", 1.05, 1.10, 1.1),
+    ("Snapdragon 810 / Adreno 430", 1.25, 1.20, 1.0),
+    ("Snapdragon 820 / Adreno 530", 1.90, 1.60, 0.9),
+    ("Exynos 5420 / Mali-T628", 0.95, 0.90, 1.2),
+    ("Exynos 5422 / Mali-T628", 1.00, 1.00, 1.0),
+    ("Exynos 5433 / Mali-T760", 1.25, 1.15, 1.0),
+    ("Exynos 7420 / Mali-T760", 1.55, 1.40, 0.9),
+    ("Exynos 8890 / Mali-T880", 2.00, 1.70, 0.85),
+    ("Kirin 925 / Mali-T628", 0.90, 0.85, 1.3),
+    ("Kirin 935 / Mali-T628", 0.95, 0.90, 1.2),
+    ("Kirin 950 / Mali-T880", 1.60, 1.45, 0.95),
+    ("MediaTek MT6592 / Mali-450", 0.35, 0.45, 1.7),
+    ("MediaTek MT6752 / Mali-T760", 0.80, 0.75, 1.3),
+    ("MediaTek Helio X10 / PowerVR G6200", 0.85, 0.80, 1.25),
+    ("Tegra K1 / Kepler GK20A", 1.70, 1.30, 1.0),
+    ("Atom Z3580 / PowerVR G6430", 0.90, 0.95, 1.3),
+    ("Atom Z3795 / HD Graphics", 1.05, 1.05, 1.25),
+];
+
+/// Device form factors modulating the SoC's sustained performance and the
+/// driver/dispatch overhead (thermals, memory configuration, OpenCL driver
+/// quality): (suffix, performance multiplier, overhead multiplier).
+const FORMS: [(&str, f64, f64); 4] = [
+    ("phone", 0.85, 3.0),
+    ("phone (flagship)", 1.0, 1.2),
+    ("tablet", 1.05, 2.0),
+    ("tablet (budget)", 0.75, 7.0),
+];
+
+/// Deterministic catalog of exactly 83 crowd-sourced device models, built
+/// from SoC family × form factor with per-unit binning variation.
+pub fn crowd_devices() -> Vec<DeviceModel> {
+    // The ODROID-XU3 rates are the catalog's reference point (Exynos 5422).
+    let reference = crate::platform::odroid_xu3();
+    let mut devices = Vec::with_capacity(83);
+    let mut i = 0usize;
+    'outer: for (fi, (family, gpu, bw, ovh)) in SOC_FAMILIES.iter().enumerate() {
+        for (fo, (form, mult, ovh_mult)) in FORMS.iter().enumerate() {
+            if devices.len() == 83 {
+                break 'outer;
+            }
+            // Per-unit silicon/thermal variation, deterministic per slot.
+            let unit = 1.0 + 0.12 * crate::hash_noise((fi * 7 + fo) as u64, 0xC0FFEE);
+            let g = gpu * mult * unit;
+            let b = bw * mult * unit;
+            devices.push(DeviceModel {
+                name: format!("{family} {form}"),
+                filter_rate: reference.filter_rate * g,
+                icp_rate: reference.icp_rate * g,
+                integrate_rate: reference.integrate_rate * b,
+                raycast_rate: reference.raycast_rate * (0.5 * g + 0.5 * b),
+                frame_overhead: reference.frame_overhead * ovh * ovh_mult,
+                seed: 0xC0DE + i as u64,
+            });
+            i += 1;
+        }
+    }
+    // 21 families × 4 forms = 84 slots; the loop stops at exactly 83,
+    // matching the paper's crowd size.
+    debug_assert_eq!(devices.len(), 83);
+    devices
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exactly_83_devices() {
+        assert_eq!(crowd_devices().len(), 83);
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let devs = crowd_devices();
+        let names: std::collections::HashSet<_> = devs.iter().map(|d| d.name.clone()).collect();
+        assert_eq!(names.len(), devs.len());
+    }
+
+    #[test]
+    fn seeds_are_unique() {
+        let devs = crowd_devices();
+        let seeds: std::collections::HashSet<_> = devs.iter().map(|d| d.seed).collect();
+        assert_eq!(seeds.len(), devs.len());
+    }
+
+    #[test]
+    fn rates_positive_and_varied() {
+        let devs = crowd_devices();
+        for d in &devs {
+            assert!(d.icp_rate > 0.0 && d.integrate_rate > 0.0);
+        }
+        let min = devs.iter().map(|d| d.icp_rate).fold(f64::INFINITY, f64::min);
+        let max = devs.iter().map(|d| d.icp_rate).fold(0.0, f64::max);
+        // The market spans a wide performance range.
+        assert!(max / min > 3.0, "range {}..{}", min, max);
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = crowd_devices();
+        let b = crowd_devices();
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x, y);
+        }
+    }
+}

@@ -1,0 +1,69 @@
+//! Analytic performance/accuracy models of SLAM pipelines on real devices.
+//!
+//! The paper evaluates thousands of algorithmic configurations on physical
+//! hardware (ODROID-XU3, ASUS T200TA, an NVIDIA GTX 780 Ti desktop, and 83
+//! crowd-sourced Android devices). Those machines are not available here,
+//! so this crate substitutes them with **analytic device models** (see
+//! DESIGN.md §3):
+//!
+//! * [`cost`] — per-frame runtime as a sum of per-kernel cost terms whose
+//!   scaling in each algorithmic parameter follows the kernels' real
+//!   asymptotic complexity, divided by per-device throughput coefficients,
+//! * [`accuracy`] — trajectory error as an analytic function of the
+//!   algorithmic parameters, calibrated to the paper's reported numbers
+//!   (default KFusion ≈ 4.5 cm, default ElasticFusion ≈ 5.6 cm, Table I
+//!   Pareto points ≈ 2.7–4.2 cm),
+//! * [`platform`] — the three named platforms of the paper,
+//! * [`catalog`] — 83 parameterized mobile SoC models standing in for the
+//!   crowd-sourcing experiment.
+//!
+//! Both models add deterministic configuration-hashed perturbations so the
+//! response surfaces are non-convex and multi-modal like Fig. 1 of the
+//! paper — exactly the regime HyperMapper is designed for.
+
+pub mod accuracy;
+pub mod catalog;
+pub mod cost;
+pub mod platform;
+
+pub use accuracy::{ef_ate, kf_ate};
+pub use catalog::crowd_devices;
+pub use cost::{ef_frame_time, kf_frame_time, EfParams, KfParams};
+pub use platform::{asus_t200ta, gtx780ti, odroid_xu3, DeviceModel};
+
+/// Deterministic hash-based perturbation in `[-1, 1]` derived from a
+/// parameter fingerprint — used by both cost and accuracy models to create
+/// reproducible multi-modal structure.
+pub(crate) fn hash_noise(bits: u64, salt: u64) -> f64 {
+    let mut z = bits ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    (z >> 11) as f64 / (1u64 << 52) as f64 - 1.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_noise_in_range_and_deterministic() {
+        for i in 0..1000u64 {
+            let n = hash_noise(i, 7);
+            assert!((-1.0..=1.0).contains(&n));
+            assert_eq!(n, hash_noise(i, 7));
+        }
+    }
+
+    #[test]
+    fn hash_noise_salt_changes_values() {
+        let same = (0..100u64).filter(|&i| hash_noise(i, 1) == hash_noise(i, 2)).count();
+        assert!(same < 5);
+    }
+
+    #[test]
+    fn hash_noise_roughly_centered() {
+        let mean: f64 = (0..10_000u64).map(|i| hash_noise(i, 3)).sum::<f64>() / 10_000.0;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+    }
+}

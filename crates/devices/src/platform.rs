@@ -1,0 +1,107 @@
+//! Named device models.
+
+use serde::Serialize;
+
+/// Throughput coefficients of one device (operations per second per kernel
+/// class, plus a fixed per-frame overhead in seconds).
+///
+/// The absolute values are abstract "model ops"; only their ratios and the
+/// resulting frame times are meaningful. The three named presets are
+/// calibrated so the paper's anchor numbers hold: default KFusion ≈ 6 FPS
+/// on the ODROID-XU3 and default ElasticFusion ≈ 55 ms/frame (22.2 s per
+/// 400-frame sequence) on the GTX 780 Ti.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct DeviceModel {
+    /// Human-readable name.
+    pub name: String,
+    /// Image filtering (bilateral/pyramid) throughput.
+    pub filter_rate: f64,
+    /// ICP/odometry row throughput.
+    pub icp_rate: f64,
+    /// Volume/fusion throughput (memory-bandwidth bound).
+    pub integrate_rate: f64,
+    /// Raycast/prediction throughput.
+    pub raycast_rate: f64,
+    /// Fixed per-frame overhead in seconds (dispatch, transfers).
+    pub frame_overhead: f64,
+    /// Seed for the device's deterministic perturbations.
+    pub seed: u64,
+}
+
+/// The Hardkernel ODROID-XU3 (Exynos 5422, Mali-T628-MP6 4-core OpenCL
+/// device) — the paper's embedded KFusion platform.
+pub fn odroid_xu3() -> DeviceModel {
+    DeviceModel {
+        name: "ODROID-XU3 (Exynos 5422 / Mali-T628)".into(),
+        filter_rate: 1.1e9,
+        icp_rate: 6.5e8,
+        integrate_rate: 4.5e8,
+        raycast_rate: 7.5e8,
+        frame_overhead: 0.008,
+        seed: 0x0D801D,
+    }
+}
+
+/// The ASUS Transformer T200TA (Intel Atom Z3795 + HD Graphics, Beignet
+/// OpenCL) — the paper's second embedded platform. Slightly different
+/// kernel balance: stronger CPU-side filtering, weaker GPU raycast.
+pub fn asus_t200ta() -> DeviceModel {
+    DeviceModel {
+        name: "ASUS T200TA (Atom Z3795 / HD Graphics)".into(),
+        filter_rate: 1.5e9,
+        icp_rate: 7.5e8,
+        integrate_rate: 5.5e8,
+        raycast_rate: 6.0e8,
+        frame_overhead: 0.012,
+        seed: 0xA5_05,
+    }
+}
+
+/// The desktop machine (Ivy Bridge E5-1620 v2 + NVIDIA GTX 780 Ti, CUDA) —
+/// the paper's ElasticFusion platform.
+pub fn gtx780ti() -> DeviceModel {
+    DeviceModel {
+        name: "Desktop (E5-1620 v2 / GTX 780 Ti)".into(),
+        filter_rate: 2.0e10,
+        icp_rate: 9.0e9,
+        integrate_rate: 6.5e9,
+        raycast_rate: 1.0e10,
+        frame_overhead: 0.0015,
+        seed: 0x78071,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_have_distinct_names_and_seeds() {
+        let devs = [odroid_xu3(), asus_t200ta(), gtx780ti()];
+        for i in 0..devs.len() {
+            for j in (i + 1)..devs.len() {
+                assert_ne!(devs[i].name, devs[j].name);
+                assert_ne!(devs[i].seed, devs[j].seed);
+            }
+        }
+    }
+
+    #[test]
+    fn desktop_is_much_faster_than_embedded() {
+        let odroid = odroid_xu3();
+        let desktop = gtx780ti();
+        assert!(desktop.icp_rate > odroid.icp_rate * 5.0);
+        assert!(desktop.integrate_rate > odroid.integrate_rate * 5.0);
+    }
+
+    #[test]
+    fn rates_are_positive() {
+        for d in [odroid_xu3(), asus_t200ta(), gtx780ti()] {
+            assert!(d.filter_rate > 0.0);
+            assert!(d.icp_rate > 0.0);
+            assert!(d.integrate_rate > 0.0);
+            assert!(d.raycast_rate > 0.0);
+            assert!(d.frame_overhead >= 0.0);
+        }
+    }
+}

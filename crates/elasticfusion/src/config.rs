@@ -1,0 +1,110 @@
+//! The ElasticFusion algorithmic parameter set (paper §III-C).
+
+/// The parameters and flags of ElasticFusion explored by the paper.
+///
+/// Numeric parameters:
+/// * `icp_rgb_weight` — relative ICP/RGB tracking weight (10 = geometric
+///   residuals count 10× photometric ones),
+/// * `depth_cutoff` — raw depth beyond this many meters is ignored,
+/// * `confidence_threshold` — surfels below this confidence are not used
+///   for tracking (and are eventually culled).
+///
+/// Flags (named as in Table I of the paper):
+/// * `so3_disabled` — disable the SO(3) rotation pre-alignment,
+/// * `open_loop` — disable local loop closures,
+/// * `relocalisation` — attempt fern-based relocalisation when lost,
+/// * `fast_odom` — single-pyramid-level ("fast") odometry,
+/// * `frame_to_frame_rgb` — photometric tracking against the previous
+///   frame instead of the predicted model image.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EFusionConfig {
+    /// Relative ICP/RGB tracking weight (≥ 0; 0 disables geometric rows).
+    pub icp_rgb_weight: f32,
+    /// Depth cutoff distance in meters.
+    pub depth_cutoff: f32,
+    /// Surfel confidence threshold.
+    pub confidence_threshold: f32,
+    /// Disable SO(3) pre-alignment.
+    pub so3_disabled: bool,
+    /// Disable local loop closure.
+    pub open_loop: bool,
+    /// Enable fern relocalisation.
+    pub relocalisation: bool,
+    /// Use a single pyramid level for odometry.
+    pub fast_odom: bool,
+    /// Frame-to-frame RGB tracking.
+    pub frame_to_frame_rgb: bool,
+    /// Frames after which an unobserved surfel becomes *inactive*
+    /// (fixed, not part of the explored space).
+    pub time_window: u32,
+}
+
+impl Default for EFusionConfig {
+    /// The developers' default configuration, as reported in Table I:
+    /// ICP weight 10, depth cutoff 3 m, confidence 10, SO3 disabled = 1,
+    /// open loop = 0, relocalisation = 1, fast odometry = 0, FTF RGB = 0.
+    fn default() -> Self {
+        EFusionConfig {
+            icp_rgb_weight: 10.0,
+            depth_cutoff: 3.0,
+            confidence_threshold: 10.0,
+            so3_disabled: true,
+            open_loop: false,
+            relocalisation: true,
+            fast_odom: false,
+            frame_to_frame_rgb: false,
+            time_window: 100,
+        }
+    }
+}
+
+impl EFusionConfig {
+    /// Validate parameter sanity.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(self.icp_rgb_weight >= 0.0) {
+            return Err("icp_rgb_weight must be non-negative".into());
+        }
+        if !(self.depth_cutoff > 0.0) {
+            return Err("depth_cutoff must be positive".into());
+        }
+        if !(self.confidence_threshold >= 0.0) {
+            return Err("confidence_threshold must be non-negative".into());
+        }
+        if self.time_window == 0 {
+            return Err("time_window must be >= 1".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_table_1() {
+        let c = EFusionConfig::default();
+        c.validate().unwrap();
+        assert_eq!(c.icp_rgb_weight, 10.0);
+        assert_eq!(c.depth_cutoff, 3.0);
+        assert_eq!(c.confidence_threshold, 10.0);
+        assert!(c.so3_disabled);
+        assert!(!c.open_loop);
+        assert!(c.relocalisation);
+        assert!(!c.fast_odom);
+        assert!(!c.frame_to_frame_rgb);
+    }
+
+    #[test]
+    fn validation() {
+        let mut c = EFusionConfig::default();
+        c.depth_cutoff = 0.0;
+        assert!(c.validate().is_err());
+        let mut c = EFusionConfig::default();
+        c.icp_rgb_weight = f32::NAN;
+        assert!(c.validate().is_err());
+        let mut c = EFusionConfig::default();
+        c.time_window = 0;
+        assert!(c.validate().is_err());
+    }
+}

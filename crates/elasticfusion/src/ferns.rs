@@ -1,0 +1,206 @@
+//! Fern-based keyframe encoding for relocalisation and global loop closure.
+//!
+//! Following Glocker et al. (and its use in ElasticFusion), each keyframe
+//! is encoded by a set of random binary tests ("ferns") on downsampled
+//! RGB-D values; frames whose codes are close (small block-wise Hamming
+//! distance) are likely the same place.
+
+use icl_nuim_synth::{DepthImage, RgbImage};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use slam_geometry::SE3;
+
+/// One binary test: compare channel `channel` at pixel `(u, v)` (in a
+/// normalized 0..1 image coordinate) against `threshold`.
+#[derive(Debug, Clone, Copy)]
+struct Fern {
+    u: f32,
+    v: f32,
+    /// 0..2 = R,G,B; 3 = depth.
+    channel: u8,
+    threshold: f32,
+}
+
+/// A stored keyframe: its fern code and camera pose.
+#[derive(Debug, Clone)]
+pub struct Keyframe {
+    /// Packed fern responses, one bit per fern.
+    pub code: Vec<u64>,
+    /// Camera-to-world pose at capture time.
+    pub pose: SE3,
+    /// Frame index at capture time.
+    pub frame: usize,
+}
+
+/// A database of fern-encoded keyframes.
+pub struct FernDatabase {
+    ferns: Vec<Fern>,
+    keyframes: Vec<Keyframe>,
+    /// Minimum (best) dissimilarity required before a new keyframe is
+    /// admitted — keeps the database diverse.
+    novelty_threshold: f32,
+}
+
+impl FernDatabase {
+    /// Create a database of `n_ferns` random tests (deterministic in
+    /// `seed`).
+    pub fn new(n_ferns: usize, seed: u64) -> Self {
+        assert!(n_ferns >= 8, "need at least 8 ferns");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let ferns = (0..n_ferns)
+            .map(|_| Fern {
+                u: rng.gen_range(0.05..0.95),
+                v: rng.gen_range(0.05..0.95),
+                channel: rng.gen_range(0..4),
+                threshold: rng.gen_range(0.15..0.85),
+            })
+            .collect();
+        FernDatabase { ferns, keyframes: Vec::new(), novelty_threshold: 0.08 }
+    }
+
+    /// Number of stored keyframes.
+    pub fn len(&self) -> usize {
+        self.keyframes.len()
+    }
+
+    /// True when no keyframes are stored.
+    pub fn is_empty(&self) -> bool {
+        self.keyframes.is_empty()
+    }
+
+    /// Stored keyframes.
+    pub fn keyframes(&self) -> &[Keyframe] {
+        &self.keyframes
+    }
+
+    /// Encode an RGB-D frame into a fern code.
+    pub fn encode(&self, rgb: &RgbImage, depth: &DepthImage) -> Vec<u64> {
+        let mut code = vec![0u64; self.ferns.len().div_ceil(64)];
+        for (i, f) in self.ferns.iter().enumerate() {
+            let u = ((f.u * rgb.width as f32) as usize).min(rgb.width - 1);
+            let v = ((f.v * rgb.height as f32) as usize).min(rgb.height - 1);
+            let value = match f.channel {
+                0 => rgb.at(u, v).x,
+                1 => rgb.at(u, v).y,
+                2 => rgb.at(u, v).z,
+                _ => (depth.at(u, v) / 8.0).clamp(0.0, 1.0),
+            };
+            if value > f.threshold {
+                code[i / 64] |= 1 << (i % 64);
+            }
+        }
+        code
+    }
+
+    /// Normalized Hamming dissimilarity between two codes (0 = identical,
+    /// 1 = all ferns disagree).
+    pub fn dissimilarity(&self, a: &[u64], b: &[u64]) -> f32 {
+        let bits: u32 = a.iter().zip(b).map(|(x, y)| (x ^ y).count_ones()).sum();
+        bits as f32 / self.ferns.len() as f32
+    }
+
+    /// Find the stored keyframe most similar to `code`; returns
+    /// `(index, dissimilarity)`.
+    pub fn best_match(&self, code: &[u64]) -> Option<(usize, f32)> {
+        self.keyframes
+            .iter()
+            .enumerate()
+            .map(|(i, kf)| (i, self.dissimilarity(code, &kf.code)))
+            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
+    }
+
+    /// Offer a frame as a new keyframe: admitted when sufficiently novel
+    /// (or the database is empty). Returns whether it was added.
+    pub fn try_add(&mut self, rgb: &RgbImage, depth: &DepthImage, pose: SE3, frame: usize) -> bool {
+        let code = self.encode(rgb, depth);
+        let novel = match self.best_match(&code) {
+            None => true,
+            Some((_, d)) => d > self.novelty_threshold,
+        };
+        if novel {
+            self.keyframes.push(Keyframe { code, pose, frame });
+        }
+        novel
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icl_nuim_synth::{living_room, look_at, render_rgbd};
+    use slam_geometry::{CameraIntrinsics, Vec3};
+
+    fn cam() -> CameraIntrinsics {
+        CameraIntrinsics::kinect_like(64, 48)
+    }
+
+    fn view(eye: Vec3, target: Vec3) -> (RgbImage, DepthImage, SE3) {
+        let pose = look_at(eye, target);
+        let (d, c) = render_rgbd(&living_room(), &cam(), &pose);
+        (c, d, pose)
+    }
+
+    #[test]
+    fn identical_frames_have_zero_dissimilarity() {
+        let db = FernDatabase::new(128, 1);
+        let (rgb, depth, _) = view(Vec3::ZERO, Vec3::new(0.0, 0.5, 2.9));
+        let a = db.encode(&rgb, &depth);
+        let b = db.encode(&rgb, &depth);
+        assert_eq!(db.dissimilarity(&a, &b), 0.0);
+    }
+
+    #[test]
+    fn nearby_views_more_similar_than_opposite_views() {
+        let db = FernDatabase::new(256, 2);
+        let (rgb_a, d_a, _) = view(Vec3::ZERO, Vec3::new(0.0, 0.5, 2.9));
+        let (rgb_b, d_b, _) = view(Vec3::new(0.05, 0.0, 0.0), Vec3::new(0.05, 0.5, 2.9));
+        let (rgb_c, d_c, _) = view(Vec3::ZERO, Vec3::new(0.3, 0.5, -2.9));
+        let a = db.encode(&rgb_a, &d_a);
+        let b = db.encode(&rgb_b, &d_b);
+        let c = db.encode(&rgb_c, &d_c);
+        assert!(db.dissimilarity(&a, &b) < db.dissimilarity(&a, &c));
+    }
+
+    #[test]
+    fn novelty_gate_rejects_duplicates() {
+        let mut db = FernDatabase::new(128, 3);
+        let (rgb, depth, pose) = view(Vec3::ZERO, Vec3::new(0.0, 0.5, 2.9));
+        assert!(db.try_add(&rgb, &depth, pose, 0));
+        assert!(!db.try_add(&rgb, &depth, pose, 1)); // same view again
+        assert_eq!(db.len(), 1);
+        // A very different view is admitted.
+        let (rgb2, d2, p2) = view(Vec3::new(0.2, 0.0, 0.3), Vec3::new(-0.3, 0.5, -2.9));
+        assert!(db.try_add(&rgb2, &d2, p2, 2));
+        assert_eq!(db.len(), 2);
+    }
+
+    #[test]
+    fn best_match_finds_the_right_keyframe() {
+        let mut db = FernDatabase::new(256, 4);
+        let (rgb_a, d_a, p_a) = view(Vec3::ZERO, Vec3::new(0.0, 0.5, 2.9));
+        let (rgb_b, d_b, p_b) = view(Vec3::new(0.3, 0.0, 0.2), Vec3::new(0.3, 0.5, -2.9));
+        db.try_add(&rgb_a, &d_a, p_a, 0);
+        db.try_add(&rgb_b, &d_b, p_b, 1);
+        // A query near view A matches keyframe 0.
+        let (rgb_q, d_q, _) = view(Vec3::new(0.02, 0.0, 0.0), Vec3::new(0.0, 0.5, 2.9));
+        let q = db.encode(&rgb_q, &d_q);
+        let (idx, sim) = db.best_match(&q).unwrap();
+        assert_eq!(idx, 0);
+        assert!(sim < 0.2, "dissimilarity {sim}");
+    }
+
+    #[test]
+    fn empty_database_has_no_match() {
+        let db = FernDatabase::new(64, 5);
+        assert!(db.best_match(&vec![0u64; 1]).is_none());
+        assert!(db.is_empty());
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let db1 = FernDatabase::new(128, 9);
+        let db2 = FernDatabase::new(128, 9);
+        let (rgb, depth, _) = view(Vec3::ZERO, Vec3::new(0.5, 0.5, 2.9));
+        assert_eq!(db1.encode(&rgb, &depth), db2.encode(&rgb, &depth));
+    }
+}

@@ -1,0 +1,559 @@
+//! Joint geometric (ICP) + photometric (RGB) odometry.
+
+use crate::surfel::ModelPrediction;
+use icl_nuim_synth::{DepthImage, RgbImage};
+use rayon::prelude::*;
+use slam_geometry::{solve::NormalEquations, CameraIntrinsics, Vec3, SE3};
+
+/// Odometry controls derived from the ElasticFusion configuration.
+#[derive(Debug, Clone)]
+pub struct OdometryParams {
+    /// Relative weight of geometric (ICP) rows vs. photometric (RGB) rows.
+    pub icp_rgb_weight: f32,
+    /// Depth beyond this is ignored.
+    pub depth_cutoff: f32,
+    /// Run only the finest pyramid level ("fast odometry").
+    pub fast_odom: bool,
+    /// Run the SO(3) rotation-only pre-alignment first.
+    pub so3_prealign: bool,
+    /// Iterations per level, finest first.
+    pub iterations: [usize; 3],
+}
+
+impl Default for OdometryParams {
+    fn default() -> Self {
+        OdometryParams {
+            icp_rgb_weight: 10.0,
+            depth_cutoff: 3.0,
+            fast_odom: false,
+            so3_prealign: false,
+            iterations: [10, 5, 4],
+        }
+    }
+}
+
+/// Result of one odometry solve.
+#[derive(Debug, Clone)]
+pub struct OdometryResult {
+    /// Refined camera-to-world pose.
+    pub pose: SE3,
+    /// Whether the solve is trustworthy.
+    pub tracked: bool,
+    /// Final combined RMS residual.
+    pub rms: f32,
+    /// Fraction of pixels contributing geometric rows in the last
+    /// iteration.
+    pub inlier_fraction: f32,
+    /// Total iterations executed (including SO(3) pre-alignment).
+    pub iterations_run: usize,
+}
+
+/// An intensity image with finite-difference gradients, at one pyramid
+/// level.
+struct IntensityLevel {
+    width: usize,
+    height: usize,
+    intensity: Vec<f32>,
+    grad_x: Vec<f32>,
+    grad_y: Vec<f32>,
+    k: CameraIntrinsics,
+}
+
+impl IntensityLevel {
+    fn new(intensity: Vec<f32>, width: usize, height: usize, k: CameraIntrinsics) -> Self {
+        let mut grad_x = vec![0.0f32; width * height];
+        let mut grad_y = vec![0.0f32; width * height];
+        for v in 1..height - 1 {
+            for u in 1..width - 1 {
+                grad_x[v * width + u] =
+                    0.5 * (intensity[v * width + u + 1] - intensity[v * width + u - 1]);
+                grad_y[v * width + u] =
+                    0.5 * (intensity[(v + 1) * width + u] - intensity[(v - 1) * width + u]);
+            }
+        }
+        IntensityLevel { width, height, intensity, grad_x, grad_y, k }
+    }
+
+    /// Bilinear sample of the intensity; `None` out of bounds.
+    fn sample(&self, x: f32, y: f32) -> Option<(f32, f32, f32)> {
+        if x < 1.0 || y < 1.0 || x >= (self.width - 2) as f32 || y >= (self.height - 2) as f32 {
+            return None;
+        }
+        let x0 = x.floor() as usize;
+        let y0 = y.floor() as usize;
+        let fx = x - x0 as f32;
+        let fy = y - y0 as f32;
+        let bilerp = |img: &[f32]| {
+            let a = img[y0 * self.width + x0];
+            let b = img[y0 * self.width + x0 + 1];
+            let c = img[(y0 + 1) * self.width + x0];
+            let d = img[(y0 + 1) * self.width + x0 + 1];
+            a * (1.0 - fx) * (1.0 - fy) + b * fx * (1.0 - fy) + c * (1.0 - fx) * fy + d * fx * fy
+        };
+        Some((bilerp(&self.intensity), bilerp(&self.grad_x), bilerp(&self.grad_y)))
+    }
+
+    /// Halve resolution by 2×2 averaging.
+    fn downsampled(&self) -> IntensityLevel {
+        let w = (self.width / 2).max(1);
+        let h = (self.height / 2).max(1);
+        let mut intensity = vec![0.0f32; w * h];
+        for y in 0..h {
+            for x in 0..w {
+                let mut s = 0.0;
+                for dy in 0..2 {
+                    for dx in 0..2 {
+                        let sx = (x * 2 + dx).min(self.width - 1);
+                        let sy = (y * 2 + dy).min(self.height - 1);
+                        s += self.intensity[sy * self.width + sx];
+                    }
+                }
+                intensity[y * w + x] = s * 0.25;
+            }
+        }
+        IntensityLevel::new(intensity, w, h, self.k.downscaled(2))
+    }
+}
+
+/// Inputs captured once per tracked frame.
+pub struct OdometryInputs<'a> {
+    /// Current depth (already cutoff-filtered by the caller or not — the
+    /// cutoff is applied here too).
+    pub depth: &'a DepthImage,
+    /// Current RGB.
+    pub rgb: &'a RgbImage,
+    /// Reference model prediction (world-frame points/normals/colors)
+    /// rendered from `ref_pose`.
+    pub prediction: &'a ModelPrediction,
+    /// Pose the prediction was rendered from.
+    pub ref_pose: &'a SE3,
+    /// Reference intensity image for photometric rows (either the model
+    /// prediction's intensity or the previous frame's RGB, per the
+    /// frame-to-frame flag).
+    pub ref_intensity: &'a [f32],
+    /// Camera intrinsics (finest level).
+    pub k: &'a CameraIntrinsics,
+}
+
+/// Estimate the camera pose of the current frame.
+///
+/// Geometric rows: projective point-to-plane against `prediction` (like
+/// KinectFusion). Photometric rows: brightness constancy between the
+/// current image warped by the pose and `ref_intensity`. The two blocks
+/// are weighted `icp_rgb_weight : 1`.
+pub fn estimate(inputs: &OdometryInputs<'_>, initial: &SE3, params: &OdometryParams) -> OdometryResult {
+    let mut pose = *initial;
+    let mut iterations_run = 0usize;
+
+    // Build intensity pyramids for current and reference images.
+    let cur0 = IntensityLevel::new(
+        inputs.rgb.intensity(),
+        inputs.rgb.width,
+        inputs.rgb.height,
+        *inputs.k,
+    );
+    let ref0 = IntensityLevel::new(
+        inputs.ref_intensity.to_vec(),
+        inputs.rgb.width,
+        inputs.rgb.height,
+        *inputs.k,
+    );
+    let mut cur_pyr = vec![cur0];
+    let mut ref_pyr = vec![ref0];
+    let n_levels = if params.fast_odom { 1 } else { 3 };
+    for l in 1..n_levels {
+        cur_pyr.push(cur_pyr[l - 1].downsampled());
+        ref_pyr.push(ref_pyr[l - 1].downsampled());
+    }
+
+    // ---- SO(3) pre-alignment: rotation-only photometric warp at the
+    // coarsest level (stabilizes fast rotations before the full solve). ----
+    if params.so3_prealign && !params.fast_odom {
+        let lvl = cur_pyr.len() - 1;
+        for _ in 0..5 {
+            let Some((twist, _, _)) = photometric_rotation_step(
+                &cur_pyr[lvl],
+                &ref_pyr[lvl],
+                inputs.ref_pose,
+                &pose,
+            ) else {
+                break;
+            };
+            pose = SE3::exp([0.0, 0.0, 0.0, twist[0], twist[1], twist[2]])
+                .compose(&pose)
+                .normalized();
+            iterations_run += 1;
+            if twist.iter().map(|t| t * t).sum::<f32>().sqrt() < 1e-5 {
+                break;
+            }
+        }
+    }
+
+    // ---- Joint ICP + RGB, coarse to fine. ----
+    let mut rms = f32::INFINITY;
+    let mut inliers = 0.0f32;
+    let depth_maps: Vec<DepthImage> = {
+        // Depth pyramid by validity-aware halving.
+        let mut v = vec![inputs.depth.clone()];
+        for l in 1..n_levels {
+            v.push(half_depth(&v[l - 1]));
+        }
+        v
+    };
+
+    for level in (0..n_levels).rev() {
+        let iters = params.iterations.get(level).copied().unwrap_or(4);
+        for _ in 0..iters {
+            let Some((twist, level_rms, frac)) = joint_step(
+                &depth_maps[level],
+                &cur_pyr[level],
+                &ref_pyr[level],
+                inputs.prediction,
+                inputs.ref_pose,
+                inputs.k,
+                &pose,
+                params,
+            ) else {
+                break;
+            };
+            pose = SE3::exp(twist).compose(&pose).normalized();
+            rms = level_rms;
+            inliers = frac;
+            iterations_run += 1;
+            if twist.iter().map(|t| t * t).sum::<f32>().sqrt() < 1e-5 {
+                break;
+            }
+        }
+    }
+
+    let tracked = rms.is_finite() && inliers > 0.05;
+    OdometryResult {
+        pose: if tracked { pose } else { *initial },
+        tracked,
+        rms: if rms.is_finite() { rms } else { 0.0 },
+        inlier_fraction: inliers,
+        iterations_run,
+    }
+}
+
+/// Validity-aware 2× depth downsampling (reference pixel band 0.1 m).
+fn half_depth(depth: &DepthImage) -> DepthImage {
+    let w = (depth.width / 2).max(1);
+    let h = (depth.height / 2).max(1);
+    let mut data = vec![0.0f32; w * h];
+    for y in 0..h {
+        for x in 0..w {
+            let r = depth.at((x * 2).min(depth.width - 1), (y * 2).min(depth.height - 1));
+            if r <= 0.0 {
+                continue;
+            }
+            let mut sum = 0.0;
+            let mut n = 0;
+            for dy in 0..2 {
+                for dx in 0..2 {
+                    let d = depth.at((x * 2 + dx).min(depth.width - 1), (y * 2 + dy).min(depth.height - 1));
+                    if d > 0.0 && (d - r).abs() < 0.1 {
+                        sum += d;
+                        n += 1;
+                    }
+                }
+            }
+            data[y * w + x] = sum / n as f32;
+        }
+    }
+    DepthImage { width: w, height: h, data }
+}
+
+/// One joint geometric+photometric Gauss–Newton step; returns
+/// `(twist, rms, geometric inlier fraction)`.
+#[allow(clippy::too_many_arguments)]
+fn joint_step(
+    depth: &DepthImage,
+    cur: &IntensityLevel,
+    reference: &IntensityLevel,
+    prediction: &ModelPrediction,
+    ref_pose: &SE3,
+    fine_k: &CameraIntrinsics,
+    pose: &SE3,
+    params: &OdometryParams,
+) -> Option<([f32; 6], f32, f32)> {
+    let world_to_ref = ref_pose.inverse();
+    let icp_w = params.icp_rgb_weight;
+    // Photometric residuals are in intensity units (~0.05-0.3); geometric in
+    // meters (~0.001-0.05). Scale RGB rows so "weight 1" is comparable.
+    const RGB_SCALE: f32 = 0.1;
+
+    let ne = (0..cur.height)
+        .into_par_iter()
+        .map(|v| {
+            let mut acc = NormalEquations::<6>::default();
+            let mut geo_rows = 0usize;
+            let mut usable = 0usize;
+            for u in 0..cur.width {
+                let d = depth.at(u, v);
+                if d <= 0.0 || d > params.depth_cutoff {
+                    continue;
+                }
+                usable += 1;
+                let p_cam = cur.k.backproject(u as f32, v as f32, d);
+                let p_world = pose.transform_point(p_cam);
+
+                // ---- Geometric row (point-to-plane vs. prediction). ----
+                let p_ref = world_to_ref.transform_point(p_world);
+                if let Some(uvf) = fine_k.project(p_ref) {
+                    let (pu, pv) = (uvf.x.round(), uvf.y.round());
+                    if pu >= 0.0
+                        && pv >= 0.0
+                        && (pu as usize) < prediction.width
+                        && (pv as usize) < prediction.height
+                    {
+                        let (pu, pv) = (pu as usize, pv as usize);
+                        if prediction.is_valid(pu, pv) {
+                            let q = prediction.points[pv * prediction.width + pu];
+                            let n = prediction.normals[pv * prediction.width + pu];
+                            if (p_world - q).norm() < 0.1 && icp_w > 0.0 {
+                                let r = n.dot(q - p_world);
+                                // Gate implausible point-to-plane residuals
+                                // (bad associations at edges).
+                                if r.abs() < 0.05 {
+                                    let c = p_world.cross(n);
+                                    acc.add_row(
+                                        &[n.x, n.y, n.z, c.x, c.y, c.z],
+                                        r,
+                                        icp_w,
+                                    );
+                                    geo_rows += 1;
+                                }
+                            }
+                        }
+                    }
+                }
+
+                // ---- Photometric row (brightness constancy). ----
+                // Warp current pixel into the reference image.
+                if let Some(uv_ref) = reference.k.project(world_to_ref.transform_point(p_world)) {
+                    if let Some((i_ref, gx, gy)) = reference.sample(uv_ref.x, uv_ref.y) {
+                        let i_cur = cur.intensity[v * cur.width + u];
+                        let r = i_ref - i_cur;
+                        // Chain rule: dI/dξ = ∇I · dπ/dp · dp/dξ, with p in
+                        // the reference camera frame. Gate outliers
+                        // (occlusions, splat-boundary artifacts).
+                        let p_ref_cam = world_to_ref.transform_point(p_world);
+                        if p_ref_cam.z > 0.1 && r.abs() < 0.2 {
+                            let iz = 1.0 / p_ref_cam.z;
+                            let fx = reference.k.fx;
+                            let fy = reference.k.fy;
+                            // Jacobian of projection wrt the world point,
+                            // composed with world-frame twist.
+                            let jx = Vec3::new(fx * iz, 0.0, -fx * p_ref_cam.x * iz * iz);
+                            let jy = Vec3::new(0.0, fy * iz, -fy * p_ref_cam.y * iz * iz);
+                            // dI/dp_ref via the projection Jacobian, then
+                            // dp_ref/dp_world = R_w2r pulls it to the world
+                            // frame; dp_world/dξ = [I, -p̂_world].
+                            let grad_p_ref = jx * gx + jy * gy;
+                            let grad_world = world_to_ref.r.transpose() * grad_p_ref;
+                            let jv = grad_world;
+                            let jw = p_world.cross(grad_world) * -1.0;
+                            // r = I_ref(π(p(ξ))) − I_cur; dr/dξ = grad.
+                            // Gauss–Newton on r − J·(−ξ)… keep signs:
+                            // I_ref decreases as point moves along grad.
+                            acc.add_row(
+                                &[jv.x, jv.y, jv.z, -jw.x, -jw.y, -jw.z],
+                                -r,
+                                RGB_SCALE,
+                            );
+                        }
+                    }
+                }
+            }
+            (acc, geo_rows, usable)
+        })
+        .reduce(
+            || (NormalEquations::<6>::default(), 0usize, 0usize),
+            |(mut a, ga, ua), (b, gb, ub)| {
+                a.merge(&b);
+                (a, ga + gb, ua + ub)
+            },
+        );
+
+    let (ne, geo_rows, usable) = ne;
+    if ne.count < 40 {
+        return None;
+    }
+    // Inlier fraction relative to pixels that *could* contribute (valid
+    // depth within the cutoff), not the whole image.
+    let total = usable.max(1);
+    let twist = ne.solve(1e-6)?;
+    Some((twist, ne.rms(), geo_rows as f32 / total as f32))
+}
+
+/// Rotation-only photometric step at one level; returns the 3-vector
+/// rotation twist.
+fn photometric_rotation_step(
+    cur: &IntensityLevel,
+    reference: &IntensityLevel,
+    ref_pose: &SE3,
+    pose: &SE3,
+) -> Option<([f32; 3], f32, usize)> {
+    let world_to_ref = ref_pose.inverse();
+    let mut ne = NormalEquations::<3>::default();
+    // Assume unit depth along each ray (pure-rotation approximation).
+    for v in 1..cur.height - 1 {
+        for u in 1..cur.width - 1 {
+            let ray = cur.k.ray_dir(u as f32, v as f32).normalized() * 2.0;
+            let p_world = pose.transform_point(ray);
+            let p_ref = world_to_ref.transform_point(p_world);
+            let Some(uv) = reference.k.project(p_ref) else { continue };
+            let Some((i_ref, gx, gy)) = reference.sample(uv.x, uv.y) else { continue };
+            let i_cur = cur.intensity[v * cur.width + u];
+            let r = i_ref - i_cur;
+            if p_ref.z <= 0.1 {
+                continue;
+            }
+            let iz = 1.0 / p_ref.z;
+            let jx = Vec3::new(reference.k.fx * iz, 0.0, -reference.k.fx * p_ref.x * iz * iz);
+            let jy = Vec3::new(0.0, reference.k.fy * iz, -reference.k.fy * p_ref.y * iz * iz);
+            let grad_world = world_to_ref.r.transpose() * (jx * gx + jy * gy);
+            let jw = p_world.cross(grad_world) * -1.0;
+            ne.add_row(&[-jw.x, -jw.y, -jw.z], -r, 1.0);
+        }
+    }
+    if ne.count < 30 {
+        return None;
+    }
+    let x = ne.solve(1e-5)?;
+    Some((x, ne.rms(), ne.count))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::surfel::SurfelMap;
+    use icl_nuim_synth::{living_room, look_at, render_rgbd};
+    use slam_geometry::Quat;
+
+    fn cam() -> CameraIntrinsics {
+        CameraIntrinsics::kinect_like(80, 60)
+    }
+
+    /// Build a surfel map from one RGB-D view and return everything needed
+    /// to track a second view against it.
+    fn setup(ref_pose: &SE3) -> (SurfelMap, ModelPrediction, Vec<f32>) {
+        let scene = living_room();
+        let (d, c) = render_rgbd(&scene, &cam(), ref_pose);
+        let mut map = SurfelMap::new();
+        let empty = map.predict(&cam(), ref_pose, |_| true);
+        map.fuse(&d, &c, &cam(), ref_pose, &empty, 8.0, 0);
+        let pred = map.predict(&cam(), ref_pose, |_| true);
+        let intensity = pred.intensity();
+        (map, pred, intensity)
+    }
+
+    fn result_for(offset: SE3, params: &OdometryParams) -> (OdometryResult, SE3, SE3) {
+        let ref_pose = look_at(Vec3::new(0.0, -0.1, -0.3), Vec3::new(0.3, 0.4, 2.9));
+        let true_pose = offset.compose(&ref_pose);
+        let (_map, pred, ref_int) = setup(&ref_pose);
+        let scene = living_room();
+        let (d, c) = render_rgbd(&scene, &cam(), &true_pose);
+        let inputs = OdometryInputs {
+            depth: &d,
+            rgb: &c,
+            prediction: &pred,
+            ref_pose: &ref_pose,
+            ref_intensity: &ref_int,
+            k: &cam(),
+        };
+        (estimate(&inputs, &ref_pose, params), true_pose, ref_pose)
+    }
+
+    #[test]
+    fn recovers_small_translation() {
+        let (res, true_pose, _) = result_for(
+            SE3::from_translation(Vec3::new(0.02, -0.01, 0.015)),
+            &OdometryParams::default(),
+        );
+        assert!(res.tracked);
+        let err = res.pose.translation_dist(&true_pose);
+        assert!(err < 0.015, "err {err}");
+    }
+
+    #[test]
+    fn recovers_small_rotation() {
+        let dq = Quat::from_axis_angle(Vec3::new(0.1, 1.0, 0.0), 0.02);
+        let (res, true_pose, _) = result_for(
+            SE3::from_quat_translation(dq, Vec3::ZERO),
+            &OdometryParams::default(),
+        );
+        assert!(res.tracked);
+        assert!(res.pose.rotation_dist(&true_pose) < 0.015);
+    }
+
+    #[test]
+    fn perfect_init_stays_put() {
+        // Splat-center geometry carries a few millimeters of bias, so the
+        // converged pose is near-but-not-exactly the truth.
+        let (res, true_pose, _) = result_for(SE3::IDENTITY, &OdometryParams::default());
+        assert!(res.tracked);
+        let err = res.pose.translation_dist(&true_pose);
+        assert!(err < 0.015, "err {err}");
+    }
+
+    #[test]
+    fn fast_odom_runs_fewer_iterations() {
+        let offset = SE3::from_translation(Vec3::new(0.02, 0.0, 0.01));
+        let (full, _, _) = result_for(offset, &OdometryParams::default());
+        let (fast, _, _) = result_for(
+            offset,
+            &OdometryParams { fast_odom: true, ..Default::default() },
+        );
+        assert!(fast.iterations_run <= full.iterations_run);
+    }
+
+    #[test]
+    fn icp_weight_zero_reports_failure_safely() {
+        // icp_rgb_weight = 0 disables geometric rows entirely. Splat-render
+        // photometry alone is not trustworthy, so the odometry must report
+        // a tracking failure and leave the pose at the initial estimate
+        // rather than return a wild solve.
+        let offset = SE3::from_translation(Vec3::new(0.01, 0.0, 0.0));
+        let (res, true_pose, ref_pose) = result_for(
+            offset,
+            &OdometryParams { icp_rgb_weight: 0.0, ..Default::default() },
+        );
+        assert!(!res.tracked);
+        let after = res.pose.translation_dist(&true_pose);
+        assert!((after - ref_pose.translation_dist(&true_pose)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn so3_prealign_helps_pure_rotation() {
+        let dq = Quat::from_axis_angle(Vec3::Y, 0.05); // larger rotation
+        let offset = SE3::from_quat_translation(dq, Vec3::ZERO);
+        let (with, true_pose, _) = result_for(
+            offset,
+            &OdometryParams { so3_prealign: true, ..Default::default() },
+        );
+        assert!(with.tracked);
+        assert!(with.pose.rotation_dist(&true_pose) < 0.03, "rot err {}", with.pose.rotation_dist(&true_pose));
+    }
+
+    #[test]
+    fn reports_failure_without_data() {
+        let ref_pose = look_at(Vec3::ZERO, Vec3::new(0.0, 0.5, 2.9));
+        let (_, pred, ref_int) = setup(&ref_pose);
+        // Empty depth image: no geometric or photometric depth rows.
+        let d = DepthImage { width: 80, height: 60, data: vec![0.0; 80 * 60] };
+        let scene = living_room();
+        let (_, c) = render_rgbd(&scene, &cam(), &ref_pose);
+        let inputs = OdometryInputs {
+            depth: &d,
+            rgb: &c,
+            prediction: &pred,
+            ref_pose: &ref_pose,
+            ref_intensity: &ref_int,
+            k: &cam(),
+        };
+        let res = estimate(&inputs, &ref_pose, &OdometryParams::default());
+        assert!(!res.tracked);
+    }
+}

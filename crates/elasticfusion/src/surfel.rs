@@ -1,0 +1,445 @@
+//! The surfel map: ElasticFusion's world model.
+
+use icl_nuim_synth::{DepthImage, RgbImage};
+use rayon::prelude::*;
+use slam_geometry::{CameraIntrinsics, Vec3, SE3};
+
+/// One disc-shaped map element.
+#[derive(Debug, Clone, Copy)]
+pub struct Surfel {
+    /// World position of the disc center.
+    pub pos: Vec3,
+    /// World unit normal.
+    pub normal: Vec3,
+    /// Linear RGB color.
+    pub color: Vec3,
+    /// Disc radius in meters (grows with viewing distance).
+    pub radius: f32,
+    /// Fusion confidence: number of (weighted) observations.
+    pub confidence: f32,
+    /// Frame index of the last observation.
+    pub last_seen: u32,
+}
+
+/// Model prediction rendered from the surfel map: per-pixel world-frame
+/// point/normal/color plus the index of the source surfel.
+#[derive(Debug, Clone)]
+pub struct ModelPrediction {
+    pub width: usize,
+    pub height: usize,
+    pub points: Vec<Vec3>,
+    pub normals: Vec<Vec3>,
+    pub colors: Vec<Vec3>,
+    /// `u32::MAX` marks an empty pixel.
+    pub surfel_index: Vec<u32>,
+}
+
+impl ModelPrediction {
+    /// Whether pixel `(u, v)` has a predicted surfel.
+    #[inline]
+    pub fn is_valid(&self, u: usize, v: usize) -> bool {
+        self.surfel_index[v * self.width + u] != u32::MAX
+    }
+
+    /// Number of covered pixels.
+    pub fn coverage(&self) -> usize {
+        self.surfel_index.iter().filter(|&&i| i != u32::MAX).count()
+    }
+
+    /// Scalar intensity of the predicted color image.
+    pub fn intensity(&self) -> Vec<f32> {
+        self.colors
+            .iter()
+            .map(|c| 0.299 * c.x + 0.587 * c.y + 0.114 * c.z)
+            .collect()
+    }
+}
+
+/// The global surfel map.
+#[derive(Debug, Clone, Default)]
+pub struct SurfelMap {
+    surfels: Vec<Surfel>,
+}
+
+/// Association gates for fusion (fixed, following ElasticFusion).
+const FUSE_DIST: f32 = 0.05;
+const FUSE_DOT: f32 = 0.7;
+
+impl SurfelMap {
+    /// An empty map.
+    pub fn new() -> Self {
+        SurfelMap::default()
+    }
+
+    /// All surfels.
+    pub fn surfels(&self) -> &[Surfel] {
+        &self.surfels
+    }
+
+    /// Number of surfels.
+    pub fn len(&self) -> usize {
+        self.surfels.len()
+    }
+
+    /// True when the map holds no surfels.
+    pub fn is_empty(&self) -> bool {
+        self.surfels.is_empty()
+    }
+
+    /// Number of surfels at or above the confidence threshold.
+    pub fn stable_count(&self, confidence_threshold: f32) -> usize {
+        self.surfels.iter().filter(|s| s.confidence >= confidence_threshold).count()
+    }
+
+    /// Render a model prediction from pose `pose` using surfels that pass
+    /// `filter` (e.g. stable + active). Nearest surfel wins each pixel.
+    pub fn predict(
+        &self,
+        k: &CameraIntrinsics,
+        pose: &SE3,
+        filter: impl Fn(&Surfel) -> bool + Sync,
+    ) -> ModelPrediction {
+        let w = k.width;
+        let h = k.height;
+        let world_to_cam = pose.inverse();
+        // Depth buffer per pixel, sequential splat (surfel count is modest
+        // at the resolutions used here; contention-free and deterministic).
+        let mut depth = vec![f32::INFINITY; w * h];
+        let mut index = vec![u32::MAX; w * h];
+        // Colors are alpha-blended across overlapping splats (Gaussian
+        // falloff from the splat center) so the predicted color image has
+        // smooth gradients usable by photometric tracking.
+        let mut color_acc = vec![Vec3::ZERO; w * h];
+        let mut color_wgt = vec![0.0f32; w * h];
+        for (i, s) in self.surfels.iter().enumerate() {
+            if !filter(s) {
+                continue;
+            }
+            let p_cam = world_to_cam.transform_point(s.pos);
+            if p_cam.z <= 0.05 {
+                continue;
+            }
+            // Splat radius in pixels.
+            let r_px = (s.radius * k.fx / p_cam.z).max(0.5);
+            let Some(uv) = k.project(p_cam) else { continue };
+            let u0 = (uv.x - r_px).floor().max(0.0) as usize;
+            let u1 = (uv.x + r_px).ceil().min(w as f32 - 1.0) as usize;
+            let v0 = (uv.y - r_px).floor().max(0.0) as usize;
+            let v1 = (uv.y + r_px).ceil().min(h as f32 - 1.0) as usize;
+            if u0 > u1 || v0 > v1 {
+                continue;
+            }
+            let inv_2s2 = 1.0 / (2.0 * (r_px * 0.6).max(0.3).powi(2));
+            for v in v0..=v1 {
+                for u in u0..=u1 {
+                    let du = u as f32 - uv.x;
+                    let dv = v as f32 - uv.y;
+                    let d2 = du * du + dv * dv;
+                    if d2 > r_px * r_px {
+                        continue;
+                    }
+                    let cell = v * w + u;
+                    if p_cam.z < depth[cell] {
+                        depth[cell] = p_cam.z;
+                        index[cell] = i as u32;
+                    }
+                    // Blend colors within a depth band of the front splat.
+                    if p_cam.z < depth[cell] + 0.05 {
+                        let wgt = (-d2 * inv_2s2).exp();
+                        color_acc[cell] += s.color * wgt;
+                        color_wgt[cell] += wgt;
+                    }
+                }
+            }
+        }
+        let mut points = vec![Vec3::ZERO; w * h];
+        let mut normals = vec![Vec3::ZERO; w * h];
+        let mut colors = vec![Vec3::ZERO; w * h];
+        points
+            .par_iter_mut()
+            .zip(normals.par_iter_mut())
+            .zip(colors.par_iter_mut())
+            .enumerate()
+            .for_each(|(cell, ((p, n), c))| {
+                let i = index[cell];
+                if i != u32::MAX {
+                    let s = &self.surfels[i as usize];
+                    *p = s.pos;
+                    *n = s.normal;
+                    *c = if color_wgt[cell] > 0.0 {
+                        color_acc[cell] / color_wgt[cell]
+                    } else {
+                        s.color
+                    };
+                }
+            });
+        ModelPrediction { width: w, height: h, points, normals, colors, surfel_index: index }
+    }
+
+    /// Fuse one registered RGB-D frame into the map (ElasticFusion's data
+    /// fusion): pixels that project onto a compatible existing surfel merge
+    /// into it (weighted average, confidence +1); others spawn new surfels.
+    ///
+    /// `prediction` must be a [`SurfelMap::predict`] of this map from the
+    /// same pose (it provides the pixel→surfel association).
+    pub fn fuse(
+        &mut self,
+        depth: &DepthImage,
+        rgb: &RgbImage,
+        k: &CameraIntrinsics,
+        pose: &SE3,
+        prediction: &ModelPrediction,
+        depth_cutoff: f32,
+        time: u32,
+    ) {
+        let w = depth.width;
+        let h = depth.height;
+        for v in 0..h {
+            for u in 0..w {
+                let d = depth.at(u, v);
+                if d <= 0.0 || d > depth_cutoff {
+                    continue;
+                }
+                let p_cam = k.backproject(u as f32, v as f32, d);
+                let p_world = pose.transform_point(p_cam);
+                let n_cam = normal_from_depth(depth, k, u, v);
+                if n_cam == Vec3::ZERO {
+                    continue;
+                }
+                let n_world = pose.transform_dir(n_cam);
+                let color = rgb.at(u, v);
+                // Surfel radius grows with depth and obliqueness.
+                let radius = (d / k.fx) * 1.5 / n_cam.z.abs().max(0.3);
+
+                let idx = prediction.surfel_index[v * w + u];
+                if idx != u32::MAX {
+                    let s = &mut self.surfels[idx as usize];
+                    // Merge gate: close along the surfel normal (same
+                    // surface) and within the disc laterally (the splat
+                    // center can be a sizable lateral offset away).
+                    let delta = p_world - s.pos;
+                    let along = s.normal.dot(delta).abs();
+                    let lateral = (delta - s.normal * s.normal.dot(delta)).norm();
+                    if along < FUSE_DIST
+                        && lateral < (s.radius * 2.0).max(0.02)
+                        && s.normal.dot(n_world) > FUSE_DOT
+                    {
+                        // A splat covers several pixels; update each surfel
+                        // at most once per frame so confidence counts
+                        // frames, not pixels.
+                        if s.last_seen != time {
+                            let wgt = s.confidence;
+                            let total = wgt + 1.0;
+                            s.pos = (s.pos * wgt + p_world) / total;
+                            s.normal = ((s.normal * wgt + n_world) / total).normalized();
+                            s.color = (s.color * wgt + color) / total;
+                            s.radius = (s.radius * wgt + radius) / total;
+                            s.confidence = (s.confidence + 1.0).min(100.0);
+                            s.last_seen = time;
+                        }
+                        continue;
+                    }
+                }
+                self.surfels.push(Surfel {
+                    pos: p_world,
+                    normal: n_world,
+                    color,
+                    radius,
+                    confidence: 1.0,
+                    last_seen: time,
+                });
+            }
+        }
+    }
+
+    /// Remove stale low-confidence surfels: never-confirmed surfels that
+    /// have not been observed for `max_age` frames.
+    pub fn cleanup(&mut self, time: u32, confidence_threshold: f32, max_age: u32) {
+        self.surfels.retain(|s| {
+            s.confidence >= confidence_threshold || time.saturating_sub(s.last_seen) <= max_age
+        });
+    }
+
+    /// Apply a rigid correction to surfels last seen after `since`
+    /// (the simplified loop-closure map update; see crate docs).
+    pub fn apply_correction(&mut self, correction: &SE3, since: u32) {
+        self.surfels.par_iter_mut().for_each(|s| {
+            if s.last_seen >= since {
+                s.pos = correction.transform_point(s.pos);
+                s.normal = correction.transform_dir(s.normal);
+            }
+        });
+    }
+}
+
+/// Central-difference camera-frame normal at `(u, v)`; zero when invalid.
+fn normal_from_depth(depth: &DepthImage, k: &CameraIntrinsics, u: usize, v: usize) -> Vec3 {
+    if u + 1 >= depth.width || v + 1 >= depth.height || u == 0 || v == 0 {
+        return Vec3::ZERO;
+    }
+    let d = depth.at(u, v);
+    let dx1 = depth.at(u + 1, v);
+    let dx0 = depth.at(u - 1, v);
+    let dy1 = depth.at(u, v + 1);
+    let dy0 = depth.at(u, v - 1);
+    if d <= 0.0 || dx1 <= 0.0 || dx0 <= 0.0 || dy1 <= 0.0 || dy0 <= 0.0 {
+        return Vec3::ZERO;
+    }
+    // Reject depth discontinuities: a central difference across a
+    // silhouette edge produces a confidently wrong normal.
+    const MAX_NEIGHBOR_GAP: f32 = 0.07;
+    if (dx1 - d).abs() > MAX_NEIGHBOR_GAP
+        || (dx0 - d).abs() > MAX_NEIGHBOR_GAP
+        || (dy1 - d).abs() > MAX_NEIGHBOR_GAP
+        || (dy0 - d).abs() > MAX_NEIGHBOR_GAP
+    {
+        return Vec3::ZERO;
+    }
+    let px1 = k.backproject(u as f32 + 1.0, v as f32, dx1);
+    let px0 = k.backproject(u as f32 - 1.0, v as f32, dx0);
+    let py1 = k.backproject(u as f32, v as f32 + 1.0, dy1);
+    let py0 = k.backproject(u as f32, v as f32 - 1.0, dy0);
+    let n = (px1 - px0).cross(py1 - py0).normalized();
+    let p = k.backproject(u as f32, v as f32, d);
+    if n.dot(p) > 0.0 {
+        -n
+    } else {
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icl_nuim_synth::{living_room, look_at, render_rgbd};
+
+    fn cam() -> CameraIntrinsics {
+        CameraIntrinsics::kinect_like(64, 48)
+    }
+
+    fn first_view() -> (DepthImage, RgbImage, SE3) {
+        let scene = living_room();
+        let pose = look_at(Vec3::new(0.0, -0.1, -0.3), Vec3::new(0.3, 0.5, 2.9));
+        let (d, c) = render_rgbd(&scene, &cam(), &pose);
+        (d, c, pose)
+    }
+
+    fn fused_once() -> (SurfelMap, SE3) {
+        let (d, c, pose) = first_view();
+        let mut map = SurfelMap::new();
+        let pred = map.predict(&cam(), &pose, |_| true);
+        map.fuse(&d, &c, &cam(), &pose, &pred, 5.0, 0);
+        (map, pose)
+    }
+
+    #[test]
+    fn first_fusion_creates_surfels() {
+        let (map, _) = fused_once();
+        assert!(map.len() > 1000, "only {} surfels", map.len());
+        for s in map.surfels().iter().take(50) {
+            assert!((s.normal.norm() - 1.0).abs() < 1e-3);
+            assert!(s.confidence == 1.0);
+            assert!(s.radius > 0.0);
+        }
+    }
+
+    #[test]
+    fn refusing_same_view_merges_not_duplicates() {
+        let (mut map, pose) = fused_once();
+        let n1 = map.len();
+        let (d, c, _) = first_view();
+        let pred = map.predict(&cam(), &pose, |_| true);
+        map.fuse(&d, &c, &cam(), &pose, &pred, 5.0, 1);
+        let n2 = map.len();
+        // Most pixels should merge; allow some growth at splat boundaries.
+        assert!(n2 < n1 + n1 / 2, "map doubled: {n1} -> {n2}");
+        // Confidence rose somewhere.
+        assert!(map.surfels().iter().any(|s| s.confidence >= 2.0));
+    }
+
+    #[test]
+    fn depth_cutoff_limits_fusion() {
+        let (d, c, pose) = first_view();
+        let mut map = SurfelMap::new();
+        let pred = map.predict(&cam(), &pose, |_| true);
+        map.fuse(&d, &c, &cam(), &pose, &pred, 1.0, 0); // 1 m cutoff
+        let far = map.surfels().iter().filter(|s| {
+            pose.inverse().transform_point(s.pos).z > 1.05
+        }).count();
+        assert_eq!(far, 0);
+    }
+
+    #[test]
+    fn prediction_covers_view_after_fusion() {
+        let (map, pose) = fused_once();
+        let pred = map.predict(&cam(), &pose, |_| true);
+        let cov = pred.coverage() as f32 / (64.0 * 48.0);
+        assert!(cov > 0.7, "coverage {cov}");
+        // Points lie near the scene surface.
+        let scene = living_room();
+        let mut ok = 0;
+        let mut total = 0;
+        for v in (2..46).step_by(4) {
+            for u in (2..62).step_by(4) {
+                if pred.is_valid(u, v) {
+                    total += 1;
+                    if scene.distance(pred.points[v * 64 + u]).abs() < 0.05 {
+                        ok += 1;
+                    }
+                }
+            }
+        }
+        assert!(ok as f32 / total as f32 > 0.9, "{ok}/{total} on-surface");
+    }
+
+    #[test]
+    fn predict_filter_excludes_surfels() {
+        let (map, pose) = fused_once();
+        let none = map.predict(&cam(), &pose, |_| false);
+        assert_eq!(none.coverage(), 0);
+        let all = map.predict(&cam(), &pose, |_| true);
+        assert!(all.coverage() > 0);
+    }
+
+    #[test]
+    fn cleanup_drops_stale_unstable_surfels() {
+        let (mut map, _) = fused_once();
+        let before = map.len();
+        // All have confidence 1 < threshold 10 and last_seen 0.
+        map.cleanup(500, 10.0, 100);
+        assert_eq!(map.len(), 0, "expected all {before} culled");
+        let (mut map2, _) = fused_once();
+        map2.cleanup(50, 10.0, 100); // young enough to survive
+        assert_eq!(map2.len(), before);
+    }
+
+    #[test]
+    fn apply_correction_moves_recent_surfels_only() {
+        let (mut map, _) = fused_once();
+        // Mark half the surfels as newer.
+        let n = map.len();
+        for (i, s) in map.surfels.iter_mut().enumerate() {
+            s.last_seen = if i % 2 == 0 { 10 } else { 0 };
+        }
+        let before: Vec<Vec3> = map.surfels().iter().map(|s| s.pos).collect();
+        let shift = SE3::from_translation(Vec3::new(0.5, 0.0, 0.0));
+        map.apply_correction(&shift, 5);
+        for (i, s) in map.surfels().iter().enumerate() {
+            let expected = if i % 2 == 0 { before[i] + Vec3::new(0.5, 0.0, 0.0) } else { before[i] };
+            assert!((s.pos - expected).norm() < 1e-6);
+        }
+        let _ = n;
+    }
+
+    #[test]
+    fn stable_count_respects_threshold() {
+        let (mut map, pose) = fused_once();
+        assert_eq!(map.stable_count(2.0), 0);
+        let (d, c, _) = first_view();
+        for t in 1..4 {
+            let pred = map.predict(&cam(), &pose, |_| true);
+            map.fuse(&d, &c, &cam(), &pose, &pred, 5.0, t);
+        }
+        assert!(map.stable_count(3.0) > 0);
+    }
+}

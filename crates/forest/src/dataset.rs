@@ -1,0 +1,179 @@
+//! Row-major training data for regression forests.
+
+/// A regression training set: `n_rows` rows of `n_features` numeric features
+/// plus one numeric target per row, stored contiguously.
+#[derive(Debug, Clone, Default)]
+pub struct Dataset {
+    n_features: usize,
+    /// Flattened `n_rows × n_features`, row-major.
+    features: Vec<f64>,
+    targets: Vec<f64>,
+}
+
+impl Dataset {
+    /// Empty dataset for rows of `n_features` features.
+    pub fn new(n_features: usize) -> Self {
+        Dataset { n_features, features: Vec::new(), targets: Vec::new() }
+    }
+
+    /// Empty dataset with capacity reserved for `n_rows` rows.
+    pub fn with_capacity(n_features: usize, n_rows: usize) -> Self {
+        Dataset {
+            n_features,
+            features: Vec::with_capacity(n_features * n_rows),
+            targets: Vec::with_capacity(n_rows),
+        }
+    }
+
+    /// Append one `(features, target)` row.
+    ///
+    /// # Panics
+    /// If `row.len() != n_features` or any value is non-finite — surrogate
+    /// training data must be clean, so corrupt rows fail fast.
+    pub fn push_row(&mut self, row: &[f64], target: f64) {
+        assert_eq!(
+            row.len(),
+            self.n_features,
+            "row has {} features, dataset expects {}",
+            row.len(),
+            self.n_features
+        );
+        assert!(
+            row.iter().all(|v| v.is_finite()) && target.is_finite(),
+            "non-finite value in training row"
+        );
+        self.features.extend_from_slice(row);
+        self.targets.push(target);
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// True when no rows have been added.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.targets.is_empty()
+    }
+
+    /// Number of features per row.
+    #[inline]
+    pub fn n_features(&self) -> usize {
+        self.n_features
+    }
+
+    /// Feature slice of row `i`.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.features[i * self.n_features..(i + 1) * self.n_features]
+    }
+
+    /// Feature `f` of row `i`.
+    #[inline]
+    pub fn feature(&self, i: usize, f: usize) -> f64 {
+        self.features[i * self.n_features + f]
+    }
+
+    /// Target of row `i`.
+    #[inline]
+    pub fn target(&self, i: usize) -> f64 {
+        self.targets[i]
+    }
+
+    /// All targets.
+    #[inline]
+    pub fn targets(&self) -> &[f64] {
+        &self.targets
+    }
+
+    /// Mean of the targets (0 for an empty set).
+    pub fn target_mean(&self) -> f64 {
+        if self.targets.is_empty() {
+            0.0
+        } else {
+            self.targets.iter().sum::<f64>() / self.targets.len() as f64
+        }
+    }
+
+    /// Population variance of the targets.
+    pub fn target_variance(&self) -> f64 {
+        if self.targets.is_empty() {
+            return 0.0;
+        }
+        let mean = self.target_mean();
+        self.targets.iter().map(|t| (t - mean) * (t - mean)).sum::<f64>() / self.targets.len() as f64
+    }
+
+    /// (min, max) of the targets; `None` when empty.
+    pub fn target_range(&self) -> Option<(f64, f64)> {
+        let mut it = self.targets.iter();
+        let first = *it.next()?;
+        let mut min = first;
+        let mut max = first;
+        for &t in it {
+            min = min.min(t);
+            max = max.max(t);
+        }
+        Some((min, max))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_access() {
+        let mut d = Dataset::new(3);
+        d.push_row(&[1.0, 2.0, 3.0], 10.0);
+        d.push_row(&[4.0, 5.0, 6.0], 20.0);
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.n_features(), 3);
+        assert_eq!(d.row(1), &[4.0, 5.0, 6.0]);
+        assert_eq!(d.feature(0, 2), 3.0);
+        assert_eq!(d.target(1), 20.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "features")]
+    fn wrong_width_panics() {
+        let mut d = Dataset::new(2);
+        d.push_row(&[1.0], 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn nan_feature_panics() {
+        let mut d = Dataset::new(1);
+        d.push_row(&[f64::NAN], 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn infinite_target_panics() {
+        let mut d = Dataset::new(1);
+        d.push_row(&[0.0], f64::INFINITY);
+    }
+
+    #[test]
+    fn statistics() {
+        let mut d = Dataset::new(1);
+        for t in [1.0, 2.0, 3.0, 4.0] {
+            d.push_row(&[t], t);
+        }
+        assert!((d.target_mean() - 2.5).abs() < 1e-12);
+        assert!((d.target_variance() - 1.25).abs() < 1e-12);
+        assert_eq!(d.target_range(), Some((1.0, 4.0)));
+    }
+
+    #[test]
+    fn empty_statistics() {
+        let d = Dataset::new(2);
+        assert!(d.is_empty());
+        assert_eq!(d.target_mean(), 0.0);
+        assert_eq!(d.target_variance(), 0.0);
+        assert_eq!(d.target_range(), None);
+    }
+}

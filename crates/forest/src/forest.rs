@@ -1,0 +1,385 @@
+//! Bagged ensembles of regression trees.
+
+use crate::dataset::Dataset;
+use crate::tree::{RegressionTree, TreeConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
+
+/// Hyper-parameters for a random forest.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ForestConfig {
+    /// Number of trees in the ensemble.
+    pub n_trees: usize,
+    /// Per-tree CART parameters. A `tree.mtry` of 0 is replaced by
+    /// `ceil(n_features / 3)`, the standard regression default.
+    pub tree: TreeConfig,
+    /// Bootstrap sample size as a fraction of the training set (1.0 = classic
+    /// bagging with replacement).
+    pub bootstrap_fraction: f64,
+    /// Master RNG seed; the whole fit is deterministic given this.
+    pub seed: u64,
+}
+
+impl Default for ForestConfig {
+    fn default() -> Self {
+        ForestConfig {
+            n_trees: 100,
+            tree: TreeConfig::default(),
+            bootstrap_fraction: 1.0,
+            seed: 0,
+        }
+    }
+}
+
+/// A fitted random forest regressor.
+///
+/// The ensemble prediction is the mean of the tree predictions; the spread
+/// across trees ([`RandomForest::predict_with_spread`]) is a cheap
+/// uncertainty proxy used by active learning.
+#[derive(Debug, Clone)]
+pub struct RandomForest {
+    trees: Vec<RegressionTree>,
+    /// Per-tree out-of-bag row indices (rows *not* drawn by that tree's
+    /// bootstrap), kept for OOB error estimation.
+    oob_rows: Vec<Vec<u32>>,
+    n_features: usize,
+}
+
+impl RandomForest {
+    /// Fit `config.n_trees` trees on bootstrap resamples of `data`.
+    ///
+    /// Trees train in parallel; each tree derives its own RNG from
+    /// `config.seed` and its index, so results do not depend on scheduling.
+    ///
+    /// # Panics
+    /// If `data` is empty or `config.n_trees == 0`.
+    pub fn fit(data: &Dataset, config: &ForestConfig) -> RandomForest {
+        assert!(!data.is_empty(), "cannot fit a forest on an empty dataset");
+        assert!(config.n_trees > 0, "n_trees must be positive");
+        let n = data.len();
+        let mut tree_cfg = config.tree.clone();
+        if tree_cfg.mtry == 0 {
+            tree_cfg.mtry = data.n_features().div_ceil(3);
+        }
+        let sample_size = ((n as f64 * config.bootstrap_fraction).round() as usize).clamp(1, n * 4);
+
+        let fitted: Vec<(RegressionTree, Vec<u32>)> = (0..config.n_trees)
+            .into_par_iter()
+            .map(|t| {
+                // splitmix-style decorrelation of per-tree seeds
+                let tree_seed = config
+                    .seed
+                    .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(t as u64 + 1));
+                let mut rng = StdRng::seed_from_u64(tree_seed);
+                let mut in_bag = vec![false; n];
+                let mut indices = Vec::with_capacity(sample_size);
+                for _ in 0..sample_size {
+                    let i = rng.gen_range(0..n);
+                    in_bag[i] = true;
+                    indices.push(i);
+                }
+                let tree = RegressionTree::fit(data, &indices, &tree_cfg, &mut rng);
+                let oob: Vec<u32> = (0..n as u32).filter(|&i| !in_bag[i as usize]).collect();
+                (tree, oob)
+            })
+            .collect();
+
+        let (trees, oob_rows) = fitted.into_iter().unzip();
+        RandomForest { trees, oob_rows, n_features: data.n_features() }
+    }
+
+    /// Ensemble mean prediction for one row.
+    pub fn predict(&self, row: &[f64]) -> f64 {
+        let sum: f64 = self.trees.iter().map(|t| t.predict(row)).sum();
+        sum / self.trees.len() as f64
+    }
+
+    /// Ensemble mean and standard deviation across trees.
+    pub fn predict_with_spread(&self, row: &[f64]) -> (f64, f64) {
+        let n = self.trees.len() as f64;
+        let mut sum = 0.0;
+        let mut sq = 0.0;
+        for t in &self.trees {
+            let p = t.predict(row);
+            sum += p;
+            sq += p * p;
+        }
+        let mean = sum / n;
+        let var = (sq / n - mean * mean).max(0.0);
+        (mean, var.sqrt())
+    }
+
+    /// Predict a batch of rows in parallel. `rows` is a flat
+    /// `n × n_features` row-major buffer.
+    pub fn predict_batch(&self, rows: &[f64]) -> Vec<f64> {
+        assert_eq!(rows.len() % self.n_features, 0, "ragged batch");
+        rows.par_chunks(self.n_features).map(|r| self.predict(r)).collect()
+    }
+
+    /// Out-of-bag root-mean-squared error: each training row is predicted by
+    /// the trees that did *not* see it. `None` if no row is OOB anywhere
+    /// (tiny data / huge bootstrap).
+    pub fn oob_rmse(&self, data: &Dataset) -> Option<f64> {
+        let n = data.len();
+        let mut sums = vec![0.0f64; n];
+        let mut counts = vec![0u32; n];
+        for (tree, oob) in self.trees.iter().zip(&self.oob_rows) {
+            for &i in oob {
+                let i = i as usize;
+                if i < n {
+                    sums[i] += tree.predict(data.row(i));
+                    counts[i] += 1;
+                }
+            }
+        }
+        let mut se = 0.0;
+        let mut covered = 0usize;
+        for i in 0..n {
+            if counts[i] > 0 {
+                let pred = sums[i] / counts[i] as f64;
+                let d = pred - data.target(i);
+                se += d * d;
+                covered += 1;
+            }
+        }
+        if covered == 0 {
+            None
+        } else {
+            Some((se / covered as f64).sqrt())
+        }
+    }
+
+    /// Normalized impurity-based feature importance (sums to 1, or all zeros
+    /// when no split was ever made).
+    pub fn feature_importance(&self) -> Vec<f64> {
+        let mut total = vec![0.0; self.n_features];
+        for t in &self.trees {
+            for (a, b) in total.iter_mut().zip(t.feature_importance()) {
+                *a += b;
+            }
+        }
+        let s: f64 = total.iter().sum();
+        if s > 0.0 {
+            for v in &mut total {
+                *v /= s;
+            }
+        }
+        total
+    }
+
+    /// Permutation importance: the increase in RMSE on `data` when feature
+    /// `f`'s column is shuffled, averaged over `repeats` shuffles.
+    /// More expensive but less biased than impurity importance.
+    pub fn permutation_importance(&self, data: &Dataset, repeats: usize, seed: u64) -> Vec<f64> {
+        let n = data.len();
+        let base = self.rmse_on(data);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut importance = vec![0.0; self.n_features];
+        let mut row_buf = vec![0.0f64; self.n_features];
+        for f in 0..self.n_features {
+            let mut delta = 0.0;
+            for _ in 0..repeats.max(1) {
+                // Fisher–Yates permutation of row order for column f.
+                let mut perm: Vec<usize> = (0..n).collect();
+                for i in (1..n).rev() {
+                    let j = rng.gen_range(0..=i);
+                    perm.swap(i, j);
+                }
+                let mut se = 0.0;
+                for i in 0..n {
+                    row_buf.copy_from_slice(data.row(i));
+                    row_buf[f] = data.feature(perm[i], f);
+                    let d = self.predict(&row_buf) - data.target(i);
+                    se += d * d;
+                }
+                delta += (se / n as f64).sqrt() - base;
+            }
+            importance[f] = (delta / repeats.max(1) as f64).max(0.0);
+        }
+        importance
+    }
+
+    /// Training-set RMSE (optimistic; prefer [`RandomForest::oob_rmse`]).
+    pub fn rmse_on(&self, data: &Dataset) -> f64 {
+        let n = data.len();
+        if n == 0 {
+            return 0.0;
+        }
+        let se: f64 = (0..n)
+            .map(|i| {
+                let d = self.predict(data.row(i)) - data.target(i);
+                d * d
+            })
+            .sum();
+        (se / n as f64).sqrt()
+    }
+
+    /// Number of trees.
+    pub fn n_trees(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// Feature width expected by `predict`.
+    pub fn n_features(&self) -> usize {
+        self.n_features
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn linear_data(n: usize) -> Dataset {
+        let mut d = Dataset::new(2);
+        for i in 0..n {
+            let x = (i % 37) as f64 * 0.3;
+            let y = ((i * 7) % 23) as f64 * 0.1;
+            d.push_row(&[x, y], 3.0 * x - 2.0 * y + 1.0);
+        }
+        d
+    }
+
+    #[test]
+    fn fits_linear_function_well() {
+        let d = linear_data(500);
+        let f = RandomForest::fit(&d, &ForestConfig { n_trees: 50, seed: 1, ..Default::default() });
+        let mut err = 0.0;
+        for i in 0..100 {
+            let x = (i % 37) as f64 * 0.3;
+            let y = ((i * 7) % 23) as f64 * 0.1;
+            err += (f.predict(&[x, y]) - (3.0 * x - 2.0 * y + 1.0)).abs();
+        }
+        err /= 100.0;
+        assert!(err < 0.5, "mean abs error {err}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let d = linear_data(200);
+        let cfg = ForestConfig { n_trees: 20, seed: 77, ..Default::default() };
+        let f1 = RandomForest::fit(&d, &cfg);
+        let f2 = RandomForest::fit(&d, &cfg);
+        for i in 0..50 {
+            let row = [i as f64 * 0.1, (50 - i) as f64 * 0.05];
+            assert_eq!(f1.predict(&row), f2.predict(&row));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let d = linear_data(200);
+        let f1 = RandomForest::fit(&d, &ForestConfig { n_trees: 10, seed: 1, ..Default::default() });
+        let f2 = RandomForest::fit(&d, &ForestConfig { n_trees: 10, seed: 2, ..Default::default() });
+        let any_diff = (0..50).any(|i| {
+            let row = [i as f64 * 0.17, i as f64 * 0.05];
+            f1.predict(&row) != f2.predict(&row)
+        });
+        assert!(any_diff);
+    }
+
+    #[test]
+    fn prediction_within_target_range() {
+        let d = linear_data(300);
+        let (lo, hi) = d.target_range().unwrap();
+        let f = RandomForest::fit(&d, &ForestConfig { n_trees: 30, seed: 5, ..Default::default() });
+        for i in 0..100 {
+            let p = f.predict(&[i as f64, -(i as f64)]);
+            assert!(p >= lo - 1e-9 && p <= hi + 1e-9);
+        }
+    }
+
+    #[test]
+    fn spread_is_zero_for_constant_target() {
+        let mut d = Dataset::new(1);
+        for i in 0..50 {
+            d.push_row(&[i as f64], 3.0);
+        }
+        let f = RandomForest::fit(&d, &ForestConfig { n_trees: 25, seed: 3, ..Default::default() });
+        let (mean, spread) = f.predict_with_spread(&[10.0]);
+        assert_eq!(mean, 3.0);
+        assert_eq!(spread, 0.0);
+    }
+
+    #[test]
+    fn spread_positive_in_noisy_regions() {
+        let mut d = Dataset::new(1);
+        // Deterministic pseudo-noise.
+        for i in 0..200 {
+            let x = i as f64 * 0.1;
+            let noise = (((i as u64 * 2654435761) % 1000) as f64 / 1000.0 - 0.5) * 4.0;
+            d.push_row(&[x], x + noise);
+        }
+        let f = RandomForest::fit(
+            &d,
+            &ForestConfig {
+                n_trees: 40,
+                seed: 9,
+                tree: TreeConfig { min_samples_leaf: 1, min_samples_split: 2, ..Default::default() },
+                ..Default::default()
+            },
+        );
+        let (_, spread) = f.predict_with_spread(&[5.05]);
+        assert!(spread > 0.0);
+    }
+
+    #[test]
+    fn oob_rmse_reasonable() {
+        let d = linear_data(400);
+        let f = RandomForest::fit(&d, &ForestConfig { n_trees: 60, seed: 11, ..Default::default() });
+        let oob = f.oob_rmse(&d).expect("rows should be OOB somewhere");
+        // Target range ~[-3.5, 12]; a sane model is well under 2.0 RMSE.
+        assert!(oob < 2.0, "OOB RMSE {oob}");
+        // OOB is (weakly) pessimistic vs. training RMSE.
+        assert!(oob >= f.rmse_on(&d) * 0.5);
+    }
+
+    #[test]
+    fn importance_finds_informative_feature() {
+        let mut d = Dataset::new(3);
+        for i in 0..300 {
+            let noise1 = ((i * 31) % 17) as f64;
+            let signal = (i % 10) as f64;
+            let noise2 = ((i * 13) % 7) as f64;
+            d.push_row(&[noise1, signal, noise2], signal * 5.0);
+        }
+        let f = RandomForest::fit(&d, &ForestConfig { n_trees: 40, seed: 2, ..Default::default() });
+        let imp = f.feature_importance();
+        assert!((imp.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(imp[1] > 0.8, "importance {imp:?}");
+
+        let pimp = f.permutation_importance(&d, 2, 4);
+        assert!(pimp[1] > pimp[0] && pimp[1] > pimp[2], "perm importance {pimp:?}");
+    }
+
+    #[test]
+    fn predict_batch_matches_single() {
+        let d = linear_data(150);
+        let f = RandomForest::fit(&d, &ForestConfig { n_trees: 15, seed: 21, ..Default::default() });
+        let rows: Vec<f64> = (0..20).flat_map(|i| [i as f64 * 0.2, i as f64 * 0.4]).collect();
+        let batch = f.predict_batch(&rows);
+        for (i, chunk) in rows.chunks(2).enumerate() {
+            assert_eq!(batch[i], f.predict(chunk));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty dataset")]
+    fn empty_dataset_panics() {
+        RandomForest::fit(&Dataset::new(2), &ForestConfig::default());
+    }
+
+    #[test]
+    fn mtry_default_is_third_of_features() {
+        // Smoke test: fitting with default mtry on a 6-feature set works and
+        // uses the ensemble (tree predictions differ).
+        let mut d = Dataset::new(6);
+        for i in 0..120 {
+            let row: Vec<f64> = (0..6).map(|f| ((i * (f + 3)) % 11) as f64).collect();
+            d.push_row(&row, row[0] + row[3] * 2.0);
+        }
+        let f = RandomForest::fit(&d, &ForestConfig { n_trees: 12, seed: 8, ..Default::default() });
+        assert_eq!(f.n_trees(), 12);
+        assert_eq!(f.n_features(), 6);
+    }
+}

@@ -1,0 +1,41 @@
+//! Randomized decision forest regression.
+//!
+//! This crate implements, from scratch, the surrogate model used by
+//! HyperMapper (Nardi et al., iWAPT 2017): an ensemble of CART regression
+//! trees ("randomized decision forests", Breiman 1984/2001) with
+//!
+//! * bootstrap aggregation (bagging),
+//! * per-split random feature subsetting (`mtry`),
+//! * out-of-bag (OOB) error estimation,
+//! * impurity-based and permutation-based feature importance,
+//! * ensemble mean **and** spread prediction (the spread drives
+//!   exploration in active learning).
+//!
+//! Training is deterministic given a seed, and trees train in parallel with
+//! Rayon.
+//!
+//! # Example
+//!
+//! ```
+//! use randforest::{Dataset, ForestConfig, RandomForest};
+//!
+//! // y = 2·x0 with a little structure in x1.
+//! let mut data = Dataset::new(2);
+//! for i in 0..200 {
+//!     let x0 = (i % 50) as f64 / 10.0;
+//!     let x1 = (i % 7) as f64;
+//!     data.push_row(&[x0, x1], 2.0 * x0 + 0.1 * x1);
+//! }
+//! let config = ForestConfig { n_trees: 30, seed: 42, ..Default::default() };
+//! let forest = RandomForest::fit(&data, &config);
+//! let pred = forest.predict(&[2.5, 3.0]);
+//! assert!((pred - 5.3).abs() < 1.0);
+//! ```
+
+pub mod dataset;
+pub mod forest;
+pub mod tree;
+
+pub use dataset::Dataset;
+pub use forest::{ForestConfig, RandomForest};
+pub use tree::{RegressionTree, TreeConfig};

@@ -1,0 +1,475 @@
+//! CART regression trees.
+
+use crate::dataset::Dataset;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Hyper-parameters for a single regression tree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TreeConfig {
+    /// Maximum tree depth (root has depth 0). `usize::MAX` disables the cap.
+    pub max_depth: usize,
+    /// A node with fewer rows than this will not be split further.
+    pub min_samples_split: usize,
+    /// Each child of a split must keep at least this many rows.
+    pub min_samples_leaf: usize,
+    /// Number of candidate features examined per split (`mtry`). Clamped to
+    /// the dataset width at fit time; 0 means "use all features".
+    pub mtry: usize,
+}
+
+impl Default for TreeConfig {
+    fn default() -> Self {
+        TreeConfig {
+            max_depth: usize::MAX,
+            min_samples_split: 4,
+            min_samples_leaf: 2,
+            mtry: 0,
+        }
+    }
+}
+
+/// Arena node of a fitted tree.
+#[derive(Debug, Clone)]
+enum Node {
+    /// Internal split: rows with `feature < threshold` go left.
+    Split {
+        feature: u32,
+        threshold: f64,
+        left: u32,
+        right: u32,
+    },
+    /// Terminal node predicting the mean target of its training rows.
+    Leaf { value: f64, n: u32 },
+}
+
+/// A fitted CART regression tree.
+///
+/// Splits minimize the weighted child variance (equivalently, maximize
+/// variance reduction). Nodes are stored in a flat arena for cache-friendly
+/// prediction.
+#[derive(Debug, Clone)]
+pub struct RegressionTree {
+    nodes: Vec<Node>,
+    n_features: usize,
+    /// Total variance reduction attributed to each feature (impurity
+    /// importance, unnormalized).
+    importance: Vec<f64>,
+}
+
+/// Scratch buffers reused across nodes during fitting.
+struct FitCtx<'a, R: Rng> {
+    data: &'a Dataset,
+    config: &'a TreeConfig,
+    rng: &'a mut R,
+    /// Candidate feature indices, reshuffled per split.
+    feature_pool: Vec<usize>,
+    /// (feature value, target) pairs sorted per candidate feature.
+    sort_buf: Vec<(f64, f64)>,
+}
+
+struct BestSplit {
+    feature: usize,
+    threshold: f64,
+    score: f64, // variance reduction, > 0
+}
+
+impl RegressionTree {
+    /// Fit a tree on the rows `indices` of `data` (duplicates allowed — this
+    /// is how bagging passes bootstrap samples).
+    ///
+    /// # Panics
+    /// If `indices` is empty or `data` is empty.
+    pub fn fit<R: Rng>(
+        data: &Dataset,
+        indices: &[usize],
+        config: &TreeConfig,
+        rng: &mut R,
+    ) -> RegressionTree {
+        assert!(!indices.is_empty(), "cannot fit a tree on zero rows");
+        let n_features = data.n_features();
+        let mut tree = RegressionTree {
+            nodes: Vec::new(),
+            n_features,
+            importance: vec![0.0; n_features],
+        };
+        let mut ctx = FitCtx {
+            data,
+            config,
+            rng,
+            feature_pool: (0..n_features).collect(),
+            sort_buf: Vec::new(),
+        };
+        let mut idx = indices.to_vec();
+        tree.build(&mut ctx, &mut idx, 0);
+        tree
+    }
+
+    /// Recursively build the subtree over `indices`, returning its arena id.
+    fn build<R: Rng>(&mut self, ctx: &mut FitCtx<'_, R>, indices: &mut [usize], depth: usize) -> u32 {
+        let n = indices.len();
+        let (mean, var) = mean_var(ctx.data, indices);
+
+        let make_leaf = |nodes: &mut Vec<Node>| {
+            nodes.push(Node::Leaf { value: mean, n: n as u32 });
+            (nodes.len() - 1) as u32
+        };
+
+        if depth >= ctx.config.max_depth
+            || n < ctx.config.min_samples_split
+            || n < 2 * ctx.config.min_samples_leaf
+            || var <= 1e-18
+        {
+            return make_leaf(&mut self.nodes);
+        }
+
+        let Some(best) = self.find_best_split(ctx, indices, var) else {
+            return make_leaf(&mut self.nodes);
+        };
+
+        // Partition in place: `< threshold` to the front.
+        let mut split_at = 0;
+        for i in 0..n {
+            if ctx.data.feature(indices[i], best.feature) < best.threshold {
+                indices.swap(i, split_at);
+                split_at += 1;
+            }
+        }
+        debug_assert!(split_at >= ctx.config.min_samples_leaf);
+        debug_assert!(n - split_at >= ctx.config.min_samples_leaf);
+
+        self.importance[best.feature] += best.score * n as f64;
+
+        // Reserve this node's slot before recursing so parents precede
+        // children in the arena.
+        self.nodes.push(Node::Leaf { value: mean, n: n as u32 });
+        let me = (self.nodes.len() - 1) as u32;
+        let (left_idx, right_idx) = indices.split_at_mut(split_at);
+        let left = self.build(ctx, left_idx, depth + 1);
+        let right = self.build(ctx, right_idx, depth + 1);
+        self.nodes[me as usize] = Node::Split {
+            feature: best.feature as u32,
+            threshold: best.threshold,
+            left,
+            right,
+        };
+        me
+    }
+
+    /// Scan a random subset of features for the variance-minimizing split.
+    fn find_best_split<R: Rng>(
+        &self,
+        ctx: &mut FitCtx<'_, R>,
+        indices: &[usize],
+        parent_var: f64,
+    ) -> Option<BestSplit> {
+        let n = indices.len();
+        let n_f = ctx.data.n_features();
+        let mtry = match ctx.config.mtry {
+            0 => n_f,
+            m => m.min(n_f),
+        };
+        ctx.feature_pool.shuffle(ctx.rng);
+        // Borrow the pool by value to avoid aliasing ctx mutably twice.
+        let candidates: Vec<usize> = ctx.feature_pool[..mtry].to_vec();
+
+        let min_leaf = ctx.config.min_samples_leaf;
+        let mut best: Option<BestSplit> = None;
+
+        for feature in candidates {
+            let buf = &mut ctx.sort_buf;
+            buf.clear();
+            buf.extend(
+                indices
+                    .iter()
+                    .map(|&i| (ctx.data.feature(i, feature), ctx.data.target(i))),
+            );
+            buf.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite features"));
+
+            // Prefix scan: for split after position k (left = 0..=k), the
+            // weighted variance is computable from sums of y and y².
+            let total_sum: f64 = buf.iter().map(|p| p.1).sum();
+            let total_sq: f64 = buf.iter().map(|p| p.1 * p.1).sum();
+            let mut left_sum = 0.0;
+            let mut left_sq = 0.0;
+            for k in 0..n - 1 {
+                left_sum += buf[k].1;
+                left_sq += buf[k].1 * buf[k].1;
+                let n_left = k + 1;
+                let n_right = n - n_left;
+                if n_left < min_leaf {
+                    continue;
+                }
+                if n_right < min_leaf {
+                    break;
+                }
+                // Can't split between equal feature values.
+                if buf[k].0 == buf[k + 1].0 {
+                    continue;
+                }
+                let right_sum = total_sum - left_sum;
+                let right_sq = total_sq - left_sq;
+                let var_left = left_sq / n_left as f64 - (left_sum / n_left as f64).powi(2);
+                let var_right = right_sq / n_right as f64 - (right_sum / n_right as f64).powi(2);
+                let weighted =
+                    (n_left as f64 * var_left + n_right as f64 * var_right) / n as f64;
+                let score = parent_var - weighted;
+                if score > 1e-15 && best.as_ref().is_none_or(|b| score > b.score) {
+                    // Midpoint threshold is the CART convention.
+                    best = Some(BestSplit {
+                        feature,
+                        threshold: 0.5 * (buf[k].0 + buf[k + 1].0),
+                        score,
+                    });
+                }
+            }
+        }
+        best
+    }
+
+    /// Predict the target for one feature row.
+    ///
+    /// # Panics
+    /// If `row.len() != n_features`.
+    pub fn predict(&self, row: &[f64]) -> f64 {
+        assert_eq!(row.len(), self.n_features, "feature width mismatch");
+        let mut node = 0usize;
+        loop {
+            match &self.nodes[node] {
+                Node::Leaf { value, .. } => return *value,
+                Node::Split { feature, threshold, left, right } => {
+                    node = if row[*feature as usize] < *threshold {
+                        *left as usize
+                    } else {
+                        *right as usize
+                    };
+                }
+            }
+        }
+    }
+
+    /// Number of arena nodes.
+    pub fn n_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of leaves.
+    pub fn n_leaves(&self) -> usize {
+        self.nodes.iter().filter(|n| matches!(n, Node::Leaf { .. })).count()
+    }
+
+    /// Smallest number of training rows in any leaf — useful for verifying
+    /// `min_samples_leaf` is honored.
+    pub fn min_leaf_size(&self) -> u32 {
+        self.nodes
+            .iter()
+            .filter_map(|n| match n {
+                Node::Leaf { n, .. } => Some(*n),
+                _ => None,
+            })
+            .min()
+            .unwrap_or(0)
+    }
+
+    /// Maximum depth of the fitted tree (0 for a single leaf).
+    pub fn depth(&self) -> usize {
+        fn depth_of(nodes: &[Node], i: usize) -> usize {
+            match &nodes[i] {
+                Node::Leaf { .. } => 0,
+                Node::Split { left, right, .. } => {
+                    1 + depth_of(nodes, *left as usize).max(depth_of(nodes, *right as usize))
+                }
+            }
+        }
+        depth_of(&self.nodes, 0)
+    }
+
+    /// Unnormalized impurity importance per feature (total variance
+    /// reduction, weighted by node size).
+    pub fn feature_importance(&self) -> &[f64] {
+        &self.importance
+    }
+}
+
+/// Mean and population variance of the targets at `indices`.
+fn mean_var(data: &Dataset, indices: &[usize]) -> (f64, f64) {
+    let n = indices.len() as f64;
+    let mut sum = 0.0;
+    let mut sq = 0.0;
+    for &i in indices {
+        let t = data.target(i);
+        sum += t;
+        sq += t * t;
+    }
+    let mean = sum / n;
+    let var = (sq / n - mean * mean).max(0.0);
+    (mean, var)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(7)
+    }
+
+    fn fit_all(data: &Dataset, config: &TreeConfig) -> RegressionTree {
+        let idx: Vec<usize> = (0..data.len()).collect();
+        RegressionTree::fit(data, &idx, config, &mut rng())
+    }
+
+    #[test]
+    fn constant_target_yields_single_leaf() {
+        let mut d = Dataset::new(2);
+        for i in 0..20 {
+            d.push_row(&[i as f64, (i * 3 % 7) as f64], 5.0);
+        }
+        let t = fit_all(&d, &TreeConfig::default());
+        assert_eq!(t.n_nodes(), 1);
+        assert_eq!(t.predict(&[100.0, -3.0]), 5.0);
+    }
+
+    #[test]
+    fn step_function_recovered_exactly() {
+        let mut d = Dataset::new(1);
+        for i in 0..50 {
+            let x = i as f64;
+            d.push_row(&[x], if x < 25.0 { 1.0 } else { 9.0 });
+        }
+        let t = fit_all(&d, &TreeConfig { min_samples_leaf: 1, min_samples_split: 2, ..Default::default() });
+        assert_eq!(t.predict(&[0.0]), 1.0);
+        assert_eq!(t.predict(&[24.0]), 1.0);
+        assert_eq!(t.predict(&[25.0]), 9.0);
+        assert_eq!(t.predict(&[49.0]), 9.0);
+    }
+
+    #[test]
+    fn splits_on_the_informative_feature() {
+        // Feature 0 is pure noise index, feature 1 carries the signal.
+        let mut d = Dataset::new(2);
+        for i in 0..60 {
+            let noise = ((i * 17) % 13) as f64;
+            let signal = (i % 2) as f64;
+            d.push_row(&[noise, signal], signal * 10.0);
+        }
+        let t = fit_all(&d, &TreeConfig::default());
+        let imp = t.feature_importance();
+        assert!(
+            imp[1] > imp[0] * 10.0,
+            "importance should concentrate on feature 1: {imp:?}"
+        );
+    }
+
+    #[test]
+    fn max_depth_limits_tree() {
+        let mut d = Dataset::new(1);
+        for i in 0..128 {
+            d.push_row(&[i as f64], i as f64);
+        }
+        let t = fit_all(
+            &d,
+            &TreeConfig { max_depth: 3, min_samples_leaf: 1, min_samples_split: 2, ..Default::default() },
+        );
+        assert!(t.depth() <= 3, "depth {} > 3", t.depth());
+        assert!(t.n_leaves() <= 8);
+    }
+
+    #[test]
+    fn min_samples_leaf_respected() {
+        let mut d = Dataset::new(1);
+        for i in 0..40 {
+            d.push_row(&[i as f64], (i % 5) as f64);
+        }
+        let t = fit_all(
+            &d,
+            &TreeConfig { min_samples_leaf: 10, min_samples_split: 20, ..Default::default() },
+        );
+        // With 40 rows and min leaf 10 the tree can have at most 4 leaves.
+        assert!(t.n_leaves() <= 4);
+    }
+
+    #[test]
+    fn prediction_within_target_range() {
+        let mut d = Dataset::new(2);
+        for i in 0..100 {
+            let x = (i as f64) / 10.0;
+            d.push_row(&[x, -x], (x * 1.3).sin() * 4.0);
+        }
+        let (lo, hi) = d.target_range().unwrap();
+        let t = fit_all(&d, &TreeConfig::default());
+        for probe in [-5.0, 0.0, 3.3, 12.0, 100.0] {
+            let p = t.predict(&[probe, -probe]);
+            assert!(p >= lo - 1e-9 && p <= hi + 1e-9, "{p} outside [{lo}, {hi}]");
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut d = Dataset::new(3);
+        for i in 0..80 {
+            let x = [(i % 9) as f64, (i % 4) as f64, (i % 11) as f64];
+            d.push_row(&x, x[0] * 2.0 - x[2]);
+        }
+        let idx: Vec<usize> = (0..d.len()).collect();
+        let cfg = TreeConfig { mtry: 2, ..Default::default() };
+        let t1 = RegressionTree::fit(&d, &idx, &cfg, &mut StdRng::seed_from_u64(99));
+        let t2 = RegressionTree::fit(&d, &idx, &cfg, &mut StdRng::seed_from_u64(99));
+        for i in 0..40 {
+            let row = [(i % 9) as f64 + 0.3, (i % 4) as f64, (i % 11) as f64];
+            assert_eq!(t1.predict(&row), t2.predict(&row));
+        }
+    }
+
+    #[test]
+    fn single_row_is_a_leaf() {
+        let mut d = Dataset::new(1);
+        d.push_row(&[1.0], 42.0);
+        let t = fit_all(&d, &TreeConfig::default());
+        assert_eq!(t.n_nodes(), 1);
+        assert_eq!(t.predict(&[-7.0]), 42.0);
+    }
+
+    #[test]
+    fn duplicate_indices_weight_the_fit() {
+        // Bootstrap-style: row 1 duplicated many times dominates the mean.
+        let mut d = Dataset::new(1);
+        d.push_row(&[0.0], 0.0);
+        d.push_row(&[0.0], 10.0);
+        let idx = vec![0, 1, 1, 1, 1, 1, 1, 1, 1, 1];
+        let t = RegressionTree::fit(&d, &idx, &TreeConfig::default(), &mut rng());
+        // Identical features → single leaf at the weighted mean 9.0.
+        assert!((t.predict(&[0.0]) - 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero rows")]
+    fn empty_indices_panic() {
+        let mut d = Dataset::new(1);
+        d.push_row(&[0.0], 0.0);
+        RegressionTree::fit(&d, &[], &TreeConfig::default(), &mut rng());
+    }
+
+    #[test]
+    fn nonlinear_function_fit_quality() {
+        // Tree should approximate a smooth 2D function decently on train data.
+        let mut d = Dataset::new(2);
+        let f = |x: f64, y: f64| (x * 0.8).sin() + (y * 0.5).cos() * 2.0;
+        for i in 0..400 {
+            let x = (i % 20) as f64 * 0.5;
+            let y = (i / 20) as f64 * 0.5;
+            d.push_row(&[x, y], f(x, y));
+        }
+        let t = fit_all(&d, &TreeConfig { min_samples_leaf: 1, min_samples_split: 2, ..Default::default() });
+        let mut err = 0.0;
+        for i in 0..400 {
+            let x = (i % 20) as f64 * 0.5;
+            let y = (i / 20) as f64 * 0.5;
+            err += (t.predict(&[x, y]) - f(x, y)).abs();
+        }
+        err /= 400.0;
+        assert!(err < 0.05, "mean abs train error {err}");
+    }
+}

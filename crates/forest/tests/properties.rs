@@ -1,0 +1,91 @@
+//! Property-based tests for the random forest.
+
+use proptest::prelude::*;
+use randforest::{Dataset, ForestConfig, RandomForest, RegressionTree, TreeConfig};
+
+/// Build a dataset from proptest-generated rows.
+fn dataset_from(rows: &[(Vec<f64>, f64)], width: usize) -> Dataset {
+    let mut d = Dataset::new(width);
+    for (x, y) in rows {
+        d.push_row(x, *y);
+    }
+    d
+}
+
+fn rows(width: usize, min_len: usize) -> impl Strategy<Value = Vec<(Vec<f64>, f64)>> {
+    prop::collection::vec(
+        (
+            prop::collection::vec(-100.0f64..100.0, width..=width),
+            -1000.0f64..1000.0,
+        ),
+        min_len..60,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Forest predictions never leave the convex hull of training targets
+    /// (each leaf predicts a mean of targets).
+    #[test]
+    fn predictions_bounded_by_targets(data in rows(3, 5), probe in prop::collection::vec(-200.0f64..200.0, 3)) {
+        let d = dataset_from(&data, 3);
+        let f = RandomForest::fit(&d, &ForestConfig { n_trees: 10, seed: 1, ..Default::default() });
+        let (lo, hi) = d.target_range().unwrap();
+        let p = f.predict(&probe);
+        prop_assert!(p >= lo - 1e-9 && p <= hi + 1e-9, "{p} outside [{lo}, {hi}]");
+    }
+
+    /// Fitting is deterministic in the seed regardless of data.
+    #[test]
+    fn deterministic(data in rows(2, 5), seed in 0u64..1000) {
+        let d = dataset_from(&data, 2);
+        let cfg = ForestConfig { n_trees: 8, seed, ..Default::default() };
+        let f1 = RandomForest::fit(&d, &cfg);
+        let f2 = RandomForest::fit(&d, &cfg);
+        let probe = [d.feature(0, 0) + 0.5, d.feature(0, 1) - 0.5];
+        prop_assert_eq!(f1.predict(&probe), f2.predict(&probe));
+    }
+
+    /// A single tree trained on all rows with leaf size 1 interpolates
+    /// training points whose feature vectors are unique.
+    #[test]
+    fn tree_interpolates_unique_rows(xs in prop::collection::hash_set(-100i32..100, 3..30)) {
+        let xs: Vec<i32> = xs.into_iter().collect();
+        let mut d = Dataset::new(1);
+        for &x in &xs {
+            d.push_row(&[x as f64], (x as f64) * 1.5 - 3.0);
+        }
+        let idx: Vec<usize> = (0..d.len()).collect();
+        let cfg = TreeConfig { min_samples_leaf: 1, min_samples_split: 2, ..Default::default() };
+        let mut rng = rand::thread_rng();
+        let t = RegressionTree::fit(&d, &idx, &cfg, &mut rng);
+        for &x in &xs {
+            let p = t.predict(&[x as f64]);
+            prop_assert!((p - ((x as f64) * 1.5 - 3.0)).abs() < 1e-9);
+        }
+    }
+
+    /// Importance is a probability vector (or all-zero when unsplittable).
+    #[test]
+    fn importance_normalized(data in rows(4, 8)) {
+        let d = dataset_from(&data, 4);
+        let f = RandomForest::fit(&d, &ForestConfig { n_trees: 6, seed: 3, ..Default::default() });
+        let imp = f.feature_importance();
+        prop_assert_eq!(imp.len(), 4);
+        let s: f64 = imp.iter().sum();
+        prop_assert!(imp.iter().all(|v| *v >= 0.0));
+        prop_assert!(s.abs() < 1e-9 || (s - 1.0).abs() < 1e-9, "sum {s}");
+    }
+
+    /// predict_with_spread mean equals predict.
+    #[test]
+    fn spread_mean_consistent(data in rows(2, 5)) {
+        let d = dataset_from(&data, 2);
+        let f = RandomForest::fit(&d, &ForestConfig { n_trees: 7, seed: 5, ..Default::default() });
+        let probe = [0.0, 0.0];
+        let (mean, spread) = f.predict_with_spread(&probe);
+        prop_assert!((mean - f.predict(&probe)).abs() < 1e-9);
+        prop_assert!(spread >= 0.0);
+    }
+}

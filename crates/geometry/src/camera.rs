@@ -1,0 +1,164 @@
+//! Pinhole camera model.
+
+use crate::vec::{Vec2, Vec3};
+
+/// Pinhole camera intrinsics `(fx, fy, cx, cy)` for an image of
+/// `width × height` pixels.
+///
+/// Conventions follow SLAMBench/KinectFusion: the camera looks down `+z`,
+/// `x` points right, `y` points down; pixel `(u, v)` has `u` along `x`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CameraIntrinsics {
+    pub fx: f32,
+    pub fy: f32,
+    pub cx: f32,
+    pub cy: f32,
+    pub width: usize,
+    pub height: usize,
+}
+
+impl CameraIntrinsics {
+    /// Create intrinsics from focal lengths and principal point.
+    pub const fn new(fx: f32, fy: f32, cx: f32, cy: f32, width: usize, height: usize) -> Self {
+        CameraIntrinsics { fx, fy, cx, cy, width, height }
+    }
+
+    /// The ICL-NUIM/Kinect-like default: 481.2/-480 focals at 640×480,
+    /// rescaled here to any resolution while preserving the field of view.
+    pub fn kinect_like(width: usize, height: usize) -> Self {
+        let sx = width as f32 / 640.0;
+        let sy = height as f32 / 480.0;
+        CameraIntrinsics::new(
+            481.2 * sx,
+            480.0 * sy,
+            (width as f32 - 1.0) * 0.5,
+            (height as f32 - 1.0) * 0.5,
+            width,
+            height,
+        )
+    }
+
+    /// Number of pixels.
+    #[inline]
+    pub fn pixels(&self) -> usize {
+        self.width * self.height
+    }
+
+    /// Back-project pixel `(u, v)` at depth `d` (meters along `+z`) to a 3D
+    /// point in the camera frame.
+    #[inline]
+    pub fn backproject(&self, u: f32, v: f32, d: f32) -> Vec3 {
+        Vec3::new((u - self.cx) / self.fx * d, (v - self.cy) / self.fy * d, d)
+    }
+
+    /// Unit-free ray direction through pixel `(u, v)` (z = 1 plane).
+    #[inline]
+    pub fn ray_dir(&self, u: f32, v: f32) -> Vec3 {
+        Vec3::new((u - self.cx) / self.fx, (v - self.cy) / self.fy, 1.0)
+    }
+
+    /// Project a camera-frame point to pixel coordinates. Returns `None` for
+    /// points at or behind the camera plane.
+    #[inline]
+    pub fn project(&self, p: Vec3) -> Option<Vec2> {
+        if p.z <= crate::EPS {
+            return None;
+        }
+        Some(Vec2::new(
+            p.x / p.z * self.fx + self.cx,
+            p.y / p.z * self.fy + self.cy,
+        ))
+    }
+
+    /// Project and round to the nearest integer pixel, returning `None` when
+    /// the projection falls outside the image bounds.
+    pub fn project_to_pixel(&self, p: Vec3) -> Option<(usize, usize)> {
+        let uv = self.project(p)?;
+        let u = uv.x.round();
+        let v = uv.y.round();
+        if u < 0.0 || v < 0.0 || u >= self.width as f32 || v >= self.height as f32 {
+            return None;
+        }
+        Some((u as usize, v as usize))
+    }
+
+    /// Intrinsics for an image downscaled by an integer `ratio` (the
+    /// "compute size ratio" of the KFusion parameter space).
+    pub fn downscaled(&self, ratio: usize) -> CameraIntrinsics {
+        let r = ratio.max(1) as f32;
+        CameraIntrinsics::new(
+            self.fx / r,
+            self.fy / r,
+            self.cx / r,
+            self.cy / r,
+            (self.width / ratio.max(1)).max(1),
+            (self.height / ratio.max(1)).max(1),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn project_backproject_roundtrip() {
+        let k = CameraIntrinsics::kinect_like(320, 240);
+        for (u, v, d) in [(10.0, 20.0, 1.0), (160.0, 120.0, 2.5), (300.0, 5.0, 0.4)] {
+            let p = k.backproject(u, v, d);
+            let uv = k.project(p).expect("in front of camera");
+            assert!((uv.x - u).abs() < 1e-3, "u {u} vs {}", uv.x);
+            assert!((uv.y - v).abs() < 1e-3, "v {v} vs {}", uv.y);
+            assert!((p.z - d).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn principal_point_projects_to_center() {
+        let k = CameraIntrinsics::kinect_like(640, 480);
+        let p = Vec3::new(0.0, 0.0, 3.0);
+        let uv = k.project(p).unwrap();
+        assert!((uv.x - k.cx).abs() < 1e-4);
+        assert!((uv.y - k.cy).abs() < 1e-4);
+    }
+
+    #[test]
+    fn behind_camera_does_not_project() {
+        let k = CameraIntrinsics::kinect_like(320, 240);
+        assert!(k.project(Vec3::new(0.0, 0.0, -1.0)).is_none());
+        assert!(k.project(Vec3::new(0.5, 0.5, 0.0)).is_none());
+    }
+
+    #[test]
+    fn project_to_pixel_bounds() {
+        let k = CameraIntrinsics::kinect_like(320, 240);
+        // A point far off-axis should land outside the image.
+        assert!(k.project_to_pixel(Vec3::new(100.0, 0.0, 1.0)).is_none());
+        // The optical axis lands at the image center.
+        let (u, v) = k.project_to_pixel(Vec3::new(0.0, 0.0, 1.0)).unwrap();
+        assert_eq!((u, v), (k.cx.round() as usize, k.cy.round() as usize));
+    }
+
+    #[test]
+    fn downscaled_preserves_field_of_view() {
+        let k = CameraIntrinsics::kinect_like(640, 480);
+        let k2 = k.downscaled(2);
+        assert_eq!(k2.width, 320);
+        assert_eq!(k2.height, 240);
+        // The same 3D point projects to half the pixel coordinates.
+        let p = Vec3::new(0.3, -0.2, 1.5);
+        let uv = k.project(p).unwrap();
+        let uv2 = k2.project(p).unwrap();
+        assert!((uv.x / 2.0 - uv2.x).abs() < 0.5);
+        assert!((uv.y / 2.0 - uv2.y).abs() < 0.5);
+    }
+
+    #[test]
+    fn ray_dir_hits_backprojection() {
+        let k = CameraIntrinsics::kinect_like(320, 240);
+        let d = 2.0;
+        let ray = k.ray_dir(100.0, 50.0);
+        let bp = k.backproject(100.0, 50.0, d);
+        assert!((ray * d - bp).norm() < 1e-5);
+    }
+}

@@ -1,0 +1,34 @@
+//! Minimal 3D geometry kernel for dense SLAM.
+//!
+//! This crate provides the small, allocation-free linear-algebra core shared
+//! by the `kfusion` and `elasticfusion` pipelines:
+//!
+//! * [`Vec2`], [`Vec3`], [`Vec4`] — fixed-size `f32` vectors,
+//! * [`Mat3`], [`Mat4`] — row-major square matrices,
+//! * [`Quat`] — unit quaternions for 3D rotations,
+//! * [`SE3`] — rigid-body transforms with the `se(3)` exponential/logarithm
+//!   maps used by iterative-closest-point (ICP) pose updates,
+//! * [`CameraIntrinsics`] — pinhole projection/back-projection,
+//! * [`solve`] — small dense solvers (Cholesky, Gauss) for the 6×6 normal
+//!   equations produced by point-to-plane ICP.
+//!
+//! Everything is `Copy`, deterministic, and has no external dependencies so
+//! the SLAM kernels built on top stay cache-friendly and trivially
+//! parallelizable.
+
+pub mod camera;
+pub mod mat;
+pub mod quat;
+pub mod se3;
+pub mod solve;
+pub mod vec;
+
+pub use camera::CameraIntrinsics;
+pub use mat::{Mat3, Mat4};
+pub use quat::Quat;
+pub use se3::SE3;
+pub use vec::{Vec2, Vec3, Vec4};
+
+/// Numerical tolerance used across the crate for "is this effectively zero"
+/// checks (degenerate normals, singular pivots, ...).
+pub const EPS: f32 = 1e-9;

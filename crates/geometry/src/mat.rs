@@ -1,0 +1,380 @@
+//! Row-major 3×3 and 4×4 matrices.
+
+use crate::vec::{Vec3, Vec4};
+use std::ops::{Add, Mul, Sub};
+
+/// A row-major 3×3 matrix, used for rotations and intrinsics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Mat3 {
+    /// `m[row][col]`
+    pub m: [[f32; 3]; 3],
+}
+
+/// A row-major 4×4 matrix, used for homogeneous rigid transforms.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Mat4 {
+    /// `m[row][col]`
+    pub m: [[f32; 4]; 4],
+}
+
+impl Default for Mat3 {
+    fn default() -> Self {
+        Mat3::IDENTITY
+    }
+}
+
+impl Default for Mat4 {
+    fn default() -> Self {
+        Mat4::IDENTITY
+    }
+}
+
+impl Mat3 {
+    pub const ZERO: Mat3 = Mat3 { m: [[0.0; 3]; 3] };
+    pub const IDENTITY: Mat3 = Mat3 {
+        m: [[1.0, 0.0, 0.0], [0.0, 1.0, 0.0], [0.0, 0.0, 1.0]],
+    };
+
+    /// Build from three rows.
+    #[inline]
+    pub const fn from_rows(r0: [f32; 3], r1: [f32; 3], r2: [f32; 3]) -> Self {
+        Mat3 { m: [r0, r1, r2] }
+    }
+
+    /// Build from three column vectors.
+    #[inline]
+    pub fn from_cols(c0: Vec3, c1: Vec3, c2: Vec3) -> Self {
+        Mat3::from_rows([c0.x, c1.x, c2.x], [c0.y, c1.y, c2.y], [c0.z, c1.z, c2.z])
+    }
+
+    /// Diagonal matrix.
+    #[inline]
+    pub fn from_diagonal(d: Vec3) -> Self {
+        let mut m = Mat3::ZERO;
+        m.m[0][0] = d.x;
+        m.m[1][1] = d.y;
+        m.m[2][2] = d.z;
+        m
+    }
+
+    /// Skew-symmetric "hat" matrix such that `hat(w) * v == w.cross(v)`.
+    #[inline]
+    pub fn hat(w: Vec3) -> Self {
+        Mat3::from_rows([0.0, -w.z, w.y], [w.z, 0.0, -w.x], [-w.y, w.x, 0.0])
+    }
+
+    /// Row `r` as a vector.
+    #[inline]
+    pub fn row(&self, r: usize) -> Vec3 {
+        Vec3::new(self.m[r][0], self.m[r][1], self.m[r][2])
+    }
+
+    /// Column `c` as a vector.
+    #[inline]
+    pub fn col(&self, c: usize) -> Vec3 {
+        Vec3::new(self.m[0][c], self.m[1][c], self.m[2][c])
+    }
+
+    /// Matrix transpose.
+    #[inline]
+    pub fn transpose(&self) -> Mat3 {
+        let mut t = Mat3::ZERO;
+        for r in 0..3 {
+            for c in 0..3 {
+                t.m[c][r] = self.m[r][c];
+            }
+        }
+        t
+    }
+
+    /// Determinant.
+    pub fn det(&self) -> f32 {
+        let m = &self.m;
+        m[0][0] * (m[1][1] * m[2][2] - m[1][2] * m[2][1])
+            - m[0][1] * (m[1][0] * m[2][2] - m[1][2] * m[2][0])
+            + m[0][2] * (m[1][0] * m[2][1] - m[1][1] * m[2][0])
+    }
+
+    /// Matrix trace.
+    #[inline]
+    pub fn trace(&self) -> f32 {
+        self.m[0][0] + self.m[1][1] + self.m[2][2]
+    }
+
+    /// Inverse via the adjugate; `None` when (near-)singular.
+    pub fn inverse(&self) -> Option<Mat3> {
+        let d = self.det();
+        if d.abs() < crate::EPS {
+            return None;
+        }
+        let m = &self.m;
+        let inv_d = 1.0 / d;
+        let mut r = Mat3::ZERO;
+        r.m[0][0] = (m[1][1] * m[2][2] - m[1][2] * m[2][1]) * inv_d;
+        r.m[0][1] = (m[0][2] * m[2][1] - m[0][1] * m[2][2]) * inv_d;
+        r.m[0][2] = (m[0][1] * m[1][2] - m[0][2] * m[1][1]) * inv_d;
+        r.m[1][0] = (m[1][2] * m[2][0] - m[1][0] * m[2][2]) * inv_d;
+        r.m[1][1] = (m[0][0] * m[2][2] - m[0][2] * m[2][0]) * inv_d;
+        r.m[1][2] = (m[0][2] * m[1][0] - m[0][0] * m[1][2]) * inv_d;
+        r.m[2][0] = (m[1][0] * m[2][1] - m[1][1] * m[2][0]) * inv_d;
+        r.m[2][1] = (m[0][1] * m[2][0] - m[0][0] * m[2][1]) * inv_d;
+        r.m[2][2] = (m[0][0] * m[1][1] - m[0][1] * m[1][0]) * inv_d;
+        Some(r)
+    }
+
+    /// Re-orthonormalize a near-rotation matrix with one Gram–Schmidt pass,
+    /// guarding against drift accumulated over many ICP updates.
+    pub fn orthonormalized(&self) -> Mat3 {
+        let x = self.col(0).normalized();
+        let mut y = self.col(1);
+        y = (y - x * x.dot(y)).normalized();
+        let z = x.cross(y);
+        Mat3::from_cols(x, y, z)
+    }
+
+    /// Frobenius norm of `self - other`, handy in tests.
+    pub fn dist(&self, other: &Mat3) -> f32 {
+        let mut s = 0.0;
+        for r in 0..3 {
+            for c in 0..3 {
+                let d = self.m[r][c] - other.m[r][c];
+                s += d * d;
+            }
+        }
+        s.sqrt()
+    }
+}
+
+impl Mul<Vec3> for Mat3 {
+    type Output = Vec3;
+    #[inline]
+    fn mul(self, v: Vec3) -> Vec3 {
+        Vec3::new(self.row(0).dot(v), self.row(1).dot(v), self.row(2).dot(v))
+    }
+}
+
+impl Mul for Mat3 {
+    type Output = Mat3;
+    fn mul(self, o: Mat3) -> Mat3 {
+        let mut r = Mat3::ZERO;
+        for i in 0..3 {
+            for j in 0..3 {
+                let mut s = 0.0;
+                for k in 0..3 {
+                    s += self.m[i][k] * o.m[k][j];
+                }
+                r.m[i][j] = s;
+            }
+        }
+        r
+    }
+}
+
+impl Add for Mat3 {
+    type Output = Mat3;
+    fn add(self, o: Mat3) -> Mat3 {
+        let mut r = Mat3::ZERO;
+        for i in 0..3 {
+            for j in 0..3 {
+                r.m[i][j] = self.m[i][j] + o.m[i][j];
+            }
+        }
+        r
+    }
+}
+
+impl Sub for Mat3 {
+    type Output = Mat3;
+    fn sub(self, o: Mat3) -> Mat3 {
+        let mut r = Mat3::ZERO;
+        for i in 0..3 {
+            for j in 0..3 {
+                r.m[i][j] = self.m[i][j] - o.m[i][j];
+            }
+        }
+        r
+    }
+}
+
+impl Mul<f32> for Mat3 {
+    type Output = Mat3;
+    fn mul(self, s: f32) -> Mat3 {
+        let mut r = self;
+        for i in 0..3 {
+            for j in 0..3 {
+                r.m[i][j] *= s;
+            }
+        }
+        r
+    }
+}
+
+impl Mat4 {
+    pub const ZERO: Mat4 = Mat4 { m: [[0.0; 4]; 4] };
+    pub const IDENTITY: Mat4 = Mat4 {
+        m: [
+            [1.0, 0.0, 0.0, 0.0],
+            [0.0, 1.0, 0.0, 0.0],
+            [0.0, 0.0, 1.0, 0.0],
+            [0.0, 0.0, 0.0, 1.0],
+        ],
+    };
+
+    /// Homogeneous transform from a rotation block and translation column.
+    pub fn from_rotation_translation(r: Mat3, t: Vec3) -> Mat4 {
+        let mut m = Mat4::IDENTITY;
+        for i in 0..3 {
+            for j in 0..3 {
+                m.m[i][j] = r.m[i][j];
+            }
+        }
+        m.m[0][3] = t.x;
+        m.m[1][3] = t.y;
+        m.m[2][3] = t.z;
+        m
+    }
+
+    /// Upper-left 3×3 block.
+    pub fn rotation(&self) -> Mat3 {
+        let mut r = Mat3::ZERO;
+        for i in 0..3 {
+            for j in 0..3 {
+                r.m[i][j] = self.m[i][j];
+            }
+        }
+        r
+    }
+
+    /// Last column (translation part).
+    #[inline]
+    pub fn translation(&self) -> Vec3 {
+        Vec3::new(self.m[0][3], self.m[1][3], self.m[2][3])
+    }
+
+    /// Apply to a homogeneous vector.
+    pub fn mul_vec4(&self, v: Vec4) -> Vec4 {
+        let m = &self.m;
+        Vec4::new(
+            m[0][0] * v.x + m[0][1] * v.y + m[0][2] * v.z + m[0][3] * v.w,
+            m[1][0] * v.x + m[1][1] * v.y + m[1][2] * v.z + m[1][3] * v.w,
+            m[2][0] * v.x + m[2][1] * v.y + m[2][2] * v.z + m[2][3] * v.w,
+            m[3][0] * v.x + m[3][1] * v.y + m[3][2] * v.z + m[3][3] * v.w,
+        )
+    }
+
+    /// Transform a point (w = 1, translation applied).
+    #[inline]
+    pub fn transform_point(&self, p: Vec3) -> Vec3 {
+        self.mul_vec4(p.to_homogeneous_point()).xyz()
+    }
+
+    /// Transform a direction (w = 0, rotation only).
+    #[inline]
+    pub fn transform_dir(&self, d: Vec3) -> Vec3 {
+        self.mul_vec4(d.to_homogeneous_dir()).xyz()
+    }
+}
+
+impl Mul for Mat4 {
+    type Output = Mat4;
+    fn mul(self, o: Mat4) -> Mat4 {
+        let mut r = Mat4::ZERO;
+        for i in 0..4 {
+            for j in 0..4 {
+                let mut s = 0.0;
+                for k in 0..4 {
+                    s += self.m[i][k] * o.m[k][j];
+                }
+                r.m[i][j] = s;
+            }
+        }
+        r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_is_multiplicative_unit() {
+        let a = Mat3::from_rows([1.0, 2.0, 3.0], [4.0, 5.0, 6.0], [7.0, 8.0, 10.0]);
+        assert_eq!(a * Mat3::IDENTITY, a);
+        assert_eq!(Mat3::IDENTITY * a, a);
+    }
+
+    #[test]
+    fn mat3_inverse_roundtrip() {
+        let a = Mat3::from_rows([2.0, 0.0, 1.0], [1.0, 3.0, 0.0], [0.0, 1.0, 4.0]);
+        let inv = a.inverse().expect("invertible");
+        assert!((a * inv).dist(&Mat3::IDENTITY) < 1e-5);
+        assert!((inv * a).dist(&Mat3::IDENTITY) < 1e-5);
+    }
+
+    #[test]
+    fn singular_matrix_has_no_inverse() {
+        let a = Mat3::from_rows([1.0, 2.0, 3.0], [2.0, 4.0, 6.0], [0.0, 1.0, 1.0]);
+        assert!(a.inverse().is_none());
+    }
+
+    #[test]
+    fn hat_matrix_matches_cross_product() {
+        let w = Vec3::new(0.3, -1.2, 2.0);
+        let v = Vec3::new(1.0, 0.5, -0.7);
+        let hv = Mat3::hat(w) * v;
+        let cv = w.cross(v);
+        assert!((hv - cv).norm() < 1e-6);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = Mat3::from_rows([1.0, 2.0, 3.0], [4.0, 5.0, 6.0], [7.0, 8.0, 9.0]);
+        assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn det_of_diagonal() {
+        let d = Mat3::from_diagonal(Vec3::new(2.0, 3.0, 4.0));
+        assert!((d.det() - 24.0).abs() < 1e-6);
+        assert!((d.trace() - 9.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn orthonormalized_gives_rotation() {
+        // Perturb a rotation and check orthonormalization restores R^T R = I
+        // and det = +1.
+        let mut r = Mat3::IDENTITY;
+        r.m[0][1] += 0.01;
+        r.m[2][0] -= 0.02;
+        let q = r.orthonormalized();
+        assert!((q.transpose() * q).dist(&Mat3::IDENTITY) < 1e-5);
+        assert!((q.det() - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn mat4_point_vs_dir_transform() {
+        let t = Mat4::from_rotation_translation(Mat3::IDENTITY, Vec3::new(1.0, 2.0, 3.0));
+        let p = Vec3::new(1.0, 1.0, 1.0);
+        assert_eq!(t.transform_point(p), Vec3::new(2.0, 3.0, 4.0));
+        assert_eq!(t.transform_dir(p), p); // directions ignore translation
+    }
+
+    #[test]
+    fn mat4_composition_matches_sequential_application() {
+        let a = Mat4::from_rotation_translation(Mat3::hat(Vec3::X) + Mat3::IDENTITY, Vec3::X);
+        let b = Mat4::from_rotation_translation(Mat3::IDENTITY, Vec3::new(0.0, 1.0, 0.0));
+        let p = Vec3::new(0.5, -0.5, 2.0);
+        let via_product = (a * b).transform_point(p);
+        let sequential = a.transform_point(b.transform_point(p));
+        assert!((via_product - sequential).norm() < 1e-5);
+    }
+
+    #[test]
+    fn rows_and_cols_agree_with_storage() {
+        let a = Mat3::from_rows([1.0, 2.0, 3.0], [4.0, 5.0, 6.0], [7.0, 8.0, 9.0]);
+        assert_eq!(a.row(1), Vec3::new(4.0, 5.0, 6.0));
+        assert_eq!(a.col(2), Vec3::new(3.0, 6.0, 9.0));
+        let b = Mat3::from_cols(a.col(0), a.col(1), a.col(2));
+        assert_eq!(a, b);
+    }
+}

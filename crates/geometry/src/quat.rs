@@ -1,0 +1,261 @@
+//! Unit quaternions for 3D rotations.
+
+use crate::mat::Mat3;
+use crate::vec::Vec3;
+
+/// A quaternion `w + xi + yj + zk`. Rotation quaternions are kept unit-norm.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Quat {
+    pub w: f32,
+    pub x: f32,
+    pub y: f32,
+    pub z: f32,
+}
+
+impl Default for Quat {
+    fn default() -> Self {
+        Quat::IDENTITY
+    }
+}
+
+impl Quat {
+    pub const IDENTITY: Quat = Quat { w: 1.0, x: 0.0, y: 0.0, z: 0.0 };
+
+    #[inline]
+    pub const fn new(w: f32, x: f32, y: f32, z: f32) -> Self {
+        Quat { w, x, y, z }
+    }
+
+    /// Rotation of `angle` radians about (not necessarily unit) `axis`.
+    pub fn from_axis_angle(axis: Vec3, angle: f32) -> Quat {
+        let a = axis.normalized();
+        let (s, c) = (angle * 0.5).sin_cos();
+        Quat::new(c, a.x * s, a.y * s, a.z * s)
+    }
+
+    /// Quaternion norm.
+    #[inline]
+    pub fn norm(self) -> f32 {
+        (self.w * self.w + self.x * self.x + self.y * self.y + self.z * self.z).sqrt()
+    }
+
+    /// Normalize to a unit quaternion; identity for a degenerate input.
+    pub fn normalized(self) -> Quat {
+        let n = self.norm();
+        if n < crate::EPS {
+            Quat::IDENTITY
+        } else {
+            Quat::new(self.w / n, self.x / n, self.y / n, self.z / n)
+        }
+    }
+
+    /// Conjugate; the inverse for unit quaternions.
+    #[inline]
+    pub fn conjugate(self) -> Quat {
+        Quat::new(self.w, -self.x, -self.y, -self.z)
+    }
+
+    /// Hamilton product.
+    pub fn mul(self, o: Quat) -> Quat {
+        Quat::new(
+            self.w * o.w - self.x * o.x - self.y * o.y - self.z * o.z,
+            self.w * o.x + self.x * o.w + self.y * o.z - self.z * o.y,
+            self.w * o.y - self.x * o.z + self.y * o.w + self.z * o.x,
+            self.w * o.z + self.x * o.y - self.y * o.x + self.z * o.w,
+        )
+    }
+
+    /// Rotate a vector.
+    pub fn rotate(self, v: Vec3) -> Vec3 {
+        // v' = v + 2 q_v × (q_v × v + w v)
+        let qv = Vec3::new(self.x, self.y, self.z);
+        let t = qv.cross(v) * 2.0;
+        v + t * self.w + qv.cross(t)
+    }
+
+    /// Convert to a rotation matrix.
+    pub fn to_mat3(self) -> Mat3 {
+        let q = self.normalized();
+        let (w, x, y, z) = (q.w, q.x, q.y, q.z);
+        Mat3::from_rows(
+            [
+                1.0 - 2.0 * (y * y + z * z),
+                2.0 * (x * y - w * z),
+                2.0 * (x * z + w * y),
+            ],
+            [
+                2.0 * (x * y + w * z),
+                1.0 - 2.0 * (x * x + z * z),
+                2.0 * (y * z - w * x),
+            ],
+            [
+                2.0 * (x * z - w * y),
+                2.0 * (y * z + w * x),
+                1.0 - 2.0 * (x * x + y * y),
+            ],
+        )
+    }
+
+    /// Convert a rotation matrix to a quaternion (Shepperd's method).
+    pub fn from_mat3(m: &Mat3) -> Quat {
+        let tr = m.trace();
+        let q = if tr > 0.0 {
+            let s = (tr + 1.0).sqrt() * 2.0;
+            Quat::new(
+                0.25 * s,
+                (m.m[2][1] - m.m[1][2]) / s,
+                (m.m[0][2] - m.m[2][0]) / s,
+                (m.m[1][0] - m.m[0][1]) / s,
+            )
+        } else if m.m[0][0] > m.m[1][1] && m.m[0][0] > m.m[2][2] {
+            let s = (1.0 + m.m[0][0] - m.m[1][1] - m.m[2][2]).sqrt() * 2.0;
+            Quat::new(
+                (m.m[2][1] - m.m[1][2]) / s,
+                0.25 * s,
+                (m.m[0][1] + m.m[1][0]) / s,
+                (m.m[0][2] + m.m[2][0]) / s,
+            )
+        } else if m.m[1][1] > m.m[2][2] {
+            let s = (1.0 + m.m[1][1] - m.m[0][0] - m.m[2][2]).sqrt() * 2.0;
+            Quat::new(
+                (m.m[0][2] - m.m[2][0]) / s,
+                (m.m[0][1] + m.m[1][0]) / s,
+                0.25 * s,
+                (m.m[1][2] + m.m[2][1]) / s,
+            )
+        } else {
+            let s = (1.0 + m.m[2][2] - m.m[0][0] - m.m[1][1]).sqrt() * 2.0;
+            Quat::new(
+                (m.m[1][0] - m.m[0][1]) / s,
+                (m.m[0][2] + m.m[2][0]) / s,
+                (m.m[1][2] + m.m[2][1]) / s,
+                0.25 * s,
+            )
+        };
+        q.normalized()
+    }
+
+    /// Spherical linear interpolation between unit quaternions.
+    pub fn slerp(self, mut other: Quat, t: f32) -> Quat {
+        let mut cos = self.w * other.w + self.x * other.x + self.y * other.y + self.z * other.z;
+        // Take the short arc.
+        if cos < 0.0 {
+            cos = -cos;
+            other = Quat::new(-other.w, -other.x, -other.y, -other.z);
+        }
+        if cos > 0.9995 {
+            // Nearly parallel: fall back to nlerp.
+            return Quat::new(
+                self.w + (other.w - self.w) * t,
+                self.x + (other.x - self.x) * t,
+                self.y + (other.y - self.y) * t,
+                self.z + (other.z - self.z) * t,
+            )
+            .normalized();
+        }
+        let theta = cos.clamp(-1.0, 1.0).acos();
+        let sin = theta.sin();
+        let a = ((1.0 - t) * theta).sin() / sin;
+        let b = (t * theta).sin() / sin;
+        Quat::new(
+            a * self.w + b * other.w,
+            a * self.x + b * other.x,
+            a * self.y + b * other.y,
+            a * self.z + b * other.z,
+        )
+        .normalized()
+    }
+
+    /// Rotation angle in radians (in `[0, π]`).
+    pub fn angle(self) -> f32 {
+        let q = self.normalized();
+        2.0 * q.w.abs().clamp(-1.0, 1.0).acos()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f32::consts::{FRAC_PI_2, PI};
+
+    #[test]
+    fn identity_rotation_is_noop() {
+        let v = Vec3::new(1.0, 2.0, 3.0);
+        assert!((Quat::IDENTITY.rotate(v) - v).norm() < 1e-6);
+    }
+
+    #[test]
+    fn quarter_turn_about_z() {
+        let q = Quat::from_axis_angle(Vec3::Z, FRAC_PI_2);
+        let r = q.rotate(Vec3::X);
+        assert!((r - Vec3::Y).norm() < 1e-5, "{r:?}");
+    }
+
+    #[test]
+    fn rotation_preserves_length() {
+        let q = Quat::from_axis_angle(Vec3::new(1.0, 2.0, -0.5), 1.234);
+        let v = Vec3::new(-3.0, 0.25, 4.0);
+        assert!((q.rotate(v).norm() - v.norm()).abs() < 1e-4);
+    }
+
+    #[test]
+    fn quat_matrix_agreement() {
+        let q = Quat::from_axis_angle(Vec3::new(0.2, -0.8, 0.4), 0.9);
+        let m = q.to_mat3();
+        let v = Vec3::new(1.0, -1.0, 0.5);
+        assert!((q.rotate(v) - m * v).norm() < 1e-5);
+    }
+
+    #[test]
+    fn mat3_quat_roundtrip() {
+        for (axis, angle) in [
+            (Vec3::X, 0.3),
+            (Vec3::Y, 2.5),
+            (Vec3::Z, -1.0),
+            (Vec3::new(1.0, 1.0, 1.0), PI * 0.9),
+            (Vec3::new(-0.3, 0.8, 0.1), 3.0),
+        ] {
+            let q = Quat::from_axis_angle(axis, angle);
+            let q2 = Quat::from_mat3(&q.to_mat3());
+            // q and -q are the same rotation; compare matrices.
+            assert!(q.to_mat3().dist(&q2.to_mat3()) < 1e-4);
+        }
+    }
+
+    #[test]
+    fn conjugate_inverts_rotation() {
+        let q = Quat::from_axis_angle(Vec3::new(0.5, 0.1, 0.9), 1.7);
+        let v = Vec3::new(2.0, -1.0, 0.3);
+        let back = q.conjugate().rotate(q.rotate(v));
+        assert!((back - v).norm() < 1e-5);
+    }
+
+    #[test]
+    fn composition_matches_matrix_product() {
+        let a = Quat::from_axis_angle(Vec3::X, 0.4);
+        let b = Quat::from_axis_angle(Vec3::Y, -0.7);
+        let ab = a.mul(b);
+        let v = Vec3::new(0.1, 0.2, 0.3);
+        let via_quat = ab.rotate(v);
+        let via_seq = a.rotate(b.rotate(v));
+        assert!((via_quat - via_seq).norm() < 1e-5);
+    }
+
+    #[test]
+    fn slerp_endpoints_and_halfway() {
+        let a = Quat::IDENTITY;
+        let b = Quat::from_axis_angle(Vec3::Z, FRAC_PI_2);
+        assert!(a.slerp(b, 0.0).to_mat3().dist(&a.to_mat3()) < 1e-5);
+        assert!(a.slerp(b, 1.0).to_mat3().dist(&b.to_mat3()) < 1e-5);
+        let mid = a.slerp(b, 0.5);
+        let expected = Quat::from_axis_angle(Vec3::Z, FRAC_PI_2 / 2.0);
+        assert!(mid.to_mat3().dist(&expected.to_mat3()) < 1e-4);
+    }
+
+    #[test]
+    fn angle_extraction() {
+        let q = Quat::from_axis_angle(Vec3::Y, 0.8);
+        assert!((q.angle() - 0.8).abs() < 1e-4);
+        assert!(Quat::IDENTITY.angle() < 1e-4);
+    }
+}

@@ -1,0 +1,282 @@
+//! Rigid-body transforms (the special Euclidean group SE(3)).
+
+use crate::mat::{Mat3, Mat4};
+use crate::quat::Quat;
+use crate::vec::Vec3;
+
+/// A rigid-body transform: rotation `r` followed by translation `t`
+/// (`x ↦ r·x + t`).
+///
+/// Used throughout the SLAM pipelines for camera poses (camera-to-world) and
+/// for the incremental pose updates produced by ICP. The [`SE3::exp`] /
+/// [`SE3::log`] maps convert between a 6-vector twist `[v, w]` (translational
+/// then rotational part) and the group element, which is how ICP applies the
+/// solution of its normal equations.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SE3 {
+    pub r: Mat3,
+    pub t: Vec3,
+}
+
+impl Default for SE3 {
+    fn default() -> Self {
+        SE3::IDENTITY
+    }
+}
+
+impl SE3 {
+    pub const IDENTITY: SE3 = SE3 { r: Mat3::IDENTITY, t: Vec3::ZERO };
+
+    /// From rotation matrix and translation.
+    #[inline]
+    pub const fn new(r: Mat3, t: Vec3) -> Self {
+        SE3 { r, t }
+    }
+
+    /// Pure translation.
+    #[inline]
+    pub fn from_translation(t: Vec3) -> Self {
+        SE3::new(Mat3::IDENTITY, t)
+    }
+
+    /// From a unit quaternion and translation.
+    #[inline]
+    pub fn from_quat_translation(q: Quat, t: Vec3) -> Self {
+        SE3::new(q.to_mat3(), t)
+    }
+
+    /// Apply to a point.
+    #[inline]
+    pub fn transform_point(&self, p: Vec3) -> Vec3 {
+        self.r * p + self.t
+    }
+
+    /// Apply the rotation only (for normals/directions).
+    #[inline]
+    pub fn transform_dir(&self, d: Vec3) -> Vec3 {
+        self.r * d
+    }
+
+    /// Group composition: `(self ∘ other)(x) = self(other(x))`.
+    #[inline]
+    pub fn compose(&self, other: &SE3) -> SE3 {
+        SE3::new(self.r * other.r, self.r * other.t + self.t)
+    }
+
+    /// Group inverse.
+    pub fn inverse(&self) -> SE3 {
+        let rt = self.r.transpose();
+        SE3::new(rt, -(rt * self.t))
+    }
+
+    /// Exponential map from a twist `ξ = [v, w]` (translational velocity `v`,
+    /// rotational velocity `w`, both in ℝ³) to a rigid transform.
+    ///
+    /// Uses the closed-form Rodrigues formulas; falls back to the Taylor
+    /// expansion for small angles to stay numerically stable.
+    pub fn exp(xi: [f32; 6]) -> SE3 {
+        let v = Vec3::new(xi[0], xi[1], xi[2]);
+        let w = Vec3::new(xi[3], xi[4], xi[5]);
+        let theta = w.norm();
+        let wx = Mat3::hat(w);
+        let wx2 = wx * wx;
+        let (r, vmat) = if theta < 1e-5 {
+            // R ≈ I + ŵ + ŵ²/2, V ≈ I + ŵ/2 + ŵ²/6
+            (
+                Mat3::IDENTITY + wx + wx2 * 0.5,
+                Mat3::IDENTITY + wx * 0.5 + wx2 * (1.0 / 6.0),
+            )
+        } else {
+            let a = theta.sin() / theta;
+            let b = (1.0 - theta.cos()) / (theta * theta);
+            let c = (1.0 - a) / (theta * theta);
+            (
+                Mat3::IDENTITY + wx * a + wx2 * b,
+                Mat3::IDENTITY + wx * b + wx2 * c,
+            )
+        };
+        SE3::new(r.orthonormalized(), vmat * v)
+    }
+
+    /// Logarithm map: inverse of [`SE3::exp`]. Returns the twist `[v, w]`.
+    pub fn log(&self) -> [f32; 6] {
+        let q = Quat::from_mat3(&self.r);
+        let angle = q.angle();
+        let w = if angle < 1e-5 {
+            // so(3) log ≈ vee(R - R^T)/2 for small rotations
+            let d = self.r - self.r.transpose();
+            Vec3::new(d.m[2][1], d.m[0][2], d.m[1][0]) * 0.5
+        } else {
+            let axis = Vec3::new(q.x, q.y, q.z).normalized();
+            let sign = if q.w >= 0.0 { 1.0 } else { -1.0 };
+            axis * (angle * sign)
+        };
+        let theta = w.norm();
+        let wx = Mat3::hat(w);
+        let wx2 = wx * wx;
+        let v_inv = if theta < 1e-5 {
+            Mat3::IDENTITY - wx * 0.5 + wx2 * (1.0 / 12.0)
+        } else {
+            // V^{-1} = I - ŵ/2 + (1/θ² - cot(θ/2)/(2θ)) ŵ²
+            let half = theta * 0.5;
+            let cot_half = half.cos() / half.sin();
+            let coeff = 1.0 / (theta * theta) - cot_half / (2.0 * theta);
+            Mat3::IDENTITY - wx * 0.5 + wx2 * coeff
+        };
+        let v = v_inv * self.t;
+        [v.x, v.y, v.z, w.x, w.y, w.z]
+    }
+
+    /// Homogeneous 4×4 matrix form.
+    pub fn to_mat4(&self) -> Mat4 {
+        Mat4::from_rotation_translation(self.r, self.t)
+    }
+
+    /// Rotation as a unit quaternion.
+    pub fn rotation_quat(&self) -> Quat {
+        Quat::from_mat3(&self.r)
+    }
+
+    /// Translational distance between two poses.
+    pub fn translation_dist(&self, other: &SE3) -> f32 {
+        (self.t - other.t).norm()
+    }
+
+    /// Rotational distance (angle of the relative rotation) in radians.
+    pub fn rotation_dist(&self, other: &SE3) -> f32 {
+        Quat::from_mat3(&(self.r.transpose() * other.r)).angle()
+    }
+
+    /// Re-orthonormalize the rotation block (drift control after many
+    /// incremental compositions).
+    pub fn normalized(&self) -> SE3 {
+        SE3::new(self.r.orthonormalized(), self.t)
+    }
+
+    /// Interpolate between two poses (slerp on rotation, lerp on
+    /// translation); `t = 0` gives `self`.
+    pub fn interpolate(&self, other: &SE3, t: f32) -> SE3 {
+        let q = self.rotation_quat().slerp(other.rotation_quat(), t);
+        SE3::from_quat_translation(q, self.t.lerp(other.t, t))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f32::consts::FRAC_PI_2;
+
+    fn assert_pose_close(a: &SE3, b: &SE3, tol: f32) {
+        assert!(a.r.dist(&b.r) < tol, "rotations differ: {:?} vs {:?}", a.r, b.r);
+        assert!((a.t - b.t).norm() < tol, "translations differ: {:?} vs {:?}", a.t, b.t);
+    }
+
+    #[test]
+    fn compose_with_identity() {
+        let p = SE3::from_quat_translation(
+            Quat::from_axis_angle(Vec3::Y, 0.7),
+            Vec3::new(1.0, -2.0, 0.5),
+        );
+        assert_pose_close(&p.compose(&SE3::IDENTITY), &p, 1e-6);
+        assert_pose_close(&SE3::IDENTITY.compose(&p), &p, 1e-6);
+    }
+
+    #[test]
+    fn inverse_composes_to_identity() {
+        let p = SE3::from_quat_translation(
+            Quat::from_axis_angle(Vec3::new(1.0, 0.3, -0.2), 1.1),
+            Vec3::new(0.4, 2.0, -1.5),
+        );
+        assert_pose_close(&p.compose(&p.inverse()), &SE3::IDENTITY, 1e-5);
+        assert_pose_close(&p.inverse().compose(&p), &SE3::IDENTITY, 1e-5);
+    }
+
+    #[test]
+    fn transform_point_and_back() {
+        let p = SE3::from_quat_translation(
+            Quat::from_axis_angle(Vec3::Z, FRAC_PI_2),
+            Vec3::new(1.0, 0.0, 0.0),
+        );
+        let x = Vec3::new(1.0, 0.0, 0.0);
+        let y = p.transform_point(x);
+        assert!((y - Vec3::new(1.0, 1.0, 0.0)).norm() < 1e-5);
+        assert!((p.inverse().transform_point(y) - x).norm() < 1e-5);
+    }
+
+    #[test]
+    fn exp_of_zero_twist_is_identity() {
+        assert_pose_close(&SE3::exp([0.0; 6]), &SE3::IDENTITY, 1e-7);
+    }
+
+    #[test]
+    fn exp_pure_translation() {
+        let p = SE3::exp([1.0, 2.0, 3.0, 0.0, 0.0, 0.0]);
+        assert_pose_close(&p, &SE3::from_translation(Vec3::new(1.0, 2.0, 3.0)), 1e-5);
+    }
+
+    #[test]
+    fn exp_pure_rotation_matches_axis_angle() {
+        let p = SE3::exp([0.0, 0.0, 0.0, 0.0, 0.0, FRAC_PI_2]);
+        let expected = Quat::from_axis_angle(Vec3::Z, FRAC_PI_2).to_mat3();
+        assert!(p.r.dist(&expected) < 1e-5);
+        assert!(p.t.norm() < 1e-6);
+    }
+
+    #[test]
+    fn exp_log_roundtrip() {
+        for xi in [
+            [0.1, -0.2, 0.3, 0.0, 0.0, 0.0],
+            [0.0, 0.0, 0.0, 0.2, -0.1, 0.3],
+            [0.5, 0.1, -0.4, 0.3, 0.7, -0.2],
+            [1e-7, 0.0, 2e-7, 1e-7, -1e-7, 0.0],
+            [0.02, 0.01, -0.03, 1.2, -0.4, 0.8],
+        ] {
+            let p = SE3::exp(xi);
+            let back = p.log();
+            for i in 0..6 {
+                assert!(
+                    (back[i] - xi[i]).abs() < 2e-4,
+                    "xi={xi:?} back={back:?} at component {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn log_exp_roundtrip_on_pose() {
+        let p = SE3::from_quat_translation(
+            Quat::from_axis_angle(Vec3::new(0.3, 1.0, -0.5), 0.9),
+            Vec3::new(2.0, -1.0, 0.25),
+        );
+        let back = SE3::exp(p.log());
+        assert_pose_close(&back, &p, 1e-4);
+    }
+
+    #[test]
+    fn distances() {
+        let a = SE3::IDENTITY;
+        let b = SE3::from_quat_translation(
+            Quat::from_axis_angle(Vec3::X, 0.5),
+            Vec3::new(3.0, 4.0, 0.0),
+        );
+        assert!((a.translation_dist(&b) - 5.0).abs() < 1e-5);
+        assert!((a.rotation_dist(&b) - 0.5).abs() < 1e-4);
+    }
+
+    #[test]
+    fn interpolate_endpoints() {
+        let a = SE3::from_translation(Vec3::X);
+        let b = SE3::from_quat_translation(Quat::from_axis_angle(Vec3::Z, 1.0), Vec3::Y);
+        assert_pose_close(&a.interpolate(&b, 0.0), &a, 1e-5);
+        assert_pose_close(&a.interpolate(&b, 1.0), &b, 1e-5);
+        let mid = a.interpolate(&b, 0.5);
+        assert!((mid.t - Vec3::new(0.5, 0.5, 0.0)).norm() < 1e-5);
+    }
+
+    #[test]
+    fn small_rotation_log_stable() {
+        let p = SE3::exp([0.0, 0.0, 0.0, 1e-6, 0.0, 0.0]);
+        let xi = p.log();
+        assert!(xi.iter().all(|c| c.is_finite()));
+    }
+}

@@ -1,0 +1,299 @@
+//! Small dense linear solvers.
+//!
+//! Point-to-plane ICP reduces each iteration to a 6×6 symmetric
+//! positive-semidefinite system `J^T J x = J^T r`. These solvers are written
+//! for tiny fixed sizes (≤ 8) where a general BLAS would be overkill.
+
+/// Solve `a · x = b` for symmetric positive-definite `a` (size `n×n`,
+/// row-major, only used up to `n ≤ N`) via Cholesky decomposition.
+///
+/// Returns `None` when the matrix is not positive-definite (e.g. a
+/// degenerate ICP system with too few correspondences).
+pub fn cholesky_solve<const N: usize>(a: &[[f32; N]; N], b: &[f32; N]) -> Option<[f32; N]> {
+    // Decompose a = L L^T.
+    let mut l = [[0.0f32; N]; N];
+    for i in 0..N {
+        for j in 0..=i {
+            let mut sum = a[i][j];
+            for k in 0..j {
+                sum -= l[i][k] * l[j][k];
+            }
+            if i == j {
+                if sum <= 1e-12 {
+                    return None;
+                }
+                l[i][j] = sum.sqrt();
+            } else {
+                l[i][j] = sum / l[j][j];
+            }
+        }
+    }
+    // Forward substitution: L y = b.
+    let mut y = [0.0f32; N];
+    for i in 0..N {
+        let mut sum = b[i];
+        for k in 0..i {
+            sum -= l[i][k] * y[k];
+        }
+        y[i] = sum / l[i][i];
+    }
+    // Back substitution: L^T x = y.
+    let mut x = [0.0f32; N];
+    for i in (0..N).rev() {
+        let mut sum = y[i];
+        for k in (i + 1)..N {
+            sum -= l[k][i] * x[k];
+        }
+        x[i] = sum / l[i][i];
+    }
+    Some(x)
+}
+
+/// Solve `a · x = b` by Gaussian elimination with partial pivoting.
+///
+/// More robust than [`cholesky_solve`] for general (possibly indefinite)
+/// matrices; used as a fallback when the ICP Hessian loses definiteness.
+pub fn gauss_solve<const N: usize>(a: &[[f32; N]; N], b: &[f32; N]) -> Option<[f32; N]> {
+    let mut m = [[0.0f32; N]; N];
+    let mut rhs = *b;
+    m.copy_from_slice(a);
+
+    for col in 0..N {
+        // Partial pivot.
+        let mut pivot = col;
+        for row in (col + 1)..N {
+            if m[row][col].abs() > m[pivot][col].abs() {
+                pivot = row;
+            }
+        }
+        if m[pivot][col].abs() < 1e-12 {
+            return None;
+        }
+        if pivot != col {
+            m.swap(pivot, col);
+            rhs.swap(pivot, col);
+        }
+        // Eliminate below.
+        for row in (col + 1)..N {
+            let f = m[row][col] / m[col][col];
+            for c in col..N {
+                m[row][c] -= f * m[col][c];
+            }
+            rhs[row] -= f * rhs[col];
+        }
+    }
+    // Back substitution.
+    let mut x = [0.0f32; N];
+    for i in (0..N).rev() {
+        let mut sum = rhs[i];
+        for c in (i + 1)..N {
+            sum -= m[i][c] * x[c];
+        }
+        x[i] = sum / m[i][i];
+    }
+    Some(x)
+}
+
+/// Accumulator for normal equations `J^T J x = J^T r` built one residual row
+/// at a time, as produced by point-to-plane ICP (6 unknowns) or joint
+/// geometric+photometric tracking.
+#[derive(Debug, Clone)]
+pub struct NormalEquations<const N: usize> {
+    /// `J^T J`, symmetric.
+    pub jtj: [[f32; N]; N],
+    /// `J^T r`.
+    pub jtr: [f32; N],
+    /// Sum of squared residuals (for convergence checks).
+    pub residual_sq: f64,
+    /// Number of accumulated rows.
+    pub count: usize,
+}
+
+impl<const N: usize> Default for NormalEquations<N> {
+    fn default() -> Self {
+        NormalEquations {
+            jtj: [[0.0; N]; N],
+            jtr: [0.0; N],
+            residual_sq: 0.0,
+            count: 0,
+        }
+    }
+}
+
+impl<const N: usize> NormalEquations<N> {
+    /// Add one residual row with Jacobian `j`, residual `r` and weight `w`.
+    pub fn add_row(&mut self, j: &[f32; N], r: f32, w: f32) {
+        for a in 0..N {
+            let wj = w * j[a];
+            for b in a..N {
+                self.jtj[a][b] += wj * j[b];
+            }
+            self.jtr[a] += wj * r;
+        }
+        self.residual_sq += (w * r * r) as f64;
+        self.count += 1;
+    }
+
+    /// Merge another accumulator (for parallel reduction across image tiles).
+    pub fn merge(&mut self, other: &NormalEquations<N>) {
+        for a in 0..N {
+            for b in a..N {
+                self.jtj[a][b] += other.jtj[a][b];
+            }
+            self.jtr[a] += other.jtr[a];
+        }
+        self.residual_sq += other.residual_sq;
+        self.count += other.count;
+    }
+
+    /// Solve for the update `x`, mirroring the upper triangle first.
+    /// Adds `damping` (Levenberg-style) to the diagonal.
+    pub fn solve(&self, damping: f32) -> Option<[f32; N]> {
+        let mut full = self.jtj;
+        for a in 0..N {
+            for b in (a + 1)..N {
+                full[b][a] = full[a][b];
+            }
+            full[a][a] += damping;
+        }
+        cholesky_solve(&full, &self.jtr).or_else(|| gauss_solve(&full, &self.jtr))
+    }
+
+    /// Root-mean-square residual over the accumulated rows.
+    pub fn rms(&self) -> f32 {
+        if self.count == 0 {
+            0.0
+        } else {
+            (self.residual_sq / self.count as f64).sqrt() as f32
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cholesky_solves_spd_system() {
+        // a = L L^T with a known solution.
+        let a = [[4.0, 2.0, 0.6], [2.0, 5.0, 1.0], [0.6, 1.0, 3.0]];
+        let x_true = [1.0, -2.0, 0.5];
+        let mut b = [0.0; 3];
+        for i in 0..3 {
+            for j in 0..3 {
+                b[i] += a[i][j] * x_true[j];
+            }
+        }
+        let x = cholesky_solve(&a, &b).expect("SPD");
+        for i in 0..3 {
+            assert!((x[i] - x_true[i]).abs() < 1e-4, "{x:?}");
+        }
+    }
+
+    #[test]
+    fn cholesky_rejects_indefinite() {
+        let a = [[1.0, 0.0], [0.0, -1.0]];
+        assert!(cholesky_solve(&a, &[1.0, 1.0]).is_none());
+    }
+
+    #[test]
+    fn gauss_solves_general_system() {
+        let a = [[0.0, 2.0, 1.0], [1.0, -1.0, 0.0], [3.0, 0.0, -2.0]];
+        let x_true = [2.0, -1.0, 3.0];
+        let mut b = [0.0; 3];
+        for i in 0..3 {
+            for j in 0..3 {
+                b[i] += a[i][j] * x_true[j];
+            }
+        }
+        let x = gauss_solve(&a, &b).expect("non-singular");
+        for i in 0..3 {
+            assert!((x[i] - x_true[i]).abs() < 1e-4, "{x:?}");
+        }
+    }
+
+    #[test]
+    fn gauss_rejects_singular() {
+        let a = [[1.0, 2.0], [2.0, 4.0]];
+        assert!(gauss_solve(&a, &[1.0, 2.0]).is_none());
+    }
+
+    #[test]
+    fn normal_equations_recover_least_squares_solution() {
+        // Fit y = 2x + 1 from exact rows: residual r = y - (p0*x + p1),
+        // with Jacobian d r / d p = [x, 1] convention flipped; we accumulate
+        // J rows for parameters directly: j = [x, 1], r = y.
+        let mut ne = NormalEquations::<2>::default();
+        for i in 0..10 {
+            let x = i as f32 * 0.5;
+            let y = 2.0 * x + 1.0;
+            ne.add_row(&[x, 1.0], y, 1.0);
+        }
+        let sol = ne.solve(0.0).expect("well-posed");
+        assert!((sol[0] - 2.0).abs() < 1e-3, "{sol:?}");
+        assert!((sol[1] - 1.0).abs() < 1e-3, "{sol:?}");
+    }
+
+    #[test]
+    fn normal_equations_merge_equals_sequential() {
+        let rows: Vec<([f32; 2], f32)> = (0..20)
+            .map(|i| {
+                let x = i as f32 * 0.1 - 1.0;
+                ([x, 1.0], 3.0 * x - 0.5)
+            })
+            .collect();
+        let mut seq = NormalEquations::<2>::default();
+        for (j, r) in &rows {
+            seq.add_row(j, *r, 1.0);
+        }
+        let mut a = NormalEquations::<2>::default();
+        let mut b = NormalEquations::<2>::default();
+        for (i, (j, r)) in rows.iter().enumerate() {
+            if i % 2 == 0 {
+                a.add_row(j, *r, 1.0);
+            } else {
+                b.add_row(j, *r, 1.0);
+            }
+        }
+        a.merge(&b);
+        let xs = seq.solve(0.0).unwrap();
+        let xm = a.solve(0.0).unwrap();
+        for i in 0..2 {
+            assert!((xs[i] - xm[i]).abs() < 1e-4);
+        }
+        assert_eq!(seq.count, a.count);
+        assert!((seq.residual_sq - a.residual_sq).abs() < 1e-6);
+    }
+
+    #[test]
+    fn degenerate_system_returns_none() {
+        // Only one distinct row: rank-1 JTJ cannot determine 2 parameters.
+        let mut ne = NormalEquations::<2>::default();
+        for _ in 0..5 {
+            ne.add_row(&[1.0, 0.0], 1.0, 1.0);
+        }
+        assert!(ne.solve(0.0).is_none());
+        // With damping it becomes solvable.
+        assert!(ne.solve(1e-3).is_some());
+    }
+
+    #[test]
+    fn weights_scale_influence() {
+        // Two contradictory observations; heavier weight should win.
+        let mut ne = NormalEquations::<1>::default();
+        ne.add_row(&[1.0], 0.0, 1.0);
+        ne.add_row(&[1.0], 10.0, 9.0);
+        let x = ne.solve(0.0).unwrap();
+        assert!((x[0] - 9.0).abs() < 1e-4); // weighted mean
+    }
+
+    #[test]
+    fn rms_tracks_residuals() {
+        let mut ne = NormalEquations::<1>::default();
+        ne.add_row(&[1.0], 3.0, 1.0);
+        ne.add_row(&[1.0], 4.0, 1.0);
+        let expected = ((9.0f64 + 16.0) / 2.0).sqrt() as f32;
+        assert!((ne.rms() - expected).abs() < 1e-5);
+        assert_eq!(NormalEquations::<1>::default().rms(), 0.0);
+    }
+}

@@ -1,0 +1,333 @@
+//! Fixed-size `f32` vectors.
+
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A 2D vector, used for image-plane coordinates.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Vec2 {
+    pub x: f32,
+    pub y: f32,
+}
+
+/// A 3D vector, used for points, normals, translations and RGB colors.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Vec3 {
+    pub x: f32,
+    pub y: f32,
+    pub z: f32,
+}
+
+/// A 4D vector, used for homogeneous coordinates.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Vec4 {
+    pub x: f32,
+    pub y: f32,
+    pub z: f32,
+    pub w: f32,
+}
+
+impl Vec2 {
+    pub const ZERO: Vec2 = Vec2 { x: 0.0, y: 0.0 };
+
+    #[inline]
+    pub const fn new(x: f32, y: f32) -> Self {
+        Vec2 { x, y }
+    }
+
+    /// Dot product.
+    #[inline]
+    pub fn dot(self, o: Vec2) -> f32 {
+        self.x * o.x + self.y * o.y
+    }
+
+    /// Euclidean length.
+    #[inline]
+    pub fn norm(self) -> f32 {
+        self.dot(self).sqrt()
+    }
+}
+
+impl Vec3 {
+    pub const ZERO: Vec3 = Vec3 { x: 0.0, y: 0.0, z: 0.0 };
+    pub const ONE: Vec3 = Vec3 { x: 1.0, y: 1.0, z: 1.0 };
+    pub const X: Vec3 = Vec3 { x: 1.0, y: 0.0, z: 0.0 };
+    pub const Y: Vec3 = Vec3 { x: 0.0, y: 1.0, z: 0.0 };
+    pub const Z: Vec3 = Vec3 { x: 0.0, y: 0.0, z: 1.0 };
+
+    #[inline]
+    pub const fn new(x: f32, y: f32, z: f32) -> Self {
+        Vec3 { x, y, z }
+    }
+
+    /// Vector with all three components equal to `v`.
+    #[inline]
+    pub const fn splat(v: f32) -> Self {
+        Vec3 { x: v, y: v, z: v }
+    }
+
+    /// Dot product.
+    #[inline]
+    pub fn dot(self, o: Vec3) -> f32 {
+        self.x * o.x + self.y * o.y + self.z * o.z
+    }
+
+    /// Cross product (right-handed).
+    #[inline]
+    pub fn cross(self, o: Vec3) -> Vec3 {
+        Vec3 {
+            x: self.y * o.z - self.z * o.y,
+            y: self.z * o.x - self.x * o.z,
+            z: self.x * o.y - self.y * o.x,
+        }
+    }
+
+    /// Euclidean length.
+    #[inline]
+    pub fn norm(self) -> f32 {
+        self.dot(self).sqrt()
+    }
+
+    /// Squared Euclidean length (avoids the `sqrt` when only comparing).
+    #[inline]
+    pub fn norm_sq(self) -> f32 {
+        self.dot(self)
+    }
+
+    /// Unit vector in the same direction; returns `Vec3::ZERO` for
+    /// (near-)zero input rather than producing NaNs.
+    #[inline]
+    pub fn normalized(self) -> Vec3 {
+        let n = self.norm();
+        if n < crate::EPS {
+            Vec3::ZERO
+        } else {
+            self / n
+        }
+    }
+
+    /// Component-wise absolute value.
+    #[inline]
+    pub fn abs(self) -> Vec3 {
+        Vec3::new(self.x.abs(), self.y.abs(), self.z.abs())
+    }
+
+    /// Component-wise minimum.
+    #[inline]
+    pub fn min(self, o: Vec3) -> Vec3 {
+        Vec3::new(self.x.min(o.x), self.y.min(o.y), self.z.min(o.z))
+    }
+
+    /// Component-wise maximum.
+    #[inline]
+    pub fn max(self, o: Vec3) -> Vec3 {
+        Vec3::new(self.x.max(o.x), self.y.max(o.y), self.z.max(o.z))
+    }
+
+    /// Largest component.
+    #[inline]
+    pub fn max_component(self) -> f32 {
+        self.x.max(self.y).max(self.z)
+    }
+
+    /// Linear interpolation: `self` at `t = 0`, `o` at `t = 1`.
+    #[inline]
+    pub fn lerp(self, o: Vec3, t: f32) -> Vec3 {
+        self + (o - self) * t
+    }
+
+    /// Distance to another point.
+    #[inline]
+    pub fn dist(self, o: Vec3) -> f32 {
+        (self - o).norm()
+    }
+
+    /// True when all components are finite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.x.is_finite() && self.y.is_finite() && self.z.is_finite()
+    }
+
+    /// Homogeneous point (w = 1).
+    #[inline]
+    pub fn to_homogeneous_point(self) -> Vec4 {
+        Vec4::new(self.x, self.y, self.z, 1.0)
+    }
+
+    /// Homogeneous direction (w = 0).
+    #[inline]
+    pub fn to_homogeneous_dir(self) -> Vec4 {
+        Vec4::new(self.x, self.y, self.z, 0.0)
+    }
+}
+
+impl Vec4 {
+    pub const ZERO: Vec4 = Vec4 { x: 0.0, y: 0.0, z: 0.0, w: 0.0 };
+
+    #[inline]
+    pub const fn new(x: f32, y: f32, z: f32, w: f32) -> Self {
+        Vec4 { x, y, z, w }
+    }
+
+    /// Dot product.
+    #[inline]
+    pub fn dot(self, o: Vec4) -> f32 {
+        self.x * o.x + self.y * o.y + self.z * o.z + self.w * o.w
+    }
+
+    /// Drop the homogeneous coordinate (no perspective divide).
+    #[inline]
+    pub fn xyz(self) -> Vec3 {
+        Vec3::new(self.x, self.y, self.z)
+    }
+
+    /// Perspective divide: `(x/w, y/w, z/w)`.
+    #[inline]
+    pub fn project(self) -> Vec3 {
+        self.xyz() / self.w
+    }
+}
+
+macro_rules! impl_vec_ops {
+    ($t:ty { $($f:ident),+ }) => {
+        impl Add for $t {
+            type Output = $t;
+            #[inline]
+            fn add(self, o: $t) -> $t { Self { $($f: self.$f + o.$f),+ } }
+        }
+        impl Sub for $t {
+            type Output = $t;
+            #[inline]
+            fn sub(self, o: $t) -> $t { Self { $($f: self.$f - o.$f),+ } }
+        }
+        impl Neg for $t {
+            type Output = $t;
+            #[inline]
+            fn neg(self) -> $t { Self { $($f: -self.$f),+ } }
+        }
+        impl Mul<f32> for $t {
+            type Output = $t;
+            #[inline]
+            fn mul(self, s: f32) -> $t { Self { $($f: self.$f * s),+ } }
+        }
+        impl Mul<$t> for f32 {
+            type Output = $t;
+            #[inline]
+            fn mul(self, v: $t) -> $t { v * self }
+        }
+        impl Div<f32> for $t {
+            type Output = $t;
+            #[inline]
+            fn div(self, s: f32) -> $t { Self { $($f: self.$f / s),+ } }
+        }
+        impl AddAssign for $t {
+            #[inline]
+            fn add_assign(&mut self, o: $t) { *self = *self + o; }
+        }
+        impl SubAssign for $t {
+            #[inline]
+            fn sub_assign(&mut self, o: $t) { *self = *self - o; }
+        }
+        impl MulAssign<f32> for $t {
+            #[inline]
+            fn mul_assign(&mut self, s: f32) { *self = *self * s; }
+        }
+        /// Component-wise (Hadamard) product.
+        impl Mul for $t {
+            type Output = $t;
+            #[inline]
+            fn mul(self, o: $t) -> $t { Self { $($f: self.$f * o.$f),+ } }
+        }
+    };
+}
+
+impl_vec_ops!(Vec2 { x, y });
+impl_vec_ops!(Vec3 { x, y, z });
+impl_vec_ops!(Vec4 { x, y, z, w });
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f32, b: f32) {
+        assert!((a - b).abs() < 1e-5, "{a} != {b}");
+    }
+
+    #[test]
+    fn vec3_arithmetic() {
+        let a = Vec3::new(1.0, 2.0, 3.0);
+        let b = Vec3::new(4.0, 5.0, 6.0);
+        assert_eq!(a + b, Vec3::new(5.0, 7.0, 9.0));
+        assert_eq!(b - a, Vec3::new(3.0, 3.0, 3.0));
+        assert_eq!(a * 2.0, Vec3::new(2.0, 4.0, 6.0));
+        assert_eq!(2.0 * a, a * 2.0);
+        assert_eq!(a / 2.0, Vec3::new(0.5, 1.0, 1.5));
+        assert_eq!(-a, Vec3::new(-1.0, -2.0, -3.0));
+        assert_eq!(a * b, Vec3::new(4.0, 10.0, 18.0));
+    }
+
+    #[test]
+    fn vec3_dot_cross() {
+        let a = Vec3::X;
+        let b = Vec3::Y;
+        assert_close(a.dot(b), 0.0);
+        assert_eq!(a.cross(b), Vec3::Z);
+        assert_eq!(b.cross(a), -Vec3::Z);
+        // Cross product is orthogonal to both inputs.
+        let u = Vec3::new(1.0, 2.0, 3.0);
+        let v = Vec3::new(-2.0, 0.5, 4.0);
+        let c = u.cross(v);
+        assert_close(c.dot(u), 0.0);
+        assert_close(c.dot(v), 0.0);
+    }
+
+    #[test]
+    fn vec3_norm_and_normalize() {
+        let v = Vec3::new(3.0, 4.0, 0.0);
+        assert_close(v.norm(), 5.0);
+        assert_close(v.norm_sq(), 25.0);
+        assert_close(v.normalized().norm(), 1.0);
+        assert_eq!(Vec3::ZERO.normalized(), Vec3::ZERO);
+    }
+
+    #[test]
+    fn vec3_min_max_abs() {
+        let a = Vec3::new(-1.0, 5.0, 2.0);
+        let b = Vec3::new(0.0, 3.0, 4.0);
+        assert_eq!(a.min(b), Vec3::new(-1.0, 3.0, 2.0));
+        assert_eq!(a.max(b), Vec3::new(0.0, 5.0, 4.0));
+        assert_eq!(a.abs(), Vec3::new(1.0, 5.0, 2.0));
+        assert_close(a.max_component(), 5.0);
+    }
+
+    #[test]
+    fn vec3_lerp_endpoints_and_midpoint() {
+        let a = Vec3::new(0.0, 0.0, 0.0);
+        let b = Vec3::new(2.0, 4.0, 6.0);
+        assert_eq!(a.lerp(b, 0.0), a);
+        assert_eq!(a.lerp(b, 1.0), b);
+        assert_eq!(a.lerp(b, 0.5), Vec3::new(1.0, 2.0, 3.0));
+    }
+
+    #[test]
+    fn vec4_homogeneous_roundtrip() {
+        let p = Vec3::new(1.0, -2.0, 3.0);
+        assert_eq!(p.to_homogeneous_point().project(), p);
+        assert_eq!(p.to_homogeneous_dir().xyz(), p);
+        let h = Vec4::new(2.0, 4.0, 6.0, 2.0);
+        assert_eq!(h.project(), Vec3::new(1.0, 2.0, 3.0));
+    }
+
+    #[test]
+    fn vec2_basics() {
+        let v = Vec2::new(3.0, 4.0);
+        assert_close(v.norm(), 5.0);
+        assert_close(v.dot(Vec2::new(1.0, 1.0)), 7.0);
+    }
+
+    #[test]
+    fn is_finite_flags_nan_and_inf() {
+        assert!(Vec3::new(1.0, 2.0, 3.0).is_finite());
+        assert!(!Vec3::new(f32::NAN, 0.0, 0.0).is_finite());
+        assert!(!Vec3::new(0.0, f32::INFINITY, 0.0).is_finite());
+    }
+}

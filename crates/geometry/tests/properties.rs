@@ -1,0 +1,118 @@
+//! Property-based tests for the geometry kernel.
+
+use proptest::prelude::*;
+use slam_geometry::{CameraIntrinsics, Mat3, Quat, Vec3, SE3};
+
+fn small_f() -> impl Strategy<Value = f32> {
+    (-10.0f32..10.0).prop_map(|v| v)
+}
+
+fn vec3() -> impl Strategy<Value = Vec3> {
+    (small_f(), small_f(), small_f()).prop_map(|(x, y, z)| Vec3::new(x, y, z))
+}
+
+fn unit_quat() -> impl Strategy<Value = Quat> {
+    ((-1.0f32..1.0, -1.0f32..1.0, -1.0f32..1.0), -3.0f32..3.0).prop_filter_map(
+        "nonzero axis",
+        |((x, y, z), angle)| {
+            let axis = Vec3::new(x, y, z);
+            if axis.norm() < 1e-3 {
+                None
+            } else {
+                Some(Quat::from_axis_angle(axis, angle))
+            }
+        },
+    )
+}
+
+fn pose() -> impl Strategy<Value = SE3> {
+    (unit_quat(), vec3()).prop_map(|(q, t)| SE3::from_quat_translation(q, t))
+}
+
+proptest! {
+    #[test]
+    fn cross_product_is_orthogonal(a in vec3(), b in vec3()) {
+        let c = a.cross(b);
+        let scale = (a.norm() * b.norm()).max(1.0);
+        prop_assert!((c.dot(a) / scale).abs() < 1e-3);
+        prop_assert!((c.dot(b) / scale).abs() < 1e-3);
+    }
+
+    #[test]
+    fn dot_is_symmetric(a in vec3(), b in vec3()) {
+        prop_assert!((a.dot(b) - b.dot(a)).abs() < 1e-4);
+    }
+
+    #[test]
+    fn normalized_has_unit_norm(v in vec3()) {
+        prop_assume!(v.norm() > 1e-3);
+        prop_assert!((v.normalized().norm() - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn rotation_preserves_norm(q in unit_quat(), v in vec3()) {
+        let rotated = q.rotate(v);
+        prop_assert!((rotated.norm() - v.norm()).abs() < 1e-3 * v.norm().max(1.0));
+    }
+
+    #[test]
+    fn rotation_matrix_is_orthonormal(q in unit_quat()) {
+        let m = q.to_mat3();
+        prop_assert!((m.transpose() * m).dist(&Mat3::IDENTITY) < 1e-4);
+        prop_assert!((m.det() - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn quat_mat_quat_roundtrip(q in unit_quat()) {
+        let back = Quat::from_mat3(&q.to_mat3());
+        prop_assert!(q.to_mat3().dist(&back.to_mat3()) < 1e-3);
+    }
+
+    #[test]
+    fn pose_inverse_roundtrip(p in pose(), v in vec3()) {
+        let back = p.inverse().transform_point(p.transform_point(v));
+        prop_assert!((back - v).norm() < 1e-2);
+    }
+
+    #[test]
+    fn pose_composition_is_associative(a in pose(), b in pose(), c in pose(), v in vec3()) {
+        let lhs = a.compose(&b).compose(&c).transform_point(v);
+        let rhs = a.compose(&b.compose(&c)).transform_point(v);
+        prop_assert!((lhs - rhs).norm() < 1e-2 * (1.0 + v.norm()));
+    }
+
+    #[test]
+    fn exp_log_roundtrip_small_twists(
+        vx in -0.5f32..0.5, vy in -0.5f32..0.5, vz in -0.5f32..0.5,
+        wx in -1.0f32..1.0, wy in -1.0f32..1.0, wz in -1.0f32..1.0,
+    ) {
+        let xi = [vx, vy, vz, wx, wy, wz];
+        let back = SE3::exp(xi).log();
+        for i in 0..6 {
+            prop_assert!((back[i] - xi[i]).abs() < 5e-3, "{:?} vs {:?}", xi, back);
+        }
+    }
+
+    #[test]
+    fn camera_project_backproject(u in 0.0f32..319.0, v in 0.0f32..239.0, d in 0.1f32..8.0) {
+        let k = CameraIntrinsics::kinect_like(320, 240);
+        let p = k.backproject(u, v, d);
+        let uv = k.project(p).unwrap();
+        prop_assert!((uv.x - u).abs() < 1e-2);
+        prop_assert!((uv.y - v).abs() < 1e-2);
+    }
+
+    #[test]
+    fn mat3_inverse_is_two_sided(q in unit_quat(), s in 0.5f32..2.0) {
+        // Scaled rotations are always invertible.
+        let m = q.to_mat3() * s;
+        let inv = m.inverse().unwrap();
+        prop_assert!((m * inv).dist(&Mat3::IDENTITY) < 1e-3);
+        prop_assert!((inv * m).dist(&Mat3::IDENTITY) < 1e-3);
+    }
+
+    #[test]
+    fn slerp_stays_unit(a in unit_quat(), b in unit_quat(), t in 0.0f32..1.0) {
+        prop_assert!((a.slerp(b, t).norm() - 1.0).abs() < 1e-4);
+    }
+}

@@ -1,0 +1,127 @@
+//! The KFusion algorithmic parameter set (paper §III-B).
+
+/// The seven algorithmic parameters of the SLAMBench KFusion implementation
+/// explored by the paper, plus the fixed physical volume extent.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KFusionConfig {
+    /// Voxels per axis of the TSDF grid (e.g. 64, 128, 256).
+    pub volume_resolution: usize,
+    /// Physical edge length of the cubic reconstruction volume in meters.
+    /// Fixed (not part of the explored space); must enclose the scene.
+    pub volume_size: f32,
+    /// TSDF truncation distance µ in meters.
+    pub mu: f32,
+    /// Per-level ICP iteration caps, finest level first
+    /// (SLAMBench's "pyramid level iterations").
+    pub pyramid_iterations: [usize; 3],
+    /// Integer downsampling ratio applied to the raw depth input
+    /// ("compute size ratio": 1, 2, 4 or 8).
+    pub compute_size_ratio: usize,
+    /// A new localization is attempted every `tracking_rate` frames.
+    pub tracking_rate: usize,
+    /// ICP convergence threshold: iteration stops early once the squared
+    /// norm of the pose update falls below this value.
+    pub icp_threshold: f32,
+    /// Depth maps are fused into the volume every `integration_rate` frames.
+    pub integration_rate: usize,
+}
+
+impl Default for KFusionConfig {
+    /// The SLAMBench default configuration (tuned by the original authors
+    /// on a desktop GPU): 256³ volume, µ = 0.1 m, pyramid 10/5/4,
+    /// full-resolution input, track every frame, ICP threshold 1e-5,
+    /// integrate every other frame.
+    fn default() -> Self {
+        KFusionConfig {
+            volume_resolution: 256,
+            volume_size: 7.0,
+            mu: 0.1,
+            pyramid_iterations: [10, 5, 4],
+            compute_size_ratio: 1,
+            tracking_rate: 1,
+            icp_threshold: 1e-5,
+            integration_rate: 2,
+        }
+    }
+}
+
+impl KFusionConfig {
+    /// Validate parameter sanity; returns a description of the first
+    /// problem found.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.volume_resolution < 8 {
+            return Err(format!("volume_resolution {} too small", self.volume_resolution));
+        }
+        if !(self.volume_size > 0.0) {
+            return Err("volume_size must be positive".into());
+        }
+        if !(self.mu > 0.0) {
+            return Err("mu must be positive".into());
+        }
+        if self.compute_size_ratio == 0 || !self.compute_size_ratio.is_power_of_two() {
+            return Err(format!("compute_size_ratio {} must be a power of two", self.compute_size_ratio));
+        }
+        if self.tracking_rate == 0 || self.integration_rate == 0 {
+            return Err("rates must be >= 1".into());
+        }
+        if !(self.icp_threshold >= 0.0) {
+            return Err("icp_threshold must be non-negative".into());
+        }
+        Ok(())
+    }
+
+    /// Voxel edge length in meters.
+    pub fn voxel_size(&self) -> f32 {
+        self.volume_size / self.volume_resolution as f32
+    }
+
+    /// A lightweight configuration for tests: small volume, small images.
+    pub fn small() -> Self {
+        KFusionConfig {
+            volume_resolution: 64,
+            ..Default::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid_and_matches_slambench() {
+        let c = KFusionConfig::default();
+        c.validate().unwrap();
+        assert_eq!(c.volume_resolution, 256);
+        assert!((c.mu - 0.1).abs() < 1e-9);
+        assert_eq!(c.pyramid_iterations, [10, 5, 4]);
+        assert_eq!(c.compute_size_ratio, 1);
+        assert_eq!(c.tracking_rate, 1);
+        assert_eq!(c.integration_rate, 2);
+    }
+
+    #[test]
+    fn voxel_size() {
+        let c = KFusionConfig { volume_resolution: 70, volume_size: 7.0, ..Default::default() };
+        assert!((c.voxel_size() - 0.1).abs() < 1e-6);
+    }
+
+    #[test]
+    fn validation_catches_bad_values() {
+        let mut c = KFusionConfig::default();
+        c.volume_resolution = 4;
+        assert!(c.validate().is_err());
+        let mut c = KFusionConfig::default();
+        c.mu = 0.0;
+        assert!(c.validate().is_err());
+        let mut c = KFusionConfig::default();
+        c.compute_size_ratio = 3;
+        assert!(c.validate().is_err());
+        let mut c = KFusionConfig::default();
+        c.tracking_rate = 0;
+        assert!(c.validate().is_err());
+        let mut c = KFusionConfig::default();
+        c.icp_threshold = f32::NAN;
+        assert!(c.validate().is_err());
+    }
+}

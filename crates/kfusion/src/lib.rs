@@ -1,0 +1,35 @@
+//! A KinectFusion-style dense SLAM pipeline.
+//!
+//! This crate reimplements, on the CPU with Rayon data parallelism, the
+//! KFusion pipeline benchmarked by SLAMBench and tuned in the paper:
+//!
+//! 1. **Preprocessing** ([`preprocess`]) — depth downsampling by the
+//!    *compute size ratio* and bilateral filtering,
+//! 2. **Tracking** ([`tracking`]) — multi-scale projective point-to-plane
+//!    ICP against the raycasted model, gated by the *ICP threshold*,
+//!    *pyramid level iterations* and *tracking rate*,
+//! 3. **Integration** ([`volume`]) — fusion of the depth map into a
+//!    truncated signed distance function (TSDF) voxel grid of the given
+//!    *volume resolution* and truncation band *µ*, every *integration
+//!    rate* frames,
+//! 4. **Raycasting** ([`raycast`]) — extraction of model vertex/normal maps
+//!    from the zero crossing of the TSDF for the next tracking step.
+//!
+//! All seven algorithmic parameters explored in the paper (§III-B) are
+//! exposed in [`KFusionConfig`]. The pipeline is deterministic.
+
+pub mod config;
+pub mod maps;
+pub mod mesh;
+pub mod pipeline;
+pub mod preprocess;
+pub mod raycast;
+pub mod tracking;
+pub mod volume;
+
+pub use config::KFusionConfig;
+pub use maps::VertexNormalMap;
+pub use mesh::{extract_mesh, Mesh};
+pub use pipeline::{FrameStats, KFusion, KernelTimings};
+pub use tracking::{IcpResult, TrackingParams};
+pub use volume::TsdfVolume;

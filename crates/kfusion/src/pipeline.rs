@@ -1,0 +1,274 @@
+//! The full KinectFusion per-frame pipeline with per-kernel timing.
+
+use crate::config::KFusionConfig;
+use crate::maps::{DepthPyramid, VertexNormalMap};
+use crate::preprocess::{bilateral_filter, downsample};
+use crate::raycast::raycast;
+use crate::tracking::{track, IcpResult, TrackingParams};
+use crate::volume::TsdfVolume;
+use icl_nuim_synth::Frame;
+use slam_geometry::{CameraIntrinsics, SE3};
+use std::time::Instant;
+
+/// Wall-clock seconds spent in each pipeline stage for one frame.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct KernelTimings {
+    pub preprocess: f64,
+    pub tracking: f64,
+    pub integration: f64,
+    pub raycast: f64,
+}
+
+impl KernelTimings {
+    /// Total frame time in seconds.
+    pub fn total(&self) -> f64 {
+        self.preprocess + self.tracking + self.integration + self.raycast
+    }
+}
+
+/// Per-frame outcome.
+#[derive(Debug, Clone)]
+pub struct FrameStats {
+    /// Estimated camera-to-world pose after this frame.
+    pub pose: SE3,
+    /// Whether a tracking attempt was made this frame (`tracking_rate`).
+    pub tracking_attempted: bool,
+    /// Whether tracking converged (always false when not attempted).
+    pub tracked: bool,
+    /// Whether the depth map was fused (`integration_rate`).
+    pub integrated: bool,
+    /// Per-kernel wall-clock timings.
+    pub timings: KernelTimings,
+}
+
+/// A running KinectFusion reconstruction.
+///
+/// Feed frames in order with [`KFusion::process`]; the estimated trajectory
+/// accumulates in [`KFusion::trajectory`].
+pub struct KFusion {
+    config: KFusionConfig,
+    /// Intrinsics of the raw sensor (before compute-size-ratio resizing).
+    sensor_k: CameraIntrinsics,
+    /// Intrinsics at processing resolution.
+    proc_k: CameraIntrinsics,
+    volume: TsdfVolume,
+    pose: SE3,
+    /// World-frame model maps from the last raycast, and the pose they were
+    /// raycast from.
+    model: Option<(VertexNormalMap, SE3)>,
+    frame_count: usize,
+    trajectory: Vec<SE3>,
+    tracking_params: TrackingParams,
+}
+
+impl KFusion {
+    /// Create a pipeline for a sensor with `sensor_k` intrinsics. The first
+    /// processed frame initializes the map at `initial_pose`.
+    ///
+    /// # Panics
+    /// If the configuration fails [`KFusionConfig::validate`].
+    pub fn new(config: KFusionConfig, sensor_k: CameraIntrinsics, initial_pose: SE3) -> Self {
+        config.validate().expect("invalid KFusion configuration");
+        let proc_k = sensor_k.downscaled(config.compute_size_ratio);
+        let volume = TsdfVolume::new(config.volume_resolution, config.volume_size);
+        let tracking_params = TrackingParams {
+            icp_threshold: config.icp_threshold,
+            iterations: config.pyramid_iterations,
+            ..Default::default()
+        };
+        KFusion {
+            config,
+            sensor_k,
+            proc_k,
+            volume,
+            pose: initial_pose,
+            model: None,
+            frame_count: 0,
+            trajectory: Vec::new(),
+            tracking_params,
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &KFusionConfig {
+        &self.config
+    }
+
+    /// Current pose estimate (camera-to-world).
+    pub fn pose(&self) -> SE3 {
+        self.pose
+    }
+
+    /// Estimated pose after each processed frame.
+    pub fn trajectory(&self) -> &[SE3] {
+        &self.trajectory
+    }
+
+    /// The TSDF volume (for inspection/meshing).
+    pub fn volume(&self) -> &TsdfVolume {
+        &self.volume
+    }
+
+    /// Process one RGB-D frame; returns what happened and how long each
+    /// kernel took.
+    pub fn process(&mut self, frame: &Frame) -> FrameStats {
+        let mut timings = KernelTimings::default();
+        let idx = self.frame_count;
+        self.frame_count += 1;
+
+        // ---- Preprocessing: resize + bilateral filter + pyramid. ----
+        let t0 = Instant::now();
+        debug_assert_eq!(frame.depth.width, self.sensor_k.width);
+        let resized = downsample(&frame.depth, self.config.compute_size_ratio);
+        let filtered = bilateral_filter(&resized, 2, 1.5, 0.1);
+        let pyramid = DepthPyramid::build(filtered, self.proc_k, 3, &{
+            let it = self.config.pyramid_iterations;
+            [it[0], it[1].min(4), it[2].min(4)]
+        });
+        timings.preprocess = t0.elapsed().as_secs_f64();
+
+        // ---- Tracking (every `tracking_rate` frames, never frame 0). ----
+        let t1 = Instant::now();
+        let mut tracked = false;
+        let tracking_attempted = idx > 0 && idx % self.config.tracking_rate == 0;
+        if tracking_attempted {
+            if let Some((model, model_pose)) = &self.model {
+                let result: IcpResult = track(
+                    &pyramid,
+                    model,
+                    &self.proc_k,
+                    model_pose,
+                    &self.pose,
+                    &self.tracking_params,
+                );
+                tracked = result.tracked;
+                if result.tracked {
+                    self.pose = result.pose;
+                }
+            }
+        }
+        timings.tracking = t1.elapsed().as_secs_f64();
+
+        // ---- Integration (every `integration_rate` frames + frame 0). ----
+        let t2 = Instant::now();
+        let integrated = idx == 0 || idx % self.config.integration_rate == 0;
+        if integrated {
+            self.volume.integrate(
+                &pyramid.levels[0].0,
+                &self.proc_k,
+                &self.pose,
+                self.config.mu,
+            );
+        }
+        timings.integration = t2.elapsed().as_secs_f64();
+
+        // ---- Raycast the model for the next frame's tracking. ----
+        let t3 = Instant::now();
+        let model = raycast(&self.volume, &self.proc_k, &self.pose, self.config.mu);
+        self.model = Some((model, self.pose));
+        timings.raycast = t3.elapsed().as_secs_f64();
+
+        self.trajectory.push(self.pose);
+        FrameStats { pose: self.pose, tracking_attempted, tracked, integrated, timings }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icl_nuim_synth::{NoiseModel, SequenceConfig, SyntheticSequence, TrajectoryKind};
+
+    fn sequence(n: usize) -> SyntheticSequence {
+        SyntheticSequence::new(SequenceConfig {
+            width: 64,
+            height: 48,
+            n_frames: n,
+            trajectory: TrajectoryKind::LivingRoomLoop,
+            noise: NoiseModel::none(),
+            seed: 0,
+        })
+    }
+
+    fn small_config() -> KFusionConfig {
+        KFusionConfig {
+            volume_resolution: 64,
+            pyramid_iterations: [6, 4, 3],
+            ..KFusionConfig::default()
+        }
+    }
+
+    #[test]
+    fn first_frame_bootstraps_map() {
+        let seq = sequence(1);
+        let mut kf = KFusion::new(small_config(), seq.intrinsics(), seq.gt_pose(0));
+        let stats = kf.process(&seq.frame(0));
+        assert!(!stats.tracking_attempted);
+        assert!(stats.integrated);
+        assert!(kf.volume().occupancy() > 0.0);
+        assert_eq!(kf.trajectory().len(), 1);
+    }
+
+    #[test]
+    fn tracks_slow_motion_sequence() {
+        // A 200-frame trajectory keeps inter-frame motion small; we only
+        // process the first 12 frames.
+        let seq = sequence(200);
+        let mut kf = KFusion::new(small_config(), seq.intrinsics(), seq.gt_pose(0));
+        for i in 0..12 {
+            kf.process(&seq.frame(i));
+        }
+        // Final pose close to ground truth.
+        let err = kf.pose().translation_dist(&seq.gt_pose(11));
+        assert!(err < 0.06, "drift {err}");
+    }
+
+    #[test]
+    fn tracking_rate_skips_localization() {
+        let seq = sequence(6);
+        let cfg = KFusionConfig { tracking_rate: 3, ..small_config() };
+        let mut kf = KFusion::new(cfg, seq.intrinsics(), seq.gt_pose(0));
+        let mut attempted = Vec::new();
+        for f in seq.frames() {
+            attempted.push(kf.process(&f).tracking_attempted);
+        }
+        assert_eq!(attempted, vec![false, false, false, true, false, false]);
+    }
+
+    #[test]
+    fn integration_rate_gates_fusion() {
+        let seq = sequence(6);
+        let cfg = KFusionConfig { integration_rate: 3, ..small_config() };
+        let mut kf = KFusion::new(cfg, seq.intrinsics(), seq.gt_pose(0));
+        let flags: Vec<bool> = seq.frames().map(|f| kf.process(&f).integrated).collect();
+        assert_eq!(flags, vec![true, false, false, true, false, false]);
+    }
+
+    #[test]
+    fn timings_are_populated() {
+        let seq = sequence(2);
+        let mut kf = KFusion::new(small_config(), seq.intrinsics(), seq.gt_pose(0));
+        let s0 = kf.process(&seq.frame(0));
+        let s1 = kf.process(&seq.frame(1));
+        assert!(s0.timings.total() > 0.0);
+        assert!(s1.timings.tracking > 0.0); // frame 1 tracks
+        assert!(s0.timings.integration > 0.0);
+        assert!(s0.timings.raycast > 0.0);
+    }
+
+    #[test]
+    fn compute_size_ratio_shrinks_processing() {
+        let seq = sequence(1);
+        let cfg = KFusionConfig { compute_size_ratio: 2, ..small_config() };
+        let kf = KFusion::new(cfg, seq.intrinsics(), seq.gt_pose(0));
+        assert_eq!(kf.proc_k.width, 32);
+        assert_eq!(kf.proc_k.height, 24);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid KFusion configuration")]
+    fn invalid_config_panics() {
+        let seq = sequence(1);
+        let cfg = KFusionConfig { compute_size_ratio: 3, ..KFusionConfig::default() };
+        KFusion::new(cfg, seq.intrinsics(), SE3::IDENTITY);
+    }
+}

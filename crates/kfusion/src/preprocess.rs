@@ -1,0 +1,184 @@
+//! Depth preprocessing: downsampling and bilateral filtering.
+
+use icl_nuim_synth::DepthImage;
+use rayon::prelude::*;
+
+/// Downsample a depth image by an integer `ratio` using block averaging of
+/// the valid pixels in each `ratio × ratio` block (SLAMBench's
+/// `mm2metersKernel` resize semantics). `ratio == 1` is a cheap clone.
+pub fn downsample(depth: &DepthImage, ratio: usize) -> DepthImage {
+    assert!(ratio >= 1, "ratio must be >= 1");
+    if ratio == 1 {
+        return depth.clone();
+    }
+    let w = (depth.width / ratio).max(1);
+    let h = (depth.height / ratio).max(1);
+    let mut data = vec![0.0f32; w * h];
+    data.par_chunks_mut(w).enumerate().for_each(|(y, row)| {
+        for (x, out) in row.iter_mut().enumerate() {
+            let mut sum = 0.0f32;
+            let mut count = 0u32;
+            for dy in 0..ratio {
+                for dx in 0..ratio {
+                    let sy = y * ratio + dy;
+                    let sx = x * ratio + dx;
+                    if sy < depth.height && sx < depth.width {
+                        let d = depth.at(sx, sy);
+                        if d > 0.0 {
+                            sum += d;
+                            count += 1;
+                        }
+                    }
+                }
+            }
+            // Require a majority of valid samples, as SLAMBench does, to
+            // avoid smearing depth across silhouette edges.
+            if count as usize * 2 > ratio * ratio {
+                *out = sum / count as f32;
+            }
+        }
+    });
+    DepthImage { width: w, height: h, data }
+}
+
+/// Edge-preserving bilateral filter on a depth image (the paper's
+/// *Preprocessing* kernel). `radius` is the half window (SLAMBench uses 2),
+/// `sigma_space` the spatial Gaussian in pixels, `sigma_depth` the range
+/// Gaussian in meters. Invalid pixels stay invalid and do not contaminate
+/// neighbors.
+pub fn bilateral_filter(
+    depth: &DepthImage,
+    radius: usize,
+    sigma_space: f32,
+    sigma_depth: f32,
+) -> DepthImage {
+    let w = depth.width;
+    let h = depth.height;
+    let inv_2ss = 1.0 / (2.0 * sigma_space * sigma_space);
+    let inv_2sd = 1.0 / (2.0 * sigma_depth * sigma_depth);
+    // Precompute the spatial kernel.
+    let k = 2 * radius + 1;
+    let mut spatial = vec![0.0f32; k * k];
+    for dy in 0..k {
+        for dx in 0..k {
+            let fy = dy as f32 - radius as f32;
+            let fx = dx as f32 - radius as f32;
+            spatial[dy * k + dx] = (-(fx * fx + fy * fy) * inv_2ss).exp();
+        }
+    }
+
+    let mut data = vec![0.0f32; w * h];
+    data.par_chunks_mut(w).enumerate().for_each(|(y, row)| {
+        for (x, out) in row.iter_mut().enumerate() {
+            let center = depth.at(x, y);
+            if center <= 0.0 {
+                continue;
+            }
+            let mut sum = 0.0f32;
+            let mut weight = 0.0f32;
+            for dy in 0..k {
+                let sy = y as isize + dy as isize - radius as isize;
+                if sy < 0 || sy >= h as isize {
+                    continue;
+                }
+                for dx in 0..k {
+                    let sx = x as isize + dx as isize - radius as isize;
+                    if sx < 0 || sx >= w as isize {
+                        continue;
+                    }
+                    let d = depth.at(sx as usize, sy as usize);
+                    if d <= 0.0 {
+                        continue;
+                    }
+                    let dd = d - center;
+                    let wgt = spatial[dy * k + dx] * (-(dd * dd) * inv_2sd).exp();
+                    sum += wgt * d;
+                    weight += wgt;
+                }
+            }
+            *out = if weight > 0.0 { sum / weight } else { center };
+        }
+    });
+    DepthImage { width: w, height: h, data }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn image(w: usize, h: usize, f: impl Fn(usize, usize) -> f32) -> DepthImage {
+        let mut data = vec![0.0; w * h];
+        for y in 0..h {
+            for x in 0..w {
+                data[y * w + x] = f(x, y);
+            }
+        }
+        DepthImage { width: w, height: h, data }
+    }
+
+    #[test]
+    fn downsample_halves_dimensions() {
+        let img = image(16, 12, |_, _| 2.0);
+        let half = downsample(&img, 2);
+        assert_eq!((half.width, half.height), (8, 6));
+        assert!(half.data.iter().all(|&d| (d - 2.0).abs() < 1e-6));
+        let eighth = downsample(&img, 8);
+        assert_eq!((eighth.width, eighth.height), (2, 1));
+    }
+
+    #[test]
+    fn downsample_ratio_one_is_identity() {
+        let img = image(8, 8, |x, y| (x + y) as f32 * 0.1 + 0.5);
+        assert_eq!(downsample(&img, 1), img);
+    }
+
+    #[test]
+    fn downsample_averages_blocks() {
+        let img = image(4, 4, |x, y| if (x, y) == (0, 0) { 1.0 } else { 3.0 });
+        let out = downsample(&img, 2);
+        // Top-left block = {1, 3, 3, 3} → mean 2.5.
+        assert!((out.at(0, 0) - 2.5).abs() < 1e-6);
+        assert!((out.at(1, 1) - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn downsample_majority_invalid_gives_invalid() {
+        let img = image(4, 4, |x, y| if y < 2 && x < 2 && (x, y) != (0, 0) { 0.0 } else { 2.0 });
+        // Top-left 2×2 block has 3 invalid of 4 → invalid output.
+        let out = downsample(&img, 2);
+        assert_eq!(out.at(0, 0), 0.0);
+    }
+
+    #[test]
+    fn bilateral_smooths_noise() {
+        // Constant 2 m plane with a deterministic ripple.
+        let img = image(32, 32, |x, y| 2.0 + 0.01 * (((x * 7 + y * 13) % 5) as f32 - 2.0));
+        let out = bilateral_filter(&img, 2, 1.5, 0.1);
+        let var = |im: &DepthImage| {
+            let mean: f32 = im.data.iter().sum::<f32>() / im.data.len() as f32;
+            im.data.iter().map(|d| (d - mean) * (d - mean)).sum::<f32>() / im.data.len() as f32
+        };
+        assert!(var(&out) < var(&img) * 0.5, "{} vs {}", var(&out), var(&img));
+    }
+
+    #[test]
+    fn bilateral_preserves_edges() {
+        // Step edge: left half at 1 m, right half at 3 m.
+        let img = image(32, 32, |x, _| if x < 16 { 1.0 } else { 3.0 });
+        let out = bilateral_filter(&img, 2, 1.5, 0.05);
+        // Pixels adjacent to the edge keep their side's depth (range kernel
+        // rejects the other side).
+        assert!((out.at(15, 16) - 1.0).abs() < 0.01);
+        assert!((out.at(16, 16) - 3.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn bilateral_keeps_invalid_invalid() {
+        let mut img = image(8, 8, |_, _| 2.0);
+        img.data[3 * 8 + 4] = 0.0;
+        let out = bilateral_filter(&img, 2, 1.5, 0.1);
+        assert_eq!(out.at(4, 3), 0.0);
+        // And neighbors are unaffected by the hole.
+        assert!((out.at(5, 3) - 2.0).abs() < 1e-6);
+    }
+}

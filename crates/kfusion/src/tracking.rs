@@ -1,0 +1,309 @@
+//! Multi-scale projective point-to-plane ICP (KinectFusion's *Tracking*).
+
+use crate::maps::{DepthPyramid, VertexNormalMap};
+use rayon::prelude::*;
+use slam_geometry::{solve::NormalEquations, CameraIntrinsics, SE3};
+
+/// Data-association gates and convergence controls for ICP.
+#[derive(Debug, Clone)]
+pub struct TrackingParams {
+    /// Reject correspondences farther apart than this (meters).
+    pub dist_threshold: f32,
+    /// Reject correspondences whose normals disagree by more than this
+    /// (cosine of the angle).
+    pub normal_threshold: f32,
+    /// Stop iterating a level once the norm of the twist update drops
+    /// below this — the paper's *ICP threshold* parameter (SLAMBench
+    /// semantics: `norm(x) < icp_threshold`).
+    pub icp_threshold: f32,
+    /// Per-level iteration caps, finest level first — the paper's
+    /// *pyramid level iterations*.
+    pub iterations: [usize; 3],
+    /// Minimum fraction of pixels with valid correspondences for the
+    /// result to count as tracked.
+    pub min_inlier_fraction: f32,
+}
+
+impl Default for TrackingParams {
+    fn default() -> Self {
+        TrackingParams {
+            dist_threshold: 0.1,
+            normal_threshold: 0.8,
+            icp_threshold: 1e-5,
+            iterations: [10, 5, 4],
+            min_inlier_fraction: 0.1,
+        }
+    }
+}
+
+/// Outcome of a tracking attempt.
+#[derive(Debug, Clone)]
+pub struct IcpResult {
+    /// Refined camera-to-world pose.
+    pub pose: SE3,
+    /// Whether tracking succeeded (enough inliers and a solvable system).
+    pub tracked: bool,
+    /// Final RMS point-to-plane residual (meters).
+    pub rms_error: f32,
+    /// Fraction of pixels that found a valid correspondence at the finest
+    /// level of the last iteration.
+    pub inlier_fraction: f32,
+    /// Total ICP iterations actually executed across all levels.
+    pub iterations_run: usize,
+}
+
+/// One ICP iteration: build and solve the point-to-plane normal equations
+/// between the current depth-map vertices (camera frame) and the model
+/// maps (world frame, from raycasting), under the pose estimate `pose`.
+///
+/// Returns `(twist, rms, inlier_fraction)`; `None` when the system is
+/// degenerate.
+fn icp_step(
+    current: &VertexNormalMap,
+    model: &VertexNormalMap,
+    model_k: &CameraIntrinsics,
+    model_pose: &SE3,
+    pose: &SE3,
+    params: &TrackingParams,
+) -> Option<([f32; 6], f32, f32)> {
+    let world_to_model_cam = model_pose.inverse();
+    // Parallel reduction over rows of the current map.
+    let ne = (0..current.height)
+        .into_par_iter()
+        .map(|v| {
+            let mut acc = NormalEquations::<6>::default();
+            for u in 0..current.width {
+                if !current.is_valid(u, v) {
+                    continue;
+                }
+                let p_cam = current.vertex(u, v);
+                let p_world = pose.transform_point(p_cam);
+                // Project into the model (reference) camera for association.
+                let p_model_cam = world_to_model_cam.transform_point(p_world);
+                let Some((mu_, mv_)) = model_k.project_to_pixel(p_model_cam) else {
+                    continue;
+                };
+                if !model.is_valid(mu_, mv_) {
+                    continue;
+                }
+                let q_world = model.vertex(mu_, mv_);
+                let n_world = model.normal(mu_, mv_);
+                if (p_world - q_world).norm() > params.dist_threshold {
+                    continue;
+                }
+                let n_cur_world = pose.transform_dir(current.normal(u, v));
+                if n_cur_world.dot(n_world) < params.normal_threshold {
+                    continue;
+                }
+                let r = n_world.dot(q_world - p_world);
+                let cross = p_world.cross(n_world);
+                let j = [n_world.x, n_world.y, n_world.z, cross.x, cross.y, cross.z];
+                acc.add_row(&j, r, 1.0);
+            }
+            acc
+        })
+        .reduce(NormalEquations::<6>::default, |mut a, b| {
+            a.merge(&b);
+            a
+        });
+
+    // An under-constrained system (too few correspondences for 6 DoF)
+    // produces wild updates; refuse to solve it.
+    const MIN_CORRESPONDENCES: usize = 30;
+    if ne.count < MIN_CORRESPONDENCES {
+        return None;
+    }
+    let total = current.valid_count().max(1);
+    let inlier_fraction = ne.count as f32 / total as f32;
+    let twist = ne.solve(1e-6)?;
+    Some((twist, ne.rms(), inlier_fraction))
+}
+
+/// Track the camera by aligning the depth pyramid of the incoming frame to
+/// the raycasted model maps, coarse-to-fine.
+///
+/// * `pyramid` — depth pyramid of the current frame (finest level 0),
+/// * `model` — world-frame model maps raycast from `model_pose`,
+/// * `model_k` — intrinsics used for the raycast (finest level),
+/// * `model_pose` — the camera pose the model maps were raycast from
+///   (projective association happens in that camera's pixel grid),
+/// * `initial` — pose prediction (usually the previous frame's pose).
+pub fn track(
+    pyramid: &DepthPyramid,
+    model: &VertexNormalMap,
+    model_k: &CameraIntrinsics,
+    model_pose: &SE3,
+    initial: &SE3,
+    params: &TrackingParams,
+) -> IcpResult {
+    let mut pose = *initial;
+    let mut rms = f32::INFINITY;
+    let mut inliers = 0.0f32;
+    let mut iterations_run = 0usize;
+
+    // Coarse (highest index) to fine (level 0).
+    for level in (0..pyramid.levels.len()).rev() {
+        let (depth, k) = &pyramid.levels[level];
+        let current = VertexNormalMap::from_depth(depth, k);
+        let max_iters = params.iterations.get(level).copied().unwrap_or(4);
+        for _ in 0..max_iters {
+            let Some((twist, level_rms, frac)) =
+                icp_step(&current, model, model_k, model_pose, &pose, params)
+            else {
+                break;
+            };
+            pose = SE3::exp(twist).compose(&pose).normalized();
+            rms = level_rms;
+            inliers = frac;
+            iterations_run += 1;
+            let step_norm: f32 = twist.iter().map(|t| t * t).sum::<f32>().sqrt();
+            if step_norm < params.icp_threshold {
+                break;
+            }
+        }
+    }
+
+    let tracked = rms.is_finite() && inliers >= params.min_inlier_fraction;
+    IcpResult {
+        pose: if tracked { pose } else { *initial },
+        tracked,
+        rms_error: if rms.is_finite() { rms } else { 0.0 },
+        inlier_fraction: inliers,
+        iterations_run,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::maps::DepthPyramid;
+    use icl_nuim_synth::{living_room, look_at, render_depth};
+    use slam_geometry::{Quat, Vec3};
+
+    fn cam() -> CameraIntrinsics {
+        CameraIntrinsics::kinect_like(80, 60)
+    }
+
+    /// Model maps straight from ground truth geometry (bypassing the TSDF)
+    /// to test ICP in isolation.
+    fn gt_model(pose: &SE3) -> VertexNormalMap {
+        let scene = living_room();
+        let k = cam();
+        let depth = render_depth(&scene, &k, pose);
+        let mut map = VertexNormalMap::from_depth(&depth, &k);
+        // Lift to world frame.
+        for i in 0..map.vertices.len() {
+            if map.normals[i].norm_sq() > 0.25 {
+                map.vertices[i] = pose.transform_point(map.vertices[i]);
+                map.normals[i] = pose.transform_dir(map.normals[i]);
+            }
+        }
+        map
+    }
+
+    fn pyramid_at(pose: &SE3) -> DepthPyramid {
+        let scene = living_room();
+        let k = cam();
+        let depth = render_depth(&scene, &k, pose);
+        DepthPyramid::build(depth, k, 3, &[0, 1, 1])
+    }
+
+    #[test]
+    fn icp_recovers_small_translation() {
+        let ref_pose = look_at(Vec3::new(0.0, -0.1, -0.2), Vec3::new(0.3, 0.5, 2.9));
+        let true_pose = SE3::from_translation(Vec3::new(0.02, -0.015, 0.01)).compose(&ref_pose);
+        let model = gt_model(&ref_pose);
+        let pyr = pyramid_at(&true_pose);
+        let res = track(&pyr, &model, &cam(), &ref_pose, &ref_pose, &TrackingParams::default());
+        assert!(res.tracked);
+        let err = res.pose.translation_dist(&true_pose);
+        assert!(err < 0.015, "translation error {err}");
+    }
+
+    #[test]
+    fn icp_recovers_small_rotation() {
+        let ref_pose = look_at(Vec3::new(0.2, 0.0, 0.0), Vec3::new(-1.5, 0.8, 2.0));
+        let dq = Quat::from_axis_angle(Vec3::new(0.3, 1.0, 0.1), 0.02);
+        let true_pose = SE3::from_quat_translation(dq, Vec3::new(0.005, 0.0, -0.008)).compose(&ref_pose);
+        let model = gt_model(&ref_pose);
+        let pyr = pyramid_at(&true_pose);
+        let res = track(&pyr, &model, &cam(), &ref_pose, &ref_pose, &TrackingParams::default());
+        assert!(res.tracked);
+        assert!(res.pose.translation_dist(&true_pose) < 0.012, "t err {}", res.pose.translation_dist(&true_pose));
+        assert!(res.pose.rotation_dist(&true_pose) < 0.012, "r err {}", res.pose.rotation_dist(&true_pose));
+    }
+
+    #[test]
+    fn perfect_initialization_stays_put() {
+        let pose = look_at(Vec3::new(0.0, 0.0, -0.4), Vec3::new(0.5, 0.6, 2.9));
+        let model = gt_model(&pose);
+        let pyr = pyramid_at(&pose);
+        let res = track(&pyr, &model, &cam(), &pose, &pose, &TrackingParams::default());
+        assert!(res.tracked);
+        assert!(res.pose.translation_dist(&pose) < 2e-3);
+        assert!(res.rms_error < 0.01);
+    }
+
+    #[test]
+    fn loose_icp_threshold_runs_fewer_iterations() {
+        let ref_pose = look_at(Vec3::new(0.0, -0.1, -0.2), Vec3::new(0.3, 0.5, 2.9));
+        let true_pose = SE3::from_translation(Vec3::new(0.03, 0.0, 0.015)).compose(&ref_pose);
+        let model = gt_model(&ref_pose);
+        let pyr = pyramid_at(&true_pose);
+        let tight = track(
+            &pyr,
+            &model,
+            &cam(),
+            &ref_pose,
+            &ref_pose,
+            &TrackingParams { icp_threshold: 1e-10, ..Default::default() },
+        );
+        let loose = track(
+            &pyr,
+            &model,
+            &cam(),
+            &ref_pose,
+            &ref_pose,
+            &TrackingParams { icp_threshold: 1e-2, ..Default::default() },
+        );
+        assert!(
+            loose.iterations_run < tight.iterations_run,
+            "loose {} vs tight {}",
+            loose.iterations_run,
+            tight.iterations_run
+        );
+        // The loose variant is (weakly) less accurate.
+        assert!(loose.pose.translation_dist(&true_pose) + 1e-6 >= tight.pose.translation_dist(&true_pose) * 0.2);
+    }
+
+    #[test]
+    fn tracking_fails_gracefully_without_overlap() {
+        // Model from one side of the room, frame from the opposite side
+        // looking the other way: no valid correspondences.
+        let ref_pose = look_at(Vec3::new(0.0, 0.0, -0.5), Vec3::new(0.0, 0.5, 2.9));
+        let far_pose = look_at(Vec3::new(0.0, 0.0, 0.5), Vec3::new(0.0, 0.5, -2.9));
+        let model = gt_model(&ref_pose);
+        let pyr = pyramid_at(&far_pose);
+        let res = track(&pyr, &model, &cam(), &ref_pose, &far_pose, &TrackingParams::default());
+        assert!(!res.tracked);
+        // Pose is left at the initial estimate.
+        assert!(res.pose.translation_dist(&far_pose) < 1e-6);
+    }
+
+    #[test]
+    fn zero_iterations_is_a_noop() {
+        let pose = look_at(Vec3::ZERO, Vec3::new(0.0, 0.5, 2.9));
+        let model = gt_model(&pose);
+        let pyr = pyramid_at(&pose);
+        let res = track(
+            &pyr,
+            &model,
+            &cam(),
+            &pose,
+            &pose,
+            &TrackingParams { iterations: [0, 0, 0], ..Default::default() },
+        );
+        assert_eq!(res.iterations_run, 0);
+        assert!(!res.tracked); // nothing ran, nothing measured
+    }
+}

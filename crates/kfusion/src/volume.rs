@@ -1,0 +1,304 @@
+//! The truncated signed distance function (TSDF) voxel grid.
+
+use icl_nuim_synth::DepthImage;
+use rayon::prelude::*;
+use slam_geometry::{CameraIntrinsics, Vec3, SE3};
+
+/// Maximum accumulated integration weight per voxel (running-average cap,
+/// as in KinectFusion).
+const MAX_WEIGHT: f32 = 100.0;
+
+/// A cubic TSDF volume centered on the world origin.
+///
+/// Each voxel stores a truncated signed distance (normalized to `[-1, 1]`
+/// in units of µ) and an integration weight. Surfaces live at the zero
+/// crossing and are extracted by raycasting ([`crate::raycast`]).
+pub struct TsdfVolume {
+    resolution: usize,
+    size: f32,
+    voxel: f32,
+    /// `(tsdf, weight)` per voxel, x-major then y then z
+    /// (`index = (z * res + y) * res + x`).
+    data: Vec<(f32, f32)>,
+}
+
+impl TsdfVolume {
+    /// Allocate an empty volume: `resolution³` voxels spanning a cube of
+    /// edge `size` meters centered at the origin. All voxels start at
+    /// tsdf = 1 (free/unknown), weight = 0.
+    pub fn new(resolution: usize, size: f32) -> Self {
+        assert!(resolution >= 8, "resolution too small");
+        assert!(size > 0.0);
+        TsdfVolume {
+            resolution,
+            size,
+            voxel: size / resolution as f32,
+            data: vec![(1.0, 0.0); resolution * resolution * resolution],
+        }
+    }
+
+    /// Voxels per axis.
+    pub fn resolution(&self) -> usize {
+        self.resolution
+    }
+
+    /// Physical edge length in meters.
+    pub fn size(&self) -> f32 {
+        self.size
+    }
+
+    /// Voxel edge length in meters.
+    pub fn voxel_size(&self) -> f32 {
+        self.voxel
+    }
+
+    /// World position of the center of voxel `(x, y, z)`.
+    #[inline]
+    pub fn voxel_center(&self, x: usize, y: usize, z: usize) -> Vec3 {
+        let half = self.size * 0.5;
+        Vec3::new(
+            (x as f32 + 0.5) * self.voxel - half,
+            (y as f32 + 0.5) * self.voxel - half,
+            (z as f32 + 0.5) * self.voxel - half,
+        )
+    }
+
+    /// Raw `(tsdf, weight)` of voxel `(x, y, z)`.
+    #[inline]
+    pub fn voxel_at(&self, x: usize, y: usize, z: usize) -> (f32, f32) {
+        self.data[(z * self.resolution + y) * self.resolution + x]
+    }
+
+    /// Trilinearly interpolated TSDF value at world point `p`; `None`
+    /// outside the volume or in never-integrated (zero-weight) space.
+    pub fn interp(&self, p: Vec3) -> Option<f32> {
+        let half = self.size * 0.5;
+        let g = Vec3::new(
+            (p.x + half) / self.voxel - 0.5,
+            (p.y + half) / self.voxel - 0.5,
+            (p.z + half) / self.voxel - 0.5,
+        );
+        let x0 = g.x.floor();
+        let y0 = g.y.floor();
+        let z0 = g.z.floor();
+        if x0 < 0.0
+            || y0 < 0.0
+            || z0 < 0.0
+            || x0 + 1.0 >= self.resolution as f32
+            || y0 + 1.0 >= self.resolution as f32
+            || z0 + 1.0 >= self.resolution as f32
+        {
+            return None;
+        }
+        let (xi, yi, zi) = (x0 as usize, y0 as usize, z0 as usize);
+        let (fx, fy, fz) = (g.x - x0, g.y - y0, g.z - z0);
+        let mut value = 0.0;
+        let mut any_weight = false;
+        for dz in 0..2 {
+            for dy in 0..2 {
+                for dx in 0..2 {
+                    let (t, w) =
+                        self.voxel_at(xi + dx, yi + dy, zi + dz);
+                    if w > 0.0 {
+                        any_weight = true;
+                    }
+                    let wx = if dx == 1 { fx } else { 1.0 - fx };
+                    let wy = if dy == 1 { fy } else { 1.0 - fy };
+                    let wz = if dz == 1 { fz } else { 1.0 - fz };
+                    value += t * wx * wy * wz;
+                }
+            }
+        }
+        if any_weight {
+            Some(value)
+        } else {
+            None
+        }
+    }
+
+    /// TSDF gradient (surface normal direction) at `p` by central
+    /// differences of the interpolated field.
+    pub fn gradient(&self, p: Vec3) -> Option<Vec3> {
+        let h = self.voxel;
+        let dx = self.interp(p + Vec3::new(h, 0.0, 0.0))? - self.interp(p - Vec3::new(h, 0.0, 0.0))?;
+        let dy = self.interp(p + Vec3::new(0.0, h, 0.0))? - self.interp(p - Vec3::new(0.0, h, 0.0))?;
+        let dz = self.interp(p + Vec3::new(0.0, 0.0, h))? - self.interp(p - Vec3::new(0.0, 0.0, h))?;
+        let g = Vec3::new(dx, dy, dz);
+        if g.norm_sq() > 0.0 {
+            Some(g.normalized())
+        } else {
+            None
+        }
+    }
+
+    /// Fuse one depth map into the volume (KinectFusion's *Integration*
+    /// kernel): for every voxel, project into the camera, compare the voxel
+    /// depth with the measured depth, and fold the truncated SDF sample into
+    /// the running average. Parallel over z-slices.
+    ///
+    /// `pose` is camera-to-world; `mu` the truncation band in meters.
+    pub fn integrate(&mut self, depth: &DepthImage, k: &CameraIntrinsics, pose: &SE3, mu: f32) {
+        let world_to_cam = pose.inverse();
+        let res = self.resolution;
+        let voxel = self.voxel;
+        let size = self.size;
+        self.data
+            .par_chunks_mut(res * res)
+            .enumerate()
+            .for_each(|(z, slice)| {
+                let half = size * 0.5;
+                let pz = (z as f32 + 0.5) * voxel - half;
+                for y in 0..res {
+                    let py = (y as f32 + 0.5) * voxel - half;
+                    for x in 0..res {
+                        let px = (x as f32 + 0.5) * voxel - half;
+                        let p_cam = world_to_cam.transform_point(Vec3::new(px, py, pz));
+                        if p_cam.z <= 0.0 {
+                            continue;
+                        }
+                        let Some((u, v)) = k.project_to_pixel(p_cam) else {
+                            continue;
+                        };
+                        let d = depth.at(u, v);
+                        if d <= 0.0 {
+                            continue;
+                        }
+                        // Signed distance along the ray, in meters.
+                        let sdf = d - p_cam.z;
+                        if sdf < -mu {
+                            continue; // occluded, beyond the truncation band
+                        }
+                        let tsdf_sample = (sdf / mu).min(1.0);
+                        let cell = &mut slice[y * res + x];
+                        let w_new = (cell.1 + 1.0).min(MAX_WEIGHT);
+                        cell.0 = (cell.0 * cell.1 + tsdf_sample) / (cell.1 + 1.0);
+                        cell.1 = w_new;
+                    }
+                }
+            });
+    }
+
+    /// Fraction of voxels that have been touched by integration.
+    pub fn occupancy(&self) -> f32 {
+        let touched = self.data.iter().filter(|(_, w)| *w > 0.0).count();
+        touched as f32 / self.data.len() as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icl_nuim_synth::{living_room, look_at, render_depth};
+    use slam_geometry::CameraIntrinsics;
+
+    fn cam() -> CameraIntrinsics {
+        CameraIntrinsics::kinect_like(64, 48)
+    }
+
+    #[test]
+    fn fresh_volume_is_free_space() {
+        let v = TsdfVolume::new(16, 4.0);
+        assert_eq!(v.voxel_at(0, 0, 0), (1.0, 0.0));
+        assert_eq!(v.occupancy(), 0.0);
+        assert!((v.voxel_size() - 0.25).abs() < 1e-6);
+    }
+
+    #[test]
+    fn voxel_centers_span_the_cube() {
+        let v = TsdfVolume::new(16, 4.0);
+        let first = v.voxel_center(0, 0, 0);
+        let last = v.voxel_center(15, 15, 15);
+        assert!((first.x + 2.0 - 0.125).abs() < 1e-6);
+        assert!((last.x - (2.0 - 0.125)).abs() < 1e-6);
+        assert!((first - Vec3::splat(-1.875)).norm() < 1e-5);
+        assert!((last - Vec3::splat(1.875)).norm() < 1e-5);
+    }
+
+    #[test]
+    fn integrate_creates_zero_crossing_at_wall() {
+        // Synthetic flat wall at z = 2 in camera == world frame.
+        let k = cam();
+        let depth = DepthImage { width: 64, height: 48, data: vec![2.0; 64 * 48] };
+        let mut vol = TsdfVolume::new(64, 4.0);
+        vol.integrate(&depth, &k, &SE3::IDENTITY, 0.2);
+        // In front of the wall (z < 2): positive TSDF. Behind: negative.
+        let front = vol.interp(Vec3::new(0.0, 0.0, 1.7)).unwrap();
+        let behind = vol.interp(Vec3::new(0.0, 0.0, 1.95)).unwrap();
+        assert!(front > 0.5, "front {front}");
+        assert!(behind < front);
+        // Bracket the crossing.
+        let just_before = vol.interp(Vec3::new(0.0, 0.0, 1.9)).unwrap();
+        let just_after = vol.interp(Vec3::new(0.0, 0.0, 2.1));
+        assert!(just_before > 0.0);
+        if let Some(a) = just_after {
+            assert!(a <= just_before);
+        }
+    }
+
+    #[test]
+    fn repeated_integration_is_stable() {
+        let k = cam();
+        let depth = DepthImage { width: 64, height: 48, data: vec![1.5; 64 * 48] };
+        let mut vol = TsdfVolume::new(32, 4.0);
+        for _ in 0..5 {
+            vol.integrate(&depth, &k, &SE3::IDENTITY, 0.2);
+        }
+        // Same observation repeatedly: the average equals the sample.
+        let v = vol.interp(Vec3::new(0.0, 0.0, 1.2)).unwrap();
+        assert!(v > 0.9, "{v}");
+        let probe = Vec3::new(0.0, 0.0, 1.49);
+        let near = vol.interp(probe).unwrap();
+        assert!(near.abs() < 0.3, "{near}");
+    }
+
+    #[test]
+    fn interp_outside_volume_is_none() {
+        let vol = TsdfVolume::new(16, 2.0);
+        assert!(vol.interp(Vec3::new(5.0, 0.0, 0.0)).is_none());
+        assert!(vol.interp(Vec3::new(0.0, -1.5, 0.0)).is_none());
+    }
+
+    #[test]
+    fn interp_in_unintegrated_space_is_none() {
+        let vol = TsdfVolume::new(16, 2.0);
+        assert!(vol.interp(Vec3::ZERO).is_none());
+    }
+
+    #[test]
+    fn gradient_points_away_from_surface() {
+        let k = cam();
+        let depth = DepthImage { width: 64, height: 48, data: vec![2.0; 64 * 48] };
+        let mut vol = TsdfVolume::new(64, 5.0);
+        vol.integrate(&depth, &k, &SE3::IDENTITY, 0.3);
+        // TSDF decreases toward the wall along +z, so gradient ≈ -Z.
+        let g = vol.gradient(Vec3::new(0.0, 0.0, 1.85)).unwrap();
+        assert!(g.z < -0.7, "gradient {g:?}");
+    }
+
+    #[test]
+    fn integrate_real_scene_touches_reasonable_fraction() {
+        let scene = living_room();
+        let pose = look_at(Vec3::ZERO, Vec3::new(0.0, 0.0, 2.9));
+        let depth = render_depth(&scene, &cam(), &pose);
+        let mut vol = TsdfVolume::new(48, 7.0);
+        vol.integrate(&depth, &cam(), &pose, 0.1);
+        let occ = vol.occupancy();
+        assert!(occ > 0.01 && occ < 0.9, "occupancy {occ}");
+    }
+
+    #[test]
+    fn weight_capped() {
+        let k = cam();
+        let depth = DepthImage { width: 64, height: 48, data: vec![1.0; 64 * 48] };
+        let mut vol = TsdfVolume::new(16, 4.0);
+        for _ in 0..120 {
+            vol.integrate(&depth, &k, &SE3::IDENTITY, 0.5);
+        }
+        let max_w = vol
+            .data
+            .iter()
+            .map(|(_, w)| *w)
+            .fold(0.0f32, f32::max);
+        assert!(max_w <= MAX_WEIGHT + 1e-3);
+    }
+}

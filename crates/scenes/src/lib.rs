@@ -1,0 +1,31 @@
+//! Procedural ICL-NUIM-like RGB-D sequences.
+//!
+//! The paper evaluates on the first 400 frames of the ICL-NUIM *Living Room
+//! trajectory 2* dataset. That dataset is a rendered synthetic living room;
+//! this crate reproduces its *nature* — noiseless ground-truth geometry plus
+//! a Kinect-style noise model — without shipping gigabytes of frames:
+//!
+//! * [`sdf`] — constructive signed-distance primitives,
+//! * [`scene`] — a furnished living-room scene with per-object albedo,
+//! * [`trajectory`] — smooth closed-loop camera paths with exact ground
+//!   truth poses,
+//! * [`render`] — parallel sphere-traced depth + RGB rendering,
+//! * [`noise`] — Kinect-like depth noise (deterministic per pixel/frame),
+//! * [`sequence`] — the frame-stream API consumed by the SLAM pipelines.
+//!
+//! Rendering is deterministic: the same `(sequence config, frame index)`
+//! always produces bit-identical images, regardless of thread scheduling.
+
+pub mod noise;
+pub mod render;
+pub mod scene;
+pub mod sdf;
+pub mod sequence;
+pub mod trajectory;
+
+pub use noise::NoiseModel;
+pub use render::{render_depth, render_rgbd, DepthImage, RgbImage};
+pub use scene::{living_room, Scene};
+pub use sdf::Sdf;
+pub use sequence::{Frame, SequenceConfig, SyntheticSequence};
+pub use trajectory::{look_at, Trajectory, TrajectoryKind};

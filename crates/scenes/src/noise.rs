@@ -1,0 +1,208 @@
+//! Kinect-style depth sensor noise.
+//!
+//! The model follows the empirical characterization of structured-light
+//! depth cameras (Khoshelham & Elberink 2012): axial noise grows
+//! quadratically with range, plus quantization and edge dropout. All noise
+//! is a pure function of `(seed, frame, pixel)` so renders stay
+//! deterministic under any parallel schedule.
+
+use crate::render::DepthImage;
+use rayon::prelude::*;
+
+/// Parameters of the synthetic depth-noise model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NoiseModel {
+    /// Base axial standard deviation (meters) at short range.
+    pub sigma_base: f32,
+    /// Quadratic range coefficient: `σ(z) = sigma_base + coeff·(z − 0.4)²`.
+    pub sigma_quad: f32,
+    /// Disparity quantization step at 1 m (meters); scales with z².
+    pub quantization: f32,
+    /// Probability that a pixel drops out entirely.
+    pub dropout: f32,
+    /// Depth below which the sensor returns nothing (min range).
+    pub min_range: f32,
+}
+
+impl Default for NoiseModel {
+    fn default() -> Self {
+        NoiseModel {
+            sigma_base: 0.0012,
+            sigma_quad: 0.0019,
+            quantization: 0.0008,
+            dropout: 0.004,
+            min_range: 0.4,
+        }
+    }
+}
+
+impl NoiseModel {
+    /// A noiseless model (identity except for the min-range cutoff).
+    pub fn none() -> Self {
+        NoiseModel { sigma_base: 0.0, sigma_quad: 0.0, quantization: 0.0, dropout: 0.0, min_range: 0.0 }
+    }
+
+    /// Axial standard deviation at depth `z`.
+    pub fn sigma(&self, z: f32) -> f32 {
+        let d = (z - 0.4).max(0.0);
+        self.sigma_base + self.sigma_quad * d * d
+    }
+
+    /// Apply the model to a clean depth image, producing the noisy frame a
+    /// real sensor would deliver.
+    pub fn apply(&self, depth: &DepthImage, seed: u64, frame: usize) -> DepthImage {
+        let mut out = depth.clone();
+        out.data
+            .par_iter_mut()
+            .enumerate()
+            .for_each(|(pix, d)| {
+                if *d <= 0.0 {
+                    return;
+                }
+                if *d < self.min_range {
+                    *d = 0.0;
+                    return;
+                }
+                let (u1, u2, u3) = uniforms(seed, frame as u64, pix as u64);
+                if u3 < self.dropout as f64 {
+                    *d = 0.0;
+                    return;
+                }
+                // Box–Muller normal sample.
+                let g = (-2.0 * (u1.max(1e-12)).ln()).sqrt()
+                    * (std::f32::consts::TAU as f64 * u2).cos() as f64;
+                let mut z = *d as f64 + (self.sigma(*d) as f64) * g;
+                // Disparity-style quantization: step grows with z².
+                if self.quantization > 0.0 {
+                    let step = (self.quantization as f64) * z * z;
+                    if step > 0.0 {
+                        z = (z / step).round() * step;
+                    }
+                }
+                *d = z.max(0.0) as f32;
+            });
+        out
+    }
+}
+
+/// Three decorrelated uniforms in `[0, 1)` from a counter-based hash —
+/// stable under parallel iteration order.
+fn uniforms(seed: u64, frame: u64, pix: u64) -> (f64, f64, f64) {
+    let mut x = seed
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(frame.wrapping_mul(0xBF58_476D_1CE4_E5B9))
+        .wrapping_add(pix.wrapping_mul(0x94D0_49BB_1331_11EB));
+    let mut next = || {
+        // splitmix64 step
+        x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = x;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z = z ^ (z >> 31);
+        (z >> 11) as f64 / (1u64 << 53) as f64
+    };
+    (next(), next(), next())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flat_depth(w: usize, h: usize, z: f32) -> DepthImage {
+        DepthImage { width: w, height: h, data: vec![z; w * h] }
+    }
+
+    #[test]
+    fn noiseless_model_is_identity() {
+        let d = flat_depth(32, 24, 2.0);
+        let out = NoiseModel::none().apply(&d, 7, 0);
+        assert_eq!(d, out);
+    }
+
+    #[test]
+    fn noise_is_deterministic() {
+        let d = flat_depth(32, 24, 2.0);
+        let m = NoiseModel::default();
+        let a = m.apply(&d, 7, 3);
+        let b = m.apply(&d, 7, 3);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_frames_differ() {
+        let d = flat_depth(32, 24, 2.0);
+        let m = NoiseModel::default();
+        let a = m.apply(&d, 7, 0);
+        let b = m.apply(&d, 7, 1);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn noise_magnitude_tracks_sigma() {
+        let m = NoiseModel { quantization: 0.0, dropout: 0.0, ..Default::default() };
+        for z in [1.0f32, 3.0, 5.0] {
+            let d = flat_depth(64, 64, z);
+            let noisy = m.apply(&d, 1, 0);
+            let errs: Vec<f64> = noisy
+                .data
+                .iter()
+                .map(|&v| (v - z) as f64)
+                .collect();
+            let mean = errs.iter().sum::<f64>() / errs.len() as f64;
+            let std =
+                (errs.iter().map(|e| (e - mean) * (e - mean)).sum::<f64>() / errs.len() as f64).sqrt();
+            let expected = m.sigma(z) as f64;
+            assert!(
+                std > expected * 0.7 && std < expected * 1.3,
+                "z={z}: std {std} vs sigma {expected}"
+            );
+            assert!(mean.abs() < expected, "bias {mean}");
+        }
+    }
+
+    #[test]
+    fn sigma_grows_with_range() {
+        let m = NoiseModel::default();
+        assert!(m.sigma(5.0) > m.sigma(2.0));
+        assert!(m.sigma(2.0) > m.sigma(0.5));
+    }
+
+    #[test]
+    fn min_range_cutoff() {
+        let m = NoiseModel::default();
+        let d = flat_depth(8, 8, 0.2); // below 0.4 m
+        let out = m.apply(&d, 1, 0);
+        assert!(out.data.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn dropout_rate_approximate() {
+        let m = NoiseModel { dropout: 0.25, sigma_base: 0.0, sigma_quad: 0.0, quantization: 0.0, min_range: 0.0 };
+        let d = flat_depth(128, 128, 2.0);
+        let out = m.apply(&d, 5, 0);
+        let dropped = out.data.iter().filter(|&&v| v == 0.0).count() as f64;
+        let rate = dropped / out.data.len() as f64;
+        assert!((rate - 0.25).abs() < 0.05, "dropout rate {rate}");
+    }
+
+    #[test]
+    fn invalid_pixels_stay_invalid() {
+        let mut d = flat_depth(8, 8, 2.0);
+        d.data[5] = 0.0;
+        let out = NoiseModel::default().apply(&d, 1, 0);
+        assert_eq!(out.data[5], 0.0);
+    }
+
+    #[test]
+    fn quantization_snaps_depths() {
+        let m = NoiseModel { sigma_base: 0.0, sigma_quad: 0.0, dropout: 0.0, quantization: 0.01, min_range: 0.0 };
+        let d = flat_depth(4, 4, 2.0);
+        let out = m.apply(&d, 1, 0);
+        // step at z=2 is 0.01*4 = 0.04; 2.0/0.04 = 50 exactly.
+        for &v in &out.data {
+            let step = 0.01f64 * (v as f64) * (v as f64);
+            let k = (v as f64) / step;
+            assert!((k - k.round()).abs() < 1e-6);
+        }
+    }
+}

@@ -1,0 +1,337 @@
+//! Colored multi-object scenes.
+
+use crate::sdf::Sdf;
+use slam_geometry::Vec3;
+
+/// One colored object in a scene.
+#[derive(Debug, Clone)]
+pub struct SceneObject {
+    /// Shape of the object.
+    pub shape: Sdf,
+    /// Albedo color (linear RGB in `[0, 1]`).
+    pub albedo: Vec3,
+    /// Name, for debugging and tests.
+    pub name: &'static str,
+}
+
+/// A renderable scene: a set of colored SDF objects.
+///
+/// World convention matches the camera convention of `slam-geometry`:
+/// `+y` points **down** (floor at positive y), `+x` right, `+z` forward.
+#[derive(Debug, Clone)]
+pub struct Scene {
+    objects: Vec<SceneObject>,
+}
+
+impl Scene {
+    /// Build a scene from objects.
+    pub fn new(objects: Vec<SceneObject>) -> Self {
+        assert!(!objects.is_empty(), "a scene needs at least one object");
+        Scene { objects }
+    }
+
+    /// The objects.
+    pub fn objects(&self) -> &[SceneObject] {
+        &self.objects
+    }
+
+    /// Signed distance to the nearest surface.
+    pub fn distance(&self, p: Vec3) -> f32 {
+        self.objects
+            .iter()
+            .map(|o| o.shape.distance(p))
+            .fold(f32::INFINITY, f32::min)
+    }
+
+    /// Signed distance plus the index of the nearest object.
+    pub fn distance_with_object(&self, p: Vec3) -> (f32, usize) {
+        let mut best = (f32::INFINITY, 0);
+        for (i, o) in self.objects.iter().enumerate() {
+            let d = o.shape.distance(p);
+            if d < best.0 {
+                best = (d, i);
+            }
+        }
+        best
+    }
+
+    /// Outward surface normal of the whole scene at `p`.
+    pub fn normal(&self, p: Vec3) -> Vec3 {
+        const H: f32 = 1e-3;
+        let d = |q: Vec3| self.distance(q);
+        Vec3::new(
+            d(p + Vec3::new(H, 0.0, 0.0)) - d(p - Vec3::new(H, 0.0, 0.0)),
+            d(p + Vec3::new(0.0, H, 0.0)) - d(p - Vec3::new(0.0, H, 0.0)),
+            d(p + Vec3::new(0.0, 0.0, H)) - d(p - Vec3::new(0.0, 0.0, H)),
+        )
+        .normalized()
+    }
+
+    /// Albedo of the object nearest to `p`.
+    pub fn albedo(&self, p: Vec3) -> Vec3 {
+        let (_, i) = self.distance_with_object(p);
+        self.objects[i].albedo
+    }
+}
+
+/// Half extents of the living-room shell (x, y, z) in meters.
+pub const ROOM_HALF: Vec3 = Vec3 { x: 2.5, y: 1.4, z: 3.0 };
+
+/// The synthetic living room used throughout the reproduction, standing in
+/// for ICL-NUIM's living-room model: a 5 × 2.8 × 6 m room containing a sofa,
+/// a coffee table, a side table, a lamp, a bookshelf and a rug — enough
+/// geometric and photometric structure for both ICP and RGB tracking.
+pub fn living_room() -> Scene {
+    let floor_y = ROOM_HALF.y; // +y is down; floor sits at +1.4
+    Scene::new(vec![
+        SceneObject {
+            shape: Sdf::RoomShell { center: Vec3::ZERO, half: ROOM_HALF },
+            albedo: Vec3::new(0.85, 0.82, 0.75),
+            name: "room-shell",
+        },
+        SceneObject {
+            // Sofa seat against the -x wall.
+            shape: Sdf::RoundedBox {
+                center: Vec3::new(-1.9, floor_y - 0.25, 0.2),
+                half: Vec3::new(0.45, 0.25, 1.0),
+                round: 0.06,
+            },
+            albedo: Vec3::new(0.55, 0.15, 0.12),
+            name: "sofa-seat",
+        },
+        SceneObject {
+            // Sofa backrest.
+            shape: Sdf::RoundedBox {
+                center: Vec3::new(-2.3, floor_y - 0.6, 0.2),
+                half: Vec3::new(0.12, 0.45, 1.0),
+                round: 0.05,
+            },
+            albedo: Vec3::new(0.5, 0.13, 0.1),
+            name: "sofa-back",
+        },
+        SceneObject {
+            // Coffee table near the room center.
+            shape: Sdf::Box {
+                center: Vec3::new(-0.4, floor_y - 0.35, 0.3),
+                half: Vec3::new(0.5, 0.035, 0.35),
+            },
+            albedo: Vec3::new(0.45, 0.3, 0.15),
+            name: "coffee-table-top",
+        },
+        SceneObject {
+            shape: Sdf::CylinderY {
+                center: Vec3::new(-0.4, floor_y - 0.17, 0.3),
+                radius: 0.05,
+                half_height: 0.17,
+            },
+            albedo: Vec3::new(0.3, 0.2, 0.1),
+            name: "coffee-table-leg",
+        },
+        SceneObject {
+            // Side table by the +x wall.
+            shape: Sdf::Box {
+                center: Vec3::new(1.9, floor_y - 0.3, -1.2),
+                half: Vec3::new(0.3, 0.3, 0.3),
+            },
+            albedo: Vec3::new(0.2, 0.35, 0.5),
+            name: "side-table",
+        },
+        SceneObject {
+            // Spherical lamp on the side table.
+            shape: Sdf::Sphere {
+                center: Vec3::new(1.9, floor_y - 0.75, -1.2),
+                radius: 0.15,
+            },
+            albedo: Vec3::new(0.95, 0.9, 0.6),
+            name: "lamp",
+        },
+        SceneObject {
+            // Bookshelf against the +z wall.
+            shape: Sdf::Box {
+                center: Vec3::new(0.9, floor_y - 0.9, 2.8),
+                half: Vec3::new(0.8, 0.9, 0.18),
+            },
+            albedo: Vec3::new(0.35, 0.25, 0.2),
+            name: "bookshelf",
+        },
+        SceneObject {
+            // Rug: a very flat box on the floor (adds RGB texture edges).
+            shape: Sdf::Box {
+                center: Vec3::new(-0.2, floor_y - 0.005, 0.4),
+                half: Vec3::new(1.0, 0.006, 0.8),
+            },
+            albedo: Vec3::new(0.15, 0.35, 0.25),
+            name: "rug",
+        },
+        SceneObject {
+            // Armchair opposite the sofa.
+            shape: Sdf::RoundedBox {
+                center: Vec3::new(0.9, floor_y - 0.3, -1.6),
+                half: Vec3::new(0.35, 0.3, 0.35),
+                round: 0.08,
+            },
+            albedo: Vec3::new(0.2, 0.25, 0.45),
+            name: "armchair",
+        },
+        // Wall relief: pictures, frames and sills on every wall so that no
+        // viewing direction is a geometrically degenerate bare plane (the
+        // real ICL-NUIM room is similarly cluttered). Essential for
+        // depth-only ICP observability.
+        SceneObject {
+            shape: Sdf::Box {
+                center: Vec3::new(2.46, -0.3, 0.8),
+                half: Vec3::new(0.05, 0.4, 0.6),
+            },
+            albedo: Vec3::new(0.7, 0.6, 0.3),
+            name: "picture-east",
+        },
+        SceneObject {
+            shape: Sdf::Box {
+                center: Vec3::new(-2.46, -0.5, -1.2),
+                half: Vec3::new(0.05, 0.5, 0.4),
+            },
+            albedo: Vec3::new(0.3, 0.6, 0.7),
+            name: "picture-west",
+        },
+        SceneObject {
+            shape: Sdf::Box {
+                center: Vec3::new(-0.9, -0.4, 2.95),
+                half: Vec3::new(0.7, 0.45, 0.06),
+            },
+            albedo: Vec3::new(0.55, 0.5, 0.45),
+            name: "window-frame-north",
+        },
+        SceneObject {
+            shape: Sdf::Box {
+                center: Vec3::new(0.4, -0.2, -2.95),
+                half: Vec3::new(0.5, 0.65, 0.06),
+            },
+            albedo: Vec3::new(0.5, 0.35, 0.25),
+            name: "door-south",
+        },
+        SceneObject {
+            shape: Sdf::Box {
+                center: Vec3::new(-1.7, -0.35, -2.93),
+                half: Vec3::new(0.45, 0.3, 0.05),
+            },
+            albedo: Vec3::new(0.65, 0.55, 0.3),
+            name: "picture-south",
+        },
+        SceneObject {
+            // Skirting along the east wall.
+            shape: Sdf::Box {
+                center: Vec3::new(2.46, floor_y - 0.06, 0.0),
+                half: Vec3::new(0.05, 0.06, 2.98),
+            },
+            albedo: Vec3::new(0.9, 0.88, 0.85),
+            name: "skirting-east",
+        },
+        SceneObject {
+            // Skirting along the north wall.
+            shape: Sdf::Box {
+                center: Vec3::new(0.0, floor_y - 0.06, 2.96),
+                half: Vec3::new(2.48, 0.06, 0.05),
+            },
+            albedo: Vec3::new(0.9, 0.88, 0.85),
+            name: "skirting-north",
+        },
+        SceneObject {
+            // Ceiling lamp: hemisphere-ish sphere at the ceiling.
+            shape: Sdf::Sphere {
+                center: Vec3::new(0.2, -1.4, 0.3),
+                radius: 0.25,
+            },
+            albedo: Vec3::new(0.95, 0.95, 0.85),
+            name: "ceiling-lamp",
+        },
+        SceneObject {
+            // Floor cabinet along the south wall.
+            shape: Sdf::Box {
+                center: Vec3::new(1.6, floor_y - 0.45, -2.7),
+                half: Vec3::new(0.5, 0.45, 0.25),
+            },
+            albedo: Vec3::new(0.4, 0.3, 0.22),
+            name: "cabinet-south",
+        },
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn living_room_center_is_empty() {
+        let s = living_room();
+        // The camera region (near room center) must be free space.
+        assert!(s.distance(Vec3::ZERO) > 0.3);
+        assert!(s.distance(Vec3::new(0.5, -0.2, -0.5)) > 0.1);
+    }
+
+    #[test]
+    fn furniture_is_inside_the_room() {
+        let s = living_room();
+        for o in s.objects() {
+            if o.name == "room-shell" {
+                continue;
+            }
+            // Project the origin onto the object's surface by sphere
+            // stepping along the SDF gradient; the resulting surface point
+            // must lie within the room shell.
+            let mut p = Vec3::ZERO;
+            for _ in 0..64 {
+                let d = o.shape.distance(p);
+                if d.abs() < 1e-4 {
+                    break;
+                }
+                p = p - o.shape.normal(p) * d;
+            }
+            assert!(
+                o.shape.distance(p).abs() < 1e-2,
+                "projection did not converge for {}",
+                o.name
+            );
+            let eps = 1e-3;
+            assert!(
+                p.x.abs() <= ROOM_HALF.x + eps
+                    && p.y.abs() <= ROOM_HALF.y + eps
+                    && p.z.abs() <= ROOM_HALF.z + eps,
+                "{} sticks out of the room at {p:?}",
+                o.name
+            );
+        }
+    }
+
+    #[test]
+    fn distance_with_object_consistent() {
+        let s = living_room();
+        for p in [Vec3::ZERO, Vec3::new(1.0, 0.5, -1.0), Vec3::new(-1.9, 1.0, 0.2)] {
+            let (d, i) = s.distance_with_object(p);
+            assert!((d - s.distance(p)).abs() < 1e-6);
+            assert!(i < s.objects().len());
+        }
+    }
+
+    #[test]
+    fn albedo_varies_across_scene() {
+        let s = living_room();
+        // Near the sofa vs. near the lamp: different colors.
+        let sofa = s.albedo(Vec3::new(-1.9, 1.15, 0.2));
+        let lamp = s.albedo(Vec3::new(1.9, 0.65, -1.2));
+        assert!((sofa - lamp).norm() > 0.2);
+    }
+
+    #[test]
+    fn scene_normal_on_floor_points_up() {
+        let s = living_room();
+        // Floor at y = +1.4 (y down); outward (into room) normal is -y.
+        let n = s.normal(Vec3::new(1.8, ROOM_HALF.y, 1.0));
+        assert!(n.y < -0.9, "floor normal {n:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one object")]
+    fn empty_scene_panics() {
+        Scene::new(vec![]);
+    }
+}

@@ -1,0 +1,167 @@
+//! Signed-distance primitives for constructive scene building.
+//!
+//! Conventions: distances are negative inside a solid, positive outside;
+//! units are meters. All primitives are exact or conservative (never
+//! overestimate the distance to the surface), which sphere tracing requires.
+
+use slam_geometry::Vec3;
+
+/// A signed-distance shape.
+#[derive(Debug, Clone)]
+pub enum Sdf {
+    /// Solid sphere of `radius` centered at `center`.
+    Sphere { center: Vec3, radius: f32 },
+    /// Axis-aligned solid box: `center` ± `half`.
+    Box { center: Vec3, half: Vec3 },
+    /// Axis-aligned box with rounded edges of radius `round`.
+    RoundedBox { center: Vec3, half: Vec3, round: f32 },
+    /// Vertical (y-axis) capped cylinder.
+    CylinderY { center: Vec3, radius: f32, half_height: f32 },
+    /// The *interior* of an axis-aligned box: negative outside the walls,
+    /// positive in the empty inside. Models a room shell.
+    RoomShell { center: Vec3, half: Vec3 },
+    /// Union of shapes (minimum distance).
+    Union(Vec<Sdf>),
+}
+
+impl Sdf {
+    /// Signed distance from `p` to this shape's surface.
+    pub fn distance(&self, p: Vec3) -> f32 {
+        match self {
+            Sdf::Sphere { center, radius } => (p - *center).norm() - radius,
+            Sdf::Box { center, half } => box_distance(p - *center, *half),
+            Sdf::RoundedBox { center, half, round } => {
+                box_distance(p - *center, *half - Vec3::splat(*round)) - round
+            }
+            Sdf::CylinderY { center, radius, half_height } => {
+                let q = p - *center;
+                let radial = (q.x * q.x + q.z * q.z).sqrt() - radius;
+                let axial = q.y.abs() - half_height;
+                let outside =
+                    Vec3::new(radial.max(0.0), axial.max(0.0), 0.0).norm();
+                outside + radial.max(axial).min(0.0)
+            }
+            Sdf::RoomShell { center, half } => -box_distance(p - *center, *half),
+            Sdf::Union(parts) => parts
+                .iter()
+                .map(|s| s.distance(p))
+                .fold(f32::INFINITY, f32::min),
+        }
+    }
+
+    /// Outward surface normal at `p`, estimated by central differences of
+    /// the distance field.
+    pub fn normal(&self, p: Vec3) -> Vec3 {
+        const H: f32 = 1e-3;
+        let dx = self.distance(p + Vec3::new(H, 0.0, 0.0)) - self.distance(p - Vec3::new(H, 0.0, 0.0));
+        let dy = self.distance(p + Vec3::new(0.0, H, 0.0)) - self.distance(p - Vec3::new(0.0, H, 0.0));
+        let dz = self.distance(p + Vec3::new(0.0, 0.0, H)) - self.distance(p - Vec3::new(0.0, 0.0, H));
+        Vec3::new(dx, dy, dz).normalized()
+    }
+}
+
+/// Exact SDF of a box of half extents `half` centered at the origin.
+fn box_distance(q: Vec3, half: Vec3) -> f32 {
+    let d = q.abs() - half;
+    let outside = d.max(Vec3::ZERO).norm();
+    let inside = d.max_component().min(0.0);
+    outside + inside
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sphere_distances() {
+        let s = Sdf::Sphere { center: Vec3::ZERO, radius: 1.0 };
+        assert!((s.distance(Vec3::new(2.0, 0.0, 0.0)) - 1.0).abs() < 1e-6);
+        assert!((s.distance(Vec3::ZERO) + 1.0).abs() < 1e-6);
+        assert!(s.distance(Vec3::new(1.0, 0.0, 0.0)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn box_distances() {
+        let b = Sdf::Box { center: Vec3::ZERO, half: Vec3::new(1.0, 2.0, 3.0) };
+        assert!((b.distance(Vec3::new(3.0, 0.0, 0.0)) - 2.0).abs() < 1e-6);
+        assert!(b.distance(Vec3::ZERO) < 0.0);
+        assert!(b.distance(Vec3::new(1.0, 0.0, 0.0)).abs() < 1e-6);
+        // Corner distance is Euclidean.
+        let corner = Vec3::new(2.0, 3.0, 4.0);
+        assert!((b.distance(corner) - Vec3::new(1.0, 1.0, 1.0).norm()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn room_shell_is_inverted_box() {
+        let r = Sdf::RoomShell { center: Vec3::ZERO, half: Vec3::splat(2.0) };
+        // Center of the room: far from all walls, positive distance 2.
+        assert!((r.distance(Vec3::ZERO) - 2.0).abs() < 1e-6);
+        // On a wall: zero.
+        assert!(r.distance(Vec3::new(2.0, 0.0, 0.0)).abs() < 1e-6);
+        // Outside the room: negative (inside the "solid").
+        assert!(r.distance(Vec3::new(3.0, 0.0, 0.0)) < 0.0);
+    }
+
+    #[test]
+    fn cylinder_distances() {
+        let c = Sdf::CylinderY { center: Vec3::ZERO, radius: 1.0, half_height: 2.0 };
+        assert!((c.distance(Vec3::new(3.0, 0.0, 0.0)) - 2.0).abs() < 1e-6);
+        assert!((c.distance(Vec3::new(0.0, 3.0, 0.0)) - 1.0).abs() < 1e-6);
+        assert!(c.distance(Vec3::ZERO) < 0.0);
+    }
+
+    #[test]
+    fn union_takes_minimum() {
+        let u = Sdf::Union(vec![
+            Sdf::Sphere { center: Vec3::new(-2.0, 0.0, 0.0), radius: 1.0 },
+            Sdf::Sphere { center: Vec3::new(2.0, 0.0, 0.0), radius: 1.0 },
+        ]);
+        assert!((u.distance(Vec3::ZERO) - 1.0).abs() < 1e-6);
+        assert!(u.distance(Vec3::new(2.0, 0.0, 0.0)) < 0.0);
+    }
+
+    #[test]
+    fn normals_point_outward() {
+        let s = Sdf::Sphere { center: Vec3::ZERO, radius: 1.0 };
+        let n = s.normal(Vec3::new(1.0, 0.0, 0.0));
+        assert!((n - Vec3::X).norm() < 1e-2);
+        let b = Sdf::Box { center: Vec3::ZERO, half: Vec3::splat(1.0) };
+        let n = b.normal(Vec3::new(0.0, 1.0, 0.0));
+        assert!((n - Vec3::Y).norm() < 1e-2);
+        // Room shell normals point into the room.
+        let r = Sdf::RoomShell { center: Vec3::ZERO, half: Vec3::splat(2.0) };
+        let n = r.normal(Vec3::new(2.0, 0.0, 0.0));
+        assert!((n + Vec3::X).norm() < 1e-2);
+    }
+
+    #[test]
+    fn rounded_box_shrinks_then_inflates() {
+        let rb = Sdf::RoundedBox { center: Vec3::ZERO, half: Vec3::splat(1.0), round: 0.2 };
+        // On the face the surface is still at distance 1 from center.
+        assert!(rb.distance(Vec3::new(1.0, 0.0, 0.0)).abs() < 1e-6);
+        // The corner is rounded: surface is inside the sharp corner.
+        let sharp_corner = Vec3::splat(1.0);
+        assert!(rb.distance(sharp_corner) > 0.0);
+    }
+
+    #[test]
+    fn sdf_is_1_lipschitz_along_rays() {
+        // Sphere-tracing safety: |d(p) - d(q)| <= |p - q| for sample pairs.
+        let shape = Sdf::Union(vec![
+            Sdf::Box { center: Vec3::new(0.5, 0.0, 1.0), half: Vec3::new(0.4, 0.6, 0.2) },
+            Sdf::Sphere { center: Vec3::new(-1.0, 0.3, 2.0), radius: 0.7 },
+            Sdf::CylinderY { center: Vec3::new(0.0, -0.5, 3.0), radius: 0.3, half_height: 0.5 },
+        ]);
+        let mut failures = 0;
+        for i in 0..200 {
+            let t = i as f32 * 0.05;
+            let p = Vec3::new(t.sin() * 2.0, (t * 0.7).cos(), t * 0.1);
+            let q = p + Vec3::new(0.11, -0.07, 0.05);
+            let lhs = (shape.distance(p) - shape.distance(q)).abs();
+            if lhs > (p - q).norm() + 1e-4 {
+                failures += 1;
+            }
+        }
+        assert_eq!(failures, 0);
+    }
+}

@@ -1,0 +1,215 @@
+//! Ground-truth camera trajectories.
+
+use slam_geometry::{Mat3, Vec3, SE3};
+
+/// Build a camera-to-world pose at `eye` looking toward `target`.
+///
+/// World convention: `+y` is down. The camera frame has `+z` forward,
+/// `+x` right, `+y` down, so the camera's y axis is aligned with world
+/// down as far as the forward direction allows (no roll).
+pub fn look_at(eye: Vec3, target: Vec3) -> SE3 {
+    let z = (target - eye).normalized();
+    let down = Vec3::Y; // world down
+    // Project world-down onto the plane orthogonal to forward.
+    let mut y = down - z * down.dot(z);
+    if y.norm() < 1e-5 {
+        // Looking straight down/up: pick an arbitrary horizontal axis.
+        y = Vec3::Z - z * Vec3::Z.dot(z);
+    }
+    let y = y.normalized();
+    let x = y.cross(z);
+    SE3::new(Mat3::from_cols(x, y, z), eye)
+}
+
+/// The shape of a generated trajectory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrajectoryKind {
+    /// Smooth closed orbit around the room interior, gaze sweeping the
+    /// walls — the "living room trajectory 2" stand-in. Returns to its
+    /// start, enabling loop-closure.
+    LivingRoomLoop,
+    /// Gentle side-to-side scan of one wall (mostly small motion; easy).
+    WallScan,
+    /// Faster, jerkier orbit (stress test for tracking).
+    FastOrbit,
+}
+
+/// A parametric ground-truth trajectory sampled at frame indices.
+#[derive(Debug, Clone)]
+pub struct Trajectory {
+    kind: TrajectoryKind,
+    n_frames: usize,
+}
+
+impl Trajectory {
+    /// A trajectory of `n_frames` poses.
+    pub fn new(kind: TrajectoryKind, n_frames: usize) -> Self {
+        assert!(n_frames > 0, "trajectory needs at least one frame");
+        Trajectory { kind, n_frames }
+    }
+
+    /// Number of frames.
+    pub fn len(&self) -> usize {
+        self.n_frames
+    }
+
+    /// True when the trajectory has zero frames (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.n_frames == 0
+    }
+
+    /// Camera-to-world pose of frame `i`.
+    ///
+    /// # Panics
+    /// If `i >= len()`.
+    pub fn pose(&self, i: usize) -> SE3 {
+        assert!(i < self.n_frames, "frame {i} out of range");
+        let t = i as f32 / self.n_frames as f32; // [0, 1)
+        match self.kind {
+            TrajectoryKind::LivingRoomLoop => {
+                let ang = t * std::f32::consts::TAU;
+                // Eye orbits an ellipse, bobbing slightly in height.
+                let eye = Vec3::new(
+                    1.1 * ang.cos(),
+                    -0.15 + 0.1 * (2.0 * ang).sin(),
+                    1.4 * ang.sin(),
+                );
+                // Gaze sweeps around the room ahead of the eye.
+                let gaze_ang = ang + 0.9;
+                let target = Vec3::new(
+                    2.2 * gaze_ang.cos(),
+                    0.5 + 0.3 * (3.0 * ang).cos(),
+                    2.6 * gaze_ang.sin(),
+                );
+                look_at(eye, target)
+            }
+            TrajectoryKind::WallScan => {
+                let sweep = (t * std::f32::consts::TAU).sin();
+                let eye = Vec3::new(0.8 * sweep, -0.1, -0.5);
+                let target = Vec3::new(1.2 * sweep, 0.6, 2.9);
+                look_at(eye, target)
+            }
+            TrajectoryKind::FastOrbit => {
+                let ang = t * std::f32::consts::TAU * 2.0; // two laps
+                let eye = Vec3::new(
+                    0.9 * ang.cos(),
+                    -0.2 + 0.25 * (5.0 * ang).sin(),
+                    1.1 * ang.sin(),
+                );
+                let target = Vec3::new(2.0 * (ang + 1.2).cos(), 0.8, 2.4 * (ang + 1.2).sin());
+                look_at(eye, target)
+            }
+        }
+    }
+
+    /// All poses.
+    pub fn poses(&self) -> Vec<SE3> {
+        (0..self.n_frames).map(|i| self.pose(i)).collect()
+    }
+
+    /// Largest translational step between consecutive frames (meters) —
+    /// a sanity metric for trackability at a given frame rate.
+    pub fn max_step(&self) -> f32 {
+        (1..self.n_frames)
+            .map(|i| self.pose(i).translation_dist(&self.pose(i - 1)))
+            .fold(0.0, f32::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scene::{living_room, ROOM_HALF};
+
+    #[test]
+    fn look_at_points_camera_forward() {
+        let eye = Vec3::new(1.0, 0.0, 0.0);
+        let target = Vec3::new(1.0, 0.0, 5.0);
+        let pose = look_at(eye, target);
+        // Camera +z in world coordinates should point from eye to target.
+        let fwd = pose.transform_dir(Vec3::Z);
+        assert!((fwd - Vec3::Z).norm() < 1e-5);
+        assert!((pose.t - eye).norm() < 1e-6);
+    }
+
+    #[test]
+    fn look_at_rotation_is_orthonormal() {
+        for (e, t) in [
+            (Vec3::ZERO, Vec3::new(1.0, 2.0, 3.0)),
+            (Vec3::new(1.0, -0.5, 0.2), Vec3::new(-2.0, 0.5, 1.0)),
+        ] {
+            let p = look_at(e, t);
+            assert!((p.r.transpose() * p.r).dist(&Mat3::IDENTITY) < 1e-4);
+            assert!((p.r.det() - 1.0).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn look_at_no_roll() {
+        // The camera x axis should stay horizontal (no world-y component)
+        // for a horizontal gaze.
+        let p = look_at(Vec3::ZERO, Vec3::new(1.0, 0.0, 1.0));
+        let x_world = p.transform_dir(Vec3::X);
+        assert!(x_world.y.abs() < 1e-4, "{x_world:?}");
+    }
+
+    #[test]
+    fn look_at_degenerate_straight_down() {
+        let p = look_at(Vec3::ZERO, Vec3::new(0.0, 5.0, 0.0));
+        // Must still be a valid rotation.
+        assert!((p.r.det() - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn trajectory_stays_inside_room() {
+        let scene = living_room();
+        for kind in [
+            TrajectoryKind::LivingRoomLoop,
+            TrajectoryKind::WallScan,
+            TrajectoryKind::FastOrbit,
+        ] {
+            let traj = Trajectory::new(kind, 100);
+            for i in 0..traj.len() {
+                let eye = traj.pose(i).t;
+                assert!(
+                    eye.x.abs() < ROOM_HALF.x && eye.y.abs() < ROOM_HALF.y && eye.z.abs() < ROOM_HALF.z,
+                    "{kind:?} frame {i} eye {eye:?} outside room"
+                );
+                // The camera must not start inside furniture.
+                assert!(scene.distance(eye) > 0.05, "{kind:?} frame {i} eye in furniture");
+            }
+        }
+    }
+
+    #[test]
+    fn living_room_loop_closes() {
+        let traj = Trajectory::new(TrajectoryKind::LivingRoomLoop, 400);
+        let first = traj.pose(0);
+        let last = traj.pose(399);
+        // After a full orbit the last frame is close to the first again.
+        assert!(first.translation_dist(&last) < 0.1, "gap {}", first.translation_dist(&last));
+    }
+
+    #[test]
+    fn steps_are_trackable() {
+        // At 400 frames / loop, inter-frame motion must stay small enough
+        // for projective ICP (a few cm).
+        let traj = Trajectory::new(TrajectoryKind::LivingRoomLoop, 400);
+        assert!(traj.max_step() < 0.05, "max step {}", traj.max_step());
+    }
+
+    #[test]
+    fn poses_deterministic() {
+        let t1 = Trajectory::new(TrajectoryKind::FastOrbit, 50);
+        let t2 = Trajectory::new(TrajectoryKind::FastOrbit, 50);
+        for i in 0..50 {
+            assert_eq!(t1.pose(i).t, t2.pose(i).t);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn pose_out_of_range_panics() {
+        Trajectory::new(TrajectoryKind::WallScan, 10).pose(10);
+    }
+}

@@ -1,0 +1,226 @@
+//! HyperMapper evaluator adapters.
+//!
+//! Two families:
+//!
+//! * **Simulated** — the analytic device models of `device-models`; these
+//!   are what the paper-scale experiments use (3 000+ evaluations in
+//!   seconds instead of the paper's 5 days of hardware time),
+//! * **Native** — actually run the `kfusion` / `elasticfusion` pipelines
+//!   on a synthetic sequence; used by tests and small-scale validation to
+//!   confirm the simulated trade-off shapes match real pipeline behaviour.
+//!
+//! All evaluators return `[runtime, max ATE]`, both minimized, matching
+//! the paper's two performance metrics.
+
+use crate::runner::{run_elasticfusion, run_kfusion};
+use crate::spaces::{ef_params_from_config, ef_pipeline_config, kf_params_from_config, kf_pipeline_config};
+use device_models::{ef_ate, ef_frame_time, kf_ate, kf_frame_time, DeviceModel};
+use hypermapper::{Configuration, Evaluator};
+use icl_nuim_synth::{SequenceConfig, SyntheticSequence};
+
+/// KFusion on an analytic device model: `[seconds/frame, max ATE (m)]`.
+pub struct SimulatedKFusionEvaluator {
+    device: DeviceModel,
+}
+
+impl SimulatedKFusionEvaluator {
+    /// Evaluate on the given device model.
+    pub fn new(device: DeviceModel) -> Self {
+        SimulatedKFusionEvaluator { device }
+    }
+
+    /// The device being modeled.
+    pub fn device(&self) -> &DeviceModel {
+        &self.device
+    }
+}
+
+impl Evaluator for SimulatedKFusionEvaluator {
+    fn n_objectives(&self) -> usize {
+        2
+    }
+    fn objective_names(&self) -> Vec<String> {
+        vec!["runtime (s/frame)".into(), "max ATE (m)".into()]
+    }
+    fn evaluate(&self, config: &Configuration) -> Vec<f64> {
+        let p = kf_params_from_config(config);
+        vec![kf_frame_time(&p, &self.device), kf_ate(&p)]
+    }
+}
+
+/// ElasticFusion on an analytic device model:
+/// `[seconds for the 400-frame sequence, mean ATE (m)]` — Table I units.
+pub struct SimulatedEFusionEvaluator {
+    device: DeviceModel,
+    /// Frames in the benchmark sequence (400 in the paper).
+    pub sequence_frames: usize,
+}
+
+impl SimulatedEFusionEvaluator {
+    /// Evaluate on the given device model with the paper's 400-frame
+    /// sequence length.
+    pub fn new(device: DeviceModel) -> Self {
+        SimulatedEFusionEvaluator { device, sequence_frames: 400 }
+    }
+}
+
+impl Evaluator for SimulatedEFusionEvaluator {
+    fn n_objectives(&self) -> usize {
+        2
+    }
+    fn objective_names(&self) -> Vec<String> {
+        vec!["runtime (s/sequence)".into(), "ATE (m)".into()]
+    }
+    fn evaluate(&self, config: &Configuration) -> Vec<f64> {
+        let p = ef_params_from_config(config);
+        vec![
+            ef_frame_time(&p, &self.device) * self.sequence_frames as f64,
+            ef_ate(&p),
+        ]
+    }
+}
+
+/// KFusion actually executed over a synthetic sequence:
+/// `[measured seconds/frame, measured max ATE (m)]`.
+pub struct NativeKFusionEvaluator {
+    sequence: SyntheticSequence,
+    n_frames: usize,
+}
+
+impl NativeKFusionEvaluator {
+    /// Run over the first `n_frames` of a sequence built from `config`.
+    pub fn new(sequence_config: SequenceConfig, n_frames: usize) -> Self {
+        NativeKFusionEvaluator {
+            sequence: SyntheticSequence::new(sequence_config),
+            n_frames,
+        }
+    }
+}
+
+impl Evaluator for NativeKFusionEvaluator {
+    fn n_objectives(&self) -> usize {
+        2
+    }
+    fn objective_names(&self) -> Vec<String> {
+        vec!["runtime (s/frame)".into(), "max ATE (m)".into()]
+    }
+    fn evaluate(&self, config: &Configuration) -> Vec<f64> {
+        let report = run_kfusion(&self.sequence, &kf_pipeline_config(config), self.n_frames);
+        vec![report.mean_frame_time, report.ate.max]
+    }
+    fn evaluate_batch(&self, configs: &[Configuration]) -> Vec<Vec<f64>> {
+        // The pipelines are internally parallel (Rayon); running them
+        // sequentially keeps per-config timing measurements honest.
+        configs.iter().map(|c| self.evaluate(c)).collect()
+    }
+}
+
+/// ElasticFusion actually executed over a synthetic sequence.
+pub struct NativeElasticFusionEvaluator {
+    sequence: SyntheticSequence,
+    n_frames: usize,
+}
+
+impl NativeElasticFusionEvaluator {
+    /// Run over the first `n_frames` of a sequence built from `config`.
+    pub fn new(sequence_config: SequenceConfig, n_frames: usize) -> Self {
+        NativeElasticFusionEvaluator {
+            sequence: SyntheticSequence::new(sequence_config),
+            n_frames,
+        }
+    }
+}
+
+impl Evaluator for NativeElasticFusionEvaluator {
+    fn n_objectives(&self) -> usize {
+        2
+    }
+    fn objective_names(&self) -> Vec<String> {
+        vec!["runtime (s/frame)".into(), "mean ATE (m)".into()]
+    }
+    fn evaluate(&self, config: &Configuration) -> Vec<f64> {
+        let report = run_elasticfusion(&self.sequence, &ef_pipeline_config(config), self.n_frames);
+        vec![report.mean_frame_time, report.ate.mean]
+    }
+    fn evaluate_batch(&self, configs: &[Configuration]) -> Vec<Vec<f64>> {
+        configs.iter().map(|c| self.evaluate(c)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spaces::{
+        elasticfusion_default_config, elasticfusion_space, kfusion_default_config, kfusion_space,
+    };
+    use device_models::{gtx780ti, odroid_xu3};
+    use icl_nuim_synth::{NoiseModel, TrajectoryKind};
+
+    #[test]
+    fn simulated_kfusion_default_anchors() {
+        let space = kfusion_space();
+        let eval = SimulatedKFusionEvaluator::new(odroid_xu3());
+        let out = eval.evaluate(&kfusion_default_config(&space));
+        assert_eq!(out.len(), 2);
+        let fps = 1.0 / out[0];
+        assert!((4.0..=8.0).contains(&fps), "FPS {fps}");
+        assert!((0.03..=0.06).contains(&out[1]), "ATE {}", out[1]);
+    }
+
+    #[test]
+    fn simulated_ef_default_anchors() {
+        let space = elasticfusion_space();
+        let eval = SimulatedEFusionEvaluator::new(gtx780ti());
+        let out = eval.evaluate(&elasticfusion_default_config(&space));
+        assert!((17.0..=28.0).contains(&out[0]), "sequence time {}", out[0]);
+        assert!((0.045..=0.07).contains(&out[1]), "ATE {}", out[1]);
+    }
+
+    #[test]
+    fn simulated_evaluators_deterministic() {
+        let space = kfusion_space();
+        let eval = SimulatedKFusionEvaluator::new(odroid_xu3());
+        let c = space.config_at(123_456);
+        assert_eq!(eval.evaluate(&c), eval.evaluate(&c));
+    }
+
+    #[test]
+    fn native_kfusion_evaluator_runs() {
+        let space = kfusion_space();
+        let eval = NativeKFusionEvaluator::new(
+            icl_nuim_synth::SequenceConfig {
+                width: 48,
+                height: 36,
+                n_frames: 100,
+                trajectory: TrajectoryKind::LivingRoomLoop,
+                noise: NoiseModel::none(),
+                seed: 0,
+            },
+            4,
+        );
+        // A small-volume config to keep the test fast.
+        let c = space.config_from_values(&[64.0, 0.2, 2.0, 1.0, 1e-4, 2.0, 4.0, 3.0, 2.0]);
+        let out = eval.evaluate(&c);
+        assert_eq!(out.len(), 2);
+        assert!(out[0] > 0.0 && out[0].is_finite());
+        assert!(out[1] >= 0.0 && out[1].is_finite());
+    }
+
+    #[test]
+    fn native_ef_evaluator_runs() {
+        let space = elasticfusion_space();
+        let eval = NativeElasticFusionEvaluator::new(
+            icl_nuim_synth::SequenceConfig {
+                width: 48,
+                height: 36,
+                n_frames: 100,
+                trajectory: TrajectoryKind::LivingRoomLoop,
+                noise: NoiseModel::none(),
+                seed: 0,
+            },
+            4,
+        );
+        let out = eval.evaluate(&elasticfusion_default_config(&space));
+        assert!(out[0] > 0.0 && out[1].is_finite());
+    }
+}

@@ -1,0 +1,29 @@
+//! A SLAMBench-style benchmarking harness.
+//!
+//! Reimplements the role SLAMBench (Nardi et al., ICRA 2015) plays in the
+//! paper: a common measurement layer over multiple SLAM pipelines exposing
+//!
+//! * the **ATE metric** ([`metrics`]) — mean/max absolute trajectory error,
+//! * **pipeline runners** ([`runner`]) that execute `kfusion` /
+//!   `elasticfusion` over a synthetic sequence and collect per-kernel
+//!   timings and accuracy,
+//! * the **algorithmic configuration spaces** ([`spaces`]) of §III-B
+//!   (KFusion, ~1.8 M points) and §III-C (ElasticFusion, ~450 K points),
+//! * **evaluator adapters** ([`eval`]) plugging either the real pipelines
+//!   or the analytic device models into HyperMapper.
+
+pub mod eval;
+pub mod metrics;
+pub mod runner;
+pub mod spaces;
+
+pub use eval::{
+    NativeElasticFusionEvaluator, NativeKFusionEvaluator, SimulatedEFusionEvaluator,
+    SimulatedKFusionEvaluator,
+};
+pub use metrics::{ate, AteStats};
+pub use runner::{run_elasticfusion, run_kfusion, PerfReport};
+pub use spaces::{
+    ef_params_from_config, elasticfusion_space, kf_params_from_config, kfusion_space,
+    ACCURACY_LIMIT_M,
+};

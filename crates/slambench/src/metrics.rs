@@ -1,0 +1,136 @@
+//! Trajectory accuracy metrics.
+
+use slam_geometry::SE3;
+
+/// Absolute trajectory error statistics, in meters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AteStats {
+    /// Mean per-frame translational error (the SLAMBench ATE).
+    pub mean: f64,
+    /// Maximum per-frame translational error (the validity metric in
+    /// Figs. 3–4 of the paper).
+    pub max: f64,
+    /// Root-mean-square error.
+    pub rmse: f64,
+    /// Number of frames compared.
+    pub frames: usize,
+}
+
+/// Compute the absolute trajectory error between a ground-truth and an
+/// estimated trajectory, SLAMBench-style: both trajectories are expressed
+/// relative to their first pose (removing the arbitrary initial offset)
+/// and the per-frame translational differences are aggregated.
+///
+/// # Panics
+/// If the trajectories have different lengths or are empty.
+pub fn ate(ground_truth: &[SE3], estimated: &[SE3]) -> AteStats {
+    assert_eq!(
+        ground_truth.len(),
+        estimated.len(),
+        "trajectory length mismatch"
+    );
+    assert!(!ground_truth.is_empty(), "empty trajectories");
+
+    let gt0_inv = ground_truth[0].inverse();
+    let est0_inv = estimated[0].inverse();
+    let mut sum = 0.0f64;
+    let mut sum_sq = 0.0f64;
+    let mut max = 0.0f64;
+    for (gt, est) in ground_truth.iter().zip(estimated) {
+        // Positions relative to the respective first frame.
+        let p_gt = gt0_inv.transform_point(gt.t);
+        let p_est = est0_inv.transform_point(est.t);
+        let err = (p_gt - p_est).norm() as f64;
+        sum += err;
+        sum_sq += err * err;
+        max = max.max(err);
+    }
+    let n = ground_truth.len() as f64;
+    AteStats {
+        mean: sum / n,
+        max,
+        rmse: (sum_sq / n).sqrt(),
+        frames: ground_truth.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slam_geometry::{Quat, Vec3};
+
+    fn pose(x: f32, y: f32, z: f32) -> SE3 {
+        SE3::from_translation(Vec3::new(x, y, z))
+    }
+
+    #[test]
+    fn identical_trajectories_have_zero_error() {
+        let traj: Vec<SE3> = (0..10).map(|i| pose(i as f32 * 0.1, 0.0, 0.0)).collect();
+        let s = ate(&traj, &traj.clone());
+        assert_eq!(s.mean, 0.0);
+        assert_eq!(s.max, 0.0);
+        assert_eq!(s.rmse, 0.0);
+        assert_eq!(s.frames, 10);
+    }
+
+    #[test]
+    fn constant_offset_in_first_frame_is_removed() {
+        // Estimated = ground truth shifted by a constant: after first-frame
+        // anchoring the error is zero.
+        let gt: Vec<SE3> = (0..5).map(|i| pose(i as f32, 0.0, 0.0)).collect();
+        let est: Vec<SE3> = gt
+            .iter()
+            .map(|p| SE3::from_translation(Vec3::new(0.0, 3.0, 0.0)).compose(p))
+            .collect();
+        let s = ate(&gt, &est);
+        assert!(s.mean < 1e-6, "mean {}", s.mean);
+    }
+
+    #[test]
+    fn linear_drift_statistics() {
+        // Estimated drifts 0.01 per frame in x.
+        let gt: Vec<SE3> = (0..11).map(|_| pose(0.0, 0.0, 0.0)).collect();
+        let est: Vec<SE3> = (0..11).map(|i| pose(i as f32 * 0.01, 0.0, 0.0)).collect();
+        let s = ate(&gt, &est);
+        assert!((s.max - 0.10).abs() < 1e-5);
+        assert!((s.mean - 0.05).abs() < 1e-5);
+        assert!(s.rmse >= s.mean && s.rmse <= s.max);
+    }
+
+    #[test]
+    fn constant_rigid_offset_cancels_but_progressive_rotation_does_not() {
+        let gt: Vec<SE3> = (0..20).map(|i| pose(i as f32 * 0.1, 0.0, 0.0)).collect();
+        // A constant left-multiplied rigid offset is removed by the
+        // first-frame anchoring.
+        let rot = SE3::from_quat_translation(Quat::from_axis_angle(Vec3::Z, 0.1), Vec3::ZERO);
+        let est_const: Vec<SE3> = gt.iter().map(|p| rot.compose(p)).collect();
+        assert!(ate(&gt, &est_const).max < 1e-5);
+        // Progressive rotational drift is not.
+        let est_drift: Vec<SE3> = gt
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                let r = SE3::from_quat_translation(
+                    Quat::from_axis_angle(Vec3::Z, 0.02 * i as f32),
+                    Vec3::ZERO,
+                );
+                r.compose(p)
+            })
+            .collect();
+        let s = ate(&gt, &est_drift);
+        assert!(s.max > s.mean);
+        assert!(s.max > 0.05, "max {}", s.max);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        ate(&[SE3::IDENTITY], &[SE3::IDENTITY, SE3::IDENTITY]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_trajectories_panic() {
+        ate(&[], &[]);
+    }
+}

@@ -1,0 +1,231 @@
+//! The paper's algorithmic configuration spaces (§III-B, §III-C).
+
+use device_models::{EfParams, KfParams};
+use elasticfusion::EFusionConfig;
+use hypermapper::{Configuration, ParamSpace};
+use kfusion::KFusionConfig;
+
+/// The accuracy validity limit used in Figs. 3–4: max ATE < 5 cm.
+pub const ACCURACY_LIMIT_M: f64 = 0.05;
+
+/// The KFusion algorithmic space of §III-B — exactly 1 800 000
+/// configurations:
+///
+/// | parameter | values |
+/// |---|---|
+/// | volume resolution | 64, 128, 256 |
+/// | µ | 0.0125 … 0.4 (6 values, ×2) |
+/// | compute size ratio | 1, 2, 4, 8 |
+/// | tracking rate | 1 … 5 |
+/// | ICP threshold | 1e-5 … 1e-1 (5 decades, log-encoded) |
+/// | integration rate | 1 … 10 |
+/// | pyramid level 0 iterations | 1 … 5 |
+/// | pyramid level 1 iterations | 0 … 4 |
+/// | pyramid level 2 iterations | 0 … 3 |
+pub fn kfusion_space() -> ParamSpace {
+    ParamSpace::builder()
+        .ordinal("volume-resolution", [64.0, 128.0, 256.0])
+        .ordinal_log("mu", (0..6).map(|i| 0.0125 * 2f64.powi(i)))
+        .ordinal("compute-size-ratio", [1.0, 2.0, 4.0, 8.0])
+        .ordinal("tracking-rate", (1..=5).map(f64::from))
+        .ordinal_log("icp-threshold", (0..5).map(|i| 10f64.powi(-5 + i)))
+        .ordinal("integration-rate", (1..=10).map(f64::from))
+        .ordinal("pyramid-l0", (1..=5).map(f64::from))
+        .ordinal("pyramid-l1", (0..=4).map(f64::from))
+        .ordinal("pyramid-l2", (0..=3).map(f64::from))
+        .build()
+        .expect("static space definition is valid")
+}
+
+/// The ElasticFusion algorithmic space of §III-C — 460 800 configurations
+/// ("roughly 450,000" in the paper):
+///
+/// | parameter | values |
+/// |---|---|
+/// | ICP/RGB weight | 0.5 … 12.5 step 0.5 (25 values) |
+/// | depth cutoff | 1 … 18 m (18 values) |
+/// | confidence threshold | 0.5 … 16 step 0.5 (32 values) |
+/// | 5 boolean flags | SO3-disable, open-loop, relocalisation, fast-odometry, frame-to-frame RGB |
+pub fn elasticfusion_space() -> ParamSpace {
+    ParamSpace::builder()
+        .ordinal("icp-rgb-weight", (1..=25).map(|i| i as f64 * 0.5))
+        .ordinal("depth-cutoff", (1..=18).map(f64::from))
+        .ordinal("confidence", (1..=32).map(|i| i as f64 * 0.5))
+        .boolean("so3-disabled")
+        .boolean("open-loop")
+        .boolean("relocalisation")
+        .boolean("fast-odom")
+        .boolean("frame-to-frame-rgb")
+        .build()
+        .expect("static space definition is valid")
+}
+
+/// Decode a `kfusion_space` configuration into model parameters.
+pub fn kf_params_from_config(config: &Configuration) -> KfParams {
+    KfParams {
+        volume_resolution: config.value_f64(0),
+        mu: config.value_f64(1),
+        compute_size_ratio: config.value_f64(2),
+        tracking_rate: config.value_f64(3),
+        icp_threshold: config.value_f64(4),
+        integration_rate: config.value_f64(5),
+        pyramid: [config.value_f64(6), config.value_f64(7), config.value_f64(8)],
+    }
+}
+
+/// Decode a `kfusion_space` configuration into a runnable pipeline
+/// configuration.
+pub fn kf_pipeline_config(config: &Configuration) -> KFusionConfig {
+    KFusionConfig {
+        volume_resolution: config.value_usize(0),
+        volume_size: 7.0,
+        mu: config.value_f64(1) as f32,
+        pyramid_iterations: [
+            config.value_usize(6),
+            config.value_usize(7),
+            config.value_usize(8),
+        ],
+        compute_size_ratio: config.value_usize(2),
+        tracking_rate: config.value_usize(3),
+        icp_threshold: config.value_f64(4) as f32,
+        integration_rate: config.value_usize(5),
+    }
+}
+
+/// Decode an `elasticfusion_space` configuration into model parameters.
+pub fn ef_params_from_config(config: &Configuration) -> EfParams {
+    EfParams {
+        icp_weight: config.value_f64(0),
+        depth_cutoff: config.value_f64(1),
+        confidence: config.value_f64(2),
+        so3_disabled: config.value_bool(3),
+        open_loop: config.value_bool(4),
+        relocalisation: config.value_bool(5),
+        fast_odom: config.value_bool(6),
+        frame_to_frame_rgb: config.value_bool(7),
+    }
+}
+
+/// Decode an `elasticfusion_space` configuration into a runnable pipeline
+/// configuration.
+pub fn ef_pipeline_config(config: &Configuration) -> EFusionConfig {
+    EFusionConfig {
+        icp_rgb_weight: config.value_f64(0) as f32,
+        depth_cutoff: config.value_f64(1) as f32,
+        confidence_threshold: config.value_f64(2) as f32,
+        so3_disabled: config.value_bool(3),
+        open_loop: config.value_bool(4),
+        relocalisation: config.value_bool(5),
+        fast_odom: config.value_bool(6),
+        frame_to_frame_rgb: config.value_bool(7),
+        time_window: 100,
+    }
+}
+
+/// The SLAMBench default KFusion configuration as a point in
+/// `kfusion_space`.
+pub fn kfusion_default_config(space: &ParamSpace) -> Configuration {
+    space.config_from_values(&[256.0, 0.1, 1.0, 1.0, 1e-5, 2.0, 5.0, 4.0, 3.0])
+}
+
+/// The developers' default ElasticFusion configuration (Table I) as a
+/// point in `elasticfusion_space`.
+pub fn elasticfusion_default_config(space: &ParamSpace) -> Configuration {
+    space.config_from_values(&[10.0, 3.0, 10.0, 1.0, 0.0, 1.0, 0.0, 0.0])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kfusion_space_size_matches_paper() {
+        assert_eq!(kfusion_space().size(), 1_800_000);
+    }
+
+    #[test]
+    fn elasticfusion_space_size_roughly_450k() {
+        let size = elasticfusion_space().size();
+        assert_eq!(size, 460_800);
+        assert!((400_000..=500_000).contains(&size));
+    }
+
+    #[test]
+    fn kf_decode_roundtrip() {
+        let space = kfusion_space();
+        let c = kfusion_default_config(&space);
+        let p = kf_params_from_config(&c);
+        assert_eq!(p.volume_resolution, 256.0);
+        assert!((p.mu - 0.1).abs() < 1e-9);
+        assert_eq!(p.compute_size_ratio, 1.0);
+        assert_eq!(p.tracking_rate, 1.0);
+        assert!((p.icp_threshold - 1e-5).abs() < 1e-12);
+        assert_eq!(p.integration_rate, 2.0);
+        let pc = kf_pipeline_config(&c);
+        pc.validate().unwrap();
+        assert_eq!(pc.volume_resolution, 256);
+        assert_eq!(pc.pyramid_iterations, [5, 4, 3]);
+    }
+
+    #[test]
+    fn ef_decode_roundtrip() {
+        let space = elasticfusion_space();
+        let c = elasticfusion_default_config(&space);
+        let p = ef_params_from_config(&c);
+        assert_eq!(p.icp_weight, 10.0);
+        assert_eq!(p.depth_cutoff, 3.0);
+        assert_eq!(p.confidence, 10.0);
+        assert!(p.so3_disabled);
+        assert!(!p.open_loop);
+        assert!(p.relocalisation);
+        assert!(!p.fast_odom);
+        assert!(!p.frame_to_frame_rgb);
+        let pc = ef_pipeline_config(&c);
+        pc.validate().unwrap();
+    }
+
+    #[test]
+    fn every_kf_config_decodes_validly() {
+        // Sample scattered flat indices and check pipeline-config validity.
+        let space = kfusion_space();
+        for i in (0..space.size()).step_by(97_651) {
+            let c = space.config_at(i);
+            let pc = kf_pipeline_config(&c);
+            pc.validate().unwrap_or_else(|e| panic!("config {i}: {e}"));
+            let p = kf_params_from_config(&c);
+            assert!(p.mu > 0.0 && p.volume_resolution >= 64.0);
+        }
+    }
+
+    #[test]
+    fn every_ef_config_decodes_validly() {
+        let space = elasticfusion_space();
+        for i in (0..space.size()).step_by(23_456) {
+            let c = space.config_at(i);
+            ef_pipeline_config(&c).validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn log_features_used_for_mu_and_icp() {
+        let space = kfusion_space();
+        let c = kfusion_default_config(&space);
+        let f = space.features(&c);
+        // mu = 0.1 → log10 = -1; icp = 1e-5 → -5.
+        assert!((f[1] + 1.0).abs() < 1e-6, "mu feature {}", f[1]);
+        assert!((f[4] + 5.0).abs() < 1e-6, "icp feature {}", f[4]);
+    }
+
+    #[test]
+    fn table_1_rows_exist_in_ef_space() {
+        // The Pareto rows of Table I must be representable points.
+        let space = elasticfusion_space();
+        for (icp, depth, conf) in [(5.0, 6.0, 9.0), (4.0, 6.0, 9.0), (2.0, 10.0, 4.0), (1.0, 10.0, 4.0)] {
+            let c = space.config_from_values(&[icp, depth, conf, 0.0, 0.0, 1.0, 1.0, 0.0]);
+            let p = ef_params_from_config(&c);
+            assert_eq!(p.icp_weight, icp);
+            assert_eq!(p.depth_cutoff, depth);
+            assert_eq!(p.confidence, conf);
+        }
+    }
+}

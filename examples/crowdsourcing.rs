@@ -1,0 +1,63 @@
+//! The crowd-sourcing experiment of §IV-D: transplant the Pareto-front
+//! best-runtime configuration found on one device onto 83 other devices
+//! and measure the speedup over the default configuration — a form of
+//! zero-shot transfer.
+//!
+//! Run with: `cargo run -p hm-examples --release --bin crowdsourcing`
+
+use device_models::{crowd_devices, kf_frame_time, KfParams};
+use hypermapper::{pearson, spearman};
+
+fn main() {
+    // A tuned configuration in the spirit of the ODROID Pareto front
+    // (derived offline with `fig5_crowdsourcing`, which runs the full DSE).
+    let best = KfParams {
+        volume_resolution: 128.0,
+        mu: 0.2,
+        compute_size_ratio: 2.0,
+        tracking_rate: 1.0,
+        icp_threshold: 1e-4,
+        integration_rate: 8.0,
+        pyramid: [4.0, 3.0, 2.0],
+    };
+    let default = KfParams::default_config();
+
+    let devices = crowd_devices();
+    println!("running default vs. tuned configuration on {} devices...\n", devices.len());
+
+    let mut speedups = Vec::new();
+    let mut default_times = Vec::new();
+    let mut best_times = Vec::new();
+    for dev in &devices {
+        let t_def = kf_frame_time(&default, dev);
+        let t_best = kf_frame_time(&best, dev);
+        speedups.push(t_def / t_best);
+        default_times.push(t_def);
+        best_times.push(t_best);
+    }
+
+    let min = speedups.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = speedups.iter().copied().fold(0.0, f64::max);
+    let mean = speedups.iter().sum::<f64>() / speedups.len() as f64;
+    println!("speedup: min {min:.1}x  mean {mean:.1}x  max {max:.1}x (paper: 2x .. >12x)");
+
+    // Cross-device correlation — the paper cites [43]: configurations that
+    // run well on one machine tend to run well on similar machines.
+    println!(
+        "\ncross-device correlation of default vs. tuned frame times:\n  Pearson {:.3}  Spearman {:.3}",
+        pearson(&default_times, &best_times),
+        spearman(&default_times, &best_times)
+    );
+
+    // Slowest / fastest five devices by default frame time.
+    let mut order: Vec<usize> = (0..devices.len()).collect();
+    order.sort_by(|&a, &b| speedups[b].partial_cmp(&speedups[a]).unwrap());
+    println!("\nlargest speedups:");
+    for &i in order.iter().take(5) {
+        println!("  {:>5.1}x  {}", speedups[i], devices[i].name);
+    }
+    println!("smallest speedups:");
+    for &i in order.iter().rev().take(5) {
+        println!("  {:>5.1}x  {}", speedups[i], devices[i].name);
+    }
+}

@@ -1,0 +1,87 @@
+//! Advanced API tour: native pipeline evaluation, feature importance and
+//! exploration introspection.
+//!
+//! Unlike `kfusion_tuning` (which uses the fast analytic device model),
+//! this example *actually runs* the real KinectFusion pipeline on a tiny
+//! synthetic sequence for each evaluated configuration, then analyzes
+//! which parameters drove the measured objectives.
+//!
+//! Run with: `cargo run -p hm-examples --release --bin custom_space`
+
+use hypermapper::{HyperMapper, OptimizerConfig, ParamImportance, ParamSpace};
+use icl_nuim_synth::{NoiseModel, SequenceConfig, TrajectoryKind};
+use randforest::ForestConfig;
+use slambench::NativeKFusionEvaluator;
+
+fn main() {
+    // A focused sub-space: only the parameters that matter most for the
+    // real pipeline at this scale, so the run stays quick.
+    let space = ParamSpace::builder()
+        .ordinal("volume-resolution", [48.0, 64.0, 96.0, 128.0])
+        .ordinal_log("mu", [0.05, 0.1, 0.2, 0.4])
+        .ordinal("compute-size-ratio", [1.0, 2.0])
+        .ordinal("tracking-rate", [1.0, 2.0, 3.0])
+        .ordinal_log("icp-threshold", [1e-5, 1e-4, 1e-3, 1e-2])
+        .ordinal("integration-rate", [1.0, 2.0, 4.0])
+        .ordinal("pyramid-l0", [2.0, 4.0, 6.0])
+        .ordinal("pyramid-l1", [2.0, 3.0])
+        .ordinal("pyramid-l2", [1.0, 2.0])
+        .build()
+        .expect("valid space");
+    println!("native-evaluation space: {} configurations", space.size());
+
+    // A tiny sequence keeps each native run ~100 ms.
+    let evaluator = NativeKFusionEvaluator::new(
+        SequenceConfig {
+            width: 48,
+            height: 36,
+            n_frames: 200,
+            trajectory: TrajectoryKind::LivingRoomLoop,
+            noise: NoiseModel::none(),
+            seed: 0,
+        },
+        6, // frames per evaluation
+    );
+
+    let optimizer = HyperMapper::new(
+        space.clone(),
+        OptimizerConfig {
+            random_samples: 20,
+            max_iterations: 2,
+            max_evals_per_iteration: 10,
+            pool_size: 3_000,
+            forest: ForestConfig { n_trees: 25, ..Default::default() },
+            seed: 5,
+        },
+    );
+    println!("running real pipeline evaluations (this takes a few seconds)...");
+    let result = optimizer.run(&evaluator);
+
+    println!("\nmeasured Pareto front:");
+    for s in result.pareto_samples() {
+        println!(
+            "  {:>7.4} s/frame  max ATE {:.4} m   {}",
+            s.objectives[0],
+            s.objectives[1],
+            space.describe(&s.config)
+        );
+    }
+
+    // Which parameters drive each objective?
+    let forest_cfg = ForestConfig { n_trees: 50, seed: 9, ..Default::default() };
+    for (k, name) in ["runtime", "max ATE"].iter().enumerate() {
+        let imp = ParamImportance::from_samples(&space, &result.samples, k, &forest_cfg);
+        println!("\nparameter importance for {name}:");
+        for (pname, weight) in imp.ranked().into_iter().take(4) {
+            println!("  {weight:>6.3}  {pname}");
+        }
+    }
+
+    println!("\nactive-learning iterations:");
+    for it in &result.iterations {
+        println!(
+            "  iteration {}: {} new evaluations (predicted front size {})",
+            it.iteration, it.new_evaluations, it.predicted_front_size
+        );
+    }
+}

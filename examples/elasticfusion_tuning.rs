@@ -1,0 +1,72 @@
+//! Tune ElasticFusion on the desktop platform and print a Table-I-style
+//! report (reduced scale).
+//!
+//! Run with: `cargo run -p hm-examples --release --bin elasticfusion_tuning`
+
+use hypermapper::{Evaluator as _, HyperMapper, OptimizerConfig};
+use randforest::ForestConfig;
+use slambench::spaces::elasticfusion_default_config;
+use slambench::{ef_params_from_config, elasticfusion_space, SimulatedEFusionEvaluator};
+
+fn main() {
+    let space = elasticfusion_space();
+    println!(
+        "ElasticFusion algorithmic space: {} configurations (3 numeric parameters + 5 flags)",
+        space.size()
+    );
+    let evaluator = SimulatedEFusionEvaluator::new(device_models::gtx780ti());
+
+    let default = elasticfusion_default_config(&space);
+    let default_obj = evaluator.evaluate(&default);
+    println!(
+        "default: {:.1} s / 400-frame sequence, ATE {:.4} m",
+        default_obj[0], default_obj[1]
+    );
+
+    let optimizer = HyperMapper::new(
+        space.clone(),
+        OptimizerConfig {
+            random_samples: 400,
+            max_iterations: 4,
+            max_evals_per_iteration: 120,
+            pool_size: 40_000,
+            forest: ForestConfig { n_trees: 60, ..Default::default() },
+            seed: 42,
+        },
+    );
+    let result = optimizer.run(&evaluator);
+
+    println!("\nPareto points (sequence runtime vs. ATE):");
+    println!("{:>9} {:>9}  ICP  Depth Conf  SO3 OL Reloc Fast FTF", "ATE(m)", "time(s)");
+    for s in result.pareto_samples() {
+        let p = ef_params_from_config(&s.config);
+        println!(
+            "{:>9.4} {:>9.1}  {:>4.1} {:>5.1} {:>4.1}  {:>3} {:>2} {:>5} {:>4} {:>3}",
+            s.objectives[1],
+            s.objectives[0],
+            p.icp_weight,
+            p.depth_cutoff,
+            p.confidence,
+            p.so3_disabled as u8,
+            p.open_loop as u8,
+            p.relocalisation as u8,
+            p.fast_odom as u8,
+            p.frame_to_frame_rgb as u8,
+        );
+    }
+
+    if let Some(fastest) = result.best_by_objective(0) {
+        println!(
+            "\nbest speed: {:.2}x over default (ATE {:+.1}% vs default)",
+            default_obj[0] / fastest.objectives[0],
+            (fastest.objectives[1] / default_obj[1] - 1.0) * 100.0
+        );
+    }
+    if let Some(accurate) = result.best_by_objective(1) {
+        println!(
+            "best accuracy: {:.2}x better than default at {:.2}x speedup",
+            default_obj[1] / accurate.objectives[1],
+            default_obj[0] / accurate.objectives[0]
+        );
+    }
+}

@@ -1,0 +1,72 @@
+//! Tune the KinectFusion algorithmic parameters for an embedded platform,
+//! as in §IV-C of the paper (reduced scale so it finishes in seconds).
+//!
+//! Uses the simulated ODROID-XU3 device model as the evaluation target and
+//! prints the accuracy/runtime Pareto front with the 5 cm validity limit.
+//!
+//! Run with: `cargo run -p hm-examples --release --bin kfusion_tuning`
+
+use hypermapper::{HyperMapper, OptimizerConfig};
+use randforest::ForestConfig;
+use slambench::{kfusion_space, SimulatedKFusionEvaluator, ACCURACY_LIMIT_M};
+
+fn main() {
+    let space = kfusion_space();
+    println!(
+        "KFusion algorithmic space: {} configurations across {} parameters",
+        space.size(),
+        space.n_params()
+    );
+
+    let device = device_models::odroid_xu3();
+    println!("target platform: {}", device.name);
+    let evaluator = SimulatedKFusionEvaluator::new(device);
+
+    let optimizer = HyperMapper::new(
+        space.clone(),
+        OptimizerConfig {
+            random_samples: 500,
+            max_iterations: 4,
+            max_evals_per_iteration: 150,
+            pool_size: 40_000,
+            forest: ForestConfig { n_trees: 60, ..Default::default() },
+            seed: 2017,
+        },
+    );
+    let result = optimizer.run(&evaluator);
+
+    let default_fps = {
+        use hypermapper::Evaluator as _;
+        let c = slambench::spaces::kfusion_default_config(&space);
+        1.0 / evaluator.evaluate(&c)[0]
+    };
+    println!("default configuration: {default_fps:.1} FPS\n");
+
+    println!("Pareto front (runtime vs. max ATE, validity limit {ACCURACY_LIMIT_M} m):");
+    for s in result.pareto_samples() {
+        let valid = if s.objectives[1] < ACCURACY_LIMIT_M { "valid  " } else { "INVALID" };
+        println!(
+            "  {:>6.1} FPS  ATE {:.4} m  [{}]  {}",
+            1.0 / s.objectives[0],
+            s.objectives[1],
+            valid,
+            space.describe(&s.config)
+        );
+    }
+
+    // The deployable configuration: fastest while staying under 5 cm.
+    if let Some(best) = result
+        .samples
+        .iter()
+        .filter(|s| s.objectives[1] < ACCURACY_LIMIT_M)
+        .min_by(|a, b| a.objectives[0].partial_cmp(&b.objectives[0]).unwrap())
+    {
+        println!(
+            "\ndeploy: {:.1} FPS at ATE {:.4} m ({:.2}x speedup over default)",
+            1.0 / best.objectives[0],
+            best.objectives[1],
+            (1.0 / default_fps) / best.objectives[0],
+        );
+        println!("        {}", space.describe(&best.config));
+    }
+}

@@ -1,0 +1,66 @@
+//! Quickstart: multi-objective tuning of a black-box function.
+//!
+//! Shows the minimal HyperMapper workflow on a toy problem: define a finite
+//! parameter space, implement [`Evaluator`], run the active-learning
+//! exploration, and read the Pareto front.
+//!
+//! Run with: `cargo run -p hm-examples --release --bin quickstart`
+
+use hypermapper::{Configuration, Evaluator, HyperMapper, OptimizerConfig, ParamSpace};
+
+/// A toy "application": latency rises with quality knobs, error falls.
+struct ImageFilterApp;
+
+impl Evaluator for ImageFilterApp {
+    fn n_objectives(&self) -> usize {
+        2
+    }
+    fn objective_names(&self) -> Vec<String> {
+        vec!["latency (ms)".into(), "error".into()]
+    }
+    fn evaluate(&self, config: &Configuration) -> Vec<f64> {
+        let kernel = config.value_f64(0); // filter kernel radius
+        let passes = config.value_f64(1); // refinement passes
+        let lossy = config.value_bool(2); // cheap approximate path
+        let latency =
+            0.4 * kernel * kernel + 2.0 * passes + if lossy { 1.0 } else { 4.0 } + (kernel * 1.3).sin().abs();
+        let error = 8.0 / (1.0 + kernel) + 3.0 / (1.0 + passes) + if lossy { 1.5 } else { 0.0 };
+        vec![latency, error]
+    }
+}
+
+fn main() {
+    let space = ParamSpace::builder()
+        .ordinal("kernel-radius", (1..=8).map(f64::from))
+        .ordinal("passes", (0..=6).map(f64::from))
+        .boolean("lossy-path")
+        .build()
+        .expect("valid space");
+    println!("space size: {} configurations", space.size());
+
+    let optimizer = HyperMapper::new(
+        space.clone(),
+        OptimizerConfig { random_samples: 25, max_iterations: 4, seed: 7, ..Default::default() },
+    );
+    let result = optimizer.run(&ImageFilterApp);
+
+    println!(
+        "evaluated {} configurations ({} random + {} active-learning)",
+        result.samples.len(),
+        result.random_samples().count(),
+        result.active_samples().count()
+    );
+    println!("\nPareto front (latency ↑, error ↓):");
+    for s in result.pareto_samples() {
+        println!(
+            "  latency {:>6.2} ms  error {:>5.2}   {}",
+            s.objectives[0],
+            s.objectives[1],
+            space.describe(&s.config)
+        );
+    }
+    let fastest = result.best_by_objective(0).unwrap();
+    println!("\nfastest: {}", space.describe(&fastest.config));
+    let most_accurate = result.best_by_objective(1).unwrap();
+    println!("most accurate: {}", space.describe(&most_accurate.config));
+}

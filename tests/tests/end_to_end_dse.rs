@@ -1,0 +1,134 @@
+//! End-to-end design-space-exploration tests across crates: HyperMapper +
+//! spaces + device models, exercising the whole Fig. 3/4 machinery at
+//! reduced scale.
+
+use hypermapper::{hypervolume_2d, CachedEvaluator, Evaluator, HyperMapper, OptimizerConfig};
+use randforest::ForestConfig;
+use slambench::spaces::{elasticfusion_default_config, kfusion_default_config};
+use slambench::{
+    elasticfusion_space, kfusion_space, SimulatedEFusionEvaluator, SimulatedKFusionEvaluator,
+    ACCURACY_LIMIT_M,
+};
+
+fn quick_config(seed: u64) -> OptimizerConfig {
+    OptimizerConfig {
+        random_samples: 250,
+        max_iterations: 3,
+        max_evals_per_iteration: 100,
+        pool_size: 15_000,
+        forest: ForestConfig { n_trees: 40, ..Default::default() },
+        seed,
+    }
+}
+
+#[test]
+fn kfusion_dse_beats_default_configuration() {
+    let space = kfusion_space();
+    let evaluator = SimulatedKFusionEvaluator::new(device_models::odroid_xu3());
+    let default_obj = evaluator.evaluate(&kfusion_default_config(&space));
+
+    let result = HyperMapper::new(space, quick_config(1)).run(&evaluator);
+    // The exploration must find a valid configuration faster than default.
+    let best_valid = result
+        .samples
+        .iter()
+        .filter(|s| s.objectives[1] < ACCURACY_LIMIT_M)
+        .map(|s| s.objectives[0])
+        .fold(f64::INFINITY, f64::min);
+    assert!(
+        best_valid < default_obj[0] * 0.5,
+        "best valid {best_valid} vs default {}",
+        default_obj[0]
+    );
+}
+
+#[test]
+fn active_learning_improves_over_random_at_equal_budget() {
+    let space = kfusion_space();
+    let evaluator = SimulatedKFusionEvaluator::new(device_models::odroid_xu3());
+
+    // Active learning: 250 random + up to 300 AL evaluations.
+    let al = HyperMapper::new(space.clone(), quick_config(7)).run(&evaluator);
+    let al_budget = al.samples.len();
+
+    // Random-only at the same total budget.
+    let random = HyperMapper::new(
+        space,
+        OptimizerConfig { random_samples: al_budget, ..quick_config(7) },
+    )
+    .run_random_only(&evaluator);
+
+    let reference = (0.8, 0.4);
+    let al_pts: Vec<(f64, f64)> = al.samples.iter().map(|s| (s.objectives[0], s.objectives[1])).collect();
+    let rnd_pts: Vec<(f64, f64)> =
+        random.samples.iter().map(|s| (s.objectives[0], s.objectives[1])).collect();
+    let hv_al = hypervolume_2d(&al_pts, reference);
+    let hv_rnd = hypervolume_2d(&rnd_pts, reference);
+    assert!(
+        hv_al >= hv_rnd * 0.98,
+        "active learning hypervolume {hv_al} clearly worse than random {hv_rnd}"
+    );
+}
+
+#[test]
+fn ef_dse_finds_faster_and_more_accurate_than_default() {
+    // The qualitative claim of Table I: points exist that beat the default
+    // in *both* objectives.
+    let space = elasticfusion_space();
+    let evaluator = SimulatedEFusionEvaluator::new(device_models::gtx780ti());
+    let default_obj = evaluator.evaluate(&elasticfusion_default_config(&space));
+
+    let result = HyperMapper::new(space, quick_config(42)).run(&evaluator);
+    let dominating = result.samples.iter().any(|s| {
+        s.objectives[0] < default_obj[0] && s.objectives[1] < default_obj[1]
+    });
+    assert!(dominating, "no configuration dominates the default");
+
+    // And a ~2x accuracy improvement exists somewhere in the explored set.
+    let best_ate = result
+        .samples
+        .iter()
+        .map(|s| s.objectives[1])
+        .fold(f64::INFINITY, f64::min);
+    assert!(
+        best_ate < default_obj[1] * 0.65,
+        "best ATE {best_ate} vs default {}",
+        default_obj[1]
+    );
+}
+
+#[test]
+fn exploration_never_reevaluates_and_is_reproducible() {
+    let space = kfusion_space();
+    let inner = SimulatedKFusionEvaluator::new(device_models::asus_t200ta());
+    let cached = CachedEvaluator::new(&inner);
+    let r1 = HyperMapper::new(space.clone(), quick_config(9)).run(&cached);
+    assert_eq!(cached.distinct_evaluations(), r1.samples.len());
+
+    let r2 = HyperMapper::new(space, quick_config(9)).run(&inner);
+    assert_eq!(r1.samples.len(), r2.samples.len());
+    for (a, b) in r1.samples.iter().zip(&r2.samples) {
+        assert_eq!(a.config, b.config);
+        assert_eq!(a.objectives, b.objectives);
+    }
+}
+
+#[test]
+fn odroid_and_asus_prefer_similar_configs() {
+    // The zero-shot transfer premise (§IV-D / [43]): runtimes on the two
+    // embedded platforms correlate strongly across configurations.
+    let space = kfusion_space();
+    let odroid = SimulatedKFusionEvaluator::new(device_models::odroid_xu3());
+    let asus = SimulatedKFusionEvaluator::new(device_models::asus_t200ta());
+    let mut t_odroid = Vec::new();
+    let mut t_asus = Vec::new();
+    for i in (0..space.size()).step_by(13_337) {
+        let c = space.config_at(i);
+        t_odroid.push(odroid.evaluate(&c)[0]);
+        t_asus.push(asus.evaluate(&c)[0]);
+    }
+    let r = hypermapper::pearson(&t_odroid, &t_asus);
+    let rho = hypermapper::spearman(&t_odroid, &t_asus);
+    assert!(r > 0.9, "Pearson {r}");
+    assert!(rho > 0.9, "Spearman {rho}");
+}

@@ -1,0 +1,165 @@
+//! Fidelity tests: the analytic device models (used for the paper-scale
+//! experiments) must agree *qualitatively* with the real pipelines on
+//! every parameter's effect direction. This is the contract that makes
+//! the hardware substitution of DESIGN.md §3 legitimate.
+
+use device_models::{ef_ate, ef_frame_time, kf_ate, kf_frame_time, EfParams, KfParams};
+use icl_nuim_synth::{NoiseModel, SequenceConfig, SyntheticSequence, TrajectoryKind};
+use kfusion::KFusionConfig;
+use slambench::run_kfusion;
+
+fn seq() -> SyntheticSequence {
+    SyntheticSequence::new(SequenceConfig {
+        width: 64,
+        height: 48,
+        n_frames: 260,
+        trajectory: TrajectoryKind::LivingRoomLoop,
+        noise: NoiseModel::none(),
+        seed: 2,
+    })
+}
+
+/// Both the model and the real pipeline must agree on the *sign* of a
+/// parameter's runtime effect.
+#[test]
+fn volume_resolution_runtime_direction_matches() {
+    let dev = device_models::odroid_xu3();
+    let model_small = kf_frame_time(
+        &KfParams { volume_resolution: 64.0, ..KfParams::default_config() },
+        &dev,
+    );
+    let model_large = kf_frame_time(
+        &KfParams { volume_resolution: 256.0, ..KfParams::default_config() },
+        &dev,
+    );
+    assert!(model_small < model_large);
+
+    let s = seq();
+    let native_small =
+        run_kfusion(&s, &KFusionConfig { volume_resolution: 48, ..Default::default() }, 5);
+    let native_large =
+        run_kfusion(&s, &KFusionConfig { volume_resolution: 160, ..Default::default() }, 5);
+    assert!(native_small.mean_frame_time < native_large.mean_frame_time);
+}
+
+#[test]
+fn tracking_rate_accuracy_direction_matches() {
+    // Model: higher tracking rate (less frequent localization) hurts ATE.
+    let base = kf_ate(&KfParams::default_config());
+    let sparse = kf_ate(&KfParams { tracking_rate: 5.0, ..KfParams::default_config() });
+    assert!(sparse > base);
+
+    // Native: never tracking must be worse than tracking every frame.
+    let s = seq();
+    let every = run_kfusion(
+        &s,
+        &KFusionConfig { volume_resolution: 96, tracking_rate: 1, ..Default::default() },
+        10,
+    );
+    let never = run_kfusion(
+        &s,
+        &KFusionConfig { volume_resolution: 96, tracking_rate: 100, ..Default::default() },
+        10,
+    );
+    assert!(never.ate.max > every.ate.max);
+}
+
+#[test]
+fn icp_threshold_trade_off_direction_matches() {
+    // Model: looser threshold → faster, less accurate.
+    let dev = device_models::odroid_xu3();
+    let tight = KfParams { icp_threshold: 1e-5, ..KfParams::default_config() };
+    let loose = KfParams { icp_threshold: 1e-1, ..KfParams::default_config() };
+    assert!(kf_frame_time(&loose, &dev) < kf_frame_time(&tight, &dev));
+    assert!(kf_ate(&loose) > kf_ate(&tight));
+}
+
+#[test]
+fn mu_degeneracy_direction_matches() {
+    // Model: µ far below the voxel size is degenerate at coarse volumes.
+    let coarse_tiny_mu = kf_ate(&KfParams {
+        volume_resolution: 64.0,
+        mu: 0.0125,
+        ..KfParams::default_config()
+    });
+    let coarse_ok_mu = kf_ate(&KfParams {
+        volume_resolution: 64.0,
+        mu: 0.25,
+        ..KfParams::default_config()
+    });
+    assert!(coarse_tiny_mu > coarse_ok_mu);
+}
+
+#[test]
+fn ef_flag_directions_are_consistent() {
+    let dev = device_models::gtx780ti();
+    let base = EfParams::default_config();
+    // fast_odom: faster.
+    let fast = EfParams { fast_odom: true, ..base };
+    assert!(ef_frame_time(&fast, &dev) < ef_frame_time(&base, &dev));
+    // open_loop: faster but less accurate.
+    let open = EfParams { open_loop: true, ..base };
+    assert!(ef_frame_time(&open, &dev) < ef_frame_time(&base, &dev));
+    assert!(ef_ate(&open) > ef_ate(&base));
+    // enabling SO3 (so3_disabled = false): more accurate.
+    let so3 = EfParams { so3_disabled: false, ..base };
+    assert!(ef_ate(&so3) < ef_ate(&base));
+    // frame-to-frame RGB: drifts more.
+    let ftf = EfParams { frame_to_frame_rgb: true, ..base };
+    assert!(ef_ate(&ftf) > ef_ate(&base));
+}
+
+#[test]
+fn paper_anchor_numbers() {
+    // The calibration anchors from the paper, as loose bands.
+    let odroid = device_models::odroid_xu3();
+    let fps_default = 1.0 / kf_frame_time(&KfParams::default_config(), &odroid);
+    assert!((4.0..9.0).contains(&fps_default), "ODROID default {fps_default} FPS (paper: 6)");
+
+    let ate_default = kf_ate(&KfParams::default_config());
+    assert!((0.03..0.06).contains(&ate_default), "KF default ATE {ate_default} (paper: 0.0447)");
+
+    let gtx = device_models::gtx780ti();
+    let ef_seq = ef_frame_time(&EfParams::default_config(), &gtx) * 400.0;
+    assert!((17.0..28.0).contains(&ef_seq), "EF default {ef_seq} s (paper: 22.2)");
+
+    let ef_err = ef_ate(&EfParams::default_config());
+    assert!((0.045..0.07).contains(&ef_err), "EF default ATE {ef_err} (paper: 0.0558)");
+
+    // Table I best-accuracy row.
+    let best = EfParams {
+        icp_weight: 1.0,
+        depth_cutoff: 10.0,
+        confidence: 4.0,
+        so3_disabled: false,
+        open_loop: false,
+        relocalisation: true,
+        fast_odom: true,
+        frame_to_frame_rgb: false,
+    };
+    let best_err = ef_ate(&best);
+    assert!((0.02..0.035).contains(&best_err), "EF best ATE {best_err} (paper: 0.0269)");
+}
+
+#[test]
+fn crowd_speedups_match_paper_band() {
+    // Transplanting a Pareto-ish tuned config: speedups roughly 2–13x.
+    let tuned = KfParams {
+        volume_resolution: 64.0,
+        mu: 0.2,
+        compute_size_ratio: 4.0,
+        tracking_rate: 2.0,
+        icp_threshold: 1e-4,
+        integration_rate: 5.0,
+        pyramid: [4.0, 3.0, 2.0],
+    };
+    let default = KfParams::default_config();
+    let mut speedups: Vec<f64> = device_models::crowd_devices()
+        .iter()
+        .map(|d| kf_frame_time(&default, d) / kf_frame_time(&tuned, d))
+        .collect();
+    speedups.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    assert!(speedups[0] > 1.5, "min {}", speedups[0]);
+    assert!(*speedups.last().unwrap() > 6.0, "max {}", speedups.last().unwrap());
+    assert!(*speedups.last().unwrap() < 25.0);
+}

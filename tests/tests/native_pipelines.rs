@@ -1,0 +1,141 @@
+//! Integration tests running the *real* SLAM pipelines end-to-end over
+//! synthetic sequences and checking that the simulated models' qualitative
+//! trade-offs hold for the native implementations too.
+
+use icl_nuim_synth::{NoiseModel, SequenceConfig, SyntheticSequence, TrajectoryKind};
+use kfusion::KFusionConfig;
+use slambench::{run_elasticfusion, run_kfusion};
+
+fn sequence(noise: bool) -> SyntheticSequence {
+    SyntheticSequence::new(SequenceConfig {
+        width: 64,
+        height: 48,
+        n_frames: 260,
+        trajectory: TrajectoryKind::LivingRoomLoop,
+        noise: if noise { NoiseModel::default() } else { NoiseModel::none() },
+        seed: 1,
+    })
+}
+
+#[test]
+fn kfusion_tracks_a_real_sequence_segment() {
+    let seq = sequence(false);
+    let cfg = KFusionConfig { volume_resolution: 128, ..Default::default() };
+    let report = run_kfusion(&seq, &cfg, 20);
+    assert_eq!(report.frames, 20);
+    assert!(report.tracked_fraction > 0.8, "tracked {}", report.tracked_fraction);
+    assert!(report.ate.max < 0.12, "max ATE {}", report.ate.max);
+    assert!(report.ate.mean <= report.ate.max);
+}
+
+#[test]
+fn kfusion_survives_sensor_noise() {
+    let seq = sequence(true);
+    let cfg = KFusionConfig { volume_resolution: 128, ..Default::default() };
+    let report = run_kfusion(&seq, &cfg, 12);
+    assert!(report.tracked_fraction > 0.7);
+    assert!(report.ate.max < 0.2, "max ATE {}", report.ate.max);
+}
+
+#[test]
+fn kfusion_volume_resolution_trades_accuracy_for_speed() {
+    // The paper's core trade-off, on the real pipeline: a smaller volume is
+    // faster per frame; a bigger one at least as accurate.
+    let seq = sequence(false);
+    let small = run_kfusion(
+        &seq,
+        &KFusionConfig { volume_resolution: 48, ..Default::default() },
+        10,
+    );
+    let large = run_kfusion(
+        &seq,
+        &KFusionConfig { volume_resolution: 160, ..Default::default() },
+        10,
+    );
+    assert!(
+        small.mean_frame_time < large.mean_frame_time,
+        "small {} vs large {}",
+        small.mean_frame_time,
+        large.mean_frame_time
+    );
+    assert!(
+        large.ate.max <= small.ate.max * 1.5,
+        "large-volume accuracy should not collapse: {} vs {}",
+        large.ate.max,
+        small.ate.max
+    );
+}
+
+#[test]
+fn kfusion_compute_size_ratio_speeds_up_preprocessing() {
+    let seq = sequence(false);
+    let full = run_kfusion(
+        &seq,
+        &KFusionConfig { volume_resolution: 64, compute_size_ratio: 1, ..Default::default() },
+        6,
+    );
+    let quarter = run_kfusion(
+        &seq,
+        &KFusionConfig { volume_resolution: 64, compute_size_ratio: 2, ..Default::default() },
+        6,
+    );
+    // Tracking/preprocess work drops 4x; total time must drop measurably.
+    assert!(
+        quarter.mean_frame_time < full.mean_frame_time,
+        "csr2 {} vs csr1 {}",
+        quarter.mean_frame_time,
+        full.mean_frame_time
+    );
+}
+
+#[test]
+fn elasticfusion_runs_and_stays_on_track() {
+    let seq = sequence(false);
+    let cfg = elasticfusion::EFusionConfig::default();
+    let report = run_elasticfusion(&seq, &cfg, 12);
+    assert!(report.tracked_fraction > 0.7, "tracked {}", report.tracked_fraction);
+    assert!(report.ate.max < 0.15, "max ATE {}", report.ate.max);
+}
+
+#[test]
+fn elasticfusion_depth_cutoff_effect_on_native_pipeline() {
+    let seq = sequence(false);
+    let near = run_elasticfusion(
+        &seq,
+        &elasticfusion::EFusionConfig { depth_cutoff: 1.5, ..Default::default() },
+        8,
+    );
+    let far = run_elasticfusion(
+        &seq,
+        &elasticfusion::EFusionConfig { depth_cutoff: 8.0, ..Default::default() },
+        8,
+    );
+    // A starved model (1.5 m cutoff in a 6 m room) must not track better
+    // than the generous one.
+    assert!(
+        far.ate.max <= near.ate.max * 1.25,
+        "far {} vs near {}",
+        far.ate.max,
+        near.ate.max
+    );
+}
+
+#[test]
+fn ate_metric_consistency_between_pipelines() {
+    // Both pipelines report ATE through the same metric; ground truth
+    // trajectories are identical, so a perfect tracker would give 0 for
+    // both. Check both stay in a sane band on the same segment.
+    let seq = sequence(false);
+    let kf = run_kfusion(
+        &seq,
+        &KFusionConfig { volume_resolution: 128, ..Default::default() },
+        10,
+    );
+    let ef = run_elasticfusion(&seq, &elasticfusion::EFusionConfig::default(), 10);
+    for report in [&kf, &ef] {
+        assert!(report.ate.mean >= 0.0);
+        assert!(report.ate.rmse >= report.ate.mean * 0.99);
+        assert!(report.ate.max >= report.ate.rmse * 0.99);
+        assert_eq!(report.ate.frames, 10);
+    }
+}
