@@ -1,0 +1,98 @@
+//! Criterion benches for the fast surrogate engine: histogram vs. exact
+//! split finding, compiled vs. pointer-chasing forest prediction on the
+//! paper-scale 50 000-row candidate pool, and frame-cached vs. cold native
+//! pipeline evaluation. `scripts/bench.sh` runs these headless and distills
+//! the medians into `BENCH_surrogate.json`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use icl_nuim_synth::{NoiseModel, SequenceConfig, SyntheticSequence, TrajectoryKind};
+use kfusion::KFusionConfig;
+use randforest::{CompiledForest, Dataset, ForestConfig, RandomForest, SplitMethod, TreeConfig};
+use slambench::run_kfusion;
+
+fn training_data(n: usize) -> Dataset {
+    let mut d = Dataset::new(9);
+    for i in 0..n {
+        let row: Vec<f64> =
+            (0..9).map(|f| ((i * (f + 3) * 2654435761) % 1000) as f64 / 100.0).collect();
+        let y = row[0] * 2.0 + (row[3] * 0.5).sin() * 10.0 + row[7];
+        d.push_row(&row, y);
+    }
+    d
+}
+
+/// The paper's candidate pool: up to 50 000 configurations scored per
+/// active-learning iteration.
+fn pool_rows(n: usize) -> Vec<f64> {
+    (0..n)
+        .flat_map(|i| (0..9).map(move |f| ((i * (f + 5)) % 997) as f64 / 99.0))
+        .collect()
+}
+
+fn bench_split_finding(c: &mut Criterion) {
+    let data = training_data(3000);
+    for (name, split) in [
+        ("fit_exact_3000x50", SplitMethod::Exact),
+        ("fit_histogram_3000x50", SplitMethod::Histogram),
+    ] {
+        let cfg = ForestConfig {
+            n_trees: 50,
+            seed: 1,
+            tree: TreeConfig { split, ..Default::default() },
+            ..Default::default()
+        };
+        c.bench_function(name, |b| b.iter(|| RandomForest::fit(&data, &cfg)));
+    }
+}
+
+fn bench_pool_predict(c: &mut Criterion) {
+    let data = training_data(3000);
+    let cfg = ForestConfig { n_trees: 100, seed: 1, ..Default::default() };
+    let forest = RandomForest::fit(&data, &cfg);
+    let second = RandomForest::fit(&data, &ForestConfig { seed: 2, ..cfg });
+    let compiled = CompiledForest::compile(&forest);
+    let fused = CompiledForest::compile_multi(&[&forest, &second]);
+    let rows = pool_rows(50_000);
+
+    c.bench_function("predict_pointer_50000x100", |b| b.iter(|| forest.predict_batch(&rows)));
+    c.bench_function("predict_compiled_50000x100", |b| b.iter(|| compiled.predict_batch(&rows)));
+    // Both objectives of a HyperMapper iteration in one fused pass…
+    c.bench_function("predict_fused_2obj_50000x100", |b| {
+        b.iter(|| fused.predict_batch_multi(&rows))
+    });
+    // …vs. the two separate pointer-chasing passes it replaces.
+    c.bench_function("predict_pointer_2obj_50000x100", |b| {
+        b.iter(|| (forest.predict_batch(&rows), second.predict_batch(&rows)))
+    });
+}
+
+fn bench_native_eval(c: &mut Criterion) {
+    let seq_cfg = SequenceConfig {
+        width: 48,
+        height: 36,
+        n_frames: 4,
+        trajectory: TrajectoryKind::LivingRoomLoop,
+        noise: NoiseModel::none(),
+        seed: 0,
+    };
+    let kf_cfg = KFusionConfig { volume_resolution: 64, ..Default::default() };
+
+    // Cold: a fresh sequence per evaluation, i.e. every frame re-rendered —
+    // the pre-cache cost of each additional configuration.
+    c.bench_function("native_kfusion_cold_cache_4f", |b| {
+        b.iter(|| {
+            let seq = SyntheticSequence::new(seq_cfg.clone());
+            run_kfusion(&seq, &kf_cfg, 4)
+        })
+    });
+
+    // Warm: the shared sequence all configurations after the first see.
+    let seq = SyntheticSequence::new(seq_cfg);
+    seq.prerender();
+    c.bench_function("native_kfusion_warm_cache_4f", |b| {
+        b.iter(|| run_kfusion(&seq, &kf_cfg, 4))
+    });
+}
+
+criterion_group!(benches, bench_split_finding, bench_pool_predict, bench_native_eval);
+criterion_main!(benches);

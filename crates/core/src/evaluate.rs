@@ -1,9 +1,10 @@
 //! The black-box evaluation interface.
 
-use crate::space::Configuration;
+use crate::space::{Configuration, ParamSpace};
 use rayon::prelude::*;
 use std::collections::HashMap;
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// A black-box objective function: given a configuration, measure (or model)
 /// each objective. All objectives are **minimized**.
@@ -75,24 +76,66 @@ impl<F: Fn(&Configuration) -> Vec<f64> + Sync> Evaluator for FnEvaluator<F> {
     }
 }
 
+/// Cache key: the compact flat index when a [`ParamSpace`] is attached,
+/// otherwise the configuration's choice vector (cheaper than cloning the
+/// whole [`Configuration`], which also carries resolved `f64` values).
+#[derive(PartialEq, Eq, Hash)]
+enum CacheKey {
+    Flat(u64),
+    Choices(Vec<u32>),
+}
+
 /// Memoizing wrapper: caches objective vectors by configuration and counts
 /// the number of *distinct* underlying evaluations. Useful both to avoid
 /// re-running expensive pipelines and to audit an exploration's evaluation
 /// budget in tests.
+///
+/// Concurrency: each key owns a once-cell, so when two threads race on the
+/// same *uncached* configuration the second blocks on the first's result
+/// instead of duplicating the evaluation (in-flight deduplication). The map
+/// lock is held only to look up/insert the cell, never across an inner
+/// evaluation.
 pub struct CachedEvaluator<'a, E: Evaluator> {
     inner: &'a E,
-    cache: Mutex<HashMap<Configuration, Vec<f64>>>,
+    space: Option<&'a ParamSpace>,
+    cache: Mutex<HashMap<CacheKey, Arc<OnceLock<Vec<f64>>>>>,
+    evaluations: AtomicUsize,
 }
 
 impl<'a, E: Evaluator> CachedEvaluator<'a, E> {
-    /// Wrap `inner` with an empty cache.
+    /// Wrap `inner` with an empty cache, keyed by choice vector.
     pub fn new(inner: &'a E) -> Self {
-        CachedEvaluator { inner, cache: Mutex::new(HashMap::new()) }
+        CachedEvaluator {
+            inner,
+            space: None,
+            cache: Mutex::new(HashMap::new()),
+            evaluations: AtomicUsize::new(0),
+        }
     }
 
-    /// Number of distinct configurations evaluated so far.
+    /// Wrap `inner` with an empty cache keyed by the space's flat index —
+    /// no per-key allocation. All evaluated configurations must come from
+    /// `space`.
+    pub fn with_space(inner: &'a E, space: &'a ParamSpace) -> Self {
+        CachedEvaluator {
+            inner,
+            space: Some(space),
+            cache: Mutex::new(HashMap::new()),
+            evaluations: AtomicUsize::new(0),
+        }
+    }
+
+    fn key(&self, config: &Configuration) -> CacheKey {
+        match self.space {
+            Some(space) => CacheKey::Flat(space.flat_index(config)),
+            None => CacheKey::Choices(config.choices().to_vec()),
+        }
+    }
+
+    /// Number of distinct configurations actually evaluated so far (cache
+    /// hits and deduplicated in-flight races don't count).
     pub fn distinct_evaluations(&self) -> usize {
-        self.cache.lock().expect("poisoned").len()
+        self.evaluations.load(Ordering::Relaxed)
     }
 }
 
@@ -104,12 +147,15 @@ impl<E: Evaluator> Evaluator for CachedEvaluator<'_, E> {
         self.inner.objective_names()
     }
     fn evaluate(&self, config: &Configuration) -> Vec<f64> {
-        if let Some(hit) = self.cache.lock().expect("poisoned").get(config) {
-            return hit.clone();
-        }
-        let out = self.inner.evaluate(config);
-        self.cache.lock().expect("poisoned").insert(config.clone(), out.clone());
-        out
+        let cell = {
+            let mut map = self.cache.lock().expect("poisoned");
+            Arc::clone(map.entry(self.key(config)).or_default())
+        };
+        cell.get_or_init(|| {
+            self.evaluations.fetch_add(1, Ordering::Relaxed);
+            self.inner.evaluate(config)
+        })
+        .clone()
     }
 }
 
@@ -175,5 +221,42 @@ mod tests {
         let out = cached.evaluate_batch(&configs);
         assert_eq!(out.len(), 10);
         assert_eq!(cached.distinct_evaluations(), 5);
+    }
+
+    #[test]
+    fn cached_batch_never_duplicates_inner_work() {
+        // Even when the same uncached configuration appears many times in
+        // one parallel batch, the inner evaluator runs exactly once per
+        // distinct configuration (in-flight dedup, not just memoization).
+        let s = space();
+        let calls = AtomicUsize::new(0);
+        let e = FnEvaluator::new(1, |c| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            vec![c.value_f64(0)]
+        });
+        let cached = CachedEvaluator::new(&e);
+        let configs: Vec<_> = (0..64).map(|i| s.config_at(i % 4)).collect();
+        let out = cached.evaluate_batch(&configs);
+        for (i, o) in out.iter().enumerate() {
+            assert_eq!(o, &vec![(i % 4) as f64]);
+        }
+        assert_eq!(calls.load(Ordering::Relaxed), 4, "duplicated inner work");
+        assert_eq!(cached.distinct_evaluations(), 4);
+    }
+
+    #[test]
+    fn with_space_keys_by_flat_index() {
+        let s = space();
+        let calls = AtomicUsize::new(0);
+        let e = FnEvaluator::new(1, |c| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            vec![c.value_f64(0)]
+        });
+        let cached = CachedEvaluator::with_space(&e, &s);
+        assert_eq!(cached.evaluate(&s.config_at(7)), vec![7.0]);
+        assert_eq!(cached.evaluate(&s.config_at(7)), vec![7.0]);
+        assert_eq!(calls.load(Ordering::Relaxed), 1);
+        assert_eq!(cached.distinct_evaluations(), 1);
     }
 }

@@ -6,7 +6,7 @@ use crate::pareto::{hypervolume_2d, pareto_front, pareto_front_2d};
 use crate::space::{Configuration, ParamSpace};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use randforest::{Dataset, ForestConfig, RandomForest};
+use randforest::{CompiledForest, Dataset, ForestConfig, RandomForest};
 use serde::Serialize;
 use std::collections::HashSet;
 
@@ -323,7 +323,12 @@ impl HyperMapper {
         for c in pool {
             self.space.write_features(c, &mut rows);
         }
-        let preds: Vec<Vec<f64>> = forests.iter().map(|f| f.predict_batch(&rows)).collect();
+        // Fuse the per-objective forests into one compiled pool: the pool is
+        // traversed once, scoring each candidate row against every objective
+        // while the row is hot. Predictions are bit-identical to calling
+        // `predict_batch` per forest.
+        let compiled = CompiledForest::compile_multi(&forests.iter().collect::<Vec<_>>());
+        let preds: Vec<Vec<f64>> = compiled.predict_batch_multi(&rows);
 
         let front = if n_obj == 2 {
             let pts: Vec<(f64, f64)> =

@@ -1,0 +1,143 @@
+//! Per-column level binning for histogram split finding.
+//!
+//! DSE training data is ordinal: each feature column holds one of a handful
+//! of distinct parameter values. [`BinnedDataset`] indexes every column once
+//! — sorted unique values ("levels") plus a per-row code into that level
+//! table — so split finding can replace its per-node `O(n log n)` sort with
+//! a stable counting sort by code, `O(n + levels)`.
+//!
+//! Binning is exact, not approximate: levels are the distinct `f64` values
+//! themselves, and a stable counting sort by code yields the *same row
+//! permutation* as the stable comparison sort it replaces. Split scores and
+//! thresholds are therefore bit-for-bit identical between the two paths
+//! (asserted by `tests/properties.rs`).
+
+use crate::dataset::Dataset;
+
+/// Sorted unique levels and per-row codes for every feature column.
+///
+/// Built once per forest fit and shared read-only by all trees; codes are a
+/// property of the dataset rows, so bootstrap resampling does not invalidate
+/// them.
+#[derive(Debug, Clone)]
+pub struct BinnedDataset {
+    n_rows: usize,
+    /// Per feature: distinct column values, ascending.
+    levels: Vec<Vec<f64>>,
+    /// Per feature: `codes[f][row]` indexes into `levels[f]`.
+    codes: Vec<Vec<u32>>,
+    /// Largest level count across features (scratch sizing).
+    max_levels: usize,
+}
+
+impl BinnedDataset {
+    /// Index every column of `data`. `O(n_features · n log n)`, done once.
+    pub fn new(data: &Dataset) -> Self {
+        let n = data.len();
+        let n_features = data.n_features();
+        let mut levels = Vec::with_capacity(n_features);
+        let mut codes = Vec::with_capacity(n_features);
+        let mut max_levels = 0;
+        let mut column: Vec<f64> = Vec::with_capacity(n);
+
+        for f in 0..n_features {
+            column.clear();
+            column.extend((0..n).map(|i| data.feature(i, f)));
+            let mut lv = column.clone();
+            lv.sort_by(|a, b| a.partial_cmp(b).expect("finite features"));
+            lv.dedup();
+            assert!(lv.len() <= u32::MAX as usize, "feature column too wide to code");
+            let code: Vec<u32> = column
+                .iter()
+                .map(|v| lv.partition_point(|l| l < v) as u32)
+                .collect();
+            max_levels = max_levels.max(lv.len());
+            levels.push(lv);
+            codes.push(code);
+        }
+
+        BinnedDataset { n_rows: n, levels, codes, max_levels }
+    }
+
+    /// Number of rows the codes were built for.
+    #[inline]
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Number of feature columns.
+    #[inline]
+    pub fn n_features(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Distinct values of feature `f`, ascending.
+    #[inline]
+    pub fn levels(&self, f: usize) -> &[f64] {
+        &self.levels[f]
+    }
+
+    /// Number of distinct values in feature `f`.
+    #[inline]
+    pub fn n_levels(&self, f: usize) -> usize {
+        self.levels[f].len()
+    }
+
+    /// Level code of feature `f` at dataset row `row`.
+    #[inline]
+    pub fn code(&self, f: usize, row: usize) -> u32 {
+        self.codes[f][row]
+    }
+
+    /// Largest level count over all features (sizes counting-sort scratch).
+    #[inline]
+    pub fn max_levels(&self) -> usize {
+        self.max_levels
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn data() -> Dataset {
+        let mut d = Dataset::new(2);
+        d.push_row(&[3.0, 1.0], 0.0);
+        d.push_row(&[1.0, 1.0], 1.0);
+        d.push_row(&[3.0, 2.0], 2.0);
+        d.push_row(&[2.0, 1.0], 3.0);
+        d
+    }
+
+    #[test]
+    fn levels_are_sorted_unique() {
+        let b = BinnedDataset::new(&data());
+        assert_eq!(b.levels(0), &[1.0, 2.0, 3.0]);
+        assert_eq!(b.levels(1), &[1.0, 2.0]);
+        assert_eq!(b.n_levels(0), 3);
+        assert_eq!(b.max_levels(), 3);
+    }
+
+    #[test]
+    fn codes_round_trip_to_values() {
+        let d = data();
+        let b = BinnedDataset::new(&d);
+        for f in 0..d.n_features() {
+            for i in 0..d.len() {
+                let code = b.code(f, i) as usize;
+                assert_eq!(b.levels(f)[code], d.feature(i, f));
+            }
+        }
+    }
+
+    #[test]
+    fn constant_column_single_level() {
+        let mut d = Dataset::new(1);
+        for _ in 0..5 {
+            d.push_row(&[7.5], 0.0);
+        }
+        let b = BinnedDataset::new(&d);
+        assert_eq!(b.levels(0), &[7.5]);
+        assert!((0..5).all(|i| b.code(0, i) == 0));
+    }
+}

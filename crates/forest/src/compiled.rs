@@ -1,0 +1,328 @@
+//! Compiled forests: flat structure-of-arrays tree pools for fast batch
+//! prediction.
+//!
+//! A fitted [`RandomForest`](crate::RandomForest) stores each tree as a
+//! `Vec` of enum nodes; prediction pattern-matches and pointer-chases per
+//! node. [`CompiledForest`] flattens every tree of one *or several* forests
+//! into three contiguous arrays — feature index, threshold, right-child —
+//! sharing one allocation, so traversal is a branch on a sentinel plus an
+//! index update. Because the fit arena is laid out parent-first with the
+//! left subtree immediately following its parent, the flattening is a plain
+//! copy and the left child is always `node + 1`.
+//!
+//! Prediction is **bit-for-bit identical** to the source forest(s): leaves
+//! hold the same values, traversal takes the same branches, and per-output
+//! tree sums accumulate in the same ensemble order (asserted by
+//! `tests/properties.rs`).
+//!
+//! The multi-output form fuses the per-objective surrogates of a
+//! HyperMapper run into one pool so a candidate row is loaded once and
+//! scored against every objective while it is hot in cache.
+
+use crate::forest::RandomForest;
+use crate::tree::Node;
+use rayon::prelude::*;
+
+/// Sentinel in the `feature` array marking a leaf node.
+const LEAF: u32 = u32::MAX;
+
+/// One or more random forests flattened into a shared SoA node pool.
+#[derive(Debug, Clone)]
+pub struct CompiledForest {
+    n_features: usize,
+    /// Split feature per node; [`LEAF`] marks a leaf.
+    feature: Vec<u32>,
+    /// Split threshold per node; holds the prediction value at leaves.
+    threshold: Vec<f64>,
+    /// Absolute pool index of the right child (left child is `node + 1`);
+    /// unused at leaves.
+    right: Vec<u32>,
+    /// Root pool index of every tree, all outputs concatenated.
+    roots: Vec<u32>,
+    /// Per output: `[start, end)` range into `roots`.
+    output_trees: Vec<(u32, u32)>,
+}
+
+impl CompiledForest {
+    /// Compile a single forest. `predict`/`predict_batch` then match the
+    /// source forest exactly.
+    pub fn compile(forest: &RandomForest) -> Self {
+        Self::compile_multi(&[forest])
+    }
+
+    /// Compile several forests (one per objective) into a fused pool.
+    /// Output `k` reproduces `forests[k]` exactly.
+    ///
+    /// # Panics
+    /// If `forests` is empty or the forests disagree on feature width.
+    pub fn compile_multi(forests: &[&RandomForest]) -> Self {
+        assert!(!forests.is_empty(), "nothing to compile");
+        let n_features = forests[0].n_features();
+        let total_nodes: usize = forests
+            .iter()
+            .flat_map(|f| f.trees())
+            .map(|t| t.n_nodes())
+            .sum();
+        let total_trees: usize = forests.iter().map(|f| f.n_trees()).sum();
+        assert!(total_nodes < LEAF as usize, "forest too large to compile");
+
+        let mut compiled = CompiledForest {
+            n_features,
+            feature: Vec::with_capacity(total_nodes),
+            threshold: Vec::with_capacity(total_nodes),
+            right: Vec::with_capacity(total_nodes),
+            roots: Vec::with_capacity(total_trees),
+            output_trees: Vec::with_capacity(forests.len()),
+        };
+
+        for forest in forests {
+            assert_eq!(forest.n_features(), n_features, "feature width mismatch");
+            let first_tree = compiled.roots.len() as u32;
+            for tree in forest.trees() {
+                let base = compiled.feature.len() as u32;
+                compiled.roots.push(base);
+                for (i, node) in tree.nodes().iter().enumerate() {
+                    match node {
+                        Node::Leaf { value, .. } => {
+                            compiled.feature.push(LEAF);
+                            compiled.threshold.push(*value);
+                            compiled.right.push(0);
+                        }
+                        Node::Split { feature, threshold, left, right } => {
+                            debug_assert_eq!(
+                                *left as usize,
+                                i + 1,
+                                "fit arena must keep left children adjacent"
+                            );
+                            compiled.feature.push(*feature);
+                            compiled.threshold.push(*threshold);
+                            compiled.right.push(base + *right);
+                        }
+                    }
+                }
+            }
+            compiled.output_trees.push((first_tree, compiled.roots.len() as u32));
+        }
+        compiled
+    }
+
+    /// Walk one tree for one row.
+    #[inline]
+    fn predict_tree(&self, root: u32, row: &[f64]) -> f64 {
+        let mut i = root as usize;
+        loop {
+            let f = self.feature[i];
+            if f == LEAF {
+                return self.threshold[i];
+            }
+            i = if row[f as usize] < self.threshold[i] {
+                i + 1
+            } else {
+                self.right[i] as usize
+            };
+        }
+    }
+
+    /// Mean prediction of output `k` for one row; tree sums accumulate in
+    /// ensemble order, matching `RandomForest::predict` bit for bit.
+    #[inline]
+    fn predict_output(&self, k: usize, row: &[f64]) -> f64 {
+        let (start, end) = self.output_trees[k];
+        let roots = &self.roots[start as usize..end as usize];
+        let sum: f64 = roots.iter().map(|&r| self.predict_tree(r, row)).sum();
+        sum / roots.len() as f64
+    }
+
+    /// Prediction of the first (or only) output for one row.
+    ///
+    /// # Panics
+    /// If `row.len() != n_features`.
+    pub fn predict(&self, row: &[f64]) -> f64 {
+        assert_eq!(row.len(), self.n_features, "feature width mismatch");
+        self.predict_output(0, row)
+    }
+
+    /// All outputs for one row, written into `out`.
+    ///
+    /// # Panics
+    /// If `row.len() != n_features` or `out.len() != n_outputs`.
+    pub fn predict_into(&self, row: &[f64], out: &mut [f64]) {
+        assert_eq!(row.len(), self.n_features, "feature width mismatch");
+        assert_eq!(out.len(), self.output_trees.len(), "output width mismatch");
+        for (k, slot) in out.iter_mut().enumerate() {
+            *slot = self.predict_output(k, row);
+        }
+    }
+
+    /// Score every tree of output `k` against a block of rows, accumulating
+    /// into `acc` (stride 1). Trees iterate in the outer loop so each tree's
+    /// nodes stay cache-hot across the whole block; each row still sums its
+    /// trees in ensemble order, so the result is bit-identical to the
+    /// row-at-a-time loop.
+    fn accumulate_block(&self, k: usize, rows: &[f64], acc: &mut [f64], stride: usize) {
+        let (start, end) = self.output_trees[k];
+        let roots = &self.roots[start as usize..end as usize];
+        for &root in roots {
+            for (row, slot) in rows.chunks_exact(self.n_features).zip(acc.iter_mut().step_by(stride))
+            {
+                *slot += self.predict_tree(root, row);
+            }
+        }
+        // Divide rather than multiply by a precomputed reciprocal: `x * (1/n)`
+        // can differ from `x / n` in the last ulp, and parity with
+        // `predict_output` must be exact.
+        for slot in acc.iter_mut().step_by(stride) {
+            *slot /= roots.len() as f64;
+        }
+    }
+
+    /// Rows per parallel work unit: large enough to amortize the per-block
+    /// tree sweep, small enough to load-balance and keep accumulators in L1.
+    const BLOCK_ROWS: usize = 256;
+
+    /// First-output predictions for a flat row-major `n × n_features` batch,
+    /// in parallel, order-preserving.
+    pub fn predict_batch(&self, rows: &[f64]) -> Vec<f64> {
+        assert_eq!(rows.len() % self.n_features, 0, "ragged batch");
+        let n_rows = rows.len() / self.n_features;
+        let mut out = vec![0.0f64; n_rows];
+        rows.par_chunks(self.n_features * Self::BLOCK_ROWS)
+            .zip(out.par_chunks_mut(Self::BLOCK_ROWS))
+            .for_each(|(rblock, oblock)| self.accumulate_block(0, rblock, oblock, 1));
+        out
+    }
+
+    /// All outputs for a flat row-major batch: one parallel pass over the
+    /// fused pool, blocked so each tree streams a whole block of rows.
+    /// Returns one `Vec` per output (`result[k][i]` = output `k`, row `i`).
+    pub fn predict_batch_multi(&self, rows: &[f64]) -> Vec<Vec<f64>> {
+        assert_eq!(rows.len() % self.n_features, 0, "ragged batch");
+        let n_rows = rows.len() / self.n_features;
+        let n_out = self.output_trees.len();
+
+        // Row-major scratch filled blockwise in parallel, then transposed.
+        let mut flat = vec![0.0f64; n_rows * n_out];
+        rows.par_chunks(self.n_features * Self::BLOCK_ROWS)
+            .zip(flat.par_chunks_mut(n_out * Self::BLOCK_ROWS))
+            .for_each(|(rblock, oblock)| {
+                for k in 0..n_out {
+                    self.accumulate_block(k, rblock, &mut oblock[k..], n_out);
+                }
+            });
+
+        (0..n_out)
+            .map(|k| (0..n_rows).map(|i| flat[i * n_out + k]).collect())
+            .collect()
+    }
+
+    /// Feature width expected by `predict`.
+    pub fn n_features(&self) -> usize {
+        self.n_features
+    }
+
+    /// Number of compiled outputs (source forests).
+    pub fn n_outputs(&self) -> usize {
+        self.output_trees.len()
+    }
+
+    /// Trees compiled for output `k`.
+    pub fn n_trees(&self, k: usize) -> usize {
+        let (start, end) = self.output_trees[k];
+        (end - start) as usize
+    }
+
+    /// Total nodes in the pool across all outputs.
+    pub fn n_nodes(&self) -> usize {
+        self.feature.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::Dataset;
+    use crate::forest::ForestConfig;
+
+    fn data(seed: u64) -> Dataset {
+        let mut d = Dataset::new(3);
+        for i in 0..240u64 {
+            let x = ((i * 7 + seed) % 19) as f64 * 0.4;
+            let y = ((i * 13) % 11) as f64;
+            let z = (i % 5) as f64;
+            d.push_row(&[x, y, z], x * 2.0 - y + (z * 0.9).sin());
+        }
+        d
+    }
+
+    fn probe_rows(n: usize) -> Vec<f64> {
+        (0..n)
+            .flat_map(|i| {
+                [
+                    (i % 23) as f64 * 0.3,
+                    (i % 7) as f64 * 1.1,
+                    (i % 4) as f64,
+                ]
+            })
+            .collect()
+    }
+
+    #[test]
+    fn single_forest_matches_exactly() {
+        let d = data(0);
+        let f = RandomForest::fit(&d, &ForestConfig { n_trees: 25, seed: 3, ..Default::default() });
+        let c = CompiledForest::compile(&f);
+        assert_eq!(c.n_outputs(), 1);
+        assert_eq!(c.n_trees(0), 25);
+        let rows = probe_rows(64);
+        for row in rows.chunks(3) {
+            assert_eq!(c.predict(row), f.predict(row));
+        }
+        assert_eq!(c.predict_batch(&rows), f.predict_batch(&rows));
+    }
+
+    #[test]
+    fn multi_output_matches_each_source() {
+        let d1 = data(1);
+        let d2 = data(2);
+        let f1 = RandomForest::fit(&d1, &ForestConfig { n_trees: 12, seed: 5, ..Default::default() });
+        let f2 = RandomForest::fit(&d2, &ForestConfig { n_trees: 18, seed: 9, ..Default::default() });
+        let c = CompiledForest::compile_multi(&[&f1, &f2]);
+        assert_eq!(c.n_outputs(), 2);
+        assert_eq!((c.n_trees(0), c.n_trees(1)), (12, 18));
+
+        let rows = probe_rows(50);
+        let preds = c.predict_batch_multi(&rows);
+        assert_eq!(preds[0], f1.predict_batch(&rows));
+        assert_eq!(preds[1], f2.predict_batch(&rows));
+
+        let mut out = [0.0; 2];
+        c.predict_into(&rows[0..3], &mut out);
+        assert_eq!(out[0], f1.predict(&rows[0..3]));
+        assert_eq!(out[1], f2.predict(&rows[0..3]));
+    }
+
+    #[test]
+    fn single_leaf_trees_compile() {
+        // Constant target → every tree is a single leaf.
+        let mut d = Dataset::new(1);
+        for i in 0..30 {
+            d.push_row(&[i as f64], 4.0);
+        }
+        let f = RandomForest::fit(&d, &ForestConfig { n_trees: 5, seed: 1, ..Default::default() });
+        let c = CompiledForest::compile(&f);
+        assert_eq!(c.predict(&[2.0]), 4.0);
+        assert_eq!(c.n_nodes(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "feature width mismatch")]
+    fn mismatched_widths_panic() {
+        let f1 = RandomForest::fit(&data(0), &ForestConfig { n_trees: 2, ..Default::default() });
+        let mut d = Dataset::new(1);
+        for i in 0..20 {
+            d.push_row(&[i as f64], i as f64);
+        }
+        let f2 = RandomForest::fit(&d, &ForestConfig { n_trees: 2, ..Default::default() });
+        CompiledForest::compile_multi(&[&f1, &f2]);
+    }
+}

@@ -1,7 +1,8 @@
 //! Bagged ensembles of regression trees.
 
+use crate::binning::BinnedDataset;
 use crate::dataset::Dataset;
-use crate::tree::{RegressionTree, TreeConfig};
+use crate::tree::{RegressionTree, SplitMethod, TreeConfig};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rayon::prelude::*;
@@ -64,6 +65,14 @@ impl RandomForest {
         }
         let sample_size = ((n as f64 * config.bootstrap_fraction).round() as usize).clamp(1, n * 4);
 
+        // Level codes are a property of the dataset rows, not of any one
+        // bootstrap resample, so one binning pass serves every tree. Trees
+        // fitted with bins are bit-for-bit identical to unbinned fits.
+        let bins = match tree_cfg.split {
+            SplitMethod::Exact => None,
+            SplitMethod::Histogram | SplitMethod::Auto => Some(BinnedDataset::new(data)),
+        };
+
         let fitted: Vec<(RegressionTree, Vec<u32>)> = (0..config.n_trees)
             .into_par_iter()
             .map(|t| {
@@ -79,7 +88,10 @@ impl RandomForest {
                     in_bag[i] = true;
                     indices.push(i);
                 }
-                let tree = RegressionTree::fit(data, &indices, &tree_cfg, &mut rng);
+                let tree = match &bins {
+                    Some(b) => RegressionTree::fit_binned(data, b, &indices, &tree_cfg, &mut rng),
+                    None => RegressionTree::fit(data, &indices, &tree_cfg, &mut rng),
+                };
                 let oob: Vec<u32> = (0..n as u32).filter(|&i| !in_bag[i as usize]).collect();
                 (tree, oob)
             })
@@ -171,33 +183,43 @@ impl RandomForest {
     /// Permutation importance: the increase in RMSE on `data` when feature
     /// `f`'s column is shuffled, averaged over `repeats` shuffles.
     /// More expensive but less biased than impurity importance.
+    ///
+    /// Features are scored in parallel; each draws its own RNG stream from
+    /// `seed`, so the result is deterministic regardless of scheduling.
     pub fn permutation_importance(&self, data: &Dataset, repeats: usize, seed: u64) -> Vec<f64> {
         let n = data.len();
         let base = self.rmse_on(data);
-        let mut rng = StdRng::seed_from_u64(seed);
-        let mut importance = vec![0.0; self.n_features];
-        let mut row_buf = vec![0.0f64; self.n_features];
-        for f in 0..self.n_features {
-            let mut delta = 0.0;
-            for _ in 0..repeats.max(1) {
-                // Fisher–Yates permutation of row order for column f.
-                let mut perm: Vec<usize> = (0..n).collect();
-                for i in (1..n).rev() {
-                    let j = rng.gen_range(0..=i);
-                    perm.swap(i, j);
+        let repeats = repeats.max(1);
+        (0..self.n_features)
+            .into_par_iter()
+            .map(|f| {
+                // splitmix-style decorrelation, matching the per-tree seeds
+                let feat_seed =
+                    seed.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(f as u64 + 1));
+                let mut rng = StdRng::seed_from_u64(feat_seed);
+                let mut row_buf = vec![0.0f64; self.n_features];
+                let mut perm: Vec<usize> = Vec::with_capacity(n);
+                let mut delta = 0.0;
+                for _ in 0..repeats {
+                    // Fisher–Yates permutation of row order for column f.
+                    perm.clear();
+                    perm.extend(0..n);
+                    for i in (1..n).rev() {
+                        let j = rng.gen_range(0..=i);
+                        perm.swap(i, j);
+                    }
+                    let mut se = 0.0;
+                    for i in 0..n {
+                        row_buf.copy_from_slice(data.row(i));
+                        row_buf[f] = data.feature(perm[i], f);
+                        let d = self.predict(&row_buf) - data.target(i);
+                        se += d * d;
+                    }
+                    delta += (se / n as f64).sqrt() - base;
                 }
-                let mut se = 0.0;
-                for i in 0..n {
-                    row_buf.copy_from_slice(data.row(i));
-                    row_buf[f] = data.feature(perm[i], f);
-                    let d = self.predict(&row_buf) - data.target(i);
-                    se += d * d;
-                }
-                delta += (se / n as f64).sqrt() - base;
-            }
-            importance[f] = (delta / repeats.max(1) as f64).max(0.0);
-        }
-        importance
+                (delta / repeats as f64).max(0.0)
+            })
+            .collect()
     }
 
     /// Training-set RMSE (optimistic; prefer [`RandomForest::oob_rmse`]).
@@ -218,6 +240,11 @@ impl RandomForest {
     /// Number of trees.
     pub fn n_trees(&self) -> usize {
         self.trees.len()
+    }
+
+    /// Fitted trees in ensemble order (for compilation).
+    pub(crate) fn trees(&self) -> &[RegressionTree] {
+        &self.trees
     }
 
     /// Feature width expected by `predict`.
@@ -350,6 +377,16 @@ mod tests {
 
         let pimp = f.permutation_importance(&d, 2, 4);
         assert!(pimp[1] > pimp[0] && pimp[1] > pimp[2], "perm importance {pimp:?}");
+    }
+
+    #[test]
+    fn permutation_importance_deterministic_per_seed() {
+        let d = linear_data(120);
+        let f = RandomForest::fit(&d, &ForestConfig { n_trees: 10, seed: 6, ..Default::default() });
+        // Same seed → bitwise-identical scores (per-feature RNG streams make
+        // this independent of parallel scheduling); different seed → new draw.
+        assert_eq!(f.permutation_importance(&d, 3, 42), f.permutation_importance(&d, 3, 42));
+        assert_ne!(f.permutation_importance(&d, 3, 42), f.permutation_importance(&d, 3, 43));
     }
 
     #[test]

@@ -32,10 +32,14 @@
 //! assert!((pred - 5.3).abs() < 1.0);
 //! ```
 
+pub mod binning;
+pub mod compiled;
 pub mod dataset;
 pub mod forest;
 pub mod tree;
 
+pub use binning::BinnedDataset;
+pub use compiled::CompiledForest;
 pub use dataset::Dataset;
 pub use forest::{ForestConfig, RandomForest};
-pub use tree::{RegressionTree, TreeConfig};
+pub use tree::{RegressionTree, SplitMethod, TreeConfig};

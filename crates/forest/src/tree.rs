@@ -1,8 +1,30 @@
 //! CART regression trees.
 
+use crate::binning::BinnedDataset;
 use crate::dataset::Dataset;
 use rand::seq::SliceRandom;
 use rand::Rng;
+
+/// How `find_best_split` orders the rows of a candidate feature.
+///
+/// Both methods produce **bit-for-bit identical trees**: the histogram path
+/// replays the stable comparison sort as a stable counting sort by level
+/// code, so the prefix scan sees the same rows in the same order and every
+/// floating-point operation is unchanged. The choice is purely about cost:
+/// sorting is `O(n log n)` per node per feature, the counting sort is
+/// `O(n + levels)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SplitMethod {
+    /// Always sort `(value, target)` pairs per node (the classic path).
+    Exact,
+    /// Always counting-sort by precomputed level codes. Requires a
+    /// [`BinnedDataset`]; falls back to `Exact` when fitting without one.
+    Histogram,
+    /// Per node per feature, pick whichever is cheaper: histogram while the
+    /// column's level count is small relative to the node, else sort.
+    #[default]
+    Auto,
+}
 
 /// Hyper-parameters for a single regression tree.
 #[derive(Debug, Clone, PartialEq)]
@@ -16,6 +38,8 @@ pub struct TreeConfig {
     /// Number of candidate features examined per split (`mtry`). Clamped to
     /// the dataset width at fit time; 0 means "use all features".
     pub mtry: usize,
+    /// Split-finding strategy; affects speed only, never the fitted tree.
+    pub split: SplitMethod,
 }
 
 impl Default for TreeConfig {
@@ -25,13 +49,14 @@ impl Default for TreeConfig {
             min_samples_split: 4,
             min_samples_leaf: 2,
             mtry: 0,
+            split: SplitMethod::default(),
         }
     }
 }
 
 /// Arena node of a fitted tree.
 #[derive(Debug, Clone)]
-enum Node {
+pub(crate) enum Node {
     /// Internal split: rows with `feature < threshold` go left.
     Split {
         feature: u32,
@@ -60,12 +85,20 @@ pub struct RegressionTree {
 /// Scratch buffers reused across nodes during fitting.
 struct FitCtx<'a, R: Rng> {
     data: &'a Dataset,
+    /// Level codes for the histogram path; `None` forces the sort path.
+    bins: Option<&'a BinnedDataset>,
     config: &'a TreeConfig,
     rng: &'a mut R,
     /// Candidate feature indices, reshuffled per split.
     feature_pool: Vec<usize>,
     /// (feature value, target) pairs sorted per candidate feature.
     sort_buf: Vec<(f64, f64)>,
+    /// (level code, target) pairs in counting-sorted order.
+    code_buf: Vec<(u32, f64)>,
+    /// Counting-sort occupancy per level; all-zero between uses.
+    counts: Vec<u32>,
+    /// Counting-sort write cursors per level; fully rewritten per use.
+    starts: Vec<u32>,
 }
 
 struct BestSplit {
@@ -86,6 +119,32 @@ impl RegressionTree {
         config: &TreeConfig,
         rng: &mut R,
     ) -> RegressionTree {
+        Self::fit_impl(data, None, indices, config, rng)
+    }
+
+    /// Like [`RegressionTree::fit`], but with precomputed level codes so the
+    /// histogram split path is available. The fitted tree is bit-for-bit
+    /// identical to the unbinned fit; `bins` only changes the cost of
+    /// finding each split. `bins` must have been built from this `data`.
+    pub fn fit_binned<R: Rng>(
+        data: &Dataset,
+        bins: &BinnedDataset,
+        indices: &[usize],
+        config: &TreeConfig,
+        rng: &mut R,
+    ) -> RegressionTree {
+        assert_eq!(bins.n_rows(), data.len(), "bins built from a different dataset");
+        assert_eq!(bins.n_features(), data.n_features(), "bins width mismatch");
+        Self::fit_impl(data, Some(bins), indices, config, rng)
+    }
+
+    fn fit_impl<R: Rng>(
+        data: &Dataset,
+        bins: Option<&BinnedDataset>,
+        indices: &[usize],
+        config: &TreeConfig,
+        rng: &mut R,
+    ) -> RegressionTree {
         assert!(!indices.is_empty(), "cannot fit a tree on zero rows");
         let n_features = data.n_features();
         let mut tree = RegressionTree {
@@ -93,12 +152,17 @@ impl RegressionTree {
             n_features,
             importance: vec![0.0; n_features],
         };
+        let scratch_levels = bins.map_or(0, BinnedDataset::max_levels);
         let mut ctx = FitCtx {
             data,
+            bins,
             config,
             rng,
             feature_pool: (0..n_features).collect(),
             sort_buf: Vec::new(),
+            code_buf: Vec::new(),
+            counts: vec![0; scratch_levels],
+            starts: vec![0; scratch_levels],
         };
         let mut idx = indices.to_vec();
         tree.build(&mut ctx, &mut idx, 0);
@@ -157,6 +221,11 @@ impl RegressionTree {
     }
 
     /// Scan a random subset of features for the variance-minimizing split.
+    ///
+    /// Each candidate column is ordered ascending by feature value either by
+    /// a stable comparison sort ([`SplitMethod::Exact`]) or a stable counting
+    /// sort over precomputed level codes ([`SplitMethod::Histogram`]); both
+    /// yield the same permutation, so the downstream scan is identical.
     fn find_best_split<R: Rng>(
         &self,
         ctx: &mut FitCtx<'_, R>,
@@ -177,54 +246,99 @@ impl RegressionTree {
         let mut best: Option<BestSplit> = None;
 
         for feature in candidates {
-            let buf = &mut ctx.sort_buf;
-            buf.clear();
-            buf.extend(
-                indices
-                    .iter()
-                    .map(|&i| (ctx.data.feature(i, feature), ctx.data.target(i))),
-            );
-            buf.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite features"));
-
-            // Prefix scan: for split after position k (left = 0..=k), the
-            // weighted variance is computable from sums of y and y².
-            let total_sum: f64 = buf.iter().map(|p| p.1).sum();
-            let total_sq: f64 = buf.iter().map(|p| p.1 * p.1).sum();
-            let mut left_sum = 0.0;
-            let mut left_sq = 0.0;
-            for k in 0..n - 1 {
-                left_sum += buf[k].1;
-                left_sq += buf[k].1 * buf[k].1;
-                let n_left = k + 1;
-                let n_right = n - n_left;
-                if n_left < min_leaf {
-                    continue;
-                }
-                if n_right < min_leaf {
-                    break;
-                }
-                // Can't split between equal feature values.
-                if buf[k].0 == buf[k + 1].0 {
-                    continue;
-                }
-                let right_sum = total_sum - left_sum;
-                let right_sq = total_sq - left_sq;
-                let var_left = left_sq / n_left as f64 - (left_sum / n_left as f64).powi(2);
-                let var_right = right_sq / n_right as f64 - (right_sum / n_right as f64).powi(2);
-                let weighted =
-                    (n_left as f64 * var_left + n_right as f64 * var_right) / n as f64;
-                let score = parent_var - weighted;
-                if score > 1e-15 && best.as_ref().is_none_or(|b| score > b.score) {
-                    // Midpoint threshold is the CART convention.
-                    best = Some(BestSplit {
-                        feature,
-                        threshold: 0.5 * (buf[k].0 + buf[k + 1].0),
-                        score,
-                    });
+            let use_hist = match (ctx.config.split, ctx.bins) {
+                (SplitMethod::Exact, _) | (_, None) => false,
+                (SplitMethod::Histogram, Some(_)) => true,
+                // The counting sort pays O(levels) per node; only worth it
+                // while the level table is not much larger than the node.
+                (SplitMethod::Auto, Some(b)) => b.n_levels(feature) <= 2 * n + 64,
+            };
+            let found = if use_hist {
+                Self::best_split_histogram(ctx, indices, feature, parent_var, min_leaf)
+            } else {
+                Self::best_split_sorted(ctx, indices, feature, parent_var, min_leaf)
+            };
+            if let Some((threshold, score)) = found {
+                if best.as_ref().is_none_or(|b| score > b.score) {
+                    best = Some(BestSplit { feature, threshold, score });
                 }
             }
         }
         best
+    }
+
+    /// Sort-based column scan: `O(n log n)` per node.
+    fn best_split_sorted<R: Rng>(
+        ctx: &mut FitCtx<'_, R>,
+        indices: &[usize],
+        feature: usize,
+        parent_var: f64,
+        min_leaf: usize,
+    ) -> Option<(f64, f64)> {
+        let buf = &mut ctx.sort_buf;
+        buf.clear();
+        buf.extend(
+            indices
+                .iter()
+                .map(|&i| (ctx.data.feature(i, feature), ctx.data.target(i))),
+        );
+        buf.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite features"));
+        scan_sorted_column(
+            parent_var,
+            min_leaf,
+            buf.len(),
+            |k| buf[k].1,
+            |k| buf[k].0 == buf[k + 1].0,
+            // Midpoint threshold is the CART convention.
+            |k| 0.5 * (buf[k].0 + buf[k + 1].0),
+        )
+    }
+
+    /// Histogram column scan: stable counting sort by level code, then the
+    /// same prefix scan — `O(n + levels)` per node.
+    fn best_split_histogram<R: Rng>(
+        ctx: &mut FitCtx<'_, R>,
+        indices: &[usize],
+        feature: usize,
+        parent_var: f64,
+        min_leaf: usize,
+    ) -> Option<(f64, f64)> {
+        let bins = ctx.bins.expect("histogram path requires bins");
+        let n_levels = bins.n_levels(feature);
+        let levels = bins.levels(feature);
+
+        // Occupancy per level among this node's rows.
+        for &i in indices {
+            ctx.counts[bins.code(feature, i) as usize] += 1;
+        }
+        // Exclusive prefix sum into write cursors; zeroes `counts` back in
+        // the same pass, restoring the all-zero invariant.
+        let mut running = 0u32;
+        for l in 0..n_levels {
+            ctx.starts[l] = running;
+            running += ctx.counts[l];
+            ctx.counts[l] = 0;
+        }
+        // Stable placement: rows stay in node order within a level, which is
+        // exactly the permutation the stable comparison sort produces.
+        let buf = &mut ctx.code_buf;
+        buf.clear();
+        buf.resize(indices.len(), (0, 0.0));
+        for &i in indices {
+            let code = bins.code(feature, i);
+            let slot = ctx.starts[code as usize];
+            buf[slot as usize] = (code, ctx.data.target(i));
+            ctx.starts[code as usize] = slot + 1;
+        }
+
+        scan_sorted_column(
+            parent_var,
+            min_leaf,
+            buf.len(),
+            |k| buf[k].1,
+            |k| buf[k].0 == buf[k + 1].0,
+            |k| 0.5 * (levels[buf[k].0 as usize] + levels[buf[k + 1].0 as usize]),
+        )
     }
 
     /// Predict the target for one feature row.
@@ -251,6 +365,12 @@ impl RegressionTree {
     /// Number of arena nodes.
     pub fn n_nodes(&self) -> usize {
         self.nodes.len()
+    }
+
+    /// Arena nodes in build order: each split's left child sits at the next
+    /// slot, right children are explicit (relied on by `CompiledForest`).
+    pub(crate) fn nodes(&self) -> &[Node] {
+        &self.nodes
     }
 
     /// Number of leaves.
@@ -289,6 +409,63 @@ impl RegressionTree {
     pub fn feature_importance(&self) -> &[f64] {
         &self.importance
     }
+}
+
+/// Prefix scan over one candidate column already ordered ascending by
+/// feature value: for a split after position `k` (left = rows `0..=k`), the
+/// weighted child variance is computable from running sums of `y` and `y²`.
+/// Returns the best `(threshold, score)` under strictly-greater/first-wins
+/// tie-breaking, or `None` when no split clears the score floor.
+///
+/// The accessors keep the two split paths on the same floating-point
+/// sequence: `target_at(k)` is the k-th target in sorted order,
+/// `next_equal(k)` tells whether positions `k` and `k + 1` hold the same
+/// feature value, and `midpoint(k)` is the CART threshold between them.
+fn scan_sorted_column(
+    parent_var: f64,
+    min_leaf: usize,
+    n: usize,
+    target_at: impl Fn(usize) -> f64,
+    next_equal: impl Fn(usize) -> bool,
+    midpoint: impl Fn(usize) -> f64,
+) -> Option<(f64, f64)> {
+    let total_sum: f64 = (0..n).map(&target_at).sum();
+    let total_sq: f64 = (0..n)
+        .map(|k| {
+            let t = target_at(k);
+            t * t
+        })
+        .sum();
+    let mut left_sum = 0.0;
+    let mut left_sq = 0.0;
+    let mut best: Option<(f64, f64)> = None;
+    for k in 0..n - 1 {
+        let t = target_at(k);
+        left_sum += t;
+        left_sq += t * t;
+        let n_left = k + 1;
+        let n_right = n - n_left;
+        if n_left < min_leaf {
+            continue;
+        }
+        if n_right < min_leaf {
+            break;
+        }
+        // Can't split between equal feature values.
+        if next_equal(k) {
+            continue;
+        }
+        let right_sum = total_sum - left_sum;
+        let right_sq = total_sq - left_sq;
+        let var_left = left_sq / n_left as f64 - (left_sum / n_left as f64).powi(2);
+        let var_right = right_sq / n_right as f64 - (right_sum / n_right as f64).powi(2);
+        let weighted = (n_left as f64 * var_left + n_right as f64 * var_right) / n as f64;
+        let score = parent_var - weighted;
+        if score > 1e-15 && best.is_none_or(|(_, s)| score > s) {
+            best = Some((midpoint(k), score));
+        }
+    }
+    best
 }
 
 /// Mean and population variance of the targets at `indices`.

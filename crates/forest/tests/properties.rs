@@ -1,7 +1,9 @@
 //! Property-based tests for the random forest.
 
 use proptest::prelude::*;
-use randforest::{Dataset, ForestConfig, RandomForest, RegressionTree, TreeConfig};
+use randforest::{
+    CompiledForest, Dataset, ForestConfig, RandomForest, RegressionTree, SplitMethod, TreeConfig,
+};
 
 /// Build a dataset from proptest-generated rows.
 fn dataset_from(rows: &[(Vec<f64>, f64)], width: usize) -> Dataset {
@@ -87,5 +89,78 @@ proptest! {
         let (mean, spread) = f.predict_with_spread(&probe);
         prop_assert!((mean - f.predict(&probe)).abs() < 1e-9);
         prop_assert!(spread >= 0.0);
+    }
+
+    /// Compiled forests reproduce the pointer-chasing forest bit for bit:
+    /// single-row, batch, and fused multi-output prediction.
+    #[test]
+    fn compiled_forest_matches_exactly(
+        data in rows(3, 6),
+        probes in prop::collection::vec(-150.0f64..150.0, 9..30),
+        seed in 0u64..500,
+    ) {
+        let d = dataset_from(&data, 3);
+        let f = RandomForest::fit(&d, &ForestConfig { n_trees: 9, seed, ..Default::default() });
+        let g = RandomForest::fit(&d, &ForestConfig { n_trees: 6, seed: seed ^ 0xABCD, ..Default::default() });
+        let flat = &probes[..probes.len() - probes.len() % 3];
+
+        let c = CompiledForest::compile(&f);
+        for row in flat.chunks(3) {
+            prop_assert_eq!(c.predict(row), f.predict(row));
+        }
+        prop_assert_eq!(c.predict_batch(flat), f.predict_batch(flat));
+
+        let multi = CompiledForest::compile_multi(&[&f, &g]);
+        let preds = multi.predict_batch_multi(flat);
+        prop_assert_eq!(&preds[0], &f.predict_batch(flat));
+        prop_assert_eq!(&preds[1], &g.predict_batch(flat));
+    }
+
+    /// Histogram (counting-sort) split finding grows *identical* trees to the
+    /// exact sort-based path — same structure, same thresholds, same leaves —
+    /// because the stable counting sort reproduces the same row order and
+    /// therefore the same floating-point accumulation.
+    #[test]
+    fn histogram_split_reproduces_exact_trees(data in rows(3, 6), seed in 0u64..500) {
+        let d = dataset_from(&data, 3);
+        let exact = RandomForest::fit(&d, &ForestConfig {
+            n_trees: 8,
+            seed,
+            tree: TreeConfig { split: SplitMethod::Exact, ..Default::default() },
+            ..Default::default()
+        });
+        let hist = RandomForest::fit(&d, &ForestConfig {
+            n_trees: 8,
+            seed,
+            tree: TreeConfig { split: SplitMethod::Histogram, ..Default::default() },
+            ..Default::default()
+        });
+        // Full structural equality via the Debug representation (nodes,
+        // thresholds, leaf values, OOB bookkeeping).
+        prop_assert_eq!(format!("{exact:?}"), format!("{hist:?}"));
+    }
+
+    /// Parallel batch prediction is order-preserving and deterministic: the
+    /// result equals the sequential per-row loop, and refitting with the same
+    /// seed reproduces it bitwise.
+    #[test]
+    fn batch_prediction_order_preserving_and_deterministic(
+        data in rows(2, 5),
+        probes in prop::collection::vec(-150.0f64..150.0, 8..40),
+        seed in 0u64..500,
+    ) {
+        let d = dataset_from(&data, 2);
+        let cfg = ForestConfig { n_trees: 7, seed, ..Default::default() };
+        let f = RandomForest::fit(&d, &cfg);
+        let flat = &probes[..probes.len() - probes.len() % 2];
+
+        let batch = f.predict_batch(flat);
+        let sequential: Vec<f64> = flat.chunks(2).map(|r| f.predict(r)).collect();
+        prop_assert_eq!(&batch, &sequential);
+
+        let refit = RandomForest::fit(&d, &cfg);
+        prop_assert_eq!(&refit.predict_batch(flat), &batch);
+        let c = CompiledForest::compile(&f);
+        prop_assert_eq!(&c.predict_batch(flat), &batch);
     }
 }

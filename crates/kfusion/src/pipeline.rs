@@ -229,7 +229,7 @@ mod tests {
         let mut kf = KFusion::new(cfg, seq.intrinsics(), seq.gt_pose(0));
         let mut attempted = Vec::new();
         for f in seq.frames() {
-            attempted.push(kf.process(&f).tracking_attempted);
+            attempted.push(kf.process(f).tracking_attempted);
         }
         assert_eq!(attempted, vec![false, false, false, true, false, false]);
     }
@@ -239,7 +239,7 @@ mod tests {
         let seq = sequence(6);
         let cfg = KFusionConfig { integration_rate: 3, ..small_config() };
         let mut kf = KFusion::new(cfg, seq.intrinsics(), seq.gt_pose(0));
-        let flags: Vec<bool> = seq.frames().map(|f| kf.process(&f).integrated).collect();
+        let flags: Vec<bool> = seq.frames().map(|f| kf.process(f).integrated).collect();
         assert_eq!(flags, vec![true, false, false, true, false, false]);
     }
 

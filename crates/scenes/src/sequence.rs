@@ -5,6 +5,8 @@ use crate::render::{render_rgbd, DepthImage, RgbImage};
 use crate::scene::{living_room, Scene};
 use crate::trajectory::{Trajectory, TrajectoryKind};
 use slam_geometry::{CameraIntrinsics, SE3};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
 
 /// One RGB-D frame with its ground-truth pose.
 #[derive(Debug, Clone)]
@@ -58,12 +60,24 @@ impl SequenceConfig {
     }
 }
 
-/// A lazily rendered synthetic RGB-D sequence over the living-room scene.
+/// A lazily rendered, memoized synthetic RGB-D sequence over the
+/// living-room scene.
+///
+/// Each frame is rendered at most once per sequence: the first access
+/// renders and caches it (`OnceLock` per index, so concurrent accessors
+/// block on one render instead of duplicating it), later accesses hand out
+/// the cached frame. This is what lets a design-space exploration evaluate
+/// N configurations over F frames with F renders instead of N × F.
 pub struct SyntheticSequence {
     scene: Scene,
     trajectory: Trajectory,
     intrinsics: CameraIntrinsics,
     config: SequenceConfig,
+    /// Per-index memoized frames.
+    cache: Vec<OnceLock<Frame>>,
+    /// How many frames have actually been rendered (not served from cache);
+    /// test/bench hook for asserting render reuse.
+    renders: AtomicUsize,
 }
 
 impl SyntheticSequence {
@@ -73,6 +87,8 @@ impl SyntheticSequence {
             scene: living_room(),
             trajectory: Trajectory::new(config.trajectory, config.n_frames),
             intrinsics: CameraIntrinsics::kinect_like(config.width, config.height),
+            cache: (0..config.n_frames).map(|_| OnceLock::new()).collect(),
+            renders: AtomicUsize::new(0),
             config,
         }
     }
@@ -102,21 +118,53 @@ impl SyntheticSequence {
         self.trajectory.pose(i)
     }
 
-    /// Render frame `i` (deterministic; parallel internally).
+    /// Frame `i`, rendered on first access and cached thereafter.
+    ///
+    /// # Panics
+    /// If `i >= len()`.
+    pub fn cached_frame(&self, i: usize) -> &Frame {
+        assert!(i < self.config.n_frames, "frame {i} out of range");
+        self.cache[i].get_or_init(|| {
+            self.renders.fetch_add(1, Ordering::Relaxed);
+            self.render(i)
+        })
+    }
+
+    /// Owned copy of frame `i` (clones from the cache; see
+    /// [`SyntheticSequence::cached_frame`] for the borrow form).
     ///
     /// # Panics
     /// If `i >= len()`.
     pub fn frame(&self, i: usize) -> Frame {
-        assert!(i < self.config.n_frames, "frame {i} out of range");
+        self.cached_frame(i).clone()
+    }
+
+    /// Actually render frame `i` (deterministic; parallel internally).
+    fn render(&self, i: usize) -> Frame {
         let pose = self.trajectory.pose(i);
         let (clean_depth, rgb) = render_rgbd(&self.scene, &self.intrinsics, &pose);
         let depth = self.config.noise.apply(&clean_depth, self.config.seed, i);
         Frame { index: i, depth, rgb, gt_pose: pose }
     }
 
-    /// Iterate over all frames in order.
-    pub fn frames(&self) -> impl Iterator<Item = Frame> + '_ {
-        (0..self.len()).map(move |i| self.frame(i))
+    /// Iterate over all frames in order, borrowing from the cache.
+    pub fn frames(&self) -> impl Iterator<Item = &Frame> + '_ {
+        (0..self.len()).map(move |i| self.cached_frame(i))
+    }
+
+    /// Render every frame now, so later accesses are pure cache hits (useful
+    /// before timing-sensitive evaluation loops).
+    pub fn prerender(&self) {
+        for i in 0..self.len() {
+            self.cached_frame(i);
+        }
+    }
+
+    /// Number of frames rendered so far (cache misses). A full evaluation of
+    /// N configurations over this sequence should leave this at `len()`, not
+    /// `N × len()`.
+    pub fn render_count(&self) -> usize {
+        self.renders.load(Ordering::Relaxed)
     }
 }
 
@@ -183,6 +231,29 @@ mod tests {
         let seq = tiny();
         let indices: Vec<usize> = seq.frames().map(|f| f.index).collect();
         assert_eq!(indices, (0..12).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn repeated_access_renders_once() {
+        let seq = tiny();
+        assert_eq!(seq.render_count(), 0);
+        let a = seq.cached_frame(3);
+        let depth = a.depth.clone();
+        let b = seq.cached_frame(3);
+        assert_eq!(depth, b.depth);
+        assert_eq!(seq.render_count(), 1);
+        let _ = seq.frame(3); // owned path also hits the cache
+        assert_eq!(seq.render_count(), 1);
+    }
+
+    #[test]
+    fn prerender_fills_cache_completely() {
+        let seq = tiny();
+        seq.prerender();
+        assert_eq!(seq.render_count(), 12);
+        // Iterating afterwards is pure cache hits.
+        assert_eq!(seq.frames().count(), 12);
+        assert_eq!(seq.render_count(), 12);
     }
 
     #[test]

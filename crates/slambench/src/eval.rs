@@ -95,6 +95,11 @@ impl NativeKFusionEvaluator {
             n_frames,
         }
     }
+
+    /// The shared (frame-cached) sequence all evaluations run over.
+    pub fn sequence(&self) -> &SyntheticSequence {
+        &self.sequence
+    }
 }
 
 impl Evaluator for NativeKFusionEvaluator {
@@ -128,6 +133,11 @@ impl NativeElasticFusionEvaluator {
             sequence: SyntheticSequence::new(sequence_config),
             n_frames,
         }
+    }
+
+    /// The shared (frame-cached) sequence all evaluations run over.
+    pub fn sequence(&self) -> &SyntheticSequence {
+        &self.sequence
     }
 }
 
@@ -204,6 +214,36 @@ mod tests {
         assert_eq!(out.len(), 2);
         assert!(out[0] > 0.0 && out[0].is_finite());
         assert!(out[1] >= 0.0 && out[1].is_finite());
+    }
+
+    #[test]
+    fn native_evaluation_renders_each_frame_once() {
+        // The whole point of the frame cache: evaluating many configurations
+        // over the same sequence renders each frame exactly once, not once
+        // per configuration.
+        let space = kfusion_space();
+        let eval = NativeKFusionEvaluator::new(
+            icl_nuim_synth::SequenceConfig {
+                width: 40,
+                height: 30,
+                n_frames: 3,
+                trajectory: TrajectoryKind::LivingRoomLoop,
+                noise: NoiseModel::none(),
+                seed: 0,
+            },
+            3,
+        );
+        assert_eq!(eval.sequence().render_count(), 0);
+        let configs: Vec<_> = (0..10)
+            .map(|_| space.config_from_values(&[64.0, 0.2, 2.0, 1.0, 1e-4, 2.0, 4.0, 3.0, 2.0]))
+            .collect();
+        let outs = eval.evaluate_batch(&configs);
+        assert_eq!(outs.len(), 10);
+        assert_eq!(
+            eval.sequence().render_count(),
+            3,
+            "10 evaluations over 3 frames must render exactly 3 frames"
+        );
     }
 
     #[test]

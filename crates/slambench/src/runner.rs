@@ -48,8 +48,8 @@ pub fn run_kfusion(seq: &SyntheticSequence, config: &KFusionConfig, n_frames: us
     let mut frame_times = Vec::with_capacity(n);
     let mut tracked = 0usize;
     for i in 0..n {
-        let frame = seq.frame(i);
-        let stats = pipeline.process(&frame);
+        let frame = seq.cached_frame(i);
+        let stats = pipeline.process(frame);
         gt.push(frame.gt_pose);
         frame_times.push(stats.timings.total());
         if stats.tracked || !stats.tracking_attempted {
@@ -71,8 +71,8 @@ pub fn run_elasticfusion(
     let mut frame_times = Vec::with_capacity(n);
     let mut tracked = 0usize;
     for i in 0..n {
-        let frame = seq.frame(i);
-        let stats = pipeline.process(&frame);
+        let frame = seq.cached_frame(i);
+        let stats = pipeline.process(frame);
         gt.push(frame.gt_pose);
         frame_times.push(stats.total_time());
         if stats.tracked || i == 0 {

@@ -1,0 +1,188 @@
+//! Offline stub for `criterion`: same macro/builder surface, but a tiny
+//! self-contained timing harness. Each benchmark prints one line:
+//!
+//! ```text
+//! OFFLINE_BENCH <name> <median_ns> ns/iter (<iters>x<samples>)
+//! ```
+//!
+//! Timing discipline: one warm-up call, then either `samples` batches sized
+//! to ~5 ms each (fast bodies) or 3 single-iteration samples (slow bodies);
+//! the reported figure is the per-iteration median across batches. No
+//! statistics, plots, or baselines — just honest medians for quick offline
+//! comparisons.
+
+use std::fmt::Display;
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// Per-sample time budget for fast benchmark bodies.
+const SAMPLE_BUDGET_NS: u128 = 5_000_000;
+/// Bodies slower than this run as single-iteration samples.
+const SLOW_ITER_NS: u128 = 20_000_000;
+
+/// Timing context handed to benchmark closures.
+pub struct Bencher {
+    /// Median ns/iter recorded by the last `iter` call.
+    median_ns: u128,
+    iters: u64,
+    samples: u64,
+}
+
+impl Bencher {
+    fn new() -> Self {
+        Bencher { median_ns: 0, iters: 0, samples: 0 }
+    }
+
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up + cost probe.
+        let probe = Instant::now();
+        black_box(f());
+        let t1 = probe.elapsed().as_nanos().max(1);
+
+        let (iters, samples) = if t1 > SLOW_ITER_NS {
+            (1u64, 3u64)
+        } else {
+            (((SAMPLE_BUDGET_NS / t1).max(1)).min(10_000_000) as u64, 5u64)
+        };
+
+        let mut per_iter: Vec<u128> = (0..samples)
+            .map(|_| {
+                let start = Instant::now();
+                for _ in 0..iters {
+                    black_box(f());
+                }
+                start.elapsed().as_nanos() / iters as u128
+            })
+            .collect();
+        per_iter.sort_unstable();
+        self.median_ns = per_iter[per_iter.len() / 2];
+        self.iters = iters;
+        self.samples = samples;
+    }
+}
+
+fn run_bench(name: &str, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher::new();
+    f(&mut b);
+    println!(
+        "OFFLINE_BENCH {name} {} ns/iter ({}x{})",
+        b.median_ns, b.iters, b.samples
+    );
+}
+
+/// Benchmark identifier: `function_id/parameter`.
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_id: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId { full: format!("{function_id}/{parameter}") }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { full: parameter.to_string() }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.full)
+    }
+}
+
+/// Top-level harness handle.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, mut f: F) -> &mut Self {
+        run_bench(&id.to_string(), &mut f);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup { name: name.into() }
+    }
+}
+
+/// Named group of related benchmarks (prefixes the printed name).
+pub struct BenchmarkGroup {
+    name: String,
+}
+
+impl BenchmarkGroup {
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn measurement_time(&mut self, _d: std::time::Duration) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, mut f: F) -> &mut Self {
+        run_bench(&format!("{}/{}", self.name, id), &mut f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        run_bench(&format!("{}/{}", self.name, id), &mut |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_positive_median() {
+        let mut b = Bencher::new();
+        b.iter(|| black_box((0..100u64).sum::<u64>()));
+        assert!(b.median_ns > 0);
+        assert!(b.iters >= 1);
+    }
+
+    #[test]
+    fn group_and_ids_compose() {
+        let mut c = Criterion::default().configure_from_args();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(10);
+        group.bench_with_input(BenchmarkId::new("f", 3), &3u32, |b, n| {
+            b.iter(|| black_box(*n * 2))
+        });
+        group.finish();
+        c.bench_function("plain", |b| b.iter(|| black_box(1 + 1)));
+    }
+}

@@ -1,0 +1,6 @@
+//! Offline stub for `rand_chacha`: aliases the deterministic stub StdRng.
+//! (The workspace declares the dependency but does not currently use it.)
+
+pub type ChaCha8Rng = rand::rngs::StdRng;
+pub type ChaCha12Rng = rand::rngs::StdRng;
+pub type ChaCha20Rng = rand::rngs::StdRng;

@@ -1,0 +1,185 @@
+//! Offline stub for `rayon` — runs everything sequentially behind the
+//! parallel-iterator API subset this workspace uses. Deterministic kernels
+//! produce identical results; wall-clock is single-threaded.
+
+/// Sequential stand-in for a rayon parallel iterator.
+///
+/// Implements [`Iterator`] by delegation, so every std combinator works;
+/// rayon-specific methods (two-arg `reduce`, `flat_map_iter`, …) are
+/// provided as inherent methods, which take precedence and re-wrap in
+/// `ParIter` so later rayon-specific calls keep resolving.
+pub struct ParIter<I>(pub I);
+
+impl<I: Iterator> Iterator for ParIter<I> {
+    type Item = I::Item;
+
+    #[inline]
+    fn next(&mut self) -> Option<I::Item> {
+        self.0.next()
+    }
+
+    #[inline]
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.0.size_hint()
+    }
+}
+
+impl<I: Iterator> ParIter<I> {
+    #[inline]
+    pub fn map<U, F: FnMut(I::Item) -> U>(self, f: F) -> ParIter<core::iter::Map<I, F>> {
+        ParIter(self.0.map(f))
+    }
+
+    #[inline]
+    pub fn filter<F: FnMut(&I::Item) -> bool>(self, f: F) -> ParIter<core::iter::Filter<I, F>> {
+        ParIter(self.0.filter(f))
+    }
+
+    #[inline]
+    pub fn enumerate(self) -> ParIter<core::iter::Enumerate<I>> {
+        ParIter(self.0.enumerate())
+    }
+
+    #[inline]
+    pub fn zip<J: IntoIterator>(self, other: J) -> ParIter<core::iter::Zip<I, J::IntoIter>> {
+        ParIter(self.0.zip(other))
+    }
+
+    /// Rayon's `flat_map_iter`: flat-map with a serial inner iterator.
+    #[inline]
+    pub fn flat_map_iter<U, F>(self, f: F) -> ParIter<core::iter::FlatMap<I, U, F>>
+    where
+        U: IntoIterator,
+        F: FnMut(I::Item) -> U,
+    {
+        ParIter(self.0.flat_map(f))
+    }
+
+    /// Rayon's two-argument `reduce(identity, op)`.
+    #[inline]
+    pub fn reduce<ID, OP>(mut self, identity: ID, op: OP) -> I::Item
+    where
+        ID: Fn() -> I::Item,
+        OP: Fn(I::Item, I::Item) -> I::Item,
+    {
+        let mut acc = identity();
+        while let Some(x) = self.0.next() {
+            acc = op(acc, x);
+        }
+        acc
+    }
+
+    /// Rayon's `with_min_len` — a no-op when sequential.
+    #[inline]
+    pub fn with_min_len(self, _len: usize) -> Self {
+        self
+    }
+}
+
+/// Stub of `rayon::iter::IntoParallelIterator` for owned collections and
+/// ranges.
+pub trait IntoParallelIterator {
+    type SeqIter: Iterator;
+    fn into_par_iter(self) -> ParIter<Self::SeqIter>;
+}
+
+impl<C: IntoIterator> IntoParallelIterator for C {
+    type SeqIter = C::IntoIter;
+
+    #[inline]
+    fn into_par_iter(self) -> ParIter<C::IntoIter> {
+        ParIter(self.into_iter())
+    }
+}
+
+/// Stub of the by-reference parallel iterator entry points on slices.
+pub trait ParallelSlice<T> {
+    fn par_iter(&self) -> ParIter<core::slice::Iter<'_, T>>;
+    fn par_chunks(&self, chunk_size: usize) -> ParIter<core::slice::Chunks<'_, T>>;
+}
+
+impl<T> ParallelSlice<T> for [T] {
+    #[inline]
+    fn par_iter(&self) -> ParIter<core::slice::Iter<'_, T>> {
+        ParIter(self.iter())
+    }
+
+    #[inline]
+    fn par_chunks(&self, chunk_size: usize) -> ParIter<core::slice::Chunks<'_, T>> {
+        ParIter(self.chunks(chunk_size))
+    }
+}
+
+/// Mutable counterpart of [`ParallelSlice`].
+pub trait ParallelSliceMut<T> {
+    fn par_iter_mut(&mut self) -> ParIter<core::slice::IterMut<'_, T>>;
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<core::slice::ChunksMut<'_, T>>;
+}
+
+impl<T> ParallelSliceMut<T> for [T] {
+    #[inline]
+    fn par_iter_mut(&mut self) -> ParIter<core::slice::IterMut<'_, T>> {
+        ParIter(self.iter_mut())
+    }
+
+    #[inline]
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<core::slice::ChunksMut<'_, T>> {
+        ParIter(self.chunks_mut(chunk_size))
+    }
+}
+
+/// Number of "worker threads" — always 1 in the sequential stub.
+pub fn current_num_threads() -> usize {
+    1
+}
+
+/// Stub of `rayon::join`: runs the closures one after the other.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB,
+{
+    (a(), b())
+}
+
+pub mod iter {
+    pub use crate::{IntoParallelIterator, ParIter};
+}
+
+pub mod slice {
+    pub use crate::{ParallelSlice, ParallelSliceMut};
+}
+
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParIter, ParallelSlice, ParallelSliceMut};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_matches_std() {
+        let v: Vec<i32> = (0..10).into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(v, (0..10).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn two_arg_reduce() {
+        let s = (1..=5).into_par_iter().map(|x| x as u64).reduce(|| 0, |a, b| a + b);
+        assert_eq!(s, 15);
+    }
+
+    #[test]
+    fn chunks_mut_zip_enumerate() {
+        let mut a = vec![0u32; 6];
+        let mut b = vec![0u32; 6];
+        a.par_chunks_mut(2).zip(b.par_chunks_mut(2)).enumerate().for_each(|(i, (ra, rb))| {
+            for v in ra.iter_mut().chain(rb.iter_mut()) {
+                *v = i as u32;
+            }
+        });
+        assert_eq!(a, [0, 0, 1, 1, 2, 2]);
+        assert_eq!(a, b);
+    }
+}

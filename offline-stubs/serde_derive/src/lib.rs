@@ -1,0 +1,36 @@
+//! Offline stub for `serde_derive`: emits empty marker-trait impls.
+//! Supports non-generic structs and enums only (all this workspace derives).
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Find the type name: the identifier following the `struct`/`enum` keyword
+/// at the top level of the item.
+fn type_name(input: TokenStream) -> String {
+    let mut tokens = input.into_iter();
+    while let Some(tt) = tokens.next() {
+        if let TokenTree::Ident(id) = &tt {
+            let kw = id.to_string();
+            if kw == "struct" || kw == "enum" {
+                match tokens.next() {
+                    Some(TokenTree::Ident(name)) => return name.to_string(),
+                    other => panic!("offline serde stub: expected type name, got {other:?}"),
+                }
+            }
+        }
+    }
+    panic!("offline serde stub: no struct/enum keyword found")
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    format!("impl ::serde::Serialize for {} {{}}", type_name(input))
+        .parse()
+        .expect("valid impl block")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    format!("impl<'de> ::serde::Deserialize<'de> for {} {{}}", type_name(input))
+        .parse()
+        .expect("valid impl block")
+}

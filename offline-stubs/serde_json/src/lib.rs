@@ -1,0 +1,210 @@
+//! Offline stub for `serde_json`. The `json!` macro and [`Value`] work and
+//! can be rendered via [`Value::to_json_string`] / [`Value::to_json_string_pretty`]
+//! (or `Display`). The generic free functions [`to_string`] /
+//! [`to_string_pretty`] compile against any `Serialize` type but always
+//! return [`Error`]: the stub `serde` has no real serialization machinery,
+//! so derive-driven serialization is unavailable offline.
+
+use std::fmt;
+
+/// Error type: always "offline stub cannot serialize this type".
+#[derive(Debug)]
+pub struct Error(&'static str);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "serde_json offline stub: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Minimal JSON value tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    Number(f64),
+    String(String),
+    Array(Vec<Value>),
+    Object(Vec<(String, Value)>),
+}
+
+impl serde::Serialize for Value {}
+
+impl Value {
+    fn render(&self, out: &mut String, indent: usize, pretty: bool) {
+        let pad = |out: &mut String, n: usize| {
+            if pretty {
+                out.push('\n');
+                out.push_str(&"  ".repeat(n));
+            }
+        };
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::Number(n) => {
+                if n.fract() == 0.0 && n.abs() < 9e15 {
+                    out.push_str(&format!("{}", *n as i64));
+                } else {
+                    out.push_str(&format!("{n}"));
+                }
+            }
+            Value::String(s) => {
+                out.push('"');
+                for c in s.chars() {
+                    match c {
+                        '"' => out.push_str("\\\""),
+                        '\\' => out.push_str("\\\\"),
+                        '\n' => out.push_str("\\n"),
+                        '\t' => out.push_str("\\t"),
+                        '\r' => out.push_str("\\r"),
+                        c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                        c => out.push(c),
+                    }
+                }
+                out.push('"');
+            }
+            Value::Array(items) => {
+                out.push('[');
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    pad(out, indent + 1);
+                    v.render(out, indent + 1, pretty);
+                }
+                if !items.is_empty() {
+                    pad(out, indent);
+                }
+                out.push(']');
+            }
+            Value::Object(entries) => {
+                out.push('{');
+                for (i, (k, v)) in entries.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    pad(out, indent + 1);
+                    Value::String(k.clone()).render(out, indent + 1, pretty);
+                    out.push(':');
+                    if pretty {
+                        out.push(' ');
+                    }
+                    v.render(out, indent + 1, pretty);
+                }
+                if !entries.is_empty() {
+                    pad(out, indent);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    /// Compact JSON text for this value.
+    pub fn to_json_string(&self) -> String {
+        let mut out = String::new();
+        self.render(&mut out, 0, false);
+        out
+    }
+
+    /// Pretty-printed (2-space indent) JSON text for this value.
+    pub fn to_json_string_pretty(&self) -> String {
+        let mut out = String::new();
+        self.render(&mut out, 0, true);
+        out
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_json_string())
+    }
+}
+
+macro_rules! from_num {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Value {
+            fn from(v: $t) -> Value { Value::Number(v as f64) }
+        }
+    )*};
+}
+from_num!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Value {
+        Value::Bool(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Value {
+        Value::String(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Value {
+        Value::String(v)
+    }
+}
+
+impl<T: Into<Value>> From<Vec<T>> for Value {
+    fn from(v: Vec<T>) -> Value {
+        Value::Array(v.into_iter().map(Into::into).collect())
+    }
+}
+
+impl<T: Into<Value> + Clone> From<&[T]> for Value {
+    fn from(v: &[T]) -> Value {
+        Value::Array(v.iter().cloned().map(Into::into).collect())
+    }
+}
+
+/// Always fails in the offline stub — derive-driven serialization is not
+/// available. Use [`Value::to_json_string`] for stub-native values.
+pub fn to_string<T: serde::Serialize + ?Sized>(_value: &T) -> Result<String> {
+    Err(Error("derive-driven serialization unavailable offline"))
+}
+
+/// Always fails in the offline stub. See [`to_string`].
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(_value: &T) -> Result<String> {
+    Err(Error("derive-driven serialization unavailable offline"))
+}
+
+/// Build a [`Value`] from JSON-ish syntax (object/array/expression forms).
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ({ $($key:tt : $val:expr),* $(,)? }) => {
+        $crate::Value::Object(vec![
+            $( ($key.to_string(), $crate::Value::from($val)) ),*
+        ])
+    };
+    ([ $($item:expr),* $(,)? ]) => {
+        $crate::Value::Array(vec![ $( $crate::Value::from($item) ),* ])
+    };
+    ($other:expr) => { $crate::Value::from($other) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_renders_compact_and_pretty() {
+        let v = json!({ "name": "pool", "n": 3, "xs": [1, 2] });
+        assert_eq!(
+            v.to_json_string(),
+            r#"{"name":"pool","n":3,"xs":[1,2]}"#
+        );
+        assert!(v.to_json_string_pretty().contains("\n  \"name\": \"pool\""));
+    }
+
+    #[test]
+    fn generic_to_string_errors() {
+        assert!(to_string_pretty(&1.0f64).is_err());
+    }
+}
