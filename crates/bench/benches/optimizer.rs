@@ -20,6 +20,7 @@ fn bench_exploration(c: &mut Criterion) {
                     pool_size: 5_000,
                     forest: ForestConfig { n_trees: 20, ..Default::default() },
                     seed: 1,
+                    ..Default::default()
                 },
             );
             hm.run(&SimulatedKFusionEvaluator::new(device_models::odroid_xu3()))

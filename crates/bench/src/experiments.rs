@@ -43,6 +43,7 @@ impl DseScale {
                 pool_size: 200_000,
                 forest: ForestConfig { n_trees: 100, ..Default::default() },
                 seed,
+                ..Default::default()
             },
             DseScale::Quick => OptimizerConfig {
                 random_samples: 300,
@@ -51,6 +52,7 @@ impl DseScale {
                 pool_size: 20_000,
                 forest: ForestConfig { n_trees: 40, ..Default::default() },
                 seed,
+                ..Default::default()
             },
         }
     }
@@ -64,6 +66,7 @@ impl DseScale {
                 pool_size: 200_000,
                 forest: ForestConfig { n_trees: 100, ..Default::default() },
                 seed,
+                ..Default::default()
             },
             DseScale::Quick => OptimizerConfig {
                 random_samples: 240,
@@ -72,6 +75,7 @@ impl DseScale {
                 pool_size: 20_000,
                 forest: ForestConfig { n_trees: 40, ..Default::default() },
                 seed,
+                ..Default::default()
             },
         }
     }
@@ -323,6 +327,7 @@ pub fn ablations(seed: u64) -> Vec<AblationResult> {
         pool_size: 30_000,
         forest: ForestConfig { n_trees: 100, ..Default::default() },
         seed,
+        ..Default::default()
     };
 
     let mut out = Vec::new();

@@ -46,7 +46,7 @@ pub fn spearman(a: &[f64], b: &[f64]) -> f64 {
 fn ranks(xs: &[f64]) -> Vec<f64> {
     let n = xs.len();
     let mut order: Vec<usize> = (0..n).collect();
-    order.sort_by(|&i, &j| xs[i].partial_cmp(&xs[j]).expect("finite values"));
+    order.sort_by(|&i, &j| xs[i].total_cmp(&xs[j]));
     let mut r = vec![0.0; n];
     let mut i = 0;
     while i < n {
@@ -114,7 +114,7 @@ impl ParamImportance {
     /// Parameters sorted by descending impurity importance.
     pub fn ranked(&self) -> Vec<(&str, f64)> {
         let mut idx: Vec<usize> = (0..self.names.len()).collect();
-        idx.sort_by(|&a, &b| self.impurity[b].partial_cmp(&self.impurity[a]).expect("finite"));
+        idx.sort_by(|&a, &b| self.impurity[b].total_cmp(&self.impurity[a]));
         idx.into_iter().map(|i| (self.names[i].as_str(), self.impurity[i])).collect()
     }
 }

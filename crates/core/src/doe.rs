@@ -61,7 +61,7 @@ pub fn prediction_pool<R: Rng>(
         space.iter_all().collect()
     } else {
         sample_distinct(space, pool_size, &HashSet::new(), rng)
-            .expect("pool_size < space size by construction")
+            .expect("pool_size < space size by construction") // audited: guarded by the branch above
     }
 }
 

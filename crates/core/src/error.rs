@@ -1,6 +1,148 @@
-//! Error type for space construction and exploration.
+//! Error types for space construction, evaluation, and exploration.
 
+use serde::Serialize;
 use std::fmt;
+use std::time::Duration;
+
+/// Why a single configuration's evaluation failed.
+///
+/// This is the per-configuration failure taxonomy of the fault-tolerant
+/// evaluation layer: SLAMBench-style workloads crash, hang, or diverge on
+/// individual configurations (tracking-failure configurations are a
+/// first-class outcome in Nardi et al. 2015 and Bodin et al. 2018), and the
+/// optimizer must record those outcomes instead of dying with them.
+#[derive(Debug, Clone, Serialize)]
+pub enum EvalError {
+    /// The evaluator returned a NaN or infinite objective value.
+    NonFinite {
+        /// Index of the offending objective.
+        objective: usize,
+        /// The offending value, carried as raw bits so the error stays
+        /// comparable (`f64::NAN != f64::NAN`).
+        bits: u64,
+    },
+    /// The evaluator returned the wrong number of objectives.
+    WrongArity {
+        /// Objectives the optimizer expected.
+        expected: usize,
+        /// Objectives the evaluator returned.
+        got: usize,
+    },
+    /// The underlying pipeline diverged (lost tracking, non-finite pose)
+    /// and aborted early.
+    Diverged {
+        /// Human-readable description of the divergence.
+        reason: String,
+    },
+    /// The evaluation panicked and was caught by `catch_unwind`.
+    Panicked {
+        /// The panic payload, stringified when possible.
+        message: String,
+    },
+    /// The evaluation exceeded its per-configuration deadline.
+    Timeout {
+        /// Wall-clock milliseconds actually spent.
+        elapsed_ms: u64,
+        /// The deadline that was exceeded, in milliseconds.
+        deadline_ms: u64,
+    },
+    /// A transient infrastructure failure (flaky device, lost connection);
+    /// retrying the same configuration may succeed.
+    Transient {
+        /// Human-readable description of the transient condition.
+        reason: String,
+    },
+}
+
+impl EvalError {
+    /// Construct a [`EvalError::NonFinite`] from the offending value.
+    pub fn non_finite(objective: usize, value: f64) -> Self {
+        EvalError::NonFinite { objective, bits: value.to_bits() }
+    }
+
+    /// Construct a [`EvalError::Timeout`] from durations.
+    pub fn timeout(elapsed: Duration, deadline: Duration) -> Self {
+        EvalError::Timeout {
+            elapsed_ms: elapsed.as_millis() as u64,
+            deadline_ms: deadline.as_millis() as u64,
+        }
+    }
+
+    /// The offending value of a [`EvalError::NonFinite`], if any.
+    pub fn non_finite_value(&self) -> Option<f64> {
+        match self {
+            EvalError::NonFinite { bits, .. } => Some(f64::from_bits(*bits)),
+            _ => None,
+        }
+    }
+
+    /// Whether a retry of the same configuration may plausibly succeed.
+    /// Only [`EvalError::Transient`] qualifies: panics, NaNs, and
+    /// divergences are deterministic properties of the configuration, and a
+    /// timed-out configuration has already consumed its budget.
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, EvalError::Transient { .. })
+    }
+
+    /// Short stable tag for logs and failure statistics.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            EvalError::NonFinite { .. } => "non-finite",
+            EvalError::WrongArity { .. } => "wrong-arity",
+            EvalError::Diverged { .. } => "diverged",
+            EvalError::Panicked { .. } => "panicked",
+            EvalError::Timeout { .. } => "timeout",
+            EvalError::Transient { .. } => "transient",
+        }
+    }
+}
+
+impl PartialEq for EvalError {
+    fn eq(&self, other: &Self) -> bool {
+        use EvalError::*;
+        match (self, other) {
+            (
+                NonFinite { objective: a, bits: ab },
+                NonFinite { objective: b, bits: bb },
+            ) => a == b && ab == bb,
+            (
+                WrongArity { expected: a, got: ag },
+                WrongArity { expected: b, got: bg },
+            ) => a == b && ag == bg,
+            (Diverged { reason: a }, Diverged { reason: b }) => a == b,
+            (Panicked { message: a }, Panicked { message: b }) => a == b,
+            (
+                Timeout { elapsed_ms: a, deadline_ms: ad },
+                Timeout { elapsed_ms: b, deadline_ms: bd },
+            ) => a == b && ad == bd,
+            (Transient { reason: a }, Transient { reason: b }) => a == b,
+            _ => false,
+        }
+    }
+}
+
+impl Eq for EvalError {}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::NonFinite { objective, bits } => {
+                write!(f, "objective {objective} is non-finite ({})", f64::from_bits(*bits))
+            }
+            EvalError::WrongArity { expected, got } => {
+                write!(f, "evaluator returned {got} objectives, expected {expected}")
+            }
+            EvalError::Diverged { reason } => write!(f, "pipeline diverged: {reason}"),
+            EvalError::Panicked { message } => write!(f, "evaluation panicked: {message}"),
+            EvalError::Timeout { elapsed_ms, deadline_ms } => {
+                write!(f, "evaluation took {elapsed_ms} ms, deadline {deadline_ms} ms")
+            }
+            EvalError::Transient { reason } => write!(f, "transient failure: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
 
 /// Errors produced while building parameter spaces or running explorations.
 #[derive(Debug, Clone, PartialEq)]
@@ -19,6 +161,9 @@ pub enum HmError {
     ObjectiveArity { expected: usize, got: usize },
     /// An evaluator returned a non-finite objective value.
     NonFiniteObjective { objective: usize },
+    /// Every evaluation in a phase failed — there is nothing to train on.
+    /// `iteration` is `None` for the random bootstrap phase.
+    NoSuccessfulEvaluations { iteration: Option<usize>, attempted: usize },
 }
 
 impl fmt::Display for HmError {
@@ -40,6 +185,13 @@ impl fmt::Display for HmError {
             HmError::NonFiniteObjective { objective } => {
                 write!(f, "evaluator returned a non-finite value for objective {objective}")
             }
+            HmError::NoSuccessfulEvaluations { iteration, attempted } => match iteration {
+                Some(i) => write!(
+                    f,
+                    "all {attempted} evaluations of active-learning iteration {i} failed"
+                ),
+                None => write!(f, "all {attempted} bootstrap evaluations failed"),
+            },
         }
     }
 }

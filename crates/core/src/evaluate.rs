@@ -1,10 +1,38 @@
 //! The black-box evaluation interface.
 
+use crate::error::EvalError;
 use crate::space::{Configuration, ParamSpace};
 use rayon::prelude::*;
 use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Run `evaluator.evaluate(config)` with a panic guard, converting an unwind
+/// into [`EvalError::Panicked`]. This is the default bridge from the
+/// infallible API to the fallible one; fallible evaluators and wrappers that
+/// override [`Evaluator::try_evaluate`] can reuse it for their fall-through
+/// path.
+pub fn catch_eval<E: Evaluator + ?Sized>(
+    evaluator: &E,
+    config: &Configuration,
+) -> Result<Vec<f64>, EvalError> {
+    catch_unwind(AssertUnwindSafe(|| evaluator.evaluate(config)))
+        // `as_ref` matters: coercing `&Box<dyn Any>` would downcast against
+        // the box itself and never match `&str`/`String` payloads.
+        .map_err(|payload| EvalError::Panicked { message: panic_message(payload.as_ref()) })
+}
+
+/// Stringify a panic payload (the common `&str`/`String` cases).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
 
 /// A black-box objective function: given a configuration, measure (or model)
 /// each objective. All objectives are **minimized**.
@@ -13,6 +41,16 @@ use std::sync::{Arc, Mutex, OnceLock};
 /// per-frame runtime"; in this reproduction it is either a real pipeline run
 /// or an analytic device model. Implementations must be `Sync` — the
 /// optimizer evaluates batches in parallel.
+///
+/// # Fallibility
+///
+/// Real measurement targets crash, hang, and diverge. The optimizer drives
+/// evaluations exclusively through [`Evaluator::try_evaluate_batch`]; the
+/// default implementations wrap the infallible [`Evaluator::evaluate`] in a
+/// panic guard, so existing infallible implementors keep working unchanged
+/// while inherently fallible evaluators (pipeline runners, device farms)
+/// override [`Evaluator::try_evaluate`] and report structured
+/// [`EvalError`]s.
 pub trait Evaluator: Sync {
     /// Number of objectives returned by [`Evaluator::evaluate`].
     fn n_objectives(&self) -> usize;
@@ -29,6 +67,20 @@ pub trait Evaluator: Sync {
     /// Rayon; override for evaluators with their own scheduling.
     fn evaluate_batch(&self, configs: &[Configuration]) -> Vec<Vec<f64>> {
         configs.par_iter().map(|c| self.evaluate(c)).collect()
+    }
+
+    /// Fallible evaluation of one configuration. The default catches panics
+    /// from [`Evaluator::evaluate`] and reports them as
+    /// [`EvalError::Panicked`]; override to surface richer failure modes
+    /// (divergence, timeouts, transient device errors).
+    fn try_evaluate(&self, config: &Configuration) -> Result<Vec<f64>, EvalError> {
+        catch_eval(self, config)
+    }
+
+    /// Fallible batch evaluation (order-preserving, parallel by default).
+    /// One configuration's failure never affects its batch siblings.
+    fn try_evaluate_batch(&self, configs: &[Configuration]) -> Vec<Result<Vec<f64>, EvalError>> {
+        configs.par_iter().map(|c| self.try_evaluate(c)).collect()
     }
 }
 
@@ -85,20 +137,100 @@ enum CacheKey {
     Choices(Vec<u32>),
 }
 
+/// State of one configuration's evaluation cell.
+enum CellState {
+    /// No evaluation has completed; nobody is working on it.
+    Idle,
+    /// A thread is currently evaluating this configuration.
+    Running,
+    /// A successful result, served to every later caller.
+    Done(Vec<f64>),
+}
+
+/// A retry-capable once-cell: deduplicates in-flight work like
+/// `OnceLock::get_or_init`, but a *failed* (panicked or erroring) evaluation
+/// returns the cell to `Idle` so a later caller can retry instead of being
+/// wedged by a poisoned `Once`.
+struct EvalCell {
+    state: Mutex<CellState>,
+    ready: Condvar,
+}
+
+impl EvalCell {
+    fn new() -> Self {
+        EvalCell { state: Mutex::new(CellState::Idle), ready: Condvar::new() }
+    }
+
+    /// Get the cached success, or run `f` (at most one runner at a time per
+    /// cell). On `Err` the cell becomes retryable and the error is returned
+    /// to this caller only; waiting callers re-attempt themselves.
+    fn get_or_try_init(
+        &self,
+        f: impl Fn() -> Result<Vec<f64>, EvalError>,
+    ) -> Result<Vec<f64>, EvalError> {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            match &*state {
+                CellState::Done(v) => return Ok(v.clone()),
+                CellState::Running => {
+                    state = self
+                        .ready
+                        .wait(state)
+                        .unwrap_or_else(|e| e.into_inner());
+                }
+                CellState::Idle => {
+                    *state = CellState::Running;
+                    drop(state);
+                    // `f` has its own panic guard (`try_evaluate`), but stay
+                    // defensive: if it unwinds anyway, reset to Idle before
+                    // re-raising so waiters are released, not wedged.
+                    let result = catch_unwind(AssertUnwindSafe(&f));
+                    state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+                    match result {
+                        Ok(Ok(v)) => {
+                            *state = CellState::Done(v.clone());
+                            self.ready.notify_all();
+                            return Ok(v);
+                        }
+                        Ok(Err(e)) => {
+                            *state = CellState::Idle;
+                            self.ready.notify_all();
+                            return Err(e);
+                        }
+                        Err(payload) => {
+                            *state = CellState::Idle;
+                            self.ready.notify_all();
+                            drop(state);
+                            std::panic::resume_unwind(payload);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
 /// Memoizing wrapper: caches objective vectors by configuration and counts
 /// the number of *distinct* underlying evaluations. Useful both to avoid
 /// re-running expensive pipelines and to audit an exploration's evaluation
 /// budget in tests.
 ///
-/// Concurrency: each key owns a once-cell, so when two threads race on the
-/// same *uncached* configuration the second blocks on the first's result
+/// Concurrency: each key owns an [`EvalCell`], so when two threads race on
+/// the same *uncached* configuration the second blocks on the first's result
 /// instead of duplicating the evaluation (in-flight deduplication). The map
 /// lock is held only to look up/insert the cell, never across an inner
-/// evaluation.
+/// evaluation, and both locks recover from poisoning — a panicking inner
+/// evaluation can never wedge later callers.
+///
+/// Failure semantics: only **successes** are cached. A failed evaluation
+/// (panic or [`EvalError`]) leaves its cell retryable, so wrapping order
+/// matters — put retry logic *inside* the cache
+/// (`CachedEvaluator::new(&resilient)`) to cache final outcomes, or outside
+/// to retry through the cache.
 pub struct CachedEvaluator<'a, E: Evaluator> {
     inner: &'a E,
     space: Option<&'a ParamSpace>,
-    cache: Mutex<HashMap<CacheKey, Arc<OnceLock<Vec<f64>>>>>,
+    cache: Mutex<HashMap<CacheKey, Arc<EvalCell>>>,
     evaluations: AtomicUsize,
 }
 
@@ -139,6 +271,16 @@ impl<'a, E: Evaluator> CachedEvaluator<'a, E> {
     }
 }
 
+impl<E: Evaluator> CachedEvaluator<'_, E> {
+    fn cell(&self, config: &Configuration) -> Arc<EvalCell> {
+        let mut map = self.cache.lock().unwrap_or_else(|e| e.into_inner());
+        Arc::clone(
+            map.entry(self.key(config))
+                .or_insert_with(|| Arc::new(EvalCell::new())),
+        )
+    }
+}
+
 impl<E: Evaluator> Evaluator for CachedEvaluator<'_, E> {
     fn n_objectives(&self) -> usize {
         self.inner.n_objectives()
@@ -146,16 +288,22 @@ impl<E: Evaluator> Evaluator for CachedEvaluator<'_, E> {
     fn objective_names(&self) -> Vec<String> {
         self.inner.objective_names()
     }
+    /// Infallible path: panics from the inner evaluator propagate to the
+    /// caller (preserving the uncached behaviour), but the cell stays
+    /// retryable and no lock is left poisoned.
     fn evaluate(&self, config: &Configuration) -> Vec<f64> {
-        let cell = {
-            let mut map = self.cache.lock().expect("poisoned");
-            Arc::clone(map.entry(self.key(config)).or_default())
-        };
-        cell.get_or_init(|| {
+        self.cell(config)
+            .get_or_try_init(|| {
+                self.evaluations.fetch_add(1, Ordering::Relaxed);
+                Ok(self.inner.evaluate(config))
+            })
+            .unwrap_or_else(|e| unreachable!("initializer is infallible: {e}"))
+    }
+    fn try_evaluate(&self, config: &Configuration) -> Result<Vec<f64>, EvalError> {
+        self.cell(config).get_or_try_init(|| {
             self.evaluations.fetch_add(1, Ordering::Relaxed);
-            self.inner.evaluate(config)
+            self.inner.try_evaluate(config)
         })
-        .clone()
     }
 }
 
@@ -243,6 +391,88 @@ mod tests {
         }
         assert_eq!(calls.load(Ordering::Relaxed), 4, "duplicated inner work");
         assert_eq!(cached.distinct_evaluations(), 4);
+    }
+
+    #[test]
+    fn default_try_evaluate_catches_panics() {
+        let s = space();
+        let e = FnEvaluator::new(1, |c| {
+            if c.value_f64(0) == 3.0 {
+                panic!("injected failure at x=3");
+            }
+            vec![c.value_f64(0)]
+        });
+        assert_eq!(e.try_evaluate(&s.config_at(2)), Ok(vec![2.0]));
+        match e.try_evaluate(&s.config_at(3)) {
+            Err(EvalError::Panicked { message }) => {
+                assert!(message.contains("injected failure"), "message: {message}")
+            }
+            other => panic!("expected Panicked, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn try_batch_isolates_failures() {
+        let s = space();
+        let e = FnEvaluator::new(1, |c| {
+            assert!(c.value_f64(0) != 4.0, "boom");
+            vec![c.value_f64(0)]
+        });
+        let configs: Vec<_> = (0..8).map(|i| s.config_at(i)).collect();
+        let out = e.try_evaluate_batch(&configs);
+        assert_eq!(out.len(), 8);
+        for (i, r) in out.iter().enumerate() {
+            if i == 4 {
+                assert!(matches!(r, Err(EvalError::Panicked { .. })));
+            } else {
+                assert_eq!(r, &Ok(vec![i as f64]));
+            }
+        }
+    }
+
+    #[test]
+    fn cache_leaves_panicked_cell_retryable() {
+        // Before the fault-tolerance rework this scenario wedged: the panic
+        // poisoned the cell's `Once`, so the *retry* (second call) panicked
+        // with "Once instance has previously been poisoned" instead of
+        // re-running the evaluation.
+        let s = space();
+        let calls = AtomicUsize::new(0);
+        let e = FnEvaluator::new(1, |c| {
+            // Fail only the first attempt for this configuration.
+            if calls.fetch_add(1, Ordering::Relaxed) == 0 {
+                panic!("flaky first attempt");
+            }
+            vec![c.value_f64(0)]
+        });
+        let cached = CachedEvaluator::new(&e);
+        let c = s.config_at(5);
+        let first = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| cached.evaluate(&c)));
+        assert!(first.is_err(), "first attempt must propagate the panic");
+        // Retry succeeds and is then served from cache.
+        assert_eq!(cached.evaluate(&c), vec![5.0]);
+        assert_eq!(cached.evaluate(&c), vec![5.0]);
+        assert_eq!(calls.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn cache_try_path_does_not_cache_errors() {
+        let s = space();
+        let calls = AtomicUsize::new(0);
+        let e = FnEvaluator::new(1, |c| {
+            if calls.fetch_add(1, Ordering::Relaxed) < 2 {
+                panic!("two bad attempts");
+            }
+            vec![c.value_f64(0)]
+        });
+        let cached = CachedEvaluator::new(&e);
+        let c = s.config_at(7);
+        assert!(matches!(cached.try_evaluate(&c), Err(EvalError::Panicked { .. })));
+        assert!(matches!(cached.try_evaluate(&c), Err(EvalError::Panicked { .. })));
+        assert_eq!(cached.try_evaluate(&c), Ok(vec![7.0]));
+        // Success is cached: no further inner calls.
+        assert_eq!(cached.try_evaluate(&c), Ok(vec![7.0]));
+        assert_eq!(calls.load(Ordering::Relaxed), 3);
     }
 
     #[test]

@@ -1,0 +1,357 @@
+//! Deterministic fault injection for exercising the fault-tolerant
+//! evaluation stack.
+//!
+//! [`FaultInjectingEvaluator`] wraps any evaluator and, based purely on a
+//! seed and each configuration's choice vector, makes a deterministic subset
+//! of configurations panic, return NaN, stall past a deadline, or fail
+//! transiently. Because the fault assignment is a pure function of
+//! `(seed, configuration)` — never of call order or thread timing — a run
+//! against the injector is exactly as reproducible as a run against the
+//! clean evaluator, which is what lets property tests assert bit-identical
+//! exploration results under heavy fault load.
+
+use crate::error::EvalError;
+use crate::evaluate::{catch_eval, Evaluator};
+use crate::space::Configuration;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Which fault (if any) a configuration is assigned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// No fault: the inner evaluator runs normally.
+    None,
+    /// The evaluation panics.
+    Panic,
+    /// Every objective comes back NaN.
+    Nan,
+    /// The evaluation sleeps for [`FaultPlan::delay`] before returning.
+    Delay,
+    /// The first [`FaultPlan::transient_attempts`] attempts fail with
+    /// [`EvalError::Transient`]; later attempts succeed.
+    Transient,
+}
+
+/// Injection rates and shapes. Rates are cumulative probabilities over the
+/// per-configuration hash: a configuration is assigned exactly one fault
+/// class (or none).
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    /// Fraction of configurations that panic.
+    pub panic_rate: f64,
+    /// Fraction of configurations that return NaN objectives.
+    pub nan_rate: f64,
+    /// Fraction of configurations that stall for [`FaultPlan::delay`].
+    pub delay_rate: f64,
+    /// Fraction of configurations that fail transiently.
+    pub transient_rate: f64,
+    /// How long a delayed configuration stalls.
+    pub delay: Duration,
+    /// Failed attempts before a transient configuration succeeds.
+    pub transient_attempts: usize,
+    /// Seed for the per-configuration fault assignment.
+    pub seed: u64,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan {
+            panic_rate: 0.05,
+            nan_rate: 0.05,
+            delay_rate: 0.02,
+            transient_rate: 0.03,
+            delay: Duration::from_millis(50),
+            transient_attempts: 1,
+            seed: 0,
+        }
+    }
+}
+
+impl FaultPlan {
+    /// Total fraction of configurations assigned *some* fault.
+    pub fn total_rate(&self) -> f64 {
+        self.panic_rate + self.nan_rate + self.delay_rate + self.transient_rate
+    }
+
+    /// The fault assigned to a configuration (pure function of the plan's
+    /// seed and the choice vector).
+    pub fn fault_for(&self, config: &Configuration) -> Fault {
+        let mut h = self.seed ^ 0x9E37_79B9_7F4A_7C15;
+        for &c in config.choices() {
+            h = splitmix64(h ^ c as u64);
+        }
+        // Map to [0, 1): 53 uniform bits.
+        let u = (splitmix64(h) >> 11) as f64 / (1u64 << 53) as f64;
+        let mut limit = self.panic_rate;
+        if u < limit {
+            return Fault::Panic;
+        }
+        limit += self.nan_rate;
+        if u < limit {
+            return Fault::Nan;
+        }
+        limit += self.delay_rate;
+        if u < limit {
+            return Fault::Delay;
+        }
+        limit += self.transient_rate;
+        if u < limit {
+            return Fault::Transient;
+        }
+        Fault::None
+    }
+}
+
+/// Install a process-wide panic hook that swallows the injector's own
+/// panic messages (they contain `"injected panic"`) and forwards everything
+/// else to the previous hook. Injected panics fire on Rayon worker threads,
+/// whose output escapes the test harness's capture; without this, a fault-
+/// injection test run drowns real diagnostics in expected-panic noise.
+/// Idempotent; intended for test binaries.
+pub fn silence_injected_panics() {
+    use std::sync::Once;
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let payload = info.payload();
+            let message = payload
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| payload.downcast_ref::<&str>().copied());
+            let injected = message.is_some_and(|m| m.contains("injected panic"));
+            if !injected {
+                previous(info);
+            }
+        }));
+    });
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Counters of faults actually fired, by class.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultCounts {
+    /// Panics raised.
+    pub panics: usize,
+    /// NaN objective vectors returned.
+    pub nans: usize,
+    /// Delays slept.
+    pub delays: usize,
+    /// Transient errors returned (attempts, not configurations).
+    pub transients: usize,
+}
+
+impl FaultCounts {
+    /// Total faults fired.
+    pub fn total(&self) -> usize {
+        self.panics + self.nans + self.delays + self.transients
+    }
+}
+
+/// Seeded fault-injecting wrapper around any [`Evaluator`].
+///
+/// Panics, NaNs, and delays are injected through the *infallible*
+/// [`Evaluator::evaluate`] path, exercising the default `catch_unwind`
+/// bridge and downstream NaN/deadline detection exactly as a real crashing
+/// evaluator would. Transient faults are injected through
+/// [`Evaluator::try_evaluate`] (the infallible API cannot express them).
+pub struct FaultInjectingEvaluator<'a, E: Evaluator> {
+    inner: &'a E,
+    plan: FaultPlan,
+    /// Per-configuration attempt counts (drives transient recovery).
+    attempts: Mutex<HashMap<Vec<u32>, usize>>,
+    panics: AtomicUsize,
+    nans: AtomicUsize,
+    delays: AtomicUsize,
+    transients: AtomicUsize,
+}
+
+impl<'a, E: Evaluator> FaultInjectingEvaluator<'a, E> {
+    /// Wrap `inner` under `plan`.
+    pub fn new(inner: &'a E, plan: FaultPlan) -> Self {
+        FaultInjectingEvaluator {
+            inner,
+            plan,
+            attempts: Mutex::new(HashMap::new()),
+            panics: AtomicUsize::new(0),
+            nans: AtomicUsize::new(0),
+            delays: AtomicUsize::new(0),
+            transients: AtomicUsize::new(0),
+        }
+    }
+
+    /// The active plan.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Faults fired so far, by class.
+    pub fn counts(&self) -> FaultCounts {
+        FaultCounts {
+            panics: self.panics.load(Ordering::Relaxed),
+            nans: self.nans.load(Ordering::Relaxed),
+            delays: self.delays.load(Ordering::Relaxed),
+            transients: self.transients.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl<E: Evaluator> Evaluator for FaultInjectingEvaluator<'_, E> {
+    fn n_objectives(&self) -> usize {
+        self.inner.n_objectives()
+    }
+    fn objective_names(&self) -> Vec<String> {
+        self.inner.objective_names()
+    }
+    fn evaluate(&self, config: &Configuration) -> Vec<f64> {
+        match self.plan.fault_for(config) {
+            Fault::Panic => {
+                self.panics.fetch_add(1, Ordering::Relaxed);
+                panic!("injected panic (seed {})", self.plan.seed);
+            }
+            Fault::Nan => {
+                self.nans.fetch_add(1, Ordering::Relaxed);
+                vec![f64::NAN; self.inner.n_objectives()]
+            }
+            Fault::Delay => {
+                self.delays.fetch_add(1, Ordering::Relaxed);
+                std::thread::sleep(self.plan.delay);
+                self.inner.evaluate(config)
+            }
+            // The infallible path cannot express a transient error; behave
+            // like the recovered (successful) attempt.
+            Fault::Transient | Fault::None => self.inner.evaluate(config),
+        }
+    }
+    fn try_evaluate(&self, config: &Configuration) -> Result<Vec<f64>, EvalError> {
+        if self.plan.fault_for(config) == Fault::Transient {
+            let due = {
+                let mut attempts = self.attempts.lock().unwrap_or_else(|e| e.into_inner());
+                let n = attempts.entry(config.choices().to_vec()).or_insert(0);
+                *n += 1;
+                *n <= self.plan.transient_attempts
+            };
+            if due {
+                self.transients.fetch_add(1, Ordering::Relaxed);
+                return Err(EvalError::Transient {
+                    reason: format!("injected transient (seed {})", self.plan.seed),
+                });
+            }
+        }
+        catch_eval(self, config)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evaluate::FnEvaluator;
+    use crate::space::ParamSpace;
+
+    fn space() -> ParamSpace {
+        ParamSpace::builder()
+            .ordinal("x", (0..200).map(f64::from))
+            .build()
+            .unwrap()
+    }
+
+    fn heavy_plan(seed: u64) -> FaultPlan {
+        FaultPlan {
+            panic_rate: 0.10,
+            nan_rate: 0.10,
+            delay_rate: 0.0,
+            transient_rate: 0.10,
+            transient_attempts: 1,
+            seed,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn fault_assignment_is_deterministic() {
+        let s = space();
+        let plan = heavy_plan(7);
+        for i in 0..s.size() {
+            let c = s.config_at(i);
+            assert_eq!(plan.fault_for(&c), plan.fault_for(&c));
+        }
+    }
+
+    #[test]
+    fn fault_rates_are_roughly_respected() {
+        let s = space();
+        let plan = heavy_plan(42);
+        let mut counts = [0usize; 5];
+        for i in 0..s.size() {
+            let f = plan.fault_for(&s.config_at(i));
+            counts[match f {
+                Fault::None => 0,
+                Fault::Panic => 1,
+                Fault::Nan => 2,
+                Fault::Delay => 3,
+                Fault::Transient => 4,
+            }] += 1;
+        }
+        let n = s.size() as f64;
+        let faulty = (counts[1] + counts[2] + counts[3] + counts[4]) as f64 / n;
+        assert!(
+            (faulty - plan.total_rate()).abs() < 0.15,
+            "observed fault rate {faulty}, planned {}",
+            plan.total_rate()
+        );
+        assert!(counts[1] > 0 && counts[2] > 0 && counts[4] > 0);
+    }
+
+    #[test]
+    fn injected_faults_surface_as_typed_errors() {
+        silence_injected_panics();
+        let s = space();
+        let e = FnEvaluator::new(1, |c| vec![c.value_f64(0)]);
+        let plan = heavy_plan(3);
+        let inj = FaultInjectingEvaluator::new(&e, plan.clone());
+        let mut seen_panic = false;
+        let mut seen_nan_value = false;
+        let mut seen_transient = false;
+        for i in 0..s.size() {
+            let c = s.config_at(i);
+            match plan.fault_for(&c) {
+                Fault::Panic => {
+                    assert!(matches!(
+                        inj.try_evaluate(&c),
+                        Err(EvalError::Panicked { .. })
+                    ));
+                    seen_panic = true;
+                }
+                Fault::Nan => {
+                    // NaN is returned as a value; classification to
+                    // `EvalError::NonFinite` happens in the optimizer.
+                    let v = inj.try_evaluate(&c).expect("nan is a value, not an error");
+                    assert!(v[0].is_nan());
+                    seen_nan_value = true;
+                }
+                Fault::Transient => {
+                    assert!(matches!(
+                        inj.try_evaluate(&c),
+                        Err(EvalError::Transient { .. })
+                    ));
+                    // Recovery on the next attempt.
+                    assert_eq!(inj.try_evaluate(&c), Ok(vec![c.value_f64(0)]));
+                    seen_transient = true;
+                }
+                _ => {
+                    assert_eq!(inj.try_evaluate(&c), Ok(vec![c.value_f64(0)]));
+                }
+            }
+        }
+        assert!(seen_panic && seen_nan_value && seen_transient);
+        assert!(inj.counts().total() > 0);
+    }
+}

@@ -50,18 +50,25 @@ pub mod analysis;
 pub mod doe;
 pub mod error;
 pub mod evaluate;
+pub mod faults;
 pub mod optimizer;
 pub mod pareto;
 pub mod param;
+pub mod resilient;
 pub mod space;
 
 pub use analysis::{pearson, spearman, ParamImportance};
 pub use doe::sample_distinct;
-pub use error::HmError;
-pub use evaluate::{CachedEvaluator, Evaluator, FnEvaluator};
-pub use optimizer::{
-    ExplorationResult, HyperMapper, IterationStats, OptimizerConfig, Phase, Sample,
+pub use error::{EvalError, HmError};
+pub use evaluate::{catch_eval, CachedEvaluator, Evaluator, FnEvaluator};
+pub use faults::{
+    silence_injected_panics, Fault, FaultCounts, FaultInjectingEvaluator, FaultPlan,
 };
+pub use optimizer::{
+    ExplorationResult, FailurePolicy, FailureRecord, HyperMapper, IterationStats,
+    OptimizerConfig, Phase, Sample,
+};
+pub use resilient::{FailureLogEntry, ResilientEvaluator, RetryPolicy};
 pub use pareto::{dominates, hypervolume_2d, pareto_front, pareto_front_2d};
 pub use param::{Domain, ParamDef};
 pub use space::{Configuration, ParamSpace, SpaceBuilder};

@@ -1,6 +1,7 @@
 //! The HyperMapper active-learning optimizer (Algorithm 1 of the paper).
 
 use crate::doe::{prediction_pool, sample_distinct};
+use crate::error::{EvalError, HmError};
 use crate::evaluate::Evaluator;
 use crate::pareto::{hypervolume_2d, pareto_front, pareto_front_2d};
 use crate::space::{Configuration, ParamSpace};
@@ -30,6 +31,45 @@ pub struct Sample {
     pub phase: Phase,
 }
 
+/// One configuration whose evaluation failed, and why.
+///
+/// Tracking-failure configurations are a first-class outcome in SLAMBench
+/// (Nardi et al. 2015): the exploration records them rather than dying.
+#[derive(Debug, Clone, Serialize)]
+pub struct FailureRecord {
+    /// The configuration that failed.
+    pub config: Configuration,
+    /// The failure classification.
+    pub error: EvalError,
+    /// Where in the exploration it failed.
+    pub phase: Phase,
+}
+
+/// How failed configurations feed (or don't feed) the surrogate forests.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub enum FailurePolicy {
+    /// Failed configurations are excluded from forest training entirely
+    /// (the default). The surrogate only ever sees measured objectives.
+    Exclude,
+    /// Failed configurations are imputed with a penalty objective vector so
+    /// the surrogate learns to steer away from infeasible regions: each
+    /// objective gets `worst + factor × (worst − best)` over the successful
+    /// samples so far (`worst + factor` when the span is zero). Imputed
+    /// rows only enter training — never `samples`, the Pareto front, or
+    /// hypervolume.
+    ImputePenalty {
+        /// Penalty distance beyond the worst observed value, in units of
+        /// the observed objective span.
+        factor: f64,
+    },
+}
+
+impl Default for FailurePolicy {
+    fn default() -> Self {
+        FailurePolicy::Exclude
+    }
+}
+
 /// Statistics recorded after each active-learning iteration.
 #[derive(Debug, Clone, Serialize)]
 pub struct IterationStats {
@@ -40,6 +80,9 @@ pub struct IterationStats {
     /// Number of configurations newly evaluated this iteration
     /// (`P − X_out` in the paper, possibly capped).
     pub new_evaluations: usize,
+    /// Number of configurations whose evaluation failed this iteration
+    /// (subset of `new_evaluations`).
+    pub failed_evaluations: usize,
     /// Out-of-bag RMSE of the per-objective forests, if estimable.
     pub oob_rmse: Vec<Option<f64>>,
     /// Hypervolume of the evaluated Pareto front after this iteration
@@ -67,6 +110,8 @@ pub struct OptimizerConfig {
     /// Master seed — the full exploration is deterministic given this and
     /// a deterministic evaluator.
     pub seed: u64,
+    /// How failed configurations feed the surrogate forests.
+    pub failure_policy: FailurePolicy,
 }
 
 impl Default for OptimizerConfig {
@@ -78,6 +123,7 @@ impl Default for OptimizerConfig {
             pool_size: 50_000,
             forest: ForestConfig { n_trees: 100, ..Default::default() },
             seed: 0,
+            failure_policy: FailurePolicy::Exclude,
         }
     }
 }
@@ -85,7 +131,8 @@ impl Default for OptimizerConfig {
 /// Result of an exploration.
 #[derive(Debug, Clone, Serialize)]
 pub struct ExplorationResult {
-    /// Every evaluated sample, in evaluation order (random phase first).
+    /// Every successfully evaluated sample, in evaluation order (random
+    /// phase first). Failed configurations never appear here.
     pub samples: Vec<Sample>,
     /// Indices into `samples` of the measured Pareto-optimal points.
     pub pareto_indices: Vec<usize>,
@@ -93,14 +140,37 @@ pub struct ExplorationResult {
     pub iterations: Vec<IterationStats>,
     /// Objective names from the evaluator.
     pub objective_names: Vec<String>,
+    /// Every configuration whose evaluation failed, in evaluation order.
+    pub failures: Vec<FailureRecord>,
 }
 
 impl ExplorationResult {
     /// The Pareto-optimal samples themselves, sorted by the first objective.
+    /// Uses a total order so degenerate (non-finite) data sorts instead of
+    /// panicking.
     pub fn pareto_samples(&self) -> Vec<&Sample> {
         let mut out: Vec<&Sample> = self.pareto_indices.iter().map(|&i| &self.samples[i]).collect();
-        out.sort_by(|a, b| a.objectives[0].partial_cmp(&b.objectives[0]).expect("finite"));
+        out.sort_by(|a, b| a.objectives[0].total_cmp(&b.objectives[0]));
         out
+    }
+
+    /// Failures recorded during the random bootstrap phase.
+    pub fn bootstrap_failures(&self) -> usize {
+        self.failures.iter().filter(|f| f.phase == Phase::Random).count()
+    }
+
+    /// Failure counts grouped by [`EvalError::kind`], sorted by kind.
+    pub fn failure_kinds(&self) -> Vec<(&'static str, usize)> {
+        let mut counts: Vec<(&'static str, usize)> = Vec::new();
+        for f in &self.failures {
+            let kind = f.error.kind();
+            match counts.iter_mut().find(|(k, _)| *k == kind) {
+                Some((_, n)) => *n += 1,
+                None => counts.push((kind, 1)),
+            }
+        }
+        counts.sort_by_key(|(k, _)| *k);
+        counts
     }
 
     /// Samples produced by the random bootstrap phase.
@@ -119,15 +189,16 @@ impl ExplorationResult {
         let randoms: Vec<&Sample> = self.random_samples().collect();
         let pts: Vec<Vec<f64>> = randoms.iter().map(|s| s.objectives.clone()).collect();
         let mut out: Vec<&Sample> = pareto_front(&pts).into_iter().map(|i| randoms[i]).collect();
-        out.sort_by(|a, b| a.objectives[0].partial_cmp(&b.objectives[0]).expect("finite"));
+        out.sort_by(|a, b| a.objectives[0].total_cmp(&b.objectives[0]));
         out
     }
 
-    /// The sample minimizing objective `k`.
+    /// The sample minimizing objective `k` (total order: NaN sorts last, so
+    /// degenerate data never panics result inspection).
     pub fn best_by_objective(&self, k: usize) -> Option<&Sample> {
         self.samples
             .iter()
-            .min_by(|a, b| a.objectives[k].partial_cmp(&b.objectives[k]).expect("finite"))
+            .min_by(|a, b| a.objectives[k].total_cmp(&b.objectives[k]))
     }
 
     /// Count samples whose objective `k` is below `limit` — the paper's
@@ -167,16 +238,32 @@ impl HyperMapper {
     /// Run the full exploration (random bootstrap + active learning) against
     /// `evaluator`.
     ///
+    /// Individual evaluation failures (panics, NaNs, divergences, timeouts)
+    /// degrade gracefully: they are recorded in
+    /// [`ExplorationResult::failures`], counted per iteration, and kept out
+    /// of forest training (see [`FailurePolicy`]).
+    ///
     /// # Panics
-    /// If the evaluator returns a wrong-arity or non-finite objective
-    /// vector, or if the space holds fewer configurations than
-    /// `random_samples`.
+    /// Only if the whole exploration is unusable: the space holds fewer
+    /// configurations than `random_samples`, or *every* evaluation of a
+    /// phase fails. Use [`HyperMapper::try_run`] to handle those as errors.
     pub fn run<E: Evaluator>(&self, evaluator: &E) -> ExplorationResult {
+        match self.try_run(evaluator) {
+            Ok(result) => result,
+            Err(e) => panic!("exploration failed: {e}"),
+        }
+    }
+
+    /// Fallible version of [`HyperMapper::run`]: errors instead of
+    /// panicking when the exploration cannot produce any result (too-small
+    /// space, or a phase where zero evaluations succeed).
+    pub fn try_run<E: Evaluator>(&self, evaluator: &E) -> Result<ExplorationResult, HmError> {
         let n_obj = evaluator.n_objectives();
         assert!(n_obj >= 1, "need at least one objective");
         let mut rng = StdRng::seed_from_u64(self.config.seed);
         let mut evaluated: HashSet<u64> = HashSet::new();
         let mut samples: Vec<Sample> = Vec::new();
+        let mut failures: Vec<FailureRecord> = Vec::new();
 
         // ---- Phase 1: random bootstrap (X_out ← rs distinct samples). ----
         let boot = sample_distinct(
@@ -184,26 +271,29 @@ impl HyperMapper {
             self.config.random_samples.min(self.space.size() as usize),
             &evaluated,
             &mut rng,
-        )
-        .expect("space must hold at least `random_samples` configurations");
-        let objectives = self.checked_batch(evaluator, &boot, n_obj);
-        for (config, obj) in boot.into_iter().zip(objectives) {
-            evaluated.insert(self.space.flat_index(&config));
-            samples.push(Sample { config, objectives: obj, phase: Phase::Random });
+        )?;
+        let attempted = boot.len();
+        let successes =
+            self.eval_phase(evaluator, boot, n_obj, Phase::Random, &mut evaluated, &mut samples, &mut failures);
+        if successes == 0 && attempted > 0 {
+            return Err(HmError::NoSuccessfulEvaluations { iteration: None, attempted });
         }
 
         // ---- Phase 2: active learning. ----
         let mut iterations = Vec::new();
         for iter in 1..=self.config.max_iterations {
             // Fit one forest per objective on everything evaluated so far.
-            let forests = self.fit_forests(&samples, n_obj);
+            let forests = self.fit_forests(&samples, &failures, n_obj);
 
             // Predict over the pool and find the predicted Pareto front.
             let pool = prediction_pool(&self.space, self.config.pool_size, &mut rng);
             let predicted = self.predict_front(&forests, &pool, n_obj);
             let predicted_front_size = predicted.len();
 
-            // P − X_out: keep only configurations not evaluated yet.
+            // P − X_out: keep only configurations not evaluated yet
+            // (failed configurations count as spent — re-proposing a
+            // deterministically crashing configuration every iteration
+            // would starve the loop).
             let mut fresh: Vec<Configuration> = predicted
                 .into_iter()
                 .filter(|c| !evaluated.contains(&self.space.flat_index(c)))
@@ -218,15 +308,25 @@ impl HyperMapper {
                 break;
             }
 
-            let objectives = self.checked_batch(evaluator, &fresh, n_obj);
             let new_evaluations = fresh.len();
-            for (config, obj) in fresh.into_iter().zip(objectives) {
-                evaluated.insert(self.space.flat_index(&config));
-                samples.push(Sample { config, objectives: obj, phase: Phase::Active(iter) });
+            let successes = self.eval_phase(
+                evaluator,
+                fresh,
+                n_obj,
+                Phase::Active(iter),
+                &mut evaluated,
+                &mut samples,
+                &mut failures,
+            );
+            if successes == 0 {
+                return Err(HmError::NoSuccessfulEvaluations {
+                    iteration: Some(iter),
+                    attempted: new_evaluations,
+                });
             }
 
             let oob_rmse = {
-                let datasets = self.datasets(&samples, n_obj);
+                let datasets = self.datasets(&samples, &failures, n_obj);
                 forests
                     .iter()
                     .zip(&datasets)
@@ -237,6 +337,7 @@ impl HyperMapper {
                 iteration: iter,
                 predicted_front_size,
                 new_evaluations,
+                failed_evaluations: new_evaluations - successes,
                 oob_rmse,
                 hypervolume: measured_hypervolume(&samples),
             });
@@ -244,12 +345,13 @@ impl HyperMapper {
 
         let pts: Vec<Vec<f64>> = samples.iter().map(|s| s.objectives.clone()).collect();
         let pareto_indices = pareto_front(&pts);
-        ExplorationResult {
+        Ok(ExplorationResult {
             samples,
             pareto_indices,
             iterations,
             objective_names: evaluator.objective_names(),
-        }
+            failures,
+        })
     }
 
     /// Run only the random bootstrap phase — the paper's baseline.
@@ -261,28 +363,55 @@ impl HyperMapper {
         reduced.run(evaluator)
     }
 
-    /// Evaluate a batch and validate arity/finiteness.
-    fn checked_batch<E: Evaluator>(
+    /// Evaluate one phase's batch, validate every outcome, and append
+    /// successes to `samples` / failures to `failures`. Returns the number
+    /// of successes. Every attempted configuration is marked `evaluated`.
+    #[allow(clippy::too_many_arguments)]
+    fn eval_phase<E: Evaluator>(
         &self,
         evaluator: &E,
-        configs: &[Configuration],
+        configs: Vec<Configuration>,
         n_obj: usize,
-    ) -> Vec<Vec<f64>> {
-        let out = evaluator.evaluate_batch(configs);
-        assert_eq!(out.len(), configs.len(), "batch size mismatch");
-        for obj in &out {
-            assert_eq!(obj.len(), n_obj, "evaluator returned wrong objective arity");
-            for (k, v) in obj.iter().enumerate() {
-                assert!(v.is_finite(), "non-finite objective {k}: {v}");
+        phase: Phase,
+        evaluated: &mut HashSet<u64>,
+        samples: &mut Vec<Sample>,
+        failures: &mut Vec<FailureRecord>,
+    ) -> usize {
+        let outcomes = evaluator.try_evaluate_batch(&configs);
+        assert_eq!(outcomes.len(), configs.len(), "batch size mismatch");
+        let mut successes = 0usize;
+        for (config, outcome) in configs.into_iter().zip(outcomes) {
+            evaluated.insert(self.space.flat_index(&config));
+            match validate_objectives(outcome, n_obj) {
+                Ok(objectives) => {
+                    successes += 1;
+                    samples.push(Sample { config, objectives, phase });
+                }
+                Err(error) => failures.push(FailureRecord { config, error, phase }),
             }
         }
-        out
+        successes
     }
 
-    /// One training dataset per objective from the samples so far.
-    fn datasets(&self, samples: &[Sample], n_obj: usize) -> Vec<Dataset> {
+    /// One training dataset per objective from the samples so far; under
+    /// [`FailurePolicy::ImputePenalty`], failed configurations are appended
+    /// with penalty objectives so the surrogate learns to avoid them.
+    fn datasets(
+        &self,
+        samples: &[Sample],
+        failures: &[FailureRecord],
+        n_obj: usize,
+    ) -> Vec<Dataset> {
+        let penalty = match self.config.failure_policy {
+            FailurePolicy::Exclude => None,
+            FailurePolicy::ImputePenalty { factor } => {
+                penalty_objectives(samples, n_obj, factor)
+            }
+        };
+        let imputed: &[FailureRecord] = if penalty.is_some() { failures } else { &[] };
+        let rows = samples.len() + imputed.len();
         let mut datasets: Vec<Dataset> =
-            (0..n_obj).map(|_| Dataset::with_capacity(self.space.n_params(), samples.len())).collect();
+            (0..n_obj).map(|_| Dataset::with_capacity(self.space.n_params(), rows)).collect();
         let mut feat = Vec::with_capacity(self.space.n_params());
         for s in samples {
             feat.clear();
@@ -291,13 +420,27 @@ impl HyperMapper {
                 d.push_row(&feat, s.objectives[k]);
             }
         }
+        if let Some(penalty) = penalty {
+            for f in imputed {
+                feat.clear();
+                self.space.write_features(&f.config, &mut feat);
+                for (k, d) in datasets.iter_mut().enumerate() {
+                    d.push_row(&feat, penalty[k]);
+                }
+            }
+        }
         datasets
     }
 
     /// Fit the per-objective surrogate forests (two separate regressors in
     /// the paper: ATE and runtime).
-    fn fit_forests(&self, samples: &[Sample], n_obj: usize) -> Vec<RandomForest> {
-        self.datasets(samples, n_obj)
+    fn fit_forests(
+        &self,
+        samples: &[Sample],
+        failures: &[FailureRecord],
+        n_obj: usize,
+    ) -> Vec<RandomForest> {
+        self.datasets(samples, failures, n_obj)
             .iter()
             .enumerate()
             .map(|(k, d)| {
@@ -342,6 +485,47 @@ impl HyperMapper {
         };
         front.into_iter().map(|i| pool[i].clone()).collect()
     }
+}
+
+/// Classify a raw evaluation outcome: arity and finiteness checks promote
+/// bad `Ok` payloads to typed errors so the loop treats a NaN objective the
+/// same way it treats a panic.
+fn validate_objectives(
+    outcome: Result<Vec<f64>, EvalError>,
+    n_obj: usize,
+) -> Result<Vec<f64>, EvalError> {
+    let objectives = outcome?;
+    if objectives.len() != n_obj {
+        return Err(EvalError::WrongArity { expected: n_obj, got: objectives.len() });
+    }
+    for (k, &v) in objectives.iter().enumerate() {
+        if !v.is_finite() {
+            return Err(EvalError::non_finite(k, v));
+        }
+    }
+    Ok(objectives)
+}
+
+/// Penalty objective vector for imputing failed configurations: per
+/// objective, `worst + factor × (worst − best)` over the successful samples
+/// (`worst + factor` when the span is zero). `None` when there are no
+/// successes to anchor the penalty to.
+fn penalty_objectives(samples: &[Sample], n_obj: usize, factor: f64) -> Option<Vec<f64>> {
+    if samples.is_empty() {
+        return None;
+    }
+    let mut penalty = Vec::with_capacity(n_obj);
+    for k in 0..n_obj {
+        let mut best = f64::INFINITY;
+        let mut worst = f64::NEG_INFINITY;
+        for s in samples {
+            best = best.min(s.objectives[k]);
+            worst = worst.max(s.objectives[k]);
+        }
+        let span = worst - best;
+        penalty.push(if span > 0.0 { worst + factor * span } else { worst + factor });
+    }
+    Some(penalty)
 }
 
 /// Hypervolume of the measured front for bi-objective runs, using the
@@ -393,6 +577,7 @@ mod tests {
             pool_size: 2000,
             forest: ForestConfig { n_trees: 20, ..Default::default() },
             seed,
+            ..Default::default()
         }
     }
 

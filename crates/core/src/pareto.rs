@@ -58,9 +58,9 @@ fn pareto_front_2d_impl(n: usize, get: impl Fn(usize) -> (f64, f64)) -> Vec<usiz
     order.sort_by(|&a, &b| {
         let (ax, ay) = get(a);
         let (bx, by) = get(b);
-        ax.partial_cmp(&bx)
-            .expect("finite objectives")
-            .then(ay.partial_cmp(&by).expect("finite objectives"))
+        // Total order: NaN sorts last instead of panicking, so degenerate
+        // inputs degrade to a well-defined (if meaningless) front.
+        ax.total_cmp(&bx).then(ay.total_cmp(&by))
     });
     let mut front = Vec::new();
     let mut best_y = f64::INFINITY;

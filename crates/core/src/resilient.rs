@@ -1,0 +1,317 @@
+//! Retry/deadline hardening for fallible evaluators.
+//!
+//! [`ResilientEvaluator`] wraps any [`Evaluator`] and applies a
+//! per-configuration failure policy before errors reach the optimizer:
+//! transient failures are retried a bounded number of times with
+//! deterministic exponential backoff, slow evaluations are reported as
+//! [`EvalError::Timeout`], and every failed attempt is appended to an
+//! inspectable failure log.
+
+use crate::error::EvalError;
+use crate::evaluate::Evaluator;
+use crate::space::Configuration;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Retry and deadline policy for [`ResilientEvaluator`].
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Maximum number of *re*-attempts after a [`EvalError::Transient`]
+    /// failure (0 disables retries). Non-transient errors are never
+    /// retried: panics, NaNs, and divergences are deterministic properties
+    /// of the configuration.
+    pub max_retries: usize,
+    /// Base backoff slept before retry `k` (1-based): `base × 2^(k−1)`,
+    /// capped at [`RetryPolicy::max_backoff`]. The schedule is a pure
+    /// function of the attempt number, so reruns are deterministic.
+    pub backoff_base: Duration,
+    /// Upper bound on a single backoff sleep.
+    pub max_backoff: Duration,
+    /// Per-configuration wall-clock budget across all attempts, or `None`
+    /// for unlimited. The deadline is enforced *cooperatively*: the running
+    /// attempt is not preempted (that would require process isolation), but
+    /// an attempt that finishes past the deadline is reported as
+    /// [`EvalError::Timeout`] and its result discarded, and no further
+    /// retries are started once the budget is spent.
+    pub deadline: Option<Duration>,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 2,
+            backoff_base: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(100),
+            deadline: None,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The backoff slept before 1-based retry `k`.
+    pub fn backoff(&self, k: usize) -> Duration {
+        let factor = 1u32 << (k - 1).min(16) as u32;
+        self.backoff_base
+            .saturating_mul(factor)
+            .min(self.max_backoff)
+    }
+}
+
+/// One failed attempt, as recorded in the failure log.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FailureLogEntry {
+    /// Choice vector of the configuration that failed (stable across runs,
+    /// cheaper than cloning the full [`Configuration`]).
+    pub choices: Vec<u32>,
+    /// 1-based attempt number that produced this failure.
+    pub attempt: usize,
+    /// What went wrong.
+    pub error: EvalError,
+}
+
+/// Fault-tolerance wrapper: bounded retry for transient failures, a
+/// cooperative per-configuration deadline, and a failure log.
+///
+/// Stacking order with [`crate::CachedEvaluator`] matters: wrap the
+/// resilient evaluator *inside* the cache
+/// (`CachedEvaluator::new(&ResilientEvaluator::new(&inner, policy))`) so the
+/// cache stores post-retry outcomes.
+pub struct ResilientEvaluator<'a, E: Evaluator> {
+    inner: &'a E,
+    policy: RetryPolicy,
+    log: Mutex<Vec<FailureLogEntry>>,
+    retries: AtomicUsize,
+    timeouts: AtomicUsize,
+}
+
+impl<'a, E: Evaluator> ResilientEvaluator<'a, E> {
+    /// Wrap `inner` under `policy`.
+    pub fn new(inner: &'a E, policy: RetryPolicy) -> Self {
+        ResilientEvaluator {
+            inner,
+            policy,
+            log: Mutex::new(Vec::new()),
+            retries: AtomicUsize::new(0),
+            timeouts: AtomicUsize::new(0),
+        }
+    }
+
+    /// The active policy.
+    pub fn policy(&self) -> &RetryPolicy {
+        &self.policy
+    }
+
+    /// Every failed attempt so far, in completion order.
+    pub fn failure_log(&self) -> Vec<FailureLogEntry> {
+        self.log.lock().unwrap_or_else(|e| e.into_inner()).clone()
+    }
+
+    /// Number of retry attempts performed (not configurations retried).
+    pub fn retries(&self) -> usize {
+        self.retries.load(Ordering::Relaxed)
+    }
+
+    /// Number of evaluations that blew their deadline.
+    pub fn timeouts(&self) -> usize {
+        self.timeouts.load(Ordering::Relaxed)
+    }
+
+    fn record(&self, config: &Configuration, attempt: usize, error: &EvalError) {
+        self.log
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(FailureLogEntry {
+                choices: config.choices().to_vec(),
+                attempt,
+                error: error.clone(),
+            });
+    }
+}
+
+impl<E: Evaluator> Evaluator for ResilientEvaluator<'_, E> {
+    fn n_objectives(&self) -> usize {
+        self.inner.n_objectives()
+    }
+    fn objective_names(&self) -> Vec<String> {
+        self.inner.objective_names()
+    }
+    /// Infallible view: panics with the final error when every attempt
+    /// fails. Prefer [`Evaluator::try_evaluate`].
+    fn evaluate(&self, config: &Configuration) -> Vec<f64> {
+        match self.try_evaluate(config) {
+            Ok(v) => v,
+            Err(e) => panic!("evaluation failed after retries: {e}"),
+        }
+    }
+    fn try_evaluate(&self, config: &Configuration) -> Result<Vec<f64>, EvalError> {
+        let start = Instant::now();
+        let mut attempt = 1usize;
+        loop {
+            let result = self.inner.try_evaluate(config);
+            let elapsed = start.elapsed();
+            let overdue = self
+                .policy
+                .deadline
+                .filter(|d| elapsed > *d)
+                .map(|d| EvalError::timeout(elapsed, d));
+            match (result, overdue) {
+                // A result that lands past the deadline is discarded: the
+                // configuration's budget is spent either way, and treating
+                // late successes as failures keeps timeout accounting
+                // independent of what the evaluator happened to return.
+                (_, Some(timeout)) => {
+                    self.timeouts.fetch_add(1, Ordering::Relaxed);
+                    self.record(config, attempt, &timeout);
+                    return Err(timeout);
+                }
+                (Ok(v), None) => return Ok(v),
+                (Err(e), None) => {
+                    self.record(config, attempt, &e);
+                    if !e.is_retryable() || attempt > self.policy.max_retries {
+                        return Err(e);
+                    }
+                    self.retries.fetch_add(1, Ordering::Relaxed);
+                    std::thread::sleep(self.policy.backoff(attempt));
+                    attempt += 1;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evaluate::FnEvaluator;
+    use crate::space::ParamSpace;
+
+    fn space() -> ParamSpace {
+        ParamSpace::builder()
+            .ordinal("x", (0..10).map(f64::from))
+            .build()
+            .unwrap()
+    }
+
+    /// An evaluator whose `try_evaluate` fails transiently the first
+    /// `fail_attempts` times per configuration.
+    struct Flaky {
+        fail_attempts: usize,
+        attempts: Mutex<std::collections::HashMap<Vec<u32>, usize>>,
+    }
+
+    impl Flaky {
+        fn new(fail_attempts: usize) -> Self {
+            Flaky { fail_attempts, attempts: Mutex::new(Default::default()) }
+        }
+    }
+
+    impl Evaluator for Flaky {
+        fn n_objectives(&self) -> usize {
+            1
+        }
+        fn evaluate(&self, config: &Configuration) -> Vec<f64> {
+            vec![config.value_f64(0)]
+        }
+        fn try_evaluate(&self, config: &Configuration) -> Result<Vec<f64>, EvalError> {
+            let mut attempts = self.attempts.lock().unwrap();
+            let n = attempts.entry(config.choices().to_vec()).or_insert(0);
+            *n += 1;
+            if *n <= self.fail_attempts {
+                Err(EvalError::Transient { reason: format!("attempt {n}") })
+            } else {
+                Ok(vec![config.value_f64(0)])
+            }
+        }
+    }
+
+    #[test]
+    fn transient_failures_are_retried() {
+        let s = space();
+        let flaky = Flaky::new(2);
+        let policy = RetryPolicy {
+            max_retries: 2,
+            backoff_base: Duration::from_micros(10),
+            ..Default::default()
+        };
+        let resilient = ResilientEvaluator::new(&flaky, policy);
+        assert_eq!(resilient.try_evaluate(&s.config_at(4)), Ok(vec![4.0]));
+        assert_eq!(resilient.retries(), 2);
+        let log = resilient.failure_log();
+        assert_eq!(log.len(), 2);
+        assert_eq!(log[0].attempt, 1);
+        assert_eq!(log[1].attempt, 2);
+        assert!(log.iter().all(|f| f.error.is_retryable()));
+    }
+
+    #[test]
+    fn retry_budget_is_bounded() {
+        let s = space();
+        let flaky = Flaky::new(usize::MAX);
+        let policy = RetryPolicy {
+            max_retries: 3,
+            backoff_base: Duration::from_micros(10),
+            ..Default::default()
+        };
+        let resilient = ResilientEvaluator::new(&flaky, policy);
+        let out = resilient.try_evaluate(&s.config_at(1));
+        assert!(matches!(out, Err(EvalError::Transient { .. })));
+        // 1 initial + 3 retries, all logged.
+        assert_eq!(resilient.failure_log().len(), 4);
+        assert_eq!(resilient.retries(), 3);
+    }
+
+    #[test]
+    fn non_transient_errors_never_retry() {
+        let s = space();
+        let e = FnEvaluator::new(1, |_| panic!("deterministic crash"));
+        let resilient = ResilientEvaluator::new(&e, RetryPolicy::default());
+        let out = resilient.try_evaluate(&s.config_at(0));
+        assert!(matches!(out, Err(EvalError::Panicked { .. })));
+        assert_eq!(resilient.retries(), 0);
+        assert_eq!(resilient.failure_log().len(), 1);
+    }
+
+    #[test]
+    fn slow_evaluations_hit_the_deadline() {
+        let s = space();
+        let e = FnEvaluator::new(1, |c| {
+            std::thread::sleep(Duration::from_millis(30));
+            vec![c.value_f64(0)]
+        });
+        let policy = RetryPolicy { deadline: Some(Duration::from_millis(1)), ..Default::default() };
+        let resilient = ResilientEvaluator::new(&e, policy);
+        match resilient.try_evaluate(&s.config_at(2)) {
+            Err(EvalError::Timeout { elapsed_ms, deadline_ms }) => {
+                assert!(elapsed_ms >= deadline_ms, "{elapsed_ms} < {deadline_ms}");
+            }
+            other => panic!("expected Timeout, got {other:?}"),
+        }
+        assert_eq!(resilient.timeouts(), 1);
+    }
+
+    #[test]
+    fn fast_evaluations_pass_the_deadline() {
+        let s = space();
+        let e = FnEvaluator::new(1, |c| vec![c.value_f64(0)]);
+        let policy = RetryPolicy { deadline: Some(Duration::from_secs(30)), ..Default::default() };
+        let resilient = ResilientEvaluator::new(&e, policy);
+        assert_eq!(resilient.try_evaluate(&s.config_at(3)), Ok(vec![3.0]));
+        assert_eq!(resilient.timeouts(), 0);
+        assert!(resilient.failure_log().is_empty());
+    }
+
+    #[test]
+    fn backoff_schedule_is_deterministic_and_capped() {
+        let policy = RetryPolicy {
+            backoff_base: Duration::from_millis(2),
+            max_backoff: Duration::from_millis(9),
+            ..Default::default()
+        };
+        assert_eq!(policy.backoff(1), Duration::from_millis(2));
+        assert_eq!(policy.backoff(2), Duration::from_millis(4));
+        assert_eq!(policy.backoff(3), Duration::from_millis(8));
+        assert_eq!(policy.backoff(4), Duration::from_millis(9)); // capped
+        assert_eq!(policy.backoff(60), Duration::from_millis(9)); // no overflow
+    }
+}

@@ -1,0 +1,223 @@
+//! Fault-tolerance properties of the full active-learning loop.
+//!
+//! Before the fallible-evaluation rework, the optimizer drove evaluators
+//! through the infallible `evaluate_batch` path and `assert!`ed every
+//! objective finite: a single panicking configuration unwound the whole
+//! exploration through Rayon, and a single NaN objective aborted it with a
+//! `non-finite objective` panic — hours of evaluation lost to one bad
+//! configuration. These tests pin the new contract: the loop completes
+//! under a heavy injected fault load, records every failure, trains on none
+//! of them, and stays bit-identical across same-seed runs.
+
+use hypermapper::{
+    silence_injected_panics, EvalError, FailurePolicy, FaultInjectingEvaluator, FaultPlan,
+    FnEvaluator, HmError, HyperMapper, OptimizerConfig, ParamSpace, ResilientEvaluator,
+    RetryPolicy,
+};
+use randforest::ForestConfig;
+use std::time::Duration;
+
+fn space() -> ParamSpace {
+    ParamSpace::builder()
+        .ordinal("x", (0..16).map(|i| i as f64 * 0.5))
+        .ordinal("y", (0..16).map(|i| i as f64 * 0.5))
+        .ordinal("z", (0..8).map(f64::from))
+        .build()
+        .unwrap()
+}
+
+fn toy_evaluator() -> FnEvaluator<impl Fn(&hypermapper::Configuration) -> Vec<f64> + Sync> {
+    FnEvaluator::new(2, |c| {
+        let x = c.value_f64(0);
+        let y = c.value_f64(1);
+        let z = c.value_f64(2);
+        vec![
+            0.5 + x + (y * 1.3).sin().abs() + z * 0.2,
+            9.0 - x * 0.8 + (y - 3.0).abs() * 0.4 + (z - 4.0).abs() * 0.3,
+        ]
+    })
+    .with_names(["runtime", "error"])
+}
+
+fn optimizer_config(seed: u64, policy: FailurePolicy) -> OptimizerConfig {
+    OptimizerConfig {
+        random_samples: 60,
+        max_iterations: 3,
+        max_evals_per_iteration: 40,
+        pool_size: 1500,
+        forest: ForestConfig { n_trees: 15, ..Default::default() },
+        seed,
+        failure_policy: policy,
+    }
+}
+
+/// ≥ 10% of configurations fail: 6% panic, 6% return NaN, 3% stall past
+/// the deadline (surfacing as timeouts), 4% fail transiently (and recover
+/// under retry).
+fn heavy_plan() -> FaultPlan {
+    FaultPlan {
+        panic_rate: 0.06,
+        nan_rate: 0.06,
+        delay_rate: 0.03,
+        transient_rate: 0.04,
+        delay: Duration::from_millis(300),
+        transient_attempts: 1,
+        seed: 9,
+    }
+}
+
+/// A fingerprint of everything that must be reproducible: per-sample
+/// configuration + exact objective bits, per-failure configuration + error
+/// kind (timeout latencies vary between runs; their classification must
+/// not), and the per-iteration bookkeeping.
+#[allow(clippy::type_complexity)]
+fn fingerprint(
+    res: &hypermapper::ExplorationResult,
+) -> (
+    Vec<(Vec<u32>, Vec<u64>)>,
+    Vec<(Vec<u32>, &'static str)>,
+    Vec<(usize, usize, usize)>,
+    Vec<usize>,
+) {
+    (
+        res.samples
+            .iter()
+            .map(|s| {
+                (
+                    s.config.choices().to_vec(),
+                    s.objectives.iter().map(|v| v.to_bits()).collect(),
+                )
+            })
+            .collect(),
+        res.failures
+            .iter()
+            .map(|f| (f.config.choices().to_vec(), f.error.kind()))
+            .collect(),
+        res.iterations
+            .iter()
+            .map(|it| (it.predicted_front_size, it.new_evaluations, it.failed_evaluations))
+            .collect(),
+        res.pareto_indices.clone(),
+    )
+}
+
+fn run_with_faults(seed: u64, policy: FailurePolicy) -> hypermapper::ExplorationResult {
+    let inner = toy_evaluator();
+    let injected = FaultInjectingEvaluator::new(&inner, heavy_plan());
+    let resilient = ResilientEvaluator::new(
+        &injected,
+        RetryPolicy {
+            max_retries: 2,
+            backoff_base: Duration::from_micros(50),
+            deadline: Some(Duration::from_millis(250)),
+            ..Default::default()
+        },
+    );
+    HyperMapper::new(space(), optimizer_config(seed, policy)).run(&resilient)
+}
+
+#[test]
+fn exploration_survives_heavy_fault_load() {
+    silence_injected_panics();
+    let res = run_with_faults(42, FailurePolicy::Exclude);
+
+    // The loop completed and still found a front.
+    assert!(!res.pareto_indices.is_empty());
+    assert!(!res.samples.is_empty());
+    assert!(!res.iterations.is_empty());
+
+    // Failures were recorded, classified, and span the injected classes.
+    assert!(!res.failures.is_empty(), "fault plan must actually fire");
+    let kinds = res.failure_kinds();
+    let kind = |k: &str| kinds.iter().find(|(n, _)| *n == k).map_or(0, |(_, n)| *n);
+    assert!(kind("panicked") > 0, "kinds: {kinds:?}");
+    assert!(kind("non-finite") > 0, "kinds: {kinds:?}");
+    assert!(kind("timeout") > 0, "kinds: {kinds:?}");
+
+    // Per-iteration failure counts reconcile with the global failure log.
+    let iter_failures: usize = res.iterations.iter().map(|it| it.failed_evaluations).sum();
+    assert_eq!(res.bootstrap_failures() + iter_failures, res.failures.len());
+    for it in &res.iterations {
+        assert!(it.failed_evaluations <= it.new_evaluations);
+    }
+
+    // Failed configurations never become training samples.
+    let failed: std::collections::HashSet<Vec<u32>> =
+        res.failures.iter().map(|f| f.config.choices().to_vec()).collect();
+    for s in &res.samples {
+        assert!(
+            !failed.contains(&s.config.choices().to_vec()),
+            "failed configuration leaked into the sample set"
+        );
+        assert!(s.objectives.iter().all(|v| v.is_finite()));
+    }
+}
+
+#[test]
+fn faulty_exploration_is_deterministic() {
+    silence_injected_panics();
+    // Two fresh stacks, same seeds everywhere: the exploration must be
+    // bit-identical, including which configurations failed and how the
+    // failures were classified.
+    let a = run_with_faults(7, FailurePolicy::Exclude);
+    let b = run_with_faults(7, FailurePolicy::Exclude);
+    assert!(!a.failures.is_empty());
+    assert_eq!(fingerprint(&a), fingerprint(&b));
+}
+
+#[test]
+fn penalty_imputation_trains_without_polluting_results() {
+    silence_injected_panics();
+    let res = run_with_faults(11, FailurePolicy::ImputePenalty { factor: 1.0 });
+    assert!(!res.failures.is_empty());
+    assert!(!res.pareto_indices.is_empty());
+    // Imputed rows feed the forests only: the reported samples, front, and
+    // hypervolume never contain a penalty vector.
+    for s in &res.samples {
+        assert!(s.objectives.iter().all(|v| v.is_finite()));
+    }
+    let failed: std::collections::HashSet<Vec<u32>> =
+        res.failures.iter().map(|f| f.config.choices().to_vec()).collect();
+    for &i in &res.pareto_indices {
+        assert!(!failed.contains(&res.samples[i].config.choices().to_vec()));
+    }
+}
+
+#[test]
+fn total_failure_is_an_error_not_a_hang() {
+    let space = space();
+    let always_panics = FnEvaluator::new(2, |_| panic!("injected panic: every configuration fails"));
+    silence_injected_panics();
+    let hm = HyperMapper::new(space, optimizer_config(3, FailurePolicy::Exclude));
+    match hm.try_run(&always_panics) {
+        Err(HmError::NoSuccessfulEvaluations { iteration: None, attempted }) => {
+            assert!(attempted > 0);
+        }
+        other => panic!("expected NoSuccessfulEvaluations, got {other:?}"),
+    }
+}
+
+#[test]
+fn infallible_evaluators_opt_in_unchanged() {
+    // The pre-existing infallible implementors compile and run with no
+    // changes: the default `try_evaluate` bridges them, and a clean run
+    // records zero failures.
+    let res = HyperMapper::new(space(), optimizer_config(5, FailurePolicy::Exclude))
+        .run(&toy_evaluator());
+    assert!(res.failures.is_empty());
+    assert!(res.iterations.iter().all(|it| it.failed_evaluations == 0));
+    assert!(!res.pareto_indices.is_empty());
+}
+
+#[test]
+fn transient_faults_recover_under_retry() {
+    silence_injected_panics();
+    let res = run_with_faults(13, FailurePolicy::Exclude);
+    // Transients recover on the retry, so they never reach the failure
+    // log as transient errors.
+    assert!(
+        res.failures.iter().all(|f| !matches!(f.error, EvalError::Transient { .. })),
+        "transient failures should have been retried away: {:?}",
+        res.failure_kinds()
+    );
+}

@@ -12,11 +12,22 @@
 //! All evaluators return `[runtime, max ATE]`, both minimized, matching
 //! the paper's two performance metrics.
 
-use crate::runner::{run_elasticfusion, run_kfusion};
+use crate::runner::{run_elasticfusion, run_kfusion, PerfReport, RunStatus};
 use crate::spaces::{ef_params_from_config, ef_pipeline_config, kf_params_from_config, kf_pipeline_config};
 use device_models::{ef_ate, ef_frame_time, kf_ate, kf_frame_time, DeviceModel};
-use hypermapper::{Configuration, Evaluator};
+use hypermapper::{Configuration, EvalError, Evaluator};
 use icl_nuim_synth::{SequenceConfig, SyntheticSequence};
+
+/// Map a diverged run to a structured evaluation error; completed runs pass
+/// through for metric extraction.
+fn report_or_diverged(report: PerfReport) -> Result<PerfReport, EvalError> {
+    match report.status {
+        RunStatus::Completed => Ok(report),
+        RunStatus::Diverged { .. } => {
+            Err(EvalError::Diverged { reason: report.status.to_string() })
+        }
+    }
+}
 
 /// KFusion on an analytic device model: `[seconds/frame, max ATE (m)]`.
 pub struct SimulatedKFusionEvaluator {
@@ -118,6 +129,17 @@ impl Evaluator for NativeKFusionEvaluator {
         // sequentially keeps per-config timing measurements honest.
         configs.iter().map(|c| self.evaluate(c)).collect()
     }
+    fn try_evaluate(&self, config: &Configuration) -> Result<Vec<f64>, EvalError> {
+        let report = report_or_diverged(run_kfusion(
+            &self.sequence,
+            &kf_pipeline_config(config),
+            self.n_frames,
+        ))?;
+        Ok(vec![report.mean_frame_time, report.ate.max])
+    }
+    fn try_evaluate_batch(&self, configs: &[Configuration]) -> Vec<Result<Vec<f64>, EvalError>> {
+        configs.iter().map(|c| self.try_evaluate(c)).collect()
+    }
 }
 
 /// ElasticFusion actually executed over a synthetic sequence.
@@ -154,6 +176,17 @@ impl Evaluator for NativeElasticFusionEvaluator {
     }
     fn evaluate_batch(&self, configs: &[Configuration]) -> Vec<Vec<f64>> {
         configs.iter().map(|c| self.evaluate(c)).collect()
+    }
+    fn try_evaluate(&self, config: &Configuration) -> Result<Vec<f64>, EvalError> {
+        let report = report_or_diverged(run_elasticfusion(
+            &self.sequence,
+            &ef_pipeline_config(config),
+            self.n_frames,
+        ))?;
+        Ok(vec![report.mean_frame_time, report.ate.mean])
+    }
+    fn try_evaluate_batch(&self, configs: &[Configuration]) -> Vec<Result<Vec<f64>, EvalError>> {
+        configs.iter().map(|c| self.try_evaluate(c)).collect()
     }
 }
 

@@ -22,7 +22,7 @@ pub use eval::{
     SimulatedKFusionEvaluator,
 };
 pub use metrics::{ate, AteStats};
-pub use runner::{run_elasticfusion, run_kfusion, PerfReport};
+pub use runner::{run_elasticfusion, run_kfusion, DivergenceReason, PerfReport, RunStatus};
 pub use spaces::{
     ef_params_from_config, elasticfusion_space, kf_params_from_config, kfusion_space,
     ACCURACY_LIMIT_M,

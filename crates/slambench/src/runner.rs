@@ -5,12 +5,79 @@ use elasticfusion::{EFusionConfig, ElasticFusion};
 use icl_nuim_synth::SyntheticSequence;
 use kfusion::{KFusion, KFusionConfig};
 use slam_geometry::SE3;
+use std::fmt;
+
+/// Consecutive failed tracking attempts before a run is declared collapsed.
+/// Real trackers occasionally drop a frame and recover; a run that fails
+/// this many frames in a row has lost the map and every further frame only
+/// burns time on an already-meaningless trajectory.
+const TRACKING_COLLAPSE_LIMIT: usize = 10;
+
+/// Why a run was aborted early.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DivergenceReason {
+    /// The pipeline produced a pose with NaN/infinite entries.
+    NonFinitePose,
+    /// The trajectory error over the clean frames is not finite.
+    NonFiniteAte,
+    /// Tracking failed [`TRACKING_COLLAPSE_LIMIT`] frames in a row.
+    TrackingCollapse,
+}
+
+impl fmt::Display for DivergenceReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DivergenceReason::NonFinitePose => write!(f, "non-finite pose"),
+            DivergenceReason::NonFiniteAte => write!(f, "non-finite trajectory error"),
+            DivergenceReason::TrackingCollapse => write!(f, "tracking collapse"),
+        }
+    }
+}
+
+/// Whether a run processed its whole budget or aborted early.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunStatus {
+    /// All requested frames were processed.
+    Completed,
+    /// The run was aborted at `at_frame` (0-based) — the report covers only
+    /// the clean prefix of the sequence.
+    Diverged {
+        /// What tripped the abort.
+        reason: DivergenceReason,
+        /// 0-based index of the frame where divergence was detected.
+        at_frame: usize,
+    },
+}
+
+impl RunStatus {
+    /// True when the run aborted early.
+    pub fn is_diverged(&self) -> bool {
+        matches!(self, RunStatus::Diverged { .. })
+    }
+}
+
+impl fmt::Display for RunStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunStatus::Completed => write!(f, "completed"),
+            RunStatus::Diverged { reason, at_frame } => {
+                write!(f, "diverged at frame {at_frame}: {reason}")
+            }
+        }
+    }
+}
 
 /// The measurement output of one benchmark run — the two performance
 /// metrics of the paper plus supporting detail.
+///
+/// A diverged run reports metrics over the *clean prefix* of the sequence
+/// (everything before the frame that tripped detection), so the numeric
+/// fields stay finite even when the pipeline blew up; check
+/// [`PerfReport::status`] before treating them as a measurement of the full
+/// sequence.
 #[derive(Debug, Clone)]
 pub struct PerfReport {
-    /// Trajectory accuracy.
+    /// Trajectory accuracy over the processed frames.
     pub ate: AteStats,
     /// Mean wall-clock seconds per frame.
     pub mean_frame_time: f64,
@@ -18,48 +85,127 @@ pub struct PerfReport {
     pub total_time: f64,
     /// Frames per second (1 / mean_frame_time).
     pub fps: f64,
-    /// Number of frames processed.
+    /// Number of frames processed (less than requested when diverged).
     pub frames: usize,
-    /// Fraction of frames where tracking succeeded.
+    /// Fraction of processed frames where tracking succeeded.
     pub tracked_fraction: f64,
+    /// Whether the run completed or aborted early.
+    pub status: RunStatus,
 }
 
 impl PerfReport {
-    fn from_run(gt: &[SE3], est: &[SE3], frame_times: &[f64], tracked: usize) -> PerfReport {
+    fn from_run(
+        gt: &[SE3],
+        est: &[SE3],
+        frame_times: &[f64],
+        tracked: usize,
+        status: RunStatus,
+    ) -> PerfReport {
+        // The runners clamp the frame budget to ≥ 1 and always record the
+        // divergence frame itself, so a report over zero frames is
+        // unreachable; the assert keeps the divisions below honest.
+        assert!(!frame_times.is_empty(), "a run must process at least one frame");
+        let frames = frame_times.len();
         let total_time: f64 = frame_times.iter().sum();
-        let mean = total_time / frame_times.len().max(1) as f64;
+        let mean = total_time / frames as f64;
+        let ate = ate(gt, est);
+        // A NaN that slips past pose checks (e.g. through depth data) still
+        // must not masquerade as a completed measurement.
+        let status = if status == RunStatus::Completed
+            && !(ate.mean.is_finite() && ate.max.is_finite() && ate.rmse.is_finite())
+        {
+            RunStatus::Diverged {
+                reason: DivergenceReason::NonFiniteAte,
+                at_frame: frames - 1,
+            }
+        } else {
+            status
+        };
         PerfReport {
-            ate: ate(gt, est),
+            ate,
             mean_frame_time: mean,
             total_time,
             fps: if mean > 0.0 { 1.0 / mean } else { 0.0 },
-            frames: frame_times.len(),
-            tracked_fraction: tracked as f64 / frame_times.len().max(1) as f64,
+            frames,
+            tracked_fraction: tracked as f64 / frames as f64,
+            status,
         }
+    }
+}
+
+fn pose_is_finite(p: &SE3) -> bool {
+    p.t.x.is_finite()
+        && p.t.y.is_finite()
+        && p.t.z.is_finite()
+        && p.r.m.iter().all(|row| row.iter().all(|v| v.is_finite()))
+}
+
+/// Tracks consecutive failed tracking attempts; trips at
+/// [`TRACKING_COLLAPSE_LIMIT`].
+struct CollapseMonitor {
+    consecutive: usize,
+}
+
+impl CollapseMonitor {
+    fn new() -> Self {
+        CollapseMonitor { consecutive: 0 }
+    }
+
+    /// Record one frame's tracking outcome; returns true on collapse.
+    fn observe(&mut self, tracking_failed: bool) -> bool {
+        if tracking_failed {
+            self.consecutive += 1;
+        } else {
+            self.consecutive = 0;
+        }
+        self.consecutive >= TRACKING_COLLAPSE_LIMIT
     }
 }
 
 /// Run the KinectFusion pipeline over the first `n_frames` of `seq`
 /// (clamped to the sequence length) and measure runtime and ATE.
+///
+/// Divergence (non-finite pose, sustained tracking collapse) aborts the run
+/// early: the report covers the clean frames processed so far and carries
+/// [`RunStatus::Diverged`] instead of poisoning downstream statistics with
+/// NaN.
 pub fn run_kfusion(seq: &SyntheticSequence, config: &KFusionConfig, n_frames: usize) -> PerfReport {
     let n = n_frames.min(seq.len()).max(1);
     let mut pipeline = KFusion::new(config.clone(), seq.intrinsics(), seq.gt_pose(0));
     let mut gt = Vec::with_capacity(n);
     let mut frame_times = Vec::with_capacity(n);
     let mut tracked = 0usize;
+    let mut monitor = CollapseMonitor::new();
+    let mut status = RunStatus::Completed;
     for i in 0..n {
         let frame = seq.cached_frame(i);
         let stats = pipeline.process(frame);
+        if !pose_is_finite(&stats.pose) && i > 0 {
+            status = RunStatus::Diverged {
+                reason: DivergenceReason::NonFinitePose,
+                at_frame: i,
+            };
+            break; // this frame's pose is garbage: keep the clean prefix
+        }
         gt.push(frame.gt_pose);
         frame_times.push(stats.timings.total());
-        if stats.tracked || !stats.tracking_attempted {
+        let frame_tracked = stats.tracked || !stats.tracking_attempted;
+        if frame_tracked {
             tracked += 1;
         }
+        if monitor.observe(!frame_tracked) {
+            status = RunStatus::Diverged {
+                reason: DivergenceReason::TrackingCollapse,
+                at_frame: i,
+            };
+            break;
+        }
     }
-    PerfReport::from_run(&gt, pipeline.trajectory(), &frame_times, tracked)
+    PerfReport::from_run(&gt, &pipeline.trajectory()[..gt.len()], &frame_times, tracked, status)
 }
 
-/// Run the ElasticFusion pipeline over the first `n_frames` of `seq`.
+/// Run the ElasticFusion pipeline over the first `n_frames` of `seq`, with
+/// the same early-abort divergence handling as [`run_kfusion`].
 pub fn run_elasticfusion(
     seq: &SyntheticSequence,
     config: &EFusionConfig,
@@ -70,16 +216,33 @@ pub fn run_elasticfusion(
     let mut gt = Vec::with_capacity(n);
     let mut frame_times = Vec::with_capacity(n);
     let mut tracked = 0usize;
+    let mut monitor = CollapseMonitor::new();
+    let mut status = RunStatus::Completed;
     for i in 0..n {
         let frame = seq.cached_frame(i);
         let stats = pipeline.process(frame);
+        if !pose_is_finite(&stats.pose) && i > 0 {
+            status = RunStatus::Diverged {
+                reason: DivergenceReason::NonFinitePose,
+                at_frame: i,
+            };
+            break;
+        }
         gt.push(frame.gt_pose);
         frame_times.push(stats.total_time());
-        if stats.tracked || i == 0 {
+        let frame_tracked = stats.tracked || i == 0;
+        if frame_tracked {
             tracked += 1;
         }
+        if monitor.observe(!frame_tracked) {
+            status = RunStatus::Diverged {
+                reason: DivergenceReason::TrackingCollapse,
+                at_frame: i,
+            };
+            break;
+        }
     }
-    PerfReport::from_run(&gt, pipeline.trajectory(), &frame_times, tracked)
+    PerfReport::from_run(&gt, &pipeline.trajectory()[..gt.len()], &frame_times, tracked, status)
 }
 
 #[cfg(test)]
@@ -104,6 +267,7 @@ mod tests {
         let cfg = KFusionConfig { volume_resolution: 64, ..Default::default() };
         let r = run_kfusion(&s, &cfg, 8);
         assert_eq!(r.frames, 8);
+        assert_eq!(r.status, RunStatus::Completed);
         assert!(r.mean_frame_time > 0.0);
         assert!(r.fps > 0.0);
         assert!(r.ate.mean.is_finite());
@@ -117,6 +281,7 @@ mod tests {
         let cfg = EFusionConfig::default();
         let r = run_elasticfusion(&s, &cfg, 8);
         assert_eq!(r.frames, 8);
+        assert_eq!(r.status, RunStatus::Completed);
         assert!(r.mean_frame_time > 0.0);
         assert!(r.ate.mean.is_finite());
         assert!(r.tracked_fraction > 0.5);
@@ -147,5 +312,32 @@ mod tests {
         let cfg = KFusionConfig { volume_resolution: 64, ..Default::default() };
         let r = run_kfusion(&s, &cfg, 5);
         assert_eq!(r.frames, 5);
+    }
+
+    #[test]
+    fn tracking_collapse_aborts_early_with_finite_report() {
+        // Zero ICP iterations at every pyramid level: tracking is attempted
+        // each frame (tracking_rate: 1) but can never converge, so the run
+        // must trip the collapse detector instead of grinding through the
+        // whole budget and returning garbage.
+        let s = seq();
+        let cfg = KFusionConfig {
+            volume_resolution: 64,
+            tracking_rate: 1,
+            pyramid_iterations: [0, 0, 0],
+            ..Default::default()
+        };
+        let r = run_kfusion(&s, &cfg, 40);
+        match r.status {
+            RunStatus::Diverged { reason, at_frame } => {
+                assert_eq!(reason, DivergenceReason::TrackingCollapse);
+                assert!(at_frame < 40, "collapse frame {at_frame}");
+            }
+            RunStatus::Completed => panic!("expected divergence, got completion: {r:?}"),
+        }
+        assert!(r.frames < 40, "aborted early, processed {}", r.frames);
+        assert!(r.ate.mean.is_finite());
+        assert!(r.mean_frame_time.is_finite() && r.mean_frame_time > 0.0);
+        assert!(r.tracked_fraction < 0.5);
     }
 }

@@ -52,6 +52,7 @@ fn main() {
             pool_size: 3_000,
             forest: ForestConfig { n_trees: 25, ..Default::default() },
             seed: 5,
+            ..Default::default()
         },
     );
     println!("running real pipeline evaluations (this takes a few seconds)...");

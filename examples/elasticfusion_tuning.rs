@@ -32,6 +32,7 @@ fn main() {
             pool_size: 40_000,
             forest: ForestConfig { n_trees: 60, ..Default::default() },
             seed: 42,
+            ..Default::default()
         },
     );
     let result = optimizer.run(&evaluator);

@@ -18,6 +18,7 @@ fn quick_config(seed: u64) -> OptimizerConfig {
         pool_size: 15_000,
         forest: ForestConfig { n_trees: 40, ..Default::default() },
         seed,
+        ..Default::default()
     }
 }
 

@@ -1,0 +1,83 @@
+//! Cross-crate fault handling: a KFusion configuration that destroys
+//! tracking must surface as a structured divergence — an early-aborted run
+//! at the SLAM layer, a typed evaluation failure at the optimizer layer —
+//! never as a NaN objective smuggled into the training set.
+
+use hypermapper::{EvalError, Evaluator, ParamSpace};
+use icl_nuim_synth::{NoiseModel, SequenceConfig, TrajectoryKind};
+use slambench::eval::NativeKFusionEvaluator;
+use slambench::{DivergenceReason, RunStatus};
+
+fn sequence_config() -> SequenceConfig {
+    SequenceConfig {
+        width: 48,
+        height: 36,
+        n_frames: 60,
+        trajectory: TrajectoryKind::LivingRoomLoop,
+        noise: NoiseModel::none(),
+        seed: 1,
+    }
+}
+
+/// Same layout as `slambench::kfusion_space`, but the pyramid levels admit
+/// zero ICP iterations — a configuration class the real space excludes
+/// precisely because it cannot track. That makes it the perfect lever for
+/// forcing a deterministic tracking collapse.
+fn stress_space() -> ParamSpace {
+    ParamSpace::builder()
+        .ordinal("volume-resolution", [64.0, 128.0, 256.0])
+        .ordinal_log("mu", (0..6).map(|i| 0.0125 * 2f64.powi(i)))
+        .ordinal("compute-size-ratio", [1.0, 2.0, 4.0, 8.0])
+        .ordinal("tracking-rate", (1..=5).map(f64::from))
+        .ordinal_log("icp-threshold", (0..5).map(|i| 10f64.powi(-5 + i)))
+        .ordinal("integration-rate", (1..=10).map(f64::from))
+        .ordinal("pyramid-l0", (0..=5).map(f64::from))
+        .ordinal("pyramid-l1", (0..=4).map(f64::from))
+        .ordinal("pyramid-l2", (0..=3).map(f64::from))
+        .build()
+        .unwrap()
+}
+
+#[test]
+fn collapsing_kfusion_config_reports_divergence_not_nan() {
+    let space = stress_space();
+    // Track every frame with zero ICP iterations per pyramid level: every
+    // tracking attempt fails, so the run must trip the collapse detector.
+    let collapsing =
+        space.config_from_values(&[64.0, 0.2, 4.0, 1.0, 1e-5, 1.0, 0.0, 0.0, 0.0]);
+
+    // SLAM layer: the runner aborts early with a finite-field report.
+    let report = slambench::run_kfusion(
+        &icl_nuim_synth::SyntheticSequence::new(sequence_config()),
+        &slambench::spaces::kf_pipeline_config(&collapsing),
+        40,
+    );
+    match report.status {
+        RunStatus::Diverged { reason, at_frame } => {
+            assert_eq!(reason, DivergenceReason::TrackingCollapse);
+            assert!(at_frame < 40);
+        }
+        RunStatus::Completed => panic!("expected divergence: {report:?}"),
+    }
+    assert!(report.frames < 40, "early abort, got {} frames", report.frames);
+    assert!(report.ate.mean.is_finite() && report.ate.max.is_finite());
+    assert!(report.mean_frame_time.is_finite());
+    assert!(report.total_time.is_finite());
+
+    // Optimizer layer: the native evaluator maps the diverged run to a
+    // typed failure instead of returning a NaN objective vector.
+    let evaluator = NativeKFusionEvaluator::new(sequence_config(), 40);
+    match evaluator.try_evaluate(&collapsing) {
+        Err(EvalError::Diverged { reason }) => {
+            assert!(reason.contains("tracking collapse"), "reason: {reason}");
+        }
+        other => panic!("expected Diverged, got {other:?}"),
+    }
+
+    // A healthy configuration on the same evaluator still succeeds: full
+    // tracking resolution and deep ICP pyramids, the accurate end of the
+    // space.
+    let healthy = space.config_from_values(&[128.0, 0.1, 1.0, 1.0, 1e-5, 1.0, 5.0, 4.0, 3.0]);
+    let out = evaluator.try_evaluate(&healthy).expect("healthy config evaluates");
+    assert!(out.iter().all(|v| v.is_finite()));
+}
