@@ -9,9 +9,13 @@ use std::collections::HashSet;
 /// skipping any whose flat index is in `exclude` (pass an empty set when
 /// there is no history).
 ///
-/// For spaces much larger than `n` this is a simple rejection loop; for
-/// small spaces it falls back to enumerating and shuffling the remaining
-/// indices so it always terminates.
+/// When many more configurations are *available* (not excluded) than
+/// requested this is a simple rejection loop; otherwise it falls back to
+/// enumerating and shuffling the remaining indices so it always terminates.
+/// The branch is chosen on `available = size − |exclude|`, not on the raw
+/// space size: a large space whose exclude set covers almost everything
+/// would make rejection sampling spin nearly unboundedly hunting for the
+/// few free indices.
 pub fn sample_distinct<R: Rng>(
     space: &ParamSpace,
     n: usize,
@@ -25,7 +29,7 @@ pub fn sample_distinct<R: Rng>(
     }
 
     // Dense case: enumerate what's left and partially shuffle.
-    if size <= (n as u64).saturating_mul(4).max(1024) {
+    if available <= (n as u64).saturating_mul(4).max(1024) {
         let mut remaining: Vec<u64> = (0..size).filter(|i| !exclude.contains(i)).collect();
         // Partial Fisher–Yates: we only need the first n.
         let len = remaining.len();
@@ -120,6 +124,29 @@ mod tests {
         let samples = sample_distinct(&s, 6, &exclude, &mut rng).unwrap();
         let set: HashSet<u64> = samples.iter().map(|c| s.flat_index(c)).collect();
         assert_eq!(set, (10..16).collect::<HashSet<u64>>());
+    }
+
+    #[test]
+    fn dense_exclusion_of_sparse_space_terminates() {
+        // Regression: the dense-vs-rejection branch used to be chosen on
+        // `space.size()`, so a large space with an exclude set covering
+        // >99% of it took the rejection path and spun almost unboundedly
+        // hunting for the few free indices. Branching on `available`
+        // makes this an instant enumerate-and-shuffle.
+        let s = space(40); // 1600 configs — above the 1024 dense cutoff
+        let exclude: HashSet<u64> = (0..1590).collect(); // 99.4% excluded
+        let mut rng = StdRng::seed_from_u64(11);
+        let samples = sample_distinct(&s, 8, &exclude, &mut rng).unwrap();
+        assert_eq!(samples.len(), 8);
+        let set: HashSet<u64> = samples.iter().map(|c| s.flat_index(c)).collect();
+        assert_eq!(set.len(), 8);
+        for &i in &set {
+            assert!((1590..1600).contains(&i), "drew excluded index {i}");
+        }
+        // Requesting every free index works too.
+        let all = sample_distinct(&s, 10, &exclude, &mut StdRng::seed_from_u64(12)).unwrap();
+        let set: HashSet<u64> = all.iter().map(|c| s.flat_index(c)).collect();
+        assert_eq!(set, (1590..1600).collect::<HashSet<u64>>());
     }
 
     #[test]

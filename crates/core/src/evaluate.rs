@@ -227,6 +227,11 @@ impl EvalCell {
 /// matters — put retry logic *inside* the cache
 /// (`CachedEvaluator::new(&resilient)`) to cache final outcomes, or outside
 /// to retry through the cache.
+///
+/// Composes under [`crate::scheduler::ParallelBatchEvaluator`]: when
+/// parallel workers race on the same uncached configuration, the in-flight
+/// deduplication above guarantees exactly one inner evaluation per distinct
+/// configuration regardless of worker count.
 pub struct CachedEvaluator<'a, E: Evaluator> {
     inner: &'a E,
     space: Option<&'a ParamSpace>,

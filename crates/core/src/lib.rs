@@ -55,6 +55,7 @@ pub mod optimizer;
 pub mod pareto;
 pub mod param;
 pub mod resilient;
+pub mod scheduler;
 pub mod space;
 
 pub use analysis::{pearson, spearman, ParamImportance};
@@ -69,6 +70,7 @@ pub use optimizer::{
     OptimizerConfig, Phase, Sample,
 };
 pub use resilient::{FailureLogEntry, ResilientEvaluator, RetryPolicy};
+pub use scheduler::{default_workers, ParallelBatchEvaluator};
 pub use pareto::{dominates, hypervolume_2d, pareto_front, pareto_front_2d};
 pub use param::{Domain, ParamDef};
 pub use space::{Configuration, ParamSpace, SpaceBuilder};

@@ -4,6 +4,7 @@ use crate::doe::{prediction_pool, sample_distinct};
 use crate::error::{EvalError, HmError};
 use crate::evaluate::Evaluator;
 use crate::pareto::{hypervolume_2d, pareto_front, pareto_front_2d};
+use crate::scheduler::ParallelBatchEvaluator;
 use crate::space::{Configuration, ParamSpace};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -112,6 +113,13 @@ pub struct OptimizerConfig {
     pub seed: u64,
     /// How failed configurations feed the surrogate forests.
     pub failure_policy: FailurePolicy,
+    /// Workers for cross-configuration batch evaluation. `0` (the default)
+    /// calls the evaluator's own `try_evaluate_batch`; `> 0` fans each
+    /// phase's batch across a [`crate::scheduler::ParallelBatchEvaluator`]
+    /// with that many OS threads. Because the scheduler preserves values
+    /// and ordering exactly, the exploration is bit-identical for any
+    /// setting (given a deterministic evaluator) — only wall-clock changes.
+    pub eval_workers: usize,
 }
 
 impl Default for OptimizerConfig {
@@ -124,6 +132,7 @@ impl Default for OptimizerConfig {
             forest: ForestConfig { n_trees: 100, ..Default::default() },
             seed: 0,
             failure_policy: FailurePolicy::Exclude,
+            eval_workers: 0,
         }
     }
 }
@@ -377,7 +386,12 @@ impl HyperMapper {
         samples: &mut Vec<Sample>,
         failures: &mut Vec<FailureRecord>,
     ) -> usize {
-        let outcomes = evaluator.try_evaluate_batch(&configs);
+        let outcomes = if self.config.eval_workers > 0 {
+            ParallelBatchEvaluator::with_workers(evaluator, self.config.eval_workers)
+                .try_evaluate_batch(&configs)
+        } else {
+            evaluator.try_evaluate_batch(&configs)
+        };
         assert_eq!(outcomes.len(), configs.len(), "batch size mismatch");
         let mut successes = 0usize;
         for (config, outcome) in configs.into_iter().zip(outcomes) {

@@ -1,7 +1,21 @@
 //! Pareto-dominance machinery (all objectives are **minimized**).
+//!
+//! # Non-finite points
+//!
+//! The front routines ([`pareto_front`], [`pareto_front_2d`]) **exclude**
+//! points with any NaN or infinite objective: a non-measurement can neither
+//! dominate nor sit on the front. Both the fast 2-objective sweep and the
+//! general O(n²) scan apply the same filter, so the two paths agree on
+//! degenerate inputs. (The optimizer already promotes non-finite objectives
+//! to evaluation failures before they reach a front, so this filter is a
+//! backstop for direct library users.)
 
 /// True when `a` Pareto-dominates `b`: `a` is no worse in every objective
 /// and strictly better in at least one.
+///
+/// NaN comparisons are always false, so a NaN objective can neither help
+/// `a` dominate nor be dominated — callers comparing possibly-NaN points
+/// should filter them first, as the front routines in this module do.
 ///
 /// # Panics
 /// If the two points have different arity.
@@ -20,7 +34,8 @@ pub fn dominates(a: &[f64], b: &[f64]) -> bool {
 }
 
 /// Indices of the non-dominated points among `points` (each a slice of
-/// minimized objectives). Duplicated non-dominated points are all kept.
+/// minimized objectives). Duplicated non-dominated points are all kept;
+/// points with any non-finite objective are excluded (see the module docs).
 ///
 /// Dispatches to the fast sort-based routine for the bi-objective case
 /// (the paper's accuracy/runtime setting) and falls back to the general
@@ -32,10 +47,13 @@ pub fn pareto_front(points: &[Vec<f64>]) -> Vec<usize> {
     if points[0].len() == 2 {
         return pareto_front_2d_impl(points.len(), |i| (points[i][0], points[i][1]));
     }
+    let finite: Vec<usize> = (0..points.len())
+        .filter(|&i| points[i].iter().all(|v| v.is_finite()))
+        .collect();
     let mut front = Vec::new();
-    'outer: for (i, p) in points.iter().enumerate() {
-        for (j, q) in points.iter().enumerate() {
-            if i != j && dominates(q, p) {
+    'outer: for &i in &finite {
+        for &j in &finite {
+            if i != j && dominates(&points[j], &points[i]) {
                 continue 'outer;
             }
         }
@@ -47,19 +65,27 @@ pub fn pareto_front(points: &[Vec<f64>]) -> Vec<usize> {
 /// Fast bi-objective Pareto front over `(x, y)` pairs: sort by `x` then
 /// sweep keeping points that improve the best `y` seen so far.
 /// Returns indices into the original slice, sorted by ascending `x`.
+/// Points with a non-finite coordinate are excluded (see the module docs).
 pub fn pareto_front_2d(points: &[(f64, f64)]) -> Vec<usize> {
     pareto_front_2d_impl(points.len(), |i| points[i])
 }
 
 fn pareto_front_2d_impl(n: usize, get: impl Fn(usize) -> (f64, f64)) -> Vec<usize> {
-    let mut order: Vec<usize> = (0..n).collect();
+    // Drop non-finite points up front: a NaN or ±∞ coordinate is a failed
+    // measurement, and letting one through (e.g. x = −∞) would dominate
+    // every real point and empty the front. This matches the general-path
+    // filter in `pareto_front`.
+    let mut order: Vec<usize> = (0..n)
+        .filter(|&i| {
+            let (x, y) = get(i);
+            x.is_finite() && y.is_finite()
+        })
+        .collect();
     // Sort by x, tie-break by y, so the sweep sees the best y first among
     // equal-x points.
     order.sort_by(|&a, &b| {
         let (ax, ay) = get(a);
         let (bx, by) = get(b);
-        // Total order: NaN sorts last instead of panicking, so degenerate
-        // inputs degrade to a well-defined (if meaningless) front.
         ax.total_cmp(&bx).then(ay.total_cmp(&by))
     });
     let mut front = Vec::new();
@@ -84,15 +110,22 @@ fn pareto_front_2d_impl(n: usize, get: impl Fn(usize) -> (f64, f64)) -> Vec<usiz
 
 /// Hypervolume (area) dominated by the bi-objective front of `points`,
 /// bounded by the reference point `(ref_x, ref_y)` (must be weakly worse
-/// than every point considered). Points beyond the reference are ignored.
+/// than every point considered). Points beyond the reference — and points
+/// with any non-finite coordinate, which would contribute infinite or NaN
+/// slabs — are ignored. A non-finite reference is rejected: it returns 0.0
+/// (debug builds also assert), since no finite area is bounded by it.
 ///
 /// This is the scalar progress measure used to compare random sampling vs.
 /// active learning across iterations.
 pub fn hypervolume_2d(points: &[(f64, f64)], reference: (f64, f64)) -> f64 {
+    if !(reference.0.is_finite() && reference.1.is_finite()) {
+        debug_assert!(false, "non-finite hypervolume reference {reference:?}");
+        return 0.0;
+    }
     let in_box: Vec<(f64, f64)> = points
         .iter()
         .copied()
-        .filter(|&(x, y)| x <= reference.0 && y <= reference.1)
+        .filter(|&(x, y)| x.is_finite() && y.is_finite() && x <= reference.0 && y <= reference.1)
         .collect();
     if in_box.is_empty() {
         return 0.0;
@@ -165,6 +198,52 @@ mod tests {
     }
 
     #[test]
+    fn front_2d_matches_general_with_non_finite_inputs() {
+        // Salt the deterministic cloud with every non-finite flavour; both
+        // paths must drop them and agree on the remaining front.
+        let mut pts: Vec<(f64, f64)> = (0..100u64)
+            .map(|i| {
+                let x = ((i.wrapping_mul(2654435761)) % 1000) as f64;
+                let y = ((i.wrapping_mul(40503).wrapping_add(17)) % 1000) as f64;
+                (x, y)
+            })
+            .collect();
+        pts.push((f64::NAN, 0.0));
+        pts.push((0.0, f64::NAN));
+        pts.push((f64::NAN, f64::NAN));
+        pts.push((f64::NEG_INFINITY, 0.0)); // would dominate everything if kept
+        pts.push((0.0, f64::NEG_INFINITY));
+        pts.push((f64::INFINITY, f64::INFINITY));
+        let as_vecs: Vec<Vec<f64>> = pts.iter().map(|&(x, y)| vec![x, y]).collect();
+        let mut a = pareto_front_2d(&pts);
+        let mut b = pareto_front(&as_vecs);
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+        let finite_cutoff = pts.len() - 6;
+        assert!(!a.is_empty(), "finite points must survive the salting");
+        for &i in &a {
+            assert!(i < finite_cutoff, "non-finite point {i} leaked onto the front");
+        }
+    }
+
+    #[test]
+    fn non_finite_points_are_excluded_from_both_paths() {
+        // 2-objective sweep path.
+        let pts = vec![(f64::NEG_INFINITY, 1.0), (1.0, f64::NAN), (2.0, 3.0)];
+        assert_eq!(pareto_front_2d(&pts), vec![2]);
+        // General path (3 objectives).
+        let pts3 = vec![
+            vec![f64::NAN, 1.0, 1.0],
+            vec![1.0, f64::NEG_INFINITY, 1.0],
+            vec![2.0, 2.0, 2.0],
+        ];
+        assert_eq!(pareto_front(&pts3), vec![2]);
+        // Entirely non-finite input yields an empty front, not a panic.
+        assert_eq!(pareto_front_2d(&[(f64::NAN, f64::NAN)]), Vec::<usize>::new());
+    }
+
+    #[test]
     fn front_general_3d() {
         let pts = vec![
             vec![1.0, 1.0, 1.0], // dominated by [1, 1, 0.5]
@@ -226,5 +305,28 @@ mod tests {
         let base = hypervolume_2d(&[(2.0, 2.0)], (4.0, 4.0));
         let better = hypervolume_2d(&[(2.0, 2.0), (1.0, 3.0)], (4.0, 4.0));
         assert!(better > base);
+    }
+
+    #[test]
+    fn hypervolume_ignores_non_finite_points() {
+        let hv = hypervolume_2d(
+            &[(1.0, 1.0), (f64::NEG_INFINITY, 0.5), (0.5, f64::NAN)],
+            (3.0, 3.0),
+        );
+        assert!((hv - 4.0).abs() < 1e-12, "non-finite points must not contribute area");
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "non-finite hypervolume reference")]
+    fn hypervolume_non_finite_reference_asserts_in_debug() {
+        hypervolume_2d(&[(1.0, 1.0)], (f64::NAN, 3.0));
+    }
+
+    #[cfg(not(debug_assertions))]
+    #[test]
+    fn hypervolume_non_finite_reference_is_zero_in_release() {
+        assert_eq!(hypervolume_2d(&[(1.0, 1.0)], (f64::INFINITY, 3.0)), 0.0);
+        assert_eq!(hypervolume_2d(&[(1.0, 1.0)], (3.0, f64::NAN)), 0.0);
     }
 }

@@ -76,7 +76,13 @@ pub struct FailureLogEntry {
 /// Stacking order with [`crate::CachedEvaluator`] matters: wrap the
 /// resilient evaluator *inside* the cache
 /// (`CachedEvaluator::new(&ResilientEvaluator::new(&inner, policy))`) so the
-/// cache stores post-retry outcomes.
+/// cache stores post-retry outcomes. Under
+/// [`crate::scheduler::ParallelBatchEvaluator`] this wrapper goes *inside*
+/// the scheduler: retries, backoff, and the cooperative deadline are all
+/// per-configuration state driven through `try_evaluate`, so each worker
+/// carries them independently and the failure log records the same attempts
+/// it would sequentially (log *order* across configurations follows
+/// completion time, as documented for batches).
 pub struct ResilientEvaluator<'a, E: Evaluator> {
     inner: &'a E,
     policy: RetryPolicy,

@@ -1,0 +1,305 @@
+//! Bounded parallel batch scheduling for evaluators.
+//!
+//! [`ParallelBatchEvaluator`] fans one batch of configurations across a
+//! bounded pool of OS worker threads while keeping the results — values,
+//! ordering, and per-configuration failure records — bit-identical to the
+//! sequential path. Workers pull configuration indices from a shared atomic
+//! counter (so an expensive configuration never blocks the rest of the
+//! batch behind a static partition) and every result is placed back into
+//! the slot of the index it was taken from.
+//!
+//! Two properties make this safe to drop into an exploration:
+//!
+//! * **Determinism** — each configuration's evaluation is independent, so
+//!   as long as the inner evaluator is deterministic per configuration, the
+//!   batch result does not depend on worker count, scheduling order, or
+//!   thread timing. `HyperMapper::try_run` produces bit-identical
+//!   explorations with parallel evaluation on and off
+//!   (`crates/core/tests/parallel_eval.rs`).
+//! * **Oversubscription control** — SLAM pipelines are internally parallel
+//!   (Rayon). By default each worker runs its evaluations inside a
+//!   dedicated Rayon pool of `total_threads / workers` threads, so `w`
+//!   concurrent pipeline evaluations use the same number of cores as one
+//!   uncapped evaluation instead of `w ×` oversubscribing the machine.
+//!
+//! What this wrapper does **not** make safe is wall-clock measurement:
+//! configurations timed while sharing the machine with `w − 1` siblings
+//! report contended numbers. Use it with throughput-mode (work-proxy)
+//! evaluators and re-measure the surviving Pareto front serially in timing
+//! mode — see `slambench::MeasurementMode` and DESIGN §9.
+//!
+//! Composition: wrap the full per-configuration stack, e.g.
+//! `ParallelBatchEvaluator::new(&CachedEvaluator::new(&ResilientEvaluator::new(&inner, policy)))`
+//! — the scheduler only distributes per-configuration `try_evaluate` calls,
+//! so retry, deadline, and in-flight-dedup semantics are unchanged.
+
+use crate::error::EvalError;
+use crate::evaluate::Evaluator;
+use crate::space::Configuration;
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Default worker count: the machine's available parallelism (1 when it
+/// cannot be determined).
+pub fn default_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Fan batches of evaluations across a bounded pool of OS worker threads
+/// with deterministic result ordering (see the module docs).
+///
+/// Single-configuration calls ([`Evaluator::evaluate`],
+/// [`Evaluator::try_evaluate`]) delegate straight to the inner evaluator —
+/// only batches are scheduled.
+pub struct ParallelBatchEvaluator<'a, E: Evaluator> {
+    inner: &'a E,
+    workers: usize,
+    cap_inner_parallelism: bool,
+}
+
+impl<'a, E: Evaluator> ParallelBatchEvaluator<'a, E> {
+    /// Wrap `inner` with one worker per available core.
+    pub fn new(inner: &'a E) -> Self {
+        Self::with_workers(inner, default_workers())
+    }
+
+    /// Wrap `inner` with an explicit worker count (clamped to ≥ 1).
+    /// `workers == 1` forces strictly sequential batches.
+    pub fn with_workers(inner: &'a E, workers: usize) -> Self {
+        ParallelBatchEvaluator {
+            inner,
+            workers: workers.max(1),
+            cap_inner_parallelism: true,
+        }
+    }
+
+    /// Disable the per-worker Rayon pool cap: inner evaluations share the
+    /// global Rayon pool instead. Useful when the inner evaluator is known
+    /// to be single-threaded (analytic models, closures) and pool setup
+    /// would be pure overhead.
+    pub fn without_inner_cap(mut self) -> Self {
+        self.cap_inner_parallelism = false;
+        self
+    }
+
+    /// The bounded worker count used for batches.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Run `f(i)` for every `i < n` across the worker pool and return the
+    /// results in index order. Results are bit-identical to the sequential
+    /// `(0..n).map(f)` for any per-index-deterministic `f`.
+    fn fan_out<T, F>(&self, n: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        let workers = self.workers.min(n);
+        if workers <= 1 {
+            return (0..n).map(f).collect();
+        }
+        // Cap nested Rayon parallelism: give each worker a dedicated pool
+        // of `total / workers` threads so `workers` concurrent internally-
+        // parallel evaluations cannot oversubscribe the machine.
+        let inner_threads = if self.cap_inner_parallelism {
+            (rayon::current_num_threads() / workers).max(1)
+        } else {
+            0
+        };
+        let next = AtomicUsize::new(0);
+        let per_worker: Vec<Vec<(usize, T)>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let pool = (inner_threads > 0)
+                            .then(|| {
+                                rayon::ThreadPoolBuilder::new()
+                                    .num_threads(inner_threads)
+                                    .build()
+                                    .ok()
+                            })
+                            .flatten();
+                        let mut local = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= n {
+                                break;
+                            }
+                            let out = match &pool {
+                                Some(p) => p.install(|| f(i)),
+                                None => f(i),
+                            };
+                            local.push((i, out));
+                        }
+                        local
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().unwrap_or_else(|p| std::panic::resume_unwind(p)))
+                .collect()
+        });
+        let mut slots: Vec<Option<T>> = Vec::with_capacity(n);
+        slots.resize_with(n, || None);
+        for (i, v) in per_worker.into_iter().flatten() {
+            debug_assert!(slots[i].is_none(), "index {i} claimed twice");
+            slots[i] = Some(v);
+        }
+        slots
+            .into_iter()
+            .map(|s| {
+                // Every index below `n` is handed out exactly once by the
+                // fetch_add above, so every slot is filled.
+                s.unwrap_or_else(|| unreachable!("unclaimed batch slot"))
+            })
+            .collect()
+    }
+}
+
+impl<E: Evaluator> Evaluator for ParallelBatchEvaluator<'_, E> {
+    fn n_objectives(&self) -> usize {
+        self.inner.n_objectives()
+    }
+    fn objective_names(&self) -> Vec<String> {
+        self.inner.objective_names()
+    }
+    fn evaluate(&self, config: &Configuration) -> Vec<f64> {
+        self.inner.evaluate(config)
+    }
+    fn evaluate_batch(&self, configs: &[Configuration]) -> Vec<Vec<f64>> {
+        self.fan_out(configs.len(), |i| self.inner.evaluate(&configs[i]))
+    }
+    fn try_evaluate(&self, config: &Configuration) -> Result<Vec<f64>, EvalError> {
+        self.inner.try_evaluate(config)
+    }
+    /// Fallible batch: one configuration's failure is returned in its own
+    /// slot and never affects its batch siblings, exactly as in the
+    /// sequential path.
+    fn try_evaluate_batch(&self, configs: &[Configuration]) -> Vec<Result<Vec<f64>, EvalError>> {
+        self.fan_out(configs.len(), |i| self.inner.try_evaluate(&configs[i]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evaluate::{CachedEvaluator, FnEvaluator};
+    use crate::space::ParamSpace;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn space() -> ParamSpace {
+        ParamSpace::builder()
+            .ordinal("x", (0..64).map(f64::from))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn batch_matches_sequential_values_and_order() {
+        let s = space();
+        let e = FnEvaluator::new(2, |c| {
+            let x = c.value_f64(0);
+            vec![x * 1.5, (x * 0.37).sin()]
+        });
+        let configs: Vec<_> = (0..64).map(|i| s.config_at(i)).collect();
+        let sequential: Vec<_> = configs.iter().map(|c| e.try_evaluate(c)).collect();
+        for workers in [1, 2, 3, 7, 16, 100] {
+            let par = ParallelBatchEvaluator::with_workers(&e, workers);
+            assert_eq!(par.try_evaluate_batch(&configs), sequential, "workers={workers}");
+            assert_eq!(
+                par.evaluate_batch(&configs),
+                sequential.iter().map(|r| r.clone().unwrap()).collect::<Vec<_>>(),
+            );
+        }
+    }
+
+    #[test]
+    fn failures_stay_in_their_own_slots() {
+        let s = space();
+        let e = FnEvaluator::new(1, |c| {
+            let x = c.value_f64(0);
+            assert!(x as usize % 5 != 3, "boom at {x}");
+            vec![x]
+        });
+        let configs: Vec<_> = (0..40).map(|i| s.config_at(i)).collect();
+        let par = ParallelBatchEvaluator::with_workers(&e, 4);
+        let out = par.try_evaluate_batch(&configs);
+        assert_eq!(out.len(), 40);
+        for (i, r) in out.iter().enumerate() {
+            if i % 5 == 3 {
+                assert!(matches!(r, Err(EvalError::Panicked { .. })), "slot {i}: {r:?}");
+            } else {
+                assert_eq!(r, &Ok(vec![i as f64]), "slot {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn workers_accessor_and_clamping() {
+        let e = FnEvaluator::new(1, |c| vec![c.value_f64(0)]);
+        assert_eq!(ParallelBatchEvaluator::with_workers(&e, 0).workers(), 1);
+        assert_eq!(ParallelBatchEvaluator::with_workers(&e, 5).workers(), 5);
+        assert!(ParallelBatchEvaluator::new(&e).workers() >= 1);
+    }
+
+    #[test]
+    fn single_config_calls_delegate() {
+        let s = space();
+        let e = FnEvaluator::new(1, |c| vec![c.value_f64(0) + 1.0]);
+        let par = ParallelBatchEvaluator::with_workers(&e, 8);
+        assert_eq!(par.evaluate(&s.config_at(3)), vec![4.0]);
+        assert_eq!(par.try_evaluate(&s.config_at(3)), Ok(vec![4.0]));
+        assert_eq!(par.n_objectives(), 1);
+    }
+
+    #[test]
+    fn composes_with_cached_evaluator_in_flight_dedup() {
+        // Parallel workers racing on duplicate uncached configurations must
+        // still run the inner evaluator exactly once per distinct config.
+        let s = space();
+        let calls = AtomicUsize::new(0);
+        let e = FnEvaluator::new(1, |c| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            std::thread::sleep(std::time::Duration::from_millis(1));
+            vec![c.value_f64(0)]
+        });
+        let cached = CachedEvaluator::with_space(&e, &s);
+        let par = ParallelBatchEvaluator::with_workers(&cached, 6).without_inner_cap();
+        let configs: Vec<_> = (0..48).map(|i| s.config_at(i % 4)).collect();
+        let out = par.try_evaluate_batch(&configs);
+        for (i, r) in out.iter().enumerate() {
+            assert_eq!(r, &Ok(vec![(i % 4) as f64]));
+        }
+        assert_eq!(calls.load(Ordering::Relaxed), 4, "duplicated inner work");
+        assert_eq!(cached.distinct_evaluations(), 4);
+    }
+
+    #[test]
+    fn empty_batch_is_empty() {
+        let e = FnEvaluator::new(1, |c| vec![c.value_f64(0)]);
+        let par = ParallelBatchEvaluator::with_workers(&e, 4);
+        assert!(par.try_evaluate_batch(&[]).is_empty());
+        assert!(par.evaluate_batch(&[]).is_empty());
+    }
+
+    #[test]
+    fn infallible_batch_propagates_panics() {
+        let s = space();
+        let e = FnEvaluator::new(1, |c| {
+            if c.value_f64(0) == 2.0 {
+                panic!("injected panic for scheduler test");
+            }
+            vec![c.value_f64(0)]
+        });
+        let par = ParallelBatchEvaluator::with_workers(&e, 3);
+        let configs: Vec<_> = (0..8).map(|i| s.config_at(i)).collect();
+        let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            par.evaluate_batch(&configs)
+        }));
+        assert!(out.is_err(), "sequential semantics: a panicking config panics the batch");
+    }
+}

@@ -48,6 +48,7 @@ fn optimizer_config(seed: u64, policy: FailurePolicy) -> OptimizerConfig {
         forest: ForestConfig { n_trees: 15, ..Default::default() },
         seed,
         failure_policy: policy,
+        ..Default::default()
     }
 }
 

@@ -1,0 +1,238 @@
+//! Parity tests for the parallel batch scheduler: fanning a batch across
+//! workers must be **bit-identical** — values AND order — to evaluating it
+//! sequentially, including under heavy fault injection and when composed
+//! with the caching/retry layers, and `HyperMapper::try_run` must produce
+//! the same exploration with parallel evaluation on and off.
+
+use hypermapper::{
+    sample_distinct, silence_injected_panics, CachedEvaluator, Configuration, EvalError,
+    Evaluator, ExplorationResult, FaultInjectingEvaluator, FaultPlan, FnEvaluator, HyperMapper,
+    OptimizerConfig, ParallelBatchEvaluator, ParamSpace, ResilientEvaluator, RetryPolicy,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Duration;
+
+fn space() -> ParamSpace {
+    ParamSpace::builder()
+        .ordinal("x", (0..25).map(f64::from))
+        .ordinal("y", (0..20).map(f64::from))
+        .build()
+        .unwrap()
+}
+
+fn clean_evaluator() -> FnEvaluator<impl Fn(&Configuration) -> Vec<f64> + Sync> {
+    FnEvaluator::new(2, |c| {
+        let x = c.value_f64(0);
+        let y = c.value_f64(1);
+        vec![x + 0.25 * y, (25.0 - x) * 0.5 + y * y * 0.01]
+    })
+}
+
+/// ISSUE-mandated 19% fault mix (no delays: parity, not latency, is under
+/// test here). Transient faults recover on the second attempt, so they are
+/// attempt-order dependent — every batch below therefore uses *distinct*
+/// configurations, and sequential/parallel runs get fresh injectors.
+fn fault_plan(seed: u64) -> FaultPlan {
+    FaultPlan {
+        panic_rate: 0.07,
+        nan_rate: 0.06,
+        delay_rate: 0.0,
+        transient_rate: 0.06,
+        delay: Duration::ZERO,
+        transient_attempts: 1,
+        seed,
+    }
+}
+
+/// Distinct configurations drawn deterministically from `seed`.
+fn distinct_batch(s: &ParamSpace, n: usize, seed: u64) -> Vec<Configuration> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    sample_distinct(s, n, &HashSet::new(), &mut rng).unwrap()
+}
+
+/// Exact equality for batch outcomes, treating NaN payloads bit-for-bit
+/// (a plain `==` would reject `Ok([NaN]) == Ok([NaN])`).
+fn assert_outcomes_bit_identical(
+    seq: &[Result<Vec<f64>, EvalError>],
+    par: &[Result<Vec<f64>, EvalError>],
+) {
+    assert_eq!(seq.len(), par.len(), "batch length changed");
+    for (i, (a, b)) in seq.iter().zip(par).enumerate() {
+        match (a, b) {
+            (Ok(va), Ok(vb)) => {
+                let bits_a: Vec<u64> = va.iter().map(|v| v.to_bits()).collect();
+                let bits_b: Vec<u64> = vb.iter().map(|v| v.to_bits()).collect();
+                assert_eq!(bits_a, bits_b, "slot {i}: objective bits diverged");
+            }
+            (Err(ea), Err(eb)) => assert_eq!(ea, eb, "slot {i}: errors diverged"),
+            _ => panic!("slot {i}: outcome kind diverged: {a:?} vs {b:?}"),
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Fallible batches under the 19% fault mix: parallel == sequential,
+    /// values and order, for arbitrary worker counts and batch sizes.
+    #[test]
+    fn faulty_batches_are_bit_identical(
+        seed in 0u64..400,
+        workers in 1usize..10,
+        n in 1usize..40,
+    ) {
+        silence_injected_panics();
+        let s = space();
+        let configs = distinct_batch(&s, n, seed);
+        let inner = clean_evaluator();
+
+        let seq_inj = FaultInjectingEvaluator::new(&inner, fault_plan(seed));
+        let seq = seq_inj.try_evaluate_batch(&configs);
+
+        let par_inj = FaultInjectingEvaluator::new(&inner, fault_plan(seed));
+        let par = ParallelBatchEvaluator::with_workers(&par_inj, workers)
+            .try_evaluate_batch(&configs);
+
+        assert_outcomes_bit_identical(&seq, &par);
+        prop_assert_eq!(seq_inj.counts(), par_inj.counts());
+    }
+
+    /// Infallible batches on a clean evaluator: parallel == sequential.
+    #[test]
+    fn clean_batches_are_bit_identical(
+        seed in 0u64..400,
+        workers in 1usize..10,
+        n in 1usize..40,
+    ) {
+        let s = space();
+        let configs = distinct_batch(&s, n, seed);
+        let inner = clean_evaluator();
+        let seq = inner.evaluate_batch(&configs);
+        let par = ParallelBatchEvaluator::with_workers(&inner, workers)
+            .evaluate_batch(&configs);
+        prop_assert_eq!(seq, par);
+    }
+}
+
+/// Retry layer *inside* the scheduler: transient faults recover identically
+/// whether the batch runs serially or fanned out, because the retry loop is
+/// per-configuration state inside a single `try_evaluate` call.
+#[test]
+fn resilient_composition_is_bit_identical() {
+    silence_injected_panics();
+    let s = space();
+    let inner = clean_evaluator();
+    let policy = RetryPolicy {
+        max_retries: 2,
+        backoff_base: Duration::ZERO,
+        ..Default::default()
+    };
+    for seed in [3u64, 17, 91] {
+        let configs = distinct_batch(&s, 32, seed);
+
+        let seq_inj = FaultInjectingEvaluator::new(&inner, fault_plan(seed));
+        let seq_res = ResilientEvaluator::new(&seq_inj, policy.clone());
+        let seq = seq_res.try_evaluate_batch(&configs);
+
+        let par_inj = FaultInjectingEvaluator::new(&inner, fault_plan(seed));
+        let par_res = ResilientEvaluator::new(&par_inj, policy.clone());
+        let par = ParallelBatchEvaluator::with_workers(&par_res, 6).try_evaluate_batch(&configs);
+
+        assert_outcomes_bit_identical(&seq, &par);
+        // With retries available, every transient configuration recovered:
+        // no Transient error survives in either run.
+        for outcome in &seq {
+            assert!(!matches!(outcome, Err(EvalError::Transient { .. })));
+        }
+    }
+}
+
+/// Cache layer inside the scheduler: a batch full of duplicates still costs
+/// one inner evaluation per distinct configuration, and parallel equals
+/// sequential.
+#[test]
+fn cached_composition_deduplicates_under_parallel_fanout() {
+    let s = space();
+    let calls = AtomicUsize::new(0);
+    let counted = FnEvaluator::new(2, |c| {
+        calls.fetch_add(1, Ordering::Relaxed);
+        vec![c.value_f64(0), c.value_f64(1)]
+    });
+    let distinct = distinct_batch(&s, 5, 77);
+    // 40-config batch cycling over 5 distinct configurations.
+    let configs: Vec<Configuration> =
+        (0..40).map(|i| distinct[i % distinct.len()].clone()).collect();
+
+    let cached = CachedEvaluator::new(&counted);
+    let par = ParallelBatchEvaluator::with_workers(&cached, 8).try_evaluate_batch(&configs);
+    assert_eq!(calls.load(Ordering::Relaxed), distinct.len(), "in-flight dedup failed");
+
+    let seq: Vec<_> = configs.iter().map(|c| cached.try_evaluate(c)).collect();
+    assert_outcomes_bit_identical(&seq, &par);
+}
+
+fn exploration_config(eval_workers: usize) -> OptimizerConfig {
+    OptimizerConfig {
+        random_samples: 60,
+        max_iterations: 3,
+        pool_size: 400,
+        seed: 21,
+        eval_workers,
+        ..Default::default()
+    }
+}
+
+fn assert_explorations_identical(a: &ExplorationResult, b: &ExplorationResult) {
+    assert_eq!(a.samples.len(), b.samples.len(), "sample count diverged");
+    for (sa, sb) in a.samples.iter().zip(&b.samples) {
+        assert_eq!(sa.config, sb.config);
+        assert_eq!(sa.phase, sb.phase);
+        let bits_a: Vec<u64> = sa.objectives.iter().map(|v| v.to_bits()).collect();
+        let bits_b: Vec<u64> = sb.objectives.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(bits_a, bits_b, "objective bits diverged");
+    }
+    assert_eq!(a.pareto_indices, b.pareto_indices);
+    assert_eq!(a.failures.len(), b.failures.len(), "failure count diverged");
+    for (fa, fb) in a.failures.iter().zip(&b.failures) {
+        assert_eq!(fa.config, fb.config);
+        assert_eq!(fa.error, fb.error);
+        assert_eq!(fa.phase, fb.phase);
+    }
+    assert_eq!(a.iterations.len(), b.iterations.len());
+    for (ia, ib) in a.iterations.iter().zip(&b.iterations) {
+        assert_eq!(ia.iteration, ib.iteration);
+        assert_eq!(ia.predicted_front_size, ib.predicted_front_size);
+        assert_eq!(ia.new_evaluations, ib.new_evaluations);
+        assert_eq!(ia.failed_evaluations, ib.failed_evaluations);
+    }
+}
+
+/// The acceptance-criterion parity: a same-seed `HyperMapper::try_run` is
+/// bit-identical with parallel evaluation on (`eval_workers = 4`) and off
+/// (`eval_workers = 0`), even with 19% of configurations faulting.
+#[test]
+fn exploration_is_bit_identical_with_and_without_parallel_eval() {
+    silence_injected_panics();
+    let s = space();
+    let inner = clean_evaluator();
+
+    // Fresh injector per run: the optimizer evaluates each configuration at
+    // most once, so per-config transient attempt counters line up.
+    let seq_inj = FaultInjectingEvaluator::new(&inner, fault_plan(5));
+    let sequential = HyperMapper::new(s.clone(), exploration_config(0))
+        .try_run(&seq_inj)
+        .expect("sequential exploration succeeds");
+
+    let par_inj = FaultInjectingEvaluator::new(&inner, fault_plan(5));
+    let parallel = HyperMapper::new(s, exploration_config(4))
+        .try_run(&par_inj)
+        .expect("parallel exploration succeeds");
+
+    assert!(!sequential.failures.is_empty(), "fault mix must actually bite");
+    assert!(!sequential.pareto_indices.is_empty());
+    assert_explorations_identical(&sequential, &parallel);
+}

@@ -4,6 +4,7 @@ use crate::noise::NoiseModel;
 use crate::render::{render_rgbd, DepthImage, RgbImage};
 use crate::scene::{living_room, Scene};
 use crate::trajectory::{Trajectory, TrajectoryKind};
+use rayon::prelude::*;
 use slam_geometry::{CameraIntrinsics, SE3};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;
@@ -124,10 +125,7 @@ impl SyntheticSequence {
     /// If `i >= len()`.
     pub fn cached_frame(&self, i: usize) -> &Frame {
         assert!(i < self.config.n_frames, "frame {i} out of range");
-        self.cache[i].get_or_init(|| {
-            self.renders.fetch_add(1, Ordering::Relaxed);
-            self.render(i)
-        })
+        self.cache[i].get_or_init(|| self.render(i))
     }
 
     /// Owned copy of frame `i` (clones from the cache; see
@@ -139,8 +137,12 @@ impl SyntheticSequence {
         self.cached_frame(i).clone()
     }
 
-    /// Actually render frame `i` (deterministic; parallel internally).
+    /// Actually render frame `i` (deterministic; parallel internally). The
+    /// audit counter lives here — on the work itself, not the cache wrapper
+    /// — so `render_count()` counts real renders no matter which path
+    /// (`cached_frame`, `prerender_first`, racing workers) triggered them.
     fn render(&self, i: usize) -> Frame {
+        self.renders.fetch_add(1, Ordering::Relaxed);
         let pose = self.trajectory.pose(i);
         let (clean_depth, rgb) = render_rgbd(&self.scene, &self.intrinsics, &pose);
         let depth = self.config.noise.apply(&clean_depth, self.config.seed, i);
@@ -153,11 +155,27 @@ impl SyntheticSequence {
     }
 
     /// Render every frame now, so later accesses are pure cache hits (useful
-    /// before timing-sensitive evaluation loops).
+    /// before timing-sensitive evaluation loops). Alias for
+    /// [`SyntheticSequence::prerender_all`].
     pub fn prerender(&self) {
-        for i in 0..self.len() {
+        self.prerender_all();
+    }
+
+    /// Render every frame now, in parallel across frames. See
+    /// [`SyntheticSequence::prerender_first`].
+    pub fn prerender_all(&self) {
+        self.prerender_first(self.len());
+    }
+
+    /// Render the first `n` frames (clamped to the sequence length) now, in
+    /// parallel across frames. Warming the cache up front means concurrent
+    /// evaluation workers racing into the sequence afterwards only ever see
+    /// cache hits — each frame is rendered exactly once, never once per
+    /// worker, and no worker stalls on another's in-flight render.
+    pub fn prerender_first(&self, n: usize) {
+        (0..n.min(self.len())).into_par_iter().for_each(|i| {
             self.cached_frame(i);
-        }
+        });
     }
 
     /// Number of frames rendered so far (cache misses). A full evaluation of
@@ -254,6 +272,35 @@ mod tests {
         // Iterating afterwards is pure cache hits.
         assert_eq!(seq.frames().count(), 12);
         assert_eq!(seq.render_count(), 12);
+    }
+
+    #[test]
+    fn prerender_first_warms_only_the_prefix() {
+        let seq = tiny();
+        seq.prerender_first(5);
+        assert_eq!(seq.render_count(), 5);
+        // Over-asking clamps to the sequence length.
+        seq.prerender_first(1000);
+        assert_eq!(seq.render_count(), 12);
+    }
+
+    #[test]
+    fn racing_workers_never_duplicate_renders() {
+        // Four OS threads hammer a cold cache concurrently; the per-index
+        // OnceLock must serialize each frame's first render, so the audit
+        // counter ends exactly at the frame count — not threads × frames.
+        let seq = tiny();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for i in 0..seq.len() {
+                        let f = seq.cached_frame(i);
+                        assert_eq!(f.index, i);
+                    }
+                });
+            }
+        });
+        assert_eq!(seq.render_count(), 12, "duplicate renders under contention");
     }
 
     #[test]

@@ -17,6 +17,28 @@ use crate::spaces::{ef_params_from_config, ef_pipeline_config, kf_params_from_co
 use device_models::{ef_ate, ef_frame_time, kf_ate, kf_frame_time, DeviceModel};
 use hypermapper::{Configuration, EvalError, Evaluator};
 use icl_nuim_synth::{SequenceConfig, SyntheticSequence};
+use rayon::prelude::*;
+
+/// How a native evaluator measures its runtime objective.
+///
+/// The accuracy objective (ATE) is identical in both modes — only the
+/// runtime metric and the batch execution policy change.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum MeasurementMode {
+    /// Runtime = mean wall-clock seconds per frame; batches run strictly
+    /// sequentially so each configuration has the machine to itself. Use
+    /// for final measurements of Pareto survivors (the default, and the
+    /// historical behaviour).
+    #[default]
+    Timing,
+    /// Runtime = deterministic work proxy (`PerfReport::mean_frame_work`,
+    /// pseudo-seconds); batches run configurations concurrently after
+    /// pre-warming the frame cache. Wall-clock contention cannot corrupt
+    /// the objective because the proxy never reads the clock. Use during
+    /// exploration, then re-measure the front in [`MeasurementMode::Timing`]
+    /// (see `measure::remeasure_front`).
+    Throughput,
+}
 
 /// Map a diverged run to a structured evaluation error; completed runs pass
 /// through for metric extraction.
@@ -92,24 +114,51 @@ impl Evaluator for SimulatedEFusionEvaluator {
 }
 
 /// KFusion actually executed over a synthetic sequence:
-/// `[measured seconds/frame, measured max ATE (m)]`.
+/// `[runtime, measured max ATE (m)]`, where the runtime objective depends
+/// on the [`MeasurementMode`] (wall-clock s/frame or work-proxy
+/// pseudo-s/frame).
 pub struct NativeKFusionEvaluator {
     sequence: SyntheticSequence,
     n_frames: usize,
+    mode: MeasurementMode,
 }
 
 impl NativeKFusionEvaluator {
-    /// Run over the first `n_frames` of a sequence built from `config`.
+    /// Run over the first `n_frames` of a sequence built from `config`, in
+    /// [`MeasurementMode::Timing`].
     pub fn new(sequence_config: SequenceConfig, n_frames: usize) -> Self {
+        Self::with_mode(sequence_config, n_frames, MeasurementMode::Timing)
+    }
+
+    /// Run over the first `n_frames` with an explicit measurement mode.
+    pub fn with_mode(
+        sequence_config: SequenceConfig,
+        n_frames: usize,
+        mode: MeasurementMode,
+    ) -> Self {
         NativeKFusionEvaluator {
             sequence: SyntheticSequence::new(sequence_config),
             n_frames,
+            mode,
         }
     }
 
     /// The shared (frame-cached) sequence all evaluations run over.
     pub fn sequence(&self) -> &SyntheticSequence {
         &self.sequence
+    }
+
+    /// The active measurement mode.
+    pub fn mode(&self) -> MeasurementMode {
+        self.mode
+    }
+
+    fn objectives(&self, report: &PerfReport) -> Vec<f64> {
+        let runtime = match self.mode {
+            MeasurementMode::Timing => report.mean_frame_time,
+            MeasurementMode::Throughput => report.mean_frame_work,
+        };
+        vec![runtime, report.ate.max]
     }
 }
 
@@ -118,16 +167,32 @@ impl Evaluator for NativeKFusionEvaluator {
         2
     }
     fn objective_names(&self) -> Vec<String> {
-        vec!["runtime (s/frame)".into(), "max ATE (m)".into()]
+        match self.mode {
+            MeasurementMode::Timing => {
+                vec!["runtime (s/frame)".into(), "max ATE (m)".into()]
+            }
+            MeasurementMode::Throughput => {
+                vec!["work (pseudo-s/frame)".into(), "max ATE (m)".into()]
+            }
+        }
     }
     fn evaluate(&self, config: &Configuration) -> Vec<f64> {
         let report = run_kfusion(&self.sequence, &kf_pipeline_config(config), self.n_frames);
-        vec![report.mean_frame_time, report.ate.max]
+        self.objectives(&report)
     }
     fn evaluate_batch(&self, configs: &[Configuration]) -> Vec<Vec<f64>> {
-        // The pipelines are internally parallel (Rayon); running them
-        // sequentially keeps per-config timing measurements honest.
-        configs.iter().map(|c| self.evaluate(c)).collect()
+        match self.mode {
+            // The pipelines are internally parallel (Rayon); running them
+            // sequentially keeps per-config timing measurements honest.
+            MeasurementMode::Timing => configs.iter().map(|c| self.evaluate(c)).collect(),
+            // The work proxy is load-independent, so configurations may
+            // share the machine. Warm the frame cache first so concurrent
+            // workers never race on cold renders.
+            MeasurementMode::Throughput => {
+                self.sequence.prerender_first(self.n_frames);
+                configs.par_iter().map(|c| self.evaluate(c)).collect()
+            }
+        }
     }
     fn try_evaluate(&self, config: &Configuration) -> Result<Vec<f64>, EvalError> {
         let report = report_or_diverged(run_kfusion(
@@ -135,31 +200,63 @@ impl Evaluator for NativeKFusionEvaluator {
             &kf_pipeline_config(config),
             self.n_frames,
         ))?;
-        Ok(vec![report.mean_frame_time, report.ate.max])
+        Ok(self.objectives(&report))
     }
     fn try_evaluate_batch(&self, configs: &[Configuration]) -> Vec<Result<Vec<f64>, EvalError>> {
-        configs.iter().map(|c| self.try_evaluate(c)).collect()
+        match self.mode {
+            MeasurementMode::Timing => configs.iter().map(|c| self.try_evaluate(c)).collect(),
+            MeasurementMode::Throughput => {
+                self.sequence.prerender_first(self.n_frames);
+                configs.par_iter().map(|c| self.try_evaluate(c)).collect()
+            }
+        }
     }
 }
 
-/// ElasticFusion actually executed over a synthetic sequence.
+/// ElasticFusion actually executed over a synthetic sequence, with the same
+/// [`MeasurementMode`] split as [`NativeKFusionEvaluator`].
 pub struct NativeElasticFusionEvaluator {
     sequence: SyntheticSequence,
     n_frames: usize,
+    mode: MeasurementMode,
 }
 
 impl NativeElasticFusionEvaluator {
-    /// Run over the first `n_frames` of a sequence built from `config`.
+    /// Run over the first `n_frames` of a sequence built from `config`, in
+    /// [`MeasurementMode::Timing`].
     pub fn new(sequence_config: SequenceConfig, n_frames: usize) -> Self {
+        Self::with_mode(sequence_config, n_frames, MeasurementMode::Timing)
+    }
+
+    /// Run over the first `n_frames` with an explicit measurement mode.
+    pub fn with_mode(
+        sequence_config: SequenceConfig,
+        n_frames: usize,
+        mode: MeasurementMode,
+    ) -> Self {
         NativeElasticFusionEvaluator {
             sequence: SyntheticSequence::new(sequence_config),
             n_frames,
+            mode,
         }
     }
 
     /// The shared (frame-cached) sequence all evaluations run over.
     pub fn sequence(&self) -> &SyntheticSequence {
         &self.sequence
+    }
+
+    /// The active measurement mode.
+    pub fn mode(&self) -> MeasurementMode {
+        self.mode
+    }
+
+    fn objectives(&self, report: &PerfReport) -> Vec<f64> {
+        let runtime = match self.mode {
+            MeasurementMode::Timing => report.mean_frame_time,
+            MeasurementMode::Throughput => report.mean_frame_work,
+        };
+        vec![runtime, report.ate.mean]
     }
 }
 
@@ -168,14 +265,27 @@ impl Evaluator for NativeElasticFusionEvaluator {
         2
     }
     fn objective_names(&self) -> Vec<String> {
-        vec!["runtime (s/frame)".into(), "mean ATE (m)".into()]
+        match self.mode {
+            MeasurementMode::Timing => {
+                vec!["runtime (s/frame)".into(), "mean ATE (m)".into()]
+            }
+            MeasurementMode::Throughput => {
+                vec!["work (pseudo-s/frame)".into(), "mean ATE (m)".into()]
+            }
+        }
     }
     fn evaluate(&self, config: &Configuration) -> Vec<f64> {
         let report = run_elasticfusion(&self.sequence, &ef_pipeline_config(config), self.n_frames);
-        vec![report.mean_frame_time, report.ate.mean]
+        self.objectives(&report)
     }
     fn evaluate_batch(&self, configs: &[Configuration]) -> Vec<Vec<f64>> {
-        configs.iter().map(|c| self.evaluate(c)).collect()
+        match self.mode {
+            MeasurementMode::Timing => configs.iter().map(|c| self.evaluate(c)).collect(),
+            MeasurementMode::Throughput => {
+                self.sequence.prerender_first(self.n_frames);
+                configs.par_iter().map(|c| self.evaluate(c)).collect()
+            }
+        }
     }
     fn try_evaluate(&self, config: &Configuration) -> Result<Vec<f64>, EvalError> {
         let report = report_or_diverged(run_elasticfusion(
@@ -183,10 +293,16 @@ impl Evaluator for NativeElasticFusionEvaluator {
             &ef_pipeline_config(config),
             self.n_frames,
         ))?;
-        Ok(vec![report.mean_frame_time, report.ate.mean])
+        Ok(self.objectives(&report))
     }
     fn try_evaluate_batch(&self, configs: &[Configuration]) -> Vec<Result<Vec<f64>, EvalError>> {
-        configs.iter().map(|c| self.try_evaluate(c)).collect()
+        match self.mode {
+            MeasurementMode::Timing => configs.iter().map(|c| self.try_evaluate(c)).collect(),
+            MeasurementMode::Throughput => {
+                self.sequence.prerender_first(self.n_frames);
+                configs.par_iter().map(|c| self.try_evaluate(c)).collect()
+            }
+        }
     }
 }
 
@@ -277,6 +393,66 @@ mod tests {
             3,
             "10 evaluations over 3 frames must render exactly 3 frames"
         );
+    }
+
+    #[test]
+    fn throughput_mode_shares_ate_and_swaps_runtime() {
+        let seq_cfg = icl_nuim_synth::SequenceConfig {
+            width: 40,
+            height: 30,
+            n_frames: 3,
+            trajectory: TrajectoryKind::LivingRoomLoop,
+            noise: NoiseModel::none(),
+            seed: 0,
+        };
+        let space = kfusion_space();
+        let c = space.config_from_values(&[64.0, 0.2, 2.0, 1.0, 1e-4, 2.0, 4.0, 3.0, 2.0]);
+        let timing = NativeKFusionEvaluator::new(seq_cfg.clone(), 3);
+        let through = NativeKFusionEvaluator::with_mode(seq_cfg, 3, MeasurementMode::Throughput);
+        assert_eq!(timing.mode(), MeasurementMode::Timing);
+        assert_eq!(through.mode(), MeasurementMode::Throughput);
+        let t = timing.evaluate(&c);
+        let w = through.evaluate(&c);
+        // Same pipeline, same frames: accuracy is identical across modes.
+        assert_eq!(t[1], w[1], "ATE must not depend on the measurement mode");
+        // Work proxy is deterministic; wall-clock is not.
+        assert_eq!(w, through.evaluate(&c));
+        assert!(w[0] > 0.0 && w[0].is_finite());
+        assert!(through.objective_names()[0].contains("pseudo"));
+    }
+
+    #[test]
+    fn throughput_batch_prewarms_and_matches_serial() {
+        let space = kfusion_space();
+        let eval = NativeKFusionEvaluator::with_mode(
+            icl_nuim_synth::SequenceConfig {
+                width: 40,
+                height: 30,
+                n_frames: 3,
+                trajectory: TrajectoryKind::LivingRoomLoop,
+                noise: NoiseModel::none(),
+                seed: 0,
+            },
+            3,
+            MeasurementMode::Throughput,
+        );
+        let configs: Vec<_> = [
+            [64.0, 0.2, 2.0, 1.0, 1e-4, 2.0, 4.0, 3.0, 2.0],
+            [64.0, 0.1, 2.0, 1.0, 1e-4, 2.0, 4.0, 3.0, 2.0],
+            [64.0, 0.2, 4.0, 1.0, 1e-4, 2.0, 4.0, 3.0, 2.0],
+        ]
+        .iter()
+        .map(|v| space.config_from_values(v))
+        .collect();
+        let batch = eval.try_evaluate_batch(&configs);
+        assert_eq!(
+            eval.sequence().render_count(),
+            3,
+            "batch must prerender each frame exactly once"
+        );
+        for (c, out) in configs.iter().zip(&batch) {
+            assert_eq!(out, &eval.try_evaluate(c), "batch must match serial per config");
+        }
     }
 
     #[test]

@@ -13,14 +13,16 @@
 //!   or the analytic device models into HyperMapper.
 
 pub mod eval;
+pub mod measure;
 pub mod metrics;
 pub mod runner;
 pub mod spaces;
 
 pub use eval::{
-    NativeElasticFusionEvaluator, NativeKFusionEvaluator, SimulatedEFusionEvaluator,
-    SimulatedKFusionEvaluator,
+    MeasurementMode, NativeElasticFusionEvaluator, NativeKFusionEvaluator,
+    SimulatedEFusionEvaluator, SimulatedKFusionEvaluator,
 };
+pub use measure::{remeasure_front, TimedFrontEntry};
 pub use metrics::{ate, AteStats};
 pub use runner::{run_elasticfusion, run_kfusion, DivergenceReason, PerfReport, RunStatus};
 pub use spaces::{

@@ -1,0 +1,130 @@
+//! Timing isolation: serial re-measurement of predicted-Pareto survivors.
+//!
+//! Throughput-mode exploration (see [`crate::eval::MeasurementMode`]) ranks
+//! configurations by a load-independent work proxy so they can share the
+//! machine. The proxy is the *search* metric, not the *reported* metric:
+//! once the exploration settles on a Pareto front, the survivors — and only
+//! the survivors, typically a few dozen configurations out of thousands
+//! evaluated — are re-run here strictly one at a time against a
+//! timing-mode evaluator, so the published runtime numbers come from an
+//! exclusive machine exactly as the paper measured them.
+
+use hypermapper::{Configuration, EvalError, Evaluator, ExplorationResult};
+
+/// One Pareto-front configuration with both its exploration-time objectives
+/// and its dedicated serial re-measurement.
+#[derive(Debug, Clone)]
+pub struct TimedFrontEntry {
+    /// The configuration on the measured Pareto front.
+    pub config: Configuration,
+    /// Objectives recorded during the (possibly concurrent) exploration —
+    /// work-proxy runtime when the exploration ran in throughput mode.
+    pub exploration_objectives: Vec<f64>,
+    /// Objectives from the dedicated serial re-measurement, or the error if
+    /// the re-run failed (a configuration can diverge on re-measurement;
+    /// the record is preserved rather than dropped).
+    pub timing_objectives: Result<Vec<f64>, EvalError>,
+}
+
+/// Re-measure the measured Pareto front of `result` against
+/// `timing_evaluator`, strictly serially (one configuration at a time, in
+/// front order by the first objective), so each re-run has exclusive use of
+/// the machine.
+///
+/// `timing_evaluator` should be a [`crate::eval::MeasurementMode::Timing`]
+/// native evaluator (or anything whose single-config `try_evaluate` is an
+/// honest dedicated measurement). This function deliberately never calls
+/// `try_evaluate_batch` — the whole point is that nothing runs concurrently
+/// with the measurement.
+pub fn remeasure_front<E: Evaluator>(
+    result: &ExplorationResult,
+    timing_evaluator: &E,
+) -> Vec<TimedFrontEntry> {
+    result
+        .pareto_samples()
+        .into_iter()
+        .map(|sample| TimedFrontEntry {
+            config: sample.config.clone(),
+            exploration_objectives: sample.objectives.clone(),
+            timing_objectives: timing_evaluator.try_evaluate(&sample.config),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hypermapper::{FnEvaluator, HyperMapper, OptimizerConfig, ParamSpace};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn space() -> ParamSpace {
+        ParamSpace::builder()
+            .ordinal("x", (0..30).map(f64::from))
+            .ordinal("y", (0..30).map(f64::from))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn remeasure_covers_exactly_the_front_in_order() {
+        let s = space();
+        let explore = FnEvaluator::new(2, |c| {
+            let x = c.value_f64(0);
+            let y = c.value_f64(1);
+            vec![x + y * 0.1, 30.0 - x + y * 0.05]
+        });
+        let cfg = OptimizerConfig {
+            random_samples: 40,
+            max_iterations: 2,
+            pool_size: 500,
+            seed: 5,
+            ..Default::default()
+        };
+        let result = HyperMapper::new(s, cfg).run(&explore);
+        assert!(!result.pareto_indices.is_empty());
+
+        // "Timing" evaluator: same accuracy, scaled runtime, call-counted.
+        let calls = AtomicUsize::new(0);
+        let timing = FnEvaluator::new(2, |c| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            let x = c.value_f64(0);
+            let y = c.value_f64(1);
+            vec![(x + y * 0.1) * 2.0, 30.0 - x + y * 0.05]
+        });
+        let entries = remeasure_front(&result, &timing);
+        assert_eq!(entries.len(), result.pareto_indices.len());
+        assert_eq!(calls.load(Ordering::Relaxed), entries.len(), "one serial re-run per survivor");
+        for pair in entries.windows(2) {
+            assert!(
+                pair[0].exploration_objectives[0] <= pair[1].exploration_objectives[0],
+                "entries must follow front order"
+            );
+        }
+        for e in &entries {
+            let timed = e.timing_objectives.as_ref().expect("re-measurement succeeds");
+            assert!((timed[0] - e.exploration_objectives[0] * 2.0).abs() < 1e-9);
+            assert_eq!(timed[1], e.exploration_objectives[1]);
+        }
+    }
+
+    #[test]
+    fn failed_remeasurements_are_preserved() {
+        hypermapper::silence_injected_panics();
+        let s = space();
+        let explore = FnEvaluator::new(2, |c| vec![c.value_f64(0), 30.0 - c.value_f64(0)]);
+        let cfg = OptimizerConfig {
+            random_samples: 30,
+            max_iterations: 1,
+            pool_size: 300,
+            seed: 9,
+            ..Default::default()
+        };
+        let result = HyperMapper::new(s, cfg).run(&explore);
+        let timing = FnEvaluator::new(2, |_| panic!("injected panic: device offline"));
+        let entries = remeasure_front(&result, &timing);
+        assert_eq!(entries.len(), result.pareto_indices.len());
+        for e in &entries {
+            assert!(matches!(e.timing_objectives, Err(EvalError::Panicked { .. })));
+        }
+    }
+}

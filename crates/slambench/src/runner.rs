@@ -85,6 +85,14 @@ pub struct PerfReport {
     pub total_time: f64,
     /// Frames per second (1 / mean_frame_time).
     pub fps: f64,
+    /// Mean work-proxy per frame, in pseudo-seconds (see
+    /// [`kf_frame_work`] / [`ef_frame_work`]). Unlike `mean_frame_time`,
+    /// this is a pure function of the configuration and the per-frame
+    /// control flow, so it is immune to machine load and safe to compare
+    /// across configurations evaluated concurrently.
+    pub mean_frame_work: f64,
+    /// Total work-proxy over the sequence, in pseudo-seconds.
+    pub total_work: f64,
     /// Number of frames processed (less than requested when diverged).
     pub frames: usize,
     /// Fraction of processed frames where tracking succeeded.
@@ -98,6 +106,7 @@ impl PerfReport {
         gt: &[SE3],
         est: &[SE3],
         frame_times: &[f64],
+        frame_works: &[f64],
         tracked: usize,
         status: RunStatus,
     ) -> PerfReport {
@@ -105,8 +114,10 @@ impl PerfReport {
         // divergence frame itself, so a report over zero frames is
         // unreachable; the assert keeps the divisions below honest.
         assert!(!frame_times.is_empty(), "a run must process at least one frame");
+        debug_assert_eq!(frame_times.len(), frame_works.len());
         let frames = frame_times.len();
         let total_time: f64 = frame_times.iter().sum();
+        let total_work: f64 = frame_works.iter().sum();
         let mean = total_time / frames as f64;
         let ate = ate(gt, est);
         // A NaN that slips past pose checks (e.g. through depth data) still
@@ -126,11 +137,74 @@ impl PerfReport {
             mean_frame_time: mean,
             total_time,
             fps: if mean > 0.0 { 1.0 / mean } else { 0.0 },
+            mean_frame_work: total_work / frames as f64,
+            total_work,
             frames,
             tracked_fraction: tracked as f64 / frames as f64,
             status,
         }
     }
+}
+
+/// Scale of the work-proxy metrics: proxy operation counts are divided by
+/// this, so `mean_frame_work` lands in "pseudo-seconds" of the same order
+/// of magnitude as `mean_frame_time` on a ~1 GFLOP/s device.
+const PROXY_UNITS_PER_SECOND: f64 = 1e9;
+
+/// Deterministic per-frame work proxy for KinectFusion: weighted operation
+/// counts for the kernels the frame actually ran (preprocessing, per-level
+/// ICP, TSDF integration, raycast), derived from the configuration and the
+/// frame's control-flow flags — never from the clock. Two runs of the same
+/// configuration produce identical values regardless of machine load, which
+/// is what makes throughput-mode (concurrent) evaluation comparable.
+fn kf_frame_work(
+    config: &KFusionConfig,
+    width: usize,
+    height: usize,
+    tracking_attempted: bool,
+    integrated: bool,
+) -> f64 {
+    let ratio = config.compute_size_ratio.max(1);
+    let pixels = (width / ratio).max(1) as f64 * (height / ratio).max(1) as f64;
+    // Depth resize + bilateral filter + vertex/normal maps.
+    let mut units = pixels * 30.0;
+    if tracking_attempted {
+        // Per-level ICP: each iteration touches every pixel of its level;
+        // level k is downsampled 2× per axis from level k-1.
+        let mut level_pixels = pixels;
+        for &iters in &config.pyramid_iterations {
+            units += iters as f64 * level_pixels * 80.0;
+            level_pixels /= 4.0;
+        }
+    }
+    let volume = config.volume_resolution as f64;
+    if integrated {
+        // TSDF integration sweeps the full voxel grid.
+        units += volume * volume * volume * 4.0;
+    }
+    // Raycast marches each pixel's ray through the volume.
+    units += pixels * volume * 0.5;
+    units / PROXY_UNITS_PER_SECOND
+}
+
+/// Deterministic per-frame work proxy for ElasticFusion: weighted operation
+/// counts for odometry, SO(3) pre-alignment, surfel fusion over the current
+/// map, and the loop-closure machinery. Same determinism contract as
+/// [`kf_frame_work`].
+fn ef_frame_work(config: &EFusionConfig, width: usize, height: usize, map_size: usize) -> f64 {
+    let pixels = width as f64 * height as f64;
+    let odom_iters = if config.fast_odom { 4.0 } else { 10.0 };
+    let mut units = pixels * odom_iters * 60.0;
+    if !config.so3_disabled {
+        units += pixels * 20.0;
+    }
+    // Surfel fusion + map maintenance scale with the live map.
+    units += map_size as f64 * 16.0;
+    if !config.open_loop {
+        // Inactive-model prediction + fern encoding for loop closure.
+        units += pixels * 40.0;
+    }
+    units / PROXY_UNITS_PER_SECOND
 }
 
 fn pose_is_finite(p: &SE3) -> bool {
@@ -171,9 +245,11 @@ impl CollapseMonitor {
 /// NaN.
 pub fn run_kfusion(seq: &SyntheticSequence, config: &KFusionConfig, n_frames: usize) -> PerfReport {
     let n = n_frames.min(seq.len()).max(1);
-    let mut pipeline = KFusion::new(config.clone(), seq.intrinsics(), seq.gt_pose(0));
+    let intrinsics = seq.intrinsics();
+    let mut pipeline = KFusion::new(config.clone(), intrinsics, seq.gt_pose(0));
     let mut gt = Vec::with_capacity(n);
     let mut frame_times = Vec::with_capacity(n);
+    let mut frame_works = Vec::with_capacity(n);
     let mut tracked = 0usize;
     let mut monitor = CollapseMonitor::new();
     let mut status = RunStatus::Completed;
@@ -189,6 +265,13 @@ pub fn run_kfusion(seq: &SyntheticSequence, config: &KFusionConfig, n_frames: us
         }
         gt.push(frame.gt_pose);
         frame_times.push(stats.timings.total());
+        frame_works.push(kf_frame_work(
+            config,
+            intrinsics.width,
+            intrinsics.height,
+            stats.tracking_attempted,
+            stats.integrated,
+        ));
         let frame_tracked = stats.tracked || !stats.tracking_attempted;
         if frame_tracked {
             tracked += 1;
@@ -201,7 +284,14 @@ pub fn run_kfusion(seq: &SyntheticSequence, config: &KFusionConfig, n_frames: us
             break;
         }
     }
-    PerfReport::from_run(&gt, &pipeline.trajectory()[..gt.len()], &frame_times, tracked, status)
+    PerfReport::from_run(
+        &gt,
+        &pipeline.trajectory()[..gt.len()],
+        &frame_times,
+        &frame_works,
+        tracked,
+        status,
+    )
 }
 
 /// Run the ElasticFusion pipeline over the first `n_frames` of `seq`, with
@@ -212,9 +302,11 @@ pub fn run_elasticfusion(
     n_frames: usize,
 ) -> PerfReport {
     let n = n_frames.min(seq.len()).max(1);
-    let mut pipeline = ElasticFusion::new(config.clone(), seq.intrinsics(), seq.gt_pose(0));
+    let intrinsics = seq.intrinsics();
+    let mut pipeline = ElasticFusion::new(config.clone(), intrinsics, seq.gt_pose(0));
     let mut gt = Vec::with_capacity(n);
     let mut frame_times = Vec::with_capacity(n);
+    let mut frame_works = Vec::with_capacity(n);
     let mut tracked = 0usize;
     let mut monitor = CollapseMonitor::new();
     let mut status = RunStatus::Completed;
@@ -230,6 +322,7 @@ pub fn run_elasticfusion(
         }
         gt.push(frame.gt_pose);
         frame_times.push(stats.total_time());
+        frame_works.push(ef_frame_work(config, intrinsics.width, intrinsics.height, stats.map_size));
         let frame_tracked = stats.tracked || i == 0;
         if frame_tracked {
             tracked += 1;
@@ -242,7 +335,14 @@ pub fn run_elasticfusion(
             break;
         }
     }
-    PerfReport::from_run(&gt, &pipeline.trajectory()[..gt.len()], &frame_times, tracked, status)
+    PerfReport::from_run(
+        &gt,
+        &pipeline.trajectory()[..gt.len()],
+        &frame_times,
+        &frame_works,
+        tracked,
+        status,
+    )
 }
 
 #[cfg(test)]
@@ -285,6 +385,37 @@ mod tests {
         assert!(r.mean_frame_time > 0.0);
         assert!(r.ate.mean.is_finite());
         assert!(r.tracked_fraction > 0.5);
+    }
+
+    #[test]
+    fn work_proxy_is_deterministic_and_tracks_config_cost() {
+        let s = seq();
+        let small = KFusionConfig { volume_resolution: 64, ..Default::default() };
+        let a = run_kfusion(&s, &small, 6);
+        let b = run_kfusion(&s, &small, 6);
+        assert!(a.mean_frame_work > 0.0 && a.mean_frame_work.is_finite());
+        // Bit-identical across runs: the proxy never reads the clock.
+        assert_eq!(a.mean_frame_work, b.mean_frame_work);
+        assert_eq!(a.total_work, b.total_work);
+        assert!((a.total_work - a.mean_frame_work * a.frames as f64).abs() < 1e-12);
+        // A bigger volume must cost more proxy work (integration + raycast
+        // scale with resolution).
+        let big = KFusionConfig { volume_resolution: 128, ..small };
+        let c = run_kfusion(&s, &big, 6);
+        assert!(c.mean_frame_work > a.mean_frame_work);
+    }
+
+    #[test]
+    fn ef_work_proxy_reflects_feature_flags() {
+        let s = seq();
+        let base = EFusionConfig::default();
+        let a = run_elasticfusion(&s, &base, 6);
+        assert!(a.mean_frame_work > 0.0 && a.mean_frame_work.is_finite());
+        assert_eq!(a.mean_frame_work, run_elasticfusion(&s, &base, 6).mean_frame_work);
+        // Fast odometry does strictly less proxy work per frame.
+        let fast = EFusionConfig { fast_odom: true, ..base };
+        let b = run_elasticfusion(&s, &fast, 6);
+        assert!(b.mean_frame_work < a.mean_frame_work);
     }
 
     #[test]

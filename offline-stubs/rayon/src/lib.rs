@@ -142,6 +142,57 @@ where
     (a(), b())
 }
 
+/// Stub of `rayon::ThreadPoolBuilder`: records the requested thread count
+/// but always builds the inline (current-thread) pool stub.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    pub fn new() -> Self {
+        ThreadPoolBuilder::default()
+    }
+
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool { _num_threads: self.num_threads.max(1) })
+    }
+}
+
+/// Stub of `rayon::ThreadPool`: `install` runs the closure inline on the
+/// calling thread (the sequential stub has no worker threads to scope to).
+#[derive(Debug)]
+pub struct ThreadPool {
+    _num_threads: usize,
+}
+
+impl ThreadPool {
+    pub fn install<OP, R>(&self, op: OP) -> R
+    where
+        OP: FnOnce() -> R,
+    {
+        op()
+    }
+}
+
+/// Stub of `rayon::ThreadPoolBuildError` — the stub builder never fails,
+/// but callers match on the type.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl core::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str("thread pool build error (stub)")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
 pub mod iter {
     pub use crate::{IntoParallelIterator, ParIter};
 }

@@ -32,6 +32,12 @@ function unit_ns(u) {
     if (u == "s") return 1e9
     return 0
 }
+# Ratio of two recorded medians, or "null" when either side is missing or
+# zero (a partial bench run must not crash the report with a divide-by-zero).
+function ratio(a, b) {
+    if (!(a in ns) || !(b in ns) || ns[b] == 0) return "null"
+    return sprintf("%.3f", ns[a] / ns[b])
+}
 # offline stub: OFFLINE_BENCH <name> <median_ns> ns/iter (<i>x<s>)
 $1 == "OFFLINE_BENCH" { ns[$2] = $3; order[n++] = $2; next }
 # criterion: <name>  time: [<lo> <u> <mid> <u> <hi> <u>]
@@ -51,14 +57,20 @@ END {
     }
     printf "  },\n"
     printf "  \"derived\": {\n"
-    printf "    \"compiled_speedup_50k_pool\": %.3f,\n", \
-        ns["predict_pointer_50000x100"] / ns["predict_compiled_50000x100"]
-    printf "    \"fused_2obj_speedup_50k_pool\": %.3f,\n", \
-        ns["predict_pointer_2obj_50000x100"] / ns["predict_fused_2obj_50000x100"]
-    printf "    \"histogram_fit_speedup\": %.3f,\n", \
-        ns["fit_exact_3000x50"] / ns["fit_histogram_3000x50"]
-    printf "    \"frame_cache_speedup_native_eval\": %.3f\n", \
-        ns["native_kfusion_cold_cache_4f"] / ns["native_kfusion_warm_cache_4f"]
+    printf "    \"compiled_speedup_50k_pool\": %s,\n", \
+        ratio("predict_pointer_50000x100", "predict_compiled_50000x100")
+    printf "    \"fused_2obj_speedup_50k_pool\": %s,\n", \
+        ratio("predict_pointer_2obj_50000x100", "predict_fused_2obj_50000x100")
+    printf "    \"histogram_fit_speedup\": %s,\n", \
+        ratio("fit_exact_3000x50", "fit_histogram_3000x50")
+    printf "    \"frame_cache_speedup_native_eval\": %s,\n", \
+        ratio("native_kfusion_cold_cache_4f", "native_kfusion_warm_cache_4f")
+    printf "    \"parallel_batch_speedup_8cfg\": %s,\n", \
+        ratio("batch_sequential_8cfg", "batch_parallel_8cfg")
+    printf "    \"parallel_compute_speedup_8cfg\": %s,\n", \
+        ratio("batch_compute_sequential_8cfg", "batch_compute_parallel_8cfg")
+    printf "    \"timing_mode_overhead_ratio\": %s\n", \
+        ratio("timing_mode_eval_4f", "dedicated_sequential_4f")
     printf "  }\n"
     printf "}\n"
 }

@@ -1,10 +1,15 @@
 #!/usr/bin/env bash
-# Full CI gate: release build, test suite, offline-stub build parity, and
-# the unwrap/expect hygiene check for the core crate.
+# Full CI gate: release build, test suite, offline-stub build parity, the
+# unwrap/expect hygiene check for the core crate, and the micro-benchmark
+# regression gate against the committed BENCH_surrogate.json baseline.
 #
 # Usage:
 #   scripts/ci.sh              # everything
 #   scripts/ci.sh lint         # only the unwrap/expect grep gate
+#   scripts/ci.sh bench        # only the bench regression gate
+#
+# Env:
+#   BENCH_REGRESSION_PCT       # allowed median slowdown per series (default 20)
 set -euo pipefail
 
 REPO="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -49,10 +54,106 @@ lint_unwraps() {
     echo "unwrap/expect gate: clean"
 }
 
+# ---------------------------------------------------------------------------
+# Bench regression gate: re-run scripts/bench.sh and compare each series'
+# median against the committed baseline. A series more than
+# BENCH_REGRESSION_PCT % slower than its baseline median fails the gate.
+# Series present only in the fresh run (newly added benches) pass; series
+# missing from the fresh run (a bench was deleted without updating the
+# baseline) fail.
+#
+# Machine noise only ever slows a series down, so on failure the gate
+# re-measures (up to BENCH_GATE_RETRIES extra runs, default 2) and keeps the
+# per-series minimum: a genuine regression survives every re-run, a load
+# spike does not.
+# ---------------------------------------------------------------------------
+
+# "name median_ns" pairs from a bench.sh JSON report.
+extract_bench_results() {
+    awk '
+        /"results": \{/ { inres = 1; next }
+        inres && /\}/   { inres = 0; next }
+        inres {
+            name = $1; gsub(/[":,]/, "", name)
+            val = $2; gsub(/,/, "", val)
+            print name, val + 0
+        }
+    ' "$1"
+}
+
+# Per-series minimum of two "name value" files.
+merge_bench_min() {
+    awk '
+        NR == FNR { best[$1] = $2; next }
+        { if (!($1 in best) || $2 < best[$1]) best[$1] = $2 }
+        END { for (n in best) print n, best[n] }
+    ' "$1" "$2"
+}
+
+# Compare flat baseline vs. fresh; exit 1 on any series over the limit.
+compare_bench() {
+    awk -v pct="$3" '
+        NR == FNR { base[$1] = $2; next }
+        { fresh[$1] = $2 }
+        END {
+            bad = 0
+            for (n in base) {
+                if (!(n in fresh)) {
+                    printf "bench gate: series %s missing from fresh run\n", n
+                    bad = 1
+                    continue
+                }
+                limit = base[n] * (1 + pct / 100)
+                slow = fresh[n] > limit
+                printf "bench gate: %-34s base %12.0f ns  fresh %12.0f ns  %s\n", \
+                    n, base[n], fresh[n], (slow ? "REGRESSED" : "ok")
+                if (slow) bad = 1
+            }
+            exit bad
+        }
+    ' "$1" "$2"
+}
+
+bench_regression() {
+    local baseline="$REPO/BENCH_surrogate.json"
+    local pct="${BENCH_REGRESSION_PCT:-20}"
+    local retries="${BENCH_GATE_RETRIES:-2}"
+    if [ ! -f "$baseline" ]; then
+        echo "bench gate: no baseline at ${baseline#"$REPO"/}; skipping"
+        return 0
+    fi
+    local base_flat best report merged
+    base_flat=$(mktemp) best=$(mktemp) report=$(mktemp) merged=$(mktemp)
+    # shellcheck disable=SC2064
+    trap "rm -f '$base_flat' '$best' '$report' '$merged'" RETURN
+    extract_bench_results "$baseline" >"$base_flat"
+
+    bash "$REPO/scripts/bench.sh" "$report" >/dev/null
+    extract_bench_results "$report" >"$best"
+    local attempt=0
+    while ! compare_bench "$base_flat" "$best" "$pct"; do
+        if [ "$attempt" -ge "$retries" ]; then
+            echo "bench gate: median regression over ${pct}% vs BENCH_surrogate.json" >&2
+            return 1
+        fi
+        attempt=$((attempt + 1))
+        echo "bench gate: over limit; re-measuring to rule out machine noise ($attempt/$retries)"
+        bash "$REPO/scripts/bench.sh" "$report" >/dev/null
+        extract_bench_results "$report" | merge_bench_min "$best" /dev/stdin >"$merged"
+        cp "$merged" "$best"
+    done
+    echo "bench gate: clean"
+}
+
 lint_unwraps
 [ "$MODE" = "lint" ] && exit 0
+if [ "$MODE" = "bench" ]; then
+    bench_regression
+    exit 0
+fi
 
 cd "$REPO"
 cargo build --release
 cargo test -q
 bash "$REPO/scripts/check_offline.sh"
+bench_regression

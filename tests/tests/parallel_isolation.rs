@@ -1,0 +1,118 @@
+//! Cross-crate integration of the parallel evaluation stack: worker threads
+//! racing on a cold shared frame cache must never duplicate renders, a
+//! throughput-mode batch fanned across workers must be deterministic, and
+//! the predicted-front survivors re-measured serially in timing mode must
+//! keep the exploration's accuracy numbers while swapping the runtime
+//! metric for a dedicated wall-clock measurement.
+
+use hypermapper::{
+    sample_distinct, Configuration, Evaluator, HyperMapper, OptimizerConfig,
+    ParallelBatchEvaluator,
+};
+use icl_nuim_synth::{NoiseModel, SequenceConfig, TrajectoryKind};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use slambench::{kfusion_space, remeasure_front, MeasurementMode, NativeKFusionEvaluator};
+use std::collections::HashSet;
+
+fn sequence_config(n_frames: usize) -> SequenceConfig {
+    SequenceConfig {
+        width: 48,
+        height: 36,
+        n_frames,
+        trajectory: TrajectoryKind::LivingRoomLoop,
+        noise: NoiseModel::none(),
+        seed: 1,
+    }
+}
+
+fn distinct_configs(n: usize, seed: u64) -> Vec<Configuration> {
+    let space = kfusion_space();
+    let mut rng = StdRng::seed_from_u64(seed);
+    sample_distinct(&space, n, &HashSet::new(), &mut rng).unwrap()
+}
+
+/// Workers racing on a cold cache: the per-frame once-cells must keep the
+/// render count at (most) one render per frame, and the fanned-out batch
+/// must be bit-identical to a serial run of the same configurations.
+#[test]
+fn racing_workers_share_one_frame_cache() {
+    let n_frames = 10;
+    let configs = distinct_configs(6, 42);
+
+    let parallel_eval =
+        NativeKFusionEvaluator::with_mode(sequence_config(n_frames), n_frames, MeasurementMode::Throughput);
+    assert_eq!(parallel_eval.sequence().render_count(), 0, "cache must start cold");
+    let parallel = ParallelBatchEvaluator::with_workers(&parallel_eval, 4)
+        .try_evaluate_batch(&configs);
+    assert!(
+        parallel_eval.sequence().render_count() <= n_frames,
+        "racing workers duplicated renders: {} > {n_frames}",
+        parallel_eval.sequence().render_count()
+    );
+
+    // Throughput-mode objectives are pure work proxies (never the clock),
+    // so a fresh serial evaluator must reproduce the batch exactly.
+    let serial_eval =
+        NativeKFusionEvaluator::with_mode(sequence_config(n_frames), n_frames, MeasurementMode::Throughput);
+    for (i, (par, config)) in parallel.iter().zip(&configs).enumerate() {
+        let serial = serial_eval.try_evaluate(config);
+        match (par, &serial) {
+            (Ok(a), Ok(b)) => {
+                let bits_a: Vec<u64> = a.iter().map(|v| v.to_bits()).collect();
+                let bits_b: Vec<u64> = b.iter().map(|v| v.to_bits()).collect();
+                assert_eq!(bits_a, bits_b, "config {i}: objectives diverged");
+            }
+            (Err(a), Err(b)) => assert_eq!(a, b, "config {i}: errors diverged"),
+            _ => panic!("config {i}: outcome kind diverged: {par:?} vs {serial:?}"),
+        }
+    }
+}
+
+/// End-to-end timing isolation: explore in throughput mode (work-proxy
+/// runtime, parallel evaluation), then re-measure the front serially in
+/// timing mode. Accuracy must carry over bit-for-bit; only the runtime
+/// metric changes meaning.
+#[test]
+fn front_remeasured_serially_keeps_accuracy() {
+    let n_frames = 8;
+    let explore_eval =
+        NativeKFusionEvaluator::with_mode(sequence_config(n_frames), n_frames, MeasurementMode::Throughput);
+    assert!(
+        explore_eval.objective_names()[0].contains("pseudo"),
+        "throughput mode must advertise the proxy metric"
+    );
+
+    let cfg = OptimizerConfig {
+        random_samples: 12,
+        max_iterations: 1,
+        pool_size: 150,
+        seed: 3,
+        eval_workers: 3,
+        ..Default::default()
+    };
+    let result = HyperMapper::new(kfusion_space(), cfg)
+        .try_run(&explore_eval)
+        .expect("exploration succeeds");
+    assert!(!result.pareto_indices.is_empty());
+
+    let timing_eval = NativeKFusionEvaluator::new(sequence_config(n_frames), n_frames);
+    assert_eq!(timing_eval.mode(), MeasurementMode::Timing);
+    let entries = remeasure_front(&result, &timing_eval);
+    assert_eq!(entries.len(), result.pareto_indices.len());
+
+    for entry in &entries {
+        let timed = entry
+            .timing_objectives
+            .as_ref()
+            .expect("front survivor re-measures cleanly");
+        // Accuracy (objective 1) is mode-independent and deterministic.
+        assert_eq!(
+            timed[1].to_bits(),
+            entry.exploration_objectives[1].to_bits(),
+            "ATE changed between exploration and timing re-measurement"
+        );
+        // Runtime is now a real wall-clock number, not the work proxy.
+        assert!(timed[0].is_finite() && timed[0] > 0.0);
+    }
+}
