@@ -6,7 +6,10 @@
 //! the medians into `BENCH_surrogate.json`.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use hypermapper::{Evaluator, FnEvaluator, ParallelBatchEvaluator, ParamSpace};
+use hypermapper::{
+    Evaluator, FnEvaluator, HyperMapper, Journal, OptimizerConfig, ParallelBatchEvaluator,
+    ParamSpace,
+};
 use icl_nuim_synth::{NoiseModel, SequenceConfig, SyntheticSequence, TrajectoryKind};
 use kfusion::KFusionConfig;
 use randforest::{CompiledForest, Dataset, ForestConfig, RandomForest, SplitMethod, TreeConfig};
@@ -161,12 +164,60 @@ fn bench_timing_honesty(c: &mut Criterion) {
     c.bench_function("dedicated_sequential_4f", |b| b.iter(|| run_kfusion(&seq, &kf_cfg, 4)));
 }
 
+fn bench_journal_overhead(c: &mut Criterion) {
+    // Durability tax: the same exploration with and without the write-ahead
+    // journal (per-batch fsync, the default policy). The evaluator carries
+    // ~1 ms of black-boxed busywork per configuration — the cost scale of a
+    // simulated KFusion evaluation — and the run is large enough (~170
+    // evaluations, one fsync per 64-record batch) that the fixed fsync cost
+    // is amortized the way a real exploration amortizes it; the target is
+    // <5% median overhead.
+    let space = ParamSpace::builder()
+        .ordinal("x", (0..64).map(f64::from))
+        .ordinal("y", (0..64).map(f64::from))
+        .build()
+        .unwrap();
+    let eval = FnEvaluator::new(2, |cfg| {
+        let mut h = cfg.choices()[0] as u64 * 67 + cfg.choices()[1] as u64 + 1;
+        for _ in 0..3_000_000 {
+            h = h.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        }
+        let h = std::hint::black_box(h);
+        let x = cfg.value_f64(0);
+        let y = cfg.value_f64(1);
+        vec![x + y * 0.1 + (h % 7) as f64 * 1e-12, 64.0 - x + (y - 13.0).abs() * 0.2]
+    });
+    let cfg = OptimizerConfig {
+        random_samples: 128,
+        max_iterations: 2,
+        max_evals_per_iteration: 64,
+        pool_size: 1500,
+        forest: ForestConfig { n_trees: 8, ..Default::default() },
+        seed: 7,
+        ..Default::default()
+    };
+    let hm = HyperMapper::new(space, cfg);
+
+    c.bench_function("journal_overhead_off", |b| b.iter(|| hm.try_run(&eval).unwrap()));
+
+    let path = std::env::temp_dir()
+        .join(format!("hm-bench-journal-overhead-{}.journal", std::process::id()));
+    c.bench_function("journal_overhead_on", |b| {
+        b.iter(|| {
+            let mut journal = Journal::create(&path).expect("journal");
+            hm.try_run_journaled(&eval, &mut journal).unwrap()
+        })
+    });
+    let _ = std::fs::remove_file(&path);
+}
+
 criterion_group!(
     benches,
     bench_split_finding,
     bench_pool_predict,
     bench_native_eval,
     bench_parallel_batch,
-    bench_timing_honesty
+    bench_timing_honesty,
+    bench_journal_overhead
 );
 criterion_main!(benches);

@@ -2,14 +2,41 @@
 //! random sampling vs. active learning, on the ODROID-XU3 (3a) or ASUS
 //! T200TA (3b) model.
 //!
-//! Usage: `cargo run -p hm-bench --release --bin fig3_kfusion_dse -- [odroid|asus|both] [--quick]`
+//! Usage:
+//!   cargo run -p hm-bench --release --bin fig3_kfusion_dse -- \
+//!       [odroid|asus|both] [--quick] \
+//!       [--journal <path>] [--resume] [--eval-delay-ms <n>]
+//!
+//! With `--journal`, every completed evaluation is persisted to an
+//! append-only write-ahead log before the run advances, SIGINT/SIGTERM
+//! trigger a graceful shutdown (finish the in-flight batch, flush, exit
+//! with the partial result), and `--resume` replays the journal — after a
+//! crash, a kill, or a graceful stop — to a result bit-identical to an
+//! uninterrupted run. A full-precision `<tag>.fingerprint` file is written
+//! alongside the CSV so bit-identity can be checked byte-for-byte
+//! (the CSV itself rounds to 6 digits).
 
-use hm_bench::experiments::{phase_points, run_kfusion_dse, DseScale};
+use hm_bench::experiments::{
+    install_graceful_shutdown, kf_space, phase_points, result_fingerprint, run_kfusion_dse,
+    run_kfusion_dse_durable, DseScale,
+};
 use hm_bench::report::{dse_csv, dse_summary, write_json, write_results_file};
+use hypermapper::Journal;
+
+fn flag_value(name: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1).cloned())
+}
 
 fn main() {
     let scale = DseScale::from_args();
     let which = std::env::args().nth(1).unwrap_or_else(|| "both".into());
+    let journal_path = flag_value("--journal");
+    let resume = std::env::args().any(|a| a == "--resume");
+    let eval_delay_ms: u64 = flag_value("--eval-delay-ms")
+        .map(|v| v.parse().expect("--eval-delay-ms takes milliseconds"))
+        .unwrap_or(0);
+
     let mut targets = Vec::new();
     if which == "odroid" || which == "both" || which.starts_with("--") {
         targets.push(("fig3a_odroid", device_models::odroid_xu3()));
@@ -17,10 +44,48 @@ fn main() {
     if which == "asus" || which == "both" || which.starts_with("--") {
         targets.push(("fig3b_asus", device_models::asus_t200ta()));
     }
+    if journal_path.is_some() && targets.len() > 1 {
+        // A journal records exactly one run; restrict to the first target.
+        println!("--journal given: running only {}", targets[0].0);
+        targets.truncate(1);
+    }
 
     for (tag, device) in targets {
         println!("=== Fig. 3 ({tag}) — scale {scale:?} ===");
-        let outcome = run_kfusion_dse(device, scale, 2017);
+        let outcome = if let Some(path) = &journal_path {
+            let stop = install_graceful_shutdown();
+            let mut journal = if resume {
+                Journal::open_or_create(path).expect("open journal")
+            } else {
+                Journal::create(path).expect("create journal")
+            };
+            if journal.truncated_bytes() > 0 {
+                println!(
+                    "journal: discarded {} torn/corrupt tail bytes, resuming from last valid record",
+                    journal.truncated_bytes()
+                );
+            }
+            let outcome = run_kfusion_dse_durable(
+                device,
+                scale,
+                2017,
+                eval_delay_ms,
+                &mut journal,
+                Some(stop),
+            )
+            .expect("durable DSE");
+            if outcome.result.interrupted {
+                println!(
+                    "interrupted — {} of the run is journaled in {path}; \
+                     rerun with --journal {path} --resume to continue",
+                    format!("{} samples", outcome.result.samples.len()),
+                );
+                std::process::exit(130);
+            }
+            outcome
+        } else {
+            run_kfusion_dse(device, scale, 2017)
+        };
         print!("{}", dse_summary(&outcome));
         let (random, active) = phase_points(&outcome.result);
         println!(
@@ -32,6 +97,11 @@ fn main() {
             ),
         );
         write_results_file(&format!("{tag}.csv"), &dse_csv(&outcome)).expect("write");
+        write_results_file(
+            &format!("{tag}.fingerprint"),
+            &result_fingerprint(&kf_space(), &outcome.result),
+        )
+        .expect("write fingerprint");
         write_json(&format!("{tag}_summary.json"), &serde_json::json!({
             "platform": outcome.platform,
             "random_samples": outcome.random_samples,

@@ -2,7 +2,8 @@
 
 use device_models::{crowd_devices, kf_frame_time, DeviceModel, KfParams};
 use hypermapper::{
-    ExplorationResult, HyperMapper, OptimizerConfig, ParamSpace, Phase,
+    Configuration, Evaluator, ExplorationResult, HmError, HyperMapper, Journal, OptimizerConfig,
+    ParamSpace, Phase,
 };
 use randforest::ForestConfig;
 use serde::Serialize;
@@ -10,6 +11,7 @@ use slambench::{
     ef_params_from_config, elasticfusion_space, kf_params_from_config, kfusion_space,
     SimulatedEFusionEvaluator, SimulatedKFusionEvaluator, ACCURACY_LIMIT_M,
 };
+use std::sync::atomic::{AtomicBool, Ordering};
 
 /// The paper evaluates on the first 400 frames of ICL-NUIM Living Room 2.
 pub const KFUSION_SEQUENCE_FRAMES: usize = 400;
@@ -142,6 +144,141 @@ fn summarize(platform: &str, result: ExplorationResult, accuracy_objective: usiz
         random_samples,
         active_samples,
     }
+}
+
+static STOP: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+extern "C" fn request_stop(_signum: i32) {
+    // Async-signal-safe: a relaxed atomic store and nothing else.
+    STOP.store(true, Ordering::Relaxed);
+}
+
+/// Install SIGINT/SIGTERM handlers that trip a stop flag instead of killing
+/// the process, and return that flag. Passed to
+/// `HyperMapper::try_run_controlled`, it turns Ctrl-C into a graceful
+/// shutdown: the in-flight evaluation batch finishes, the journal is
+/// flushed, and a partial `ExplorationResult` (with `interrupted` set) is
+/// returned. Std-only — `signal(2)` via the platform libc, no crate
+/// dependency.
+pub fn install_graceful_shutdown() -> &'static AtomicBool {
+    #[cfg(unix)]
+    {
+        extern "C" {
+            fn signal(signum: i32, handler: usize) -> usize;
+        }
+        const SIGINT: i32 = 2;
+        const SIGTERM: i32 = 15;
+        let handler = request_stop as *const () as usize;
+        unsafe {
+            signal(SIGINT, handler);
+            signal(SIGTERM, handler);
+        }
+    }
+    &STOP
+}
+
+/// Wraps an evaluator with a fixed per-evaluation sleep. Used by the resume
+/// smoke test to stretch a quick DSE long enough that a mid-run SIGKILL
+/// reliably lands between journal records; objective values are untouched.
+pub struct DelayedEvaluator<E> {
+    inner: E,
+    delay: std::time::Duration,
+}
+
+impl<E> DelayedEvaluator<E> {
+    pub fn new(inner: E, delay_ms: u64) -> Self {
+        DelayedEvaluator { inner, delay: std::time::Duration::from_millis(delay_ms) }
+    }
+}
+
+impl<E: Evaluator> Evaluator for DelayedEvaluator<E> {
+    fn n_objectives(&self) -> usize {
+        self.inner.n_objectives()
+    }
+
+    fn objective_names(&self) -> Vec<String> {
+        self.inner.objective_names()
+    }
+
+    fn evaluate(&self, config: &Configuration) -> Vec<f64> {
+        if !self.delay.is_zero() {
+            std::thread::sleep(self.delay);
+        }
+        self.inner.evaluate(config)
+    }
+}
+
+/// Full-precision fingerprint of an exploration result: every sample's flat
+/// configuration index, phase, and raw objective bits, the Pareto front,
+/// per-iteration stats, and failure records (minus wall-clock metadata).
+/// Two runs are bit-identical iff their fingerprints are byte-equal — the
+/// CSV outputs round to 6 digits and cannot make that distinction.
+pub fn result_fingerprint(space: &ParamSpace, result: &ExplorationResult) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    for smp in &result.samples {
+        let _ = write!(s, "s {} {:?}", space.flat_index(&smp.config), smp.phase);
+        for v in &smp.objectives {
+            let _ = write!(s, " {:016x}", v.to_bits());
+        }
+        s.push('\n');
+    }
+    let _ = writeln!(s, "p {:?}", result.pareto_indices);
+    for it in &result.iterations {
+        let _ = write!(
+            s,
+            "i {} {} {} {} {:016x}",
+            it.iteration,
+            it.predicted_front_size,
+            it.new_evaluations,
+            it.failed_evaluations,
+            it.hypervolume.to_bits()
+        );
+        for o in &it.oob_rmse {
+            match o {
+                Some(v) => {
+                    let _ = write!(s, " {:016x}", v.to_bits());
+                }
+                None => s.push_str(" -"),
+            }
+        }
+        s.push('\n');
+    }
+    for f in &result.failures {
+        // elapsed_ms is deliberately excluded: it is wall-clock measurement
+        // metadata, not resumable state.
+        let _ = writeln!(
+            s,
+            "f {} {:?} {} {:?}",
+            space.flat_index(&f.config),
+            f.phase,
+            f.attempts,
+            f.error
+        );
+    }
+    s
+}
+
+/// [`run_kfusion_dse`] with the durability controls wired through: every
+/// completed evaluation lands in `journal` before the run advances, an
+/// optional stop flag turns signals into a graceful partial result, and
+/// rerunning with the same (reopened) journal resumes bit-identically.
+pub fn run_kfusion_dse_durable(
+    device: DeviceModel,
+    scale: DseScale,
+    seed: u64,
+    eval_delay_ms: u64,
+    journal: &mut Journal,
+    stop: Option<&AtomicBool>,
+) -> Result<DseOutcome, HmError> {
+    let space = kfusion_space();
+    let name = device.name.clone();
+    let evaluator =
+        DelayedEvaluator::new(SimulatedKFusionEvaluator::new(device), eval_delay_ms);
+    let hm = HyperMapper::new(space, scale.kfusion_optimizer(seed));
+    let result = hm.try_run_controlled(&evaluator, Some(journal), stop)?;
+    Ok(summarize(&name, result, 1))
 }
 
 /// Figs. 3a/3b: the KFusion algorithmic DSE on one device model.
@@ -426,6 +563,42 @@ mod tests {
             "best {best_speed} vs default {}",
             rows[0].runtime_s
         );
+    }
+
+    #[test]
+    fn durable_quick_dse_matches_the_plain_run_bit_for_bit() {
+        let mut path = std::env::temp_dir();
+        path.push(format!("hm-bench-durable-{}.journal", std::process::id()));
+        let plain = run_kfusion_dse(odroid_xu3(), DseScale::Quick, 7);
+        let mut journal = Journal::create(&path).unwrap();
+        let durable =
+            run_kfusion_dse_durable(odroid_xu3(), DseScale::Quick, 7, 0, &mut journal, None)
+                .unwrap();
+        assert!(journal.is_done());
+        drop(journal);
+        let space = kf_space();
+        assert_eq!(
+            result_fingerprint(&space, &plain.result),
+            result_fingerprint(&space, &durable.result),
+            "journaling must not perturb the exploration"
+        );
+
+        // Chop the journal's tail and resume: same fingerprint again.
+        let bytes = std::fs::read(&path).unwrap();
+        let cut = bytes.len() * 2 / 3;
+        std::fs::write(&path, &bytes[..cut]).unwrap();
+        let mut journal = Journal::open(&path).unwrap();
+        assert!(!journal.is_done());
+        let resumed =
+            run_kfusion_dse_durable(odroid_xu3(), DseScale::Quick, 7, 0, &mut journal, None)
+                .unwrap();
+        assert!(journal.is_done());
+        assert_eq!(
+            result_fingerprint(&space, &plain.result),
+            result_fingerprint(&space, &resumed.result),
+            "kill → resume must be bit-identical"
+        );
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

@@ -15,9 +15,18 @@ pub fn write_results_file(name: &str, content: &str) -> std::io::Result<()> {
     fs::write(dir.join(name), content)
 }
 
-/// Serialize any serde value into `results/<name>` as JSON.
+/// Serialize any serde value into `results/<name>` as JSON. In the offline
+/// build, where the serde_json stub cannot serialize derive types, the JSON
+/// sidecar is skipped with a note instead of crashing the whole experiment
+/// run (the CSV and fingerprint outputs do not depend on serde).
 pub fn write_json<T: serde::Serialize>(name: &str, value: &T) -> std::io::Result<()> {
-    write_results_file(name, &serde_json::to_string_pretty(value).expect("serializable"))
+    match serde_json::to_string_pretty(value) {
+        Ok(s) => write_results_file(name, &s),
+        Err(e) => {
+            eprintln!("skipping results/{name}: {e}");
+            Ok(())
+        }
+    }
 }
 
 /// Fig. 1 surface as CSV (`mu,icp_threshold,frame_runtime_ms`).

@@ -164,6 +164,11 @@ pub enum HmError {
     /// Every evaluation in a phase failed — there is nothing to train on.
     /// `iteration` is `None` for the random bootstrap phase.
     NoSuccessfulEvaluations { iteration: Option<usize>, attempted: usize },
+    /// The write-ahead journal could not be written or flushed.
+    Journal(String),
+    /// A journal was replayed against an optimizer whose configuration,
+    /// space, or recorded history does not match the one that wrote it.
+    JournalMismatch(String),
 }
 
 impl fmt::Display for HmError {
@@ -192,6 +197,10 @@ impl fmt::Display for HmError {
                 ),
                 None => write!(f, "all {attempted} bootstrap evaluations failed"),
             },
+            HmError::Journal(reason) => write!(f, "journal write failed: {reason}"),
+            HmError::JournalMismatch(reason) => {
+                write!(f, "journal does not match this run: {reason}")
+            }
         }
     }
 }

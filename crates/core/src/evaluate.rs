@@ -23,6 +23,33 @@ pub fn catch_eval<E: Evaluator + ?Sized>(
         .map_err(|payload| EvalError::Panicked { message: panic_message(payload.as_ref()) })
 }
 
+/// A failed evaluation with its full retry story: the final error plus how
+/// many attempts were made and how long they took in total. This is what the
+/// journal records and what `FailureRecord` carries — the plain
+/// [`EvalError`] API drops the metadata for callers that don't need it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FailedEvaluation {
+    /// The final (post-retry) failure.
+    pub error: EvalError,
+    /// Attempts made, retries included (≥ 1).
+    pub attempts: u32,
+    /// Wall-clock across all attempts, in milliseconds.
+    pub elapsed_ms: u64,
+}
+
+impl FailedEvaluation {
+    /// Wrap a single-attempt failure whose duration was not measured.
+    pub fn single(error: EvalError) -> Self {
+        FailedEvaluation { error, attempts: 1, elapsed_ms: 0 }
+    }
+}
+
+impl From<FailedEvaluation> for EvalError {
+    fn from(f: FailedEvaluation) -> EvalError {
+        f.error
+    }
+}
+
 /// Stringify a panic payload (the common `&str`/`String` cases).
 fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
@@ -81,6 +108,39 @@ pub trait Evaluator: Sync {
     /// One configuration's failure never affects its batch siblings.
     fn try_evaluate_batch(&self, configs: &[Configuration]) -> Vec<Result<Vec<f64>, EvalError>> {
         configs.par_iter().map(|c| self.try_evaluate(c)).collect()
+    }
+
+    /// Like [`Evaluator::try_evaluate`], but a failure carries its retry
+    /// story ([`FailedEvaluation`]: attempt count + elapsed wall-clock).
+    /// The default times a single `try_evaluate` call; wrappers that retry
+    /// internally (e.g. `ResilientEvaluator`) override this to report real
+    /// attempt counts.
+    fn try_evaluate_detailed(
+        &self,
+        config: &Configuration,
+    ) -> Result<Vec<f64>, FailedEvaluation> {
+        let start = std::time::Instant::now();
+        self.try_evaluate(config).map_err(|error| FailedEvaluation {
+            error,
+            attempts: 1,
+            elapsed_ms: start.elapsed().as_millis() as u64,
+        })
+    }
+
+    /// Detailed batch evaluation. The default routes through
+    /// [`Evaluator::try_evaluate_batch`] — *not* per-config
+    /// `try_evaluate_detailed` — so evaluators with custom batch scheduling
+    /// keep their scheduling (and their exact results) on the detailed
+    /// path; the trade-off is that failures reported this way carry no
+    /// timing metadata (`attempts = 1`, `elapsed_ms = 0`).
+    fn try_evaluate_batch_detailed(
+        &self,
+        configs: &[Configuration],
+    ) -> Vec<Result<Vec<f64>, FailedEvaluation>> {
+        self.try_evaluate_batch(configs)
+            .into_iter()
+            .map(|r| r.map_err(FailedEvaluation::single))
+            .collect()
     }
 }
 

@@ -1,0 +1,1412 @@
+//! Durable exploration: an append-only write-ahead journal with crash
+//! recovery and bit-identical resume.
+//!
+//! Long DSE runs (250+ evaluations per platform on embedded boards, the
+//! crowd-sourcing study's 83 unattended machines) die to power loss, OOM
+//! kills, and SIGTERM. The journal makes the exploration's progress durable:
+//! one checksummed record is appended per phase transition, per completed
+//! evaluation (success *or* failure), and per iteration summary, plus
+//! periodic full-state snapshot checkpoints at phase boundaries. A killed
+//! run is resumed with [`crate::HyperMapper::resume`], which replays the log
+//! and continues to a result **bit-identical** to an uninterrupted run.
+//!
+//! # Record format
+//!
+//! The journal is a line-oriented ASCII file. Every record is one line:
+//!
+//! ```text
+//! <crc32-hex8> <body>\n
+//! ```
+//!
+//! where the CRC-32 (IEEE polynomial) covers the body bytes. Floating-point
+//! values are stored as 16-hex-digit raw `f64` bit patterns, so every value
+//! round-trips bit-exactly (no decimal formatting anywhere on the resume
+//! path). Free-form text (panic messages, divergence reasons) is
+//! percent-escaped to keep records single-line and unambiguous.
+//!
+//! Record kinds, in the order a healthy run writes them:
+//!
+//! * `run` — header: seed, phase sizes, objective count, and a fingerprint
+//!   of the forest config, failure policy, and parameter space. A resume
+//!   against a journal whose header does not match the optimizer's current
+//!   configuration fails with [`crate::HmError::JournalMismatch`] instead of
+//!   silently mis-replaying.
+//! * `phase` — a phase transition: the phase tag, the predicted-front size,
+//!   and the ordered flat indices of every configuration the phase will
+//!   evaluate. Recording the candidate list means resume can skip the forest
+//!   fits and pool predictions of completed phases entirely.
+//! * `eval` — one completed evaluation at its position within the current
+//!   phase: the *raw* outcome (objective bit patterns, or a typed
+//!   [`EvalError`] plus the attempt count and elapsed wall-clock of the
+//!   failure). Raw means pre-validation: replay re-applies the same
+//!   arity/finiteness validation the live path does.
+//! * `iter` — an active-learning iteration's [`IterationStats`], bit-exact.
+//! * `snap` — a full-state snapshot checkpoint (see below).
+//! * `done` — the exploration completed; resume short-circuits to replay.
+//! * `timing` — one serial re-measurement record from
+//!   `slambench::remeasure_front_journaled`, making the timing pass
+//!   resumable too.
+//!
+//! # Torn writes and corruption
+//!
+//! [`Journal::open`] validates every record's CRC and structure in order. At
+//! the first invalid record — a torn tail from a kill mid-write, a partial
+//! final line, or a bit flip — the file is **truncated to the last valid
+//! prefix** and the run resumes from there, re-evaluating whatever the lost
+//! suffix covered. Corruption never aborts a resume and never silently
+//! replays garbage: everything from the first bad byte onward is discarded.
+//!
+//! # Snapshots and RNG state: replay, don't serialize
+//!
+//! The exploration is deterministic given `OptimizerConfig::seed`, and its
+//! only RNG draws are the bootstrap `sample_distinct` (over an empty exclude
+//! set) and one `prediction_pool` per active iteration — both with draw
+//! counts independent of evaluation outcomes. So the journal never
+//! serializes `StdRng` internals (which would pin the rand version and
+//! break the bit-identical guarantee across replays): a snapshot records
+//! *how many* pool draws have happened, and resume re-derives the RNG
+//! position by re-seeding and replaying those draws. Snapshots are taken at
+//! phase boundaries (after the bootstrap and after each iteration's `iter`
+//! record) once [`Journal::snapshot_every`] evaluations have accumulated;
+//! they capture the full resumable state — samples, failure records,
+//! iteration stats, and the draw count — so a reader never needs records
+//! from before the latest snapshot (the file is still kept whole: if a
+//! snapshot record is itself corrupted, the records before it remain
+//! replayable).
+
+use crate::error::EvalError;
+use crate::evaluate::FailedEvaluation;
+use crate::optimizer::{IterationStats, Phase};
+use std::collections::{BTreeMap, VecDeque};
+use std::fmt::Write as _;
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read as _, Seek, SeekFrom, Write as _};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+// ---------------------------------------------------------------------------
+// CRC-32 (IEEE), table-driven, std-only.
+// ---------------------------------------------------------------------------
+
+const CRC_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+};
+
+/// CRC-32 (IEEE 802.3 polynomial) of `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    !bytes
+        .iter()
+        .fold(!0u32, |c, &b| CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8))
+}
+
+// ---------------------------------------------------------------------------
+// Field codecs: bit-exact floats, percent-escaped text.
+// ---------------------------------------------------------------------------
+
+fn enc_f64(v: f64, out: &mut String) {
+    let _ = write!(out, "{:016x}", v.to_bits());
+}
+
+fn dec_f64(s: &str) -> Option<f64> {
+    (s.len() == 16).then(|| u64::from_str_radix(s, 16).ok().map(f64::from_bits))?
+}
+
+fn enc_f64_list(vs: &[f64], out: &mut String) {
+    for (i, v) in vs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        enc_f64(*v, out);
+    }
+}
+
+fn dec_f64_list(s: &str) -> Option<Vec<f64>> {
+    if s.is_empty() {
+        return Some(Vec::new());
+    }
+    s.split(',').map(dec_f64).collect()
+}
+
+/// Percent-escape arbitrary text to the single-token alphabet
+/// `[A-Za-z0-9_.-]` (everything else becomes `%XX`).
+fn enc_text(s: &str, out: &mut String) {
+    for b in s.bytes() {
+        match b {
+            b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9' | b'_' | b'.' | b'-' => out.push(b as char),
+            _ => {
+                let _ = write!(out, "%{b:02x}");
+            }
+        }
+    }
+}
+
+fn dec_text(s: &str) -> Option<String> {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'%' {
+            let hex = bytes.get(i + 1..i + 3)?;
+            let hex = std::str::from_utf8(hex).ok()?;
+            out.push(u8::from_str_radix(hex, 16).ok()?);
+            i += 3;
+        } else {
+            out.push(bytes[i]);
+            i += 1;
+        }
+    }
+    String::from_utf8(out).ok()
+}
+
+fn enc_phase(p: Phase, out: &mut String) {
+    match p {
+        Phase::Random => out.push('r'),
+        Phase::Active(k) => {
+            let _ = write!(out, "a{k}");
+        }
+    }
+}
+
+fn dec_phase(s: &str) -> Option<Phase> {
+    if s == "r" {
+        return Some(Phase::Random);
+    }
+    s.strip_prefix('a')?.parse().ok().map(Phase::Active)
+}
+
+fn enc_error(e: &EvalError, out: &mut String) {
+    match e {
+        EvalError::NonFinite { objective, bits } => {
+            let _ = write!(out, "nf/{objective}/{bits:016x}");
+        }
+        EvalError::WrongArity { expected, got } => {
+            let _ = write!(out, "arity/{expected}/{got}");
+        }
+        EvalError::Diverged { reason } => {
+            out.push_str("div/");
+            enc_text(reason, out);
+        }
+        EvalError::Panicked { message } => {
+            out.push_str("panic/");
+            enc_text(message, out);
+        }
+        EvalError::Timeout { elapsed_ms, deadline_ms } => {
+            let _ = write!(out, "timeout/{elapsed_ms}/{deadline_ms}");
+        }
+        EvalError::Transient { reason } => {
+            out.push_str("transient/");
+            enc_text(reason, out);
+        }
+    }
+}
+
+fn dec_error(s: &str) -> Option<EvalError> {
+    let (tag, rest) = s.split_once('/')?;
+    match tag {
+        "nf" => {
+            let (obj, bits) = rest.split_once('/')?;
+            Some(EvalError::NonFinite {
+                objective: obj.parse().ok()?,
+                bits: u64::from_str_radix(bits, 16).ok()?,
+            })
+        }
+        "arity" => {
+            let (e, g) = rest.split_once('/')?;
+            Some(EvalError::WrongArity { expected: e.parse().ok()?, got: g.parse().ok()? })
+        }
+        "div" => Some(EvalError::Diverged { reason: dec_text(rest)? }),
+        "panic" => Some(EvalError::Panicked { message: dec_text(rest)? }),
+        "timeout" => {
+            let (e, d) = rest.split_once('/')?;
+            Some(EvalError::Timeout { elapsed_ms: e.parse().ok()?, deadline_ms: d.parse().ok()? })
+        }
+        "transient" => Some(EvalError::Transient { reason: dec_text(rest)? }),
+        _ => None,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Raw outcomes.
+// ---------------------------------------------------------------------------
+
+/// A raw, pre-validation evaluation outcome as journaled: either the
+/// evaluator's objective vector exactly as returned (possibly non-finite or
+/// wrong-arity — replay re-validates), or a typed error with its retry
+/// story.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RawOutcome {
+    /// The evaluator returned objectives (not yet validated).
+    Ok(Vec<f64>),
+    /// The evaluation failed.
+    Err {
+        /// The failure classification.
+        error: EvalError,
+        /// Number of attempts made (retries included).
+        attempts: u32,
+        /// Wall-clock spent across all attempts, in milliseconds. This is
+        /// measurement metadata, not resumable state: replay preserves the
+        /// journaled value, but an independent rerun will record its own.
+        elapsed_ms: u64,
+    },
+}
+
+impl RawOutcome {
+    /// Convert a detailed evaluation outcome into its journal form.
+    pub fn from_detailed(outcome: Result<Vec<f64>, FailedEvaluation>) -> Self {
+        match outcome {
+            Ok(v) => RawOutcome::Ok(v),
+            Err(f) => RawOutcome::Err {
+                error: f.error,
+                attempts: f.attempts,
+                elapsed_ms: f.elapsed_ms,
+            },
+        }
+    }
+
+    /// View as a plain `Result`, dropping the retry metadata.
+    pub fn as_result(&self) -> Result<Vec<f64>, EvalError> {
+        match self {
+            RawOutcome::Ok(v) => Ok(v.clone()),
+            RawOutcome::Err { error, .. } => Err(error.clone()),
+        }
+    }
+}
+
+fn enc_outcome(o: &RawOutcome, out: &mut String) {
+    match o {
+        RawOutcome::Ok(vs) => {
+            out.push_str("ok/");
+            enc_f64_list(vs, out);
+        }
+        RawOutcome::Err { error, attempts, elapsed_ms } => {
+            let _ = write!(out, "err/{attempts}/{elapsed_ms}/");
+            enc_error(error, out);
+        }
+    }
+}
+
+fn dec_outcome(s: &str) -> Option<RawOutcome> {
+    let (tag, rest) = s.split_once('/')?;
+    match tag {
+        "ok" => Some(RawOutcome::Ok(dec_f64_list(rest)?)),
+        "err" => {
+            let mut it = rest.splitn(3, '/');
+            let attempts = it.next()?.parse().ok()?;
+            let elapsed_ms = it.next()?.parse().ok()?;
+            let error = dec_error(it.next()?)?;
+            Some(RawOutcome::Err { error, attempts, elapsed_ms })
+        }
+        _ => None,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Iteration stats codec (used by `iter` records and snapshots).
+// ---------------------------------------------------------------------------
+
+fn enc_iter_stats(s: &IterationStats, out: &mut String) {
+    let _ = write!(
+        out,
+        "{}:{}:{}:{}:",
+        s.iteration, s.predicted_front_size, s.new_evaluations, s.failed_evaluations
+    );
+    enc_f64(s.hypervolume, out);
+    out.push(':');
+    for (i, o) in s.oob_rmse.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        match o {
+            Some(v) => enc_f64(*v, out),
+            None => out.push('-'),
+        }
+    }
+}
+
+fn dec_iter_stats(s: &str) -> Option<IterationStats> {
+    let mut it = s.splitn(6, ':');
+    let iteration = it.next()?.parse().ok()?;
+    let predicted_front_size = it.next()?.parse().ok()?;
+    let new_evaluations = it.next()?.parse().ok()?;
+    let failed_evaluations = it.next()?.parse().ok()?;
+    let hypervolume = dec_f64(it.next()?)?;
+    let oob = it.next()?;
+    let oob_rmse = if oob.is_empty() {
+        Vec::new()
+    } else {
+        oob.split(',')
+            .map(|t| if t == "-" { Some(None) } else { dec_f64(t).map(Some) })
+            .collect::<Option<Vec<_>>>()?
+    };
+    Some(IterationStats {
+        iteration,
+        predicted_front_size,
+        new_evaluations,
+        failed_evaluations,
+        oob_rmse,
+        hypervolume,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Records and replay state.
+// ---------------------------------------------------------------------------
+
+/// The `run` header a journal was recorded under. Resume refuses to replay
+/// a journal whose header does not match the current optimizer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct RunHeader {
+    pub seed: u64,
+    pub random_samples: usize,
+    pub max_iterations: usize,
+    pub max_evals_per_iteration: usize,
+    pub pool_size: usize,
+    pub n_objectives: usize,
+    /// CRC-32 fingerprint of the forest config, failure policy, and
+    /// parameter space definition.
+    pub sig: u32,
+}
+
+/// One journaled phase: its candidate list and however many outcomes were
+/// durable before the run stopped.
+#[derive(Debug, Clone)]
+pub(crate) struct PhaseReplay {
+    pub phase: Phase,
+    pub predicted_front_size: usize,
+    /// Flat indices of the phase's configurations, in evaluation order.
+    pub flat: Vec<u64>,
+    /// Journaled outcomes, a prefix of `flat` by position.
+    pub outcomes: Vec<RawOutcome>,
+    /// The iteration's stats record, if the run got that far.
+    pub stats: Option<IterationStats>,
+}
+
+impl PhaseReplay {
+    fn complete(&self) -> bool {
+        self.outcomes.len() == self.flat.len()
+    }
+
+    fn boundary(&self) -> bool {
+        self.complete() && (self.phase == Phase::Random || self.stats.is_some())
+    }
+}
+
+/// Full resumable state at a phase boundary, as captured by `snap` records.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct SnapshotState {
+    /// Whether the bootstrap phase completed (and thus consumed its
+    /// `sample_distinct` draw).
+    pub boot_done: bool,
+    /// Number of `prediction_pool` draws consumed so far — with `boot_done`
+    /// and the seed, this *is* the RNG position.
+    pub pools_drawn: usize,
+    /// Successful samples in evaluation order: flat index, phase, raw
+    /// objective values.
+    pub samples: Vec<(u64, Phase, Vec<f64>)>,
+    /// Failure records in evaluation order: flat index, phase, error,
+    /// attempts, elapsed milliseconds.
+    pub failures: Vec<(u64, Phase, EvalError, u32, u64)>,
+    /// Completed iteration stats.
+    pub iterations: Vec<IterationStats>,
+}
+
+/// Everything a resume needs, extracted from a parsed journal: the state at
+/// the latest snapshot plus every phase recorded after it.
+#[derive(Debug, Default)]
+pub(crate) struct Replay {
+    pub base: SnapshotState,
+    pub phases: VecDeque<PhaseReplay>,
+    pub done: bool,
+}
+
+impl Replay {
+    /// Pop the next journaled phase, which must match `expected` (journals
+    /// record phases in execution order; any deviation means the journal
+    /// belongs to a different run shape).
+    pub fn next_phase(&mut self, expected: Phase) -> Result<Option<PhaseReplay>, String> {
+        match self.phases.front() {
+            Some(p) if p.phase == expected => Ok(self.phases.pop_front()),
+            Some(p) => Err(format!("journal phase {:?} where {:?} was expected", p.phase, expected)),
+            None => Ok(None),
+        }
+    }
+}
+
+enum Record {
+    Run(RunHeader),
+    PhaseStart { phase: Phase, predicted_front_size: usize, flat: Vec<u64> },
+    Eval { pos: usize, outcome: RawOutcome },
+    Iter(IterationStats),
+    Snap(SnapshotState),
+    Done,
+    Timing { pos: usize, flat: u64, outcome: RawOutcome },
+}
+
+fn enc_record(r: &Record) -> String {
+    let mut b = String::new();
+    match r {
+        Record::Run(h) => {
+            let _ = write!(
+                b,
+                "run v1 {} {} {} {} {} {} {:08x}",
+                h.seed,
+                h.random_samples,
+                h.max_iterations,
+                h.max_evals_per_iteration,
+                h.pool_size,
+                h.n_objectives,
+                h.sig
+            );
+        }
+        Record::PhaseStart { phase, predicted_front_size, flat } => {
+            b.push_str("phase ");
+            enc_phase(*phase, &mut b);
+            let _ = write!(b, " {predicted_front_size} ");
+            if flat.is_empty() {
+                b.push('-');
+            }
+            for (i, f) in flat.iter().enumerate() {
+                if i > 0 {
+                    b.push(',');
+                }
+                let _ = write!(b, "{f}");
+            }
+        }
+        Record::Eval { pos, outcome } => {
+            let _ = write!(b, "eval {pos} ");
+            enc_outcome(outcome, &mut b);
+        }
+        Record::Iter(s) => {
+            b.push_str("iter ");
+            enc_iter_stats(s, &mut b);
+        }
+        Record::Snap(s) => {
+            let _ = write!(b, "snap {} {} ", s.boot_done as u8, s.pools_drawn);
+            if s.samples.is_empty() {
+                b.push('-');
+            }
+            for (i, (flat, phase, objs)) in s.samples.iter().enumerate() {
+                if i > 0 {
+                    b.push(';');
+                }
+                let _ = write!(b, "{flat}:");
+                enc_phase(*phase, &mut b);
+                b.push(':');
+                enc_f64_list(objs, &mut b);
+            }
+            b.push(' ');
+            if s.failures.is_empty() {
+                b.push('-');
+            }
+            for (i, (flat, phase, error, attempts, elapsed)) in s.failures.iter().enumerate() {
+                if i > 0 {
+                    b.push(';');
+                }
+                let _ = write!(b, "{flat}:");
+                enc_phase(*phase, &mut b);
+                let _ = write!(b, ":{attempts}:{elapsed}:");
+                enc_error(error, &mut b);
+            }
+            b.push(' ');
+            if s.iterations.is_empty() {
+                b.push('-');
+            }
+            for (i, it) in s.iterations.iter().enumerate() {
+                if i > 0 {
+                    b.push(';');
+                }
+                enc_iter_stats(it, &mut b);
+            }
+        }
+        Record::Done => b.push_str("done"),
+        Record::Timing { pos, flat, outcome } => {
+            let _ = write!(b, "timing {pos} {flat} ");
+            enc_outcome(outcome, &mut b);
+        }
+    }
+    b
+}
+
+fn dec_record(body: &str) -> Option<Record> {
+    let (tag, rest) = body.split_once(' ').unwrap_or((body, ""));
+    match tag {
+        "run" => {
+            let mut it = rest.split(' ');
+            if it.next()? != "v1" {
+                return None;
+            }
+            Some(Record::Run(RunHeader {
+                seed: it.next()?.parse().ok()?,
+                random_samples: it.next()?.parse().ok()?,
+                max_iterations: it.next()?.parse().ok()?,
+                max_evals_per_iteration: it.next()?.parse().ok()?,
+                pool_size: it.next()?.parse().ok()?,
+                n_objectives: it.next()?.parse().ok()?,
+                sig: u32::from_str_radix(it.next()?, 16).ok()?,
+            }))
+        }
+        "phase" => {
+            let mut it = rest.splitn(3, ' ');
+            let phase = dec_phase(it.next()?)?;
+            let predicted_front_size = it.next()?.parse().ok()?;
+            let flat_s = it.next()?;
+            let flat = if flat_s == "-" {
+                Vec::new()
+            } else {
+                flat_s.split(',').map(|t| t.parse().ok()).collect::<Option<Vec<u64>>>()?
+            };
+            Some(Record::PhaseStart { phase, predicted_front_size, flat })
+        }
+        "eval" => {
+            let (pos, outcome) = rest.split_once(' ')?;
+            Some(Record::Eval { pos: pos.parse().ok()?, outcome: dec_outcome(outcome)? })
+        }
+        "iter" => Some(Record::Iter(dec_iter_stats(rest)?)),
+        "snap" => {
+            let mut it = rest.splitn(5, ' ');
+            let boot_done = match it.next()? {
+                "0" => false,
+                "1" => true,
+                _ => return None,
+            };
+            let pools_drawn = it.next()?.parse().ok()?;
+            let samples_s = it.next()?;
+            let failures_s = it.next()?;
+            let iters_s = it.next()?;
+            let mut samples = Vec::new();
+            if samples_s != "-" {
+                for item in samples_s.split(';') {
+                    let mut f = item.splitn(3, ':');
+                    samples.push((
+                        f.next()?.parse().ok()?,
+                        dec_phase(f.next()?)?,
+                        dec_f64_list(f.next()?)?,
+                    ));
+                }
+            }
+            let mut failures = Vec::new();
+            if failures_s != "-" {
+                for item in failures_s.split(';') {
+                    let mut f = item.splitn(5, ':');
+                    let flat = f.next()?.parse().ok()?;
+                    let phase = dec_phase(f.next()?)?;
+                    let attempts = f.next()?.parse().ok()?;
+                    let elapsed = f.next()?.parse().ok()?;
+                    let error = dec_error(f.next()?)?;
+                    failures.push((flat, phase, error, attempts, elapsed));
+                }
+            }
+            let iterations = if iters_s == "-" {
+                Vec::new()
+            } else {
+                iters_s.split(';').map(dec_iter_stats).collect::<Option<Vec<_>>>()?
+            };
+            Some(Record::Snap(SnapshotState { boot_done, pools_drawn, samples, failures, iterations }))
+        }
+        "done" => rest.is_empty().then_some(Record::Done),
+        "timing" => {
+            let mut it = rest.splitn(3, ' ');
+            Some(Record::Timing {
+                pos: it.next()?.parse().ok()?,
+                flat: it.next()?.parse().ok()?,
+                outcome: dec_outcome(it.next()?)?,
+            })
+        }
+        _ => None,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sequential parser: validates record order, folds snapshots.
+// ---------------------------------------------------------------------------
+
+#[derive(Default)]
+struct Parser {
+    header: Option<RunHeader>,
+    base: SnapshotState,
+    phases: Vec<PhaseReplay>,
+    done: bool,
+    timing: Vec<(usize, u64, RawOutcome)>,
+}
+
+impl Parser {
+    fn expected_active(&self) -> usize {
+        self.base.iterations.len()
+            + self.phases.iter().filter(|p| matches!(p.phase, Phase::Active(_))).count()
+            + 1
+    }
+
+    fn at_boundary(&self) -> bool {
+        self.phases.last().map_or(true, PhaseReplay::boundary)
+    }
+
+    /// Apply one record; `Err` marks the journal invalid from this record
+    /// onward (the caller truncates).
+    fn apply(&mut self, record: Record) -> Result<(), &'static str> {
+        // Timing records are exempt from the header-first rule: a serial
+        // re-measurement pass may journal into a standalone file with no
+        // exploration header, and each record self-validates by front
+        // position + flat configuration index.
+        if self.header.is_none()
+            && !matches!(record, Record::Run(_) | Record::Timing { .. })
+        {
+            return Err("record before run header");
+        }
+        match record {
+            Record::Run(h) => {
+                if self.header.is_some() {
+                    return Err("duplicate run header");
+                }
+                self.header = Some(h);
+            }
+            Record::PhaseStart { phase, predicted_front_size, flat } => {
+                if self.done || !self.at_boundary() {
+                    return Err("phase start out of order");
+                }
+                let valid = match phase {
+                    Phase::Random => !self.base.boot_done && self.phases.is_empty(),
+                    Phase::Active(k) => {
+                        (self.base.boot_done || !self.phases.is_empty())
+                            && k == self.expected_active()
+                    }
+                };
+                if !valid {
+                    return Err("phase tag out of sequence");
+                }
+                self.phases.push(PhaseReplay {
+                    phase,
+                    predicted_front_size,
+                    flat,
+                    outcomes: Vec::new(),
+                    stats: None,
+                });
+            }
+            Record::Eval { pos, outcome } => {
+                let Some(cur) = self.phases.last_mut() else {
+                    return Err("eval without open phase");
+                };
+                if cur.complete() || pos != cur.outcomes.len() {
+                    return Err("eval position out of order");
+                }
+                cur.outcomes.push(outcome);
+            }
+            Record::Iter(stats) => {
+                let Some(cur) = self.phases.last_mut() else {
+                    return Err("iter without phase");
+                };
+                if !cur.complete() || cur.stats.is_some() || cur.phase != Phase::Active(stats.iteration)
+                {
+                    return Err("iter stats out of order");
+                }
+                cur.stats = Some(stats);
+            }
+            Record::Snap(s) => {
+                if !self.at_boundary() {
+                    return Err("snapshot not at phase boundary");
+                }
+                self.base = s;
+                self.phases.clear();
+            }
+            Record::Done => {
+                if self.done || !self.at_boundary() {
+                    return Err("done out of order");
+                }
+                self.done = true;
+            }
+            Record::Timing { pos, flat, outcome } => {
+                if pos != self.timing.len() {
+                    return Err("timing position out of order");
+                }
+                self.timing.push((pos, flat, outcome));
+            }
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The journal itself.
+// ---------------------------------------------------------------------------
+
+/// When appended records are fsync'd to disk.
+///
+/// Plain `write` already survives a SIGKILL of the *process* (the data is in
+/// the kernel page cache); fsync is what survives power loss. The default
+/// syncs once per evaluation chunk, which keeps journal overhead low (the
+/// `journal_overhead_*` bench series gates it at <5 %) while bounding
+/// power-loss exposure to one chunk of evaluations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SyncPolicy {
+    /// fsync after every record — maximum durability, one fsync per
+    /// evaluation.
+    PerRecord,
+    /// fsync at chunk/phase boundaries, when the optimizer calls
+    /// [`Journal::sync`] (the default).
+    PerBatch,
+}
+
+/// An append-only, checksummed write-ahead journal for explorations.
+///
+/// Create a fresh journal with [`Journal::create`], reopen an existing one
+/// (validating checksums and truncating any torn tail) with
+/// [`Journal::open`], and pass it to `HyperMapper::try_run_journaled` /
+/// `HyperMapper::resume`. See the module docs for the record format.
+pub struct Journal {
+    file: File,
+    path: PathBuf,
+    header: Option<RunHeader>,
+    replay: Option<Replay>,
+    timing: Vec<(usize, u64, RawOutcome)>,
+    timing_appended: usize,
+    records: usize,
+    truncated_bytes: u64,
+    sync_policy: SyncPolicy,
+    snapshot_every: usize,
+    evals_since_snapshot: usize,
+    needs_sync: bool,
+    done: bool,
+}
+
+impl Journal {
+    /// Create a fresh, empty journal at `path`, truncating any existing
+    /// file.
+    pub fn create<P: AsRef<Path>>(path: P) -> io::Result<Journal> {
+        let path = path.as_ref().to_path_buf();
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&path)?;
+        Ok(Journal::from_parts(file, path, Parser::default(), 0, 0))
+    }
+
+    /// Open an existing journal, validating every record's checksum and
+    /// structure. The first torn, corrupt, or out-of-order record — and
+    /// everything after it — is truncated away, and the journal resumes
+    /// from the last valid prefix. Fails only on real I/O errors or if the
+    /// file does not exist.
+    pub fn open<P: AsRef<Path>>(path: P) -> io::Result<Journal> {
+        let path = path.as_ref().to_path_buf();
+        let mut file = OpenOptions::new().read(true).write(true).open(&path)?;
+        let mut bytes = Vec::new();
+        file.read_to_end(&mut bytes)?;
+
+        let mut parser = Parser::default();
+        let mut records = 0usize;
+        let mut valid_len = 0usize;
+        let mut offset = 0usize;
+        while offset < bytes.len() {
+            let Some(nl) = bytes[offset..].iter().position(|&b| b == b'\n') else {
+                break; // torn tail: no terminating newline
+            };
+            let line = &bytes[offset..offset + nl];
+            let Some(record) = parse_line(line) else {
+                break; // bad checksum or undecodable body
+            };
+            if parser.apply(record).is_err() {
+                break; // structurally out of order
+            }
+            records += 1;
+            offset += nl + 1;
+            valid_len = offset;
+        }
+        let truncated = (bytes.len() - valid_len) as u64;
+        if truncated > 0 {
+            file.set_len(valid_len as u64)?;
+        }
+        file.seek(SeekFrom::Start(valid_len as u64))?;
+        Ok(Journal::from_parts(file, path, parser, records, truncated))
+    }
+
+    /// [`Journal::open`] if `path` exists, else [`Journal::create`].
+    pub fn open_or_create<P: AsRef<Path>>(path: P) -> io::Result<Journal> {
+        if path.as_ref().exists() {
+            Journal::open(path)
+        } else {
+            Journal::create(path)
+        }
+    }
+
+    fn from_parts(
+        file: File,
+        path: PathBuf,
+        parser: Parser,
+        records: usize,
+        truncated_bytes: u64,
+    ) -> Journal {
+        let evals_since_snapshot = parser.phases.iter().map(|p| p.outcomes.len()).sum();
+        let done = parser.done;
+        Journal {
+            file,
+            path,
+            header: parser.header.clone(),
+            replay: Some(Replay { base: parser.base, phases: parser.phases.into(), done: parser.done }),
+            timing: parser.timing,
+            timing_appended: 0,
+            records,
+            truncated_bytes,
+            sync_policy: SyncPolicy::PerBatch,
+            snapshot_every: 256,
+            evals_since_snapshot,
+            needs_sync: false,
+            done,
+        }
+    }
+
+    /// Set the fsync policy (default [`SyncPolicy::PerBatch`]).
+    pub fn with_sync_policy(mut self, policy: SyncPolicy) -> Self {
+        self.sync_policy = policy;
+        self
+    }
+
+    /// Set how many evaluations accumulate between snapshot checkpoints
+    /// (default 256; `0` disables snapshots — the full record log still
+    /// resumes exactly).
+    pub fn with_snapshot_every(mut self, every: usize) -> Self {
+        self.snapshot_every = every;
+        self
+    }
+
+    /// The journal file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Number of valid records currently in the journal.
+    pub fn records(&self) -> usize {
+        self.records
+    }
+
+    /// Bytes discarded by torn-tail/corruption truncation at open time.
+    pub fn truncated_bytes(&self) -> u64 {
+        self.truncated_bytes
+    }
+
+    /// Whether the journaled exploration ran to completion.
+    pub fn is_done(&self) -> bool {
+        self.done
+    }
+
+    pub(crate) fn header(&self) -> Option<&RunHeader> {
+        self.header.as_ref()
+    }
+
+    /// Extract the replay state (the optimizer consumes it once per run).
+    pub(crate) fn take_replay(&mut self) -> Replay {
+        self.replay.take().unwrap_or_default()
+    }
+
+    fn append(&mut self, record: &Record) -> io::Result<()> {
+        let body = enc_record(record);
+        let line = format!("{:08x} {}\n", crc32(body.as_bytes()), body);
+        self.file.write_all(line.as_bytes())?;
+        self.records += 1;
+        if self.sync_policy == SyncPolicy::PerRecord {
+            self.file.sync_data()?;
+        } else {
+            self.needs_sync = true;
+        }
+        Ok(())
+    }
+
+    /// Flush buffered records to stable storage (no-op when nothing is
+    /// pending).
+    pub fn sync(&mut self) -> io::Result<()> {
+        if self.needs_sync {
+            self.file.sync_data()?;
+            self.needs_sync = false;
+        }
+        Ok(())
+    }
+
+    pub(crate) fn append_header(&mut self, h: &RunHeader) -> io::Result<()> {
+        self.header = Some(h.clone());
+        self.append(&Record::Run(h.clone()))
+    }
+
+    pub(crate) fn append_phase_start(
+        &mut self,
+        phase: Phase,
+        predicted_front_size: usize,
+        flat: Vec<u64>,
+    ) -> io::Result<()> {
+        self.append(&Record::PhaseStart { phase, predicted_front_size, flat })
+    }
+
+    pub(crate) fn append_eval(&mut self, pos: usize, outcome: &RawOutcome) -> io::Result<()> {
+        self.evals_since_snapshot += 1;
+        self.append(&Record::Eval { pos, outcome: outcome.clone() })
+    }
+
+    pub(crate) fn append_iter(&mut self, stats: &IterationStats) -> io::Result<()> {
+        self.append(&Record::Iter(stats.clone()))
+    }
+
+    /// Write a snapshot checkpoint if enough evaluations accumulated since
+    /// the last one. Only called at phase boundaries.
+    pub(crate) fn maybe_snapshot(&mut self, state: &SnapshotState) -> io::Result<()> {
+        if self.snapshot_every == 0 || self.evals_since_snapshot < self.snapshot_every {
+            return Ok(());
+        }
+        self.append(&Record::Snap(state.clone()))?;
+        self.evals_since_snapshot = 0;
+        self.sync()
+    }
+
+    pub(crate) fn append_done(&mut self) -> io::Result<()> {
+        self.append(&Record::Done)?;
+        self.done = true;
+        self.sync()
+    }
+
+    // -- timing records (slambench serial re-measurement) ------------------
+
+    /// The journaled re-measurement outcome at front position `pos`, if it
+    /// was recorded for the same configuration (`flat`).
+    pub fn replayed_timing(&self, pos: usize, flat: u64) -> Option<&RawOutcome> {
+        self.timing
+            .get(pos)
+            .filter(|(p, f, _)| *p == pos && *f == flat)
+            .map(|(_, _, o)| o)
+    }
+
+    /// Number of journaled timing records.
+    pub fn timing_records(&self) -> usize {
+        self.timing.len()
+    }
+
+    /// Append one serial re-measurement record. Timing records are
+    /// positional (front order) and fsync'd immediately — the pass is
+    /// serial, so durability cannot perturb a concurrent measurement.
+    pub fn append_timing(&mut self, pos: usize, flat: u64, outcome: &RawOutcome) -> io::Result<()> {
+        self.timing_appended += 1;
+        self.append(&Record::Timing { pos, flat, outcome: outcome.clone() })?;
+        self.file.sync_data()?;
+        self.needs_sync = false;
+        Ok(())
+    }
+}
+
+impl Drop for Journal {
+    fn drop(&mut self) {
+        // Best-effort durability on teardown; errors have nowhere to go.
+        let _ = self.sync();
+    }
+}
+
+fn parse_line(line: &[u8]) -> Option<Record> {
+    let line = std::str::from_utf8(line).ok()?;
+    let (crc_s, body) = line.split_once(' ')?;
+    let crc = u32::from_str_radix(crc_s, 16).ok()?;
+    if crc_s.len() != 8 || crc != crc32(body.as_bytes()) {
+        return None;
+    }
+    dec_record(body)
+}
+
+// ---------------------------------------------------------------------------
+// Slot-ordered mid-batch journaling.
+// ---------------------------------------------------------------------------
+
+/// Bridges parallel batch completion (any order) to the journal's
+/// slot-ordered `eval` records: out-of-order completions are buffered and
+/// the contiguous prefix is flushed as it forms, so the journal always holds
+/// positions `base_pos..base_pos+k` with no gaps — exactly the prefix a
+/// resume can replay.
+pub(crate) struct JournalSink<'a> {
+    inner: Mutex<SinkInner<'a>>,
+}
+
+struct SinkInner<'a> {
+    journal: &'a mut Journal,
+    base_pos: usize,
+    next: usize,
+    pending: BTreeMap<usize, RawOutcome>,
+    error: Option<io::Error>,
+}
+
+impl<'a> JournalSink<'a> {
+    pub(crate) fn new(journal: &'a mut Journal, base_pos: usize) -> Self {
+        JournalSink {
+            inner: Mutex::new(SinkInner {
+                journal,
+                base_pos,
+                next: 0,
+                pending: BTreeMap::new(),
+                error: None,
+            }),
+        }
+    }
+
+    /// Record the completion of chunk-local slot `i` (called from worker
+    /// threads, in completion order).
+    pub(crate) fn observe(&self, i: usize, outcome: &Result<Vec<f64>, FailedEvaluation>) {
+        let mut g = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        g.pending.insert(i, RawOutcome::from_detailed(outcome.clone()));
+        while g.error.is_none() {
+            let next = g.next;
+            let Some(o) = g.pending.remove(&next) else { break };
+            let pos = g.base_pos + next;
+            if let Err(e) = g.journal.append_eval(pos, &o) {
+                g.error = Some(e);
+            }
+            g.next += 1;
+        }
+    }
+
+    /// Surface any write error once the batch has drained.
+    pub(crate) fn finish(self) -> io::Result<()> {
+        let inner = self.inner.into_inner().unwrap_or_else(|e| e.into_inner());
+        match inner.error {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("hm-journal-test-{}-{name}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn crc32_known_vector() {
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn text_roundtrip() {
+        for s in ["", "plain", "with space", "p%c: \n\t%%/;:,\u{00e9}"] {
+            let mut enc = String::new();
+            enc_text(s, &mut enc);
+            assert!(!enc.contains(' ') && !enc.contains('\n'));
+            assert_eq!(dec_text(&enc).as_deref(), Some(s));
+        }
+    }
+
+    #[test]
+    fn f64_roundtrip_is_bit_exact() {
+        for v in [0.0, -0.0, 1.5, f64::NAN, f64::INFINITY, -1e-308, std::f64::consts::PI] {
+            let mut enc = String::new();
+            enc_f64(v, &mut enc);
+            let back = dec_f64(&enc).unwrap();
+            assert_eq!(back.to_bits(), v.to_bits());
+        }
+    }
+
+    #[test]
+    fn outcome_roundtrip() {
+        let cases = [
+            RawOutcome::Ok(vec![1.25, f64::NAN]),
+            RawOutcome::Ok(vec![]),
+            RawOutcome::Err {
+                error: EvalError::Panicked { message: "boom / with : fields".into() },
+                attempts: 3,
+                elapsed_ms: 17,
+            },
+            RawOutcome::Err {
+                error: EvalError::NonFinite { objective: 1, bits: f64::NAN.to_bits() },
+                attempts: 1,
+                elapsed_ms: 0,
+            },
+            RawOutcome::Err {
+                error: EvalError::Timeout { elapsed_ms: 100, deadline_ms: 50 },
+                attempts: 2,
+                elapsed_ms: 101,
+            },
+        ];
+        for o in &cases {
+            let mut enc = String::new();
+            enc_outcome(o, &mut enc);
+            // NaN breaks derived equality; re-encoding the decoded value
+            // proves the round-trip is bit-exact for every payload.
+            let back = dec_outcome(&enc).unwrap();
+            let mut re = String::new();
+            enc_outcome(&back, &mut re);
+            assert_eq!(re, enc);
+        }
+    }
+
+    fn stats(iteration: usize) -> IterationStats {
+        IterationStats {
+            iteration,
+            predicted_front_size: 12,
+            new_evaluations: 5,
+            failed_evaluations: 1,
+            oob_rmse: vec![Some(0.25), None],
+            hypervolume: 3.75,
+        }
+    }
+
+    #[test]
+    fn record_roundtrip_through_file() {
+        let path = tmp("roundtrip");
+        let header = RunHeader {
+            seed: 42,
+            random_samples: 10,
+            max_iterations: 3,
+            max_evals_per_iteration: 5,
+            pool_size: 100,
+            n_objectives: 2,
+            sig: 0xDEAD_BEEF,
+        };
+        {
+            let mut j = Journal::create(&path).unwrap();
+            j.append_header(&header).unwrap();
+            j.append_phase_start(Phase::Random, 0, vec![3, 1, 4]).unwrap();
+            j.append_eval(0, &RawOutcome::Ok(vec![1.0, 2.0])).unwrap();
+            j.append_eval(
+                1,
+                &RawOutcome::Err {
+                    error: EvalError::Diverged { reason: "lost tracking".into() },
+                    attempts: 1,
+                    elapsed_ms: 9,
+                },
+            )
+            .unwrap();
+            j.sync().unwrap();
+        }
+        let mut j = Journal::open(&path).unwrap();
+        assert_eq!(j.records(), 4);
+        assert_eq!(j.truncated_bytes(), 0);
+        assert_eq!(j.header(), Some(&header));
+        let mut replay = j.take_replay();
+        assert!(!replay.done);
+        let p = replay.next_phase(Phase::Random).unwrap().unwrap();
+        assert_eq!(p.flat, vec![3, 1, 4]);
+        assert_eq!(p.outcomes.len(), 2);
+        assert_eq!(p.outcomes[0], RawOutcome::Ok(vec![1.0, 2.0]));
+        assert!(!p.complete());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated() {
+        let path = tmp("torn");
+        {
+            let mut j = Journal::create(&path).unwrap();
+            j.append_header(&RunHeader {
+                seed: 1,
+                random_samples: 2,
+                max_iterations: 1,
+                max_evals_per_iteration: 0,
+                pool_size: 10,
+                n_objectives: 1,
+                sig: 0,
+            })
+            .unwrap();
+            j.append_phase_start(Phase::Random, 0, vec![0, 1]).unwrap();
+            j.append_eval(0, &RawOutcome::Ok(vec![5.0])).unwrap();
+            j.sync().unwrap();
+        }
+        // Simulate a kill mid-write: append half a record, no newline.
+        let valid_len = std::fs::metadata(&path).unwrap().len();
+        {
+            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            f.write_all(b"0badc0de eval 1 ok/3ff00000000").unwrap();
+        }
+        let j = Journal::open(&path).unwrap();
+        assert_eq!(j.records(), 3);
+        assert!(j.truncated_bytes() > 0);
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), valid_len, "file truncated back");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn bit_flip_truncates_from_corruption() {
+        let path = tmp("bitflip");
+        {
+            let mut j = Journal::create(&path).unwrap();
+            j.append_header(&RunHeader {
+                seed: 1,
+                random_samples: 2,
+                max_iterations: 1,
+                max_evals_per_iteration: 0,
+                pool_size: 10,
+                n_objectives: 1,
+                sig: 0,
+            })
+            .unwrap();
+            j.append_phase_start(Phase::Random, 0, vec![0, 1]).unwrap();
+            j.append_eval(0, &RawOutcome::Ok(vec![5.0])).unwrap();
+            j.append_eval(1, &RawOutcome::Ok(vec![6.0])).unwrap();
+            j.sync().unwrap();
+        }
+        // Flip a bit in the last record's body.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let len = bytes.len();
+        bytes[len - 5] ^= 0x10;
+        std::fs::write(&path, &bytes).unwrap();
+        let mut j = Journal::open(&path).unwrap();
+        assert_eq!(j.records(), 3, "corrupted final record dropped");
+        assert!(j.truncated_bytes() > 0);
+        let mut replay = j.take_replay();
+        let p = replay.next_phase(Phase::Random).unwrap().unwrap();
+        assert_eq!(p.outcomes.len(), 1, "resumes from last valid eval");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn snapshot_folds_prior_records() {
+        let path = tmp("snap");
+        let snap = SnapshotState {
+            boot_done: true,
+            pools_drawn: 2,
+            samples: vec![(7, Phase::Random, vec![1.0, 2.0]), (9, Phase::Active(1), vec![3.0, 4.5])],
+            failures: vec![(
+                11,
+                Phase::Active(2),
+                EvalError::Transient { reason: "flaky;link:down".into() },
+                3,
+                42,
+            )],
+            iterations: vec![stats(1), stats(2)],
+        };
+        {
+            let mut j = Journal::create(&path).unwrap();
+            j.append_header(&RunHeader {
+                seed: 5,
+                random_samples: 1,
+                max_iterations: 4,
+                max_evals_per_iteration: 0,
+                pool_size: 10,
+                n_objectives: 2,
+                sig: 1,
+            })
+            .unwrap();
+            j.append_phase_start(Phase::Random, 0, vec![7]).unwrap();
+            j.append_eval(0, &RawOutcome::Ok(vec![1.0, 2.0])).unwrap();
+            j.append(&Record::Snap(snap.clone())).unwrap();
+            j.append_phase_start(Phase::Active(3), 6, vec![13]).unwrap();
+            j.sync().unwrap();
+        }
+        let mut j = Journal::open(&path).unwrap();
+        let mut replay = j.take_replay();
+        assert!(replay.base.boot_done);
+        assert_eq!(replay.base.pools_drawn, 2);
+        assert_eq!(replay.base.samples, snap.samples);
+        assert_eq!(replay.base.failures.len(), 1);
+        assert_eq!(replay.base.failures[0].2, snap.failures[0].2);
+        assert_eq!(replay.base.iterations.len(), 2);
+        let p = replay.next_phase(Phase::Active(3)).unwrap().unwrap();
+        assert_eq!(p.flat, vec![13]);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn out_of_order_records_truncate() {
+        let path = tmp("order");
+        {
+            let mut j = Journal::create(&path).unwrap();
+            j.append_header(&RunHeader {
+                seed: 1,
+                random_samples: 2,
+                max_iterations: 1,
+                max_evals_per_iteration: 0,
+                pool_size: 10,
+                n_objectives: 1,
+                sig: 0,
+            })
+            .unwrap();
+            // eval with no open phase: CRC-valid but structurally invalid.
+            j.append(&Record::Eval { pos: 0, outcome: RawOutcome::Ok(vec![1.0]) }).unwrap();
+            j.sync().unwrap();
+        }
+        let j = Journal::open(&path).unwrap();
+        assert_eq!(j.records(), 1, "only the header survives");
+        assert!(j.truncated_bytes() > 0);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn timing_records_roundtrip_and_match_by_flat() {
+        let path = tmp("timing");
+        {
+            let mut j = Journal::create(&path).unwrap();
+            j.append_header(&RunHeader {
+                seed: 1,
+                random_samples: 1,
+                max_iterations: 0,
+                max_evals_per_iteration: 0,
+                pool_size: 10,
+                n_objectives: 1,
+                sig: 0,
+            })
+            .unwrap();
+            j.append_timing(0, 5, &RawOutcome::Ok(vec![2.5])).unwrap();
+            j.append_timing(
+                1,
+                9,
+                &RawOutcome::Err {
+                    error: EvalError::Diverged { reason: "re-run diverged".into() },
+                    attempts: 1,
+                    elapsed_ms: 3,
+                },
+            )
+            .unwrap();
+        }
+        let j = Journal::open(&path).unwrap();
+        assert_eq!(j.timing_records(), 2);
+        assert_eq!(j.replayed_timing(0, 5), Some(&RawOutcome::Ok(vec![2.5])));
+        assert!(j.replayed_timing(0, 6).is_none(), "flat mismatch is not served");
+        assert!(matches!(j.replayed_timing(1, 9), Some(RawOutcome::Err { .. })));
+        assert!(j.replayed_timing(2, 0).is_none());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn sink_writes_out_of_order_completions_in_slot_order() {
+        let path = tmp("sink");
+        {
+            let mut j = Journal::create(&path).unwrap();
+            j.append_header(&RunHeader {
+                seed: 1,
+                random_samples: 4,
+                max_iterations: 0,
+                max_evals_per_iteration: 0,
+                pool_size: 10,
+                n_objectives: 1,
+                sig: 0,
+            })
+            .unwrap();
+            j.append_phase_start(Phase::Random, 0, vec![0, 1, 2, 3]).unwrap();
+            let sink = JournalSink::new(&mut j, 0);
+            // Completion order 2, 0, 3, 1 — journal order must be 0, 1, 2, 3.
+            sink.observe(2, &Ok(vec![2.0]));
+            sink.observe(0, &Ok(vec![0.0]));
+            sink.observe(3, &Ok(vec![3.0]));
+            sink.observe(1, &Ok(vec![1.0]));
+            sink.finish().unwrap();
+            j.sync().unwrap();
+        }
+        let mut j = Journal::open(&path).unwrap();
+        let mut replay = j.take_replay();
+        let p = replay.next_phase(Phase::Random).unwrap().unwrap();
+        let got: Vec<RawOutcome> = p.outcomes;
+        assert_eq!(
+            got,
+            (0..4).map(|i| RawOutcome::Ok(vec![i as f64])).collect::<Vec<_>>(),
+            "slot order regardless of completion order"
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -51,6 +51,7 @@ pub mod doe;
 pub mod error;
 pub mod evaluate;
 pub mod faults;
+pub mod journal;
 pub mod optimizer;
 pub mod pareto;
 pub mod param;
@@ -61,13 +62,14 @@ pub mod space;
 pub use analysis::{pearson, spearman, ParamImportance};
 pub use doe::sample_distinct;
 pub use error::{EvalError, HmError};
-pub use evaluate::{catch_eval, CachedEvaluator, Evaluator, FnEvaluator};
+pub use evaluate::{catch_eval, CachedEvaluator, Evaluator, FailedEvaluation, FnEvaluator};
 pub use faults::{
     silence_injected_panics, Fault, FaultCounts, FaultInjectingEvaluator, FaultPlan,
 };
+pub use journal::{Journal, RawOutcome, SyncPolicy};
 pub use optimizer::{
     ExplorationResult, FailurePolicy, FailureRecord, HyperMapper, IterationStats,
-    OptimizerConfig, Phase, Sample,
+    OptimizerConfig, Phase, Sample, EVAL_CHUNK,
 };
 pub use resilient::{FailureLogEntry, ResilientEvaluator, RetryPolicy};
 pub use scheduler::{default_workers, ParallelBatchEvaluator};

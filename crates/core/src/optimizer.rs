@@ -3,6 +3,7 @@
 use crate::doe::{prediction_pool, sample_distinct};
 use crate::error::{EvalError, HmError};
 use crate::evaluate::Evaluator;
+use crate::journal::{crc32, Journal, JournalSink, RawOutcome, Replay, RunHeader, SnapshotState};
 use crate::pareto::{hypervolume_2d, pareto_front, pareto_front_2d};
 use crate::scheduler::ParallelBatchEvaluator;
 use crate::space::{Configuration, ParamSpace};
@@ -11,6 +12,8 @@ use rand::SeedableRng;
 use randforest::{CompiledForest, Dataset, ForestConfig, RandomForest};
 use serde::Serialize;
 use std::collections::HashSet;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, Ordering};
 
 /// Which phase of the exploration produced a sample.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
@@ -44,6 +47,13 @@ pub struct FailureRecord {
     pub error: EvalError,
     /// Where in the exploration it failed.
     pub phase: Phase,
+    /// Attempts made before giving up (retries included; 1 when the
+    /// evaluator does not retry).
+    pub attempts: u32,
+    /// Wall-clock across all attempts, in milliseconds. Measurement
+    /// metadata, not resumable state: a journal replay preserves the
+    /// recorded value, an independent rerun records its own.
+    pub elapsed_ms: u64,
 }
 
 /// How failed configurations feed (or don't feed) the surrogate forests.
@@ -151,6 +161,11 @@ pub struct ExplorationResult {
     pub objective_names: Vec<String>,
     /// Every configuration whose evaluation failed, in evaluation order.
     pub failures: Vec<FailureRecord>,
+    /// `true` when the exploration was stopped early by a graceful-shutdown
+    /// flag (see `HyperMapper::try_run_controlled`): the result covers every
+    /// evaluation completed before the stop, and a journaled run can be
+    /// resumed to finish it.
+    pub interrupted: bool,
 }
 
 impl ExplorationResult {
@@ -267,100 +282,333 @@ impl HyperMapper {
     /// panicking when the exploration cannot produce any result (too-small
     /// space, or a phase where zero evaluations succeed).
     pub fn try_run<E: Evaluator>(&self, evaluator: &E) -> Result<ExplorationResult, HmError> {
+        self.try_run_controlled(evaluator, None, None)
+    }
+
+    /// Run the exploration with a write-ahead journal: every phase
+    /// transition, completed evaluation, and iteration summary is appended
+    /// (checksummed) to `journal` as it happens, so a killed process can be
+    /// resumed with [`HyperMapper::resume`]. On a journal that already holds
+    /// a partial run of the *same* seed/config/space, this IS a resume —
+    /// recorded evaluations are replayed instead of re-executed.
+    pub fn try_run_journaled<E: Evaluator>(
+        &self,
+        evaluator: &E,
+        journal: &mut Journal,
+    ) -> Result<ExplorationResult, HmError> {
+        self.try_run_controlled(evaluator, Some(journal), None)
+    }
+
+    /// Resume a journaled exploration: replay the journal's valid records
+    /// (the torn tail, if any, was truncated at [`Journal::open`]), skip
+    /// every already-evaluated configuration, re-derive the RNG position by
+    /// replaying the recorded draw counts, and continue the run to a result
+    /// **bit-identical** to an uninterrupted run with the same seed.
+    ///
+    /// Errors with [`HmError::JournalMismatch`] if the journal was recorded
+    /// under a different seed, optimizer configuration, or parameter space.
+    pub fn resume<E: Evaluator>(
+        &self,
+        journal: &mut Journal,
+        evaluator: &E,
+    ) -> Result<ExplorationResult, HmError> {
+        self.try_run_controlled(evaluator, Some(journal), None)
+    }
+
+    /// The fully-controlled exploration entry point: optional write-ahead
+    /// `journal` (durability + resume) and optional `stop` flag (graceful
+    /// shutdown: set it from a signal handler and the run finishes the
+    /// in-flight evaluation chunk, flushes the journal, and returns a
+    /// partial [`ExplorationResult`] with `interrupted = true`).
+    ///
+    /// With both `None` this is exactly [`HyperMapper::try_run`]: the batch
+    /// path is not chunked and no durability work happens. With a journal
+    /// or stop flag, phases are evaluated in bounded chunks so stop checks
+    /// and fsyncs happen at least every [`EVAL_CHUNK`] evaluations —
+    /// chunking never changes any evaluated value, only when the loop looks
+    /// up from the work.
+    pub fn try_run_controlled<E: Evaluator>(
+        &self,
+        evaluator: &E,
+        journal: Option<&mut Journal>,
+        stop: Option<&AtomicBool>,
+    ) -> Result<ExplorationResult, HmError> {
         let n_obj = evaluator.n_objectives();
         assert!(n_obj >= 1, "need at least one objective");
-        let mut rng = StdRng::seed_from_u64(self.config.seed);
-        let mut evaluated: HashSet<u64> = HashSet::new();
-        let mut samples: Vec<Sample> = Vec::new();
-        let mut failures: Vec<FailureRecord> = Vec::new();
+        let mut ctx = RunCtx { journal, stop };
+
+        // ---- Journal handshake: verify or write the run header. ----
+        let mut replay = Replay::default();
+        if let Some(j) = ctx.journal.as_deref_mut() {
+            let header = self.run_header(n_obj);
+            match j.header() {
+                Some(existing) if *existing != header => {
+                    return Err(HmError::JournalMismatch(
+                        "journal header (seed, optimizer config, or space fingerprint) \
+                         differs from this run"
+                            .into(),
+                    ));
+                }
+                Some(_) => replay = j.take_replay(),
+                None => j.append_header(&header).map_err(jerr)?,
+            }
+        }
+
+        let mut st = ExplorationState {
+            rng: StdRng::seed_from_u64(self.config.seed),
+            evaluated: HashSet::new(),
+            samples: Vec::new(),
+            failures: Vec::new(),
+            iterations: Vec::new(),
+            pools_drawn: 0,
+        };
+
+        // ---- Restore the latest snapshot, if the journal holds one. ----
+        // RNG state is replayed, never deserialized: re-run the bootstrap
+        // draw and the recorded number of pool draws against the seeded RNG
+        // (both draw counts are independent of evaluation outcomes), then
+        // install the snapshotted samples/failures/iterations. Order
+        // matters: the bootstrap draw must see the same empty exclude set
+        // the original run saw.
+        let boot_from_base = replay.base.boot_done;
+        if boot_from_base {
+            let _ = self.bootstrap_draw(&mut st)?;
+            for _ in 0..replay.base.pools_drawn {
+                let _ = prediction_pool(&self.space, self.config.pool_size, &mut st.rng);
+                st.pools_drawn += 1;
+            }
+            let base = std::mem::take(&mut replay.base);
+            for (flat, phase, objectives) in base.samples {
+                st.evaluated.insert(flat);
+                st.samples.push(Sample { config: self.space.config_at(flat), objectives, phase });
+            }
+            for (flat, phase, error, attempts, elapsed_ms) in base.failures {
+                st.evaluated.insert(flat);
+                st.failures.push(FailureRecord {
+                    config: self.space.config_at(flat),
+                    error,
+                    phase,
+                    attempts,
+                    elapsed_ms,
+                });
+            }
+            st.iterations = base.iterations;
+        }
 
         // ---- Phase 1: random bootstrap (X_out ← rs distinct samples). ----
-        let boot = sample_distinct(
-            &self.space,
-            self.config.random_samples.min(self.space.size() as usize),
-            &evaluated,
-            &mut rng,
-        )?;
-        let attempted = boot.len();
-        let successes =
-            self.eval_phase(evaluator, boot, n_obj, Phase::Random, &mut evaluated, &mut samples, &mut failures);
-        if successes == 0 && attempted > 0 {
-            return Err(HmError::NoSuccessfulEvaluations { iteration: None, attempted });
+        if !boot_from_base {
+            let boot = self.bootstrap_draw(&mut st)?;
+            let attempted = boot.len();
+            let flats: Vec<u64> = boot.iter().map(|c| self.space.flat_index(c)).collect();
+            let replayed = match replay.next_phase(Phase::Random).map_err(HmError::JournalMismatch)? {
+                Some(pr) => {
+                    if pr.flat != flats {
+                        return Err(HmError::JournalMismatch(
+                            "journaled bootstrap configurations differ from this seed's".into(),
+                        ));
+                    }
+                    pr.outcomes
+                }
+                None => {
+                    ctx.phase_start(Phase::Random, 0, flats)?;
+                    Vec::new()
+                }
+            };
+            let out =
+                self.eval_phase(evaluator, boot, n_obj, Phase::Random, &replayed, &mut st, &mut ctx)?;
+            if out.interrupted {
+                ctx.sync_now()?;
+                return Ok(st.into_result(evaluator.objective_names(), true));
+            }
+            if out.successes == 0 && attempted > 0 {
+                return Err(HmError::NoSuccessfulEvaluations { iteration: None, attempted });
+            }
+            let snap = self.snapshot_state(&st);
+            ctx.maybe_snapshot(&snap)?;
         }
 
         // ---- Phase 2: active learning. ----
-        let mut iterations = Vec::new();
-        for iter in 1..=self.config.max_iterations {
-            // Fit one forest per objective on everything evaluated so far.
-            let forests = self.fit_forests(&samples, &failures, n_obj);
-
-            // Predict over the pool and find the predicted Pareto front.
-            let pool = prediction_pool(&self.space, self.config.pool_size, &mut rng);
-            let predicted = self.predict_front(&forests, &pool, n_obj);
-            let predicted_front_size = predicted.len();
-
-            // P − X_out: keep only configurations not evaluated yet
-            // (failed configurations count as spent — re-proposing a
-            // deterministically crashing configuration every iteration
-            // would starve the loop).
-            let mut fresh: Vec<Configuration> = predicted
-                .into_iter()
-                .filter(|c| !evaluated.contains(&self.space.flat_index(c)))
-                .collect();
-            if self.config.max_evals_per_iteration > 0
-                && fresh.len() > self.config.max_evals_per_iteration
-            {
-                fresh.truncate(self.config.max_evals_per_iteration);
-            }
-            if fresh.is_empty() {
-                // Predicted front fully evaluated: Algorithm 1's fixed point.
+        let mut interrupted = false;
+        for iter in (st.iterations.len() + 1)..=self.config.max_iterations {
+            if ctx.stopped() {
+                interrupted = true;
                 break;
             }
+            let next = replay.next_phase(Phase::Active(iter)).map_err(HmError::JournalMismatch)?;
+            // Forests are fit on the *pre-phase* state (that is what the
+            // live loop trains on, and what the iteration's OOB estimate
+            // refers to); only needed when the iteration's stats are not
+            // already journaled.
+            let mut forests: Option<Vec<RandomForest>> = None;
+            let (configs, predicted_front_size, replayed, replayed_stats) = match next {
+                Some(pr) => {
+                    // Replayed phase: the candidate list is on record, so
+                    // the forest fit and front prediction can be skipped —
+                    // but the pool draw still consumed RNG in the original
+                    // run and must be replayed to keep the stream aligned.
+                    if pr.stats.is_none() {
+                        forests = Some(self.fit_forests(&st.samples, &st.failures, n_obj));
+                    }
+                    let _ = prediction_pool(&self.space, self.config.pool_size, &mut st.rng);
+                    st.pools_drawn += 1;
+                    let configs: Vec<Configuration> =
+                        pr.flat.iter().map(|&f| self.space.config_at(f)).collect();
+                    (configs, pr.predicted_front_size, pr.outcomes, pr.stats)
+                }
+                None => {
+                    if replay.done {
+                        // The journaled run completed at this point (its
+                        // predicted front was fully evaluated).
+                        break;
+                    }
+                    // Live path: fit one forest per objective on everything
+                    // evaluated so far, predict over the pool, and find the
+                    // predicted Pareto front.
+                    let fit = self.fit_forests(&st.samples, &st.failures, n_obj);
+                    let pool = prediction_pool(&self.space, self.config.pool_size, &mut st.rng);
+                    st.pools_drawn += 1;
+                    let predicted = self.predict_front(&fit, &pool, n_obj);
+                    let predicted_front_size = predicted.len();
 
-            let new_evaluations = fresh.len();
-            let successes = self.eval_phase(
+                    // P − X_out: keep only configurations not evaluated yet
+                    // (failed configurations count as spent — re-proposing a
+                    // deterministically crashing configuration every
+                    // iteration would starve the loop).
+                    let mut fresh: Vec<Configuration> = predicted
+                        .into_iter()
+                        .filter(|c| !st.evaluated.contains(&self.space.flat_index(c)))
+                        .collect();
+                    if self.config.max_evals_per_iteration > 0
+                        && fresh.len() > self.config.max_evals_per_iteration
+                    {
+                        fresh.truncate(self.config.max_evals_per_iteration);
+                    }
+                    if fresh.is_empty() {
+                        // Predicted front fully evaluated: Algorithm 1's
+                        // fixed point.
+                        break;
+                    }
+                    let flats = fresh.iter().map(|c| self.space.flat_index(c)).collect();
+                    ctx.phase_start(Phase::Active(iter), predicted_front_size, flats)?;
+                    forests = Some(fit);
+                    (fresh, predicted_front_size, Vec::new(), None)
+                }
+            };
+
+            let new_evaluations = configs.len();
+            let out = self.eval_phase(
                 evaluator,
-                fresh,
+                configs,
                 n_obj,
                 Phase::Active(iter),
-                &mut evaluated,
-                &mut samples,
-                &mut failures,
-            );
-            if successes == 0 {
+                &replayed,
+                &mut st,
+                &mut ctx,
+            )?;
+            if out.interrupted {
+                interrupted = true;
+                break;
+            }
+            if out.successes == 0 {
                 return Err(HmError::NoSuccessfulEvaluations {
                     iteration: Some(iter),
                     attempted: new_evaluations,
                 });
             }
 
-            let oob_rmse = {
-                let datasets = self.datasets(&samples, &failures, n_obj);
-                forests
-                    .iter()
-                    .zip(&datasets)
-                    .map(|(f, d)| f.oob_rmse(d))
-                    .collect()
+            let stats = match replayed_stats {
+                Some(stats) => stats,
+                None => {
+                    let oob_rmse = match &forests {
+                        Some(fs) => {
+                            let datasets = self.datasets(&st.samples, &st.failures, n_obj);
+                            fs.iter().zip(&datasets).map(|(f, d)| f.oob_rmse(d)).collect()
+                        }
+                        // Unreachable by construction: forests are fit
+                        // whenever stats are not replayed.
+                        None => vec![None; n_obj],
+                    };
+                    let stats = IterationStats {
+                        iteration: iter,
+                        predicted_front_size,
+                        new_evaluations,
+                        failed_evaluations: new_evaluations - out.successes,
+                        oob_rmse,
+                        hypervolume: measured_hypervolume(&st.samples),
+                    };
+                    ctx.append_iter(&stats)?;
+                    stats
+                }
             };
-            iterations.push(IterationStats {
-                iteration: iter,
-                predicted_front_size,
-                new_evaluations,
-                failed_evaluations: new_evaluations - successes,
-                oob_rmse,
-                hypervolume: measured_hypervolume(&samples),
-            });
+            st.iterations.push(stats);
+            let snap = self.snapshot_state(&st);
+            ctx.maybe_snapshot(&snap)?;
         }
 
-        let pts: Vec<Vec<f64>> = samples.iter().map(|s| s.objectives.clone()).collect();
-        let pareto_indices = pareto_front(&pts);
-        Ok(ExplorationResult {
-            samples,
-            pareto_indices,
-            iterations,
-            objective_names: evaluator.objective_names(),
-            failures,
-        })
+        if let Some(j) = ctx.journal.as_deref_mut() {
+            if interrupted {
+                j.sync().map_err(jerr)?;
+            } else if !replay.done {
+                j.append_done().map_err(jerr)?;
+            }
+        }
+        Ok(st.into_result(evaluator.objective_names(), interrupted))
+    }
+
+    /// The bootstrap `sample_distinct` draw — shared between the live path
+    /// and RNG-position replay so both consume the RNG identically.
+    fn bootstrap_draw(&self, st: &mut ExplorationState) -> Result<Vec<Configuration>, HmError> {
+        sample_distinct(
+            &self.space,
+            self.config.random_samples.min(self.space.size() as usize),
+            &st.evaluated,
+            &mut st.rng,
+        )
+    }
+
+    /// Fingerprint of everything a journal replay must agree on.
+    fn run_header(&self, n_obj: usize) -> RunHeader {
+        let mut sig_src = String::new();
+        let _ = write!(sig_src, "{:?}|{:?}|", self.config.forest, self.config.failure_policy);
+        for p in self.space.params() {
+            let _ = write!(sig_src, "{p:?};");
+        }
+        RunHeader {
+            seed: self.config.seed,
+            random_samples: self.config.random_samples,
+            max_iterations: self.config.max_iterations,
+            max_evals_per_iteration: self.config.max_evals_per_iteration,
+            pool_size: self.config.pool_size,
+            n_objectives: n_obj,
+            sig: crc32(sig_src.as_bytes()),
+        }
+    }
+
+    /// Full resumable state at the current phase boundary, in journal form.
+    fn snapshot_state(&self, st: &ExplorationState) -> SnapshotState {
+        SnapshotState {
+            boot_done: true,
+            pools_drawn: st.pools_drawn,
+            samples: st
+                .samples
+                .iter()
+                .map(|s| (self.space.flat_index(&s.config), s.phase, s.objectives.clone()))
+                .collect(),
+            failures: st
+                .failures
+                .iter()
+                .map(|f| {
+                    (
+                        self.space.flat_index(&f.config),
+                        f.phase,
+                        f.error.clone(),
+                        f.attempts,
+                        f.elapsed_ms,
+                    )
+                })
+                .collect(),
+            iterations: st.iterations.clone(),
+        }
     }
 
     /// Run only the random bootstrap phase — the paper's baseline.
@@ -372,9 +620,14 @@ impl HyperMapper {
         reduced.run(evaluator)
     }
 
-    /// Evaluate one phase's batch, validate every outcome, and append
-    /// successes to `samples` / failures to `failures`. Returns the number
-    /// of successes. Every attempted configuration is marked `evaluated`.
+    /// Evaluate one phase's batch: apply the journal-replayed prefix (no
+    /// evaluator calls), then evaluate the live remainder — in bounded
+    /// chunks when a journal or stop flag is active, as one batch otherwise
+    /// — validating every outcome and appending successes to `st.samples` /
+    /// failures to `st.failures`. Every attempted configuration is marked
+    /// evaluated. Journal `eval` records are appended in slot order
+    /// regardless of parallel completion order (see
+    /// [`crate::journal::JournalSink`]).
     #[allow(clippy::too_many_arguments)]
     fn eval_phase<E: Evaluator>(
         &self,
@@ -382,29 +635,104 @@ impl HyperMapper {
         configs: Vec<Configuration>,
         n_obj: usize,
         phase: Phase,
-        evaluated: &mut HashSet<u64>,
-        samples: &mut Vec<Sample>,
-        failures: &mut Vec<FailureRecord>,
-    ) -> usize {
-        let outcomes = if self.config.eval_workers > 0 {
-            ParallelBatchEvaluator::with_workers(evaluator, self.config.eval_workers)
-                .try_evaluate_batch(&configs)
-        } else {
-            evaluator.try_evaluate_batch(&configs)
-        };
-        assert_eq!(outcomes.len(), configs.len(), "batch size mismatch");
+        replayed: &[RawOutcome],
+        st: &mut ExplorationState,
+        ctx: &mut RunCtx<'_>,
+    ) -> Result<PhaseOutcome, HmError> {
         let mut successes = 0usize;
-        for (config, outcome) in configs.into_iter().zip(outcomes) {
-            evaluated.insert(self.space.flat_index(&config));
-            match validate_objectives(outcome, n_obj) {
-                Ok(objectives) => {
-                    successes += 1;
-                    samples.push(Sample { config, objectives, phase });
-                }
-                Err(error) => failures.push(FailureRecord { config, error, phase }),
+        for (config, outcome) in configs.iter().zip(replayed) {
+            if self.apply_raw(st, config.clone(), outcome, phase, n_obj) {
+                successes += 1;
             }
         }
-        successes
+        let n = configs.len();
+        let mut pos = replayed.len().min(n);
+        // Plain runs evaluate the whole phase as one batch — the exact
+        // pre-durability codepath. Controlled runs chunk it so stop checks
+        // and journal fsyncs happen at a bounded interval; per-configuration
+        // results are identical either way.
+        let chunk_len =
+            if ctx.is_plain() { usize::MAX } else { EVAL_CHUNK.max(self.config.eval_workers) };
+        let mut interrupted = false;
+        while pos < n {
+            if ctx.stopped() {
+                interrupted = true;
+                break;
+            }
+            let end = n.min(pos.saturating_add(chunk_len));
+            let chunk = &configs[pos..end];
+            let outcomes: Vec<RawOutcome> = if self.config.eval_workers > 0 {
+                let par = ParallelBatchEvaluator::with_workers(evaluator, self.config.eval_workers);
+                match ctx.journal.as_deref_mut() {
+                    Some(j) => {
+                        let sink = JournalSink::new(j, pos);
+                        let detailed = par.try_evaluate_batch_detailed_observed(chunk, &|i, o| {
+                            sink.observe(i, o)
+                        });
+                        sink.finish().map_err(jerr)?;
+                        detailed.into_iter().map(RawOutcome::from_detailed).collect()
+                    }
+                    None => par
+                        .try_evaluate_batch_detailed(chunk)
+                        .into_iter()
+                        .map(RawOutcome::from_detailed)
+                        .collect(),
+                }
+            } else {
+                let raw: Vec<RawOutcome> = evaluator
+                    .try_evaluate_batch_detailed(chunk)
+                    .into_iter()
+                    .map(RawOutcome::from_detailed)
+                    .collect();
+                if let Some(j) = ctx.journal.as_deref_mut() {
+                    for (k, o) in raw.iter().enumerate() {
+                        j.append_eval(pos + k, o).map_err(jerr)?;
+                    }
+                }
+                raw
+            };
+            assert_eq!(outcomes.len(), chunk.len(), "batch size mismatch");
+            for (config, outcome) in chunk.iter().zip(&outcomes) {
+                if self.apply_raw(st, config.clone(), outcome, phase, n_obj) {
+                    successes += 1;
+                }
+            }
+            pos = end;
+            ctx.sync_now()?;
+        }
+        Ok(PhaseOutcome { successes, interrupted })
+    }
+
+    /// Apply one raw outcome (live or replayed) to the exploration state:
+    /// mark the configuration evaluated and record a validated [`Sample`]
+    /// or a [`FailureRecord`]. Returns whether it was a success. Replay
+    /// re-validates exactly like the live path, so journaled raw outcomes
+    /// derive identical state.
+    fn apply_raw(
+        &self,
+        st: &mut ExplorationState,
+        config: Configuration,
+        outcome: &RawOutcome,
+        phase: Phase,
+        n_obj: usize,
+    ) -> bool {
+        st.evaluated.insert(self.space.flat_index(&config));
+        let (result, attempts, elapsed_ms) = match outcome {
+            RawOutcome::Ok(objectives) => (Ok(objectives.clone()), 1, 0),
+            RawOutcome::Err { error, attempts, elapsed_ms } => {
+                (Err(error.clone()), *attempts, *elapsed_ms)
+            }
+        };
+        match validate_objectives(result, n_obj) {
+            Ok(objectives) => {
+                st.samples.push(Sample { config, objectives, phase });
+                true
+            }
+            Err(error) => {
+                st.failures.push(FailureRecord { config, error, phase, attempts, elapsed_ms });
+                false
+            }
+        }
     }
 
     /// One training dataset per objective from the samples so far; under
@@ -499,6 +827,95 @@ impl HyperMapper {
         };
         front.into_iter().map(|i| pool[i].clone()).collect()
     }
+}
+
+/// Stop checks and journal fsyncs happen at least every this many live
+/// evaluations in a controlled run (journal or stop flag active). A killed
+/// process loses at most one chunk of un-fsync'd evaluations under
+/// [`crate::journal::SyncPolicy::PerBatch`].
+pub const EVAL_CHUNK: usize = 64;
+
+/// The exploration's mutable state machine: everything the loop accumulates
+/// and everything a snapshot must capture. `pools_drawn` plus the seed is
+/// the RNG position (see the `journal` module docs — RNG state is replayed,
+/// never serialized).
+struct ExplorationState {
+    rng: StdRng,
+    evaluated: HashSet<u64>,
+    samples: Vec<Sample>,
+    failures: Vec<FailureRecord>,
+    iterations: Vec<IterationStats>,
+    pools_drawn: usize,
+}
+
+impl ExplorationState {
+    fn into_result(self, objective_names: Vec<String>, interrupted: bool) -> ExplorationResult {
+        let pts: Vec<Vec<f64>> = self.samples.iter().map(|s| s.objectives.clone()).collect();
+        let pareto_indices = pareto_front(&pts);
+        ExplorationResult {
+            samples: self.samples,
+            pareto_indices,
+            iterations: self.iterations,
+            objective_names,
+            failures: self.failures,
+            interrupted,
+        }
+    }
+}
+
+/// The run's durability/shutdown context. `is_plain` (no journal, no stop
+/// flag) keeps `try_run` on the exact pre-durability codepath.
+struct RunCtx<'a> {
+    journal: Option<&'a mut Journal>,
+    stop: Option<&'a AtomicBool>,
+}
+
+impl RunCtx<'_> {
+    fn is_plain(&self) -> bool {
+        self.journal.is_none() && self.stop.is_none()
+    }
+
+    fn stopped(&self) -> bool {
+        self.stop.is_some_and(|s| s.load(Ordering::Relaxed))
+    }
+
+    fn phase_start(&mut self, phase: Phase, pfs: usize, flats: Vec<u64>) -> Result<(), HmError> {
+        match self.journal.as_deref_mut() {
+            Some(j) => j.append_phase_start(phase, pfs, flats).map_err(jerr),
+            None => Ok(()),
+        }
+    }
+
+    fn append_iter(&mut self, stats: &IterationStats) -> Result<(), HmError> {
+        match self.journal.as_deref_mut() {
+            Some(j) => j.append_iter(stats).map_err(jerr),
+            None => Ok(()),
+        }
+    }
+
+    fn maybe_snapshot(&mut self, state: &SnapshotState) -> Result<(), HmError> {
+        match self.journal.as_deref_mut() {
+            Some(j) => j.maybe_snapshot(state).map_err(jerr),
+            None => Ok(()),
+        }
+    }
+
+    fn sync_now(&mut self) -> Result<(), HmError> {
+        match self.journal.as_deref_mut() {
+            Some(j) => j.sync().map_err(jerr),
+            None => Ok(()),
+        }
+    }
+}
+
+/// What [`HyperMapper::eval_phase`] reports back to the loop.
+struct PhaseOutcome {
+    successes: usize,
+    interrupted: bool,
+}
+
+fn jerr(e: std::io::Error) -> HmError {
+    HmError::Journal(e.to_string())
 }
 
 /// Classify a raw evaluation outcome: arity and finiteness checks promote

@@ -8,11 +8,15 @@
 //! inspectable failure log.
 
 use crate::error::EvalError;
-use crate::evaluate::Evaluator;
+use crate::evaluate::{Evaluator, FailedEvaluation};
 use crate::space::Configuration;
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
+
+/// Default bound on the failure log (entries, not configurations).
+pub const DEFAULT_LOG_CAPACITY: usize = 4096;
 
 /// Retry and deadline policy for [`ResilientEvaluator`].
 #[derive(Debug, Clone)]
@@ -68,6 +72,9 @@ pub struct FailureLogEntry {
     pub attempt: usize,
     /// What went wrong.
     pub error: EvalError,
+    /// Wall-clock spent on this configuration so far (all attempts up to
+    /// and including this one), in milliseconds.
+    pub elapsed_ms: u64,
 }
 
 /// Fault-tolerance wrapper: bounded retry for transient failures, a
@@ -86,21 +93,36 @@ pub struct FailureLogEntry {
 pub struct ResilientEvaluator<'a, E: Evaluator> {
     inner: &'a E,
     policy: RetryPolicy,
-    log: Mutex<Vec<FailureLogEntry>>,
+    /// Bounded ring buffer: when full, the *oldest* entry is dropped (and
+    /// counted in `dropped`) — a week-long fault-heavy run keeps its most
+    /// recent failures inspectable at constant memory.
+    log: Mutex<VecDeque<FailureLogEntry>>,
+    log_capacity: usize,
+    dropped: AtomicUsize,
     retries: AtomicUsize,
     timeouts: AtomicUsize,
 }
 
 impl<'a, E: Evaluator> ResilientEvaluator<'a, E> {
-    /// Wrap `inner` under `policy`.
+    /// Wrap `inner` under `policy`, with the failure log bounded at
+    /// [`DEFAULT_LOG_CAPACITY`] entries.
     pub fn new(inner: &'a E, policy: RetryPolicy) -> Self {
         ResilientEvaluator {
             inner,
             policy,
-            log: Mutex::new(Vec::new()),
+            log: Mutex::new(VecDeque::new()),
+            log_capacity: DEFAULT_LOG_CAPACITY,
+            dropped: AtomicUsize::new(0),
             retries: AtomicUsize::new(0),
             timeouts: AtomicUsize::new(0),
         }
+    }
+
+    /// Bound the failure log at `capacity` entries (`0` disables logging
+    /// entirely — every entry counts as dropped).
+    pub fn with_log_capacity(mut self, capacity: usize) -> Self {
+        self.log_capacity = capacity;
+        self
     }
 
     /// The active policy.
@@ -108,9 +130,22 @@ impl<'a, E: Evaluator> ResilientEvaluator<'a, E> {
         &self.policy
     }
 
-    /// Every failed attempt so far, in completion order.
+    /// The retained failed attempts, oldest first. Under log pressure this
+    /// is a suffix of the full history — see
+    /// [`ResilientEvaluator::dropped_log_entries`].
     pub fn failure_log(&self) -> Vec<FailureLogEntry> {
-        self.log.lock().unwrap_or_else(|e| e.into_inner()).clone()
+        self.log.lock().unwrap_or_else(|e| e.into_inner()).iter().cloned().collect()
+    }
+
+    /// The configured failure-log bound.
+    pub fn log_capacity(&self) -> usize {
+        self.log_capacity
+    }
+
+    /// Number of failure-log entries evicted (or never stored, when the
+    /// capacity is 0) because the ring buffer was full.
+    pub fn dropped_log_entries(&self) -> usize {
+        self.dropped.load(Ordering::Relaxed)
     }
 
     /// Number of retry attempts performed (not configurations retried).
@@ -123,15 +158,22 @@ impl<'a, E: Evaluator> ResilientEvaluator<'a, E> {
         self.timeouts.load(Ordering::Relaxed)
     }
 
-    fn record(&self, config: &Configuration, attempt: usize, error: &EvalError) {
-        self.log
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .push(FailureLogEntry {
-                choices: config.choices().to_vec(),
-                attempt,
-                error: error.clone(),
-            });
+    fn record(&self, config: &Configuration, attempt: usize, error: &EvalError, elapsed: Duration) {
+        let mut log = self.log.lock().unwrap_or_else(|e| e.into_inner());
+        if self.log_capacity == 0 {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        if log.len() >= self.log_capacity {
+            log.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        log.push_back(FailureLogEntry {
+            choices: config.choices().to_vec(),
+            attempt,
+            error: error.clone(),
+            elapsed_ms: elapsed.as_millis() as u64,
+        });
     }
 }
 
@@ -151,6 +193,15 @@ impl<E: Evaluator> Evaluator for ResilientEvaluator<'_, E> {
         }
     }
     fn try_evaluate(&self, config: &Configuration) -> Result<Vec<f64>, EvalError> {
+        self.try_evaluate_detailed(config).map_err(EvalError::from)
+    }
+    /// The full retry story: the final error plus the real attempt count
+    /// and wall-clock across attempts (the plain [`Evaluator::try_evaluate`]
+    /// view drops them).
+    fn try_evaluate_detailed(
+        &self,
+        config: &Configuration,
+    ) -> Result<Vec<f64>, FailedEvaluation> {
         let start = Instant::now();
         let mut attempt = 1usize;
         loop {
@@ -161,6 +212,11 @@ impl<E: Evaluator> Evaluator for ResilientEvaluator<'_, E> {
                 .deadline
                 .filter(|d| elapsed > *d)
                 .map(|d| EvalError::timeout(elapsed, d));
+            let fail = |error: EvalError| FailedEvaluation {
+                error,
+                attempts: attempt as u32,
+                elapsed_ms: elapsed.as_millis() as u64,
+            };
             match (result, overdue) {
                 // A result that lands past the deadline is discarded: the
                 // configuration's budget is spent either way, and treating
@@ -168,14 +224,14 @@ impl<E: Evaluator> Evaluator for ResilientEvaluator<'_, E> {
                 // independent of what the evaluator happened to return.
                 (_, Some(timeout)) => {
                     self.timeouts.fetch_add(1, Ordering::Relaxed);
-                    self.record(config, attempt, &timeout);
-                    return Err(timeout);
+                    self.record(config, attempt, &timeout, elapsed);
+                    return Err(fail(timeout));
                 }
                 (Ok(v), None) => return Ok(v),
                 (Err(e), None) => {
-                    self.record(config, attempt, &e);
+                    self.record(config, attempt, &e, elapsed);
                     if !e.is_retryable() || attempt > self.policy.max_retries {
-                        return Err(e);
+                        return Err(fail(e));
                     }
                     self.retries.fetch_add(1, Ordering::Relaxed);
                     std::thread::sleep(self.policy.backoff(attempt));
@@ -319,5 +375,65 @@ mod tests {
         assert_eq!(policy.backoff(3), Duration::from_millis(8));
         assert_eq!(policy.backoff(4), Duration::from_millis(9)); // capped
         assert_eq!(policy.backoff(60), Duration::from_millis(9)); // no overflow
+    }
+
+    #[test]
+    fn failure_log_is_a_bounded_ring() {
+        let s = space();
+        let flaky = Flaky::new(usize::MAX);
+        let policy = RetryPolicy {
+            max_retries: 0,
+            backoff_base: Duration::from_micros(10),
+            ..Default::default()
+        };
+        let resilient = ResilientEvaluator::new(&flaky, policy).with_log_capacity(3);
+        assert_eq!(resilient.log_capacity(), 3);
+        for i in 0..5 {
+            let _ = resilient.try_evaluate(&s.config_at(i));
+        }
+        let log = resilient.failure_log();
+        assert_eq!(log.len(), 3, "ring keeps only the newest entries");
+        assert_eq!(resilient.dropped_log_entries(), 2);
+        // The survivors are the three *most recent* failures, oldest first.
+        let kept: Vec<u32> = log.iter().map(|e| e.choices[0]).collect();
+        assert_eq!(kept, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn zero_capacity_drops_everything() {
+        let s = space();
+        let flaky = Flaky::new(usize::MAX);
+        let policy = RetryPolicy { max_retries: 0, ..Default::default() };
+        let resilient = ResilientEvaluator::new(&flaky, policy).with_log_capacity(0);
+        let _ = resilient.try_evaluate(&s.config_at(0));
+        assert!(resilient.failure_log().is_empty());
+        assert_eq!(resilient.dropped_log_entries(), 1);
+    }
+
+    #[test]
+    fn detailed_failures_carry_the_retry_story() {
+        let s = space();
+        let flaky = Flaky::new(usize::MAX);
+        let policy = RetryPolicy {
+            max_retries: 2,
+            backoff_base: Duration::from_millis(1),
+            ..Default::default()
+        };
+        let resilient = ResilientEvaluator::new(&flaky, policy);
+        match resilient.try_evaluate_detailed(&s.config_at(1)) {
+            Err(f) => {
+                assert_eq!(f.attempts, 3, "1 initial + 2 retries");
+                assert!(matches!(f.error, EvalError::Transient { .. }));
+                // Two 1–2 ms backoffs happened before the final failure.
+                assert!(f.elapsed_ms >= 1, "elapsed {}", f.elapsed_ms);
+            }
+            Ok(v) => panic!("expected failure, got {v:?}"),
+        }
+        // Log entries carry per-attempt elapsed time, nondecreasing.
+        let log = resilient.failure_log();
+        assert_eq!(log.len(), 3);
+        for pair in log.windows(2) {
+            assert!(pair[0].elapsed_ms <= pair[1].elapsed_ms);
+        }
     }
 }

@@ -34,7 +34,7 @@
 //! so retry, deadline, and in-flight-dedup semantics are unchanged.
 
 use crate::error::EvalError;
-use crate::evaluate::Evaluator;
+use crate::evaluate::{Evaluator, FailedEvaluation};
 use crate::space::Configuration;
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -97,9 +97,37 @@ impl<'a, E: Evaluator> ParallelBatchEvaluator<'a, E> {
         T: Send,
         F: Fn(usize) -> T + Sync,
     {
+        self.fan_out_observed(n, f, None)
+    }
+
+    /// [`fan_out`](Self::fan_out) with an optional completion observer:
+    /// `observe(i, &result)` fires on the worker thread the moment index
+    /// `i`'s evaluation finishes, in *completion* order (any interleaving).
+    /// The returned vector is still in index order and still bit-identical
+    /// to the sequential path — observers see results, never change them.
+    /// This is the hook the write-ahead journal uses to persist batch
+    /// results mid-flight instead of only at the batch barrier.
+    fn fan_out_observed<T, F>(
+        &self,
+        n: usize,
+        f: F,
+        observe: Option<&(dyn Fn(usize, &T) + Sync)>,
+    ) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
         let workers = self.workers.min(n);
         if workers <= 1 {
-            return (0..n).map(f).collect();
+            return (0..n)
+                .map(|i| {
+                    let out = f(i);
+                    if let Some(obs) = observe {
+                        obs(i, &out);
+                    }
+                    out
+                })
+                .collect();
         }
         // Cap nested Rayon parallelism: give each worker a dedicated pool
         // of `total / workers` threads so `workers` concurrent internally-
@@ -132,6 +160,9 @@ impl<'a, E: Evaluator> ParallelBatchEvaluator<'a, E> {
                                 Some(p) => p.install(|| f(i)),
                                 None => f(i),
                             };
+                            if let Some(obs) = observe {
+                                obs(i, &out);
+                            }
                             local.push((i, out));
                         }
                         local
@@ -158,6 +189,25 @@ impl<'a, E: Evaluator> ParallelBatchEvaluator<'a, E> {
             })
             .collect()
     }
+
+    /// Detailed batch evaluation with a completion observer. `observe(i,
+    /// &outcome)` fires per configuration as it completes (completion
+    /// order); the returned vector is in index order, bit-identical to the
+    /// sequential path. This is the journaling entry point: the observer
+    /// appends each outcome to the write-ahead log mid-batch, so a kill
+    /// between batch start and batch end loses only the evaluations that
+    /// had not yet finished.
+    pub fn try_evaluate_batch_detailed_observed(
+        &self,
+        configs: &[Configuration],
+        observe: &(dyn Fn(usize, &Result<Vec<f64>, FailedEvaluation>) + Sync),
+    ) -> Vec<Result<Vec<f64>, FailedEvaluation>> {
+        self.fan_out_observed(
+            configs.len(),
+            |i| self.inner.try_evaluate_detailed(&configs[i]),
+            Some(observe),
+        )
+    }
 }
 
 impl<E: Evaluator> Evaluator for ParallelBatchEvaluator<'_, E> {
@@ -181,6 +231,20 @@ impl<E: Evaluator> Evaluator for ParallelBatchEvaluator<'_, E> {
     /// sequential path.
     fn try_evaluate_batch(&self, configs: &[Configuration]) -> Vec<Result<Vec<f64>, EvalError>> {
         self.fan_out(configs.len(), |i| self.inner.try_evaluate(&configs[i]))
+    }
+    fn try_evaluate_detailed(
+        &self,
+        config: &Configuration,
+    ) -> Result<Vec<f64>, FailedEvaluation> {
+        self.inner.try_evaluate_detailed(config)
+    }
+    /// Detailed batch: scheduled like [`Evaluator::try_evaluate_batch`],
+    /// but each slot keeps the inner evaluator's retry metadata.
+    fn try_evaluate_batch_detailed(
+        &self,
+        configs: &[Configuration],
+    ) -> Vec<Result<Vec<f64>, FailedEvaluation>> {
+        self.fan_out(configs.len(), |i| self.inner.try_evaluate_detailed(&configs[i]))
     }
 }
 

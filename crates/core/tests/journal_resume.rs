@@ -1,0 +1,374 @@
+//! Kill → resume bit-identity: for multiple seeds and kill points (including
+//! mid-batch and mid-phase-transition), a journaled run that is killed and
+//! resumed must produce an `ExplorationResult` bit-identical — samples,
+//! order, fronts, iteration stats, failure records — to the uninterrupted
+//! run. Kills are simulated by truncating the journal file at (and inside)
+//! record boundaries, exactly what a SIGKILL mid-write leaves behind.
+
+use hypermapper::journal::SyncPolicy;
+use hypermapper::{
+    silence_injected_panics, EvalError, ExplorationResult, FnEvaluator, HmError, HyperMapper,
+    Journal, OptimizerConfig, ParamSpace,
+};
+use randforest::ForestConfig;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+fn tmp(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("hm-resume-test-{}-{name}.journal", std::process::id()));
+    p
+}
+
+fn space() -> ParamSpace {
+    ParamSpace::builder()
+        .ordinal("x", (0..30).map(f64::from))
+        .ordinal("y", (0..30).map(f64::from))
+        .build()
+        .unwrap()
+}
+
+/// Deterministic bi-objective toy problem with injected per-configuration
+/// failures (a panic stripe and a NaN stripe), so resume must reproduce
+/// failure records too, not just samples.
+fn evaluator() -> FnEvaluator<impl Fn(&hypermapper::Configuration) -> Vec<f64> + Sync> {
+    FnEvaluator::new(2, |c| {
+        let x = c.value_f64(0);
+        let y = c.value_f64(1);
+        let (xi, yi) = (x as usize, y as usize);
+        if (xi * 7 + yi) % 31 == 4 {
+            panic!("injected panic: crash stripe");
+        }
+        if (xi + yi * 3) % 29 == 7 {
+            return vec![f64::NAN, y];
+        }
+        let runtime = 0.5 + x * 0.8 + (y * 1.3).sin().abs();
+        let error = 9.0 - x * 0.25 + (y - 11.0).abs() * 0.2;
+        vec![runtime, error]
+    })
+}
+
+fn config(seed: u64, eval_workers: usize, pool_size: usize) -> OptimizerConfig {
+    OptimizerConfig {
+        random_samples: 24,
+        max_iterations: 3,
+        max_evals_per_iteration: 20,
+        pool_size,
+        forest: ForestConfig { n_trees: 8, ..Default::default() },
+        seed,
+        eval_workers,
+        ..Default::default()
+    }
+}
+
+/// Bit-exact result comparison. `elapsed_ms` on failure records is the one
+/// deliberate exception: it is wall-clock measurement metadata, not
+/// resumable state.
+fn assert_bit_identical(a: &ExplorationResult, b: &ExplorationResult) {
+    assert_eq!(a.samples.len(), b.samples.len(), "sample count");
+    for (i, (x, y)) in a.samples.iter().zip(&b.samples).enumerate() {
+        assert_eq!(x.config.choices(), y.config.choices(), "sample {i} config");
+        assert_eq!(x.phase, y.phase, "sample {i} phase");
+        let xb: Vec<u64> = x.objectives.iter().map(|v| v.to_bits()).collect();
+        let yb: Vec<u64> = y.objectives.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(xb, yb, "sample {i} objectives");
+    }
+    assert_eq!(a.pareto_indices, b.pareto_indices, "pareto front");
+    assert_eq!(a.iterations.len(), b.iterations.len(), "iteration count");
+    for (i, (x, y)) in a.iterations.iter().zip(&b.iterations).enumerate() {
+        assert_eq!(x.iteration, y.iteration, "iter {i}");
+        assert_eq!(x.predicted_front_size, y.predicted_front_size, "iter {i} pfs");
+        assert_eq!(x.new_evaluations, y.new_evaluations, "iter {i} new");
+        assert_eq!(x.failed_evaluations, y.failed_evaluations, "iter {i} failed");
+        assert_eq!(x.hypervolume.to_bits(), y.hypervolume.to_bits(), "iter {i} hv");
+        let xo: Vec<Option<u64>> = x.oob_rmse.iter().map(|o| o.map(f64::to_bits)).collect();
+        let yo: Vec<Option<u64>> = y.oob_rmse.iter().map(|o| o.map(f64::to_bits)).collect();
+        assert_eq!(xo, yo, "iter {i} oob");
+    }
+    assert_eq!(a.failures.len(), b.failures.len(), "failure count");
+    for (i, (x, y)) in a.failures.iter().zip(&b.failures).enumerate() {
+        assert_eq!(x.config.choices(), y.config.choices(), "failure {i} config");
+        assert_eq!(x.phase, y.phase, "failure {i} phase");
+        assert_eq!(x.error, y.error, "failure {i} error");
+        assert_eq!(x.attempts, y.attempts, "failure {i} attempts");
+    }
+    assert_eq!(a.objective_names, b.objective_names);
+}
+
+/// Record-boundary byte offsets of a journal file (prefix lengths ending on
+/// a newline), plus offset 0.
+fn record_boundaries(bytes: &[u8]) -> Vec<usize> {
+    let mut out = vec![0];
+    out.extend(
+        bytes
+            .iter()
+            .enumerate()
+            .filter(|(_, &b)| b == b'\n')
+            .map(|(i, _)| i + 1),
+    );
+    out
+}
+
+/// Truncate-at-`len` → resume → must equal `reference`.
+fn resume_from_prefix(
+    tag: &str,
+    full: &[u8],
+    len: usize,
+    hm: &HyperMapper,
+    reference: &ExplorationResult,
+) {
+    let path = tmp(tag);
+    std::fs::write(&path, &full[..len]).unwrap();
+    let mut journal = Journal::open(&path).unwrap();
+    let eval = evaluator();
+    let resumed = hm.resume(&mut journal, &eval).unwrap();
+    assert!(!resumed.interrupted);
+    assert_bit_identical(&resumed, reference);
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn kill_and_resume_is_bit_identical_across_seeds_and_kill_points() {
+    silence_injected_panics();
+    for (si, seed) in [3u64, 8, 21].into_iter().enumerate() {
+        // pool_size 400 < |space| = 900 exercises pool RNG draws; 2000 > 900
+        // exercises the draw-free whole-space path.
+        let pool_size = if seed % 2 == 1 { 400 } else { 2000 };
+        let hm = HyperMapper::new(space(), config(seed, 0, pool_size));
+        let eval = evaluator();
+        let reference = hm.try_run(&eval).unwrap();
+
+        // Uninterrupted journaled run: must match the plain run bit-for-bit
+        // and leave a complete journal behind.
+        let path = tmp(&format!("full-{seed}"));
+        let full = {
+            let mut journal = Journal::create(&path).unwrap();
+            let journaled = hm.try_run_journaled(&eval, &mut journal).unwrap();
+            assert_bit_identical(&journaled, &reference);
+            assert!(journal.is_done());
+            std::fs::read(&path).unwrap()
+        };
+        let _ = std::fs::remove_file(&path);
+
+        // Kill at record boundaries: every boundary for the first seed
+        // (covers mid-bootstrap, mid-batch, between `phase` and its first
+        // `eval` = mid-phase-transition, between `iter` and the next
+        // `phase`), sparser for the rest.
+        let boundaries = record_boundaries(&full);
+        let step = if si == 0 { 1 } else { 5 };
+        for (k, &len) in boundaries.iter().enumerate() {
+            if k % step != 0 && k + 1 != boundaries.len() {
+                continue;
+            }
+            resume_from_prefix(&format!("kill-{seed}-{k}"), &full, len, &hm, &reference);
+        }
+
+        // Torn tail: kill mid-write (truncation inside a record, no final
+        // newline). The partial record must be discarded, not parsed.
+        for cut in [3usize, 17, 40] {
+            let len = full.len().saturating_sub(cut);
+            resume_from_prefix(&format!("torn-{seed}-{cut}"), &full, len, &hm, &reference);
+        }
+    }
+}
+
+#[test]
+fn mid_batch_kill_with_parallel_workers_resumes_bit_identical() {
+    silence_injected_panics();
+    let hm = HyperMapper::new(space(), config(5, 3, 500));
+    let eval = evaluator();
+    let reference = hm.try_run(&eval).unwrap();
+
+    let path = tmp("parallel-full");
+    let mut journal = Journal::create(&path).unwrap();
+    let journaled = hm.try_run_journaled(&eval, &mut journal).unwrap();
+    assert_bit_identical(&journaled, &reference);
+    drop(journal);
+    let full = std::fs::read(&path).unwrap();
+    let _ = std::fs::remove_file(&path);
+
+    // The parallel scheduler journals slot-ordered eval records mid-batch;
+    // cutting between any two of them is a mid-batch kill.
+    let boundaries = record_boundaries(&full);
+    for (k, &len) in boundaries.iter().enumerate() {
+        if k % 3 != 0 {
+            continue;
+        }
+        resume_from_prefix(&format!("parallel-kill-{k}"), &full, len, &hm, &reference);
+    }
+}
+
+#[test]
+fn corrupt_tail_bit_flip_resumes_from_last_valid_record() {
+    silence_injected_panics();
+    let hm = HyperMapper::new(space(), config(11, 0, 400));
+    let eval = evaluator();
+    let reference = hm.try_run(&eval).unwrap();
+
+    let path = tmp("bitflip-full");
+    let mut journal = Journal::create(&path).unwrap();
+    let _ = hm.try_run_journaled(&eval, &mut journal).unwrap();
+    drop(journal);
+    let mut bytes = std::fs::read(&path).unwrap();
+    let _ = std::fs::remove_file(&path);
+
+    // Flip one bit inside the tail record's body.
+    let len = bytes.len();
+    bytes[len - 6] ^= 0x04;
+    let path = tmp("bitflip");
+    std::fs::write(&path, &bytes).unwrap();
+    let mut journal = Journal::open(&path).unwrap();
+    assert!(journal.truncated_bytes() > 0, "corruption must be detected and truncated");
+    let resumed = hm.resume(&mut journal, &eval).unwrap();
+    assert_bit_identical(&resumed, &reference);
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn snapshots_checkpoint_and_resume_bit_identical() {
+    silence_injected_panics();
+    let hm = HyperMapper::new(space(), config(13, 0, 400));
+    let eval = evaluator();
+    let reference = hm.try_run(&eval).unwrap();
+
+    let path = tmp("snap-full");
+    let mut journal = Journal::create(&path)
+        .unwrap()
+        .with_snapshot_every(8)
+        .with_sync_policy(SyncPolicy::PerRecord);
+    let journaled = hm.try_run_journaled(&eval, &mut journal).unwrap();
+    assert_bit_identical(&journaled, &reference);
+    drop(journal);
+    let full = std::fs::read(&path).unwrap();
+    let _ = std::fs::remove_file(&path);
+    let text = String::from_utf8_lossy(&full);
+    assert!(text.contains(" snap "), "snapshot records must be present");
+
+    // Kill after the last snapshot: resume restores state from the snapshot
+    // (replaying the recorded RNG draw count) instead of the full log.
+    let boundaries = record_boundaries(&full);
+    for (k, &len) in boundaries.iter().enumerate() {
+        if k % 4 != 0 {
+            continue;
+        }
+        resume_from_prefix(&format!("snap-kill-{k}"), &full, len, &hm, &reference);
+    }
+}
+
+#[test]
+fn graceful_stop_yields_partial_result_then_resume_completes() {
+    silence_injected_panics();
+    let hm = HyperMapper::new(space(), config(17, 0, 400));
+    let eval = evaluator();
+    let reference = hm.try_run(&eval).unwrap();
+
+    // Trip the stop flag from inside the evaluator after 30 completions —
+    // mid-way through the first active iteration.
+    let stop = AtomicBool::new(false);
+    let calls = AtomicUsize::new(0);
+    let inner = evaluator();
+    let stopping = FnEvaluator::new(2, |c: &hypermapper::Configuration| {
+        if calls.fetch_add(1, Ordering::Relaxed) + 1 >= 30 {
+            stop.store(true, Ordering::Relaxed);
+        }
+        hypermapper::Evaluator::evaluate(&inner, c)
+    });
+
+    let path = tmp("graceful");
+    let mut journal = Journal::create(&path).unwrap();
+    let partial = hm
+        .try_run_controlled(&stopping, Some(&mut journal), Some(&stop))
+        .unwrap();
+    assert!(partial.interrupted, "stop flag must mark the result interrupted");
+    assert!(
+        partial.samples.len() + partial.failures.len() < reference.samples.len() + reference.failures.len(),
+        "partial run must have stopped early"
+    );
+    assert!(!journal.is_done());
+    drop(journal);
+
+    // Resume from the flushed journal: completes to the uninterrupted result.
+    let mut journal = Journal::open(&path).unwrap();
+    let resumed = hm.resume(&mut journal, &eval).unwrap();
+    assert_bit_identical(&resumed, &reference);
+    assert!(journal.is_done());
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn resume_of_a_completed_journal_replays_without_reevaluating() {
+    silence_injected_panics();
+    let hm = HyperMapper::new(space(), config(19, 0, 400));
+    let eval = evaluator();
+    let path = tmp("replay-only");
+    let mut journal = Journal::create(&path).unwrap();
+    let reference = hm.try_run_journaled(&eval, &mut journal).unwrap();
+    drop(journal);
+
+    let calls = AtomicUsize::new(0);
+    let counting = FnEvaluator::new(2, |_: &hypermapper::Configuration| {
+        calls.fetch_add(1, Ordering::Relaxed);
+        vec![0.0, 0.0]
+    });
+    let mut journal = Journal::open(&path).unwrap();
+    let replayed = hm.resume(&mut journal, &counting).unwrap();
+    assert_eq!(calls.load(Ordering::Relaxed), 0, "completed journal needs no evaluations");
+    assert_bit_identical(&replayed, &reference);
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn journal_from_a_different_run_is_rejected() {
+    silence_injected_panics();
+    let eval = evaluator();
+    let path = tmp("mismatch");
+    let mut journal = Journal::create(&path).unwrap();
+    let _ = HyperMapper::new(space(), config(23, 0, 400))
+        .try_run_journaled(&eval, &mut journal)
+        .unwrap();
+    drop(journal);
+
+    // Different seed → different header → refuse to replay.
+    let mut journal = Journal::open(&path).unwrap();
+    let err = HyperMapper::new(space(), config(24, 0, 400)).resume(&mut journal, &eval);
+    assert!(matches!(err, Err(HmError::JournalMismatch(_))), "got {err:?}");
+
+    // Different space → same refusal.
+    let other_space = ParamSpace::builder()
+        .ordinal("x", (0..30).map(f64::from))
+        .ordinal("y", (0..31).map(f64::from))
+        .build()
+        .unwrap();
+    let mut journal = Journal::open(&path).unwrap();
+    let err = HyperMapper::new(other_space, config(23, 0, 400)).resume(&mut journal, &eval);
+    assert!(matches!(err, Err(HmError::JournalMismatch(_))), "got {err:?}");
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn failure_records_survive_the_journal_round_trip() {
+    silence_injected_panics();
+    let hm = HyperMapper::new(space(), config(29, 0, 400));
+    let eval = evaluator();
+    let reference = hm.try_run(&eval).unwrap();
+    assert!(
+        !reference.failures.is_empty(),
+        "toy problem must exercise the failure path for this test to mean anything"
+    );
+    assert!(reference.failures.iter().any(|f| matches!(f.error, EvalError::Panicked { .. })));
+    assert!(reference.failures.iter().any(|f| matches!(f.error, EvalError::NonFinite { .. })));
+
+    let path = tmp("failures");
+    let full = {
+        let mut journal = Journal::create(&path).unwrap();
+        let _ = hm.try_run_journaled(&eval, &mut journal).unwrap();
+        std::fs::read(&path).unwrap()
+    };
+    let _ = std::fs::remove_file(&path);
+
+    // Resume from half-way: replayed failure records must be bit-identical
+    // to live ones (error payloads included).
+    let boundaries = record_boundaries(&full);
+    let mid = boundaries[boundaries.len() / 2];
+    resume_from_prefix("failures-mid", &full, mid, &hm, &reference);
+}

@@ -9,7 +9,10 @@
 //! timing-mode evaluator, so the published runtime numbers come from an
 //! exclusive machine exactly as the paper measured them.
 
-use hypermapper::{Configuration, EvalError, Evaluator, ExplorationResult};
+use hypermapper::{
+    Configuration, EvalError, Evaluator, ExplorationResult, HmError, Journal, ParamSpace,
+    RawOutcome,
+};
 
 /// One Pareto-front configuration with both its exploration-time objectives
 /// and its dedicated serial re-measurement.
@@ -49,6 +52,53 @@ pub fn remeasure_front<E: Evaluator>(
             timing_objectives: timing_evaluator.try_evaluate(&sample.config),
         })
         .collect()
+}
+
+/// [`remeasure_front`], but durable: every completed re-measurement is
+/// journaled (one fsync'd `timing` record per survivor, in front order)
+/// before moving to the next one, and records already in `journal` are
+/// replayed instead of re-run. Killing the pass and calling this again with
+/// the reopened journal resumes at the first unmeasured survivor — the
+/// serial re-measurement of a large front survives crashes without
+/// repeating completed dedicated runs.
+///
+/// Each journaled record is keyed by both its front position and the
+/// configuration's flat index in `space`; a journal whose records do not
+/// match the front of `result` is rejected with
+/// [`HmError::JournalMismatch`] rather than silently misattributed.
+pub fn remeasure_front_journaled<E: Evaluator>(
+    result: &ExplorationResult,
+    timing_evaluator: &E,
+    space: &ParamSpace,
+    journal: &mut Journal,
+) -> Result<Vec<TimedFrontEntry>, HmError> {
+    let mut entries = Vec::new();
+    for (pos, sample) in result.pareto_samples().into_iter().enumerate() {
+        let flat = space.flat_index(&sample.config);
+        let timing_objectives = if pos < journal.timing_records() {
+            match journal.replayed_timing(pos, flat) {
+                Some(outcome) => outcome.as_result(),
+                None => {
+                    return Err(HmError::JournalMismatch(format!(
+                        "timing record {pos} was journaled for a different configuration"
+                    )))
+                }
+            }
+        } else {
+            let outcome =
+                RawOutcome::from_detailed(timing_evaluator.try_evaluate_detailed(&sample.config));
+            journal
+                .append_timing(pos, flat, &outcome)
+                .map_err(|e| HmError::Journal(e.to_string()))?;
+            outcome.as_result()
+        };
+        entries.push(TimedFrontEntry {
+            config: sample.config.clone(),
+            exploration_objectives: sample.objectives.clone(),
+            timing_objectives,
+        });
+    }
+    Ok(entries)
 }
 
 #[cfg(test)]
@@ -126,5 +176,184 @@ mod tests {
         for e in &entries {
             assert!(matches!(e.timing_objectives, Err(EvalError::Panicked { .. })));
         }
+    }
+
+    /// An exploration whose front has several survivors, with deterministic
+    /// objectives so entries can be matched across passes.
+    fn explored() -> (ParamSpace, hypermapper::ExplorationResult) {
+        let s = space();
+        let explore = FnEvaluator::new(2, |c| {
+            let x = c.value_f64(0);
+            let y = c.value_f64(1);
+            vec![x + y * 0.1, 30.0 - x + (y - 7.0).abs() * 0.3]
+        });
+        let cfg = OptimizerConfig {
+            random_samples: 40,
+            max_iterations: 2,
+            pool_size: 500,
+            seed: 12,
+            ..Default::default()
+        };
+        let result = HyperMapper::new(s.clone(), cfg).run(&explore);
+        assert!(result.pareto_indices.len() >= 3, "need a non-trivial front");
+        (s, result)
+    }
+
+    /// A timing evaluator where some survivors diverge and some panic under
+    /// dedicated measurement — the satellite-3 scenario: a configuration
+    /// that looked fine under the work proxy falls over when actually run
+    /// for timing.
+    struct FlakyTiming<'a> {
+        calls: &'a AtomicUsize,
+    }
+
+    impl Evaluator for FlakyTiming<'_> {
+        fn n_objectives(&self) -> usize {
+            2
+        }
+
+        fn evaluate(&self, c: &Configuration) -> Vec<f64> {
+            let x = c.value_f64(0);
+            let y = c.value_f64(1);
+            let xi = x as usize;
+            if xi % 5 == 2 {
+                panic!("injected panic: tracking lost at frame {xi}");
+            }
+            vec![(x + y * 0.1) * 1.5, 30.0 - x + (y - 7.0).abs() * 0.3]
+        }
+
+        fn try_evaluate(&self, c: &Configuration) -> Result<Vec<f64>, EvalError> {
+            self.calls.fetch_add(1, Ordering::Relaxed);
+            let xi = c.value_f64(0) as usize;
+            if xi % 5 == 4 {
+                return Err(EvalError::Diverged {
+                    reason: format!("pose non-finite at frame {xi}"),
+                });
+            }
+            hypermapper::catch_eval(self, c)
+        }
+    }
+
+    #[test]
+    fn mixed_survivor_failures_keep_front_positions() {
+        hypermapper::silence_injected_panics();
+        let (_, result) = explored();
+        let calls = AtomicUsize::new(0);
+        let timing = FlakyTiming { calls: &calls };
+        let entries = remeasure_front(&result, &timing);
+        assert_eq!(entries.len(), result.pareto_indices.len());
+        // Every survivor keeps its slot, failed or not, and the outcome is
+        // decided per-configuration.
+        for e in &entries {
+            let xi = e.config.value_f64(0) as usize;
+            match xi % 5 {
+                2 => assert!(
+                    matches!(&e.timing_objectives, Err(EvalError::Panicked { message }) if message.contains("tracking lost")),
+                    "survivor x={xi} should have panicked: {:?}", e.timing_objectives
+                ),
+                4 => assert!(e.timing_objectives.is_err(), "survivor x={xi} should have failed"),
+                _ => assert!(e.timing_objectives.is_ok(), "survivor x={xi} should have timed"),
+            }
+        }
+    }
+
+    #[test]
+    fn journaled_remeasure_resumes_without_repeating_completed_runs() {
+        hypermapper::silence_injected_panics();
+        let (s, result) = explored();
+        let mut path = std::env::temp_dir();
+        path.push(format!("slambench-timing-{}.journal", std::process::id()));
+
+        // First pass: full journaled re-measurement (including failures).
+        let calls = AtomicUsize::new(0);
+        let timing = FlakyTiming { calls: &calls };
+        let mut journal = Journal::create(&path).unwrap();
+        let first = remeasure_front_journaled(&result, &timing, &s, &mut journal).unwrap();
+        let n = result.pareto_indices.len();
+        assert_eq!(first.len(), n);
+        assert_eq!(calls.load(Ordering::Relaxed), n);
+        drop(journal);
+
+        // Simulate a kill after two survivors: keep only the first two
+        // timing records in the file.
+        let bytes = std::fs::read(&path).unwrap();
+        let cut = bytes
+            .iter()
+            .enumerate()
+            .filter(|(_, &b)| b == b'\n')
+            .map(|(i, _)| i + 1)
+            .nth(1)
+            .unwrap();
+        std::fs::write(&path, &bytes[..cut]).unwrap();
+
+        // Resume: the two journaled survivors are replayed (zero evaluator
+        // calls), the rest are re-run serially from where the pass died.
+        let calls2 = AtomicUsize::new(0);
+        let timing2 = FlakyTiming { calls: &calls2 };
+        let mut journal = Journal::open(&path).unwrap();
+        assert_eq!(journal.timing_records(), 2);
+        let resumed = remeasure_front_journaled(&result, &timing2, &s, &mut journal).unwrap();
+        assert_eq!(calls2.load(Ordering::Relaxed), n - 2, "completed runs must not repeat");
+        assert_eq!(resumed.len(), first.len());
+        for (a, b) in first.iter().zip(&resumed) {
+            assert_eq!(a.config.choices(), b.config.choices());
+            match (&a.timing_objectives, &b.timing_objectives) {
+                (Ok(x), Ok(y)) => {
+                    let xb: Vec<u64> = x.iter().map(|v| v.to_bits()).collect();
+                    let yb: Vec<u64> = y.iter().map(|v| v.to_bits()).collect();
+                    assert_eq!(xb, yb, "replayed timing must be bit-identical");
+                }
+                (Err(x), Err(y)) => assert_eq!(x, y),
+                other => panic!("outcome kind changed across resume: {other:?}"),
+            }
+        }
+        drop(journal);
+
+        // A fully journaled pass replays everything: zero evaluator calls.
+        let calls3 = AtomicUsize::new(0);
+        let timing3 = FlakyTiming { calls: &calls3 };
+        let mut journal = Journal::open(&path).unwrap();
+        assert_eq!(journal.timing_records(), n);
+        let replayed = remeasure_front_journaled(&result, &timing3, &s, &mut journal).unwrap();
+        assert_eq!(calls3.load(Ordering::Relaxed), 0);
+        assert_eq!(replayed.len(), n);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn timing_journal_for_a_different_front_is_rejected() {
+        hypermapper::silence_injected_panics();
+        let (s, result) = explored();
+        let mut path = std::env::temp_dir();
+        path.push(format!("slambench-timing-mismatch-{}.journal", std::process::id()));
+
+        let timing = FnEvaluator::new(2, |c: &hypermapper::Configuration| {
+            vec![c.value_f64(0), c.value_f64(1)]
+        });
+        let mut journal = Journal::create(&path).unwrap();
+        let _ = remeasure_front_journaled(&result, &timing, &s, &mut journal).unwrap();
+        drop(journal);
+
+        // A different exploration (different seed → different front) must
+        // not silently inherit this journal's measurements.
+        let explore = FnEvaluator::new(2, |c: &hypermapper::Configuration| {
+            let x = c.value_f64(0);
+            vec![30.0 - x, x + c.value_f64(1)]
+        });
+        let cfg = OptimizerConfig {
+            random_samples: 30,
+            max_iterations: 1,
+            pool_size: 300,
+            seed: 77,
+            ..Default::default()
+        };
+        let other = HyperMapper::new(s.clone(), cfg).run(&explore);
+        let mut journal = Journal::open(&path).unwrap();
+        let err = remeasure_front_journaled(&other, &timing, &s, &mut journal);
+        assert!(
+            matches!(err, Err(hypermapper::HmError::JournalMismatch(_))),
+            "got {err:?}"
+        );
+        let _ = std::fs::remove_file(&path);
     }
 }

@@ -69,8 +69,10 @@ END {
         ratio("batch_sequential_8cfg", "batch_parallel_8cfg")
     printf "    \"parallel_compute_speedup_8cfg\": %s,\n", \
         ratio("batch_compute_sequential_8cfg", "batch_compute_parallel_8cfg")
-    printf "    \"timing_mode_overhead_ratio\": %s\n", \
+    printf "    \"timing_mode_overhead_ratio\": %s,\n", \
         ratio("timing_mode_eval_4f", "dedicated_sequential_4f")
+    printf "    \"journal_write_overhead_ratio\": %s\n", \
+        ratio("journal_overhead_on", "journal_overhead_off")
     printf "  }\n"
     printf "}\n"
 }

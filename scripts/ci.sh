@@ -7,9 +7,11 @@
 #   scripts/ci.sh              # everything
 #   scripts/ci.sh lint         # only the unwrap/expect grep gate
 #   scripts/ci.sh bench        # only the bench regression gate
+#   scripts/ci.sh resume       # only the kill → resume bit-identity smoke test
 #
 # Env:
 #   BENCH_REGRESSION_PCT       # allowed median slowdown per series (default 20)
+#   JOURNAL_OVERHEAD_LIMIT     # allowed journaled/plain run ratio (default 1.05)
 set -euo pipefail
 
 REPO="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -114,6 +116,28 @@ compare_bench() {
     ' "$1" "$2"
 }
 
+# Absolute gate on the write-ahead-journal durability tax: the journaled
+# run's median must stay within JOURNAL_OVERHEAD_LIMIT (default 1.05 = 5%)
+# of the plain run's, with per-batch fsync. Reads the derived ratio from the
+# fresh bench report; both medians come from the same run, so the ratio is
+# noise-paired. "null" (partial bench run) passes — the series gate already
+# fails on missing series.
+check_journal_overhead() {
+    awk -v lim="${JOURNAL_OVERHEAD_LIMIT:-1.05}" '
+        /"journal_write_overhead_ratio"/ {
+            v = $2; gsub(/[",]/, "", v)
+            if (v == "null") {
+                print "bench gate: journal overhead ratio not measured (partial run)"
+                exit 0
+            }
+            slow = (v + 0 > lim + 0)
+            printf "bench gate: %-34s ratio %8.3f     limit %8.3f     %s\n", \
+                "journal_write_overhead_ratio", v, lim, (slow ? "REGRESSED" : "ok")
+            exit slow
+        }
+    ' "$1"
+}
+
 bench_regression() {
     local baseline="$REPO/BENCH_surrogate.json"
     local pct="${BENCH_REGRESSION_PCT:-20}"
@@ -131,9 +155,9 @@ bench_regression() {
     bash "$REPO/scripts/bench.sh" "$report" >/dev/null
     extract_bench_results "$report" >"$best"
     local attempt=0
-    while ! compare_bench "$base_flat" "$best" "$pct"; do
+    while ! { compare_bench "$base_flat" "$best" "$pct" && check_journal_overhead "$report"; }; do
         if [ "$attempt" -ge "$retries" ]; then
-            echo "bench gate: median regression over ${pct}% vs BENCH_surrogate.json" >&2
+            echo "bench gate: regression vs BENCH_surrogate.json (series over ${pct}% or journal overhead over limit)" >&2
             return 1
         fi
         attempt=$((attempt + 1))
@@ -145,10 +169,68 @@ bench_regression() {
     echo "bench gate: clean"
 }
 
+# ---------------------------------------------------------------------------
+# Resume smoke test: run the journaled quick KFusion DSE, SIGKILL it
+# mid-iteration, resume from the journal, and require the resumed result's
+# full-precision fingerprint to be byte-identical to an uninterrupted
+# reference run. This is the end-to-end proof of the durability layer:
+# torn-tail truncation, replay, and RNG-position restoration all have to
+# work for the fingerprints to match.
+# ---------------------------------------------------------------------------
+resume_smoke() {
+    cd "$REPO"
+    local bin="$REPO/target/release/fig3_kfusion_dse"
+    if ! cargo build --release -p hm-bench --bin fig3_kfusion_dse >/dev/null 2>&1; then
+        echo "resume smoke: online build failed (offline?); using the stub harness"
+        bash "$REPO/scripts/check_offline.sh" build --release -p hm-bench \
+            --bin fig3_kfusion_dse >/dev/null 2>&1
+        bin="$REPO/target/offline-check/target/release/fig3_kfusion_dse"
+    fi
+    local work
+    work=$(mktemp -d)
+    # shellcheck disable=SC2064
+    trap "rm -rf '$work'" RETURN
+    cd "$work"
+
+    echo "resume smoke: reference run"
+    "$bin" odroid --quick --journal ref.journal --eval-delay-ms 2 >/dev/null
+    cp results/fig3a_odroid.fingerprint ref.fingerprint
+
+    echo "resume smoke: start run, SIGKILL mid-iteration"
+    "$bin" odroid --quick --journal kill.journal --eval-delay-ms 2 >/dev/null 2>&1 &
+    local pid=$! evals=0 i
+    for i in $(seq 1 200); do
+        evals=$(grep -c ' eval ' kill.journal 2>/dev/null || true)
+        [ "${evals:-0}" -ge 50 ] && break
+        sleep 0.05
+    done
+    kill -9 "$pid" 2>/dev/null || true
+    wait "$pid" 2>/dev/null || true
+    evals=$(grep -c ' eval ' kill.journal || true)
+    if [ "${evals:-0}" -lt 1 ]; then
+        echo "resume smoke: run died before journaling any evaluation" >&2
+        return 1
+    fi
+    echo "resume smoke: killed with $evals evaluations journaled; resuming"
+
+    "$bin" odroid --quick --journal kill.journal --resume --eval-delay-ms 2 >/dev/null
+    if ! cmp -s ref.fingerprint results/fig3a_odroid.fingerprint; then
+        echo "resume smoke: resumed result differs from the uninterrupted run" >&2
+        diff ref.fingerprint results/fig3a_odroid.fingerprint | head >&2 || true
+        return 1
+    fi
+    echo "resume smoke: kill -> resume is bit-identical"
+    cd "$REPO"
+}
+
 lint_unwraps
 [ "$MODE" = "lint" ] && exit 0
 if [ "$MODE" = "bench" ]; then
     bench_regression
+    exit 0
+fi
+if [ "$MODE" = "resume" ]; then
+    resume_smoke
     exit 0
 fi
 
@@ -157,3 +239,4 @@ cargo build --release
 cargo test -q
 bash "$REPO/scripts/check_offline.sh"
 bench_regression
+resume_smoke
