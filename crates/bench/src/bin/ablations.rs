@@ -7,13 +7,14 @@
 use hm_bench::experiments::ablations;
 use hm_bench::report::write_json;
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("=== Ablations (KFusion / ODROID model) ===");
     let results = ablations(11);
     println!("{:<28} {:>12} {:>8} {:>8}", "variant", "hypervolume", "evals", "valid");
     for r in &results {
         println!("{:<28} {:>12.5} {:>8} {:>8}", r.name, r.hypervolume, r.evaluations, r.valid);
     }
-    write_json("ablations.json", &results).expect("write json");
+    write_json("ablations.json", &results)?;
     println!("wrote results/ablations.json");
+    Ok(())
 }

@@ -6,10 +6,10 @@
 use hm_bench::experiments::fig1_response_surface;
 use hm_bench::report::{surface_csv, write_results_file};
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let cells = fig1_response_surface(&device_models::odroid_xu3());
     let csv = surface_csv(&cells);
-    write_results_file("fig1_response_surface.csv", &csv).expect("write results");
+    write_results_file("fig1_response_surface.csv", &csv)?;
 
     let min = cells.iter().map(|c| c.frame_runtime_ms).fold(f64::INFINITY, f64::min);
     let max = cells.iter().map(|c| c.frame_runtime_ms).fold(0.0, f64::max);
@@ -31,4 +31,5 @@ fn main() {
         }
         println!("mu={:>6.4} {line}", cells[row * 24].mu);
     }
+    Ok(())
 }

@@ -28,14 +28,15 @@ fn flag_value(name: &str) -> Option<String> {
     args.iter().position(|a| a == name).and_then(|i| args.get(i + 1).cloned())
 }
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let scale = DseScale::from_args();
     let which = std::env::args().nth(1).unwrap_or_else(|| "both".into());
     let journal_path = flag_value("--journal");
     let resume = std::env::args().any(|a| a == "--resume");
-    let eval_delay_ms: u64 = flag_value("--eval-delay-ms")
-        .map(|v| v.parse().expect("--eval-delay-ms takes milliseconds"))
-        .unwrap_or(0);
+    let eval_delay_ms: u64 = match flag_value("--eval-delay-ms") {
+        Some(v) => v.parse().map_err(|_| "--eval-delay-ms takes milliseconds")?,
+        None => 0,
+    };
 
     let mut targets = Vec::new();
     if which == "odroid" || which == "both" || which.starts_with("--") {
@@ -55,9 +56,9 @@ fn main() {
         let outcome = if let Some(path) = &journal_path {
             let stop = install_graceful_shutdown();
             let mut journal = if resume {
-                Journal::open_or_create(path).expect("open journal")
+                Journal::open_or_create(path)?
             } else {
-                Journal::create(path).expect("create journal")
+                Journal::create(path)?
             };
             if journal.truncated_bytes() > 0 {
                 println!(
@@ -72,8 +73,7 @@ fn main() {
                 eval_delay_ms,
                 &mut journal,
                 Some(stop),
-            )
-            .expect("durable DSE");
+            )?;
             if outcome.result.interrupted {
                 println!(
                     "interrupted — {} of the run is journaled in {path}; \
@@ -96,12 +96,11 @@ fn main() {
                 (0.6, 0.25)
             ),
         );
-        write_results_file(&format!("{tag}.csv"), &dse_csv(&outcome)).expect("write");
+        write_results_file(&format!("{tag}.csv"), &dse_csv(&outcome))?;
         write_results_file(
             &format!("{tag}.fingerprint"),
             &result_fingerprint(&kf_space(), &outcome.result),
-        )
-        .expect("write fingerprint");
+        )?;
         write_json(&format!("{tag}_summary.json"), &serde_json::json!({
             "platform": outcome.platform,
             "random_samples": outcome.random_samples,
@@ -109,7 +108,8 @@ fn main() {
             "valid_random": outcome.valid_random,
             "valid_active": outcome.valid_active,
             "pareto_points": outcome.pareto_points,
-        })).expect("write json");
+        }))?;
         println!("wrote results/{tag}.csv\n");
     }
+    Ok(())
 }

@@ -6,11 +6,12 @@
 use hm_bench::experiments::{run_elasticfusion_dse, DseScale};
 use hm_bench::report::{dse_csv, dse_summary, write_results_file};
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let scale = DseScale::from_args();
     println!("=== Fig. 4 — ElasticFusion DSE (GTX 780 Ti model), scale {scale:?} ===");
     let outcome = run_elasticfusion_dse(device_models::gtx780ti(), scale, 42);
     print!("{}", dse_summary(&outcome));
-    write_results_file("fig4_elasticfusion.csv", &dse_csv(&outcome)).expect("write");
+    write_results_file("fig4_elasticfusion.csv", &dse_csv(&outcome))?;
     println!("wrote results/fig4_elasticfusion.csv");
+    Ok(())
 }

@@ -6,7 +6,7 @@
 use hm_bench::experiments::{run_elasticfusion_dse, table1_rows, DseScale};
 use hm_bench::report::{table1_text, write_json};
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let scale = DseScale::from_args();
     let outcome = run_elasticfusion_dse(device_models::gtx780ti(), scale, 42);
     let rows = table1_rows(&outcome, 4);
@@ -15,6 +15,7 @@ fn main() {
     let default = &rows[0];
     if rows.len() > 1 {
         let best_speed = &rows[1];
+        // lint: allow(no-unaudited-panic): guarded by the rows.len() > 1 check above
         let best_acc = rows.last().unwrap();
         println!(
             "\nbest-speed speedup over default: {:.2}x (paper: 1.52x), accuracy {:.4} m vs default {:.4} m",
@@ -26,6 +27,7 @@ fn main() {
             default.runtime_s / best_acc.runtime_s
         );
     }
-    write_json("table1.json", &rows).expect("write json");
+    write_json("table1.json", &rows)?;
     println!("wrote results/table1.json");
+    Ok(())
 }

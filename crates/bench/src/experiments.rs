@@ -209,6 +209,7 @@ impl<E: Evaluator> Evaluator for DelayedEvaluator<E> {
     }
 }
 
+// lint: zone(float-exact): fingerprints are compared byte-for-byte across runs; floats must be emitted as to_bits hex, never decimal
 /// Full-precision fingerprint of an exploration result: every sample's flat
 /// configuration index, phase, and raw objective bits, the Pareto front,
 /// per-iteration stats, and failure records (minus wall-clock metadata).
@@ -403,6 +404,7 @@ pub fn best_speed_config(outcome: &DseOutcome) -> KfParams {
     let best = outcome
         .result
         .best_by_objective(0)
+        // lint: allow(no-unaudited-panic): every DSE run evaluates at least the DoE phase, so samples is non-empty
         .expect("non-empty exploration");
     kf_params_from_config(&best.config)
 }
@@ -415,7 +417,7 @@ pub fn best_valid_speed_config(outcome: &DseOutcome) -> Option<KfParams> {
         .samples
         .iter()
         .filter(|s| s.objectives[1] < ACCURACY_LIMIT_M)
-        .min_by(|a, b| a.objectives[0].partial_cmp(&b.objectives[0]).expect("finite"))
+        .min_by(|a, b| a.objectives[0].total_cmp(&b.objectives[0]))
         .map(|s| kf_params_from_config(&s.config))
 }
 

@@ -119,6 +119,7 @@ pub trait Evaluator: Sync {
         &self,
         config: &Configuration,
     ) -> Result<Vec<f64>, FailedEvaluation> {
+        // lint: allow(wall-clock-outside-timing): elapsed_ms is failure metadata only; it never reaches objectives, RNG, or the journal fingerprint
         let start = std::time::Instant::now();
         self.try_evaluate(config).map_err(|error| FailedEvaluation {
             error,
@@ -362,6 +363,7 @@ impl<E: Evaluator> Evaluator for CachedEvaluator<'_, E> {
                 self.evaluations.fetch_add(1, Ordering::Relaxed);
                 Ok(self.inner.evaluate(config))
             })
+            // lint: allow(no-unaudited-panic): the initializer above returns Ok unconditionally
             .unwrap_or_else(|e| unreachable!("initializer is infallible: {e}"))
     }
     fn try_evaluate(&self, config: &Configuration) -> Result<Vec<f64>, EvalError> {

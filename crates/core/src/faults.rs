@@ -215,6 +215,7 @@ impl<E: Evaluator> Evaluator for FaultInjectingEvaluator<'_, E> {
         match self.plan.fault_for(config) {
             Fault::Panic => {
                 self.panics.fetch_add(1, Ordering::Relaxed);
+                // lint: allow(no-unaudited-panic): this evaluator exists to inject panics for resilience tests
                 panic!("injected panic (seed {})", self.plan.seed);
             }
             Fault::Nan => {

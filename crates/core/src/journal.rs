@@ -74,6 +74,7 @@
 //! snapshot record is itself corrupted, the records before it remain
 //! replayable).
 
+// lint: zone(float-exact): every float in a journal record round-trips through to_bits hex; any lossy formatting or parsing breaks bit-identical resume
 use crate::error::EvalError;
 use crate::evaluate::FailedEvaluation;
 use crate::optimizer::{IterationStats, Phase};

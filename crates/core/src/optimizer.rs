@@ -274,6 +274,7 @@ impl HyperMapper {
     pub fn run<E: Evaluator>(&self, evaluator: &E) -> ExplorationResult {
         match self.try_run(evaluator) {
             Ok(result) => result,
+            // lint: allow(no-unaudited-panic): documented panicking bridge; fallible callers use try_run
             Err(e) => panic!("exploration failed: {e}"),
         }
     }

@@ -189,6 +189,7 @@ impl<E: Evaluator> Evaluator for ResilientEvaluator<'_, E> {
     fn evaluate(&self, config: &Configuration) -> Vec<f64> {
         match self.try_evaluate(config) {
             Ok(v) => v,
+            // lint: allow(no-unaudited-panic): documented panicking bridge; fallible callers use try_evaluate
             Err(e) => panic!("evaluation failed after retries: {e}"),
         }
     }
@@ -202,6 +203,7 @@ impl<E: Evaluator> Evaluator for ResilientEvaluator<'_, E> {
         &self,
         config: &Configuration,
     ) -> Result<Vec<f64>, FailedEvaluation> {
+        // lint: allow(wall-clock-outside-timing): elapsed_ms is retry/failure metadata only; it never reaches objectives, RNG, or the journal fingerprint
         let start = Instant::now();
         let mut attempt = 1usize;
         loop {

@@ -185,6 +185,7 @@ impl<'a, E: Evaluator> ParallelBatchEvaluator<'a, E> {
             .map(|s| {
                 // Every index below `n` is handed out exactly once by the
                 // fetch_add above, so every slot is filled.
+                // lint: allow(no-unaudited-panic): every index below n is handed out exactly once
                 s.unwrap_or_else(|| unreachable!("unclaimed batch slot"))
             })
             .collect()

@@ -106,7 +106,7 @@ impl FernDatabase {
             .iter()
             .enumerate()
             .map(|(i, kf)| (i, self.dissimilarity(code, &kf.code)))
-            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
+            .min_by(|a, b| a.1.total_cmp(&b.1))
     }
 
     /// Offer a frame as a new keyframe: admitted when sufficiently novel

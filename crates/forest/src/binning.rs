@@ -13,6 +13,8 @@
 //! (asserted by `tests/properties.rs`).
 
 use crate::dataset::Dataset;
+use crate::{feature_cmp, feature_eq};
+use std::cmp::Ordering;
 
 /// Sorted unique levels and per-row codes for every feature column.
 ///
@@ -43,13 +45,16 @@ impl BinnedDataset {
         for f in 0..n_features {
             column.clear();
             column.extend((0..n).map(|i| data.feature(i, f)));
+            // `feature_cmp` is total (NaN sorts last as a single level), so
+            // a NaN that slipped past ingestion validation degrades to a
+            // well-defined extra level instead of a sort panic.
             let mut lv = column.clone();
-            lv.sort_by(|a, b| a.partial_cmp(b).expect("finite features"));
-            lv.dedup();
+            lv.sort_by(|a, b| feature_cmp(*a, *b));
+            lv.dedup_by(|a, b| feature_eq(*a, *b));
             assert!(lv.len() <= u32::MAX as usize, "feature column too wide to code");
             let code: Vec<u32> = column
                 .iter()
-                .map(|v| lv.partition_point(|l| l < v) as u32)
+                .map(|v| lv.partition_point(|l| feature_cmp(*l, *v) == Ordering::Less) as u32)
                 .collect();
             max_levels = max_levels.max(lv.len());
             levels.push(lv);

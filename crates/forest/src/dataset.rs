@@ -1,5 +1,35 @@
 //! Row-major training data for regression forests.
 
+use std::fmt;
+
+/// A rejected training row: the ingestion-time half of the forest's
+/// NaN-feature story (the other half is the total [`crate::feature_cmp`]
+/// ordering used by every split-finding sort).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DataError {
+    /// `row.len()` did not match the dataset's feature count.
+    WrongWidth { expected: usize, got: usize },
+    /// A feature (`target: false`) or the target (`target: true`) was NaN
+    /// or infinite.
+    NonFinite { column: usize, target: bool },
+}
+
+impl fmt::Display for DataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataError::WrongWidth { expected, got } => {
+                write!(f, "row has {got} features, dataset expects {expected}")
+            }
+            DataError::NonFinite { column, target: false } => {
+                write!(f, "non-finite value in feature column {column}")
+            }
+            DataError::NonFinite { .. } => write!(f, "non-finite target value"),
+        }
+    }
+}
+
+impl std::error::Error for DataError {}
+
 /// A regression training set: `n_rows` rows of `n_features` numeric features
 /// plus one numeric target per row, stored contiguously.
 #[derive(Debug, Clone, Default)]
@@ -29,7 +59,8 @@ impl Dataset {
     ///
     /// # Panics
     /// If `row.len() != n_features` or any value is non-finite — surrogate
-    /// training data must be clean, so corrupt rows fail fast.
+    /// training data must be clean, so corrupt rows fail fast. Callers
+    /// ingesting untrusted measurements should use [`Self::try_push_row`].
     pub fn push_row(&mut self, row: &[f64], target: f64) {
         assert_eq!(
             row.len(),
@@ -44,6 +75,23 @@ impl Dataset {
         );
         self.features.extend_from_slice(row);
         self.targets.push(target);
+    }
+
+    /// Fallible [`Self::push_row`]: rejects malformed rows with a
+    /// [`DataError`] instead of panicking, leaving the dataset unchanged.
+    pub fn try_push_row(&mut self, row: &[f64], target: f64) -> Result<(), DataError> {
+        if row.len() != self.n_features {
+            return Err(DataError::WrongWidth { expected: self.n_features, got: row.len() });
+        }
+        if let Some(column) = row.iter().position(|v| !v.is_finite()) {
+            return Err(DataError::NonFinite { column, target: false });
+        }
+        if !target.is_finite() {
+            return Err(DataError::NonFinite { column: 0, target: true });
+        }
+        self.features.extend_from_slice(row);
+        self.targets.push(target);
+        Ok(())
     }
 
     /// Number of rows.
@@ -155,6 +203,37 @@ mod tests {
     fn infinite_target_panics() {
         let mut d = Dataset::new(1);
         d.push_row(&[0.0], f64::INFINITY);
+    }
+
+    #[test]
+    fn try_push_row_rejects_without_mutating() {
+        let mut d = Dataset::new(2);
+        assert_eq!(
+            d.try_push_row(&[1.0], 0.0),
+            Err(DataError::WrongWidth { expected: 2, got: 1 })
+        );
+        assert_eq!(
+            d.try_push_row(&[1.0, f64::NAN], 0.0),
+            Err(DataError::NonFinite { column: 1, target: false })
+        );
+        assert_eq!(
+            d.try_push_row(&[1.0, 2.0], f64::INFINITY),
+            Err(DataError::NonFinite { column: 0, target: true })
+        );
+        assert!(d.is_empty());
+        assert_eq!(d.try_push_row(&[1.0, 2.0], 3.0), Ok(()));
+        assert_eq!(d.len(), 1);
+        assert_eq!(d.row(0), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn data_error_messages() {
+        let e = DataError::WrongWidth { expected: 2, got: 1 };
+        assert_eq!(e.to_string(), "row has 1 features, dataset expects 2");
+        let e = DataError::NonFinite { column: 3, target: false };
+        assert_eq!(e.to_string(), "non-finite value in feature column 3");
+        let e = DataError::NonFinite { column: 0, target: true };
+        assert_eq!(e.to_string(), "non-finite target value");
     }
 
     #[test]

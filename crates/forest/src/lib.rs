@@ -40,6 +40,84 @@ pub mod tree;
 
 pub use binning::BinnedDataset;
 pub use compiled::CompiledForest;
-pub use dataset::Dataset;
+pub use dataset::{DataError, Dataset};
 pub use forest::{ForestConfig, RandomForest};
 pub use tree::{RegressionTree, SplitMethod, TreeConfig};
+
+use std::cmp::Ordering;
+
+/// Total order over feature values, used by every sort in split finding.
+///
+/// * Non-NaN values compare by IEEE order, with `-0.0 == +0.0` — exactly
+///   the ordering `partial_cmp` gives on NaN-free data, so fitted trees are
+///   bit-for-bit unchanged for all valid datasets.
+/// * Every NaN compares equal to every other NaN and **greater** than every
+///   number, so a NaN can never panic a sort or land between two numbers.
+///
+/// This is deliberately *not* [`f64::total_cmp`]: `total_cmp` orders
+/// `-0.0 < +0.0` and distinguishes NaN payloads, which would let split
+/// finding place a threshold *between* the two zeros — a split that
+/// prediction's IEEE `<=` comparison cannot honour (both zeros take the
+/// same branch). NaN never reaches a fit through the public API
+/// ([`Dataset::push_row`] rejects non-finite rows); the defined ordering is
+/// defence in depth, not a supported data path.
+pub fn feature_cmp(a: f64, b: f64) -> Ordering {
+    match (a.is_nan(), b.is_nan()) {
+        (true, true) => Ordering::Equal,
+        (true, false) => Ordering::Greater,
+        (false, true) => Ordering::Less,
+        (false, false) => {
+            if a < b {
+                Ordering::Less
+            } else if a > b {
+                Ordering::Greater
+            } else {
+                Ordering::Equal
+            }
+        }
+    }
+}
+
+/// Equality under [`feature_cmp`]: IEEE `==` plus "all NaNs are the same
+/// level".
+pub fn feature_eq(a: f64, b: f64) -> bool {
+    feature_cmp(a, b) == Ordering::Equal
+}
+
+#[cfg(test)]
+mod cmp_tests {
+    use super::*;
+
+    #[test]
+    fn matches_ieee_on_numbers() {
+        assert_eq!(feature_cmp(1.0, 2.0), Ordering::Less);
+        assert_eq!(feature_cmp(2.0, 1.0), Ordering::Greater);
+        assert_eq!(feature_cmp(1.5, 1.5), Ordering::Equal);
+        assert_eq!(feature_cmp(f64::NEG_INFINITY, f64::INFINITY), Ordering::Less);
+    }
+
+    #[test]
+    fn zeros_are_equal_unlike_total_cmp() {
+        assert_eq!(feature_cmp(-0.0, 0.0), Ordering::Equal);
+        assert_eq!((-0.0f64).total_cmp(&0.0), Ordering::Less); // the hazard we avoid
+    }
+
+    #[test]
+    fn nan_is_one_level_above_everything() {
+        assert_eq!(feature_cmp(f64::NAN, f64::NAN), Ordering::Equal);
+        assert_eq!(feature_cmp(f64::NAN, f64::INFINITY), Ordering::Greater);
+        assert_eq!(feature_cmp(1.0, f64::NAN), Ordering::Less);
+        // Payload-distinct NaNs still collapse to one level.
+        let other_nan = f64::from_bits(f64::NAN.to_bits() ^ 1);
+        assert!(other_nan.is_nan());
+        assert_eq!(feature_cmp(f64::NAN, other_nan), Ordering::Equal);
+    }
+
+    #[test]
+    fn sorting_with_nans_never_panics_and_is_stable() {
+        let mut v = vec![2.0, f64::NAN, -1.0, f64::NAN, 0.0];
+        v.sort_by(|a, b| feature_cmp(*a, *b));
+        assert_eq!(&v[..3], &[-1.0, 0.0, 2.0]);
+        assert!(v[3].is_nan() && v[4].is_nan());
+    }
+}

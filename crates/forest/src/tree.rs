@@ -282,13 +282,13 @@ impl RegressionTree {
                 .iter()
                 .map(|&i| (ctx.data.feature(i, feature), ctx.data.target(i))),
         );
-        buf.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite features"));
+        buf.sort_by(|a, b| crate::feature_cmp(a.0, b.0));
         scan_sorted_column(
             parent_var,
             min_leaf,
             buf.len(),
             |k| buf[k].1,
-            |k| buf[k].0 == buf[k + 1].0,
+            |k| crate::feature_eq(buf[k].0, buf[k + 1].0),
             // Midpoint threshold is the CART convention.
             |k| 0.5 * (buf[k].0 + buf[k + 1].0),
         )
@@ -303,6 +303,7 @@ impl RegressionTree {
         parent_var: f64,
         min_leaf: usize,
     ) -> Option<(f64, f64)> {
+        // lint: allow(no-unaudited-panic): only called from fit_impl after it matched bins = Some
         let bins = ctx.bins.expect("histogram path requires bins");
         let n_levels = bins.n_levels(feature);
         let levels = bins.levels(feature);

@@ -68,6 +68,7 @@ impl KFusion {
     /// # Panics
     /// If the configuration fails [`KFusionConfig::validate`].
     pub fn new(config: KFusionConfig, sensor_k: CameraIntrinsics, initial_pose: SE3) -> Self {
+        // lint: allow(no-unaudited-panic): documented constructor contract; callers pre-validate via KFusionConfig::validate
         config.validate().expect("invalid KFusion configuration");
         let proc_k = sensor_k.downscaled(config.compute_size_ratio);
         let volume = TsdfVolume::new(config.volume_resolution, config.volume_size);
@@ -117,6 +118,7 @@ impl KFusion {
         self.frame_count += 1;
 
         // ---- Preprocessing: resize + bilateral filter + pyramid. ----
+        // lint: allow(wall-clock-outside-timing): KernelTimings feed objectives only under MeasurementMode::Timing (DESIGN §9); the model path ignores them
         let t0 = Instant::now();
         debug_assert_eq!(frame.depth.width, self.sensor_k.width);
         let resized = downsample(&frame.depth, self.config.compute_size_ratio);
@@ -128,6 +130,7 @@ impl KFusion {
         timings.preprocess = t0.elapsed().as_secs_f64();
 
         // ---- Tracking (every `tracking_rate` frames, never frame 0). ----
+        // lint: allow(wall-clock-outside-timing): KernelTimings feed objectives only under MeasurementMode::Timing (DESIGN §9)
         let t1 = Instant::now();
         let mut tracked = false;
         let tracking_attempted = idx > 0 && idx % self.config.tracking_rate == 0;
@@ -150,6 +153,7 @@ impl KFusion {
         timings.tracking = t1.elapsed().as_secs_f64();
 
         // ---- Integration (every `integration_rate` frames + frame 0). ----
+        // lint: allow(wall-clock-outside-timing): KernelTimings feed objectives only under MeasurementMode::Timing (DESIGN §9)
         let t2 = Instant::now();
         let integrated = idx == 0 || idx % self.config.integration_rate == 0;
         if integrated {
@@ -163,6 +167,7 @@ impl KFusion {
         timings.integration = t2.elapsed().as_secs_f64();
 
         // ---- Raycast the model for the next frame's tracking. ----
+        // lint: allow(wall-clock-outside-timing): KernelTimings feed objectives only under MeasurementMode::Timing (DESIGN §9)
         let t3 = Instant::now();
         let model = raycast(&self.volume, &self.proc_k, &self.pose, self.config.mu);
         self.model = Some((model, self.pose));

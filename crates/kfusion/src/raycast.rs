@@ -134,7 +134,7 @@ mod tests {
             }
         }
         assert!(errs.len() > 50, "too few hits: {}", errs.len());
-        errs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        errs.sort_by(|a, b| a.total_cmp(b));
         let median = errs[errs.len() / 2];
         assert!(median < 0.05, "median raycast depth error {median}");
     }

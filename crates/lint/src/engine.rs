@@ -1,0 +1,456 @@
+//! Rule engine: file context (tokens, test regions, suppressions),
+//! diagnostics, and the per-file check driver.
+
+use crate::lexer::{lex, TokKind, Token};
+use crate::rules::Rule;
+use std::collections::HashMap;
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// How hard a rule fails by default. `--deny warnings` promotes `Warn` to
+/// `Deny` at report time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Severity {
+    Warn,
+    Deny,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Warn => "warning",
+            Severity::Deny => "error",
+        })
+    }
+}
+
+/// One finding, pointing at the first token of the offending pattern.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    pub rule: &'static str,
+    pub severity: Severity,
+    pub file: PathBuf,
+    pub line: u32,
+    pub col: u32,
+    pub message: String,
+}
+
+/// An inline `// lint: allow(<rule>): <reason>` marker.
+#[derive(Debug, Clone)]
+pub struct Suppression {
+    pub rule: String,
+    pub reason: String,
+    pub line: u32,
+}
+
+/// A `// lint: zone(<name>): <reason>` marker: opts the rest of the file
+/// into a stricter zone (e.g. `no-indexing` tightens `no-unaudited-panic`
+/// to also ban slice indexing, which panics on out-of-bounds).
+#[derive(Debug, Clone)]
+pub struct Zone {
+    pub name: String,
+    pub line: u32,
+}
+
+/// Everything a rule needs to scan one file.
+pub struct FileCtx<'s> {
+    pub path: &'s Path,
+    /// Workspace-relative path with `/` separators, for scope decisions.
+    pub rel: String,
+    pub src: &'s str,
+    /// All tokens, comments included.
+    pub tokens: &'s [Token],
+    /// Indices into `tokens` of non-comment tokens — what rules scan.
+    pub sig: &'s [usize],
+    /// Byte ranges covered by `#[cfg(test)]` items or `#[test]` functions.
+    test_regions: &'s [(usize, usize)],
+    /// True when the whole file is test code (under a `tests/` directory).
+    pub file_is_test: bool,
+    /// Active `lint: zone(...)` markers (each covers its line to EOF).
+    pub zones: &'s [Zone],
+}
+
+impl FileCtx<'_> {
+    /// Is `line` inside an active zone named `name`?
+    pub fn in_zone(&self, name: &str, line: u32) -> bool {
+        self.zones.iter().any(|z| z.name == name && line >= z.line)
+    }
+}
+
+impl FileCtx<'_> {
+    /// Is the byte offset inside test code (a `#[cfg(test)]` region, a
+    /// `#[test]` fn, or a file that is a test target)?
+    pub fn in_test_code(&self, offset: usize) -> bool {
+        self.file_is_test || self.test_regions.iter().any(|&(s, e)| offset >= s && offset < e)
+    }
+
+    /// The significant token at `sig` position `i`, if any.
+    pub fn sig_tok(&self, i: usize) -> Option<&Token> {
+        self.sig.get(i).map(|&ti| &self.tokens[ti])
+    }
+
+    /// Given the `sig` index of an opening bracket, return the `sig` index
+    /// of its matching close. Brackets inside strings/comments cannot
+    /// interfere — the lexer already swallowed them.
+    pub fn matching_close(&self, open_sig: usize, open: char, close: char) -> Option<usize> {
+        let mut depth = 0usize;
+        for i in open_sig..self.sig.len() {
+            let t = &self.tokens[self.sig[i]];
+            if t.is_punct(self.src, open) {
+                depth += 1;
+            } else if t.is_punct(self.src, close) {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(i);
+                }
+            }
+        }
+        None
+    }
+}
+
+/// Per-file scan product: what fired, what was suppressed, and any stale or
+/// malformed suppression markers.
+#[derive(Debug, Default)]
+pub struct FileReport {
+    pub diagnostics: Vec<Diagnostic>,
+    /// (rule, line) pairs that a `lint: allow` absorbed.
+    pub suppressed: Vec<(String, u32)>,
+}
+
+/// Parse every `// lint: allow(rule): reason` line comment. Returns the
+/// suppressions plus diagnostics for malformed markers (an allow without a
+/// reason is itself a violation — the reason is the audit trail).
+fn parse_suppressions(
+    path: &Path,
+    src: &str,
+    tokens: &[Token],
+) -> (Vec<Suppression>, Vec<Zone>, Vec<Diagnostic>) {
+    let mut sups = Vec::new();
+    let mut zones = Vec::new();
+    let mut diags = Vec::new();
+    for t in tokens {
+        if t.kind != TokKind::LineComment {
+            continue;
+        }
+        let text = t.text(src);
+        let Some(rest) = text.trim_start_matches('/').trim_start().strip_prefix("lint:") else {
+            continue;
+        };
+        let rest = rest.trim_start();
+        if let Some(z) = rest.strip_prefix("zone") {
+            match z.trim_start().strip_prefix('(').and_then(|r| r.split_once(')')) {
+                Some((name, after)) if after.trim_start().starts_with(':') => {
+                    zones.push(Zone { name: name.trim().to_string(), line: t.line });
+                }
+                _ => diags.push(Diagnostic {
+                    rule: "lint-marker",
+                    severity: Severity::Deny,
+                    file: path.to_path_buf(),
+                    line: t.line,
+                    col: t.col,
+                    message: "malformed zone marker; use `lint: zone(<name>): <reason>`".into(),
+                }),
+            }
+            continue;
+        }
+        let Some(rest) = rest.strip_prefix("allow") else {
+            // Reserved namespace: anything else under `lint:` is a typo'd
+            // marker that would otherwise silently not suppress.
+            diags.push(Diagnostic {
+                rule: "lint-marker",
+                severity: Severity::Deny,
+                file: path.to_path_buf(),
+                line: t.line,
+                col: t.col,
+                message: format!("unrecognized lint marker {text:?}; expected `lint: allow(<rule>): <reason>`"),
+            });
+            continue;
+        };
+        let rest = rest.trim_start();
+        let ok = rest.strip_prefix('(').and_then(|r| r.split_once(')')).and_then(
+            |(rule, after)| {
+                let reason = after.trim_start().strip_prefix(':')?.trim();
+                (!rule.trim().is_empty() && !reason.is_empty())
+                    .then(|| (rule.trim().to_string(), reason.to_string()))
+            },
+        );
+        match ok {
+            Some((rule, reason)) => sups.push(Suppression { rule, reason, line: t.line }),
+            None => diags.push(Diagnostic {
+                rule: "lint-marker",
+                severity: Severity::Deny,
+                file: path.to_path_buf(),
+                line: t.line,
+                col: t.col,
+                message: "malformed suppression; use `lint: allow(<rule>): <reason>` with a non-empty reason".into(),
+            }),
+        }
+    }
+    (sups, zones, diags)
+}
+
+/// Flag surviving `// audited:` markers: the grep-era allowlist this linter
+/// supersedes. They no longer suppress anything, so leaving one in place is
+/// a silent hole in the audit trail.
+fn stale_audit_markers(path: &Path, src: &str, tokens: &[Token]) -> Vec<Diagnostic> {
+    tokens
+        .iter()
+        .filter(|t| {
+            // Marker position only: `// audited: reason`. A comment that
+            // merely *mentions* the old syntax mid-sentence is not a marker.
+            t.is_comment()
+                && t.text(src).trim_start_matches(['/', '*', '!']).trim_start().starts_with("audited:")
+        })
+        .map(|t| Diagnostic {
+            rule: "stale-audit-marker",
+            severity: Severity::Deny,
+            file: path.to_path_buf(),
+            line: t.line,
+            col: t.col,
+            message: "legacy `// audited:` marker no longer suppresses anything; migrate to `// lint: allow(no-unaudited-panic): <reason>`"
+                .into(),
+        })
+        .collect()
+}
+
+/// Compute byte ranges of `#[cfg(test)]` items and `#[test]` functions by
+/// walking the significant token stream: match the attribute, skip any
+/// further attributes, then span to the end of the next item (matched `{…}`
+/// block or terminating `;`).
+fn test_regions(src: &str, tokens: &[Token], sig: &[usize]) -> Vec<(usize, usize)> {
+    let mut regions = Vec::new();
+    let tok = |i: usize| -> &Token { &tokens[sig[i]] };
+    let mut i = 0usize;
+    while i < sig.len() {
+        if !tok(i).is_punct(src, '#') {
+            i += 1;
+            continue;
+        }
+        let attr_start = tok(i).start;
+        // `#[…]` — find the bracket span first.
+        let Some(open) = (i + 1 < sig.len() && tok(i + 1).is_punct(src, '[')).then_some(i + 1)
+        else {
+            i += 1;
+            continue;
+        };
+        let Some(close) = matching_close_at(src, tokens, sig, open, '[', ']') else {
+            break;
+        };
+        if !attr_is_test(src, tokens, &sig[open + 1..close]) {
+            i = close + 1;
+            continue;
+        }
+        // Skip any stacked attributes after the test one.
+        let mut j = close + 1;
+        while j + 1 < sig.len() && tok(j).is_punct(src, '#') && tok(j + 1).is_punct(src, '[') {
+            match matching_close_at(src, tokens, sig, j + 1, '[', ']') {
+                Some(c) => j = c + 1,
+                None => break,
+            }
+        }
+        // Item body: first top-level `{` matched to its close, or a `;`
+        // before any brace (e.g. `#[cfg(test)] use …;`).
+        let mut end = None;
+        let mut k = j;
+        while k < sig.len() {
+            let t = tok(k);
+            if t.is_punct(src, ';') {
+                end = Some(t.end);
+                break;
+            }
+            if t.is_punct(src, '{') {
+                end = matching_close_at(src, tokens, sig, k, '{', '}')
+                    .map(|c| tokens[sig[c]].end);
+                break;
+            }
+            k += 1;
+        }
+        match end {
+            Some(e) => {
+                regions.push((attr_start, e));
+                i = close + 1;
+            }
+            None => {
+                // Unterminated item: everything to EOF is the region.
+                regions.push((attr_start, src.len()));
+                break;
+            }
+        }
+    }
+    regions
+}
+
+/// Does the attribute token slice (between `[` and `]`) spell `cfg(test)`
+/// (possibly `cfg(all(test, …))`) or bare `test`?
+fn attr_is_test(src: &str, tokens: &[Token], inner: &[usize]) -> bool {
+    let ids: Vec<&str> = inner
+        .iter()
+        .map(|&ti| &tokens[ti])
+        .filter(|t| t.kind == TokKind::Ident)
+        .map(|t| t.text(src))
+        .collect();
+    match ids.as_slice() {
+        ["test"] => true,
+        [first, rest @ ..] if *first == "cfg" => rest.contains(&"test"),
+        _ => false,
+    }
+}
+
+fn matching_close_at(
+    src: &str,
+    tokens: &[Token],
+    sig: &[usize],
+    open_sig: usize,
+    open: char,
+    close: char,
+) -> Option<usize> {
+    let mut depth = 0usize;
+    for i in open_sig..sig.len() {
+        let t = &tokens[sig[i]];
+        if t.is_punct(src, open) {
+            depth += 1;
+        } else if t.is_punct(src, close) {
+            depth -= 1;
+            if depth == 0 {
+                return Some(i);
+            }
+        }
+    }
+    None
+}
+
+/// Run `rules` over one file's source. `rel` is the workspace-relative path
+/// (used for rule scoping); `file_is_test` marks whole-file test targets.
+pub fn check_file(
+    path: &Path,
+    rel: &str,
+    src: &str,
+    rules: &[Box<dyn Rule>],
+    file_is_test: bool,
+) -> FileReport {
+    let tokens = lex(src);
+    let sig: Vec<usize> =
+        (0..tokens.len()).filter(|&i| !tokens[i].is_comment()).collect();
+    let regions = test_regions(src, &tokens, &sig);
+    let (sups, zones, mut marker_diags) = parse_suppressions(path, src, &tokens);
+    marker_diags.extend(stale_audit_markers(path, src, &tokens));
+
+    // Warn on allows naming no known rule — a typo'd rule name suppresses
+    // nothing and should not pass silently.
+    let known: Vec<&str> = rules.iter().map(|r| r.name()).collect();
+    for s in &sups {
+        if !known.contains(&s.rule.as_str()) {
+            marker_diags.push(Diagnostic {
+                rule: "lint-marker",
+                severity: Severity::Deny,
+                file: path.to_path_buf(),
+                line: s.line,
+                col: 1,
+                message: format!("`lint: allow({})` names no known rule", s.rule),
+            });
+        }
+    }
+
+    let ctx = FileCtx {
+        path,
+        rel: rel.to_string(),
+        src,
+        tokens: &tokens,
+        sig: &sig,
+        test_regions: &regions,
+        file_is_test,
+        zones: &zones,
+    };
+
+    let mut raw = Vec::new();
+    for rule in rules {
+        rule.check(&ctx, &mut raw);
+    }
+
+    // A suppression absorbs a diagnostic of its rule on the same line or
+    // the line directly below the marker (marker-above-the-statement form).
+    let mut by_line: HashMap<(u32, &str), &Suppression> = HashMap::new();
+    for s in &sups {
+        by_line.insert((s.line, s.rule.as_str()), s);
+        by_line.insert((s.line + 1, s.rule.as_str()), s);
+    }
+
+    let mut report = FileReport::default();
+    for d in raw {
+        match by_line.get(&(d.line, d.rule)) {
+            Some(s) => report.suppressed.push((s.rule.clone(), d.line)),
+            None => report.diagnostics.push(d),
+        }
+    }
+    report.diagnostics.extend(marker_diags);
+    report.diagnostics.sort_by_key(|d| (d.line, d.col, d.rule));
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::default_rules;
+
+    fn run(src: &str) -> FileReport {
+        check_file(Path::new("crates/demo/src/x.rs"), "crates/demo/src/x.rs", src, &default_rules(), false)
+    }
+
+    #[test]
+    fn cfg_test_region_excludes_panics() {
+        let src = "fn a() { x.unwrap(); }\n#[cfg(test)]\nmod tests {\n  fn b() { y.unwrap(); }\n}\n";
+        let r = run(src);
+        let hits: Vec<_> =
+            r.diagnostics.iter().filter(|d| d.rule == "no-unaudited-panic").collect();
+        assert_eq!(hits.len(), 1, "{:?}", r.diagnostics);
+        assert_eq!(hits[0].line, 1);
+    }
+
+    #[test]
+    fn test_attr_fn_excluded() {
+        let src = "#[test]\nfn t() { q.unwrap(); }\nfn real() { q.unwrap(); }\n";
+        let r = run(src);
+        let hits: Vec<_> =
+            r.diagnostics.iter().filter(|d| d.rule == "no-unaudited-panic").collect();
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].line, 3);
+    }
+
+    #[test]
+    fn same_line_suppression_counts() {
+        let src = "fn a() { x.unwrap(); // lint: allow(no-unaudited-panic): guarded above\n}\n";
+        let r = run(src);
+        assert!(r.diagnostics.iter().all(|d| d.rule != "no-unaudited-panic"));
+        assert_eq!(r.suppressed.len(), 1);
+    }
+
+    #[test]
+    fn line_above_suppression_counts() {
+        let src = "fn a() {\n  // lint: allow(no-unaudited-panic): infallible by construction\n  x.unwrap();\n}\n";
+        let r = run(src);
+        assert!(r.diagnostics.iter().all(|d| d.rule != "no-unaudited-panic"));
+    }
+
+    #[test]
+    fn reasonless_allow_is_rejected() {
+        let src = "fn a() { x.unwrap(); // lint: allow(no-unaudited-panic)\n}\n";
+        let r = run(src);
+        assert!(r.diagnostics.iter().any(|d| d.rule == "lint-marker"));
+        assert!(r.diagnostics.iter().any(|d| d.rule == "no-unaudited-panic"));
+    }
+
+    #[test]
+    fn stale_audited_marker_flagged() {
+        let src = "fn a() { x.expect(\"fine\") // audited: cannot fail\n; }\n";
+        let r = run(src);
+        assert!(r.diagnostics.iter().any(|d| d.rule == "stale-audit-marker"));
+    }
+
+    #[test]
+    fn unknown_rule_in_allow_flagged() {
+        let src = "// lint: allow(no-such-rule): because\nfn a() {}\n";
+        let r = run(src);
+        assert!(r.diagnostics.iter().any(|d| d.rule == "lint-marker"));
+    }
+}

@@ -1,0 +1,396 @@
+//! A hand-rolled Rust lexer, just deep enough for linting.
+//!
+//! The grep gate this crate replaces could not tell `.unwrap()` in code from
+//! `.unwrap()` inside a string literal, a raw string, or a nested block
+//! comment. The lexer exists to make exactly that distinction: it produces a
+//! token stream in which every string/char literal and every comment is a
+//! single opaque token, so rules that scan for identifier patterns can never
+//! fire on quoted or commented text.
+//!
+//! It is deliberately not a full Rust lexer: numeric literals are lumped
+//! into one kind, keywords are plain identifiers, and no token trees are
+//! built. Rules work on flat token sequences plus bracket matching.
+
+/// What a token is. Comments are kept (suppression markers live in them);
+/// whitespace is dropped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword, including raw identifiers (`r#type`).
+    Ident,
+    /// Lifetime such as `'a` (distinguished from char literals).
+    Lifetime,
+    /// `"…"`, `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#` — one token, quotes included.
+    Str,
+    /// `'x'`, `'\n'`, `b'x'`.
+    Char,
+    /// Integer or float literal, suffix included.
+    Num,
+    /// `// …` to end of line (doc `///` and `//!` included).
+    LineComment,
+    /// `/* … */` with arbitrary nesting (doc `/**` and `/*!` included).
+    BlockComment,
+    /// Any single punctuation byte: `.`, `(`, `{`, `#`, `!`, `:`, …
+    Punct,
+}
+
+/// One token: kind, byte span into the source, and 1-based line/column of
+/// its first byte.
+#[derive(Debug, Clone, Copy)]
+pub struct Token {
+    pub kind: TokKind,
+    pub start: usize,
+    pub end: usize,
+    pub line: u32,
+    pub col: u32,
+}
+
+impl Token {
+    /// The token's text, sliced out of the source it was lexed from.
+    pub fn text<'s>(&self, src: &'s str) -> &'s str {
+        &src[self.start..self.end]
+    }
+    /// True for a punctuation token equal to `c`.
+    pub fn is_punct(&self, src: &str, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text(src).starts_with(c)
+    }
+    /// True for an identifier token spelling exactly `name`.
+    pub fn is_ident(&self, src: &str, name: &str) -> bool {
+        self.kind == TokKind::Ident && self.text(src) == name
+    }
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokKind::LineComment | TokKind::BlockComment)
+    }
+}
+
+struct Cursor<'s> {
+    src: &'s [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'s> Cursor<'s> {
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+    fn peek_at(&self, off: usize) -> Option<u8> {
+        self.src.get(self.pos + off).copied()
+    }
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else if b & 0xC0 != 0x80 {
+            // Count UTF-8 scalar starts, not continuation bytes, so columns
+            // stay meaningful in files with non-ASCII comments.
+            self.col += 1;
+        }
+        Some(b)
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+fn is_ident_cont(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Lex `src` into tokens. Never fails: unterminated literals and comments
+/// extend to end of input (a linter must keep going on imperfect files).
+pub fn lex(src: &str) -> Vec<Token> {
+    let mut cur = Cursor { src: src.as_bytes(), pos: 0, line: 1, col: 1 };
+    let mut out = Vec::with_capacity(src.len() / 4);
+    while let Some(b) = cur.peek() {
+        let (start, line, col) = (cur.pos, cur.line, cur.col);
+        let kind = match b {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                cur.bump();
+                continue;
+            }
+            b'/' if cur.peek_at(1) == Some(b'/') => {
+                while cur.peek().is_some_and(|b| b != b'\n') {
+                    cur.bump();
+                }
+                TokKind::LineComment
+            }
+            b'/' if cur.peek_at(1) == Some(b'*') => {
+                cur.bump();
+                cur.bump();
+                let mut depth = 1usize;
+                while depth > 0 {
+                    match (cur.peek(), cur.peek_at(1)) {
+                        (Some(b'/'), Some(b'*')) => {
+                            depth += 1;
+                            cur.bump();
+                            cur.bump();
+                        }
+                        (Some(b'*'), Some(b'/')) => {
+                            depth -= 1;
+                            cur.bump();
+                            cur.bump();
+                        }
+                        (Some(_), _) => {
+                            cur.bump();
+                        }
+                        (None, _) => break,
+                    }
+                }
+                TokKind::BlockComment
+            }
+            b'r' if matches!(cur.peek_at(1), Some(b'"') | Some(b'#')) && raw_str_ahead(&cur, 1) => {
+                cur.bump();
+                eat_raw_string(&mut cur);
+                TokKind::Str
+            }
+            b'b' if cur.peek_at(1) == Some(b'r') && raw_str_ahead(&cur, 2) => {
+                cur.bump();
+                cur.bump();
+                eat_raw_string(&mut cur);
+                TokKind::Str
+            }
+            b'b' if cur.peek_at(1) == Some(b'"') => {
+                cur.bump();
+                eat_quoted(&mut cur, b'"');
+                TokKind::Str
+            }
+            b'b' if cur.peek_at(1) == Some(b'\'') => {
+                cur.bump();
+                eat_quoted(&mut cur, b'\'');
+                TokKind::Char
+            }
+            b'r' if cur.peek_at(1) == Some(b'#') && cur.peek_at(2).is_some_and(is_ident_start) => {
+                // Raw identifier r#type.
+                cur.bump();
+                cur.bump();
+                while cur.peek().is_some_and(is_ident_cont) {
+                    cur.bump();
+                }
+                TokKind::Ident
+            }
+            b'"' => {
+                eat_quoted(&mut cur, b'"');
+                TokKind::Str
+            }
+            b'\'' => {
+                if char_literal_ahead(&cur) {
+                    eat_quoted(&mut cur, b'\'');
+                    TokKind::Char
+                } else {
+                    // Lifetime: 'ident (no closing quote).
+                    cur.bump();
+                    while cur.peek().is_some_and(is_ident_cont) {
+                        cur.bump();
+                    }
+                    TokKind::Lifetime
+                }
+            }
+            b'0'..=b'9' => {
+                eat_number(&mut cur);
+                TokKind::Num
+            }
+            b if is_ident_start(b) => {
+                while cur.peek().is_some_and(is_ident_cont) {
+                    cur.bump();
+                }
+                TokKind::Ident
+            }
+            _ => {
+                cur.bump();
+                TokKind::Punct
+            }
+        };
+        out.push(Token { kind, start, end: cur.pos, line, col });
+    }
+    out
+}
+
+/// From `cur.pos + off` (pointing past the `r` / `br` prefix): zero or more
+/// `#` then a `"` means a raw string starts here. `r#ident` fails this.
+fn raw_str_ahead(cur: &Cursor<'_>, off: usize) -> bool {
+    let mut i = off;
+    while cur.peek_at(i) == Some(b'#') {
+        i += 1;
+    }
+    cur.peek_at(i) == Some(b'"')
+}
+
+/// Disambiguate `'c'` / `'\n'` from lifetime `'a`. A char literal is a quote
+/// followed by either an escape, or exactly one scalar and a closing quote.
+fn char_literal_ahead(cur: &Cursor<'_>) -> bool {
+    match cur.peek_at(1) {
+        Some(b'\\') => true,
+        Some(b'\'') | None => false,
+        Some(b) if is_ident_start(b) || b.is_ascii_digit() => {
+            // 'a' is a char, 'a is a lifetime, 'abc' is (invalid but) a
+            // char as far as the lexer cares; skip the ident run and look
+            // for the closing quote.
+            let mut i = 2;
+            while cur.peek_at(i).is_some_and(is_ident_cont) {
+                i += 1;
+            }
+            cur.peek_at(i) == Some(b'\'')
+        }
+        Some(_) => true, // '+' etc: always a char literal
+    }
+}
+
+/// Consume a `"…"` or `'…'` literal including quotes, honouring `\`-escapes.
+fn eat_quoted(cur: &mut Cursor<'_>, quote: u8) {
+    cur.bump(); // opening quote
+    while let Some(b) = cur.peek() {
+        if b == b'\\' {
+            cur.bump();
+            cur.bump();
+        } else if b == quote {
+            cur.bump();
+            break;
+        } else {
+            cur.bump();
+        }
+    }
+}
+
+/// Consume `r##"…"##` (cursor on the first `#` or `"`): count hashes, then
+/// scan for a quote followed by that many hashes.
+fn eat_raw_string(cur: &mut Cursor<'_>) {
+    let mut hashes = 0usize;
+    while cur.peek() == Some(b'#') {
+        hashes += 1;
+        cur.bump();
+    }
+    cur.bump(); // opening quote
+    while let Some(b) = cur.bump() {
+        if b == b'"' {
+            let mut matched = 0;
+            while matched < hashes && cur.peek() == Some(b'#') {
+                matched += 1;
+                cur.bump();
+            }
+            if matched == hashes {
+                break;
+            }
+        }
+    }
+}
+
+/// Consume a numeric literal: ints, floats, hex/oct/bin, `_` separators,
+/// exponents, and type suffixes. Stops before `..` so ranges survive.
+fn eat_number(cur: &mut Cursor<'_>) {
+    if cur.peek() == Some(b'0') && matches!(cur.peek_at(1), Some(b'x' | b'o' | b'b')) {
+        cur.bump();
+        cur.bump();
+        while cur.peek().is_some_and(|b| b.is_ascii_alphanumeric() || b == b'_') {
+            cur.bump();
+        }
+        return;
+    }
+    while cur.peek().is_some_and(|b| b.is_ascii_digit() || b == b'_') {
+        cur.bump();
+    }
+    // Fractional part — but not `..` (range) or `.method()`.
+    if cur.peek() == Some(b'.') && cur.peek_at(1).is_some_and(|b| b.is_ascii_digit()) {
+        cur.bump();
+        while cur.peek().is_some_and(|b| b.is_ascii_digit() || b == b'_') {
+            cur.bump();
+        }
+    }
+    // Exponent.
+    if matches!(cur.peek(), Some(b'e' | b'E')) {
+        let sign = matches!(cur.peek_at(1), Some(b'+' | b'-'));
+        let digit_at = if sign { 2 } else { 1 };
+        if cur.peek_at(digit_at).is_some_and(|b| b.is_ascii_digit()) {
+            cur.bump();
+            if sign {
+                cur.bump();
+            }
+            while cur.peek().is_some_and(|b| b.is_ascii_digit() || b == b'_') {
+                cur.bump();
+            }
+        }
+    }
+    // Suffix (u32, f64, usize, …).
+    while cur.peek().is_some_and(is_ident_cont) {
+        cur.bump();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src).iter().map(|t| (t.kind, t.text(src).to_string())).collect()
+    }
+
+    #[test]
+    fn idents_and_calls() {
+        let ks = kinds("x.unwrap()");
+        assert_eq!(ks[0], (TokKind::Ident, "x".into()));
+        assert_eq!(ks[1], (TokKind::Punct, ".".into()));
+        assert_eq!(ks[2], (TokKind::Ident, "unwrap".into()));
+        assert_eq!(ks[3], (TokKind::Punct, "(".into()));
+        assert_eq!(ks[4], (TokKind::Punct, ")".into()));
+    }
+
+    #[test]
+    fn string_swallows_unwrap() {
+        let ks = kinds(r#"let s = "call .unwrap() here";"#);
+        assert!(ks.iter().all(|(k, t)| *k != TokKind::Ident || t != "unwrap"));
+        assert_eq!(ks.iter().filter(|(k, _)| *k == TokKind::Str).count(), 1);
+    }
+
+    #[test]
+    fn raw_string_with_hashes_and_quotes() {
+        let src = r##"let s = r#"she said ".unwrap()" loudly"#;"##;
+        let ks = kinds(src);
+        assert!(ks.iter().all(|(k, t)| *k != TokKind::Ident || t != "unwrap"));
+        assert!(ks.iter().any(|(k, t)| *k == TokKind::Str && t.contains("loudly")));
+    }
+
+    #[test]
+    fn nested_block_comment() {
+        let src = "a /* outer /* inner .unwrap() */ still comment */ b";
+        let ks = kinds(src);
+        assert_eq!(ks.len(), 3);
+        assert_eq!(ks[1].0, TokKind::BlockComment);
+        assert!(ks[1].1.contains("inner"));
+        assert_eq!(ks[2], (TokKind::Ident, "b".into()));
+    }
+
+    #[test]
+    fn lifetime_vs_char() {
+        let ks = kinds("fn f<'a>(x: &'a u8) { let c = 'x'; let n = '\\n'; }");
+        assert_eq!(ks.iter().filter(|(k, _)| *k == TokKind::Lifetime).count(), 2);
+        assert_eq!(ks.iter().filter(|(k, _)| *k == TokKind::Char).count(), 2);
+    }
+
+    #[test]
+    fn numbers_and_ranges() {
+        let ks = kinds("0..5 0.5 1e-3 0xFFu32 1_000.25f64");
+        let nums: Vec<_> =
+            ks.iter().filter(|(k, _)| *k == TokKind::Num).map(|(_, t)| t.clone()).collect();
+        assert_eq!(nums, vec!["0", "5", "0.5", "1e-3", "0xFFu32", "1_000.25f64"]);
+    }
+
+    #[test]
+    fn raw_ident_is_not_a_raw_string() {
+        let ks = kinds("let r#type = 1;");
+        assert!(ks.iter().any(|(k, t)| *k == TokKind::Ident && t == "r#type"));
+    }
+
+    #[test]
+    fn line_and_col_are_one_based() {
+        let toks = lex("a\n  b");
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+
+    #[test]
+    fn unterminated_string_reaches_eof() {
+        let ks = kinds("let s = \"oops");
+        assert_eq!(ks.last().map(|(k, _)| *k), Some(TokKind::Str));
+    }
+}

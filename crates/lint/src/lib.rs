@@ -1,0 +1,226 @@
+//! `hm-lint` — workspace determinism & failure-semantics linter.
+//!
+//! Replaces the grep/awk unwrap gate that used to live in `scripts/ci.sh`:
+//! a real lexer (strings, raw strings, char literals, nested block comments
+//! handled correctly) feeding a token-stream rule engine. Rules encode the
+//! invariants the paper's methodology rests on — no unaudited panics, no
+//! NaN-unsafe comparators, no wall-clock outside the timing modules, no
+//! hash-order-dependent iteration in the deterministic crates, and bit-exact
+//! float round-trips in journal/fingerprint paths. See DESIGN §11.
+//!
+//! Std-only on purpose: the linter must build and run inside the offline
+//! stub harness (`scripts/check_offline.sh`) with no external crates.
+
+pub mod engine;
+pub mod lexer;
+pub mod rules;
+
+use engine::{check_file, Diagnostic, Severity};
+use rules::Rule;
+use std::collections::BTreeMap;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Aggregated result of linting a file set.
+#[derive(Debug, Default)]
+pub struct WorkspaceReport {
+    pub diagnostics: Vec<Diagnostic>,
+    /// Per-rule count of `lint: allow` suppressions that absorbed a hit —
+    /// the audit-debt figure ROADMAP tracks for burn-down.
+    pub suppressed: BTreeMap<String, usize>,
+    pub files_scanned: usize,
+}
+
+impl WorkspaceReport {
+    pub fn errors(&self) -> usize {
+        self.diagnostics.iter().filter(|d| d.severity == Severity::Deny).count()
+    }
+    pub fn warnings(&self) -> usize {
+        self.diagnostics.iter().filter(|d| d.severity == Severity::Warn).count()
+    }
+}
+
+/// Directory names never descended into: build products, VCS internals,
+/// the offline dependency stubs (vendored third-party shims, not ours to
+/// lint), and rule fixture sets (intentionally violation-laden).
+const SKIP_DIRS: &[&str] = &["target", ".git", "offline-stubs", "fixtures", "node_modules"];
+
+/// Is this workspace-relative path test code in its entirety? Integration
+/// test targets (`tests/` directories, including the top-level `tests`
+/// crate) and benches are exercised by the harness, not shipped.
+pub fn is_test_path(rel: &str) -> bool {
+    rel.starts_with("tests/")
+        || rel.contains("/tests/")
+        || rel.starts_with("benches/")
+        || rel.contains("/benches/")
+}
+
+/// Collect every `.rs` file under `root`, sorted for deterministic output
+/// (directory read order is OS-dependent — the linter holds itself to the
+/// same reproducibility bar it enforces).
+pub fn collect_rs_files(root: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        for entry in fs::read_dir(&dir)? {
+            let entry = entry?;
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if entry.file_type()?.is_dir() {
+                if !SKIP_DIRS.contains(&name.as_ref()) {
+                    stack.push(path);
+                }
+            } else if name.ends_with(".rs") {
+                out.push(path);
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// Lint every `.rs` file under `root` with `rules`.
+pub fn scan_workspace(root: &Path, rules: &[Box<dyn Rule>]) -> io::Result<WorkspaceReport> {
+    let files = collect_rs_files(root)?;
+    let mut report = WorkspaceReport::default();
+    for path in &files {
+        let rel: String = path
+            .strip_prefix(root)
+            .unwrap_or(path)
+            .components()
+            .map(|c| c.as_os_str().to_string_lossy())
+            .collect::<Vec<_>>()
+            .join("/");
+        let src = fs::read_to_string(path)?;
+        let file_report = check_file(path, &rel, &src, rules, is_test_path(&rel));
+        report.diagnostics.extend(file_report.diagnostics);
+        for (rule, _line) in file_report.suppressed {
+            *report.suppressed.entry(rule).or_insert(0) += 1;
+        }
+        report.files_scanned += 1;
+    }
+    Ok(report)
+}
+
+/// Promote every warning to an error (`--deny warnings`).
+pub fn deny_warnings(report: &mut WorkspaceReport) {
+    for d in &mut report.diagnostics {
+        d.severity = Severity::Deny;
+    }
+}
+
+/// Drop diagnostics of the named rule (`--allow <rule>` on the CLI).
+pub fn allow_rule(report: &mut WorkspaceReport, rule: &str) {
+    report.diagnostics.retain(|d| d.rule != rule);
+}
+
+/// Human diagnostics: `file:line:col: severity[rule]: message`, then a
+/// summary line and the per-rule suppression counts.
+pub fn render_human(report: &WorkspaceReport, root: &Path) -> String {
+    let mut out = String::new();
+    for d in &report.diagnostics {
+        let rel = d.file.strip_prefix(root).unwrap_or(&d.file);
+        out.push_str(&format!(
+            "{}:{}:{}: {}[{}]: {}\n",
+            rel.display(),
+            d.line,
+            d.col,
+            d.severity,
+            d.rule,
+            d.message
+        ));
+    }
+    let (e, w) = (report.errors(), report.warnings());
+    if e == 0 && w == 0 {
+        out.push_str(&format!("hm-lint: clean ({} files)\n", report.files_scanned));
+    } else {
+        out.push_str(&format!(
+            "hm-lint: {e} error{} and {w} warning{} across {} files\n",
+            if e == 1 { "" } else { "s" },
+            if w == 1 { "" } else { "s" },
+            report.files_scanned
+        ));
+    }
+    if report.suppressed.is_empty() {
+        out.push_str("suppressions: none\n");
+    } else {
+        let total: usize = report.suppressed.values().sum();
+        out.push_str(&format!("suppressions ({total} total — ROADMAP audit-debt burn-down):\n"));
+        for (rule, n) in &report.suppressed {
+            out.push_str(&format!("  {rule}: {n}\n"));
+        }
+    }
+    out
+}
+
+/// Machine-readable report. Hand-rolled JSON: the crate is std-only so it
+/// still builds when every external dependency is stubbed.
+pub fn render_json(report: &WorkspaceReport, root: &Path) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"files_scanned\": {},\n", report.files_scanned));
+    out.push_str(&format!("  \"errors\": {},\n", report.errors()));
+    out.push_str(&format!("  \"warnings\": {},\n", report.warnings()));
+    out.push_str("  \"diagnostics\": [\n");
+    for (i, d) in report.diagnostics.iter().enumerate() {
+        let rel = d.file.strip_prefix(root).unwrap_or(&d.file);
+        out.push_str(&format!(
+            "    {{\"file\": {}, \"line\": {}, \"col\": {}, \"rule\": {}, \"severity\": {}, \"message\": {}}}{}\n",
+            json_str(&rel.display().to_string()),
+            d.line,
+            d.col,
+            json_str(d.rule),
+            json_str(&d.severity.to_string()),
+            json_str(&d.message),
+            if i + 1 == report.diagnostics.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ],\n  \"suppressed\": {");
+    for (i, (rule, n)) in report.suppressed.iter().enumerate() {
+        out.push_str(&format!(
+            "{}{}: {}",
+            if i == 0 { "" } else { ", " },
+            json_str(rule),
+            n
+        ));
+    }
+    out.push_str("}\n}\n");
+    out
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_paths_classified() {
+        assert!(is_test_path("tests/lib.rs"));
+        assert!(is_test_path("tests/tests/model_fidelity.rs"));
+        assert!(is_test_path("crates/core/tests/journal_resume.rs"));
+        assert!(!is_test_path("crates/core/src/journal.rs"));
+        assert!(!is_test_path("examples/quickstart.rs"));
+    }
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_str("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+    }
+}

@@ -1,0 +1,170 @@
+//! CLI for the workspace determinism & failure-semantics linter.
+//!
+//! ```text
+//! hm-lint --workspace --deny warnings          # the CI gate
+//! hm-lint crates/core/src/journal.rs           # specific files
+//! hm-lint --workspace --json                   # machine-readable report
+//! hm-lint --list-rules
+//! ```
+//!
+//! Exit codes: 0 clean, 1 violations at error severity, 2 usage/IO error.
+
+use hm_lint::engine::Severity;
+use hm_lint::rules::default_rules;
+use hm_lint::{
+    allow_rule, deny_warnings, render_human, render_json, scan_workspace, WorkspaceReport,
+};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+struct Options {
+    root: PathBuf,
+    paths: Vec<PathBuf>,
+    json: bool,
+    deny_warnings: bool,
+    allows: Vec<String>,
+    list_rules: bool,
+}
+
+fn usage() -> &'static str {
+    "usage: hm-lint [--workspace] [--root DIR] [--json] [--deny warnings] \
+     [--allow RULE]... [--list-rules] [FILE...]\n\
+     With no FILEs (or with --workspace) lints every .rs under the workspace root."
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        root: workspace_root(),
+        paths: Vec::new(),
+        json: false,
+        deny_warnings: false,
+        allows: Vec::new(),
+        list_rules: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--workspace" => {} // the default; kept for explicit invocations
+            "--json" => opts.json = true,
+            "--deny" => match args.next().as_deref() {
+                Some("warnings") => opts.deny_warnings = true,
+                other => return Err(format!("--deny takes `warnings`, got {other:?}")),
+            },
+            "--deny-warnings" => opts.deny_warnings = true,
+            "--allow" => match args.next() {
+                Some(rule) => opts.allows.push(rule),
+                None => return Err("--allow needs a rule name".into()),
+            },
+            "--root" => match args.next() {
+                Some(dir) => opts.root = PathBuf::from(dir),
+                None => return Err("--root needs a directory".into()),
+            },
+            "--list-rules" => opts.list_rules = true,
+            "--help" | "-h" => return Err(String::new()),
+            other if other.starts_with('-') => return Err(format!("unknown flag {other}")),
+            file => opts.paths.push(PathBuf::from(file)),
+        }
+    }
+    Ok(opts)
+}
+
+/// Nearest ancestor of the current directory holding a `Cargo.toml` with a
+/// `[workspace]` table; falls back to the current directory.
+fn workspace_root() -> PathBuf {
+    let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    let mut dir: &Path = &cwd;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return dir.to_path_buf();
+            }
+        }
+        match dir.parent() {
+            Some(p) => dir = p,
+            None => return cwd,
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(msg) => {
+            if msg.is_empty() {
+                println!("{}", usage());
+                return ExitCode::SUCCESS;
+            }
+            eprintln!("hm-lint: {msg}\n{}", usage());
+            return ExitCode::from(2);
+        }
+    };
+    let rules = default_rules();
+    if opts.list_rules {
+        for r in &rules {
+            println!(
+                "{:<28} {:<8} {}",
+                r.name(),
+                r.severity().to_string(),
+                r.description()
+            );
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let mut report = if opts.paths.is_empty() {
+        match scan_workspace(&opts.root, &rules) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("hm-lint: scanning {}: {e}", opts.root.display());
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        let mut report = WorkspaceReport::default();
+        for path in &opts.paths {
+            let rel: String = path
+                .strip_prefix(&opts.root)
+                .unwrap_or(path)
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy())
+                .collect::<Vec<_>>()
+                .join("/");
+            let src = match std::fs::read_to_string(path) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("hm-lint: reading {}: {e}", path.display());
+                    return ExitCode::from(2);
+                }
+            };
+            let fr =
+                hm_lint::engine::check_file(path, &rel, &src, &rules, hm_lint::is_test_path(&rel));
+            report.diagnostics.extend(fr.diagnostics);
+            for (rule, _line) in fr.suppressed {
+                *report.suppressed.entry(rule).or_insert(0) += 1;
+            }
+            report.files_scanned += 1;
+        }
+        report
+    };
+
+    for rule in &opts.allows {
+        allow_rule(&mut report, rule);
+    }
+    if opts.deny_warnings {
+        deny_warnings(&mut report);
+    }
+
+    if opts.json {
+        print!("{}", render_json(&report, &opts.root));
+    } else {
+        print!("{}", render_human(&report, &opts.root));
+    }
+    let failing =
+        report.diagnostics.iter().filter(|d| d.severity == Severity::Deny).count();
+    if failing > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,552 @@
+//! The rule registry: each rule is a trait object over the token stream.
+//!
+//! Rules encode this workspace's determinism and failure-semantics
+//! invariants (DESIGN §11). They scan the significant (non-comment) token
+//! stream of one file at a time; the engine handles test-region exclusion
+//! plumbing, inline suppression, and severity policy.
+
+use crate::engine::{Diagnostic, FileCtx, Severity};
+use crate::lexer::{TokKind, Token};
+
+/// One lint rule. Implementations push raw diagnostics; the engine applies
+/// suppressions afterwards.
+pub trait Rule {
+    /// Stable kebab-case name, used in `lint: allow(<name>)` markers.
+    fn name(&self) -> &'static str;
+    /// One-line invariant statement for `--list-rules`.
+    fn description(&self) -> &'static str;
+    /// Default severity (promoted by `--deny warnings`).
+    fn severity(&self) -> Severity;
+    fn check(&self, ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>);
+}
+
+/// The full rule set, in reporting order.
+pub fn default_rules() -> Vec<Box<dyn Rule>> {
+    vec![
+        Box::new(NoUnauditedPanic),
+        Box::new(NanUnsafeCmp),
+        Box::new(WallClockOutsideTiming),
+        Box::new(NondeterministicIteration),
+        Box::new(FloatEnv),
+    ]
+}
+
+fn diag(rule: &'static str, sev: Severity, ctx: &FileCtx<'_>, t: &Token, msg: String) -> Diagnostic {
+    Diagnostic {
+        rule,
+        severity: sev,
+        file: ctx.path.to_path_buf(),
+        line: t.line,
+        col: t.col,
+        message: msg,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// no-unaudited-panic
+// ---------------------------------------------------------------------------
+
+/// The optimizer survives evaluator crashes by design (DESIGN §8): failures
+/// are routed through the [`EvalError`] taxonomy, not panics. A stray
+/// `.unwrap()` in non-test code reintroduces exactly the crash class the
+/// resilience layer exists to contain. Panics must either be removed or
+/// carry a `lint: allow` with the reason they are unreachable.
+pub struct NoUnauditedPanic;
+
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+impl Rule for NoUnauditedPanic {
+    fn name(&self) -> &'static str {
+        "no-unaudited-panic"
+    }
+    fn description(&self) -> &'static str {
+        "non-test code must not unwrap/expect/panic without an audit reason (DESIGN \u{a7}8)"
+    }
+    fn severity(&self) -> Severity {
+        Severity::Deny
+    }
+    fn check(&self, ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
+        if ctx.file_is_test {
+            return;
+        }
+        let src = ctx.src;
+        for i in 0..ctx.sig.len() {
+            let t = &ctx.tokens[ctx.sig[i]];
+            if ctx.in_test_code(t.start) {
+                continue;
+            }
+            // `.unwrap()` — exactly, so `.unwrap_or_else(…)` (the poisoned-
+            // lock recovery idiom) never matches.
+            if t.is_punct(src, '.') {
+                let (m, paren) = (ctx.sig_tok(i + 1), ctx.sig_tok(i + 2));
+                if let (Some(m), Some(p)) = (m, paren) {
+                    if p.is_punct(src, '(') {
+                        if m.is_ident(src, "unwrap")
+                            && ctx.sig_tok(i + 3).is_some_and(|c| c.is_punct(src, ')'))
+                        {
+                            out.push(diag(self.name(), self.severity(), ctx, m,
+                                "`.unwrap()` in non-test code; return an error, recover, or add `// lint: allow(no-unaudited-panic): <reason>`".into()));
+                        } else if m.is_ident(src, "expect") {
+                            out.push(diag(self.name(), self.severity(), ctx, m,
+                                "`.expect(…)` in non-test code; return an error, recover, or add `// lint: allow(no-unaudited-panic): <reason>`".into()));
+                        }
+                    }
+                }
+            }
+            // panic!/unreachable!/todo!/unimplemented!
+            if t.kind == TokKind::Ident
+                && PANIC_MACROS.contains(&t.text(src))
+                && ctx.sig_tok(i + 1).is_some_and(|n| n.is_punct(src, '!'))
+            {
+                out.push(diag(self.name(), self.severity(), ctx, t,
+                    format!("`{}!` in non-test code; route the failure through the error taxonomy or add `// lint: allow(no-unaudited-panic): <reason>`", t.text(src))));
+            }
+            // Indexing-free zones: `expr[…]` panics on out-of-bounds, so a
+            // `lint: zone(no-indexing)` file bans it in favour of `.get()`.
+            if t.is_punct(src, '[')
+                && ctx.in_zone("no-indexing", t.line)
+                && i > 0
+                && ctx.sig_tok(i - 1).is_some_and(|p| {
+                    p.kind == TokKind::Ident || p.is_punct(src, ')') || p.is_punct(src, ']')
+                })
+            {
+                out.push(diag(self.name(), self.severity(), ctx, t,
+                    "indexing in a `no-indexing` zone; use `.get()` and handle the miss".into()));
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// nan-unsafe-cmp
+// ---------------------------------------------------------------------------
+
+/// `partial_cmp(..).unwrap()` comparators panic the moment a NaN reaches a
+/// sort, and `unwrap_or(Equal)` variants silently give NaN an unspecified
+/// position — both break reproducible ordering. Float comparators must be
+/// total (`total_cmp` or a named total comparator such as
+/// `randforest::feature_cmp`). Applies to test code too: a NaN-panicking
+/// test comparator turns a diagnostic failure into a crash.
+pub struct NanUnsafeCmp;
+
+const SORTERS: &[&str] =
+    &["sort_by", "sort_unstable_by", "min_by", "max_by", "binary_search_by"];
+
+impl Rule for NanUnsafeCmp {
+    fn name(&self) -> &'static str {
+        "nan-unsafe-cmp"
+    }
+    fn description(&self) -> &'static str {
+        "float comparators in sorts must be total: total_cmp, never partial_cmp (DESIGN \u{a7}8)"
+    }
+    fn severity(&self) -> Severity {
+        Severity::Deny
+    }
+    fn check(&self, ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
+        let src = ctx.src;
+        for i in 0..ctx.sig.len() {
+            let t = &ctx.tokens[ctx.sig[i]];
+            if t.kind != TokKind::Ident || !SORTERS.contains(&t.text(src)) {
+                continue;
+            }
+            let Some(open) = ctx.sig_tok(i + 1).filter(|p| p.is_punct(src, '(')).map(|_| i + 1)
+            else {
+                continue;
+            };
+            let close = ctx.matching_close(open, '(', ')').unwrap_or(ctx.sig.len() - 1);
+            for j in open..=close {
+                let inner = &ctx.tokens[ctx.sig[j]];
+                if inner.is_ident(src, "partial_cmp") {
+                    out.push(diag(self.name(), self.severity(), ctx, inner,
+                        format!("`partial_cmp` inside `{}` — panics or loses ordering on NaN; use `total_cmp` (or a documented total comparator)", t.text(src))));
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// wall-clock-outside-timing
+// ---------------------------------------------------------------------------
+
+/// Reproducibility (bit-identical resume, parallel==sequential parity)
+/// requires that wall-clock never influences exploration outside the
+/// designated timing paths: `slambench::measure` (the Timing-mode
+/// measurement harness). Every other `Instant::now`/`SystemTime` use must
+/// justify itself with a `lint: allow` stating why its reading can never
+/// feed back into objectives, RNG, or journal records.
+pub struct WallClockOutsideTiming;
+
+/// Workspace-relative files where wall-clock acquisition is the point.
+const TIMING_MODULES: &[&str] = &["crates/slambench/src/measure.rs"];
+
+impl Rule for WallClockOutsideTiming {
+    fn name(&self) -> &'static str {
+        "wall-clock-outside-timing"
+    }
+    fn description(&self) -> &'static str {
+        "Instant::now/SystemTime only in designated timing modules (DESIGN \u{a7}9)"
+    }
+    fn severity(&self) -> Severity {
+        Severity::Warn
+    }
+    fn check(&self, ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
+        if ctx.file_is_test || TIMING_MODULES.iter().any(|m| ctx.rel == *m) {
+            return;
+        }
+        let src = ctx.src;
+        for i in 0..ctx.sig.len() {
+            let t = &ctx.tokens[ctx.sig[i]];
+            if ctx.in_test_code(t.start) {
+                continue;
+            }
+            if t.is_ident(src, "Instant")
+                && ctx.sig_tok(i + 1).is_some_and(|c| c.is_punct(src, ':'))
+                && ctx.sig_tok(i + 2).is_some_and(|c| c.is_punct(src, ':'))
+                && ctx.sig_tok(i + 3).is_some_and(|n| n.is_ident(src, "now"))
+            {
+                out.push(diag(self.name(), self.severity(), ctx, t,
+                    "`Instant::now` outside the timing modules; wall-clock must not reach objectives, RNG, or the journal (`lint: allow(wall-clock-outside-timing): <why it cannot>` if it provably does not)".into()));
+            }
+            if t.is_ident(src, "SystemTime") {
+                out.push(diag(self.name(), self.severity(), ctx, t,
+                    "`SystemTime` outside the timing modules; wall-clock must not reach objectives, RNG, or the journal".into()));
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// nondeterministic-iteration
+// ---------------------------------------------------------------------------
+
+/// `HashMap`/`HashSet` iteration order is randomized per process, so any
+/// iteration in the deterministic crates (`core`, `forest`) can leak
+/// nondeterminism into RNG draw order, journal records, or forest
+/// construction. Keyed lookup (`get`/`contains`/`insert`/`entry`) stays
+/// legal. Detection is a two-pass heuristic: first bind identifiers whose
+/// declaration mentions a hash container, then flag order-sensitive
+/// operations on those identifiers.
+pub struct NondeterministicIteration;
+
+/// Crates whose results must be bit-reproducible.
+const DETERMINISTIC_SCOPES: &[&str] = &["crates/core/src/", "crates/forest/src/"];
+const ORDER_SENSITIVE: &[&str] =
+    &["iter", "iter_mut", "keys", "values", "values_mut", "into_iter", "drain", "retain"];
+/// Type-path tokens allowed between `name:` and the hash type. `Vec` is
+/// deliberately absent: iterating a `Vec<HashMap<…>>` is order-stable.
+const TYPE_NOISE: &[&str] =
+    &["&", "mut", "<", "std", "collections", "sync", "Mutex", "RwLock", "Arc", "Option"];
+
+impl Rule for NondeterministicIteration {
+    fn name(&self) -> &'static str {
+        "nondeterministic-iteration"
+    }
+    fn description(&self) -> &'static str {
+        "no HashMap/HashSet iteration in crates/core or crates/forest (DESIGN \u{a7}10)"
+    }
+    fn severity(&self) -> Severity {
+        Severity::Warn
+    }
+    fn check(&self, ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
+        if ctx.file_is_test || !DETERMINISTIC_SCOPES.iter().any(|s| ctx.rel.starts_with(s)) {
+            return;
+        }
+        let src = ctx.src;
+        // Pass A: identifiers bound to hash containers anywhere in the file
+        // (field declarations, fn params, and let-bindings).
+        let mut bound: Vec<&str> = Vec::new();
+        for i in 0..ctx.sig.len() {
+            let t = &ctx.tokens[ctx.sig[i]];
+            if !(t.is_ident(src, "HashMap") || t.is_ident(src, "HashSet")) {
+                continue;
+            }
+            // Walk back over type-path noise to a type ascription `name :`.
+            // A lone `:` is an ascription; `::` is a path separator (so
+            // `use std::collections::HashMap;` binds nothing).
+            let mut j = i;
+            let mut saw_ascription = false;
+            while j > 0 {
+                let p = &ctx.tokens[ctx.sig[j - 1]];
+                let txt = p.text(src);
+                if p.is_punct(src, ':') {
+                    if j >= 2 && ctx.tokens[ctx.sig[j - 2]].is_punct(src, ':') {
+                        j -= 2;
+                        continue;
+                    }
+                    saw_ascription = true;
+                    j -= 1;
+                    break;
+                }
+                if TYPE_NOISE.contains(&txt) {
+                    j -= 1;
+                    continue;
+                }
+                break;
+            }
+            if saw_ascription && j >= 1 {
+                let name = &ctx.tokens[ctx.sig[j - 1]];
+                if name.kind == TokKind::Ident {
+                    bound.push(name.text(src));
+                }
+            }
+            // `let [mut] name … = …HashMap::new()` — scan back to the
+            // nearest `let` in the current statement.
+            let mut k = i;
+            let mut steps = 0;
+            while k > 0 && steps < 16 {
+                let p = &ctx.tokens[ctx.sig[k - 1]];
+                if p.is_punct(src, ';') || p.is_punct(src, '{') || p.is_punct(src, '}') {
+                    break;
+                }
+                if p.is_ident(src, "let") {
+                    if let Some(mut n) = ctx.sig_tok(k) {
+                        if n.is_ident(src, "mut") {
+                            if let Some(n2) = ctx.sig_tok(k + 1) {
+                                n = n2;
+                            }
+                        }
+                        if n.kind == TokKind::Ident {
+                            bound.push(n.text(src));
+                        }
+                    }
+                    break;
+                }
+                k -= 1;
+                steps += 1;
+            }
+        }
+        if bound.is_empty() {
+            return;
+        }
+        bound.sort_unstable();
+        bound.dedup();
+
+        // Pass B: order-sensitive uses of bound identifiers.
+        for i in 0..ctx.sig.len() {
+            let t = &ctx.tokens[ctx.sig[i]];
+            if ctx.in_test_code(t.start) || t.kind != TokKind::Ident {
+                continue;
+            }
+            let name = t.text(src);
+            if !bound.contains(&name) {
+                continue;
+            }
+            // `name.iter()` and friends.
+            if ctx.sig_tok(i + 1).is_some_and(|d| d.is_punct(src, '.')) {
+                if let Some(m) = ctx.sig_tok(i + 2) {
+                    if m.kind == TokKind::Ident && ORDER_SENSITIVE.contains(&m.text(src)) {
+                        out.push(diag(self.name(), self.severity(), ctx, m,
+                            format!("`{name}.{}()` iterates a hash container in a deterministic crate; iteration order is per-process random — collect into a sorted/indexed structure instead", m.text(src))));
+                    }
+                }
+            }
+            // `for x in [&[mut]] name { … }`.
+            if i >= 1 {
+                let mut j = i - 1;
+                let mut saw_ref = false;
+                while j > 0 {
+                    let p = &ctx.tokens[ctx.sig[j]];
+                    if p.is_punct(src, '&') || p.is_ident(src, "mut") {
+                        saw_ref = true;
+                        j -= 1;
+                    } else {
+                        break;
+                    }
+                }
+                let _ = saw_ref;
+                if ctx.tokens[ctx.sig[j]].is_ident(src, "in")
+                    && ctx.sig_tok(i + 1).is_some_and(|n| n.is_punct(src, '{'))
+                {
+                    out.push(diag(self.name(), self.severity(), ctx, t,
+                        format!("`for … in {name}` iterates a hash container in a deterministic crate; iteration order is per-process random", )));
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// float-env
+// ---------------------------------------------------------------------------
+
+/// Journal records and result fingerprints must round-trip floats exactly —
+/// NaN payloads included — which means `to_bits`/`from_bits` hex, never
+/// decimal formatting or parsing (DESIGN §10). Applies inside
+/// `lint: zone(float-exact)` files: flags lossy format specs (`{:.N}`,
+/// `{:e}`) in format-like macros and `parse::<f64>`/`f64::from_str`.
+pub struct FloatEnv;
+
+const FORMAT_MACROS: &[&str] =
+    &["format", "write", "writeln", "print", "println", "eprint", "eprintln"];
+
+impl Rule for FloatEnv {
+    fn name(&self) -> &'static str {
+        "float-env"
+    }
+    fn description(&self) -> &'static str {
+        "bit-exact paths (journal/fingerprint) must route floats through to_bits hex (DESIGN \u{a7}10)"
+    }
+    fn severity(&self) -> Severity {
+        Severity::Warn
+    }
+    fn check(&self, ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
+        if ctx.file_is_test || ctx.zones.iter().all(|z| z.name != "float-exact") {
+            return;
+        }
+        let src = ctx.src;
+        for i in 0..ctx.sig.len() {
+            let t = &ctx.tokens[ctx.sig[i]];
+            if ctx.in_test_code(t.start) || !ctx.in_zone("float-exact", t.line) {
+                continue;
+            }
+            // Lossy specs in the format string of a format-like macro.
+            if t.kind == TokKind::Ident
+                && FORMAT_MACROS.contains(&t.text(src))
+                && ctx.sig_tok(i + 1).is_some_and(|b| b.is_punct(src, '!'))
+            {
+                if let Some(open) = ctx.sig_tok(i + 2).filter(|p| p.is_punct(src, '(')).map(|_| i + 2)
+                {
+                    let close = ctx.matching_close(open, '(', ')').unwrap_or(ctx.sig.len() - 1);
+                    if let Some(fmt) = (open..=close)
+                        .map(|j| &ctx.tokens[ctx.sig[j]])
+                        .find(|tk| tk.kind == TokKind::Str)
+                    {
+                        for spec in lossy_float_specs(fmt.text(src)) {
+                            out.push(diag(self.name(), self.severity(), ctx, fmt,
+                                format!("lossy float format `{{{spec}}}` in a float-exact zone; write bits instead: `{{:016x}}` of `.to_bits()`")));
+                        }
+                    }
+                }
+            }
+            // parse::<f64>() / f64::from_str — decimal decode loses NaN
+            // payloads and depends on the formatter that produced the text.
+            if t.is_ident(src, "parse")
+                && ctx.sig_tok(i + 3).is_some_and(|g| g.is_punct(src, '<'))
+                && ctx.sig_tok(i + 4)
+                    .is_some_and(|f| f.is_ident(src, "f64") || f.is_ident(src, "f32"))
+            {
+                out.push(diag(self.name(), self.severity(), ctx, t,
+                    "decimal float parse in a float-exact zone; decode via `f64::from_bits(u64::from_str_radix(…, 16))`".into()));
+            }
+            if (t.is_ident(src, "f64") || t.is_ident(src, "f32"))
+                && ctx.sig_tok(i + 1).is_some_and(|c| c.is_punct(src, ':'))
+                && ctx.sig_tok(i + 2).is_some_and(|c| c.is_punct(src, ':'))
+                && ctx.sig_tok(i + 3).is_some_and(|n| n.is_ident(src, "from_str"))
+            {
+                out.push(diag(self.name(), self.severity(), ctx, t,
+                    "decimal float parse in a float-exact zone; decode via `from_bits`".into()));
+            }
+        }
+    }
+}
+
+/// Extract format specs (text between `{` and `}`, `{{` escapes skipped)
+/// that format floats lossily: a precision (`.`) or scientific (`e`/`E`)
+/// spec. Returns the offending spec bodies.
+fn lossy_float_specs(fmt_literal: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let b = fmt_literal.as_bytes();
+    let mut i = 0usize;
+    while i < b.len() {
+        if b[i] == b'{' {
+            if b.get(i + 1) == Some(&b'{') {
+                i += 2;
+                continue;
+            }
+            let Some(end) = fmt_literal[i + 1..].find('}').map(|e| i + 1 + e) else {
+                break;
+            };
+            let spec = &fmt_literal[i + 1..end];
+            if let Some((_, flags)) = spec.split_once(':') {
+                let lossy_precision = flags.contains('.');
+                let lossy_sci = matches!(flags.as_bytes().last(), Some(b'e' | b'E'));
+                if lossy_precision || lossy_sci {
+                    out.push(spec.to_string());
+                }
+            }
+            i = end + 1;
+        } else {
+            i += 1;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::check_file;
+    use std::path::Path;
+
+    fn diags(rel: &str, src: &str) -> Vec<Diagnostic> {
+        check_file(Path::new(rel), rel, src, &default_rules(), false).diagnostics
+    }
+
+    #[test]
+    fn nan_unsafe_cmp_fires_only_inside_sorters() {
+        let src = "fn f(v: &mut Vec<f64>) {\n  v.sort_by(|a, b| a.partial_cmp(b).unwrap());\n  let _ = 1.0f64.partial_cmp(&2.0);\n}\n";
+        let d = diags("crates/x/src/a.rs", src);
+        assert_eq!(d.iter().filter(|d| d.rule == "nan-unsafe-cmp").count(), 1);
+    }
+
+    #[test]
+    fn total_cmp_is_clean() {
+        let src = "fn f(v: &mut Vec<f64>) { v.sort_by(|a, b| a.total_cmp(b)); }\n";
+        assert!(diags("crates/x/src/a.rs", src).iter().all(|d| d.rule != "nan-unsafe-cmp"));
+    }
+
+    #[test]
+    fn wall_clock_allowed_in_measure_module() {
+        let src = "fn f() { let t = Instant::now(); }\n";
+        assert!(diags("crates/slambench/src/measure.rs", src).is_empty());
+        assert!(!diags("crates/core/src/optimizer.rs", src).is_empty());
+    }
+
+    #[test]
+    fn hash_iteration_flagged_in_core_only() {
+        let src = "use std::collections::HashMap;\nstruct S { m: HashMap<u32, u32> }\nimpl S {\n  fn f(&self) -> Vec<u32> { self.m.keys().copied().collect() }\n}\n";
+        assert!(diags("crates/core/src/x.rs", src)
+            .iter()
+            .any(|d| d.rule == "nondeterministic-iteration"));
+        assert!(diags("crates/slambench/src/x.rs", src)
+            .iter()
+            .all(|d| d.rule != "nondeterministic-iteration"));
+    }
+
+    #[test]
+    fn keyed_lookup_stays_legal() {
+        let src = "use std::collections::HashSet;\nfn f(s: &HashSet<u64>) -> bool { s.contains(&3) && s.len() > 0 }\n";
+        assert!(diags("crates/core/src/x.rs", src)
+            .iter()
+            .all(|d| d.rule != "nondeterministic-iteration"));
+    }
+
+    #[test]
+    fn float_env_needs_zone() {
+        let with_zone = "// lint: zone(float-exact): journal records are bit-exact\nfn f(v: f64) -> String { format!(\"{v:.6}\") }\n";
+        let without = "fn f(v: f64) -> String { format!(\"{v:.6}\") }\n";
+        assert!(diags("crates/core/src/journal.rs", with_zone)
+            .iter()
+            .any(|d| d.rule == "float-env"));
+        assert!(diags("crates/core/src/journal.rs", without)
+            .iter()
+            .all(|d| d.rule != "float-env"));
+    }
+
+    #[test]
+    fn float_env_accepts_bit_hex() {
+        let src = "// lint: zone(float-exact): bit-exact\nfn f(v: f64) -> String { format!(\"{:016x}\", v.to_bits()) }\n";
+        assert!(diags("crates/core/src/journal.rs", src).iter().all(|d| d.rule != "float-env"));
+    }
+
+    #[test]
+    fn indexing_zone_tightens_panic_rule() {
+        let src = "// lint: zone(no-indexing): hot loop must be panic-free\nfn f(v: &[u32], i: usize) -> u32 { v[i] }\n";
+        assert!(diags("crates/x/src/a.rs", src)
+            .iter()
+            .any(|d| d.rule == "no-unaudited-panic" && d.message.contains("indexing")));
+        let attr = "// lint: zone(no-indexing): hot loop\n#[derive(Clone)]\nstruct S;\n";
+        assert!(diags("crates/x/src/a.rs", attr).is_empty(), "attribute brackets are not indexing");
+    }
+}

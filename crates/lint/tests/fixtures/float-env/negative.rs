@@ -1,0 +1,10 @@
+//! Fixture: the bit-exact hex round-trip is the sanctioned idiom.
+// lint: zone(float-exact): fixture — bit-exact encode/decode
+
+fn encode(v: f64) -> String {
+    format!("{:016x}", v.to_bits())
+}
+
+fn decode(s: &str) -> Option<f64> {
+    u64::from_str_radix(s, 16).ok().map(f64::from_bits)
+}

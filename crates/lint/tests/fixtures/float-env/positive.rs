@@ -1,0 +1,11 @@
+//! Fixture: lossy float formatting and decimal parsing fire inside a
+//! float-exact zone.
+// lint: zone(float-exact): fixture — this whole file is a bit-exact path
+
+fn encode(v: f64) -> String {
+    format!("{v:.17}")
+}
+
+fn decode(s: &str) -> Option<f64> {
+    s.parse::<f64>().ok()
+}

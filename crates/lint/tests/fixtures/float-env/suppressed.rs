@@ -1,0 +1,7 @@
+//! Fixture: a human-facing log line inside the zone may be suppressed.
+// lint: zone(float-exact): fixture — journal-adjacent path
+
+fn human_summary(v: f64) -> String {
+    // lint: allow(float-env): fixture — human-readable log line, never re-parsed
+    format!("{v:.3}")
+}

@@ -1,0 +1,12 @@
+//! Fixture: total comparators are clean, and `partial_cmp` outside a
+//! sorter is a legal three-way query.
+
+use std::cmp::Ordering;
+
+fn sorts(v: &mut [f64]) {
+    v.sort_by(|a, b| a.total_cmp(b));
+}
+
+fn query(a: f64, b: f64) -> bool {
+    a.partial_cmp(&b) == Some(Ordering::Less)
+}

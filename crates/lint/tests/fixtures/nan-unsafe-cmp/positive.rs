@@ -1,0 +1,8 @@
+//! Fixture: `partial_cmp` inside sorters fires, whatever the unwrap flavour.
+
+use std::cmp::Ordering;
+
+fn sorts(v: &mut [f64]) -> Option<f64> {
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap_or(Ordering::Equal));
+    v.iter().copied().min_by(|a, b| a.partial_cmp(b).unwrap_or(Ordering::Equal))
+}

@@ -1,0 +1,30 @@
+//! Fixture: nothing here fires. The first three items are grep-killers —
+//! the old awk/grep gate flagged every one of them.
+
+/* outer /* nested block comment saying .unwrap() */ still a comment */
+// line comment mentioning panic!("no")
+
+use std::sync::Mutex;
+
+fn messages() -> (&'static str, &'static str) {
+    // `.unwrap()` inside string literals, including a raw string with hashes.
+    ("call .unwrap() then panic!", r#"raw ".unwrap()" text"#)
+}
+
+fn poisoned(m: &Mutex<u32>) -> u32 {
+    // The poisoned-lock recovery idiom is not `.unwrap()`.
+    *m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn char_not_lifetime<'a>(s: &'a str) -> (char, &'a str) {
+    ('x', s)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_fine_in_tests() {
+        let v: Option<u32> = Some(1);
+        assert_eq!(v.unwrap(), 1);
+    }
+}

@@ -1,0 +1,13 @@
+//! Fixture: every unaudited panic class fires.
+
+fn main() {
+    let v: Option<u32> = None;
+    let _ = v.unwrap();
+    let r: Result<u32, String> = Err("x".into());
+    let _ = r.expect("boom");
+    panic!("fixture");
+}
+
+fn unfinished() {
+    todo!()
+}

@@ -1,0 +1,10 @@
+//! Fixture: `lint: allow` markers absorb the hits (line-above and same-line).
+
+fn guarded(v: Option<u32>) -> u32 {
+    // lint: allow(no-unaudited-panic): fixture — value is always Some here
+    v.unwrap()
+}
+
+fn same_line(r: Result<u32, u8>) -> u32 {
+    r.expect("checked") // lint: allow(no-unaudited-panic): fixture — same-line marker
+}

@@ -1,0 +1,20 @@
+//! Fixture: keyed lookup on hash containers stays legal in deterministic
+//! crates — only iteration order is the hazard.
+
+use std::collections::{HashMap, HashSet};
+
+struct Cache {
+    seen: HashSet<u64>,
+    vals: HashMap<u64, f64>,
+}
+
+impl Cache {
+    fn lookup(&mut self, k: u64) -> Option<f64> {
+        if self.seen.contains(&k) {
+            self.vals.get(&k).copied()
+        } else {
+            self.seen.insert(k);
+            None
+        }
+    }
+}

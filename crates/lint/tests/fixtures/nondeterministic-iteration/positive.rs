@@ -1,0 +1,14 @@
+//! Fixture: hash-container iteration in a deterministic crate fires
+//! (the harness lints this as `crates/core/src/…`).
+
+use std::collections::HashMap;
+
+struct Index {
+    by_name: HashMap<String, u32>,
+}
+
+impl Index {
+    fn all(&self) -> Vec<u32> {
+        self.by_name.values().copied().collect()
+    }
+}

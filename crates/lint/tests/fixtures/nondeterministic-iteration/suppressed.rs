@@ -1,0 +1,9 @@
+//! Fixture: an order-independent fold over a hash container may be
+//! suppressed with a reason.
+
+use std::collections::HashMap;
+
+fn count(m: &HashMap<u32, u32>) -> usize {
+    // lint: allow(nondeterministic-iteration): fixture — count is order-independent
+    m.keys().count()
+}

@@ -1,0 +1,11 @@
+//! Fixture: wall-clock reads outside the timing modules fire.
+
+fn elapsed() -> std::time::Duration {
+    let t = std::time::Instant::now();
+    t.elapsed()
+}
+
+fn epoch() -> u64 {
+    let _now = std::time::SystemTime::now();
+    0
+}

@@ -1,0 +1,7 @@
+//! Fixture: a justified suppression absorbs the hit.
+
+fn log_duration() -> u64 {
+    // lint: allow(wall-clock-outside-timing): fixture — duration is logged only, never fed back
+    let t = std::time::Instant::now();
+    t.elapsed().as_millis() as u64
+}

@@ -1,0 +1,180 @@
+//! Per-rule fixture harness: every rule fires on its positive fixture,
+//! stays silent on its negative fixture (the grep-killers live there —
+//! `.unwrap()` inside string literals, raw strings, nested block comments),
+//! and is absorbed by `lint: allow` markers in its suppressed fixture.
+//!
+//! Fixture files live under `tests/fixtures/<rule>/`; that directory is in
+//! the engine's skip list, so the deliberately violation-laden positives
+//! never trip the workspace self-lint.
+
+use hm_lint::engine::check_file;
+use hm_lint::rules::default_rules;
+use std::path::{Path, PathBuf};
+
+struct Case {
+    rule: &'static str,
+    fixture: &'static str,
+    /// Workspace-relative path the fixture pretends to live at — several
+    /// rules are path-scoped.
+    rel: &'static str,
+    expect_diags: usize,
+    expect_suppressed: usize,
+}
+
+const CASES: &[Case] = &[
+    Case {
+        rule: "no-unaudited-panic",
+        fixture: "positive.rs",
+        rel: "crates/core/src/fixture.rs",
+        expect_diags: 4, // unwrap, expect, panic!, todo!
+        expect_suppressed: 0,
+    },
+    Case {
+        rule: "no-unaudited-panic",
+        fixture: "negative.rs",
+        rel: "crates/core/src/fixture.rs",
+        expect_diags: 0,
+        expect_suppressed: 0,
+    },
+    Case {
+        rule: "no-unaudited-panic",
+        fixture: "suppressed.rs",
+        rel: "crates/core/src/fixture.rs",
+        expect_diags: 0,
+        expect_suppressed: 2, // line-above and same-line markers
+    },
+    Case {
+        rule: "nan-unsafe-cmp",
+        fixture: "positive.rs",
+        rel: "crates/kfusion/src/fixture.rs",
+        expect_diags: 2, // sort_by and min_by
+        expect_suppressed: 0,
+    },
+    Case {
+        rule: "nan-unsafe-cmp",
+        fixture: "negative.rs",
+        rel: "crates/kfusion/src/fixture.rs",
+        expect_diags: 0,
+        expect_suppressed: 0,
+    },
+    Case {
+        rule: "nan-unsafe-cmp",
+        fixture: "suppressed.rs",
+        rel: "crates/kfusion/src/fixture.rs",
+        expect_diags: 0,
+        expect_suppressed: 1,
+    },
+    Case {
+        rule: "wall-clock-outside-timing",
+        fixture: "positive.rs",
+        rel: "crates/core/src/fixture.rs",
+        expect_diags: 2, // Instant::now and SystemTime
+        expect_suppressed: 0,
+    },
+    Case {
+        rule: "wall-clock-outside-timing",
+        fixture: "negative.rs",
+        // The designated timing module: wall-clock is the point there.
+        rel: "crates/slambench/src/measure.rs",
+        expect_diags: 0,
+        expect_suppressed: 0,
+    },
+    Case {
+        rule: "wall-clock-outside-timing",
+        fixture: "suppressed.rs",
+        rel: "crates/core/src/fixture.rs",
+        expect_diags: 0,
+        expect_suppressed: 1,
+    },
+    Case {
+        rule: "nondeterministic-iteration",
+        fixture: "positive.rs",
+        rel: "crates/core/src/fixture.rs",
+        expect_diags: 1, // by_name.values()
+        expect_suppressed: 0,
+    },
+    Case {
+        rule: "nondeterministic-iteration",
+        fixture: "negative.rs",
+        rel: "crates/forest/src/fixture.rs",
+        expect_diags: 0,
+        expect_suppressed: 0,
+    },
+    Case {
+        rule: "nondeterministic-iteration",
+        fixture: "suppressed.rs",
+        rel: "crates/core/src/fixture.rs",
+        expect_diags: 0,
+        expect_suppressed: 1,
+    },
+    Case {
+        rule: "float-env",
+        fixture: "positive.rs",
+        rel: "crates/core/src/fixture.rs",
+        expect_diags: 2, // lossy format spec and parse::<f64>
+        expect_suppressed: 0,
+    },
+    Case {
+        rule: "float-env",
+        fixture: "negative.rs",
+        rel: "crates/core/src/fixture.rs",
+        expect_diags: 0,
+        expect_suppressed: 0,
+    },
+    Case {
+        rule: "float-env",
+        fixture: "suppressed.rs",
+        rel: "crates/core/src/fixture.rs",
+        expect_diags: 0,
+        expect_suppressed: 1,
+    },
+];
+
+fn fixture_path(rule: &str, file: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures").join(rule).join(file)
+}
+
+#[test]
+fn every_rule_has_all_three_fixtures() {
+    for rule in ["no-unaudited-panic", "nan-unsafe-cmp", "wall-clock-outside-timing",
+                 "nondeterministic-iteration", "float-env"] {
+        for file in ["positive.rs", "negative.rs", "suppressed.rs"] {
+            assert!(
+                fixture_path(rule, file).is_file(),
+                "missing fixture {rule}/{file}"
+            );
+        }
+    }
+}
+
+#[test]
+fn fixtures_behave_as_labelled() {
+    let rules = default_rules();
+    for case in CASES {
+        let path = fixture_path(case.rule, case.fixture);
+        let src = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
+        let report = check_file(&path, case.rel, &src, &rules, false);
+        let diags = report.diagnostics.iter().filter(|d| d.rule == case.rule).count();
+        let suppressed =
+            report.suppressed.iter().filter(|(rule, _)| rule == case.rule).count();
+        assert_eq!(
+            diags, case.expect_diags,
+            "{}/{}: expected {} diagnostics for {}, got {} — {:?}",
+            case.rule, case.fixture, case.expect_diags, case.rule, diags, report.diagnostics
+        );
+        assert_eq!(
+            suppressed, case.expect_suppressed,
+            "{}/{}: expected {} suppressions, got {:?}",
+            case.rule, case.fixture, case.expect_suppressed, report.suppressed
+        );
+        // No fixture may produce a malformed-marker or stale-marker
+        // engine diagnostic.
+        assert!(
+            report.diagnostics.iter().all(|d| d.rule != "lint-marker"
+                && d.rule != "stale-audit-marker"),
+            "{}/{}: engine flagged a marker: {:?}",
+            case.rule, case.fixture, report.diagnostics
+        );
+    }
+}

@@ -1,0 +1,28 @@
+//! The workspace must lint clean at deny level — the same bar
+//! `scripts/ci.sh lint` enforces in CI, asserted here so `cargo test`
+//! alone catches a regression.
+
+use hm_lint::{deny_warnings, render_human, rules, scan_workspace};
+use std::path::Path;
+
+#[test]
+fn workspace_is_clean_at_deny_level() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let mut report =
+        scan_workspace(&root, &rules::default_rules()).expect("scan workspace");
+    deny_warnings(&mut report);
+    assert!(
+        report.diagnostics.is_empty(),
+        "workspace has lint violations at deny level:\n{}",
+        render_human(&report, &root)
+    );
+    // Sanity: the scan actually covered the workspace, not an empty dir.
+    assert!(
+        report.files_scanned > 50,
+        "scan unexpectedly small: {} files",
+        report.files_scanned
+    );
+    // Suppressions exist (the audited panic bridges); the exact count is
+    // ROADMAP burn-down data, not an invariant.
+    assert!(report.suppressed.contains_key("no-unaudited-panic"));
+}

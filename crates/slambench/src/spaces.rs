@@ -34,6 +34,7 @@ pub fn kfusion_space() -> ParamSpace {
         .ordinal("pyramid-l1", (0..=4).map(f64::from))
         .ordinal("pyramid-l2", (0..=3).map(f64::from))
         .build()
+        // lint: allow(no-unaudited-panic): static space literal, validated by this crate's tests
         .expect("static space definition is valid")
 }
 
@@ -57,6 +58,7 @@ pub fn elasticfusion_space() -> ParamSpace {
         .boolean("fast-odom")
         .boolean("frame-to-frame-rgb")
         .build()
+        // lint: allow(no-unaudited-panic): static space literal, validated by this crate's tests
         .expect("static space definition is valid")
 }
 

@@ -51,7 +51,7 @@ fn main() {
 
     // Slowest / fastest five devices by default frame time.
     let mut order: Vec<usize> = (0..devices.len()).collect();
-    order.sort_by(|&a, &b| speedups[b].partial_cmp(&speedups[a]).unwrap());
+    order.sort_by(|&a, &b| speedups[b].total_cmp(&speedups[a]));
     println!("\nlargest speedups:");
     for &i in order.iter().take(5) {
         println!("  {:>5.1}x  {}", speedups[i], devices[i].name);

@@ -13,7 +13,7 @@ use icl_nuim_synth::{NoiseModel, SequenceConfig, TrajectoryKind};
 use randforest::ForestConfig;
 use slambench::NativeKFusionEvaluator;
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A focused sub-space: only the parameters that matter most for the
     // real pipeline at this scale, so the run stays quick.
     let space = ParamSpace::builder()
@@ -26,8 +26,7 @@ fn main() {
         .ordinal("pyramid-l0", [2.0, 4.0, 6.0])
         .ordinal("pyramid-l1", [2.0, 3.0])
         .ordinal("pyramid-l2", [1.0, 2.0])
-        .build()
-        .expect("valid space");
+        .build()?;
     println!("native-evaluation space: {} configurations", space.size());
 
     // A tiny sequence keeps each native run ~100 ms.
@@ -85,4 +84,5 @@ fn main() {
             it.iteration, it.new_evaluations, it.predicted_front_size
         );
     }
+    Ok(())
 }

@@ -60,7 +60,7 @@ fn main() {
         .samples
         .iter()
         .filter(|s| s.objectives[1] < ACCURACY_LIMIT_M)
-        .min_by(|a, b| a.objectives[0].partial_cmp(&b.objectives[0]).unwrap())
+        .min_by(|a, b| a.objectives[0].total_cmp(&b.objectives[0]))
     {
         println!(
             "\ndeploy: {:.1} FPS at ATE {:.4} m ({:.2}x speedup over default)",

@@ -29,13 +29,12 @@ impl Evaluator for ImageFilterApp {
     }
 }
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let space = ParamSpace::builder()
         .ordinal("kernel-radius", (1..=8).map(f64::from))
         .ordinal("passes", (0..=6).map(f64::from))
         .boolean("lossy-path")
-        .build()
-        .expect("valid space");
+        .build()?;
     println!("space size: {} configurations", space.size());
 
     let optimizer = HyperMapper::new(
@@ -59,8 +58,9 @@ fn main() {
             space.describe(&s.config)
         );
     }
-    let fastest = result.best_by_objective(0).unwrap();
+    let fastest = result.best_by_objective(0).ok_or("no samples")?;
     println!("\nfastest: {}", space.describe(&fastest.config));
-    let most_accurate = result.best_by_objective(1).unwrap();
+    let most_accurate = result.best_by_objective(1).ok_or("no samples")?;
     println!("most accurate: {}", space.describe(&most_accurate.config));
+    Ok(())
 }

@@ -46,7 +46,12 @@ export CARGO_NET_OFFLINE=true
 
 case "$CMD" in
     check)
-        exec cargo check --manifest-path "$SCRATCH/Cargo.toml" --workspace --all-targets --offline "$@"
+        cargo check --manifest-path "$SCRATCH/Cargo.toml" --workspace --all-targets --offline "$@"
+        # The linter is std-only, so it must build and run against the
+        # stubs too — then hold the scratch copy of the workspace to the
+        # same bar CI does.
+        cargo build --manifest-path "$SCRATCH/Cargo.toml" -p hm-lint --offline
+        "$SCRATCH/target/debug/hm-lint" --root "$SCRATCH" --deny warnings
         ;;
     *)
         exec cargo "$CMD" --manifest-path "$SCRATCH/Cargo.toml" --offline "$@"

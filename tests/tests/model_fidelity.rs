@@ -158,7 +158,7 @@ fn crowd_speedups_match_paper_band() {
         .iter()
         .map(|d| kf_frame_time(&default, d) / kf_frame_time(&tuned, d))
         .collect();
-    speedups.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    speedups.sort_by(|a, b| a.total_cmp(b));
     assert!(speedups[0] > 1.5, "min {}", speedups[0]);
     assert!(*speedups.last().unwrap() > 6.0, "max {}", speedups.last().unwrap());
     assert!(*speedups.last().unwrap() < 25.0);
