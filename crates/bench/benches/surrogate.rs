@@ -12,7 +12,10 @@ use hypermapper::{
 };
 use icl_nuim_synth::{NoiseModel, SequenceConfig, SyntheticSequence, TrajectoryKind};
 use kfusion::KFusionConfig;
-use randforest::{CompiledForest, Dataset, ForestConfig, RandomForest, SplitMethod, TreeConfig};
+use randforest::{
+    CompiledForest, Dataset, ForestConfig, PredictionCache, QuantizedForest, RandomForest,
+    SplitMethod, TreeConfig,
+};
 use slambench::run_kfusion;
 use std::time::Duration;
 
@@ -60,8 +63,35 @@ fn bench_pool_predict(c: &mut Criterion) {
     let fused = CompiledForest::compile_multi(&[&forest, &second]);
     let rows = pool_rows(50_000);
 
+    let quantized = QuantizedForest::from_compiled(&compiled)
+        .expect("bench training data has far fewer than 65 535 cuts per feature");
+    // Node-pool footprints are deterministic properties of the fitted
+    // forest, not timings; emit them in the OFFLINE_BENCH key/value format
+    // that scripts/bench.sh already parses alongside the criterion medians.
+    println!("OFFLINE_BENCH compiled_pool_bytes {} bytes", compiled.pool_bytes());
+    println!("OFFLINE_BENCH quantized_pool_bytes {} bytes", quantized.pool_bytes());
+
     c.bench_function("predict_pointer_50000x100", |b| b.iter(|| forest.predict_batch(&rows)));
     c.bench_function("predict_compiled_50000x100", |b| b.iter(|| compiled.predict_batch(&rows)));
+    c.bench_function("predict_quantized_50000x100", |b| {
+        b.iter(|| quantized.predict_batch(&rows))
+    });
+    // The lossy cache in front of the quantized sweep, warm steady state:
+    // one key per pool row, far more slots than keys, so each pass recomputes
+    // only the direct-mapped collision losers (~4–5% of rows here).
+    c.bench_function("predict_quantized_cached_50000x100", |b| {
+        let keys: Vec<u64> = (0..50_000u64).collect();
+        let mut cache = PredictionCache::new(1, 1 << 20);
+        b.iter(|| {
+            cache.lookup_or_compute(&keys, |miss| {
+                let mut miss_rows = Vec::with_capacity(miss.len() * 9);
+                for &i in miss {
+                    miss_rows.extend_from_slice(&rows[i * 9..][..9]);
+                }
+                vec![quantized.predict_batch(&miss_rows)]
+            })
+        })
+    });
     // Both objectives of a HyperMapper iteration in one fused pass…
     c.bench_function("predict_fused_2obj_50000x100", |b| {
         b.iter(|| fused.predict_batch_multi(&rows))
@@ -136,6 +166,17 @@ fn bench_parallel_batch(c: &mut Criterion) {
     });
     c.bench_function("batch_compute_parallel_8cfg", |b| {
         b.iter(|| ParallelBatchEvaluator::with_workers(&compute, 8).evaluate_batch(&configs))
+    });
+    // The auto-sequential heuristic: with an honest per-evaluation cost hint
+    // (~33 µs of busywork) the scheduler computes that fanning out cannot
+    // repay its dispatch bill and runs the batch on the calling thread —
+    // same values, same order, sequential wall-clock.
+    c.bench_function("batch_compute_auto_8cfg", |b| {
+        b.iter(|| {
+            ParallelBatchEvaluator::with_workers(&compute, 8)
+                .with_cost_hint_ns(33_000)
+                .evaluate_batch(&configs)
+        })
     });
 }
 

@@ -64,9 +64,12 @@ pub fn prediction_pool<R: Rng>(
     if space.size() <= pool_size as u64 {
         space.iter_all().collect()
     } else {
+        // Unreachable by the size guard above; degrading to the full space
+        // keeps the pool well-defined without a panic path. `sample_distinct`
+        // rejects over-large requests before drawing, so the RNG stream is
+        // untouched on the error branch and replay stays aligned.
         sample_distinct(space, pool_size, &HashSet::new(), rng)
-            // lint: allow(no-unaudited-panic): guarded by the size check in the branch above
-            .expect("pool_size < space size by construction")
+            .unwrap_or_else(|_| space.iter_all().collect())
     }
 }
 

@@ -72,6 +72,10 @@ pub use optimizer::{
     OptimizerConfig, Phase, Sample, EVAL_CHUNK,
 };
 pub use resilient::{FailureLogEntry, ResilientEvaluator, RetryPolicy};
+// Surrogate prediction engine types, re-exported so optimizer-facing code
+// can reason about the quantized/fallback split and the lossy prediction
+// cache without depending on `randforest` directly.
+pub use randforest::{CompiledSurrogate, PredictionCache, QuantizeError, QuantizedForest};
 pub use scheduler::{default_workers, ParallelBatchEvaluator};
 pub use pareto::{dominates, hypervolume_2d, pareto_front, pareto_front_2d};
 pub use param::{Domain, ParamDef};

@@ -9,7 +9,7 @@ use crate::scheduler::ParallelBatchEvaluator;
 use crate::space::{Configuration, ParamSpace};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use randforest::{CompiledForest, Dataset, ForestConfig, RandomForest};
+use randforest::{CompiledSurrogate, Dataset, ForestConfig, PredictionCache, RandomForest};
 use serde::Serialize;
 use std::collections::HashSet;
 use std::fmt::Write as _;
@@ -130,6 +130,16 @@ pub struct OptimizerConfig {
     /// and ordering exactly, the exploration is bit-identical for any
     /// setting (given a deterministic evaluator) — only wall-clock changes.
     pub eval_workers: usize,
+    /// Slots in the lossy prediction cache in front of the surrogate's
+    /// pool sweep (rounded up to a power of two; `0` disables caching).
+    /// Entries are keyed by the configuration's flat index — the packed
+    /// vector of its quantized per-parameter choice codes — and the whole
+    /// cache is invalidated whenever the forests are refit, so cached
+    /// values can never go stale. Like `eval_workers`, this knob cannot
+    /// change any result: explorations are bit-identical for every
+    /// setting (see `crates/core/tests/surrogate_cache.rs`), only the
+    /// amount of re-prediction for repeatedly scored configurations moves.
+    pub pred_cache_slots: usize,
 }
 
 impl Default for OptimizerConfig {
@@ -143,6 +153,7 @@ impl Default for OptimizerConfig {
             seed: 0,
             failure_policy: FailurePolicy::Exclude,
             eval_workers: 0,
+            pred_cache_slots: 1 << 15,
         }
     }
 }
@@ -337,6 +348,12 @@ impl HyperMapper {
         let n_obj = evaluator.n_objectives();
         assert!(n_obj >= 1, "need at least one objective");
         let mut ctx = RunCtx { journal, stop };
+        // Lossy per-configuration prediction cache, shared by every
+        // iteration's pool sweep and invalidated on each refit (see
+        // `OptimizerConfig::pred_cache_slots`). Not part of the journal
+        // header: like `eval_workers` it cannot change any evaluated value.
+        let mut pred_cache = (self.config.pred_cache_slots > 0)
+            .then(|| PredictionCache::new(n_obj, self.config.pred_cache_slots));
 
         // ---- Journal handshake: verify or write the run header. ----
         let mut replay = Replay::default();
@@ -468,7 +485,7 @@ impl HyperMapper {
                     let fit = self.fit_forests(&st.samples, &st.failures, n_obj);
                     let pool = prediction_pool(&self.space, self.config.pool_size, &mut st.rng);
                     st.pools_drawn += 1;
-                    let predicted = self.predict_front(&fit, &pool, n_obj);
+                    let predicted = self.predict_front(&fit, &pool, n_obj, pred_cache.as_mut());
                     let predicted_front_size = predicted.len();
 
                     // P − X_out: keep only configurations not evaluated yet
@@ -798,23 +815,48 @@ impl HyperMapper {
 
     /// Predict all objectives over `pool` and return the configurations on
     /// the predicted Pareto front.
+    ///
+    /// The surrogate engine is the quantized u16 pool when every feature
+    /// fits its cut tables, the f64 compiled pool otherwise — bit-identical
+    /// either way (see [`CompiledSurrogate`]). With a cache, each pool
+    /// configuration is looked up by flat index first and only the misses
+    /// reach the forest; because per-row predictions are independent of
+    /// batch composition, predicting the miss subset alone reproduces the
+    /// full sweep exactly, so the cache is invisible in the results. The
+    /// forests handed in are always freshly fit, so the cache is
+    /// invalidated here — this *is* the invalidate-on-refit rule; hits can
+    /// only come from re-scoring a configuration against the same fit
+    /// (repeated keys within one sweep, or callers outside the
+    /// one-refit-per-iteration loop).
     fn predict_front(
         &self,
         forests: &[RandomForest],
         pool: &[Configuration],
         n_obj: usize,
+        cache: Option<&mut PredictionCache>,
     ) -> Vec<Configuration> {
-        // Flat feature buffer for batch prediction.
-        let mut rows = Vec::with_capacity(pool.len() * self.space.n_params());
-        for c in pool {
-            self.space.write_features(c, &mut rows);
-        }
-        // Fuse the per-objective forests into one compiled pool: the pool is
-        // traversed once, scoring each candidate row against every objective
-        // while the row is hot. Predictions are bit-identical to calling
-        // `predict_batch` per forest.
-        let compiled = CompiledForest::compile_multi(&forests.iter().collect::<Vec<_>>());
-        let preds: Vec<Vec<f64>> = compiled.predict_batch_multi(&rows);
+        let flatten = |configs: &[&Configuration]| -> Vec<f64> {
+            let mut rows = Vec::with_capacity(configs.len() * self.space.n_params());
+            for c in configs {
+                self.space.write_features(c, &mut rows);
+            }
+            rows
+        };
+        // Fuse the per-objective forests into one pool: each candidate row
+        // is traversed once, scoring every objective while the row is hot.
+        let surrogate = CompiledSurrogate::compile_multi(&forests.iter().collect::<Vec<_>>());
+        let preds: Vec<Vec<f64>> = match cache {
+            Some(cache) => {
+                cache.invalidate();
+                let keys: Vec<u64> = pool.iter().map(|c| self.space.flat_index(c)).collect();
+                cache.lookup_or_compute(&keys, |miss| {
+                    let miss_rows =
+                        flatten(&miss.iter().map(|&i| &pool[i]).collect::<Vec<_>>());
+                    surrogate.predict_batch_multi(&miss_rows)
+                })
+            }
+            None => surrogate.predict_batch_multi(&flatten(&pool.iter().collect::<Vec<_>>())),
+        };
 
         let front = if n_obj == 2 {
             let pts: Vec<(f64, f64)> =

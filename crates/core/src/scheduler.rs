@@ -21,6 +21,16 @@
 //!   dedicated Rayon pool of `total_threads / workers` threads, so `w`
 //!   concurrent pipeline evaluations use the same number of cores as one
 //!   uncapped evaluation instead of `w ×` oversubscribing the machine.
+//!   Pools are leased from a process-wide registry rather than rebuilt per
+//!   batch, and the calling thread works a slot itself instead of parking,
+//!   so the per-batch dispatch cost is `workers − 1` thread spawns and
+//!   nothing else.
+//!
+//! Cheap batches are not worth even that: [`with_cost_hint_ns`]
+//! (`ParallelBatchEvaluator::with_cost_hint_ns`) declares an estimated
+//! per-configuration cost, and batches whose projected saving cannot pay
+//! the projected dispatch overhead fall back to the sequential path — same
+//! values, same order, no threads.
 //!
 //! What this wrapper does **not** make safe is wall-clock measurement:
 //! configurations timed while sharing the machine with `w − 1` siblings
@@ -38,6 +48,7 @@ use crate::evaluate::{Evaluator, FailedEvaluation};
 use crate::space::Configuration;
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// Default worker count: the machine's available parallelism (1 when it
 /// cannot be determined).
@@ -45,6 +56,43 @@ pub fn default_workers() -> usize {
     std::thread::available_parallelism()
         .map(NonZeroUsize::get)
         .unwrap_or(1)
+}
+
+/// Process-wide registry of leased inner Rayon pools, keyed by
+/// `(threads, worker slot)`.
+///
+/// Building a Rayon pool spawns OS threads — done per batch (as the first
+/// version of this scheduler did) that setup cost dominated cheap
+/// workloads and produced the `batch_compute_parallel_8cfg` regression
+/// recorded in `BENCH_surrogate.json`. Pools are instead built on first
+/// use and retained for the life of the process; the key includes the
+/// worker slot so concurrent workers never serialize on one shared pool,
+/// and the thread count so a reconfigured evaluator gets right-sized pools.
+/// The registry is bounded in practice by `workers × distinct thread
+/// counts`, both small (≤ machine cores).
+///
+/// A plain `std::sync::Mutex` guards the registry: it is held only for the
+/// lookup/insert, never across an evaluation, and lock poisoning is
+/// recovered from because a panicking evaluation elsewhere must not wedge
+/// later batches.
+fn leased_pool(threads: usize, slot: usize) -> Option<Arc<rayon::ThreadPool>> {
+    type Registry = Mutex<Vec<((usize, usize), Arc<rayon::ThreadPool>)>>;
+    static POOLS: OnceLock<Registry> = OnceLock::new();
+    let mut pools = POOLS
+        .get_or_init(|| Mutex::new(Vec::new()))
+        .lock()
+        .unwrap_or_else(|e| e.into_inner());
+    if let Some((_, pool)) = pools.iter().find(|((t, s), _)| *t == threads && *s == slot) {
+        return Some(Arc::clone(pool));
+    }
+    let pool = Arc::new(
+        rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .ok()?,
+    );
+    pools.push(((threads, slot), Arc::clone(&pool)));
+    Some(pool)
 }
 
 /// Fan batches of evaluations across a bounded pool of OS worker threads
@@ -57,6 +105,10 @@ pub struct ParallelBatchEvaluator<'a, E: Evaluator> {
     inner: &'a E,
     workers: usize,
     cap_inner_parallelism: bool,
+    /// Caller-supplied per-configuration cost estimate, in nanoseconds;
+    /// feeds the auto-sequential heuristic. `None` means "assume the work
+    /// is worth dispatching".
+    est_eval_ns: Option<u64>,
 }
 
 impl<'a, E: Evaluator> ParallelBatchEvaluator<'a, E> {
@@ -72,7 +124,22 @@ impl<'a, E: Evaluator> ParallelBatchEvaluator<'a, E> {
             inner,
             workers: workers.max(1),
             cap_inner_parallelism: true,
+            est_eval_ns: None,
         }
+    }
+
+    /// Declare a rough per-configuration evaluation cost, enabling the
+    /// auto-sequential heuristic: a batch whose projected parallel saving
+    /// (`total − total / workers`) does not clear the projected dispatch
+    /// bill ([`Self::DISPATCH_OVERHEAD_NS`] per worker) runs on the calling
+    /// thread instead of fanning out. Values and ordering are identical
+    /// either way — the hint only moves the parallel/sequential crossover,
+    /// so a wildly wrong estimate costs wall-clock, never correctness. The
+    /// estimate is the caller's (from a model or prior measurement); the
+    /// scheduler itself never reads a clock outside timing contexts.
+    pub fn with_cost_hint_ns(mut self, est_eval_ns: u64) -> Self {
+        self.est_eval_ns = Some(est_eval_ns);
+        self
     }
 
     /// Disable the per-worker Rayon pool cap: inner evaluations share the
@@ -87,6 +154,31 @@ impl<'a, E: Evaluator> ParallelBatchEvaluator<'a, E> {
     /// The bounded worker count used for batches.
     pub fn workers(&self) -> usize {
         self.workers
+    }
+
+    /// Dispatch cost the auto-sequential heuristic charges per worker: an
+    /// OS thread spawn + join and the first-touch of a leased Rayon pool,
+    /// tens of microseconds on commodity Linux. Deliberately a fixed
+    /// constant, not a measurement — the heuristic must be a pure function
+    /// of its inputs so batch placement (and therefore any timing observed
+    /// through it) is reproducible run to run.
+    pub const DISPATCH_OVERHEAD_NS: u64 = 50_000;
+
+    /// Workers a batch of `n` will actually use: `workers.min(n)`, dropped
+    /// to 1 when the cost hint says the parallel saving cannot pay for the
+    /// dispatch overhead.
+    fn effective_workers(&self, n: usize) -> usize {
+        let workers = self.workers.min(n);
+        if workers > 1 {
+            if let Some(est) = self.est_eval_ns {
+                let total = est.saturating_mul(n as u64);
+                let saved = total.saturating_sub(total / workers as u64);
+                if saved <= Self::DISPATCH_OVERHEAD_NS.saturating_mul(workers as u64) {
+                    return 1;
+                }
+            }
+        }
+        workers
     }
 
     /// Run `f(i)` for every `i < n` across the worker pool and return the
@@ -117,7 +209,7 @@ impl<'a, E: Evaluator> ParallelBatchEvaluator<'a, E> {
         T: Send,
         F: Fn(usize) -> T + Sync,
     {
-        let workers = self.workers.min(n);
+        let workers = self.effective_workers(n);
         if workers <= 1 {
             return (0..n)
                 .map(|i| {
@@ -131,48 +223,51 @@ impl<'a, E: Evaluator> ParallelBatchEvaluator<'a, E> {
         }
         // Cap nested Rayon parallelism: give each worker a dedicated pool
         // of `total / workers` threads so `workers` concurrent internally-
-        // parallel evaluations cannot oversubscribe the machine.
+        // parallel evaluations cannot oversubscribe the machine. Pools are
+        // leased from the process-wide registry (see [`leased_pool`]), so
+        // after the first batch the handoff costs no pool construction.
         let inner_threads = if self.cap_inner_parallelism {
             (rayon::current_num_threads() / workers).max(1)
         } else {
             0
         };
         let next = AtomicUsize::new(0);
+        // One worker loop per slot; the calling thread runs slot 0 itself
+        // (one fewer spawn, and the caller contributes instead of parking
+        // at the join barrier).
+        let run_worker = |slot: usize| {
+            let pool = (inner_threads > 0)
+                .then(|| leased_pool(inner_threads, slot))
+                .flatten();
+            let mut local = Vec::new();
+            loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let out = match &pool {
+                    Some(p) => p.install(|| f(i)),
+                    None => f(i),
+                };
+                if let Some(obs) = observe {
+                    obs(i, &out);
+                }
+                local.push((i, out));
+            }
+            local
+        };
         let per_worker: Vec<Vec<(usize, T)>> = std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..workers)
-                .map(|_| {
-                    scope.spawn(|| {
-                        let pool = (inner_threads > 0)
-                            .then(|| {
-                                rayon::ThreadPoolBuilder::new()
-                                    .num_threads(inner_threads)
-                                    .build()
-                                    .ok()
-                            })
-                            .flatten();
-                        let mut local = Vec::new();
-                        loop {
-                            let i = next.fetch_add(1, Ordering::Relaxed);
-                            if i >= n {
-                                break;
-                            }
-                            let out = match &pool {
-                                Some(p) => p.install(|| f(i)),
-                                None => f(i),
-                            };
-                            if let Some(obs) = observe {
-                                obs(i, &out);
-                            }
-                            local.push((i, out));
-                        }
-                        local
-                    })
-                })
+            let run_worker = &run_worker;
+            let handles: Vec<_> = (1..workers)
+                .map(|slot| scope.spawn(move || run_worker(slot)))
                 .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().unwrap_or_else(|p| std::panic::resume_unwind(p)))
-                .collect()
+            let mut all = vec![run_worker(0)];
+            all.extend(
+                handles
+                    .into_iter()
+                    .map(|h| h.join().unwrap_or_else(|p| std::panic::resume_unwind(p))),
+            );
+            all
         });
         let mut slots: Vec<Option<T>> = Vec::with_capacity(n);
         slots.resize_with(n, || None);
@@ -341,6 +436,46 @@ mod tests {
         }
         assert_eq!(calls.load(Ordering::Relaxed), 4, "duplicated inner work");
         assert_eq!(cached.distinct_evaluations(), 4);
+    }
+
+    #[test]
+    fn cost_hint_parity_and_crossover() {
+        let s = space();
+        let e = FnEvaluator::new(2, |c| {
+            let x = c.value_f64(0);
+            vec![x * 1.5, (x * 0.37).sin()]
+        });
+        let configs: Vec<_> = (0..32).map(|i| s.config_at(i)).collect();
+        let unhinted = ParallelBatchEvaluator::with_workers(&e, 8);
+        let baseline = unhinted.try_evaluate_batch(&configs);
+        // Same seedless deterministic evaluator, any hint: bit-identical
+        // results whether the heuristic picks sequential (tiny estimate),
+        // parallel (huge estimate), or is absent.
+        for hint_ns in [1, 1_000, u64::MAX / (1 << 20)] {
+            let hinted =
+                ParallelBatchEvaluator::with_workers(&e, 8).with_cost_hint_ns(hint_ns);
+            assert_eq!(hinted.try_evaluate_batch(&configs), baseline, "hint={hint_ns}");
+        }
+
+        // The crossover itself: below-threshold work sequentializes, heavy
+        // work keeps its workers.
+        let cheap = ParallelBatchEvaluator::with_workers(&e, 8).with_cost_hint_ns(1_000);
+        assert_eq!(cheap.effective_workers(32), 1);
+        let heavy =
+            ParallelBatchEvaluator::with_workers(&e, 8).with_cost_hint_ns(10_000_000);
+        assert_eq!(heavy.effective_workers(32), 8);
+        assert_eq!(unhinted.effective_workers(32), 8, "no hint, no heuristic");
+        // A single-config batch never dispatches regardless of hints.
+        assert_eq!(heavy.effective_workers(1), 1);
+    }
+
+    #[test]
+    fn leased_pools_are_reused_across_batches() {
+        let p1 = leased_pool(2, 0).expect("pool builds");
+        let p2 = leased_pool(2, 0).expect("pool lookup");
+        assert!(Arc::ptr_eq(&p1, &p2), "same (threads, slot) key must share one pool");
+        let other_slot = leased_pool(2, 1).expect("pool builds");
+        assert!(!Arc::ptr_eq(&p1, &other_slot), "slots must not serialize on one pool");
     }
 
     #[test]

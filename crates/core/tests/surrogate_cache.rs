@@ -1,0 +1,113 @@
+//! The lossy prediction cache must be **invisible** in results: an
+//! exploration run with caching disabled, with a pathologically tiny
+//! (all-collisions) cache, and with the default cache must produce
+//! bit-identical `ExplorationResult`s — samples, order, Pareto indices,
+//! and per-iteration statistics. Only re-prediction work may change.
+//!
+//! This is the contract `OptimizerConfig::pred_cache_slots` documents, and
+//! the reason the knob is excluded from the journal run header (like
+//! `eval_workers`).
+
+use hypermapper::{
+    Configuration, Evaluator, ExplorationResult, HyperMapper, OptimizerConfig, ParamSpace,
+};
+
+fn space() -> ParamSpace {
+    ParamSpace::builder()
+        .ordinal("x", (0..40).map(f64::from))
+        .ordinal("y", (0..30).map(f64::from))
+        .ordinal("z", [0.0, 0.5, 1.0, 2.0])
+        .build()
+        .unwrap()
+}
+
+/// Deterministic bi-objective toy problem with a genuine trade-off so the
+/// active-learning loop does real work (several iterations, non-trivial
+/// predicted fronts).
+struct Toy;
+
+impl Evaluator for Toy {
+    fn n_objectives(&self) -> usize {
+        2
+    }
+    fn evaluate(&self, c: &Configuration) -> Vec<f64> {
+        let x = c.value_f64(0);
+        let y = c.value_f64(1);
+        let z = c.value_f64(2);
+        vec![
+            x * x * 0.05 + y + z * 3.0,
+            (40.0 - x) * 0.8 + (y - 15.0) * (y - 15.0) * 0.1 + 1.0 / (z + 0.5),
+        ]
+    }
+}
+
+fn explore(pred_cache_slots: usize) -> ExplorationResult {
+    let config = OptimizerConfig {
+        random_samples: 60,
+        max_iterations: 4,
+        pool_size: 2_000,
+        seed: 0xC0FFEE,
+        pred_cache_slots,
+        ..Default::default()
+    };
+    HyperMapper::new(space(), config).run(&Toy)
+}
+
+/// Exact structural fingerprint of a result. Derived `Debug` reaches every
+/// field (configs, objective values, per-iteration stats), and Rust's f64
+/// formatting is shortest-roundtrip, so two finite results format equal iff
+/// they are value-identical; the bit-level spot checks below close the
+/// remaining NaN/−0.0 gap.
+fn fingerprint(r: &ExplorationResult) -> String {
+    format!("{r:?}")
+}
+
+#[test]
+fn fronts_are_bit_identical_with_cache_on_off_and_degenerate() {
+    let uncached = explore(0);
+    // One slot: every key collides, the cache is pure overwrite churn.
+    let degenerate = explore(1);
+    // Default-sized cache.
+    let cached = explore(1 << 15);
+
+    assert!(!uncached.samples.is_empty());
+    assert!(!uncached.pareto_indices.is_empty());
+
+    let want = fingerprint(&uncached);
+    assert_eq!(fingerprint(&degenerate), want, "1-slot cache changed the exploration");
+    assert_eq!(fingerprint(&cached), want, "default cache changed the exploration");
+
+    // Spot-check the interesting fields directly too, so a serializer quirk
+    // could never mask a real divergence.
+    assert_eq!(uncached.pareto_indices, cached.pareto_indices);
+    assert_eq!(uncached.samples.len(), cached.samples.len());
+    for (a, b) in uncached.samples.iter().zip(&cached.samples) {
+        assert_eq!(a.config, b.config);
+        assert!(
+            a.objectives.iter().zip(&b.objectives).all(|(x, y)| x.to_bits() == y.to_bits()),
+            "objective bits diverged"
+        );
+    }
+    assert_eq!(uncached.iterations.len(), cached.iterations.len());
+}
+
+#[test]
+fn surrogate_compiles_to_the_quantized_engine_on_exploration_data() {
+    // The exploration trains forests on evaluator outputs over ordinal
+    // grids — tiny per-feature cut tables — so the quantized engine must
+    // always be selected (the `CompiledForest` path is fallback-only).
+    use hypermapper::CompiledSurrogate;
+    use randforest::{Dataset, ForestConfig, RandomForest};
+
+    let s = space();
+    let toy = Toy;
+    let mut data = Dataset::new(3);
+    for c in s.iter_all() {
+        let row = [c.value_f64(0), c.value_f64(1), c.value_f64(2)];
+        data.push_row(&row, toy.evaluate(&c)[0]);
+    }
+    let forest =
+        RandomForest::fit(&data, &ForestConfig { n_trees: 20, seed: 7, ..Default::default() });
+    let surrogate = CompiledSurrogate::compile(&forest);
+    assert!(surrogate.is_quantized(), "ordinal-grid surrogate fell back to CompiledForest");
+}

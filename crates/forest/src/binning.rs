@@ -99,6 +99,21 @@ impl BinnedDataset {
     pub fn max_levels(&self) -> usize {
         self.max_levels
     }
+
+    /// The root-node split-threshold candidates for feature `f`: the
+    /// midpoints between adjacent levels, ascending (`n_levels − 1` values;
+    /// empty for constant columns).
+    ///
+    /// Deeper nodes see a subset of the rows, so a fitted pool's thresholds
+    /// are midpoints of arbitrary level *pairs*, not only adjacent ones —
+    /// but every threshold separates two levels of this table's grid, which
+    /// is what makes the level structure the natural quantization domain
+    /// for [`QuantizedForest`](crate::QuantizedForest): traversal only ever
+    /// needs a query value's rank among the pool's distinct thresholds, and
+    /// ordinal DSE columns keep that rank space tiny.
+    pub fn split_candidates(&self, f: usize) -> Vec<f64> {
+        self.levels[f].windows(2).map(|w| 0.5 * (w[0] + w[1])).collect()
+    }
 }
 
 #[cfg(test)]

@@ -21,7 +21,9 @@
 
 use crate::forest::RandomForest;
 use crate::tree::Node;
+use crate::{feature_cmp, feature_eq};
 use rayon::prelude::*;
+use std::cmp::Ordering;
 
 /// Sentinel in the `feature` array marking a leaf node.
 const LEAF: u32 = u32::MAX;
@@ -235,6 +237,509 @@ impl CompiledForest {
     pub fn n_nodes(&self) -> usize {
         self.feature.len()
     }
+
+    /// Bytes of the per-node traversal arrays (`feature` + `threshold` +
+    /// `right`): the working set a batch sweep streams per tree. 16 bytes
+    /// per node; compare [`QuantizedForest::pool_bytes`].
+    pub fn pool_bytes(&self) -> usize {
+        self.feature.len()
+            * (size_of::<u32>() + size_of::<f64>() + size_of::<u32>())
+    }
+}
+
+/// Why a pool could not be quantized. Callers fall back to the f64
+/// [`CompiledForest`] — [`CompiledSurrogate`] does so automatically.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QuantizeError {
+    /// One feature has more distinct split thresholds than the u16 cut
+    /// codes can index.
+    TooManyCuts {
+        /// The offending feature.
+        feature: usize,
+        /// Distinct thresholds the pool splits that feature on.
+        cuts: usize,
+        /// The capacity that was exceeded (≤ 65 535).
+        capacity: usize,
+    },
+    /// Feature width outside the u16-indexable range (0 or > 65 535).
+    FeatureWidth {
+        /// The unsupported width.
+        n_features: usize,
+    },
+}
+
+impl std::fmt::Display for QuantizeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QuantizeError::TooManyCuts { feature, cuts, capacity } => write!(
+                f,
+                "feature {feature} splits on {cuts} distinct thresholds, over the u16 cut capacity {capacity}"
+            ),
+            QuantizeError::FeatureWidth { n_features } => {
+                write!(f, "feature width {n_features} not quantizable (need 1..=65535)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for QuantizeError {}
+
+/// A [`CompiledForest`] with thresholds re-expressed as **u16 threshold
+/// ranks**, halving the hot traversal pool (8 bytes/node vs 16) and turning
+/// every split decision into an integer compare that a row-vectorized walk
+/// can evaluate branchlessly.
+///
+/// # Quantization scheme
+///
+/// Per feature, the distinct split thresholds of the whole pool form a
+/// sorted *cut table*. CART thresholds are midpoints between pairs of
+/// [`BinnedDataset`](crate::BinnedDataset) levels (adjacent levels at the
+/// root — see
+/// [`BinnedDataset::split_candidates`](crate::BinnedDataset::split_candidates)
+/// — arbitrary pairs deeper down), so the level structure of ordinal DSE
+/// data is what keeps these tables tiny. A query value is quantized to its
+/// rank against the table,
+///
+/// ```text
+/// q(x) = #{ t in cuts[f] : t <= x }        (NaN quantizes to u16::MAX)
+/// ```
+///
+/// and a split on threshold `t` with table rank `r` stores the u16 cut code
+/// `ct = r + 1`. Traversal goes left iff `q(x) < ct`, which equals the IEEE
+/// `x < t` of the f64 walk **for every query row, not just binned training
+/// rows**: `q(x) ≤ r` holds exactly when `x` is below the `r`-th distinct
+/// threshold. Predictions are therefore bit-identical to the source
+/// [`CompiledForest`] (property-tested in `tests/properties.rs`).
+///
+/// # Pool layout
+///
+/// Leaves are encoded for a branchless walk: cut code 0 (`q < 0` is never
+/// true, so every row goes "right") with the right child pointing at the
+/// leaf itself, so converged rows self-loop harmlessly while other rows in
+/// the same SIMD lane group keep walking. Leaf values live in a separate
+/// cold array touched once per (tree, row) after traversal. A NaN split
+/// threshold (defence in depth; fits never produce one) also encodes cut 0
+/// — `x < NaN` is false for every `x` — but keeps its real right child.
+///
+/// Quantization fails ([`QuantizeError`]) when a feature exceeds 65 535
+/// distinct thresholds; use [`CompiledSurrogate`] to fall back to the f64
+/// pool automatically.
+#[derive(Debug, Clone)]
+pub struct QuantizedForest {
+    n_features: usize,
+    /// The hot traversal pool: one node per `u64`, packed as
+    /// `feature | cut << 16 | right << 32` so a walk step is a **single
+    /// 8-byte load** (the f64 pool spreads a node over three arrays) and
+    /// the branchless lane walk can blend two candidate nodes with plain
+    /// integer masking. `feature` is 0 at leaves (the walk still reads a
+    /// code through it, so it must stay in bounds); `cut` is threshold
+    /// rank + 1, with 0 meaning "every row goes right" (leaf or NaN
+    /// threshold); `right` is the absolute pool index of the right child
+    /// (the left child is `node + 1`), and leaves self-loop.
+    nodes: Vec<u64>,
+    /// Leaf prediction value per node (0.0 at splits), outside the hot
+    /// traversal arrays.
+    value: Vec<f64>,
+    /// Per feature: sorted distinct split thresholds of the whole pool.
+    cuts: Vec<Vec<f64>>,
+    /// Root pool index of every tree, all outputs concatenated.
+    roots: Vec<u32>,
+    /// Per output: `[start, end)` range into `roots`.
+    output_trees: Vec<(u32, u32)>,
+}
+
+/// Pack one traversal node; see `QuantizedForest::nodes` for the layout.
+#[inline]
+fn pack_node(feature: u16, cut: u16, right: u32) -> u64 {
+    feature as u64 | (cut as u64) << 16 | (right as u64) << 32
+}
+
+/// Split feature of a packed node.
+#[inline]
+fn node_feature(n: u64) -> usize {
+    (n & 0xFFFF) as usize
+}
+
+/// Cut code (threshold rank + 1) of a packed node.
+#[inline]
+fn node_cut(n: u64) -> u16 {
+    (n >> 16) as u16
+}
+
+/// Right-child pool index of a packed node.
+#[inline]
+fn node_right(n: u64) -> usize {
+    (n >> 32) as usize
+}
+
+impl QuantizedForest {
+    /// Rows walked per vector lane group; wide enough to fill a 128/256-bit
+    /// integer lane set and give the out-of-order core independent chains.
+    const LANES: usize = 8;
+
+    /// Quantize a compiled pool. Fails when a feature's distinct-threshold
+    /// table exceeds 65 535 entries (see [`QuantizeError`]).
+    pub fn from_compiled(c: &CompiledForest) -> Result<Self, QuantizeError> {
+        Self::with_cut_capacity(c, u16::MAX as usize)
+    }
+
+    /// [`from_compiled`](Self::from_compiled) with an explicit per-feature
+    /// cut-table capacity (clamped to ≤ 65 535). The production limit is
+    /// the u16 range; a smaller capacity exercises the fallback path in
+    /// tests without fitting a 65 536-threshold forest.
+    pub fn with_cut_capacity(
+        c: &CompiledForest,
+        capacity: usize,
+    ) -> Result<Self, QuantizeError> {
+        let nf = c.n_features;
+        if nf == 0 || nf > u16::MAX as usize {
+            return Err(QuantizeError::FeatureWidth { n_features: nf });
+        }
+        let capacity = capacity.min(u16::MAX as usize);
+
+        // Per-feature sorted distinct thresholds across the whole pool.
+        let mut cuts: Vec<Vec<f64>> = vec![Vec::new(); nf];
+        for (i, &f) in c.feature.iter().enumerate() {
+            if f != LEAF && !c.threshold[i].is_nan() {
+                cuts[f as usize].push(c.threshold[i]);
+            }
+        }
+        for (f, table) in cuts.iter_mut().enumerate() {
+            table.sort_by(|a, b| feature_cmp(*a, *b));
+            table.dedup_by(|a, b| feature_eq(*a, *b));
+            if table.len() > capacity {
+                return Err(QuantizeError::TooManyCuts { feature: f, cuts: table.len(), capacity });
+            }
+        }
+
+        let n = c.feature.len();
+        let mut q = QuantizedForest {
+            n_features: nf,
+            nodes: Vec::with_capacity(n),
+            value: Vec::with_capacity(n),
+            cuts,
+            roots: c.roots.clone(),
+            output_trees: c.output_trees.clone(),
+        };
+        for (i, &f) in c.feature.iter().enumerate() {
+            if f == LEAF {
+                q.nodes.push(pack_node(0, 0, i as u32));
+                q.value.push(c.threshold[i]);
+            } else {
+                let t = c.threshold[i];
+                let table = &q.cuts[f as usize];
+                let ct = if t.is_nan() {
+                    0
+                } else {
+                    let rank = table.partition_point(|v| feature_cmp(*v, t) == Ordering::Less);
+                    debug_assert!(feature_eq(table[rank], t), "threshold missing from its cut table");
+                    (rank + 1) as u16
+                };
+                q.nodes.push(pack_node(f as u16, ct, c.right[i]));
+                q.value.push(0.0);
+            }
+        }
+        // One self-looping sentinel past the pool keeps the lane walk's
+        // speculative left-child fetch (`nodes[i + 1]`) in bounds when a
+        // lane idles on the pool's final leaf, without a per-step clamp.
+        // No lane can ever *select* it: leaves blend toward `right == i`.
+        q.nodes.push(pack_node(0, 0, n as u32));
+        Ok(q)
+    }
+
+    /// Rank of `x` against one cut table: the count of thresholds ≤ `x`.
+    #[inline]
+    fn quantize_value(cuts: &[f64], x: f64) -> u16 {
+        if x.is_nan() {
+            // NaN is above every threshold (`x < t` false everywhere), and
+            // so is the max rank: q = 65535 can never be below a cut code.
+            u16::MAX
+        } else {
+            cuts.partition_point(|t| *t <= x) as u16
+        }
+    }
+
+    /// Quantize a flat row-major `n × n_features` batch into per-value
+    /// threshold ranks (same layout).
+    ///
+    /// # Panics
+    /// If `rows.len()` is not a multiple of the feature width.
+    pub fn quantize_rows(&self, rows: &[f64]) -> Vec<u16> {
+        assert_eq!(rows.len() % self.n_features, 0, "ragged batch");
+        let mut codes = Vec::with_capacity(rows.len());
+        for row in rows.chunks_exact(self.n_features) {
+            for (f, &x) in row.iter().enumerate() {
+                codes.push(Self::quantize_value(&self.cuts[f], x));
+            }
+        }
+        codes
+    }
+
+    /// Walk one tree for one quantized row.
+    #[inline]
+    fn walk(&self, root: u32, codes: &[u16]) -> f64 {
+        let mut i = root as usize;
+        loop {
+            let n = self.nodes[i];
+            let r = node_right(n);
+            if r == i {
+                return self.value[i];
+            }
+            i = if codes[node_feature(n)] < node_cut(n) { i + 1 } else { r };
+        }
+    }
+
+    /// Mean prediction of output `k` for one quantized row, accumulating in
+    /// ensemble order (bit-identical to [`CompiledForest`]).
+    fn predict_output(&self, k: usize, codes: &[u16]) -> f64 {
+        let (start, end) = self.output_trees[k];
+        let roots = &self.roots[start as usize..end as usize];
+        let sum: f64 = roots.iter().map(|&r| self.walk(r, codes)).sum();
+        sum / roots.len() as f64
+    }
+
+    fn quantize_row(&self, row: &[f64]) -> Vec<u16> {
+        assert_eq!(row.len(), self.n_features, "feature width mismatch");
+        row.iter()
+            .enumerate()
+            .map(|(f, &x)| Self::quantize_value(&self.cuts[f], x))
+            .collect()
+    }
+
+    /// Prediction of the first (or only) output for one row.
+    ///
+    /// # Panics
+    /// If `row.len() != n_features`.
+    pub fn predict(&self, row: &[f64]) -> f64 {
+        self.predict_output(0, &self.quantize_row(row))
+    }
+
+    /// All outputs for one row, written into `out`.
+    ///
+    /// # Panics
+    /// If `row.len() != n_features` or `out.len() != n_outputs`.
+    pub fn predict_into(&self, row: &[f64], out: &mut [f64]) {
+        assert_eq!(out.len(), self.output_trees.len(), "output width mismatch");
+        let codes = self.quantize_row(row);
+        for (k, slot) in out.iter_mut().enumerate() {
+            *slot = self.predict_output(k, &codes);
+        }
+    }
+
+    /// Score every tree of output `k` against a block of quantized rows.
+    /// Same shape as [`CompiledForest::accumulate_block`] — trees outer so
+    /// each tree's nodes stay cache-hot, one add per (tree, row) in
+    /// ensemble order, final division not reciprocal-multiplication — but
+    /// rows advance [`Self::LANES`] at a time: every tree level updates all
+    /// lanes with a branchless select, and the group stops once all lanes
+    /// have converged onto self-looping leaves.
+    fn accumulate_block(&self, k: usize, codes: &[u16], acc: &mut [f64], stride: usize) {
+        let nf = self.n_features;
+        let n_rows = codes.len() / nf;
+        let (start, end) = self.output_trees[k];
+        let roots = &self.roots[start as usize..end as usize];
+        for &root in roots {
+            let root_node = self.nodes[root as usize];
+            let mut r = 0;
+            while r + Self::LANES <= n_rows {
+                let base = r * nf;
+                let mut idx = [root; Self::LANES];
+                let mut node = [root_node; Self::LANES];
+                loop {
+                    let prev = idx;
+                    // Four levels per convergence check: the pool is laid
+                    // out preorder (both children of a split come after
+                    // it), so a lane's index strictly increases until it
+                    // self-loops on a leaf — `idx == prev` over a 4-level
+                    // stride is still an exact "all lanes converged" test,
+                    // and the checkless unrolled body keeps the lane
+                    // state in registers.
+                    for _ in 0..4 {
+                        for l in 0..Self::LANES {
+                            let i = idx[l] as usize;
+                            let n = node[l];
+                            // Speculative dual child fetch: both children's
+                            // addresses are known from (i, n) alone, so
+                            // their loads run concurrently with the code
+                            // load instead of after the compare — the
+                            // level-to-level chain is one masked blend, not
+                            // a dependent load. The blend is integer
+                            // masking rather than `if`/`select` so the
+                            // optimizer cannot refold the two loads into
+                            // one load of a selected address (which would
+                            // put the node fetch back behind the compare).
+                            //
+                            // SAFETY: every pool index the walk can produce
+                            // is in bounds by construction — roots and
+                            // right children are indices of the same pool,
+                            // `i + 1` is the left child a split node always
+                            // has (the trailing sentinel keeps it loadable
+                            // when a lane idles on the final leaf, which
+                            // never selects it), and leaves self-loop. The
+                            // code index is in bounds because
+                            // `feature < n_features` for every node and
+                            // `base + l·nf` addresses a row below `n_rows`
+                            // (`r + LANES <= n_rows` guards the group).
+                            let left = unsafe { *self.nodes.get_unchecked(i + 1) };
+                            let right = unsafe { *self.nodes.get_unchecked(node_right(n)) };
+                            let q = unsafe {
+                                *codes.get_unchecked(base + l * nf + node_feature(n))
+                            };
+                            let m = ((q < node_cut(n)) as u32).wrapping_neg();
+                            idx[l] = (i as u32 + 1) & m | (n >> 32) as u32 & !m;
+                            let m = m as i32 as i64 as u64; // sign-extend to a 64-bit mask
+                            node[l] = left & m | right & !m;
+                        }
+                    }
+                    if idx == prev {
+                        break;
+                    }
+                }
+                for (l, &i) in idx.iter().enumerate() {
+                    acc[(r + l) * stride] += self.value[i as usize];
+                }
+                r += Self::LANES;
+            }
+            for row in r..n_rows {
+                acc[row * stride] += self.walk(root, &codes[row * nf..(row + 1) * nf]);
+            }
+        }
+        for row in 0..n_rows {
+            acc[row * stride] /= roots.len() as f64;
+        }
+    }
+
+    /// First-output predictions for a flat row-major batch, in parallel,
+    /// order-preserving; bit-identical to [`CompiledForest::predict_batch`].
+    pub fn predict_batch(&self, rows: &[f64]) -> Vec<f64> {
+        let codes = self.quantize_rows(rows);
+        let n_rows = codes.len() / self.n_features;
+        let mut out = vec![0.0f64; n_rows];
+        codes
+            .par_chunks(self.n_features * CompiledForest::BLOCK_ROWS)
+            .zip(out.par_chunks_mut(CompiledForest::BLOCK_ROWS))
+            .for_each(|(cblock, oblock)| self.accumulate_block(0, cblock, oblock, 1));
+        out
+    }
+
+    /// All outputs for a flat row-major batch; bit-identical to
+    /// [`CompiledForest::predict_batch_multi`].
+    pub fn predict_batch_multi(&self, rows: &[f64]) -> Vec<Vec<f64>> {
+        let codes = self.quantize_rows(rows);
+        let n_rows = codes.len() / self.n_features;
+        let n_out = self.output_trees.len();
+
+        let mut flat = vec![0.0f64; n_rows * n_out];
+        codes
+            .par_chunks(self.n_features * CompiledForest::BLOCK_ROWS)
+            .zip(flat.par_chunks_mut(n_out * CompiledForest::BLOCK_ROWS))
+            .for_each(|(cblock, oblock)| {
+                for k in 0..n_out {
+                    self.accumulate_block(k, cblock, &mut oblock[k..], n_out);
+                }
+            });
+
+        (0..n_out)
+            .map(|k| (0..n_rows).map(|i| flat[i * n_out + k]).collect())
+            .collect()
+    }
+
+    /// Feature width expected by `predict`.
+    pub fn n_features(&self) -> usize {
+        self.n_features
+    }
+
+    /// Number of compiled outputs (source forests).
+    pub fn n_outputs(&self) -> usize {
+        self.output_trees.len()
+    }
+
+    /// Trees compiled for output `k`.
+    pub fn n_trees(&self, k: usize) -> usize {
+        let (start, end) = self.output_trees[k];
+        (end - start) as usize
+    }
+
+    /// Total nodes in the pool across all outputs.
+    pub fn n_nodes(&self) -> usize {
+        // `nodes` carries one extra sentinel (see `with_cut_capacity`);
+        // `value` is exactly the tree nodes.
+        self.value.len()
+    }
+
+    /// Distinct split thresholds for feature `f` (the cut-table size).
+    pub fn n_cuts(&self, f: usize) -> usize {
+        self.cuts[f].len()
+    }
+
+    /// Bytes of the packed per-node traversal pool: the working set the
+    /// blocked walk streams per tree. 8 bytes per node (plus one trailing
+    /// sentinel node) — half of [`CompiledForest::pool_bytes`]; leaf
+    /// values and cut tables live outside the hot pool.
+    pub fn pool_bytes(&self) -> usize {
+        self.nodes.len() * size_of::<u64>()
+    }
+}
+
+/// The quantized-if-possible surrogate engine: a [`QuantizedForest`] when
+/// every feature fits the u16 cut tables, otherwise the f64
+/// [`CompiledForest`]. Both variants predict bit-identically, so callers
+/// never observe which one they got except through speed and
+/// [`is_quantized`](Self::is_quantized).
+#[derive(Debug, Clone)]
+pub enum CompiledSurrogate {
+    /// The u16 threshold-rank pool (the fast path).
+    Quantized(QuantizedForest),
+    /// The f64 fallback for pools a feature of which exceeds 65 535
+    /// distinct thresholds.
+    Compiled(CompiledForest),
+}
+
+impl CompiledSurrogate {
+    /// Compile several forests (one per objective) into a fused pool,
+    /// quantizing when possible.
+    pub fn compile_multi(forests: &[&RandomForest]) -> Self {
+        let c = CompiledForest::compile_multi(forests);
+        match QuantizedForest::from_compiled(&c) {
+            Ok(q) => CompiledSurrogate::Quantized(q),
+            Err(_) => CompiledSurrogate::Compiled(c),
+        }
+    }
+
+    /// Compile a single forest, quantizing when possible.
+    pub fn compile(forest: &RandomForest) -> Self {
+        Self::compile_multi(&[forest])
+    }
+
+    /// `true` when the u16 pool is in use.
+    pub fn is_quantized(&self) -> bool {
+        matches!(self, CompiledSurrogate::Quantized(_))
+    }
+
+    /// Number of compiled outputs (source forests).
+    pub fn n_outputs(&self) -> usize {
+        match self {
+            CompiledSurrogate::Quantized(q) => q.n_outputs(),
+            CompiledSurrogate::Compiled(c) => c.n_outputs(),
+        }
+    }
+
+    /// All outputs for a flat row-major batch (`result[k][i]` = output `k`,
+    /// row `i`), bit-identical between the two variants.
+    pub fn predict_batch_multi(&self, rows: &[f64]) -> Vec<Vec<f64>> {
+        match self {
+            CompiledSurrogate::Quantized(q) => q.predict_batch_multi(rows),
+            CompiledSurrogate::Compiled(c) => c.predict_batch_multi(rows),
+        }
+    }
+
+    /// First-output predictions for a flat row-major batch.
+    pub fn predict_batch(&self, rows: &[f64]) -> Vec<f64> {
+        match self {
+            CompiledSurrogate::Quantized(q) => q.predict_batch(rows),
+            CompiledSurrogate::Compiled(c) => c.predict_batch(rows),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -312,6 +817,111 @@ mod tests {
         let c = CompiledForest::compile(&f);
         assert_eq!(c.predict(&[2.0]), 4.0);
         assert_eq!(c.n_nodes(), 5);
+    }
+
+    #[test]
+    fn quantized_matches_compiled_on_arbitrary_rows() {
+        let d1 = data(3);
+        let d2 = data(7);
+        let f1 = RandomForest::fit(&d1, &ForestConfig { n_trees: 14, seed: 2, ..Default::default() });
+        let f2 = RandomForest::fit(&d2, &ForestConfig { n_trees: 9, seed: 11, ..Default::default() });
+        let c = CompiledForest::compile_multi(&[&f1, &f2]);
+        let q = QuantizedForest::from_compiled(&c).expect("small pool quantizes");
+        assert_eq!(q.n_outputs(), 2);
+        assert_eq!((q.n_trees(0), q.n_trees(1)), (14, 9));
+        assert_eq!(q.n_nodes(), c.n_nodes());
+        // Half the f64 pool, plus the 8-byte walk sentinel.
+        assert_eq!(q.pool_bytes(), c.pool_bytes() / 2 + 8);
+
+        // Probe rows are off the training grid on purpose: exactness must
+        // hold for arbitrary queries, not just binned training data.
+        let mut rows = probe_rows(700);
+        for (i, v) in rows.iter_mut().enumerate() {
+            *v += (i % 13) as f64 * 0.017 - 0.1;
+        }
+        assert_eq!(q.predict_batch(&rows), c.predict_batch(&rows));
+        assert_eq!(q.predict_batch_multi(&rows), c.predict_batch_multi(&rows));
+        for row in rows.chunks(3).take(40) {
+            assert_eq!(q.predict(row), c.predict(row));
+            let (mut qo, mut co) = ([0.0; 2], [0.0; 2]);
+            q.predict_into(row, &mut qo);
+            c.predict_into(row, &mut co);
+            assert_eq!(qo, co);
+        }
+    }
+
+    #[test]
+    fn quantized_handles_non_finite_queries_like_compiled() {
+        let d = data(5);
+        let f = RandomForest::fit(&d, &ForestConfig { n_trees: 8, seed: 4, ..Default::default() });
+        let c = CompiledForest::compile(&f);
+        let q = QuantizedForest::from_compiled(&c).unwrap();
+        let specials = [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, -0.0, 0.0, 1e300];
+        let mut rows = Vec::new();
+        for (i, &a) in specials.iter().enumerate() {
+            for &b in &specials {
+                rows.extend_from_slice(&[a, b, (i % 3) as f64]);
+            }
+        }
+        let qp = q.predict_batch(&rows);
+        let cp = c.predict_batch(&rows);
+        assert_eq!(qp, cp);
+    }
+
+    #[test]
+    fn cut_capacity_overflow_reports_the_feature() {
+        let d = data(0);
+        let f = RandomForest::fit(&d, &ForestConfig { n_trees: 10, seed: 6, ..Default::default() });
+        let c = CompiledForest::compile(&f);
+        let q = QuantizedForest::from_compiled(&c).unwrap();
+        // Force the fallback with a capacity below the real table size.
+        let cap = q.n_cuts(0).saturating_sub(1);
+        match QuantizedForest::with_cut_capacity(&c, cap) {
+            Err(QuantizeError::TooManyCuts { feature: 0, cuts, capacity }) => {
+                assert_eq!(cuts, q.n_cuts(0));
+                assert_eq!(capacity, cap);
+            }
+            other => panic!("expected TooManyCuts for feature 0, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn surrogate_falls_back_when_not_quantizable() {
+        let d = data(9);
+        let f = RandomForest::fit(&d, &ForestConfig { n_trees: 6, seed: 8, ..Default::default() });
+        let s = CompiledSurrogate::compile(&f);
+        assert!(s.is_quantized(), "small pools must take the quantized path");
+        let rows = probe_rows(40);
+        assert_eq!(s.predict_batch(&rows), f.predict_batch(&rows));
+        assert_eq!(s.n_outputs(), 1);
+
+        // Zero-width pools are never quantizable; the surrogate still works.
+        let mut d0 = Dataset::new(0);
+        for i in 0..8 {
+            d0.push_row(&[], i as f64);
+        }
+        let f0 = RandomForest::fit(&d0, &ForestConfig { n_trees: 3, seed: 1, ..Default::default() });
+        let c0 = CompiledForest::compile(&f0);
+        assert_eq!(
+            QuantizedForest::from_compiled(&c0).err(),
+            Some(QuantizeError::FeatureWidth { n_features: 0 })
+        );
+        let s0 = CompiledSurrogate::compile(&f0);
+        assert!(!s0.is_quantized());
+    }
+
+    #[test]
+    fn quantized_single_leaf_trees() {
+        let mut d = Dataset::new(1);
+        for i in 0..30 {
+            d.push_row(&[i as f64], 4.0);
+        }
+        let f = RandomForest::fit(&d, &ForestConfig { n_trees: 5, seed: 1, ..Default::default() });
+        let c = CompiledForest::compile(&f);
+        let q = QuantizedForest::from_compiled(&c).unwrap();
+        assert_eq!(q.n_cuts(0), 0, "no splits, no cuts");
+        assert_eq!(q.predict(&[2.0]), 4.0);
+        assert_eq!(q.predict_batch(&[1.0, 5.0, 99.0]), vec![4.0; 3]);
     }
 
     #[test]

@@ -36,12 +36,14 @@ pub mod binning;
 pub mod compiled;
 pub mod dataset;
 pub mod forest;
+pub mod pred_cache;
 pub mod tree;
 
 pub use binning::BinnedDataset;
-pub use compiled::CompiledForest;
+pub use compiled::{CompiledForest, CompiledSurrogate, QuantizeError, QuantizedForest};
 pub use dataset::{DataError, Dataset};
 pub use forest::{ForestConfig, RandomForest};
+pub use pred_cache::PredictionCache;
 pub use tree::{RegressionTree, SplitMethod, TreeConfig};
 
 use std::cmp::Ordering;

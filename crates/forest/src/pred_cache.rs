@@ -1,0 +1,288 @@
+//! A fixed-size, lossy, deterministic cache for surrogate predictions.
+//!
+//! The HyperMapper loop scores the same kind of object over and over: a
+//! configuration identified by a small integer code (its flat index in the
+//! parameter space). [`PredictionCache`] memoizes the per-configuration
+//! objective vector in a direct-mapped table — one slot per hash bucket,
+//! overwrite on collision — in the style of the lossy, locality-preferential
+//! task caches used by high-throughput BDD engines (ROADMAP item 2): no
+//! probing, no eviction bookkeeping, no growth, so the cost of a miss is one
+//! slot write and the cost of a hit is one slot read.
+//!
+//! # Determinism
+//!
+//! Everything about the cache is a pure function of the insertion sequence:
+//! the slot of a key is a fixed [splitmix64](https://prng.di.unimi.it/splitmix64.c)
+//! mix of the key, invalidation is a monotonically increasing epoch stamp
+//! (no clearing loop, no wall clock), and lookups never iterate the table —
+//! so the same key/query order reproduces the same hit/miss sequence on
+//! every run and every machine, and `hm-lint`'s determinism rules hold with
+//! nothing suppressed.
+//!
+//! # Lossiness contract
+//!
+//! The cache may *forget* (two keys hashing to one slot evict each other)
+//! but never *lies*: a hit returns exactly the vector inserted for that key
+//! in the current epoch. Callers that only insert values that are a pure
+//! function of the key (true for forest predictions against a fixed,
+//! refit-invalidated surrogate — see
+//! `HyperMapper::predict_front`) therefore observe bit-identical results
+//! with the cache on, off, or any size in between; only the amount of
+//! recomputation changes.
+
+/// Fixed-size, direct-mapped (overwrite-on-collision), epoch-invalidated
+/// cache from `u64` keys to `n_outputs`-wide `f64` vectors. See the module
+/// docs for the determinism and lossiness contracts.
+#[derive(Debug, Clone)]
+pub struct PredictionCache {
+    n_outputs: usize,
+    /// Slot mask; slot count is a power of two.
+    mask: u64,
+    /// Current validity stamp. Slots with an older stamp are stale, so
+    /// invalidation is O(1): bump the epoch.
+    epoch: u64,
+    /// Key stored in each slot (meaningful only when the stamp matches).
+    keys: Vec<u64>,
+    /// Epoch at which each slot was written; starts below every valid epoch.
+    stamps: Vec<u64>,
+    /// Slot values, `n_outputs` per slot.
+    values: Vec<f64>,
+    hits: u64,
+    misses: u64,
+}
+
+/// The splitmix64 finalizer: a cheap, fixed, well-mixing u64 permutation.
+/// Flat configuration indices are highly structured (mixed-radix digit
+/// packs); this spreads them across slots so neighbouring configurations
+/// don't all fight over one bucket.
+#[inline]
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl PredictionCache {
+    /// A cache with at least `min_slots` slots (rounded up to a power of
+    /// two, minimum 1) holding `n_outputs` objectives per entry.
+    ///
+    /// # Panics
+    /// If `n_outputs == 0`.
+    pub fn new(n_outputs: usize, min_slots: usize) -> Self {
+        assert!(n_outputs >= 1, "need at least one output per entry");
+        let slots = min_slots.max(1).next_power_of_two();
+        PredictionCache {
+            n_outputs,
+            mask: (slots - 1) as u64,
+            epoch: 1,
+            keys: vec![0; slots],
+            stamps: vec![0; slots],
+            values: vec![0.0; slots * n_outputs],
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    #[inline]
+    fn slot(&self, key: u64) -> usize {
+        (splitmix64(key) & self.mask) as usize
+    }
+
+    /// Copy the cached vector for `key` into `out` and return `true`, or
+    /// return `false` (counting a miss) when the slot holds another key or
+    /// a stale epoch.
+    ///
+    /// # Panics
+    /// If `out.len() != n_outputs`.
+    pub fn get(&mut self, key: u64, out: &mut [f64]) -> bool {
+        assert_eq!(out.len(), self.n_outputs, "output width mismatch");
+        let s = self.slot(key);
+        if self.stamps[s] == self.epoch && self.keys[s] == key {
+            self.hits += 1;
+            out.copy_from_slice(&self.values[s * self.n_outputs..][..self.n_outputs]);
+            true
+        } else {
+            self.misses += 1;
+            false
+        }
+    }
+
+    /// Store `vals` for `key`, overwriting whatever occupied the slot.
+    ///
+    /// # Panics
+    /// If `vals.len() != n_outputs`.
+    pub fn insert(&mut self, key: u64, vals: &[f64]) {
+        assert_eq!(vals.len(), self.n_outputs, "output width mismatch");
+        let s = self.slot(key);
+        self.keys[s] = key;
+        self.stamps[s] = self.epoch;
+        self.values[s * self.n_outputs..][..self.n_outputs].copy_from_slice(vals);
+    }
+
+    /// Invalidate every entry in O(1) by bumping the epoch stamp. Called
+    /// whenever the surrogate the cached values came from is refit.
+    pub fn invalidate(&mut self) {
+        self.epoch += 1;
+    }
+
+    /// Batch lookup: returns one column per output (`result[k][i]` = output
+    /// `k` of `keys[i]`), probing every key in order and calling
+    /// `compute(miss_indices)` once for the keys that missed. `compute`
+    /// receives the indices into `keys` that need fresh values and must
+    /// return columns of exactly that width; the fresh values are inserted
+    /// (first-missed key last-written on intra-batch slot collisions).
+    ///
+    /// A key duplicated within one batch misses for every occurrence (the
+    /// insert happens after the single `compute` call); since `compute`
+    /// must be a pure function of the key for caching to be sound, the
+    /// duplicate occurrences still receive identical values.
+    ///
+    /// # Panics
+    /// If `compute` returns the wrong number of columns or ragged columns.
+    pub fn lookup_or_compute<F>(&mut self, keys: &[u64], compute: F) -> Vec<Vec<f64>>
+    where
+        F: FnOnce(&[usize]) -> Vec<Vec<f64>>,
+    {
+        let n = keys.len();
+        let mut out = vec![vec![0.0f64; n]; self.n_outputs];
+        let mut buf = vec![0.0f64; self.n_outputs];
+        let mut miss: Vec<usize> = Vec::new();
+        for (i, &key) in keys.iter().enumerate() {
+            if self.get(key, &mut buf) {
+                for (col, v) in out.iter_mut().zip(&buf) {
+                    col[i] = *v;
+                }
+            } else {
+                miss.push(i);
+            }
+        }
+        if !miss.is_empty() {
+            let fresh = compute(&miss);
+            assert_eq!(fresh.len(), self.n_outputs, "compute() column count mismatch");
+            for col in &fresh {
+                assert_eq!(col.len(), miss.len(), "compute() column width mismatch");
+            }
+            for (j, &i) in miss.iter().enumerate() {
+                for (k, col) in fresh.iter().enumerate() {
+                    buf[k] = col[j];
+                    out[k][i] = col[j];
+                }
+                self.insert(keys[i], &buf);
+            }
+        }
+        out
+    }
+
+    /// Objectives stored per entry.
+    pub fn n_outputs(&self) -> usize {
+        self.n_outputs
+    }
+
+    /// Slot count (a power of two).
+    pub fn slots(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Lookups that returned a cached vector since construction (or
+    /// [`reset_stats`](Self::reset_stats)).
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lookups that fell through to recomputation.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Zero the hit/miss counters (the entries stay).
+    pub fn reset_stats(&mut self) {
+        self.hits = 0;
+        self.misses = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_returns_exactly_what_was_inserted() {
+        let mut c = PredictionCache::new(2, 8);
+        let mut out = [0.0; 2];
+        assert!(!c.get(42, &mut out));
+        c.insert(42, &[1.5, -2.5]);
+        assert!(c.get(42, &mut out));
+        assert_eq!(out, [1.5, -2.5]);
+        assert_eq!((c.hits(), c.misses()), (1, 1));
+    }
+
+    #[test]
+    fn collision_overwrites_never_mixes_keys() {
+        // Slot count 1: every key collides with every other.
+        let mut c = PredictionCache::new(1, 1);
+        assert_eq!(c.slots(), 1);
+        c.insert(1, &[10.0]);
+        c.insert(2, &[20.0]);
+        let mut out = [0.0];
+        assert!(!c.get(1, &mut out), "evicted by the colliding insert");
+        assert!(c.get(2, &mut out));
+        assert_eq!(out, [20.0]);
+    }
+
+    #[test]
+    fn invalidate_is_total_and_cheap() {
+        let mut c = PredictionCache::new(1, 16);
+        for k in 0..10u64 {
+            c.insert(k, &[k as f64]);
+        }
+        c.invalidate();
+        let mut out = [0.0];
+        for k in 0..10u64 {
+            assert!(!c.get(k, &mut out), "key {k} survived invalidation");
+        }
+        // Stale slots are rewritable in the new epoch.
+        c.insert(3, &[33.0]);
+        assert!(c.get(3, &mut out));
+        assert_eq!(out, [33.0]);
+    }
+
+    #[test]
+    fn lookup_or_compute_fills_hits_and_misses() {
+        let mut c = PredictionCache::new(2, 64);
+        let keys: Vec<u64> = (0..10).collect();
+        let all = c.lookup_or_compute(&keys, |miss| {
+            assert_eq!(miss.len(), 10, "cold cache: everything misses");
+            (0..2)
+                .map(|k| miss.iter().map(|&i| (i * 10 + k) as f64).collect())
+                .collect()
+        });
+        assert_eq!(all[0], (0..10).map(|i| (i * 10) as f64).collect::<Vec<_>>());
+        // Warm pass: nothing recomputed, identical columns.
+        let again = c.lookup_or_compute(&keys, |miss| {
+            panic!("warm cache must not recompute, missed {miss:?}");
+        });
+        assert_eq!(again, all);
+        assert_eq!(c.misses(), 10);
+        assert_eq!(c.hits(), 10);
+    }
+
+    #[test]
+    fn hit_miss_sequence_is_deterministic() {
+        let run = || {
+            let mut c = PredictionCache::new(1, 4);
+            let keys: Vec<u64> = (0..40).map(|i| (i * 7) % 13).collect();
+            let mut pattern = Vec::new();
+            let mut out = [0.0];
+            for &k in &keys {
+                let hit = c.get(k, &mut out);
+                pattern.push(hit);
+                if !hit {
+                    c.insert(k, &[k as f64 * 0.5]);
+                }
+            }
+            (pattern, c.hits(), c.misses())
+        };
+        assert_eq!(run(), run(), "same key order must reproduce the same hit/miss sequence");
+    }
+}

@@ -246,17 +246,21 @@ impl RegressionTree {
         let mut best: Option<BestSplit> = None;
 
         for feature in candidates {
-            let use_hist = match (ctx.config.split, ctx.bins) {
+            // `Option<&_>` is Copy: take the reference out of `ctx` so the
+            // histogram path can receive it alongside `&mut ctx`.
+            let bins = ctx.bins;
+            let use_hist = match (ctx.config.split, bins) {
                 (SplitMethod::Exact, _) | (_, None) => false,
                 (SplitMethod::Histogram, Some(_)) => true,
                 // The counting sort pays O(levels) per node; only worth it
                 // while the level table is not much larger than the node.
                 (SplitMethod::Auto, Some(b)) => b.n_levels(feature) <= 2 * n + 64,
             };
-            let found = if use_hist {
-                Self::best_split_histogram(ctx, indices, feature, parent_var, min_leaf)
-            } else {
-                Self::best_split_sorted(ctx, indices, feature, parent_var, min_leaf)
+            let found = match (use_hist, bins) {
+                (true, Some(bins)) => {
+                    Self::best_split_histogram(ctx, bins, indices, feature, parent_var, min_leaf)
+                }
+                _ => Self::best_split_sorted(ctx, indices, feature, parent_var, min_leaf),
             };
             if let Some((threshold, score)) = found {
                 if best.as_ref().is_none_or(|b| score > b.score) {
@@ -295,16 +299,17 @@ impl RegressionTree {
     }
 
     /// Histogram column scan: stable counting sort by level code, then the
-    /// same prefix scan — `O(n + levels)` per node.
+    /// same prefix scan — `O(n + levels)` per node. `bins` is the caller's
+    /// copy of `ctx.bins` (passed separately so `ctx` stays mutably
+    /// borrowable without an unwrap on the histogram path).
     fn best_split_histogram<R: Rng>(
         ctx: &mut FitCtx<'_, R>,
+        bins: &BinnedDataset,
         indices: &[usize],
         feature: usize,
         parent_var: f64,
         min_leaf: usize,
     ) -> Option<(f64, f64)> {
-        // lint: allow(no-unaudited-panic): only called from fit_impl after it matched bins = Some
-        let bins = ctx.bins.expect("histogram path requires bins");
         let n_levels = bins.n_levels(feature);
         let levels = bins.levels(feature);
 

@@ -2,7 +2,8 @@
 
 use proptest::prelude::*;
 use randforest::{
-    CompiledForest, Dataset, ForestConfig, RandomForest, RegressionTree, SplitMethod, TreeConfig,
+    BinnedDataset, CompiledForest, CompiledSurrogate, Dataset, ForestConfig, PredictionCache,
+    QuantizeError, QuantizedForest, RandomForest, RegressionTree, SplitMethod, TreeConfig,
 };
 
 /// Build a dataset from proptest-generated rows.
@@ -138,6 +139,140 @@ proptest! {
         // Full structural equality via the Debug representation (nodes,
         // thresholds, leaf values, OOB bookkeeping).
         prop_assert_eq!(format!("{exact:?}"), format!("{hist:?}"));
+    }
+
+    /// Quantized pools reproduce the f64 compiled pool bit for bit — on the
+    /// binned training rows themselves (the grid the cut tables derive
+    /// from) *and* on arbitrary off-grid probes, single-row and batch,
+    /// across fused multi-output pools. Also pins the size claims: same
+    /// node count, half the traversal bytes, cut tables within the u16
+    /// range implied by the binning levels.
+    #[test]
+    fn quantized_forest_matches_compiled_exactly(
+        data in rows(3, 6),
+        probes in prop::collection::vec(-150.0f64..150.0, 9..30),
+        seed in 0u64..500,
+    ) {
+        let d = dataset_from(&data, 3);
+        let f = RandomForest::fit(&d, &ForestConfig { n_trees: 9, seed, ..Default::default() });
+        let g = RandomForest::fit(&d, &ForestConfig { n_trees: 6, seed: seed ^ 0xABCD, ..Default::default() });
+        let c = CompiledForest::compile_multi(&[&f, &g]);
+        let q = QuantizedForest::from_compiled(&c).expect("small pools always quantize");
+        prop_assert_eq!(q.n_nodes(), c.n_nodes());
+        // Half the f64 pool, plus the 8-byte walk sentinel.
+        prop_assert_eq!(q.pool_bytes(), c.pool_bytes() / 2 + 8);
+
+        // Binned training data: predictions on the rows the cut tables
+        // were lifted from.
+        let train: Vec<f64> = data.iter().flat_map(|(x, _)| x.iter().copied()).collect();
+        prop_assert_eq!(q.predict_batch_multi(&train), c.predict_batch_multi(&train));
+
+        // Arbitrary probes (off the training grid).
+        let flat = &probes[..probes.len() - probes.len() % 3];
+        prop_assert_eq!(q.predict_batch_multi(flat), c.predict_batch_multi(flat));
+        for row in flat.chunks(3) {
+            prop_assert_eq!(q.predict(row), c.predict(row));
+        }
+
+        // The surrogate wrapper picks the quantized path and agrees too.
+        let s = CompiledSurrogate::compile_multi(&[&f, &g]);
+        prop_assert!(s.is_quantized());
+        prop_assert_eq!(s.predict_batch_multi(flat), c.predict_batch_multi(flat));
+
+        // Cut tables are bounded by the binning structure: a feature's
+        // distinct thresholds never exceed the midpoints of all level pairs
+        // and, in particular, fit u16 whenever the training column has at
+        // most 65 536 levels.
+        let bins = BinnedDataset::new(&d);
+        for feat in 0..3 {
+            prop_assert!(q.n_cuts(feat) <= u16::MAX as usize);
+            let lv = bins.n_levels(feat);
+            prop_assert!(q.n_cuts(feat) <= lv.saturating_sub(1) * lv / 2 + 1);
+        }
+    }
+
+    /// The capacity fallback: when any feature's cut table exceeds the
+    /// (artificially lowered) capacity, quantization reports that feature
+    /// and the f64 pool remains the source of truth — and a capacity equal
+    /// to the true table size still succeeds.
+    #[test]
+    fn quantization_fallback_respects_cut_capacity(data in rows(2, 12), seed in 0u64..200) {
+        let d = dataset_from(&data, 2);
+        let f = RandomForest::fit(&d, &ForestConfig { n_trees: 10, seed, ..Default::default() });
+        let c = CompiledForest::compile(&f);
+        let q = QuantizedForest::from_compiled(&c).unwrap();
+        let widest = (0..2).max_by_key(|&f| q.n_cuts(f)).unwrap();
+        let cuts = q.n_cuts(widest);
+        prop_assume!(cuts >= 1);
+
+        prop_assert!(QuantizedForest::with_cut_capacity(&c, cuts).is_ok());
+        match QuantizedForest::with_cut_capacity(&c, cuts - 1) {
+            Err(QuantizeError::TooManyCuts { feature, cuts: reported, capacity }) => {
+                prop_assert_eq!(reported, q.n_cuts(feature));
+                prop_assert!(reported > capacity);
+                prop_assert_eq!(capacity, cuts - 1);
+            }
+            other => prop_assert!(false, "expected TooManyCuts, got {:?}", other.map(|_| "Ok")),
+        }
+    }
+
+    /// Cache transparency: scoring a probe set through a
+    /// [`PredictionCache`] — cold, warm, under collisions (tiny table), and
+    /// across epoch invalidation — always yields exactly the uncached
+    /// predictions, and the hit/miss counts are a pure function of the
+    /// query sequence.
+    #[test]
+    fn prediction_cache_is_transparent_and_deterministic(
+        data in rows(2, 6),
+        probes in prop::collection::vec(-150.0f64..150.0, 8..40),
+        seed in 0u64..200,
+        slots_pow in 0u32..8,
+    ) {
+        let d = dataset_from(&data, 2);
+        let f = RandomForest::fit(&d, &ForestConfig { n_trees: 5, seed, ..Default::default() });
+        let g = RandomForest::fit(&d, &ForestConfig { n_trees: 4, seed: seed ^ 0x55, ..Default::default() });
+        let s = CompiledSurrogate::compile_multi(&[&f, &g]);
+        let flat = &probes[..probes.len() - probes.len() % 2];
+        let n = flat.len() / 2;
+        let keys: Vec<u64> = (0..n as u64).map(|i| i % 7).collect(); // duplicates on purpose
+        let uncached = s.predict_batch_multi(flat);
+        // Keys must identify their rows for caching to be sound: give every
+        // duplicated key the *same* row data.
+        let mut canon = flat.to_vec();
+        for (i, &k) in keys.iter().enumerate() {
+            let src = (k as usize) * 2;
+            let (a, b) = (canon[src], canon[src + 1]);
+            canon[i * 2] = a;
+            canon[i * 2 + 1] = b;
+        }
+        let want = s.predict_batch_multi(&canon);
+
+        let compute = |miss: &[usize]| -> Vec<Vec<f64>> {
+            let rows: Vec<f64> =
+                miss.iter().flat_map(|&i| canon[i * 2..i * 2 + 2].to_vec()).collect();
+            s.predict_batch_multi(&rows)
+        };
+        let run = |slots: usize| {
+            let mut cache = PredictionCache::new(2, slots);
+            let first = cache.lookup_or_compute(&keys, compute);
+            let warm = cache.lookup_or_compute(&keys, compute);
+            cache.invalidate();
+            let misses_before_epoch = cache.misses();
+            let fresh_epoch = cache.lookup_or_compute(&keys, compute);
+            let epoch_misses = cache.misses() - misses_before_epoch;
+            (first, warm, fresh_epoch, epoch_misses, cache.hits(), cache.misses())
+        };
+        for slots in [1usize, 1 << slots_pow] {
+            let (first, warm, fresh_epoch, epoch_misses, hits, misses) = run(slots);
+            prop_assert_eq!(&first, &want, "cold pass, slots={}", slots);
+            prop_assert_eq!(&warm, &want, "warm pass, slots={}", slots);
+            prop_assert_eq!(&fresh_epoch, &want, "post-invalidate pass, slots={}", slots);
+            prop_assert_eq!(epoch_misses as usize, keys.len(), "invalidation must miss everything");
+            // Determinism: the same query sequence reproduces the same counters.
+            let (_, _, _, _, hits2, misses2) = run(slots);
+            prop_assert_eq!((hits, misses), (hits2, misses2));
+        }
+        prop_assert_eq!(uncached.len(), 2);
     }
 
     /// Parallel batch prediction is order-preserving and deterministic: the

@@ -59,6 +59,12 @@ END {
     printf "  \"derived\": {\n"
     printf "    \"compiled_speedup_50k_pool\": %s,\n", \
         ratio("predict_pointer_50000x100", "predict_compiled_50000x100")
+    printf "    \"quantized_speedup_50k_pool\": %s,\n", \
+        ratio("predict_compiled_50000x100", "predict_quantized_50000x100")
+    printf "    \"cached_speedup_50k_pool\": %s,\n", \
+        ratio("predict_quantized_50000x100", "predict_quantized_cached_50000x100")
+    printf "    \"quantized_pool_shrink\": %s,\n", \
+        ratio("compiled_pool_bytes", "quantized_pool_bytes")
     printf "    \"fused_2obj_speedup_50k_pool\": %s,\n", \
         ratio("predict_pointer_2obj_50000x100", "predict_fused_2obj_50000x100")
     printf "    \"histogram_fit_speedup\": %s,\n", \
@@ -69,6 +75,8 @@ END {
         ratio("batch_sequential_8cfg", "batch_parallel_8cfg")
     printf "    \"parallel_compute_speedup_8cfg\": %s,\n", \
         ratio("batch_compute_sequential_8cfg", "batch_compute_parallel_8cfg")
+    printf "    \"auto_vs_sequential_compute_8cfg\": %s,\n", \
+        ratio("batch_compute_auto_8cfg", "batch_compute_sequential_8cfg")
     printf "    \"timing_mode_overhead_ratio\": %s,\n", \
         ratio("timing_mode_eval_4f", "dedicated_sequential_4f")
     printf "    \"journal_write_overhead_ratio\": %s\n", \
