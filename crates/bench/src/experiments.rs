@@ -36,7 +36,11 @@ impl DseScale {
         }
     }
 
-    fn kfusion_optimizer(self, seed: u64) -> OptimizerConfig {
+    /// The KFusion DSE optimizer configuration at this scale. Public so
+    /// out-of-crate runners (e.g. the `fig5_service` example driving the
+    /// DSE through `hm-service`) reproduce the exact fig-3/fig-5 settings
+    /// and stay fingerprint-compatible with the in-process binaries.
+    pub fn kfusion_optimizer(self, seed: u64) -> OptimizerConfig {
         match self {
             DseScale::Paper => OptimizerConfig {
                 random_samples: 3000,
@@ -399,14 +403,12 @@ pub fn crowdsourcing_speedups(best: &KfParams) -> Vec<CrowdResult> {
         .collect()
 }
 
-/// Extract the best-runtime configuration from a KFusion DSE outcome.
-pub fn best_speed_config(outcome: &DseOutcome) -> KfParams {
-    let best = outcome
-        .result
-        .best_by_objective(0)
-        // lint: allow(no-unaudited-panic): every DSE run evaluates at least the DoE phase, so samples is non-empty
-        .expect("non-empty exploration");
-    kf_params_from_config(&best.config)
+/// Extract the best-runtime configuration from a KFusion DSE outcome, or
+/// `None` when the exploration holds no successful samples (every healthy
+/// DSE evaluates at least the DoE phase, but an all-failed or interrupted
+/// run is representable and callers decide how loudly to report it).
+pub fn best_speed_config(outcome: &DseOutcome) -> Option<KfParams> {
+    outcome.result.best_by_objective(0).map(|best| kf_params_from_config(&best.config))
 }
 
 /// Extract the best-runtime configuration *subject to the 5 cm validity

@@ -46,6 +46,15 @@
 //! * `timing` — one serial re-measurement record from
 //!   `slambench::remeasure_front_journaled`, making the timing pass
 //!   resumable too.
+//! * `wepoch` — a worker-epoch bump written by the multi-process service
+//!   runner (`hm-service`) each time a coordinator incarnation opens the
+//!   journal. Replies from workers spawned under an older epoch are fenced
+//!   off after a coordinator crash, so a SIGKILL'd coordinator resumes
+//!   bit-identically even if stale worker processes outlive it.
+//! * `lease` — a lease-audit record (epoch, flat configuration index,
+//!   attempt, worker id) appended by the service coordinator's sidecar
+//!   journal. Audit-only: resume correctness never depends on it, but it
+//!   makes post-mortem chaos analysis and reassignment accounting durable.
 //!
 //! # Torn writes and corruption
 //!
@@ -283,6 +292,22 @@ impl RawOutcome {
             RawOutcome::Err { error, .. } => Err(error.clone()),
         }
     }
+
+    /// Encode in the journal's single-token ASCII codec (bit-exact floats,
+    /// percent-escaped text). The `hm-service` wire protocol ships outcomes
+    /// in exactly this form so the coordinator journals a worker's reply
+    /// byte-identically to a local evaluation.
+    pub fn encode_wire(&self) -> String {
+        let mut out = String::new();
+        enc_outcome(self, &mut out);
+        out
+    }
+
+    /// Decode an [`RawOutcome::encode_wire`] string; `None` on any
+    /// malformation (the service treats that as a garbled frame).
+    pub fn decode_wire(s: &str) -> Option<RawOutcome> {
+        dec_outcome(s)
+    }
 }
 
 fn enc_outcome(o: &RawOutcome, out: &mut String) {
@@ -375,6 +400,12 @@ pub(crate) struct RunHeader {
     pub max_evals_per_iteration: usize,
     pub pool_size: usize,
     pub n_objectives: usize,
+    /// The evaluation worker topology (`OptimizerConfig::eval_workers`) the
+    /// journal was recorded under. `None` for legacy `run v1` headers that
+    /// predate topology tracking; resume rejects both a topology change and
+    /// a legacy header with a field-specific error instead of silently
+    /// replaying under a different worker layout.
+    pub eval_workers: Option<usize>,
     /// CRC-32 fingerprint of the forest config, failure policy, and
     /// parameter space definition.
     pub sig: u32,
@@ -445,6 +476,22 @@ impl Replay {
     }
 }
 
+/// One durable lease-audit entry appended by the `hm-service` coordinator:
+/// which worker held a lease on which configuration, at which attempt, under
+/// which coordinator epoch. Audit metadata only — resume correctness never
+/// reads it back, but reassignment history survives coordinator crashes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LeaseRecord {
+    /// Coordinator incarnation the lease was granted under.
+    pub epoch: u64,
+    /// Flat index of the leased configuration in its parameter space.
+    pub flat: u64,
+    /// 1-based attempt counter (bumps on every reassignment).
+    pub attempt: u32,
+    /// Coordinator-local id of the worker process holding the lease.
+    pub worker: u32,
+}
+
 enum Record {
     Run(RunHeader),
     PhaseStart { phase: Phase, predicted_front_size: usize, flat: Vec<u64> },
@@ -453,21 +500,26 @@ enum Record {
     Snap(SnapshotState),
     Done,
     Timing { pos: usize, flat: u64, outcome: RawOutcome },
+    WorkerEpoch { epoch: u64 },
+    Lease { epoch: u64, flat: u64, attempt: u32, worker: u32 },
 }
 
 fn enc_record(r: &Record) -> String {
     let mut b = String::new();
     match r {
         Record::Run(h) => {
+            // Freshly written headers are always `v2` (topology-carrying);
+            // `None` only ever arises from decoding a legacy `v1` file.
             let _ = write!(
                 b,
-                "run v1 {} {} {} {} {} {} {:08x}",
+                "run v2 {} {} {} {} {} {} {} {:08x}",
                 h.seed,
                 h.random_samples,
                 h.max_iterations,
                 h.max_evals_per_iteration,
                 h.pool_size,
                 h.n_objectives,
+                h.eval_workers.unwrap_or(0),
                 h.sig
             );
         }
@@ -536,6 +588,12 @@ fn enc_record(r: &Record) -> String {
             let _ = write!(b, "timing {pos} {flat} ");
             enc_outcome(outcome, &mut b);
         }
+        Record::WorkerEpoch { epoch } => {
+            let _ = write!(b, "wepoch {epoch}");
+        }
+        Record::Lease { epoch, flat, attempt, worker } => {
+            let _ = write!(b, "lease {epoch} {flat} {attempt} {worker}");
+        }
     }
     b
 }
@@ -545,16 +603,28 @@ fn dec_record(body: &str) -> Option<Record> {
     match tag {
         "run" => {
             let mut it = rest.split(' ');
-            if it.next()? != "v1" {
+            let version = it.next()?;
+            if version != "v1" && version != "v2" {
                 return None;
             }
+            let seed = it.next()?.parse().ok()?;
+            let random_samples = it.next()?.parse().ok()?;
+            let max_iterations = it.next()?.parse().ok()?;
+            let max_evals_per_iteration = it.next()?.parse().ok()?;
+            let pool_size = it.next()?.parse().ok()?;
+            let n_objectives = it.next()?.parse().ok()?;
+            // `v2` headers carry the worker topology; legacy `v1` files
+            // decode to `None` so resume can reject them with a clear
+            // topology error rather than truncating them away as garbage.
+            let eval_workers = if version == "v2" { Some(it.next()?.parse().ok()?) } else { None };
             Some(Record::Run(RunHeader {
-                seed: it.next()?.parse().ok()?,
-                random_samples: it.next()?.parse().ok()?,
-                max_iterations: it.next()?.parse().ok()?,
-                max_evals_per_iteration: it.next()?.parse().ok()?,
-                pool_size: it.next()?.parse().ok()?,
-                n_objectives: it.next()?.parse().ok()?,
+                seed,
+                random_samples,
+                max_iterations,
+                max_evals_per_iteration,
+                pool_size,
+                n_objectives,
+                eval_workers,
                 sig: u32::from_str_radix(it.next()?, 16).ok()?,
             }))
         }
@@ -625,6 +695,17 @@ fn dec_record(body: &str) -> Option<Record> {
                 outcome: dec_outcome(it.next()?)?,
             })
         }
+        "wepoch" => Some(Record::WorkerEpoch { epoch: rest.parse().ok()? }),
+        "lease" => {
+            let mut it = rest.split(' ');
+            let r = Record::Lease {
+                epoch: it.next()?.parse().ok()?,
+                flat: it.next()?.parse().ok()?,
+                attempt: it.next()?.parse().ok()?,
+                worker: it.next()?.parse().ok()?,
+            };
+            it.next().is_none().then_some(r)
+        }
         _ => None,
     }
 }
@@ -640,6 +721,8 @@ struct Parser {
     phases: Vec<PhaseReplay>,
     done: bool,
     timing: Vec<(usize, u64, RawOutcome)>,
+    worker_epoch: u64,
+    leases: Vec<LeaseRecord>,
 }
 
 impl Parser {
@@ -656,12 +739,17 @@ impl Parser {
     /// Apply one record; `Err` marks the journal invalid from this record
     /// onward (the caller truncates).
     fn apply(&mut self, record: Record) -> Result<(), &'static str> {
-        // Timing records are exempt from the header-first rule: a serial
-        // re-measurement pass may journal into a standalone file with no
-        // exploration header, and each record self-validates by front
-        // position + flat configuration index.
+        // Timing, worker-epoch, and lease records are exempt from the
+        // header-first rule: a serial re-measurement pass or a service
+        // coordinator's sidecar may journal into a standalone file with no
+        // exploration header, and each such record self-validates (timing by
+        // front position + flat index, epochs by monotonicity, leases by
+        // their checksum alone).
         if self.header.is_none()
-            && !matches!(record, Record::Run(_) | Record::Timing { .. })
+            && !matches!(
+                record,
+                Record::Run(_) | Record::Timing { .. } | Record::WorkerEpoch { .. } | Record::Lease { .. }
+            )
         {
             return Err("record before run header");
         }
@@ -732,6 +820,17 @@ impl Parser {
                 }
                 self.timing.push((pos, flat, outcome));
             }
+            Record::WorkerEpoch { epoch } => {
+                // Each coordinator incarnation bumps the epoch by at least
+                // one; a non-increasing epoch means records were reordered.
+                if epoch <= self.worker_epoch {
+                    return Err("worker epoch not increasing");
+                }
+                self.worker_epoch = epoch;
+            }
+            Record::Lease { epoch, flat, attempt, worker } => {
+                self.leases.push(LeaseRecord { epoch, flat, attempt, worker });
+            }
         }
         Ok(())
     }
@@ -771,6 +870,8 @@ pub struct Journal {
     replay: Option<Replay>,
     timing: Vec<(usize, u64, RawOutcome)>,
     timing_appended: usize,
+    worker_epoch: u64,
+    leases: Vec<LeaseRecord>,
     records: usize,
     truncated_bytes: u64,
     sync_policy: SyncPolicy,
@@ -857,6 +958,8 @@ impl Journal {
             replay: Some(Replay { base: parser.base, phases: parser.phases.into(), done: parser.done }),
             timing: parser.timing,
             timing_appended: 0,
+            worker_epoch: parser.worker_epoch,
+            leases: parser.leases,
             records,
             truncated_bytes,
             sync_policy: SyncPolicy::PerBatch,
@@ -997,6 +1100,54 @@ impl Journal {
         self.append(&Record::Timing { pos, flat, outcome: outcome.clone() })?;
         self.file.sync_data()?;
         self.needs_sync = false;
+        Ok(())
+    }
+
+    // -- service records (hm-service coordinator epochs and lease audit) ----
+
+    /// The highest worker epoch recorded in the journal (`0` if none). Each
+    /// `hm-service` coordinator incarnation reads this, bumps it with
+    /// [`Journal::append_worker_epoch`], and tags every worker it spawns, so
+    /// replies from processes that survived a coordinator crash are fenced
+    /// off by epoch comparison.
+    pub fn worker_epoch(&self) -> u64 {
+        self.worker_epoch
+    }
+
+    /// Durably record a new worker epoch. The epoch must be strictly greater
+    /// than [`Journal::worker_epoch`]; it is fsync'd immediately — an epoch
+    /// that is not durable before workers spawn cannot fence their replies
+    /// after a crash.
+    pub fn append_worker_epoch(&mut self, epoch: u64) -> io::Result<()> {
+        if epoch <= self.worker_epoch {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("worker epoch {epoch} not greater than recorded {}", self.worker_epoch),
+            ));
+        }
+        self.append(&Record::WorkerEpoch { epoch })?;
+        self.worker_epoch = epoch;
+        self.file.sync_data()?;
+        self.needs_sync = false;
+        Ok(())
+    }
+
+    /// Lease-audit records replayed from the file, in append order.
+    pub fn lease_records(&self) -> &[LeaseRecord] {
+        &self.leases
+    }
+
+    /// Append one lease-audit record (grant or reassignment). Synced under
+    /// the journal's [`SyncPolicy`] like eval records — leases are audit
+    /// metadata, not resumable state, so batched durability is enough.
+    pub fn append_lease(&mut self, lease: &LeaseRecord) -> io::Result<()> {
+        self.append(&Record::Lease {
+            epoch: lease.epoch,
+            flat: lease.flat,
+            attempt: lease.attempt,
+            worker: lease.worker,
+        })?;
+        self.leases.push(*lease);
         Ok(())
     }
 }
@@ -1168,6 +1319,7 @@ mod tests {
             max_evals_per_iteration: 5,
             pool_size: 100,
             n_objectives: 2,
+            eval_workers: Some(3),
             sig: 0xDEAD_BEEF,
         };
         {
@@ -1212,6 +1364,7 @@ mod tests {
                 max_evals_per_iteration: 0,
                 pool_size: 10,
                 n_objectives: 1,
+                eval_workers: Some(0),
                 sig: 0,
             })
             .unwrap();
@@ -1244,6 +1397,7 @@ mod tests {
                 max_evals_per_iteration: 0,
                 pool_size: 10,
                 n_objectives: 1,
+                eval_workers: Some(0),
                 sig: 0,
             })
             .unwrap();
@@ -1291,6 +1445,7 @@ mod tests {
                 max_evals_per_iteration: 0,
                 pool_size: 10,
                 n_objectives: 2,
+                eval_workers: Some(0),
                 sig: 1,
             })
             .unwrap();
@@ -1325,6 +1480,7 @@ mod tests {
                 max_evals_per_iteration: 0,
                 pool_size: 10,
                 n_objectives: 1,
+                eval_workers: Some(0),
                 sig: 0,
             })
             .unwrap();
@@ -1350,6 +1506,7 @@ mod tests {
                 max_evals_per_iteration: 0,
                 pool_size: 10,
                 n_objectives: 1,
+                eval_workers: Some(0),
                 sig: 0,
             })
             .unwrap();
@@ -1386,6 +1543,7 @@ mod tests {
                 max_evals_per_iteration: 0,
                 pool_size: 10,
                 n_objectives: 1,
+                eval_workers: Some(0),
                 sig: 0,
             })
             .unwrap();
@@ -1409,5 +1567,79 @@ mod tests {
             "slot order regardless of completion order"
         );
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn worker_epoch_and_lease_records_roundtrip() {
+        let path = tmp("wepoch");
+        let lease = LeaseRecord { epoch: 2, flat: 17, attempt: 3, worker: 1 };
+        {
+            // No run header: service sidecar journals are standalone files.
+            let mut j = Journal::create(&path).unwrap();
+            assert_eq!(j.worker_epoch(), 0);
+            j.append_worker_epoch(1).unwrap();
+            j.append_worker_epoch(2).unwrap();
+            j.append_lease(&LeaseRecord { epoch: 1, flat: 4, attempt: 1, worker: 0 }).unwrap();
+            j.append_lease(&lease).unwrap();
+            j.sync().unwrap();
+        }
+        let j = Journal::open(&path).unwrap();
+        assert_eq!(j.worker_epoch(), 2);
+        assert_eq!(j.truncated_bytes(), 0);
+        assert_eq!(j.lease_records().len(), 2);
+        assert_eq!(j.lease_records()[1], lease);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn non_increasing_worker_epoch_is_rejected_and_truncated() {
+        let path = tmp("wepoch-order");
+        {
+            let mut j = Journal::create(&path).unwrap();
+            j.append_worker_epoch(3).unwrap();
+            let err = j.append_worker_epoch(3).unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+            // Simulate a buggy/forged writer: a CRC-valid but non-increasing
+            // epoch record on disk must be dropped at open time.
+            j.append(&Record::WorkerEpoch { epoch: 2 }).unwrap();
+            j.sync().unwrap();
+        }
+        let j = Journal::open(&path).unwrap();
+        assert_eq!(j.worker_epoch(), 3);
+        assert!(j.truncated_bytes() > 0, "stale epoch record truncated");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn legacy_v1_header_decodes_with_unknown_topology() {
+        let path = tmp("v1-header");
+        let body = "run v1 7 2 1 0 10 1 0000002a";
+        std::fs::write(&path, format!("{:08x} {}\n", crc32(body.as_bytes()), body)).unwrap();
+        let j = Journal::open(&path).unwrap();
+        let h = j.header().expect("v1 header still parses");
+        assert_eq!(h.seed, 7);
+        assert_eq!(h.sig, 0x2A);
+        assert_eq!(h.eval_workers, None, "legacy header carries no topology");
+        assert_eq!(j.truncated_bytes(), 0);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn outcome_wire_codec_roundtrips() {
+        let cases = [
+            RawOutcome::Ok(vec![1.25, f64::NAN, -0.0]),
+            RawOutcome::Err {
+                error: EvalError::Transient { reason: "worker lost".into() },
+                attempts: 2,
+                elapsed_ms: 11,
+            },
+        ];
+        for o in &cases {
+            let wire = o.encode_wire();
+            let back = RawOutcome::decode_wire(&wire).unwrap();
+            assert_eq!(back.encode_wire(), wire, "bit-exact through the wire");
+        }
+        assert!(RawOutcome::decode_wire("ok/not-hex").is_none());
+        assert!(RawOutcome::decode_wire("garbage").is_none());
     }
 }

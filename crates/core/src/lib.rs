@@ -66,7 +66,7 @@ pub use evaluate::{catch_eval, CachedEvaluator, Evaluator, FailedEvaluation, FnE
 pub use faults::{
     silence_injected_panics, Fault, FaultCounts, FaultInjectingEvaluator, FaultPlan,
 };
-pub use journal::{Journal, RawOutcome, SyncPolicy};
+pub use journal::{Journal, LeaseRecord, RawOutcome, SyncPolicy};
 pub use optimizer::{
     ExplorationResult, FailurePolicy, FailureRecord, HyperMapper, IterationStats,
     OptimizerConfig, Phase, Sample, EVAL_CHUNK,

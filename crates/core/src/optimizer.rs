@@ -351,7 +351,11 @@ impl HyperMapper {
         // Lossy per-configuration prediction cache, shared by every
         // iteration's pool sweep and invalidated on each refit (see
         // `OptimizerConfig::pred_cache_slots`). Not part of the journal
-        // header: like `eval_workers` it cannot change any evaluated value.
+        // header: it cannot change any evaluated value. `eval_workers` *is*
+        // recorded — worker topology cannot change values either, but a
+        // resume under a different topology means the operator changed the
+        // deployment mid-run, and the service layer needs that surfaced
+        // loudly rather than silently replayed.
         let mut pred_cache = (self.config.pred_cache_slots > 0)
             .then(|| PredictionCache::new(n_obj, self.config.pred_cache_slots));
 
@@ -361,11 +365,7 @@ impl HyperMapper {
             let header = self.run_header(n_obj);
             match j.header() {
                 Some(existing) if *existing != header => {
-                    return Err(HmError::JournalMismatch(
-                        "journal header (seed, optimizer config, or space fingerprint) \
-                         differs from this run"
-                            .into(),
-                    ));
+                    return Err(header_mismatch_error(existing, &header));
                 }
                 Some(_) => replay = j.take_replay(),
                 None => j.append_header(&header).map_err(jerr)?,
@@ -598,6 +598,7 @@ impl HyperMapper {
             max_evals_per_iteration: self.config.max_evals_per_iteration,
             pool_size: self.config.pool_size,
             n_objectives: n_obj,
+            eval_workers: Some(self.config.eval_workers),
             sig: crc32(sig_src.as_bytes()),
         }
     }
@@ -959,6 +960,31 @@ struct PhaseOutcome {
 
 fn jerr(e: std::io::Error) -> HmError {
     HmError::Journal(e.to_string())
+}
+
+/// Field-specific [`HmError::JournalMismatch`] for a resume whose header
+/// disagrees with the current optimizer. Worker topology gets its own
+/// message — it is the one field an operator plausibly changes between
+/// incarnations of the same logical run, so "which field" matters.
+fn header_mismatch_error(existing: &RunHeader, current: &RunHeader) -> HmError {
+    let topology_only = RunHeader { eval_workers: current.eval_workers, ..existing.clone() }
+        == *current;
+    let msg = if topology_only {
+        match existing.eval_workers {
+            Some(was) => format!(
+                "journal was recorded with eval_workers={was}; this run uses eval_workers={} — \
+                 worker topology is part of the run signature, resume with the original topology",
+                current.eval_workers.unwrap_or(0)
+            ),
+            None => "journal predates worker-topology tracking (run v1 header); re-run from \
+                     scratch or resume with the version that wrote it"
+                .to_string(),
+        }
+    } else {
+        "journal header (seed, optimizer config, or space fingerprint) differs from this run"
+            .to_string()
+    };
+    HmError::JournalMismatch(msg)
 }
 
 /// Classify a raw evaluation outcome: arity and finiteness checks promote

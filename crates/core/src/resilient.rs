@@ -32,12 +32,14 @@ pub struct RetryPolicy {
     pub backoff_base: Duration,
     /// Upper bound on a single backoff sleep.
     pub max_backoff: Duration,
-    /// Per-configuration wall-clock budget across all attempts, or `None`
-    /// for unlimited. The deadline is enforced *cooperatively*: the running
-    /// attempt is not preempted (that would require process isolation), but
-    /// an attempt that finishes past the deadline is reported as
-    /// [`EvalError::Timeout`] and its result discarded, and no further
-    /// retries are started once the budget is spent.
+    /// Per-configuration wall-clock budget across all attempts, *backoff
+    /// sleeps included*, or `None` for unlimited. The deadline is enforced
+    /// *cooperatively*: the running attempt is not preempted (that would
+    /// require process isolation), but an attempt that finishes past the
+    /// deadline is reported as [`EvalError::Timeout`] and its result
+    /// discarded, and a retry whose backoff sleep would exhaust the
+    /// remaining budget is never started — the backoff schedule cannot
+    /// overshoot the deadline.
     pub deadline: Option<Duration>,
 }
 
@@ -235,8 +237,22 @@ impl<E: Evaluator> Evaluator for ResilientEvaluator<'_, E> {
                     if !e.is_retryable() || attempt > self.policy.max_retries {
                         return Err(fail(e));
                     }
+                    // The deadline spans *all* attempts, backoff included: a
+                    // retry whose backoff sleep alone would exhaust the
+                    // remaining budget is not started — the configuration
+                    // times out now instead of overshooting the deadline
+                    // asleep and timing out later anyway.
+                    let backoff = self.policy.backoff(attempt);
+                    if let Some(d) = self.policy.deadline {
+                        if elapsed + backoff >= d {
+                            let timeout = EvalError::timeout(elapsed, d);
+                            self.timeouts.fetch_add(1, Ordering::Relaxed);
+                            self.record(config, attempt, &timeout, elapsed);
+                            return Err(fail(timeout));
+                        }
+                    }
                     self.retries.fetch_add(1, Ordering::Relaxed);
-                    std::thread::sleep(self.policy.backoff(attempt));
+                    std::thread::sleep(backoff);
                     attempt += 1;
                 }
             }
@@ -377,6 +393,44 @@ mod tests {
         assert_eq!(policy.backoff(3), Duration::from_millis(8));
         assert_eq!(policy.backoff(4), Duration::from_millis(9)); // capped
         assert_eq!(policy.backoff(60), Duration::from_millis(9)); // no overflow
+    }
+
+    #[test]
+    fn backoff_never_overshoots_the_deadline() {
+        let s = space();
+        let flaky = Flaky::new(usize::MAX);
+        // Attempts are near-instantaneous, so the schedule is driven by the
+        // backoffs alone: 50 then 100 ms fit the 300 ms budget, but the
+        // third backoff (200 ms on top of ~150 ms elapsed) would overshoot
+        // it — the retry must be refused *before* its sleep. Pre-fix, the
+        // sleep happened anyway and a 4th attempt ran past the budget.
+        let policy = RetryPolicy {
+            max_retries: 10,
+            backoff_base: Duration::from_millis(50),
+            max_backoff: Duration::from_secs(10),
+            deadline: Some(Duration::from_millis(300)),
+        };
+        let resilient = ResilientEvaluator::new(&flaky, policy.clone());
+        let start = Instant::now();
+        let out = resilient.try_evaluate_detailed(&s.config_at(1));
+        let wall = start.elapsed();
+        let f = out.expect_err("budget-bounded retries must fail");
+        assert!(matches!(f.error, EvalError::Timeout { .. }), "final error: {:?}", f.error);
+        // Attempts 1..=3 ran at most; the would-be next backoff was refused
+        // before its sleep (on a loaded machine oversleep can only make the
+        // refusal happen *earlier*, never add attempts).
+        assert!(f.attempts <= 3, "attempts {}", f.attempts);
+        assert_eq!(resilient.timeouts(), 1);
+        // The wrapper itself never sleeps past the deadline: total wall
+        // clock stays within the budget plus one backoff's slack.
+        assert!(
+            wall < Duration::from_millis(300) + policy.backoff(3),
+            "overshot the deadline: {wall:?}"
+        );
+        // The schedule that ran is the deterministic pinned prefix.
+        assert_eq!(policy.backoff(1), Duration::from_millis(50));
+        assert_eq!(policy.backoff(2), Duration::from_millis(100));
+        assert_eq!(policy.backoff(3), Duration::from_millis(200));
     }
 
     #[test]

@@ -269,21 +269,14 @@ impl<'a, E: Evaluator> ParallelBatchEvaluator<'a, E> {
             );
             all
         });
-        let mut slots: Vec<Option<T>> = Vec::with_capacity(n);
-        slots.resize_with(n, || None);
-        for (i, v) in per_worker.into_iter().flatten() {
-            debug_assert!(slots[i].is_none(), "index {i} claimed twice");
-            slots[i] = Some(v);
-        }
-        slots
-            .into_iter()
-            .map(|s| {
-                // Every index below `n` is handed out exactly once by the
-                // fetch_add above, so every slot is filled.
-                // lint: allow(no-unaudited-panic): every index below n is handed out exactly once
-                s.unwrap_or_else(|| unreachable!("unclaimed batch slot"))
-            })
-            .collect()
+        // Every index below `n` is handed out exactly once by the fetch_add
+        // above and the scope joins every worker, so the pairs are a
+        // permutation of 0..n — a sort restores slot order with no
+        // unreachable!-guarded placeholder slots.
+        let mut pairs: Vec<(usize, T)> = per_worker.into_iter().flatten().collect();
+        debug_assert_eq!(pairs.len(), n, "claimed indices must cover the batch");
+        pairs.sort_unstable_by_key(|&(i, _)| i);
+        pairs.into_iter().map(|(_, v)| v).collect()
     }
 
     /// Detailed batch evaluation with a completion observer. `observe(i,

@@ -342,6 +342,22 @@ fn journal_from_a_different_run_is_rejected() {
     let mut journal = Journal::open(&path).unwrap();
     let err = HyperMapper::new(other_space, config(23, 0, 400)).resume(&mut journal, &eval);
     assert!(matches!(err, Err(HmError::JournalMismatch(_))), "got {err:?}");
+
+    // Different worker topology → refused with a field-specific message:
+    // eval_workers is part of the run signature even though it cannot
+    // change evaluated values (resuming a service run under a different
+    // deployment must be loud, not silent).
+    let mut journal = Journal::open(&path).unwrap();
+    let err = HyperMapper::new(space(), config(23, 3, 400)).resume(&mut journal, &eval);
+    match err {
+        Err(HmError::JournalMismatch(msg)) => {
+            assert!(
+                msg.contains("eval_workers=0") && msg.contains("eval_workers=3"),
+                "topology mismatch must name both topologies, got: {msg}"
+            );
+        }
+        other => panic!("expected JournalMismatch, got {other:?}"),
+    }
     let _ = std::fs::remove_file(&path);
 }
 

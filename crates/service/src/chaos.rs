@@ -1,0 +1,260 @@
+//! Seeded fault injection for the kill-anywhere chaos gate.
+//!
+//! A [`ChaosPlan`] deterministically maps `(flat configuration index,
+//! attempt)` to at most one [`Fault`]. The key deliberately excludes the
+//! worker id and any clock: which worker evaluates a configuration and when
+//! depends on scheduling noise, but *whether that evaluation is sabotaged*
+//! must not — otherwise two chaos runs with the same seed could sabotage
+//! different attempt sequences and take unboundedly different paths. Keying
+//! on `(flat, attempt)` makes the fault schedule a pure function of the
+//! plan, so every retry rolls a fresh, reproducible die and eventually lands
+//! on a clean attempt.
+//!
+//! None of the faults can corrupt a *result*: they kill, stall, mute, delay,
+//! duplicate, garble, or mis-epoch the reply path. An accepted reply for a
+//! flat index is always the worker's deterministic evaluation of that
+//! configuration, which is the other half of the bit-identical-front
+//! argument (see `DESIGN.md` §13).
+//!
+//! The plan crosses the process boundary as an environment variable
+//! ([`ChaosPlan::encode`] / [`ChaosPlan::decode`]) so spawned workers
+//! sabotage themselves — the coordinator stays fault-free and only ever
+//! *observes* chaos.
+
+/// One injected fault, applied by the worker while servicing a lease.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// Abort the worker process without replying (SIGKILL-equivalent).
+    Kill,
+    /// Sleep past the lease deadline before evaluating; heartbeats continue,
+    /// so only lease expiry (not death detection) can reassign the slot.
+    Stall,
+    /// Stop heartbeating *and* stall, without exiting: the worker looks
+    /// wedged. Only heartbeat-grace expiry can reclaim it.
+    Freeze,
+    /// Send the reply with one byte flipped so the frame checksum fails.
+    Garble,
+    /// Send the (valid) reply twice.
+    Duplicate,
+    /// Delay the reply past the lease deadline, then send it anyway: a
+    /// classic late reply racing its own replacement.
+    Late,
+    /// Tag the reply with the previous worker epoch, as a resurrected
+    /// pre-crash worker would. The coordinator must fence it.
+    StaleEpoch,
+}
+
+/// Per-fault rates in permille plus the delay magnitudes, all deterministic
+/// given `seed`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChaosPlan {
+    /// Root seed for the per-`(flat, attempt)` die.
+    pub seed: u64,
+    /// ‰ chance of [`Fault::Kill`].
+    pub kill_permille: u16,
+    /// ‰ chance of [`Fault::Stall`].
+    pub stall_permille: u16,
+    /// ‰ chance of [`Fault::Freeze`].
+    pub freeze_permille: u16,
+    /// ‰ chance of [`Fault::Garble`].
+    pub garble_permille: u16,
+    /// ‰ chance of [`Fault::Duplicate`].
+    pub duplicate_permille: u16,
+    /// ‰ chance of [`Fault::Late`].
+    pub late_permille: u16,
+    /// ‰ chance of [`Fault::StaleEpoch`].
+    pub stale_epoch_permille: u16,
+    /// How long [`Fault::Stall`] and [`Fault::Freeze`] sleep, in ms. Must
+    /// exceed the lease deadline to exercise expiry.
+    pub stall_ms: u64,
+    /// How long [`Fault::Late`] delays the reply, in ms.
+    pub late_ms: u64,
+}
+
+impl ChaosPlan {
+    /// No faults at all.
+    pub fn quiet() -> Self {
+        ChaosPlan {
+            seed: 0,
+            kill_permille: 0,
+            stall_permille: 0,
+            freeze_permille: 0,
+            garble_permille: 0,
+            duplicate_permille: 0,
+            late_permille: 0,
+            stale_epoch_permille: 0,
+            stall_ms: 0,
+            late_ms: 0,
+        }
+    }
+
+    /// The default mixed storm used by the chaos gate: every fault class
+    /// enabled, ~21% of attempts sabotaged.
+    pub fn storm(seed: u64) -> Self {
+        ChaosPlan {
+            seed,
+            kill_permille: 40,
+            stall_permille: 40,
+            freeze_permille: 10,
+            garble_permille: 30,
+            duplicate_permille: 40,
+            late_permille: 30,
+            stale_epoch_permille: 20,
+            stall_ms: 400,
+            late_ms: 250,
+        }
+    }
+
+    /// True when some fault has a non-zero rate.
+    pub fn is_active(&self) -> bool {
+        self.kill_permille
+            + self.stall_permille
+            + self.freeze_permille
+            + self.garble_permille
+            + self.duplicate_permille
+            + self.late_permille
+            + self.stale_epoch_permille
+            > 0
+    }
+
+    /// The fault (if any) for one `(flat, attempt)` evaluation. Pure.
+    pub fn fault_for(&self, flat: u64, attempt: u32) -> Option<Fault> {
+        if !self.is_active() {
+            return None;
+        }
+        let h = splitmix64(self.seed ^ splitmix64(flat.wrapping_add((attempt as u64) << 48)));
+        let mut roll = (h % 1000) as u16;
+        let bands = [
+            (self.kill_permille, Fault::Kill),
+            (self.stall_permille, Fault::Stall),
+            (self.freeze_permille, Fault::Freeze),
+            (self.garble_permille, Fault::Garble),
+            (self.duplicate_permille, Fault::Duplicate),
+            (self.late_permille, Fault::Late),
+            (self.stale_epoch_permille, Fault::StaleEpoch),
+        ];
+        for (width, fault) in bands {
+            if roll < width {
+                return Some(fault);
+            }
+            roll -= width;
+        }
+        None
+    }
+
+    /// Encode for the worker environment variable: 10 comma-separated
+    /// decimal fields, in declaration order.
+    pub fn encode(&self) -> String {
+        format!(
+            "{},{},{},{},{},{},{},{},{},{}",
+            self.seed,
+            self.kill_permille,
+            self.stall_permille,
+            self.freeze_permille,
+            self.garble_permille,
+            self.duplicate_permille,
+            self.late_permille,
+            self.stale_epoch_permille,
+            self.stall_ms,
+            self.late_ms
+        )
+    }
+
+    /// Decode an [`ChaosPlan::encode`] string; `None` on malformation.
+    pub fn decode(s: &str) -> Option<Self> {
+        let mut it = s.split(',');
+        let plan = ChaosPlan {
+            seed: it.next()?.parse().ok()?,
+            kill_permille: it.next()?.parse().ok()?,
+            stall_permille: it.next()?.parse().ok()?,
+            freeze_permille: it.next()?.parse().ok()?,
+            garble_permille: it.next()?.parse().ok()?,
+            duplicate_permille: it.next()?.parse().ok()?,
+            late_permille: it.next()?.parse().ok()?,
+            stale_epoch_permille: it.next()?.parse().ok()?,
+            stall_ms: it.next()?.parse().ok()?,
+            late_ms: it.next()?.parse().ok()?,
+        };
+        if it.next().is_some() {
+            return None;
+        }
+        Some(plan)
+    }
+}
+
+/// SplitMix64 — the same tiny mixer the journal's tests use; full 64-bit
+/// avalanche, so consecutive flat indices land in unrelated bands.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fault_schedule_is_deterministic_and_worker_free() {
+        let plan = ChaosPlan::storm(42);
+        for flat in 0..200u64 {
+            for attempt in 1..4u32 {
+                assert_eq!(plan.fault_for(flat, attempt), plan.fault_for(flat, attempt));
+            }
+        }
+        // Different attempts re-roll: some sabotaged first attempts get a
+        // clean second attempt.
+        let healed = (0..500u64).any(|f| {
+            plan.fault_for(f, 1).is_some() && plan.fault_for(f, 2).is_none()
+        });
+        assert!(healed, "retries must be able to escape the fault schedule");
+    }
+
+    #[test]
+    fn storm_exercises_every_fault_class() {
+        let plan = ChaosPlan::storm(7);
+        let mut seen = [false; 7];
+        for flat in 0..20_000u64 {
+            if let Some(fault) = plan.fault_for(flat, 1) {
+                let i = match fault {
+                    Fault::Kill => 0,
+                    Fault::Stall => 1,
+                    Fault::Freeze => 2,
+                    Fault::Garble => 3,
+                    Fault::Duplicate => 4,
+                    Fault::Late => 5,
+                    Fault::StaleEpoch => 6,
+                };
+                seen[i] = true;
+            }
+        }
+        assert_eq!(seen, [true; 7], "20k rolls must hit all fault classes");
+    }
+
+    #[test]
+    fn quiet_plan_never_faults() {
+        let plan = ChaosPlan::quiet();
+        assert!(!plan.is_active());
+        assert!((0..1_000u64).all(|f| plan.fault_for(f, 1).is_none()));
+    }
+
+    #[test]
+    fn env_codec_roundtrips() {
+        for plan in [ChaosPlan::quiet(), ChaosPlan::storm(123), ChaosPlan::storm(u64::MAX)] {
+            assert_eq!(ChaosPlan::decode(&plan.encode()), Some(plan));
+        }
+        assert_eq!(ChaosPlan::decode(""), None);
+        assert_eq!(ChaosPlan::decode("1,2,3"), None);
+        let extra = format!("{},9", ChaosPlan::storm(1).encode());
+        assert_eq!(ChaosPlan::decode(&extra), None);
+    }
+
+    #[test]
+    fn different_seeds_give_different_schedules() {
+        let a = ChaosPlan::storm(1);
+        let b = ChaosPlan::storm(2);
+        let differs = (0..200u64).any(|f| a.fault_for(f, 1) != b.fault_for(f, 1));
+        assert!(differs);
+    }
+}

@@ -1,0 +1,54 @@
+//! The service's single wall-clock site.
+//!
+//! Lease deadlines, heartbeat grace, and retry backoff are *liveness*
+//! mechanisms: they decide **when** work is re-granted, never **what** the
+//! result of a configuration is. Every accepted reply for a flat index is
+//! bit-identical regardless of which attempt produced it, so timing can
+//! float freely without breaking the bit-identical merge guarantee.
+//!
+//! To keep that argument auditable, this module is the only place in
+//! `hm-service` allowed to read the wall clock (it is whitelisted in
+//! hm-lint's `wall-clock-outside-timing` rule). Everything else — the lease
+//! table, the chaos plan, the coordinator's reassignment policy — takes
+//! `now_ms: u64` as an argument and is pure, which is also what makes those
+//! state machines unit-testable without sleeping.
+
+use std::time::Instant;
+
+/// Monotonic milliseconds since service start.
+///
+/// Milliseconds are coarse enough that protocol timeouts (tens to thousands
+/// of ms) are expressed naturally, and a `u64` of them never overflows in
+/// practice.
+#[derive(Debug, Clone, Copy)]
+pub struct ServiceClock {
+    origin: Instant,
+}
+
+impl ServiceClock {
+    /// Start a clock at `now_ms() == 0`.
+    pub fn start() -> Self {
+        ServiceClock { origin: Instant::now() }
+    }
+
+    /// Milliseconds elapsed since [`ServiceClock::start`]. Monotonic.
+    pub fn now_ms(&self) -> u64 {
+        self.origin.elapsed().as_millis() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_is_monotonic_and_starts_near_zero() {
+        let clock = ServiceClock::start();
+        let a = clock.now_ms();
+        assert!(a < 1_000, "fresh clock should read near zero, got {a}");
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        let b = clock.now_ms();
+        assert!(b >= a);
+        assert!(b >= 5, "5ms sleep must advance the clock, got {b}");
+    }
+}

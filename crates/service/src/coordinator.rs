@@ -1,0 +1,737 @@
+//! The coordinator: lease scheduling, heartbeat tracking, and the
+//! slot-ordered merge that makes multi-process exploration bit-identical to
+//! a sequential run.
+//!
+//! [`ServicePool`] owns a pool of spawned worker processes and implements
+//! [`Evaluator`], so a `HyperMapper` run with `eval_workers = 0` (the
+//! sequential in-process path) transparently shards each batch across
+//! processes: the optimizer calls `try_evaluate_batch_detailed`, the pool
+//! drives the lease protocol until every slot is `Done`, and returns results
+//! in slot order.
+//!
+//! # Why the front is bit-identical
+//!
+//! 1. Workers evaluate a *flat configuration index* with a deterministic
+//!    evaluator, so every reply for slot `i` — whichever worker, attempt, or
+//!    delivery produced it — carries the same bytes ([`RawOutcome`] wire
+//!    codec is bit-exact for floats).
+//! 2. The lease table accepts at most one reply per slot; duplicates, late
+//!    replies quoting revoked leases, and replies fenced by worker epoch are
+//!    dropped without side effects.
+//! 3. Results are returned indexed by slot, so arrival order is irrelevant.
+//!
+//! Scheduling, timing, worker count, and fault injection therefore cannot
+//! change the merged objective vectors — only how long they take to arrive.
+
+use crate::chaos::ChaosPlan;
+use crate::clock::ServiceClock;
+use crate::lease::{regrant_backoff_ms, LeaseTable, ReplyVerdict, SlotState};
+use crate::wire::{decode_frame, encode_frame, FrameError, Msg};
+use crate::worker::{ENV_CHAOS, ENV_EPOCH, ENV_HEARTBEAT_MS, ENV_ROLE, ENV_WORKER_ID, ROLE_WORKER};
+use hypermapper::evaluate::{Evaluator, FailedEvaluation};
+use hypermapper::journal::{Journal, LeaseRecord, RawOutcome};
+use hypermapper::space::{Configuration, ParamSpace};
+use hypermapper::EvalError;
+use std::collections::BTreeMap;
+use std::io::{self, BufRead, BufReader, Write};
+use std::path::PathBuf;
+use std::process::{Child, ChildStdin, Command, Stdio};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Tuning knobs for a [`ServicePool`].
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Worker processes to keep alive. Must be ≥ 1.
+    pub workers: usize,
+    /// Lease deadline: a grant unanswered for this long is revoked and
+    /// re-granted elsewhere.
+    pub lease_ms: u64,
+    /// Worker heartbeat period.
+    pub heartbeat_ms: u64,
+    /// Consecutive missed heartbeats before a silent worker is declared
+    /// dead, its process killed, and its leases revoked.
+    pub heartbeat_grace: u32,
+    /// Grants per configuration before the coordinator gives up and records
+    /// a transient failure for the slot.
+    pub max_attempts: u32,
+    /// Worker processes the pool may respawn over its lifetime. Generous by
+    /// default: under chaos, respawns are routine.
+    pub respawn_budget: u32,
+    /// Base of the deterministic re-grant backoff (doubles per attempt).
+    pub backoff_base_ms: u64,
+    /// Cap on the re-grant backoff.
+    pub backoff_cap_ms: u64,
+    /// Fault-injection plan shipped to workers. [`ChaosPlan::quiet`] for
+    /// production.
+    pub chaos: ChaosPlan,
+    /// Worker epoch stamped on every frame; replies from other epochs are
+    /// dropped. Bump it on every coordinator incarnation (see
+    /// `Journal::append_worker_epoch`).
+    pub epoch: u64,
+    /// Optional sidecar journal path recording the lease grant history
+    /// (`wepoch` + `lease` records) for post-mortem and resume audits.
+    pub sidecar: Option<PathBuf>,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            workers: 4,
+            lease_ms: 2_000,
+            heartbeat_ms: 100,
+            heartbeat_grace: 30,
+            max_attempts: 32,
+            respawn_budget: 256,
+            backoff_base_ms: 10,
+            backoff_cap_ms: 500,
+            chaos: ChaosPlan::quiet(),
+            epoch: 1,
+            sidecar: None,
+        }
+    }
+}
+
+/// Monotonic counters describing everything the coordinator observed.
+/// Readable at any time via [`ServicePool::stats`].
+#[derive(Debug, Default)]
+pub struct ServiceStats {
+    leases_granted: AtomicU64,
+    accepted: AtomicU64,
+    duplicates_dropped: AtomicU64,
+    stale_dropped: AtomicU64,
+    wrong_epoch_dropped: AtomicU64,
+    garbled_frames: AtomicU64,
+    worker_deaths: AtomicU64,
+    lease_expiries: AtomicU64,
+    respawns: AtomicU64,
+    exhausted: AtomicU64,
+}
+
+/// A plain-number snapshot of [`ServiceStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StatsSnapshot {
+    /// Leases granted, re-grants included.
+    pub leases_granted: u64,
+    /// Replies accepted (exactly one per completed slot).
+    pub accepted: u64,
+    /// Re-deliveries of an already-accepted lease, dropped.
+    pub duplicates_dropped: u64,
+    /// Replies quoting a revoked or unknown lease, dropped.
+    pub stale_dropped: u64,
+    /// Replies fenced off by worker-epoch mismatch, dropped.
+    pub wrong_epoch_dropped: u64,
+    /// Frames that failed length/checksum/body validation.
+    pub garbled_frames: u64,
+    /// Workers declared dead (EOF or heartbeat-grace expiry).
+    pub worker_deaths: u64,
+    /// Leases revoked because their deadline passed.
+    pub lease_expiries: u64,
+    /// Worker processes respawned.
+    pub respawns: u64,
+    /// Slots abandoned after `max_attempts` grants.
+    pub exhausted: u64,
+}
+
+impl ServiceStats {
+    fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            leases_granted: self.leases_granted.load(Ordering::Relaxed),
+            accepted: self.accepted.load(Ordering::Relaxed),
+            duplicates_dropped: self.duplicates_dropped.load(Ordering::Relaxed),
+            stale_dropped: self.stale_dropped.load(Ordering::Relaxed),
+            wrong_epoch_dropped: self.wrong_epoch_dropped.load(Ordering::Relaxed),
+            garbled_frames: self.garbled_frames.load(Ordering::Relaxed),
+            worker_deaths: self.worker_deaths.load(Ordering::Relaxed),
+            lease_expiries: self.lease_expiries.load(Ordering::Relaxed),
+            respawns: self.respawns.load(Ordering::Relaxed),
+            exhausted: self.exhausted.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// What a reader thread forwards to the coordinator loop. Every event
+/// carries the *spawn generation* of the child it came from: after a
+/// respawn, the worker index points at a new process, and events still
+/// draining from the old child's reader thread (late frames, its final
+/// EOF) must not be attributed to the new one — waiting on a live
+/// respawned child because its predecessor EOF'd is a deadlock.
+enum Event {
+    /// A validated frame from worker `i`.
+    Frame(u32, u64, Msg),
+    /// A frame that failed validation (the error names how).
+    Garbled(u32, u64, FrameError),
+    /// Worker `i`'s stdout reached EOF: the process exited or was killed.
+    Closed(u32, u64),
+}
+
+struct WorkerHandle {
+    child: Child,
+    stdin: Option<ChildStdin>,
+    /// Spawn generation, unique across the pool's lifetime. Events tagged
+    /// with an older generation are from a dead predecessor.
+    generation: u64,
+    alive: bool,
+    last_seen_ms: u64,
+    /// The lease id this worker is currently servicing, if any. Throttles
+    /// grants to one outstanding lease per worker.
+    busy: Option<u64>,
+}
+
+struct Inner {
+    workers: Vec<WorkerHandle>,
+    tx: Sender<Event>,
+    rx: Receiver<Event>,
+    clock: ServiceClock,
+    next_generation: u64,
+    /// First lease id for the next batch's table. Threaded through so ids
+    /// are unique across the pool's lifetime: a worker stalled in batch N
+    /// may reply after batch N+1 has begun, and a restarted counter would
+    /// let its stale id collide with a live lease and be accepted for the
+    /// wrong slot.
+    next_lease_id: u64,
+    respawns_left: u32,
+    sidecar: Option<Journal>,
+}
+
+/// A pool of worker processes behind the [`Evaluator`] interface.
+pub struct ServicePool {
+    space: ParamSpace,
+    n_objectives: usize,
+    objective_names: Vec<String>,
+    cfg: ServiceConfig,
+    inner: Mutex<Inner>,
+    stats: ServiceStats,
+}
+
+impl ServicePool {
+    /// Spawn `cfg.workers` worker processes (re-executing the current
+    /// binary, which must call [`crate::worker_entry`] first thing in
+    /// `main`) and return the pool. The `space` must be the same space the
+    /// workers' factory builds — flat indices are the shared vocabulary.
+    pub fn launch(
+        space: ParamSpace,
+        n_objectives: usize,
+        objective_names: Vec<String>,
+        cfg: ServiceConfig,
+    ) -> io::Result<ServicePool> {
+        if cfg.workers == 0 {
+            return Err(io::Error::new(io::ErrorKind::InvalidInput, "workers must be ≥ 1"));
+        }
+        let (tx, rx) = channel();
+        let mut sidecar = match &cfg.sidecar {
+            Some(path) => Some(Journal::open_or_create(path)?),
+            None => None,
+        };
+        if let Some(j) = sidecar.as_mut() {
+            if cfg.epoch > j.worker_epoch() {
+                j.append_worker_epoch(cfg.epoch)?;
+            }
+        }
+        let mut inner = Inner {
+            workers: Vec::with_capacity(cfg.workers),
+            tx,
+            rx,
+            clock: ServiceClock::start(),
+            next_generation: 0,
+            next_lease_id: 1,
+            respawns_left: cfg.respawn_budget,
+            sidecar,
+        };
+        for i in 0..cfg.workers {
+            let now = inner.clock.now_ms();
+            let generation = inner.next_generation;
+            inner.next_generation += 1;
+            let handle = spawn_worker(&cfg, i as u32, generation, &inner.tx, now)?;
+            inner.workers.push(handle);
+        }
+        Ok(ServicePool {
+            space,
+            n_objectives,
+            objective_names,
+            cfg,
+            inner: Mutex::new(inner),
+            stats: ServiceStats::default(),
+        })
+    }
+
+    /// Counters observed so far.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    /// Evaluate a batch by leasing each configuration to the worker pool.
+    /// Returns one result per input, in input (slot) order, regardless of
+    /// which workers answered or in what order.
+    pub fn evaluate_batch(
+        &self,
+        configs: &[Configuration],
+    ) -> Vec<Result<Vec<f64>, FailedEvaluation>> {
+        if configs.is_empty() {
+            return Vec::new();
+        }
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        self.drive(&mut inner, configs)
+    }
+
+    /// The coordinator loop for one batch.
+    fn drive(
+        &self,
+        inner: &mut Inner,
+        configs: &[Configuration],
+    ) -> Vec<Result<Vec<f64>, FailedEvaluation>> {
+        let n = configs.len();
+        let flats: Vec<u64> = configs.iter().map(|c| self.space.flat_index(c)).collect();
+        let mut table = LeaseTable::with_base(n, inner.next_lease_id);
+        let mut lease_to_slot: BTreeMap<u64, usize> = BTreeMap::new();
+        let mut results: Vec<Option<Result<Vec<f64>, FailedEvaluation>>> = vec![None; n];
+
+        while !table.all_done() {
+            let now = inner.clock.now_ms();
+            self.sweep_heartbeats(inner, &mut table, now);
+            self.sweep_expired(&mut table, now);
+            self.respawn_dead(inner, &table);
+
+            if inner.workers.iter().all(|w| !w.alive) && inner.respawns_left == 0 {
+                // Nothing can ever answer again; fail the remaining slots.
+                for slot in 0..n {
+                    if table.state(slot) != SlotState::Done {
+                        table.give_up(slot);
+                        results[slot] = Some(Err(FailedEvaluation::single(EvalError::Transient {
+                            reason: "service pool lost all workers and its respawn budget"
+                                .to_string(),
+                        })));
+                    }
+                }
+                break;
+            }
+
+            self.grant_leases(inner, &mut table, &mut lease_to_slot, &flats, &mut results, now);
+            self.pump_events(inner, &mut table, &lease_to_slot, &flats, &mut results, now);
+        }
+        inner.next_lease_id = table.next_lease_id();
+
+        results
+            .into_iter()
+            .map(|r| {
+                r.unwrap_or_else(|| {
+                    // Unreachable by construction (every Done slot stores a
+                    // result), but a logic bug should surface as a failure
+                    // record, not a panic in the optimizer.
+                    Err(FailedEvaluation::single(EvalError::Transient {
+                        reason: "coordinator finished a slot without a result".to_string(),
+                    }))
+                })
+            })
+            .collect()
+    }
+
+    /// Kill and revoke workers whose heartbeats stopped for longer than the
+    /// grace window (wedged or frozen processes that cannot EOF).
+    fn sweep_heartbeats(&self, inner: &mut Inner, table: &mut LeaseTable, now: u64) {
+        let grace = self.cfg.heartbeat_ms.saturating_mul(self.cfg.heartbeat_grace as u64);
+        for i in 0..inner.workers.len() {
+            let w = &mut inner.workers[i];
+            if w.alive && now.saturating_sub(w.last_seen_ms) > grace {
+                let _ = w.child.kill();
+                let _ = w.child.wait();
+                w.alive = false;
+                w.busy = None;
+                ServiceStats::bump(&self.stats.worker_deaths);
+                self.revoke_all(table, i as u32, now);
+            }
+        }
+    }
+
+    /// Revoke leases whose deadline passed. The holder may still be alive
+    /// and chewing (a stall); it keeps its `busy` flag so it gets no new
+    /// grants until it answers or dies, but the slot moves on.
+    fn sweep_expired(&self, table: &mut LeaseTable, now: u64) {
+        for (slot, _worker) in table.expired(now) {
+            ServiceStats::bump(&self.stats.lease_expiries);
+            let backoff = regrant_backoff_ms(
+                self.cfg.backoff_base_ms,
+                table.attempts(slot),
+                self.cfg.backoff_cap_ms,
+            );
+            table.revoke(slot, now, backoff);
+        }
+    }
+
+    /// Revoke every lease held by `worker`, with per-slot backoff.
+    fn revoke_all(&self, table: &mut LeaseTable, worker: u32, now: u64) {
+        for slot in 0..table.len() {
+            if matches!(table.state(slot), SlotState::Leased { worker: w, .. } if w == worker) {
+                let backoff = regrant_backoff_ms(
+                    self.cfg.backoff_base_ms,
+                    table.attempts(slot),
+                    self.cfg.backoff_cap_ms,
+                );
+                table.revoke(slot, now, backoff);
+            }
+        }
+    }
+
+    /// Respawn dead workers while work remains and the budget allows.
+    fn respawn_dead(&self, inner: &mut Inner, table: &LeaseTable) {
+        if table.all_done() {
+            return;
+        }
+        for i in 0..inner.workers.len() {
+            if inner.workers[i].alive || inner.respawns_left == 0 {
+                continue;
+            }
+            let now = inner.clock.now_ms();
+            let generation = inner.next_generation;
+            match spawn_worker(&self.cfg, i as u32, generation, &inner.tx, now) {
+                Ok(handle) => {
+                    inner.next_generation += 1;
+                    // Reap the corpse before dropping its handle.
+                    let _ = inner.workers[i].child.kill();
+                    let _ = inner.workers[i].child.wait();
+                    inner.workers[i] = handle;
+                    inner.respawns_left -= 1;
+                    ServiceStats::bump(&self.stats.respawns);
+                }
+                Err(_) => {
+                    // Spawn failures (fd pressure, fork limits) are retried
+                    // on the next loop iteration; the budget is untouched.
+                }
+            }
+        }
+    }
+
+    /// Grant claimable slots to idle workers, one outstanding lease each.
+    fn grant_leases(
+        &self,
+        inner: &mut Inner,
+        table: &mut LeaseTable,
+        lease_to_slot: &mut BTreeMap<u64, usize>,
+        flats: &[u64],
+        results: &mut [Option<Result<Vec<f64>, FailedEvaluation>>],
+        now: u64,
+    ) {
+        for i in 0..inner.workers.len() {
+            if !inner.workers[i].alive || inner.workers[i].busy.is_some() {
+                continue;
+            }
+            let Some(slot) = table.claimable(now) else { break };
+            if table.attempts(slot) >= self.cfg.max_attempts {
+                table.give_up(slot);
+                ServiceStats::bump(&self.stats.exhausted);
+                results[slot] = Some(Err(FailedEvaluation {
+                    error: EvalError::Transient {
+                        reason: format!(
+                            "lease attempt budget exhausted after {} grants",
+                            table.attempts(slot)
+                        ),
+                    },
+                    attempts: table.attempts(slot),
+                    elapsed_ms: 0,
+                }));
+                continue;
+            }
+            let Some((lease_id, attempt)) = table.grant(slot, i as u32, now, self.cfg.lease_ms)
+            else {
+                continue;
+            };
+            lease_to_slot.insert(lease_id, slot);
+            if let Some(j) = inner.sidecar.as_mut() {
+                let _ = j.append_lease(&LeaseRecord {
+                    epoch: self.cfg.epoch,
+                    flat: flats[slot],
+                    attempt,
+                    worker: i as u32,
+                });
+            }
+            let frame = encode_frame(&Msg::Lease {
+                lease_id,
+                epoch: self.cfg.epoch,
+                flat: flats[slot],
+                attempt,
+            });
+            let delivered = match inner.workers[i].stdin.as_mut() {
+                Some(stdin) => {
+                    stdin.write_all(frame.as_bytes()).and_then(|_| stdin.flush()).is_ok()
+                }
+                None => false,
+            };
+            if delivered {
+                inner.workers[i].busy = Some(lease_id);
+                ServiceStats::bump(&self.stats.leases_granted);
+            } else {
+                // Broken pipe: the worker is dying; EOF will follow. Undo
+                // the grant with no backoff — it never left the building.
+                table.revoke(slot, now, 0);
+            }
+        }
+    }
+
+    /// Block for the next event (bounded by the nearest deadline) and apply
+    /// it to the table.
+    fn pump_events(
+        &self,
+        inner: &mut Inner,
+        table: &mut LeaseTable,
+        lease_to_slot: &BTreeMap<u64, usize>,
+        flats: &[u64],
+        results: &mut [Option<Result<Vec<f64>, FailedEvaluation>>],
+        now: u64,
+    ) {
+        let mut wake = now.saturating_add(self.cfg.heartbeat_ms.max(10));
+        if let Some(d) = table.next_deadline_ms() {
+            wake = wake.min(d);
+        }
+        if let Some(e) = table.next_eligible_ms(now) {
+            wake = wake.min(e);
+        }
+        let timeout = Duration::from_millis(wake.saturating_sub(now).max(1));
+        let event = match inner.rx.recv_timeout(timeout) {
+            Ok(ev) => ev,
+            Err(RecvTimeoutError::Timeout) => return,
+            Err(RecvTimeoutError::Disconnected) => return,
+        };
+        let now = inner.clock.now_ms();
+        // Drop events from a previous spawn generation: the index now names
+        // a different process, and a predecessor's dying gasps (late frames,
+        // its EOF) must not touch the current child's bookkeeping.
+        let (idx, generation) = match &event {
+            Event::Frame(i, g, _) | Event::Garbled(i, g, _) | Event::Closed(i, g) => {
+                (*i as usize, *g)
+            }
+        };
+        if idx >= inner.workers.len() || inner.workers[idx].generation != generation {
+            return;
+        }
+        match event {
+            Event::Frame(i, _, msg) => {
+                self.apply_frame(inner, table, lease_to_slot, flats, results, i, msg, now)
+            }
+            Event::Garbled(i, _, _err) => {
+                ServiceStats::bump(&self.stats.garbled_frames);
+                // A garbled reply means the worker finished *something*;
+                // its stream stays aligned (newline framing), but the
+                // lease it was servicing must be re-granted.
+                inner.workers[idx].last_seen_ms = now;
+                inner.workers[idx].busy = None;
+                self.revoke_all(table, i, now);
+            }
+            Event::Closed(i, _) => {
+                if inner.workers[idx].alive {
+                    // EOF means the process exited or closed stdout; kill
+                    // first so wait() can never block on a live child.
+                    let _ = inner.workers[idx].child.kill();
+                    let _ = inner.workers[idx].child.wait();
+                    inner.workers[idx].alive = false;
+                    inner.workers[idx].busy = None;
+                    ServiceStats::bump(&self.stats.worker_deaths);
+                    self.revoke_all(table, i, now);
+                }
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn apply_frame(
+        &self,
+        inner: &mut Inner,
+        table: &mut LeaseTable,
+        lease_to_slot: &BTreeMap<u64, usize>,
+        flats: &[u64],
+        results: &mut [Option<Result<Vec<f64>, FailedEvaluation>>],
+        i: u32,
+        msg: Msg,
+        now: u64,
+    ) {
+        let idx = i as usize;
+        if idx >= inner.workers.len() {
+            return;
+        }
+        match msg {
+            Msg::Hello { .. } => {
+                inner.workers[idx].last_seen_ms = now;
+            }
+            Msg::Heartbeat { epoch, .. } => {
+                if epoch == self.cfg.epoch {
+                    inner.workers[idx].last_seen_ms = now;
+                } else {
+                    ServiceStats::bump(&self.stats.wrong_epoch_dropped);
+                }
+            }
+            Msg::Result { lease_id, epoch, flat, outcome, .. } => {
+                inner.workers[idx].last_seen_ms = now;
+                if inner.workers[idx].busy == Some(lease_id) {
+                    inner.workers[idx].busy = None;
+                }
+                if epoch != self.cfg.epoch {
+                    // A reply from a previous incarnation (or a chaos
+                    // stale-epoch tag): fence it. The slot's live lease, if
+                    // any, will expire and re-grant.
+                    ServiceStats::bump(&self.stats.wrong_epoch_dropped);
+                    return;
+                }
+                let Some(&slot) = lease_to_slot.get(&lease_id) else {
+                    ServiceStats::bump(&self.stats.stale_dropped);
+                    return;
+                };
+                if flat != flats[slot] {
+                    // The reply's payload is for a different configuration
+                    // than the quoted lease's slot. Lease ids are unique
+                    // across the pool's lifetime, so this can only be a
+                    // corrupted-but-checksum-valid frame or a protocol bug;
+                    // either way, accepting it would poison the merge.
+                    ServiceStats::bump(&self.stats.stale_dropped);
+                    return;
+                }
+                match table.reply(slot, lease_id) {
+                    ReplyVerdict::Accepted => {
+                        ServiceStats::bump(&self.stats.accepted);
+                        results[slot] = Some(outcome_to_result(outcome));
+                    }
+                    ReplyVerdict::Duplicate => {
+                        ServiceStats::bump(&self.stats.duplicates_dropped)
+                    }
+                    ReplyVerdict::Stale => ServiceStats::bump(&self.stats.stale_dropped),
+                }
+            }
+            // Coordinator-direction messages arriving from a worker are
+            // nonsense; ignore them.
+            Msg::Lease { .. } | Msg::Shutdown => {}
+        }
+    }
+}
+
+impl Drop for ServicePool {
+    fn drop(&mut self) {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        for w in inner.workers.iter_mut() {
+            if let Some(stdin) = w.stdin.as_mut() {
+                let _ = stdin.write_all(encode_frame(&Msg::Shutdown).as_bytes());
+                let _ = stdin.flush();
+            }
+            // Closing stdin EOFs the worker's read loop; the kill is a
+            // backstop for stalled or frozen workers, and wait() reaps.
+            w.stdin = None;
+            let _ = w.child.kill();
+            let _ = w.child.wait();
+        }
+        if let Some(j) = inner.sidecar.as_mut() {
+            let _ = j.sync();
+        }
+    }
+}
+
+fn outcome_to_result(outcome: RawOutcome) -> Result<Vec<f64>, FailedEvaluation> {
+    match outcome {
+        RawOutcome::Ok(v) => Ok(v),
+        RawOutcome::Err { error, attempts, elapsed_ms } => {
+            Err(FailedEvaluation { error, attempts, elapsed_ms })
+        }
+    }
+}
+
+/// Spawn one worker process and its stdout reader thread.
+fn spawn_worker(
+    cfg: &ServiceConfig,
+    index: u32,
+    generation: u64,
+    tx: &Sender<Event>,
+    now: u64,
+) -> io::Result<WorkerHandle> {
+    let exe = std::env::current_exe()?;
+    let mut cmd = Command::new(exe);
+    cmd.env(ENV_ROLE, ROLE_WORKER)
+        .env(ENV_EPOCH, cfg.epoch.to_string())
+        .env(ENV_WORKER_ID, index.to_string())
+        .env(ENV_HEARTBEAT_MS, cfg.heartbeat_ms.to_string())
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit());
+    if cfg.chaos.is_active() {
+        cmd.env(ENV_CHAOS, cfg.chaos.encode());
+    } else {
+        cmd.env_remove(ENV_CHAOS);
+    }
+    let mut child = cmd.spawn()?;
+    let stdin = child.stdin.take();
+    let stdout = child
+        .stdout
+        .take()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::Other, "worker stdout not piped"))?;
+    let tx = tx.clone();
+    std::thread::spawn(move || {
+        let mut reader = BufReader::new(stdout);
+        let mut line = String::new();
+        loop {
+            line.clear();
+            match reader.read_line(&mut line) {
+                Ok(0) | Err(_) => {
+                    let _ = tx.send(Event::Closed(index, generation));
+                    return;
+                }
+                Ok(_) => {}
+            }
+            let event = match decode_frame(&line) {
+                Ok(msg) => Event::Frame(index, generation, msg),
+                Err(e) => Event::Garbled(index, generation, e),
+            };
+            if tx.send(event).is_err() {
+                return; // pool dropped; nobody is listening
+            }
+        }
+    });
+    Ok(WorkerHandle { child, stdin, generation, alive: true, last_seen_ms: now, busy: None })
+}
+
+impl Evaluator for ServicePool {
+    fn n_objectives(&self) -> usize {
+        self.n_objectives
+    }
+
+    fn objective_names(&self) -> Vec<String> {
+        self.objective_names.clone()
+    }
+
+    fn evaluate(&self, config: &Configuration) -> Vec<f64> {
+        // Infallible bridge: service-level failures surface as NaN
+        // objectives, which the optimizer's validation turns into
+        // non-finite failure records — never a panic.
+        match self.try_evaluate_detailed(config) {
+            Ok(v) => v,
+            Err(_) => vec![f64::NAN; self.n_objectives],
+        }
+    }
+
+    fn try_evaluate(&self, config: &Configuration) -> Result<Vec<f64>, EvalError> {
+        self.try_evaluate_detailed(config).map_err(EvalError::from)
+    }
+
+    fn try_evaluate_detailed(&self, config: &Configuration) -> Result<Vec<f64>, FailedEvaluation> {
+        match self.evaluate_batch(std::slice::from_ref(config)).pop() {
+            Some(r) => r,
+            None => Err(FailedEvaluation::single(EvalError::Transient {
+                reason: "empty batch result".to_string(),
+            })),
+        }
+    }
+
+    fn try_evaluate_batch(&self, configs: &[Configuration]) -> Vec<Result<Vec<f64>, EvalError>> {
+        self.evaluate_batch(configs)
+            .into_iter()
+            .map(|r| r.map_err(EvalError::from))
+            .collect()
+    }
+
+    fn try_evaluate_batch_detailed(
+        &self,
+        configs: &[Configuration],
+    ) -> Vec<Result<Vec<f64>, FailedEvaluation>> {
+        self.evaluate_batch(configs)
+    }
+}

@@ -1,0 +1,372 @@
+//! The lease table: a pure state machine over one batch of configurations.
+//!
+//! Each batch slot moves through `Unassigned → Leased → Done`, possibly
+//! looping back to `Unassigned` when a lease is revoked (deadline expiry,
+//! worker death, or a garbled reply). Every transition is driven by an
+//! explicit `now_ms` argument — the table never reads a clock — so the whole
+//! reassignment policy is unit-testable with synthetic timestamps.
+//!
+//! Idempotence lives here: a reply is keyed by `(slot, lease_id)` and judged
+//! with [`LeaseTable::reply`], which accepts a result exactly once. Duplicate
+//! deliveries of the accepted lease come back [`ReplyVerdict::Duplicate`];
+//! replies quoting a lease that has since been revoked and re-granted come
+//! back [`ReplyVerdict::Stale`]. Both are dropped by the coordinator without
+//! touching the merged results, which is what makes the final front
+//! independent of delivery order and delivery count.
+
+/// Where one batch slot stands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SlotState {
+    /// No live lease. The slot may be granted once `now_ms` reaches its
+    /// backoff eligibility time.
+    Unassigned,
+    /// Granted to a worker until a deadline.
+    Leased {
+        /// Unique lease id; replies must echo it.
+        lease_id: u64,
+        /// Worker index holding the lease.
+        worker: u32,
+        /// Absolute deadline in service-clock ms.
+        deadline_ms: u64,
+    },
+    /// A reply was accepted; the slot's result is final.
+    Done,
+}
+
+/// Outcome of presenting a reply to the table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplyVerdict {
+    /// First valid reply for this slot — record the result.
+    Accepted,
+    /// The slot is already `Done`; this is a re-delivery. Drop it.
+    Duplicate,
+    /// The quoted lease is not the slot's current lease (revoked, or never
+    /// existed). Drop it; a live or future lease will supply the result.
+    Stale,
+}
+
+#[derive(Debug, Clone)]
+struct Slot {
+    state: SlotState,
+    /// Grants so far (1-based after the first grant).
+    attempts: u32,
+    /// Earliest service-clock ms at which the slot may be re-granted.
+    eligible_at_ms: u64,
+}
+
+/// Lease bookkeeping for one batch. Slots are indexed `0..len`.
+#[derive(Debug)]
+pub struct LeaseTable {
+    slots: Vec<Slot>,
+    next_lease_id: u64,
+    done: usize,
+}
+
+impl LeaseTable {
+    /// A table of `n` unassigned slots.
+    pub fn new(n: usize) -> Self {
+        // Lease ids start at 1 so 0 can never match a real lease.
+        LeaseTable::with_base(n, 1)
+    }
+
+    /// A table of `n` unassigned slots whose first lease id is `base`.
+    ///
+    /// A coordinator that runs *batches in sequence over the same worker
+    /// pool* must thread the id counter through (`base` = the previous
+    /// table's [`LeaseTable::next_lease_id`]): a worker stalled past its
+    /// deadline in batch N can wake up and reply after batch N+1 has begun,
+    /// and if ids restarted at 1 its stale lease id could collide with a
+    /// *live* lease in the new batch and be accepted for the wrong slot.
+    pub fn with_base(n: usize, base: u64) -> Self {
+        LeaseTable {
+            slots: vec![Slot { state: SlotState::Unassigned, attempts: 0, eligible_at_ms: 0 }; n],
+            next_lease_id: base.max(1),
+            done: 0,
+        }
+    }
+
+    /// The id the next grant will use. Feed this into
+    /// [`LeaseTable::with_base`] for the following batch so ids stay unique
+    /// across the pool's lifetime.
+    pub fn next_lease_id(&self) -> u64 {
+        self.next_lease_id
+    }
+
+    /// Number of slots.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True when the table has no slots.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Slots whose reply has been accepted.
+    pub fn done_count(&self) -> usize {
+        self.done
+    }
+
+    /// True once every slot is `Done`.
+    pub fn all_done(&self) -> bool {
+        self.done == self.slots.len()
+    }
+
+    /// Current state of a slot.
+    pub fn state(&self, slot: usize) -> SlotState {
+        self.slots[slot].state
+    }
+
+    /// Grants made for a slot so far.
+    pub fn attempts(&self, slot: usize) -> u32 {
+        self.slots[slot].attempts
+    }
+
+    /// Lowest-indexed slot that is unassigned and past its backoff, if any.
+    /// Lowest-first keeps grant order deterministic given identical event
+    /// sequences, which makes chaos runs easier to reason about.
+    pub fn claimable(&self, now_ms: u64) -> Option<usize> {
+        self.slots
+            .iter()
+            .position(|s| s.state == SlotState::Unassigned && s.eligible_at_ms <= now_ms)
+    }
+
+    /// Earliest future eligibility time among unassigned slots, if every
+    /// unassigned slot is still backing off. Lets the coordinator sleep just
+    /// long enough instead of spinning.
+    pub fn next_eligible_ms(&self, now_ms: u64) -> Option<u64> {
+        self.slots
+            .iter()
+            .filter(|s| s.state == SlotState::Unassigned && s.eligible_at_ms > now_ms)
+            .map(|s| s.eligible_at_ms)
+            .min()
+    }
+
+    /// Grant `slot` to `worker` until `now_ms + lease_ms`. Returns the new
+    /// `(lease_id, attempt)`, or `None` if the slot is not grantable (already
+    /// leased or done) — callers pick slots via [`LeaseTable::claimable`], so
+    /// `None` indicates a coordinator logic error and is surfaced as a
+    /// transient failure rather than a panic.
+    pub fn grant(&mut self, slot: usize, worker: u32, now_ms: u64, lease_ms: u64) -> Option<(u64, u32)> {
+        let s = &mut self.slots[slot];
+        if s.state != SlotState::Unassigned {
+            return None;
+        }
+        let lease_id = self.next_lease_id;
+        self.next_lease_id += 1;
+        s.attempts += 1;
+        s.state = SlotState::Leased { lease_id, worker, deadline_ms: now_ms.saturating_add(lease_ms) };
+        Some((lease_id, s.attempts))
+    }
+
+    /// Slots whose lease deadline has passed: `(slot, worker)` pairs.
+    pub fn expired(&self, now_ms: u64) -> Vec<(usize, u32)> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| match s.state {
+                SlotState::Leased { worker, deadline_ms, .. } if deadline_ms <= now_ms => {
+                    Some((i, worker))
+                }
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Earliest live lease deadline, for the coordinator's wait timeout.
+    pub fn next_deadline_ms(&self) -> Option<u64> {
+        self.slots
+            .iter()
+            .filter_map(|s| match s.state {
+                SlotState::Leased { deadline_ms, .. } => Some(deadline_ms),
+                _ => None,
+            })
+            .min()
+    }
+
+    /// Revoke a slot's live lease, making it re-grantable at
+    /// `now_ms + backoff_ms`. No-op unless the slot is `Leased`.
+    pub fn revoke(&mut self, slot: usize, now_ms: u64, backoff_ms: u64) {
+        let s = &mut self.slots[slot];
+        if matches!(s.state, SlotState::Leased { .. }) {
+            s.state = SlotState::Unassigned;
+            s.eligible_at_ms = now_ms.saturating_add(backoff_ms);
+        }
+    }
+
+    /// Revoke every lease held by `worker` (its process died or its stream
+    /// garbled). Returns the revoked slot indices.
+    pub fn revoke_worker(&mut self, worker: u32, now_ms: u64, backoff_ms: u64) -> Vec<usize> {
+        let held: Vec<usize> = self
+            .slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| match s.state {
+                SlotState::Leased { worker: w, .. } if w == worker => Some(i),
+                _ => None,
+            })
+            .collect();
+        for &i in &held {
+            self.revoke(i, now_ms, backoff_ms);
+        }
+        held
+    }
+
+    /// Judge a reply quoting `lease_id` for `slot`. On
+    /// [`ReplyVerdict::Accepted`] the slot becomes `Done`.
+    pub fn reply(&mut self, slot: usize, lease_id: u64) -> ReplyVerdict {
+        let s = &mut self.slots[slot];
+        match s.state {
+            SlotState::Done => ReplyVerdict::Duplicate,
+            SlotState::Leased { lease_id: current, .. } if current == lease_id => {
+                s.state = SlotState::Done;
+                self.done += 1;
+                ReplyVerdict::Accepted
+            }
+            _ => ReplyVerdict::Stale,
+        }
+    }
+
+    /// Force a slot `Done` without a reply (attempt budget exhausted; the
+    /// coordinator records a synthetic failure for it).
+    pub fn give_up(&mut self, slot: usize) {
+        let s = &mut self.slots[slot];
+        if s.state != SlotState::Done {
+            s.state = SlotState::Done;
+            self.done += 1;
+        }
+    }
+}
+
+/// Deterministic re-grant backoff: `base × 2^(attempt−1)`, capped. Attempt
+/// is the count of grants already made (≥ 1 when a re-grant is scheduled).
+/// Mirrors `RetryPolicy::backoff` in `hypermapper::resilient` so in-process
+/// and cross-process retries age the same way.
+pub fn regrant_backoff_ms(base_ms: u64, attempt: u32, cap_ms: u64) -> u64 {
+    let shift = attempt.saturating_sub(1).min(16);
+    base_ms.saturating_mul(1u64 << shift).min(cap_ms)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grant_reply_lifecycle() {
+        let mut t = LeaseTable::new(3);
+        assert_eq!(t.claimable(0), Some(0));
+        let (id0, a0) = t.grant(0, 7, 0, 100).expect("fresh slot grants");
+        assert_eq!(a0, 1);
+        assert_eq!(t.claimable(0), Some(1));
+        assert_eq!(t.reply(0, id0), ReplyVerdict::Accepted);
+        assert_eq!(t.state(0), SlotState::Done);
+        assert_eq!(t.done_count(), 1);
+        assert!(!t.all_done());
+        // Granting a done or leased slot is refused, not a panic.
+        assert_eq!(t.grant(0, 7, 0, 100), None);
+        let (id1, _) = t.grant(1, 7, 0, 100).expect("grant");
+        assert_eq!(t.grant(1, 8, 0, 100), None);
+        assert_eq!(t.reply(1, id1), ReplyVerdict::Accepted);
+        let (id2, _) = t.grant(2, 8, 0, 100).expect("grant");
+        assert_eq!(t.reply(2, id2), ReplyVerdict::Accepted);
+        assert!(t.all_done());
+    }
+
+    #[test]
+    fn duplicate_and_stale_replies_are_dropped() {
+        let mut t = LeaseTable::new(1);
+        let (id1, _) = t.grant(0, 0, 0, 50).expect("grant");
+        // Deadline passes; the coordinator revokes and re-grants elsewhere.
+        assert_eq!(t.expired(60), vec![(0, 0)]);
+        t.revoke(0, 60, 10);
+        assert_eq!(t.state(0), SlotState::Unassigned);
+        // Not yet eligible during backoff, then eligible.
+        assert_eq!(t.claimable(65), None);
+        assert_eq!(t.next_eligible_ms(65), Some(70));
+        assert_eq!(t.claimable(70), Some(0));
+        let (id2, a2) = t.grant(0, 1, 70, 50).expect("re-grant");
+        assert_eq!(a2, 2);
+        assert_ne!(id1, id2);
+        // The original worker's late reply quotes the revoked lease: stale.
+        assert_eq!(t.reply(0, id1), ReplyVerdict::Stale);
+        assert_eq!(t.state(0), SlotState::Leased { lease_id: id2, worker: 1, deadline_ms: 120 });
+        // The live lease's reply is accepted exactly once.
+        assert_eq!(t.reply(0, id2), ReplyVerdict::Accepted);
+        assert_eq!(t.reply(0, id2), ReplyVerdict::Duplicate);
+        assert_eq!(t.reply(0, id1), ReplyVerdict::Duplicate);
+        assert_eq!(t.done_count(), 1);
+    }
+
+    #[test]
+    fn revoke_worker_takes_only_its_leases() {
+        let mut t = LeaseTable::new(4);
+        t.grant(0, 0, 0, 100).expect("grant");
+        t.grant(1, 1, 0, 100).expect("grant");
+        t.grant(2, 0, 0, 100).expect("grant");
+        let revoked = t.revoke_worker(0, 10, 5);
+        assert_eq!(revoked, vec![0, 2]);
+        assert_eq!(t.state(0), SlotState::Unassigned);
+        assert!(matches!(t.state(1), SlotState::Leased { worker: 1, .. }));
+        assert_eq!(t.state(2), SlotState::Unassigned);
+        // Backoff applies to the revoked slots.
+        assert_eq!(t.claimable(10), Some(3));
+        assert_eq!(t.claimable(15), Some(0));
+    }
+
+    #[test]
+    fn give_up_finishes_a_slot_without_a_reply() {
+        let mut t = LeaseTable::new(2);
+        let (id, _) = t.grant(0, 0, 0, 50).expect("grant");
+        t.revoke(0, 50, 0);
+        t.give_up(0);
+        assert_eq!(t.state(0), SlotState::Done);
+        // A very late reply for the abandoned slot is a duplicate, not a crash.
+        assert_eq!(t.reply(0, id), ReplyVerdict::Duplicate);
+        t.give_up(1);
+        assert!(t.all_done());
+    }
+
+    #[test]
+    fn lease_ids_continue_across_batches() {
+        let mut batch1 = LeaseTable::new(2);
+        let (id_a, _) = batch1.grant(0, 0, 0, 250).expect("grant");
+        let (id_b, _) = batch1.grant(1, 1, 0, 250).expect("grant");
+        // Worker 0 stalls; its lease expires, slot 0 is re-granted and the
+        // re-grant's reply finishes the batch.
+        batch1.revoke(0, 300, 0);
+        let (id_c, _) = batch1.grant(0, 1, 300, 250).expect("re-grant");
+        assert_eq!(batch1.reply(0, id_c), ReplyVerdict::Accepted);
+        assert_eq!(batch1.reply(1, id_b), ReplyVerdict::Accepted);
+        assert!(batch1.all_done());
+
+        // The next batch starts from the previous table's counter, so the
+        // stalled worker's eventual reply (quoting `id_a`) can never match a
+        // live lease in the new batch.
+        let mut batch2 = LeaseTable::with_base(3, batch1.next_lease_id());
+        let (id_d, _) = batch2.grant(0, 2, 500, 250).expect("grant");
+        assert!(id_d > id_c);
+        assert_eq!(batch2.reply(0, id_a), ReplyVerdict::Stale);
+        assert_eq!(batch2.reply(0, id_d), ReplyVerdict::Accepted);
+    }
+
+    #[test]
+    fn regrant_backoff_doubles_and_caps() {
+        assert_eq!(regrant_backoff_ms(10, 1, 1_000), 10);
+        assert_eq!(regrant_backoff_ms(10, 2, 1_000), 20);
+        assert_eq!(regrant_backoff_ms(10, 3, 1_000), 40);
+        assert_eq!(regrant_backoff_ms(10, 8, 1_000), 1_000);
+        // Huge attempt counts saturate instead of overflowing the shift.
+        assert_eq!(regrant_backoff_ms(10, 4_000_000, 1_000), 1_000);
+    }
+
+    #[test]
+    fn next_deadline_tracks_live_leases() {
+        let mut t = LeaseTable::new(3);
+        assert_eq!(t.next_deadline_ms(), None);
+        t.grant(0, 0, 0, 100).expect("grant");
+        t.grant(1, 1, 10, 50).expect("grant");
+        assert_eq!(t.next_deadline_ms(), Some(60));
+        t.revoke(1, 60, 0);
+        assert_eq!(t.next_deadline_ms(), Some(100));
+    }
+}

@@ -1,0 +1,88 @@
+//! # hm-service — crash-tolerant multi-process exploration
+//!
+//! The in-process optimizer (`hypermapper`) already survives evaluator
+//! panics, retries transient failures, and resumes bit-identically from a
+//! write-ahead journal. What it cannot survive is the *process itself*
+//! dying mid-evaluation — a segfaulting pipeline binary, an OOM-killed
+//! measurement run, a board that wedges. `hm-service` moves evaluation into
+//! disposable worker **processes** behind a lease protocol, so any worker
+//! (and, combined with the journal, the coordinator itself) can be
+//! SIGKILLed at any moment without changing a single bit of the final
+//! Pareto front.
+//!
+//! ## Architecture
+//!
+//! ```text
+//!  coordinator (ServicePool: implements Evaluator)
+//!    │  lease <id> <epoch> <flat> <attempt>          (stdin pipe)
+//!    ▼
+//!  worker₀ … workerₙ   — re-exec'd current binary, worker_entry() loop
+//!    │  result <w> <id> <epoch> <flat> <outcome>     (stdout pipe)
+//!    │  hb <w> <epoch> <seq>                         (heartbeat thread)
+//!    ▼
+//!  coordinator: slot-ordered merge → bit-identical batch results
+//! ```
+//!
+//! - [`wire`] — length-prefixed, CRC-checksummed line frames.
+//! - [`lease`] — the pure lease state machine (grant / expire / revoke /
+//!   idempotent reply acceptance).
+//! - [`chaos`] — seeded fault injection keyed on `(flat, attempt)`:
+//!   kills, stalls, freezes, garbles, duplicates, late and stale-epoch
+//!   replies.
+//! - [`worker`] — the child-process serve loop; [`worker_entry`] must be the
+//!   first statement of any hosting binary's `main`.
+//! - [`coordinator`] — [`ServicePool`]: spawning, heartbeat tracking,
+//!   deadline-driven reassignment, and the merge.
+//! - [`clock`] — the one permitted wall-clock site; everything else takes
+//!   `now_ms` as data.
+//!
+//! ## Using it
+//!
+//! ```no_run
+//! use hm_service::{worker_entry, ServiceConfig, ServicePool};
+//! # fn space_and_eval() -> (hypermapper::ParamSpace, MyEval) { unimplemented!() }
+//! # struct MyEval;
+//! # impl hypermapper::evaluate::Evaluator for MyEval {
+//! #     fn n_objectives(&self) -> usize { 2 }
+//! #     fn evaluate(&self, _: &hypermapper::Configuration) -> Vec<f64> { vec![] }
+//! # }
+//!
+//! fn main() {
+//!     // Children route here and never return; the parent falls through.
+//!     worker_entry(space_and_eval);
+//!
+//!     let (space, _) = space_and_eval();
+//!     let pool = ServicePool::launch(
+//!         space,
+//!         2,
+//!         vec!["time".into(), "error".into()],
+//!         ServiceConfig::default(),
+//!     )
+//!     .expect("spawn workers");
+//!     // `pool` implements Evaluator: hand it to HyperMapper with
+//!     // eval_workers = 0 and every batch is sharded across processes.
+//! }
+//! ```
+//!
+//! ## Why results are bit-identical
+//!
+//! Workers evaluate flat configuration indices with a deterministic
+//! evaluator, replies travel in the journal's bit-exact wire codec, the
+//! lease table accepts exactly one reply per slot (duplicates, stale leases,
+//! and wrong-epoch replies are dropped), and the merge is slot-ordered. See
+//! `DESIGN.md` §13 for the full argument and the chaos gate that enforces
+//! it in CI.
+
+pub mod chaos;
+pub mod clock;
+pub mod coordinator;
+pub mod lease;
+pub mod wire;
+pub mod worker;
+
+pub use chaos::{ChaosPlan, Fault};
+pub use clock::ServiceClock;
+pub use coordinator::{ServiceConfig, ServicePool, StatsSnapshot};
+pub use lease::{LeaseTable, ReplyVerdict, SlotState};
+pub use wire::{decode_frame, encode_frame, FrameError, Msg};
+pub use worker::worker_entry;

@@ -1,0 +1,279 @@
+//! Length-prefixed, checksummed line frames for the coordinator ↔ worker
+//! pipes.
+//!
+//! A frame is one ASCII line:
+//!
+//! ```text
+//! <len:08x> <crc:08x> <body>\n
+//! ```
+//!
+//! where `len` is the byte length of `body` and `crc` is the same CRC-32
+//! (ISO-HDLC) the journal uses. The body is a space-separated message whose
+//! first token names the kind:
+//!
+//! | direction             | body                                                  |
+//! |-----------------------|-------------------------------------------------------|
+//! | worker → coordinator  | `hello <worker> <epoch> <pid>`                        |
+//! | worker → coordinator  | `hb <worker> <epoch> <seq>`                           |
+//! | worker → coordinator  | `result <worker> <lease_id> <epoch> <flat> <outcome>` |
+//! | coordinator → worker  | `lease <lease_id> <epoch> <flat> <attempt>`           |
+//! | coordinator → worker  | `shutdown`                                            |
+//!
+//! `<outcome>` is the journal's single-token [`RawOutcome`] codec
+//! ([`RawOutcome::encode_wire`]), so a reply the coordinator accepts is
+//! journaled byte-identically to a local evaluation. Every frame carries the
+//! sender's worker epoch; the coordinator fences replies from a previous
+//! incarnation by comparing it against the current epoch.
+//!
+//! Decoding is strict: a bad length, a bad checksum, or an unparseable body
+//! all come back as a [`FrameError`], which the coordinator treats as a
+//! garbled frame (revoke the sender's lease and re-grant elsewhere). There is
+//! no resynchronisation protocol — frames are newline-delimited, so the
+//! reader is already aligned on the next line.
+
+use hypermapper::journal::crc32;
+use hypermapper::RawOutcome;
+use std::fmt;
+
+/// A protocol message, either direction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Msg {
+    /// Worker announces itself after spawn.
+    Hello {
+        /// Worker index assigned by the coordinator at spawn.
+        worker: u32,
+        /// Worker epoch the worker was spawned under.
+        epoch: u64,
+        /// OS process id, for diagnostics.
+        pid: u32,
+    },
+    /// Periodic liveness signal from a worker's heartbeat thread.
+    Heartbeat {
+        /// Worker index.
+        worker: u32,
+        /// Worker epoch.
+        epoch: u64,
+        /// Monotonic heartbeat counter within this worker process.
+        seq: u64,
+    },
+    /// Completed lease: the worker evaluated `flat` and reports the outcome.
+    Result {
+        /// Worker index.
+        worker: u32,
+        /// The lease this reply answers. Stale ids are dropped.
+        lease_id: u64,
+        /// Worker epoch; replies from older incarnations are fenced off.
+        epoch: u64,
+        /// Flat configuration index that was evaluated.
+        flat: u64,
+        /// The evaluation outcome in journal wire form.
+        outcome: RawOutcome,
+    },
+    /// Coordinator grants a configuration lease to a worker.
+    Lease {
+        /// Unique (per coordinator) lease id; echoed back in the reply.
+        lease_id: u64,
+        /// Current worker epoch; the worker echoes it back.
+        epoch: u64,
+        /// Flat configuration index to evaluate.
+        flat: u64,
+        /// 1-based attempt counter for this configuration.
+        attempt: u32,
+    },
+    /// Coordinator asks the worker to exit cleanly.
+    Shutdown,
+}
+
+/// Why a frame failed to decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// The line did not have the `<len> <crc> <body>` shape.
+    Malformed,
+    /// The declared body length did not match the actual body.
+    Length,
+    /// The CRC-32 over the body did not match.
+    Checksum,
+    /// Framing was intact but the body was not a known message.
+    Body,
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let what = match self {
+            FrameError::Malformed => "malformed frame",
+            FrameError::Length => "length mismatch",
+            FrameError::Checksum => "checksum mismatch",
+            FrameError::Body => "unparseable body",
+        };
+        f.write_str(what)
+    }
+}
+
+fn encode_body(msg: &Msg) -> String {
+    match msg {
+        Msg::Hello { worker, epoch, pid } => format!("hello {worker} {epoch} {pid}"),
+        Msg::Heartbeat { worker, epoch, seq } => format!("hb {worker} {epoch} {seq}"),
+        Msg::Result { worker, lease_id, epoch, flat, outcome } => {
+            format!("result {worker} {lease_id} {epoch} {flat} {}", outcome.encode_wire())
+        }
+        Msg::Lease { lease_id, epoch, flat, attempt } => {
+            format!("lease {lease_id} {epoch} {flat} {attempt}")
+        }
+        Msg::Shutdown => "shutdown".to_string(),
+    }
+}
+
+/// Encode a message as a full frame line, trailing `\n` included.
+pub fn encode_frame(msg: &Msg) -> String {
+    let body = encode_body(msg);
+    format!("{:08x} {:08x} {body}\n", body.len(), crc32(body.as_bytes()))
+}
+
+fn decode_body(body: &str) -> Option<Msg> {
+    let mut it = body.split(' ');
+    let kind = it.next()?;
+    let msg = match kind {
+        "hello" => Msg::Hello {
+            worker: it.next()?.parse().ok()?,
+            epoch: it.next()?.parse().ok()?,
+            pid: it.next()?.parse().ok()?,
+        },
+        "hb" => Msg::Heartbeat {
+            worker: it.next()?.parse().ok()?,
+            epoch: it.next()?.parse().ok()?,
+            seq: it.next()?.parse().ok()?,
+        },
+        "result" => Msg::Result {
+            worker: it.next()?.parse().ok()?,
+            lease_id: it.next()?.parse().ok()?,
+            epoch: it.next()?.parse().ok()?,
+            flat: it.next()?.parse().ok()?,
+            outcome: RawOutcome::decode_wire(it.next()?)?,
+        },
+        "lease" => Msg::Lease {
+            lease_id: it.next()?.parse().ok()?,
+            epoch: it.next()?.parse().ok()?,
+            flat: it.next()?.parse().ok()?,
+            attempt: it.next()?.parse().ok()?,
+        },
+        "shutdown" => Msg::Shutdown,
+        _ => return None,
+    };
+    if it.next().is_some() {
+        return None; // trailing tokens: treat as garbled, not best-effort
+    }
+    Some(msg)
+}
+
+/// Decode one frame line (with or without the trailing newline).
+pub fn decode_frame(line: &str) -> Result<Msg, FrameError> {
+    let line = line.strip_suffix('\n').unwrap_or(line);
+    let (len_hex, rest) = line.split_once(' ').ok_or(FrameError::Malformed)?;
+    let (crc_hex, body) = rest.split_once(' ').ok_or(FrameError::Malformed)?;
+    let len = usize::from_str_radix(len_hex, 16).map_err(|_| FrameError::Malformed)?;
+    let crc = u32::from_str_radix(crc_hex, 16).map_err(|_| FrameError::Malformed)?;
+    if body.len() != len {
+        return Err(FrameError::Length);
+    }
+    if crc32(body.as_bytes()) != crc {
+        return Err(FrameError::Checksum);
+    }
+    decode_body(body).ok_or(FrameError::Body)
+}
+
+/// Corrupt a frame in a deterministic, detectable way: flip one byte of the
+/// body without touching the checksum. Used by the chaos harness; the
+/// receiver must report [`FrameError::Checksum`].
+pub fn garble_frame(frame: &str) -> String {
+    let mut bytes = frame.as_bytes().to_vec();
+    // Flip a bit in the last body byte before the newline; every frame body
+    // is at least one byte, and flipping 0x01 keeps it printable ASCII.
+    if bytes.len() >= 2 {
+        let i = bytes.len() - 2;
+        bytes[i] ^= 0x01;
+    }
+    String::from_utf8_lossy(&bytes).into_owned()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hypermapper::EvalError;
+
+    fn roundtrip(msg: Msg) {
+        let frame = encode_frame(&msg);
+        assert!(frame.ends_with('\n'));
+        assert_eq!(decode_frame(&frame), Ok(msg));
+    }
+
+    #[test]
+    fn frames_roundtrip() {
+        roundtrip(Msg::Hello { worker: 3, epoch: 7, pid: 12345 });
+        roundtrip(Msg::Heartbeat { worker: 0, epoch: 1, seq: 42 });
+        roundtrip(Msg::Lease { lease_id: 9, epoch: 2, flat: 123456, attempt: 4 });
+        roundtrip(Msg::Shutdown);
+        roundtrip(Msg::Result {
+            worker: 1,
+            lease_id: 9,
+            epoch: 2,
+            flat: 77,
+            // NaN is excluded here (NaN != NaN under PartialEq); the
+            // dedicated bit-exactness test below covers it.
+            outcome: RawOutcome::Ok(vec![1.5, -0.0, 6.25e-3]),
+        });
+        roundtrip(Msg::Result {
+            worker: 2,
+            lease_id: 10,
+            epoch: 2,
+            flat: 78,
+            outcome: RawOutcome::Err {
+                error: EvalError::Panicked { message: "boom with spaces %".into() },
+                attempts: 3,
+                elapsed_ms: 17,
+            },
+        });
+    }
+
+    #[test]
+    fn nan_objectives_survive_bit_exactly() {
+        let weird = f64::from_bits(0x7ff8_0000_dead_beef);
+        let frame = encode_frame(&Msg::Result {
+            worker: 0,
+            lease_id: 1,
+            epoch: 1,
+            flat: 0,
+            outcome: RawOutcome::Ok(vec![weird]),
+        });
+        match decode_frame(&frame) {
+            Ok(Msg::Result { outcome: RawOutcome::Ok(vs), .. }) => {
+                assert_eq!(vs[0].to_bits(), weird.to_bits());
+            }
+            other => panic!("unexpected decode: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn garbled_frames_are_detected() {
+        let frame = encode_frame(&Msg::Lease { lease_id: 1, epoch: 1, flat: 5, attempt: 1 });
+        let bad = garble_frame(&frame);
+        assert_ne!(frame, bad);
+        assert_eq!(decode_frame(&bad), Err(FrameError::Checksum));
+    }
+
+    #[test]
+    fn truncated_and_malformed_frames_are_rejected() {
+        let frame = encode_frame(&Msg::Shutdown);
+        let cut = &frame[..frame.len() - 3];
+        assert_eq!(decode_frame(cut), Err(FrameError::Length));
+        assert_eq!(decode_frame("not a frame"), Err(FrameError::Malformed));
+        assert_eq!(decode_frame(""), Err(FrameError::Malformed));
+        // Valid framing around an unknown body.
+        let body = "warble 1 2 3";
+        let line = format!("{:08x} {:08x} {body}", body.len(), crc32(body.as_bytes()));
+        assert_eq!(decode_frame(&line), Err(FrameError::Body));
+        // Trailing tokens after a known message are garbage, not ignored.
+        let body = "shutdown now";
+        let line = format!("{:08x} {:08x} {body}", body.len(), crc32(body.as_bytes()));
+        assert_eq!(decode_frame(&line), Err(FrameError::Body));
+    }
+}

@@ -1,0 +1,190 @@
+//! Worker-process entry point.
+//!
+//! `hm-service` shards work across OS *processes* by re-executing the
+//! current binary: the coordinator spawns `current_exe()` with
+//! [`ENV_ROLE`]`=worker` plus its identity and chaos settings in the
+//! environment, and the host binary routes into [`worker_entry`] as its very
+//! first statement. In the parent (no role variable) `worker_entry` is a
+//! no-op and the binary proceeds as the coordinator; in a child it never
+//! returns.
+//!
+//! A worker is a loop over stdin frames: `lease` → evaluate → `result`, with
+//! a side thread emitting heartbeats. All sabotage (the [`crate::chaos`]
+//! faults) is *self-inflicted* here, keyed on the lease's `(flat, attempt)`,
+//! so the coordinator code path under test is identical with and without
+//! chaos.
+
+use crate::chaos::{ChaosPlan, Fault};
+use crate::wire::{decode_frame, encode_frame, garble_frame, Msg};
+use hypermapper::evaluate::Evaluator;
+use hypermapper::journal::RawOutcome;
+use hypermapper::space::ParamSpace;
+use hypermapper::EvalError;
+use std::io::{self, BufRead, Write};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Role marker: set to [`ROLE_WORKER`] in spawned worker processes.
+pub const ENV_ROLE: &str = "HM_SERVICE_ROLE";
+/// The value of [`ENV_ROLE`] that activates [`worker_entry`].
+pub const ROLE_WORKER: &str = "worker";
+/// Worker epoch (decimal `u64`) the child was spawned under.
+pub const ENV_EPOCH: &str = "HM_SERVICE_EPOCH";
+/// Worker index (decimal `u32`) within the coordinator's pool.
+pub const ENV_WORKER_ID: &str = "HM_SERVICE_WORKER_ID";
+/// Heartbeat period in ms (decimal `u64`).
+pub const ENV_HEARTBEAT_MS: &str = "HM_SERVICE_HEARTBEAT_MS";
+/// Optional [`ChaosPlan::encode`] string enabling self-sabotage.
+pub const ENV_CHAOS: &str = "HM_SERVICE_CHAOS";
+
+/// Exit code for a clean worker shutdown (EOF or `shutdown` frame).
+const EXIT_OK: i32 = 0;
+/// Exit code when the worker environment is missing or malformed.
+const EXIT_BAD_ENV: i32 = 2;
+
+/// Route a worker process into its serve loop; no-op in the coordinator.
+///
+/// Call this at the very top of `main()` in any binary that launches a
+/// [`crate::ServicePool`]. The `factory` builds the parameter space and the
+/// evaluator *inside the child*, after the fork boundary, so evaluators
+/// never need to be serialized — both sides just construct the same
+/// deterministic evaluator.
+pub fn worker_entry<E, F>(factory: F)
+where
+    E: Evaluator,
+    F: FnOnce() -> (ParamSpace, E),
+{
+    if std::env::var(ENV_ROLE).as_deref() != Ok(ROLE_WORKER) {
+        return;
+    }
+    let code = serve(factory);
+    std::process::exit(code);
+}
+
+fn env_u64(name: &str) -> Option<u64> {
+    std::env::var(name).ok()?.parse().ok()
+}
+
+/// Write one frame atomically: stdout's internal lock spans the whole
+/// `write_all` + `flush`, so heartbeat and result frames never interleave.
+fn send(frame: &str) {
+    let mut out = io::stdout().lock();
+    if out.write_all(frame.as_bytes()).and_then(|_| out.flush()).is_err() {
+        // The coordinator is gone; there is nobody left to serve.
+        std::process::exit(EXIT_OK);
+    }
+}
+
+fn serve<E, F>(factory: F) -> i32
+where
+    E: Evaluator,
+    F: FnOnce() -> (ParamSpace, E),
+{
+    let (Some(epoch), Some(worker), Some(heartbeat_ms)) =
+        (env_u64(ENV_EPOCH), env_u64(ENV_WORKER_ID), env_u64(ENV_HEARTBEAT_MS))
+    else {
+        eprintln!("hm-service worker: missing or malformed identity environment");
+        return EXIT_BAD_ENV;
+    };
+    let worker = worker as u32;
+    let chaos = match std::env::var(ENV_CHAOS) {
+        Ok(s) => match ChaosPlan::decode(&s) {
+            Some(plan) => plan,
+            None => {
+                eprintln!("hm-service worker: malformed {ENV_CHAOS}");
+                return EXIT_BAD_ENV;
+            }
+        },
+        Err(_) => ChaosPlan::quiet(),
+    };
+
+    let (space, evaluator) = factory();
+    send(&encode_frame(&Msg::Hello { worker, epoch, pid: std::process::id() }));
+
+    // Heartbeats run on a side thread so a long evaluation (or an injected
+    // stall) does not read as death. `Fault::Freeze` flips the mute flag to
+    // simulate a wedged process.
+    let mute = Arc::new(AtomicBool::new(false));
+    let hb_mute = Arc::clone(&mute);
+    std::thread::spawn(move || {
+        let mut seq = 0u64;
+        loop {
+            std::thread::sleep(Duration::from_millis(heartbeat_ms.max(1)));
+            if hb_mute.load(Ordering::Relaxed) {
+                continue;
+            }
+            seq += 1;
+            send(&encode_frame(&Msg::Heartbeat { worker, epoch, seq }));
+        }
+    });
+
+    let stdin = io::stdin();
+    let mut line = String::new();
+    loop {
+        line.clear();
+        let mut input = stdin.lock();
+        match input.read_line(&mut line) {
+            Ok(0) | Err(_) => return EXIT_OK, // coordinator hung up
+            Ok(_) => {}
+        }
+        drop(input);
+        let (lease_id, flat, attempt) = match decode_frame(&line) {
+            Ok(Msg::Lease { lease_id, epoch: _, flat, attempt }) => (lease_id, flat, attempt),
+            Ok(Msg::Shutdown) => return EXIT_OK,
+            // The coordinator never sends anything else; drop noise rather
+            // than die over it.
+            Ok(_) | Err(_) => continue,
+        };
+
+        let fault = chaos.fault_for(flat, attempt);
+        match fault {
+            Some(Fault::Kill) => {
+                // No reply, no cleanup: the closest safe stand-in for
+                // SIGKILL. Pipes close, the coordinator sees EOF.
+                std::process::abort();
+            }
+            Some(Fault::Stall) => {
+                std::thread::sleep(Duration::from_millis(chaos.stall_ms));
+            }
+            Some(Fault::Freeze) => {
+                // Look wedged: heartbeats stop but the process lives. The
+                // coordinator must reclaim us via heartbeat grace. Exit
+                // eventually so a coordinator bug cannot hang the harness.
+                mute.store(true, Ordering::Relaxed);
+                std::thread::sleep(Duration::from_millis(chaos.stall_ms.saturating_mul(4)));
+                return EXIT_OK;
+            }
+            _ => {}
+        }
+
+        let outcome = if flat < space.size() {
+            RawOutcome::from_detailed(evaluator.try_evaluate_detailed(&space.config_at(flat)))
+        } else {
+            // Defensive: a framing bug upstream must not panic the worker.
+            RawOutcome::Err {
+                error: EvalError::Transient {
+                    reason: format!("flat index {flat} out of range for this space"),
+                },
+                attempts: 1,
+                elapsed_ms: 0,
+            }
+        };
+
+        let reply_epoch = match fault {
+            Some(Fault::StaleEpoch) => epoch.saturating_sub(1),
+            _ => epoch,
+        };
+        let mut frame =
+            encode_frame(&Msg::Result { worker, lease_id, epoch: reply_epoch, flat, outcome });
+        match fault {
+            Some(Fault::Garble) => frame = garble_frame(&frame),
+            Some(Fault::Late) => std::thread::sleep(Duration::from_millis(chaos.late_ms)),
+            _ => {}
+        }
+        send(&frame);
+        if fault == Some(Fault::Duplicate) {
+            send(&frame);
+        }
+    }
+}

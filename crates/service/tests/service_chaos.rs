@@ -1,0 +1,332 @@
+//! The kill-anywhere chaos gate, in-process edition: every fault class the
+//! service defends against is injected via a seeded [`ChaosPlan`], and the
+//! merged results must be **bit-identical** to a plain sequential
+//! evaluation of the same configurations — same floats, same error records,
+//! same order.
+//!
+//! `harness = false`: this binary doubles as the *worker executable* (the
+//! coordinator re-execs `current_exe()`), so `main` must route into
+//! [`worker_entry`] before any test machinery runs.
+
+use hm_service::{worker_entry, ChaosPlan, ServiceConfig, ServicePool};
+use hypermapper::journal::RawOutcome;
+use hypermapper::{
+    Configuration, Evaluator, ExplorationResult, HyperMapper, OptimizerConfig, ParamSpace,
+};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+fn space() -> ParamSpace {
+    ParamSpace::builder()
+        .ordinal("x", (0..40).map(f64::from))
+        .ordinal("y", (0..30).map(f64::from))
+        .ordinal("z", [0.0, 0.5, 1.0, 2.0])
+        .build()
+        .unwrap()
+}
+
+/// Deterministic bi-objective toy with a trade-off, plus one deterministic
+/// panic stripe (x = 37, y = 29, z = 2.0) so error transport is exercised:
+/// a worker must ship the panic back as the *same* `Panicked` record a
+/// local catch produces.
+struct Toy;
+
+impl Evaluator for Toy {
+    fn n_objectives(&self) -> usize {
+        2
+    }
+    fn objective_names(&self) -> Vec<String> {
+        vec!["time".into(), "error".into()]
+    }
+    fn evaluate(&self, c: &Configuration) -> Vec<f64> {
+        let x = c.value_f64(0);
+        let y = c.value_f64(1);
+        let z = c.value_f64(2);
+        if x == 37.0 && y == 29.0 && z == 2.0 {
+            panic!("injected evaluator panic");
+        }
+        vec![
+            x * x * 0.05 + y + z * 3.0,
+            (40.0 - x) * 0.8 + (y - 15.0) * (y - 15.0) * 0.1 + 1.0 / (z + 0.5),
+        ]
+    }
+}
+
+/// A batch of `n` distinct configurations, spread across the space with a
+/// fixed stride so consecutive slots land in unrelated chaos bands.
+fn batch(n: u64) -> Vec<Configuration> {
+    let s = space();
+    let size = s.size();
+    let stride = 97u64; // coprime with the 4800-config space
+    (0..n).map(|i| s.config_at((i * stride) % size)).collect()
+}
+
+/// One slot's outcome in the journal's bit-exact wire form, with failure
+/// wall-clock (pure measurement metadata) zeroed so local and cross-process
+/// records compare equal.
+fn normalize(r: Result<Vec<f64>, hypermapper::FailedEvaluation>) -> String {
+    let outcome = match r {
+        Ok(v) => RawOutcome::Ok(v),
+        Err(f) => RawOutcome::Err { error: f.error, attempts: 1, elapsed_ms: 0 },
+    };
+    outcome.encode_wire()
+}
+
+/// The sequential ground truth the service must reproduce bit-for-bit.
+fn sequential_reference(configs: &[Configuration]) -> Vec<String> {
+    configs
+        .iter()
+        .map(|c| normalize(Toy.try_evaluate_detailed(c)))
+        .collect()
+}
+
+fn pool(workers: usize, chaos: ChaosPlan, lease_ms: u64) -> ServicePool {
+    let cfg = ServiceConfig {
+        workers,
+        lease_ms,
+        heartbeat_ms: 25,
+        heartbeat_grace: 8,
+        chaos,
+        ..ServiceConfig::default()
+    };
+    ServicePool::launch(space(), 2, vec!["time".into(), "error".into()], cfg)
+        .expect("launch worker pool")
+}
+
+fn assert_service_matches_sequential(p: &ServicePool, configs: &[Configuration]) {
+    let want = sequential_reference(configs);
+    let got: Vec<String> =
+        p.evaluate_batch(configs).into_iter().map(normalize).collect();
+    assert_eq!(got, want, "service results must be bit-identical to sequential");
+}
+
+fn parity_without_chaos() {
+    let configs = batch(40);
+    let p = pool(4, ChaosPlan::quiet(), 2_000);
+    assert_service_matches_sequential(&p, &configs);
+    let stats = p.stats();
+    assert_eq!(stats.accepted, 40);
+    assert_eq!(stats.leases_granted, 40, "quiet run needs no re-grants");
+    assert_eq!(stats.worker_deaths, 0);
+    assert_eq!(stats.garbled_frames, 0);
+}
+
+fn panic_stripe_crosses_the_wire() {
+    let s = space();
+    // The stripe config plus neighbours, so the batch mixes Ok and Err.
+    let stripe = (0..s.size())
+        .find(|&f| {
+            let c = s.config_at(f);
+            c.value_f64(0) == 37.0 && c.value_f64(1) == 29.0 && c.value_f64(2) == 2.0
+        })
+        .expect("panic stripe exists in the space");
+    let configs: Vec<Configuration> =
+        [stripe, 0, 1, stripe, 100].iter().map(|&f| s.config_at(f)).collect();
+    let p = pool(2, ChaosPlan::quiet(), 2_000);
+    let want = sequential_reference(&configs);
+    let got: Vec<String> =
+        p.evaluate_batch(&configs).into_iter().map(normalize).collect();
+    assert_eq!(got, want);
+    assert!(want[0].starts_with("err/"), "stripe must actually fail: {}", want[0]);
+}
+
+fn storm_is_bit_identical() {
+    let configs = batch(60);
+    for seed in [11u64, 42] {
+        let p = pool(4, ChaosPlan::storm(seed), 200);
+        assert_service_matches_sequential(&p, &configs);
+        let stats = p.stats();
+        assert_eq!(stats.accepted, 60, "storm seed {seed}: every slot must complete");
+        assert!(
+            stats.leases_granted >= 60,
+            "storm seed {seed}: grants can never undercut slots"
+        );
+    }
+}
+
+fn kills_and_stalls_are_reassigned() {
+    let chaos = ChaosPlan {
+        seed: 7,
+        kill_permille: 250,
+        stall_permille: 250,
+        stall_ms: 300,
+        ..ChaosPlan::quiet()
+    };
+    let configs = batch(40);
+    let p = pool(4, chaos, 150);
+    assert_service_matches_sequential(&p, &configs);
+    let stats = p.stats();
+    assert!(stats.worker_deaths > 0, "kill faults must register as deaths: {stats:?}");
+    assert!(stats.respawns > 0, "dead workers must be respawned: {stats:?}");
+    assert!(stats.lease_expiries > 0, "stalls must expire leases: {stats:?}");
+    assert!(stats.leases_granted > 40, "reassignment implies re-grants: {stats:?}");
+}
+
+fn duplicate_late_and_stale_epoch_replies_are_dropped() {
+    // Satellite: duplicate and late lease replies are idempotently dropped,
+    // property-tested across seeds of the chaos plan.
+    let configs = batch(50);
+    let mut total = hm_service::StatsSnapshot::default();
+    for seed in [3u64, 17, 29] {
+        let chaos = ChaosPlan {
+            seed,
+            kill_permille: 0,
+            stall_permille: 0,
+            freeze_permille: 0,
+            garble_permille: 0,
+            duplicate_permille: 300,
+            late_permille: 300,
+            stale_epoch_permille: 200,
+            stall_ms: 0,
+            late_ms: 250,
+        };
+        let p = pool(3, chaos, 150);
+        assert_service_matches_sequential(&p, &configs);
+        let s = p.stats();
+        assert_eq!(s.accepted, 50, "seed {seed}: exactly one accept per slot");
+        total.duplicates_dropped += s.duplicates_dropped;
+        total.stale_dropped += s.stale_dropped;
+        total.wrong_epoch_dropped += s.wrong_epoch_dropped;
+    }
+    assert!(total.duplicates_dropped > 0, "duplicate replies must be observed: {total:?}");
+    assert!(total.stale_dropped > 0, "late replies must be observed as stale: {total:?}");
+    assert!(total.wrong_epoch_dropped > 0, "stale-epoch replies must be fenced: {total:?}");
+}
+
+fn garbled_frames_revoke_and_regrant() {
+    let chaos = ChaosPlan {
+        seed: 5,
+        garble_permille: 400,
+        ..ChaosPlan::quiet()
+    };
+    let configs = batch(30);
+    let p = pool(3, chaos, 400);
+    assert_service_matches_sequential(&p, &configs);
+    let stats = p.stats();
+    assert!(stats.garbled_frames > 0, "garble faults must be detected: {stats:?}");
+    assert!(stats.leases_granted > 30, "garbled replies force re-grants: {stats:?}");
+}
+
+fn frozen_workers_die_by_heartbeat_grace() {
+    let chaos = ChaosPlan {
+        seed: 13,
+        freeze_permille: 350,
+        stall_ms: 150,
+        ..ChaosPlan::quiet()
+    };
+    let configs = batch(24);
+    let p = pool(3, chaos, 100);
+    assert_service_matches_sequential(&p, &configs);
+    let stats = p.stats();
+    assert!(
+        stats.worker_deaths > 0,
+        "frozen workers must be reclaimed by heartbeat grace: {stats:?}"
+    );
+    assert!(stats.respawns > 0, "reclaimed workers must be replaced: {stats:?}");
+}
+
+fn stalls_straddling_batch_boundaries_never_cross_attribute() {
+    // Regression: lease ids must be unique across the pool's *lifetime*,
+    // not just within one batch. A worker stalled past its deadline in
+    // batch N replies after batch N+1 has begun; with a per-batch id
+    // counter that stale id could collide with a live lease in the new
+    // batch and its outcome would be accepted for the wrong slot. Heavy
+    // stalls longer than the lease make such straddlers near-certain.
+    let chaos = ChaosPlan {
+        seed: 41,
+        stall_permille: 400,
+        stall_ms: 300,
+        ..ChaosPlan::quiet()
+    };
+    let p = pool(4, chaos, 60);
+    let all = batch(72);
+    for chunk in all.chunks(12) {
+        assert_service_matches_sequential(&p, chunk);
+    }
+    let stats = p.stats();
+    assert_eq!(stats.accepted, 72, "exactly one accept per slot across batches");
+    assert!(stats.lease_expiries > 0, "stalls must outlive leases: {stats:?}");
+    assert!(stats.stale_dropped > 0, "straddling replies must be dropped: {stats:?}");
+}
+
+/// Debug-free structural fingerprint of an exploration (flat indices, phase,
+/// objective bits, failure kinds, Pareto indices) — wall-clock metadata
+/// excluded, NaN bits included.
+fn dse_fingerprint(space: &ParamSpace, r: &ExplorationResult) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    for smp in &r.samples {
+        let _ = write!(s, "s {} {:?}", space.flat_index(&smp.config), smp.phase);
+        for v in &smp.objectives {
+            let _ = write!(s, " {:016x}", v.to_bits());
+        }
+        s.push('\n');
+    }
+    for f in &r.failures {
+        let _ = writeln!(s, "f {} {:?} {}", space.flat_index(&f.config), f.phase, f.error);
+    }
+    let _ = writeln!(s, "p {:?}", r.pareto_indices);
+    s
+}
+
+fn full_dse_through_the_service_is_bit_identical() {
+    let cfg = OptimizerConfig {
+        random_samples: 30,
+        max_iterations: 2,
+        max_evals_per_iteration: 15,
+        pool_size: 1_500,
+        seed: 0xD5E,
+        ..Default::default()
+    };
+    let s = space();
+    let want = HyperMapper::new(s.clone(), cfg.clone()).run(&Toy);
+    let p = pool(4, ChaosPlan::storm(23), 200);
+    let got = HyperMapper::new(s.clone(), cfg).run(&p);
+    assert_eq!(
+        dse_fingerprint(&s, &got),
+        dse_fingerprint(&s, &want),
+        "a chaos-ridden multi-process DSE must reproduce the sequential run bit-for-bit"
+    );
+    assert!(p.stats().accepted > 0);
+}
+
+fn main() {
+    // Children spawned by ServicePool::launch route into the serve loop
+    // here and never reach the test list below.
+    worker_entry(|| (space(), Toy));
+
+    let tests: &[(&str, fn())] = &[
+        ("parity_without_chaos", parity_without_chaos),
+        ("panic_stripe_crosses_the_wire", panic_stripe_crosses_the_wire),
+        ("storm_is_bit_identical", storm_is_bit_identical),
+        ("kills_and_stalls_are_reassigned", kills_and_stalls_are_reassigned),
+        (
+            "duplicate_late_and_stale_epoch_replies_are_dropped",
+            duplicate_late_and_stale_epoch_replies_are_dropped,
+        ),
+        ("garbled_frames_revoke_and_regrant", garbled_frames_revoke_and_regrant),
+        (
+            "stalls_straddling_batch_boundaries_never_cross_attribute",
+            stalls_straddling_batch_boundaries_never_cross_attribute,
+        ),
+        ("frozen_workers_die_by_heartbeat_grace", frozen_workers_die_by_heartbeat_grace),
+        (
+            "full_dse_through_the_service_is_bit_identical",
+            full_dse_through_the_service_is_bit_identical,
+        ),
+    ];
+    let mut failed = 0usize;
+    for (name, test) in tests {
+        match catch_unwind(AssertUnwindSafe(test)) {
+            Ok(()) => println!("test {name} ... ok"),
+            Err(_) => {
+                println!("test {name} ... FAILED");
+                failed += 1;
+            }
+        }
+    }
+    if failed > 0 {
+        println!("{failed} of {} service chaos tests failed", tests.len());
+        std::process::exit(1);
+    }
+    println!("all {} service chaos tests passed", tests.len());
+}

@@ -1,0 +1,295 @@
+//! Fig. 5 at service scale: the KFusion DSE *and* the 83-device
+//! crowd-sourcing sweep, sharded across N worker **processes** by
+//! `hm-service` — with optional seeded chaos and a write-ahead journal so
+//! any process (worker or coordinator) can be SIGKILLed and the rerun
+//! produces a bit-identical result.
+//!
+//! Usage:
+//!   cargo run -p hm-examples --release --bin fig5_service -- \
+//!       [--workers <n>] [--quick] [--seed <s>] \
+//!       [--journal <path>] [--resume] [--chaos-seed <s>] [--out <tag>]
+//!
+//! Phase 1 leases every DSE evaluation to the worker pool and writes
+//! `results/<tag>.fingerprint` (same codec as `fig3_kfusion_dse`, so a
+//! sequential run of the same seed/scale is byte-comparable). Phase 2
+//! re-points the pool at the crowd-sourced device catalog — the deployed
+//! best configuration crosses the process boundary bit-exactly through the
+//! environment — and streams all 83 device models through the workers.
+//!
+//! The chaos gate (`scripts/ci.sh chaos`) runs this binary with 4 workers
+//! under a fault storm, SIGKILLs workers and the coordinator, resumes, and
+//! diffs the fingerprint against an undisturbed single-process run.
+
+use device_models::{crowd_devices, kf_frame_time, odroid_xu3, DeviceModel, KfParams};
+use hm_bench::experiments::{install_graceful_shutdown, kf_space, result_fingerprint, DseScale};
+use hm_bench::report::write_results_file;
+use hm_service::{worker_entry, ChaosPlan, ServiceConfig, ServicePool};
+use hypermapper::{Evaluator, Journal, ParamSpace};
+use slambench::{kf_params_from_config, kfusion_space, SimulatedKFusionEvaluator};
+use std::path::PathBuf;
+
+/// Which problem the worker processes of the *current* pool serve. Set by
+/// the coordinator before `ServicePool::launch`; inherited by the children.
+const ENV_PHASE: &str = "HM_FIG5_PHASE";
+/// Phase-2 deployed configuration, as 9 comma-separated f64 bit patterns
+/// (bit-exact across the process boundary).
+const ENV_BEST: &str = "HM_FIG5_BEST";
+
+/// The worker-side evaluator for either phase.
+enum Fig5Evaluator {
+    Dse(SimulatedKFusionEvaluator),
+    Crowd { best: KfParams, devices: Vec<DeviceModel> },
+}
+
+impl Evaluator for Fig5Evaluator {
+    fn n_objectives(&self) -> usize {
+        2
+    }
+
+    fn objective_names(&self) -> Vec<String> {
+        match self {
+            Fig5Evaluator::Dse(inner) => inner.objective_names(),
+            Fig5Evaluator::Crowd { .. } => vec!["default_time".into(), "best_time".into()],
+        }
+    }
+
+    fn evaluate(&self, config: &hypermapper::Configuration) -> Vec<f64> {
+        match self {
+            Fig5Evaluator::Dse(inner) => inner.evaluate(config),
+            Fig5Evaluator::Crowd { best, devices } => {
+                let i = (config.value_f64(0) as usize).min(devices.len().saturating_sub(1));
+                let device = &devices[i];
+                vec![
+                    kf_frame_time(&KfParams::default_config(), device),
+                    kf_frame_time(best, device),
+                ]
+            }
+        }
+    }
+}
+
+fn encode_best(p: &KfParams) -> String {
+    [
+        p.volume_resolution,
+        p.mu,
+        p.compute_size_ratio,
+        p.tracking_rate,
+        p.icp_threshold,
+        p.integration_rate,
+        p.pyramid[0],
+        p.pyramid[1],
+        p.pyramid[2],
+    ]
+    .map(|v| format!("{:016x}", v.to_bits()))
+    .join(",")
+}
+
+fn decode_best(s: &str) -> Option<KfParams> {
+    let mut vals = [0.0f64; 9];
+    let mut it = s.split(',');
+    for v in vals.iter_mut() {
+        *v = f64::from_bits(u64::from_str_radix(it.next()?, 16).ok()?);
+    }
+    if it.next().is_some() {
+        return None;
+    }
+    Some(KfParams {
+        volume_resolution: vals[0],
+        mu: vals[1],
+        compute_size_ratio: vals[2],
+        tracking_rate: vals[3],
+        icp_threshold: vals[4],
+        integration_rate: vals[5],
+        pyramid: [vals[6], vals[7], vals[8]],
+    })
+}
+
+/// One ordinal "device index" per catalog entry; the value *is* the index.
+fn crowd_space(n: usize) -> Result<ParamSpace, hypermapper::HmError> {
+    ParamSpace::builder().ordinal("device", (0..n).map(|i| i as f64)).build()
+}
+
+/// Build the (space, evaluator) pair for whichever phase this worker
+/// process was spawned to serve.
+fn worker_factory() -> (ParamSpace, Fig5Evaluator) {
+    let phase = std::env::var(ENV_PHASE).unwrap_or_default();
+    if phase == "crowd" {
+        let best = std::env::var(ENV_BEST).ok().and_then(|s| decode_best(&s));
+        let Some(best) = best else {
+            eprintln!("fig5_service worker: missing or malformed {ENV_BEST}");
+            std::process::exit(2);
+        };
+        let devices = crowd_devices();
+        let space = match crowd_space(devices.len()) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("fig5_service worker: {e}");
+                std::process::exit(2);
+            }
+        };
+        (space, Fig5Evaluator::Crowd { best, devices })
+    } else {
+        (kfusion_space(), Fig5Evaluator::Dse(SimulatedKFusionEvaluator::new(odroid_xu3())))
+    }
+}
+
+fn flag_value(name: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1).cloned())
+}
+
+fn service_config(workers: usize, chaos: ChaosPlan, epoch: u64, sidecar: Option<PathBuf>) -> ServiceConfig {
+    ServiceConfig {
+        workers,
+        // Shorter than the storm's 400 ms stall so stalls exercise lease
+        // expiry; comfortably above a model evaluation (microseconds).
+        lease_ms: 250,
+        heartbeat_ms: 50,
+        heartbeat_grace: 10,
+        chaos,
+        epoch,
+        sidecar,
+        ..ServiceConfig::default()
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Spawned children route into the serve loop here and never return.
+    worker_entry(worker_factory);
+
+    let scale = DseScale::from_args();
+    let workers: usize = match flag_value("--workers") {
+        Some(v) => v.parse().map_err(|_| "--workers takes a count ≥ 1")?,
+        None => 4,
+    };
+    let seed: u64 = match flag_value("--seed") {
+        Some(v) => v.parse().map_err(|_| "--seed takes an integer")?,
+        None => 2017,
+    };
+    let chaos = match flag_value("--chaos-seed") {
+        Some(v) => ChaosPlan::storm(v.parse().map_err(|_| "--chaos-seed takes an integer")?),
+        None => ChaosPlan::quiet(),
+    };
+    let journal_path = flag_value("--journal");
+    let resume = std::env::args().any(|a| a == "--resume");
+    let tag = flag_value("--out").unwrap_or_else(|| "fig5_service".into());
+
+    println!(
+        "=== Fig. 5 via hm-service — scale {scale:?}, {workers} workers{} ===",
+        if chaos.is_active() { ", chaos ON" } else { "" }
+    );
+
+    // ---- Phase 1: the KFusion DSE, every evaluation leased to a worker ----
+    let stop = install_graceful_shutdown();
+    let mut journal = match &journal_path {
+        Some(path) if resume => Some(Journal::open_or_create(path)?),
+        Some(path) => Some(Journal::create(path)?),
+        None => None,
+    };
+    // Each coordinator incarnation gets a fresh worker epoch, journaled
+    // before any lease goes out: replies from a previous incarnation's
+    // workers can then never be confused with this run's.
+    let epoch = match journal.as_mut() {
+        Some(j) => {
+            if j.truncated_bytes() > 0 {
+                println!(
+                    "journal: discarded {} torn/corrupt tail bytes, resuming from last valid record",
+                    j.truncated_bytes()
+                );
+            }
+            let epoch = j.worker_epoch() + 1;
+            j.append_worker_epoch(epoch)?;
+            epoch
+        }
+        None => 1,
+    };
+    let sidecar = journal_path.as_ref().map(|p| PathBuf::from(format!("{p}.leases")));
+
+    std::env::set_var(ENV_PHASE, "dse");
+    let pool = ServicePool::launch(
+        kfusion_space(),
+        2,
+        vec!["kf_frame_time".into(), "kf_ate".into()],
+        service_config(workers, chaos, epoch, sidecar.clone()),
+    )?;
+    let hm = hypermapper::HyperMapper::new(kfusion_space(), scale.kfusion_optimizer(seed));
+    let result = hm.try_run_controlled(&pool, journal.as_mut(), Some(stop))?;
+    let stats = pool.stats();
+    drop(pool);
+    println!(
+        "DSE: {} samples, {} failures | leases {} accepted {} dup {} stale {} wrong-epoch {} \
+         garbled {} deaths {} expiries {} respawns {}",
+        result.samples.len(),
+        result.failures.len(),
+        stats.leases_granted,
+        stats.accepted,
+        stats.duplicates_dropped,
+        stats.stale_dropped,
+        stats.wrong_epoch_dropped,
+        stats.garbled_frames,
+        stats.worker_deaths,
+        stats.lease_expiries,
+        stats.respawns,
+    );
+    write_results_file(
+        &format!("{tag}.fingerprint"),
+        &result_fingerprint(&kf_space(), &result),
+    )?;
+    println!("wrote results/{tag}.fingerprint");
+    if result.interrupted {
+        match &journal_path {
+            Some(path) => println!(
+                "interrupted — {} samples are journaled in {path}; \
+                 rerun with --journal {path} --resume to continue",
+                result.samples.len()
+            ),
+            None => println!("interrupted — rerun with --journal <path> for a resumable run"),
+        }
+        std::process::exit(130);
+    }
+
+    // ---- Phase 2: stream the device catalog through a fresh worker pool ----
+    let best = result
+        .samples
+        .iter()
+        .filter(|s| s.objectives[1] < 0.05) // the paper's 5 cm validity limit
+        .min_by(|a, b| a.objectives[0].total_cmp(&b.objectives[0]))
+        .map(|s| kf_params_from_config(&s.config))
+        .ok_or("exploration found no configuration under the 5 cm validity limit")?;
+    let devices = crowd_devices();
+    let names: Vec<String> = devices.iter().map(|d| d.name.clone()).collect();
+    std::env::set_var(ENV_PHASE, "crowd");
+    std::env::set_var(ENV_BEST, encode_best(&best));
+    let space = crowd_space(devices.len())?;
+    let configs: Vec<_> = (0..devices.len() as u64).map(|f| space.config_at(f)).collect();
+    let pool = ServicePool::launch(
+        space,
+        2,
+        vec!["default_time".into(), "best_time".into()],
+        service_config(workers, chaos, epoch, sidecar),
+    )?;
+    let outcomes = pool.evaluate_batch(&configs);
+    let crowd_stats = pool.stats();
+    drop(pool);
+
+    let mut speedups = Vec::with_capacity(devices.len());
+    let mut csv = String::from("device,default_time,best_time,speedup\n");
+    for (name, outcome) in names.iter().zip(outcomes) {
+        let times = outcome.map_err(|f| format!("crowd evaluation failed on {name}: {f:?}"))?;
+        let speedup = times[0] / times[1];
+        csv.push_str(&format!("{name},{:.6},{:.6},{speedup:.4}\n", times[0], times[1]));
+        speedups.push(speedup);
+    }
+    let min = speedups.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = speedups.iter().copied().fold(0.0f64, f64::max);
+    let mean = speedups.iter().sum::<f64>() / speedups.len() as f64;
+    println!(
+        "crowd: {} devices through {workers} workers ({} leases) — speedups min {min:.2}x \
+         mean {mean:.2}x max {max:.2}x (paper: 2x .. >12x)",
+        speedups.len(),
+        crowd_stats.leases_granted,
+    );
+    write_results_file(&format!("{tag}_crowd.csv"), &csv)?;
+    println!("wrote results/{tag}_crowd.csv");
+    Ok(())
+}

@@ -8,6 +8,7 @@
 #   scripts/ci.sh lint         # only the hm-lint workspace gate
 #   scripts/ci.sh bench        # only the bench regression gate
 #   scripts/ci.sh resume       # only the kill → resume bit-identity smoke test
+#   scripts/ci.sh chaos        # only the multi-process kill-anywhere chaos gate
 #
 # Env:
 #   BENCH_REGRESSION_PCT       # allowed median slowdown per series (default 20)
@@ -210,6 +211,78 @@ resume_smoke() {
     cd "$REPO"
 }
 
+# ---------------------------------------------------------------------------
+# Chaos gate: the kill-anywhere proof for the multi-process service layer
+# (crates/service). Three fig5_service runs of the same seeded quick DSE:
+#
+#   1. one worker process, no chaos        -> reference fingerprint
+#   2. four workers under a chaos storm    -> must be byte-identical
+#      (seeded worker kills, stalls, frozen heartbeats, garbled frames,
+#      duplicate / late / stale-epoch replies)
+#   3. four workers + storm, coordinator SIGKILLed mid-run, then resumed
+#      from its journal                    -> must be byte-identical
+#
+# Between leases-over-checksummed-pipes, heartbeat reaping, deterministic
+# re-grant backoff, and slot-ordered merge, the service's contract is that
+# NOTHING about process count, scheduling, or failure timing is allowed to
+# leak into the result. The fingerprints are full-precision (bit-level
+# objective values), so any leak fails the gate.
+# ---------------------------------------------------------------------------
+chaos_gate() {
+    cd "$REPO"
+    local bin="$REPO/target/release/fig5_service"
+    if ! cargo build --release -p hm-examples --bin fig5_service >/dev/null 2>&1; then
+        echo "chaos gate: online build failed (offline?); using the stub harness"
+        bash "$REPO/scripts/check_offline.sh" build --release -p hm-examples \
+            --bin fig5_service >/dev/null 2>&1
+        bin="$REPO/target/offline-check/target/release/fig5_service"
+    fi
+    local work
+    work=$(mktemp -d)
+    # shellcheck disable=SC2064
+    trap "rm -rf '$work'" RETURN
+    cd "$work"
+
+    echo "chaos gate: single-process reference run"
+    "$bin" --quick --workers 1 --out ref >/dev/null
+    cp results/ref.fingerprint ref.fingerprint
+
+    echo "chaos gate: 4 workers under a seeded fault storm"
+    "$bin" --quick --workers 4 --chaos-seed 7 --out storm >/dev/null
+    if ! cmp -s ref.fingerprint results/storm.fingerprint; then
+        echo "chaos gate: storm run diverged from the single-process reference" >&2
+        diff ref.fingerprint results/storm.fingerprint | head >&2 || true
+        return 1
+    fi
+
+    echo "chaos gate: 4 workers + storm, SIGKILL the coordinator, resume"
+    "$bin" --quick --workers 4 --chaos-seed 7 --journal kill.journal \
+        --out killed >/dev/null 2>&1 &
+    local pid=$! evals=0 i
+    for i in $(seq 1 100); do
+        evals=$(grep -c ' eval ' kill.journal 2>/dev/null || true)
+        [ "${evals:-0}" -ge 30 ] && break
+        sleep 0.02
+    done
+    kill -9 "$pid" 2>/dev/null || true
+    wait "$pid" 2>/dev/null || true
+    evals=$(grep -c ' eval ' kill.journal || true)
+    if [ "${evals:-0}" -lt 1 ]; then
+        echo "chaos gate: coordinator died before journaling any evaluation" >&2
+        return 1
+    fi
+    echo "chaos gate: coordinator killed with $evals evaluations journaled; resuming"
+    "$bin" --quick --workers 4 --chaos-seed 7 --journal kill.journal --resume \
+        --out resumed >/dev/null
+    if ! cmp -s ref.fingerprint results/resumed.fingerprint; then
+        echo "chaos gate: resumed run diverged from the single-process reference" >&2
+        diff ref.fingerprint results/resumed.fingerprint | head >&2 || true
+        return 1
+    fi
+    echo "chaos gate: kill-anywhere is bit-identical"
+    cd "$REPO"
+}
+
 lint_workspace
 [ "$MODE" = "lint" ] && exit 0
 if [ "$MODE" = "bench" ]; then
@@ -220,6 +293,10 @@ if [ "$MODE" = "resume" ]; then
     resume_smoke
     exit 0
 fi
+if [ "$MODE" = "chaos" ]; then
+    chaos_gate
+    exit 0
+fi
 
 cd "$REPO"
 cargo build --release
@@ -227,3 +304,4 @@ cargo test -q
 bash "$REPO/scripts/check_offline.sh"
 bench_regression
 resume_smoke
+chaos_gate
