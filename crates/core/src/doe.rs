@@ -28,7 +28,12 @@ pub fn sample_distinct<R: Rng>(
         return Err(HmError::NotEnoughConfigurations { requested: n, available });
     }
 
-    // Dense case: enumerate what's left and partially shuffle.
+    // Dense case: enumerate what's left and partially shuffle. Enumerating
+    // walks `0..size`, which is only reachable for enumerable spaces: a
+    // u64-sized space can take this branch only if `exclude` covers almost
+    // all of it, and an exclude set of ~2^64 indices cannot exist in
+    // memory. u64-sized spaces therefore always sample by rejection below,
+    // without materializing anything (`crates/core/tests/huge_space.rs`).
     if available <= (n as u64).saturating_mul(4).max(1024) {
         let mut remaining: Vec<u64> = (0..size).filter(|i| !exclude.contains(i)).collect();
         // Partial Fisher–Yates: we only need the first n.
@@ -52,6 +57,80 @@ pub fn sample_distinct<R: Rng>(
     }
     Ok(out)
 }
+
+/// Draw `n` distinct uniformly random configurations satisfying
+/// `predicate` — constrained sampling over spaces that never materialize:
+/// candidates are drawn by flat-index rejection (plus the predicate as a
+/// second rejection stage), so a u64-sized space with a sparse constraint
+/// costs `O(n / acceptance_rate)` work and `O(n)` memory.
+///
+/// Unlike [`sample_distinct`], the number of *valid* configurations is
+/// unknown (the predicate is a black box), so exhaustion cannot be detected
+/// up front; instead the draw gives up with
+/// [`HmError::NotEnoughConfigurations`] after `max_attempts` rejections in
+/// a row without an accept (pass e.g. `10_000 × n` for a predicate
+/// expected to accept ≳ 0.1% of the space). Small spaces degrade to an
+/// exact streamed enumeration when the rejection loop stalls, so feasible
+/// requests on enumerable spaces always succeed.
+pub fn sample_distinct_where<R: Rng, F: FnMut(&Configuration) -> bool>(
+    space: &ParamSpace,
+    n: usize,
+    exclude: &HashSet<u64>,
+    mut predicate: F,
+    max_attempts: u64,
+    rng: &mut R,
+) -> Result<Vec<Configuration>, HmError> {
+    let size = space.size();
+    let mut chosen = HashSet::with_capacity(n);
+    let mut out = Vec::with_capacity(n);
+    let mut misses = 0u64;
+    while out.len() < n {
+        if misses >= max_attempts {
+            // Enumerable space: fall back to an exact streamed scan of what
+            // the rejection loop could not find (no materialization — the
+            // stream is the odometer, and only accepted configurations are
+            // kept). Non-enumerable spaces report exhaustion honestly.
+            if size <= ENUM_FALLBACK_CAP {
+                for c in space.stream() {
+                    if out.len() == n {
+                        break;
+                    }
+                    let flat = space.flat_index(&c);
+                    if exclude.contains(&flat) || chosen.contains(&flat) || !predicate(&c) {
+                        continue;
+                    }
+                    chosen.insert(flat);
+                    out.push(c);
+                }
+                if out.len() == n {
+                    return Ok(out);
+                }
+            }
+            return Err(HmError::NotEnoughConfigurations {
+                requested: n,
+                available: out.len() as u64,
+            });
+        }
+        let flat = rng.gen_range(0..size);
+        if exclude.contains(&flat) || chosen.contains(&flat) {
+            misses += 1;
+            continue;
+        }
+        let config = space.config_at(flat);
+        if !predicate(&config) {
+            misses += 1;
+            continue;
+        }
+        misses = 0;
+        chosen.insert(flat);
+        out.push(config);
+    }
+    Ok(out)
+}
+
+/// Spaces up to this size may be exactly enumerated (streamed, not
+/// materialized) when constrained rejection sampling stalls.
+const ENUM_FALLBACK_CAP: u64 = 1 << 24;
 
 /// Draw a prediction pool of up to `pool_size` distinct configurations. When
 /// the space is small enough the pool is the whole space (the paper predicts
@@ -177,6 +256,71 @@ mod tests {
         assert_eq!(pool.len(), 500);
         let set: HashSet<u64> = pool.iter().map(|c| s.flat_index(c)).collect();
         assert_eq!(set.len(), 500);
+    }
+
+    #[test]
+    fn sample_distinct_on_u64_scale_space_never_materializes() {
+        // 2^63 configurations: only the rejection path is reachable, and it
+        // allocates O(n), not O(size).
+        let s = ParamSpace::builder()
+            .ordinal("a", (0..1u32 << 16).map(f64::from))
+            .ordinal("b", (0..1u32 << 16).map(f64::from))
+            .ordinal("c", (0..1u32 << 16).map(f64::from))
+            .ordinal("d", (0..1u32 << 15).map(f64::from))
+            .build()
+            .unwrap();
+        assert_eq!(s.size(), 1u64 << 63);
+        let mut rng = StdRng::seed_from_u64(21);
+        let samples = sample_distinct(&s, 200, &HashSet::new(), &mut rng).unwrap();
+        let set: HashSet<u64> = samples.iter().map(|c| s.flat_index(c)).collect();
+        assert_eq!(set.len(), 200);
+    }
+
+    #[test]
+    fn constrained_sampling_respects_predicate_and_exclusions() {
+        let s = space(30); // 900 configs
+        let exclude: HashSet<u64> = (0..100).collect();
+        let mut rng = StdRng::seed_from_u64(31);
+        let even = |c: &Configuration| c.choice(0) % 2 == 0;
+        let samples = sample_distinct_where(&s, 50, &exclude, even, 10_000, &mut rng).unwrap();
+        assert_eq!(samples.len(), 50);
+        let set: HashSet<u64> = samples.iter().map(|c| s.flat_index(c)).collect();
+        assert_eq!(set.len(), 50);
+        for c in &samples {
+            assert!(c.choice(0) % 2 == 0);
+            assert!(!exclude.contains(&s.flat_index(c)));
+        }
+        // Deterministic given the seed.
+        let again = sample_distinct_where(
+            &s,
+            50,
+            &exclude,
+            |c| c.choice(0) % 2 == 0,
+            10_000,
+            &mut StdRng::seed_from_u64(31),
+        )
+        .unwrap();
+        assert_eq!(samples, again);
+    }
+
+    #[test]
+    fn constrained_sampling_exhausts_gracefully() {
+        let s = space(10); // 100 configs; predicate accepts exactly 10
+        let mut rng = StdRng::seed_from_u64(33);
+        // Feasible-but-rare: the streamed fallback finds all 10.
+        let all =
+            sample_distinct_where(&s, 10, &HashSet::new(), |c| c.choice(0) == 3, 64, &mut rng)
+                .unwrap();
+        assert_eq!(all.len(), 10);
+        assert!(all.iter().all(|c| c.choice(0) == 3));
+        // Infeasible: errors with the count actually found, instead of
+        // spinning forever.
+        let err = sample_distinct_where(&s, 11, &HashSet::new(), |c| c.choice(0) == 3, 64, &mut rng)
+            .unwrap_err();
+        assert!(
+            matches!(err, HmError::NotEnoughConfigurations { requested: 11, .. }),
+            "got {err:?}"
+        );
     }
 
     #[test]

@@ -60,7 +60,7 @@ pub mod scheduler;
 pub mod space;
 
 pub use analysis::{pearson, spearman, ParamImportance};
-pub use doe::sample_distinct;
+pub use doe::{sample_distinct, sample_distinct_where};
 pub use error::{EvalError, HmError};
 pub use evaluate::{catch_eval, CachedEvaluator, Evaluator, FailedEvaluation, FnEvaluator};
 pub use faults::{
@@ -77,6 +77,6 @@ pub use resilient::{FailureLogEntry, ResilientEvaluator, RetryPolicy};
 // cache without depending on `randforest` directly.
 pub use randforest::{CompiledSurrogate, PredictionCache, QuantizeError, QuantizedForest};
 pub use scheduler::{default_workers, ParallelBatchEvaluator};
-pub use pareto::{dominates, hypervolume_2d, pareto_front, pareto_front_2d};
+pub use pareto::{dominates, hypervolume_2d, pareto_front, pareto_front_2d, IncrementalFront};
 pub use param::{Domain, ParamDef};
-pub use space::{Configuration, ParamSpace, SpaceBuilder};
+pub use space::{ConfigStream, Configuration, ParamSpace, SpaceBuilder};

@@ -4,12 +4,16 @@ use crate::doe::{prediction_pool, sample_distinct};
 use crate::error::{EvalError, HmError};
 use crate::evaluate::Evaluator;
 use crate::journal::{crc32, Journal, JournalSink, RawOutcome, Replay, RunHeader, SnapshotState};
-use crate::pareto::{hypervolume_2d, pareto_front, pareto_front_2d};
+use crate::pareto::{pareto_front, IncrementalFront};
+#[cfg(test)]
+use crate::pareto::hypervolume_2d;
 use crate::scheduler::ParallelBatchEvaluator;
 use crate::space::{Configuration, ParamSpace};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use randforest::{CompiledSurrogate, Dataset, ForestConfig, PredictionCache, RandomForest};
+use randforest::{
+    BinnedDataset, CompiledSurrogate, Dataset, ForestConfig, PredictionCache, RandomForest,
+};
 use serde::Serialize;
 use std::collections::HashSet;
 use std::fmt::Write as _;
@@ -372,14 +376,11 @@ impl HyperMapper {
             }
         }
 
-        let mut st = ExplorationState {
-            rng: StdRng::seed_from_u64(self.config.seed),
-            evaluated: HashSet::new(),
-            samples: Vec::new(),
-            failures: Vec::new(),
-            iterations: Vec::new(),
-            pools_drawn: 0,
-        };
+        let mut st = ExplorationState::new(self.config.seed, n_obj);
+        // Warm-start surrogate state: datasets and the shared level index
+        // persist across iterations so each refit only ingests the rows
+        // that are new since the previous one.
+        let mut trainer = SurrogateTrainer::new(self.space.n_params(), n_obj);
 
         // ---- Restore the latest snapshot, if the journal holds one. ----
         // RNG state is replayed, never deserialized: re-run the bootstrap
@@ -398,7 +399,7 @@ impl HyperMapper {
             let base = std::mem::take(&mut replay.base);
             for (flat, phase, objectives) in base.samples {
                 st.evaluated.insert(flat);
-                st.samples.push(Sample { config: self.space.config_at(flat), objectives, phase });
+                st.record_sample(Sample { config: self.space.config_at(flat), objectives, phase });
             }
             for (flat, phase, error, attempts, elapsed_ms) in base.failures {
                 st.evaluated.insert(flat);
@@ -457,7 +458,7 @@ impl HyperMapper {
             // live loop trains on, and what the iteration's OOB estimate
             // refers to); only needed when the iteration's stats are not
             // already journaled.
-            let mut forests: Option<Vec<RandomForest>> = None;
+            let mut forests: Option<FittedSurrogates> = None;
             let (configs, predicted_front_size, replayed, replayed_stats) = match next {
                 Some(pr) => {
                     // Replayed phase: the candidate list is on record, so
@@ -465,7 +466,8 @@ impl HyperMapper {
                     // but the pool draw still consumed RNG in the original
                     // run and must be replayed to keep the stream aligned.
                     if pr.stats.is_none() {
-                        forests = Some(self.fit_forests(&st.samples, &st.failures, n_obj));
+                        forests =
+                            Some(self.fit_forests(&mut trainer, &st.samples, &st.failures, n_obj));
                     }
                     let _ = prediction_pool(&self.space, self.config.pool_size, &mut st.rng);
                     st.pools_drawn += 1;
@@ -482,10 +484,11 @@ impl HyperMapper {
                     // Live path: fit one forest per objective on everything
                     // evaluated so far, predict over the pool, and find the
                     // predicted Pareto front.
-                    let fit = self.fit_forests(&st.samples, &st.failures, n_obj);
+                    let fit = self.fit_forests(&mut trainer, &st.samples, &st.failures, n_obj);
                     let pool = prediction_pool(&self.space, self.config.pool_size, &mut st.rng);
                     st.pools_drawn += 1;
-                    let predicted = self.predict_front(&fit, &pool, n_obj, pred_cache.as_mut());
+                    let predicted =
+                        self.predict_front(&fit.forests, &pool, n_obj, pred_cache.as_mut());
                     let predicted_front_size = predicted.len();
 
                     // P − X_out: keep only configurations not evaluated yet
@@ -538,10 +541,7 @@ impl HyperMapper {
                 Some(stats) => stats,
                 None => {
                     let oob_rmse = match &forests {
-                        Some(fs) => {
-                            let datasets = self.datasets(&st.samples, &st.failures, n_obj);
-                            fs.iter().zip(&datasets).map(|(f, d)| f.oob_rmse(d)).collect()
-                        }
+                        Some(fs) => fs.oob_rmse.clone(),
                         // Unreachable by construction: forests are fit
                         // whenever stats are not replayed.
                         None => vec![None; n_obj],
@@ -552,7 +552,7 @@ impl HyperMapper {
                         new_evaluations,
                         failed_evaluations: new_evaluations - out.successes,
                         oob_rmse,
-                        hypervolume: measured_hypervolume(&st.samples),
+                        hypervolume: st.measured_hypervolume(),
                     };
                     ctx.append_iter(&stats)?;
                     stats
@@ -587,7 +587,17 @@ impl HyperMapper {
     /// Fingerprint of everything a journal replay must agree on.
     fn run_header(&self, n_obj: usize) -> RunHeader {
         let mut sig_src = String::new();
-        let _ = write!(sig_src, "{:?}|{:?}|", self.config.forest, self.config.failure_policy);
+        // The space size is covered by the per-parameter fingerprints below,
+        // but is cheap insurance against a future parameter kind whose
+        // `Debug` form underdetermines its cardinality — a resume against a
+        // differently-sized space must never replay flat indices.
+        let _ = write!(
+            sig_src,
+            "{:?}|{:?}|{}|",
+            self.config.forest,
+            self.config.failure_policy,
+            self.space.size()
+        );
         for p in self.space.params() {
             let _ = write!(sig_src, "{p:?};");
         }
@@ -744,7 +754,7 @@ impl HyperMapper {
         };
         match validate_objectives(result, n_obj) {
             Ok(objectives) => {
-                st.samples.push(Sample { config, objectives, phase });
+                st.record_sample(Sample { config, objectives, phase });
                 true
             }
             Err(error) => {
@@ -794,14 +804,35 @@ impl HyperMapper {
     }
 
     /// Fit the per-objective surrogate forests (two separate regressors in
-    /// the paper: ATE and runtime).
+    /// the paper: ATE and runtime), warm-starting from `trainer`'s
+    /// persistent datasets and shared level index whenever no imputed rows
+    /// are in play. The fitted forests are bit-identical to a cold
+    /// `RandomForest::fit` on freshly rebuilt datasets (the
+    /// `fit_with_bins`/`append_rows` parity contracts); OOB error is
+    /// estimated here, against the exact data each forest trained on.
     fn fit_forests(
         &self,
+        trainer: &mut SurrogateTrainer,
         samples: &[Sample],
         failures: &[FailureRecord],
         n_obj: usize,
-    ) -> Vec<RandomForest> {
-        self.datasets(samples, failures, n_obj)
+    ) -> FittedSurrogates {
+        let penalty = match self.config.failure_policy {
+            FailurePolicy::Exclude => None,
+            FailurePolicy::ImputePenalty { factor } => penalty_objectives(samples, n_obj, factor),
+        };
+        let imputed = penalty.is_some() && !failures.is_empty();
+        if imputed || trainer.has_imputed_rows {
+            // Cold rebuild. Imputed penalty targets are a function of the
+            // *entire* successful-sample set, so any imputed tail from the
+            // previous fit is stale the moment a new sample lands — there
+            // is nothing incremental to reuse (DESIGN.md §14).
+            trainer.rebuild(self.datasets(samples, failures, n_obj), samples.len(), imputed);
+        } else {
+            trainer.append_samples(&self.space, samples);
+        }
+        let forests: Vec<RandomForest> = trainer
+            .datasets
             .iter()
             .enumerate()
             .map(|(k, d)| {
@@ -809,9 +840,12 @@ impl HyperMapper {
                     seed: self.config.forest.seed ^ ((k as u64 + 1) << 32) ^ self.config.seed,
                     ..self.config.forest.clone()
                 };
-                RandomForest::fit(d, &cfg)
+                RandomForest::fit_with_bins(d, &trainer.bins, &cfg)
             })
-            .collect()
+            .collect();
+        let oob_rmse =
+            forests.iter().zip(&trainer.datasets).map(|(f, d)| f.oob_rmse(d)).collect();
+        FittedSurrogates { forests, oob_rmse }
     }
 
     /// Predict all objectives over `pool` and return the configurations on
@@ -859,17 +893,19 @@ impl HyperMapper {
             None => surrogate.predict_batch_multi(&flatten(&pool.iter().collect::<Vec<_>>())),
         };
 
-        let front = if n_obj == 2 {
-            let pts: Vec<(f64, f64)> =
-                (0..pool.len()).map(|i| (preds[0][i], preds[1][i])).collect();
-            pareto_front_2d(&pts)
-        } else {
-            let pts: Vec<Vec<f64>> = (0..pool.len())
-                .map(|i| preds.iter().map(|p| p[i]).collect())
-                .collect();
-            pareto_front(&pts)
-        };
-        front.into_iter().map(|i| pool[i].clone()).collect()
+        // Stream the predictions through an incremental front instead of
+        // materializing a second `pool.len() × n_obj` point matrix for a
+        // batch recompute; membership and output order are bit-identical
+        // (the `incremental_front` property tests).
+        let mut front = IncrementalFront::new(n_obj);
+        let mut point = vec![0.0f64; n_obj];
+        for i in 0..pool.len() {
+            for (v, p) in point.iter_mut().zip(&preds) {
+                *v = p[i];
+            }
+            front.push(&point);
+        }
+        front.front_indices().into_iter().map(|i| pool[i].clone()).collect()
     }
 }
 
@@ -890,12 +926,54 @@ struct ExplorationState {
     failures: Vec<FailureRecord>,
     iterations: Vec<IterationStats>,
     pools_drawn: usize,
+    /// Measured Pareto front, maintained incrementally as samples land —
+    /// bit-identical to a batch `pareto_front` over `samples` (the
+    /// `incremental_front` property tests), so the per-iteration
+    /// hypervolume and the final `pareto_indices` never recompute over the
+    /// whole sample history.
+    front: IncrementalFront,
+    /// Running per-objective maximum over all samples — the hypervolume
+    /// reference point (the measured nadir).
+    nadir: Vec<f64>,
 }
 
 impl ExplorationState {
+    fn new(seed: u64, n_obj: usize) -> Self {
+        ExplorationState {
+            rng: StdRng::seed_from_u64(seed),
+            evaluated: HashSet::new(),
+            samples: Vec::new(),
+            failures: Vec::new(),
+            iterations: Vec::new(),
+            pools_drawn: 0,
+            front: IncrementalFront::new(n_obj),
+            nadir: vec![f64::NEG_INFINITY; n_obj],
+        }
+    }
+
+    /// The single ingestion point for successful evaluations: every sample
+    /// enters the log, the maintained front, and the nadir together, so
+    /// the three can never drift apart.
+    fn record_sample(&mut self, sample: Sample) {
+        for (n, v) in self.nadir.iter_mut().zip(&sample.objectives) {
+            *n = n.max(*v);
+        }
+        self.front.push(&sample.objectives);
+        self.samples.push(sample);
+    }
+
+    /// Hypervolume of the measured front for bi-objective runs, from the
+    /// maintained front in `O(front)` — bit-identical to
+    /// [`measured_hypervolume`] over the full sample log.
+    fn measured_hypervolume(&self) -> f64 {
+        if self.samples.is_empty() || self.front.n_objectives() != 2 {
+            return 0.0;
+        }
+        self.front.hypervolume((self.nadir[0], self.nadir[1]))
+    }
+
     fn into_result(self, objective_names: Vec<String>, interrupted: bool) -> ExplorationResult {
-        let pts: Vec<Vec<f64>> = self.samples.iter().map(|s| s.objectives.clone()).collect();
-        let pareto_indices = pareto_front(&pts);
+        let pareto_indices = self.front.front_indices();
         ExplorationResult {
             samples: self.samples,
             pareto_indices,
@@ -956,6 +1034,75 @@ impl RunCtx<'_> {
 struct PhaseOutcome {
     successes: usize,
     interrupted: bool,
+}
+
+/// One refit of the per-objective surrogates, plus their out-of-bag error
+/// on the data they were trained on.
+struct FittedSurrogates {
+    forests: Vec<RandomForest>,
+    oob_rmse: Vec<Option<f64>>,
+}
+
+/// Warm-start surrogate training state, persistent across active-learning
+/// iterations.
+///
+/// Active learning grows its training set by a bounded number of rows per
+/// iteration, yet the old fit path rebuilt every per-objective [`Dataset`]
+/// *and* re-indexed every feature column from scratch each refit —
+/// `O(history)` work per iteration for what is an `O(new rows)` change.
+/// This keeps the datasets alive and appends only the samples that landed
+/// since the last refit; the feature matrix is identical across objectives
+/// (only targets differ), so **one** shared [`BinnedDataset`] level index
+/// serves every objective's forest, extended in place via
+/// [`BinnedDataset::append_rows`].
+///
+/// Imputed penalty rows (see [`FailurePolicy::ImputePenalty`]) are the one
+/// thing that cannot warm-start: their targets depend on the whole sample
+/// set and change every iteration, so a fit with imputed rows rebuilds
+/// cold — and taints the trainer so the *next* fit rebuilds too (the
+/// imputed tail must come back out).
+struct SurrogateTrainer {
+    /// Per-objective training sets; row `i` < `samples_seen` is sample `i`.
+    datasets: Vec<Dataset>,
+    /// Level index over the (shared) feature matrix of `datasets`.
+    bins: BinnedDataset,
+    /// Prefix of the run's sample log already ingested into `datasets`.
+    samples_seen: usize,
+    /// `datasets` currently carry an imputed penalty tail after the
+    /// sample rows; the next fit must rebuild regardless of policy.
+    has_imputed_rows: bool,
+}
+
+impl SurrogateTrainer {
+    fn new(n_params: usize, n_obj: usize) -> Self {
+        let datasets: Vec<Dataset> = (0..n_obj).map(|_| Dataset::new(n_params)).collect();
+        let bins = BinnedDataset::new(&datasets[0]);
+        SurrogateTrainer { datasets, bins, samples_seen: 0, has_imputed_rows: false }
+    }
+
+    /// Warm path: ingest the samples that arrived since the last fit
+    /// (possibly several iterations' worth — resume replays whole phases
+    /// without fitting) and extend the shared level index to match.
+    fn append_samples(&mut self, space: &ParamSpace, samples: &[Sample]) {
+        let mut feat = Vec::with_capacity(space.n_params());
+        for s in &samples[self.samples_seen..] {
+            feat.clear();
+            space.write_features(&s.config, &mut feat);
+            for (k, d) in self.datasets.iter_mut().enumerate() {
+                d.push_row(&feat, s.objectives[k]);
+            }
+        }
+        self.bins.append_rows(&self.datasets[0]);
+        self.samples_seen = samples.len();
+    }
+
+    /// Cold path: replace everything with freshly built datasets.
+    fn rebuild(&mut self, datasets: Vec<Dataset>, n_samples: usize, has_imputed_rows: bool) {
+        self.bins = BinnedDataset::new(&datasets[0]);
+        self.datasets = datasets;
+        self.samples_seen = n_samples;
+        self.has_imputed_rows = has_imputed_rows;
+    }
 }
 
 fn jerr(e: std::io::Error) -> HmError {
@@ -1029,7 +1176,11 @@ fn penalty_objectives(samples: &[Sample], n_obj: usize, factor: f64) -> Option<V
 }
 
 /// Hypervolume of the measured front for bi-objective runs, using the
-/// nadir of all samples as the reference point.
+/// nadir of all samples as the reference point. The live optimizer keeps
+/// this incrementally ([`ExplorationState::measured_hypervolume`]); the
+/// batch recompute survives as the independent cross-check the tests pit
+/// against it.
+#[cfg(test)]
 fn measured_hypervolume(samples: &[Sample]) -> f64 {
     if samples.is_empty() || samples[0].objectives.len() != 2 {
         return 0.0;

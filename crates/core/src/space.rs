@@ -302,10 +302,94 @@ impl ParamSpace {
         self.config_from_choices(choices)
     }
 
-    /// Iterate over all configurations — only sensible for small spaces;
-    /// use sampling for the paper-scale spaces.
+    /// Iterate over all configurations in flat-index order — only sensible
+    /// for small spaces; use [`ParamSpace::stream`] with a predicate or
+    /// sampling for the paper-scale spaces.
     pub fn iter_all(&self) -> impl Iterator<Item = Configuration> + '_ {
-        (0..self.size()).map(move |i| self.config_at(i))
+        self.stream()
+    }
+
+    /// Lazily stream every configuration in flat-index order without ever
+    /// materializing the space: the iterator holds one mixed-radix odometer
+    /// (`O(n_params)` memory) and works unchanged on u64-sized spaces.
+    ///
+    /// Yields exactly the [`ParamSpace::iter_all`] sequence —
+    /// `config_at(0), config_at(1), …` — but advances by incrementing the
+    /// odometer instead of re-dividing a flat index per step.
+    pub fn stream(&self) -> ConfigStream<'_> {
+        ConfigStream {
+            space: self,
+            choices: vec![0; self.params.len()],
+            remaining: self.size(),
+        }
+    }
+
+    /// Stream starting at flat index `start` (inclusive) — the sharding
+    /// primitive for splitting a huge space across workers: worker `w` of
+    /// `W` streams `stream_from(w * size / W)` and takes `size / W` items.
+    ///
+    /// # Panics
+    /// If `start > self.size()` (`start == size` yields an empty stream).
+    pub fn stream_from(&self, start: u64) -> ConfigStream<'_> {
+        let size = self.size();
+        assert!(start <= size, "stream start {start} out of range");
+        let choices = if start == size {
+            vec![0; self.params.len()]
+        } else {
+            self.config_at(start).choices
+        };
+        ConfigStream { space: self, choices, remaining: size - start }
+    }
+
+    /// Stream only the configurations satisfying `predicate` — constraint
+    /// predicates over huge spaces without materializing anything. The
+    /// predicate sees each candidate in flat-index order.
+    pub fn stream_where<'a, F>(&'a self, mut predicate: F) -> impl Iterator<Item = Configuration> + 'a
+    where
+        F: FnMut(&Configuration) -> bool + 'a,
+    {
+        self.stream().filter(move |c| predicate(c))
+    }
+}
+
+/// Lazy flat-order iterator over a [`ParamSpace`] (see
+/// [`ParamSpace::stream`]): one odometer, no materialization, u64-scale
+/// spaces welcome.
+#[derive(Debug, Clone)]
+pub struct ConfigStream<'a> {
+    space: &'a ParamSpace,
+    /// Mixed-radix odometer: the choice vector of the *next* configuration.
+    choices: Vec<u32>,
+    /// Configurations left to yield (drives `size_hint` and termination —
+    /// a u64 count, so exhausting a full u64-sized space terminates
+    /// correctly where a "did we wrap to zero" check would not).
+    remaining: u64,
+}
+
+impl Iterator for ConfigStream<'_> {
+    type Item = Configuration;
+
+    fn next(&mut self) -> Option<Configuration> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        let current = self.space.config_from_choices(self.choices.clone());
+        // Increment the odometer: last declared parameter varies fastest,
+        // matching `config_at`'s mixed-radix encoding.
+        for (i, p) in self.space.params.iter().enumerate().rev() {
+            self.choices[i] += 1;
+            if (self.choices[i] as usize) < p.domain.cardinality() {
+                break;
+            }
+            self.choices[i] = 0;
+        }
+        Some(current)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = usize::try_from(self.remaining).ok();
+        (n.unwrap_or(usize::MAX), n)
     }
 }
 
@@ -424,6 +508,123 @@ mod tests {
     fn config_from_choices_rejects_bad_arity() {
         let s = small_space();
         s.config_from_choices(vec![0, 0]);
+    }
+
+    #[test]
+    fn stream_matches_indexed_enumeration() {
+        // `iter_all` is implemented over the odometer stream, so the parity
+        // oracle here is per-index `config_at` — the mixed-radix decoder the
+        // stream must reproduce configuration by configuration.
+        let s = small_space();
+        let streamed: Vec<Configuration> = s.stream().collect();
+        let indexed: Vec<Configuration> = (0..s.size()).map(|i| s.config_at(i)).collect();
+        assert_eq!(streamed, indexed);
+        let (lo, hi) = s.stream().size_hint();
+        assert_eq!((lo as u64, hi.map(|h| h as u64)), (s.size(), Some(s.size())));
+    }
+
+    #[test]
+    fn stream_from_resumes_mid_space() {
+        let s = small_space();
+        for start in [0u64, 1, 7, 23, 24] {
+            let streamed: Vec<Configuration> = s.stream_from(start).collect();
+            let indexed: Vec<Configuration> = (start..s.size()).map(|i| s.config_at(i)).collect();
+            assert_eq!(streamed, indexed, "start {start}");
+        }
+        // Sharding partition: consecutive shards reproduce the full stream.
+        let shards: Vec<Configuration> = [(0, 9), (9, 17), (17, 24)]
+            .iter()
+            .flat_map(|&(a, b)| s.stream_from(a).take((b - a) as usize))
+            .collect();
+        assert_eq!(shards, s.stream().collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn stream_from_rejects_past_the_end() {
+        let s = small_space();
+        let _ = s.stream_from(s.size() + 1);
+    }
+
+    #[test]
+    fn stream_where_filters_lazily() {
+        let s = small_space();
+        let constrained: Vec<Configuration> =
+            s.stream_where(|c| c.value_bool(1) && c.choice(0) > 0).collect();
+        assert!(!constrained.is_empty());
+        for c in &constrained {
+            assert!(c.value_bool(1) && c.choice(0) > 0);
+        }
+        let brute: Vec<Configuration> =
+            s.iter_all().filter(|c| c.value_bool(1) && c.choice(0) > 0).collect();
+        assert_eq!(constrained, brute);
+    }
+
+    /// A space whose size (2^63) overflows u32 and approaches u64::MAX:
+    /// four 2^16-level parameters and one 2^15-level parameter.
+    fn u64_scale_space() -> ParamSpace {
+        ParamSpace::builder()
+            .ordinal("a", (0..1u32 << 16).map(f64::from))
+            .ordinal("b", (0..1u32 << 16).map(f64::from))
+            .ordinal("c", (0..1u32 << 16).map(f64::from))
+            .ordinal("d", (0..1u32 << 15).map(f64::from))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn flat_index_roundtrip_at_u64_boundary() {
+        let s = u64_scale_space();
+        assert_eq!(s.size(), 1u64 << 63);
+        for flat in [
+            0u64,
+            1,
+            (1 << 32) - 1,
+            1 << 32,
+            (1 << 32) + 1,
+            (1 << 63) - 2,
+            (1 << 63) - 1,
+            0x7315_8241_9FA3_0C67, // arbitrary interior point
+        ] {
+            let c = s.config_at(flat);
+            assert!(s.contains(&c));
+            assert_eq!(s.flat_index(&c), flat, "flat {flat:#x}");
+        }
+        // The last configuration is the all-max odometer state.
+        let last = s.config_at((1 << 63) - 1);
+        assert_eq!(last.choices(), &[0xFFFF, 0xFFFF, 0xFFFF, 0x7FFF]);
+    }
+
+    #[test]
+    fn stream_from_works_at_u64_boundary() {
+        let s = u64_scale_space();
+        // Stream a short window from deep inside the space: each yielded
+        // configuration must equal its `config_at`, without materializing
+        // anything (the stream holds only the odometer).
+        let start = (1u64 << 63) - 3;
+        let tail: Vec<Configuration> = s.stream_from(start).collect();
+        assert_eq!(tail.len(), 3);
+        for (k, c) in tail.iter().enumerate() {
+            assert_eq!(c, &s.config_at(start + k as u64));
+        }
+        let window: Vec<Configuration> = s.stream_from(1 << 62).take(5).collect();
+        for (k, c) in window.iter().enumerate() {
+            assert_eq!(c, &s.config_at((1 << 62) + k as u64));
+        }
+    }
+
+    #[test]
+    fn size_saturates_past_u64() {
+        // 5 × 2^16-level parameters → 2^80, saturating to u64::MAX.
+        let s = ParamSpace::builder()
+            .ordinal("a", (0..1u32 << 16).map(f64::from))
+            .ordinal("b", (0..1u32 << 16).map(f64::from))
+            .ordinal("c", (0..1u32 << 16).map(f64::from))
+            .ordinal("d", (0..1u32 << 16).map(f64::from))
+            .ordinal("e", (0..1u32 << 16).map(f64::from))
+            .build()
+            .unwrap();
+        assert_eq!(s.size(), u64::MAX);
     }
 
     #[test]

@@ -1,0 +1,105 @@
+//! Property test: [`IncrementalFront`] is bit-identical to the batch
+//! `pareto_front` recompute — membership, duplicate handling, non-finite
+//! exclusion, and output ordering — on seeded 200 000+ point pools, for
+//! both the 2-objective sweep regime and the k-objective archive regime.
+//! This is the guarantee that lets the optimizer replace its per-iteration
+//! full recomputes with incremental maintenance.
+
+use hypermapper::{hypervolume_2d, pareto_front, IncrementalFront};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A deliberately nasty point cloud: quantized coordinates (lots of exact
+/// duplicates and shared coordinates), signed zeros, a salting of
+/// non-finite values, and a dense band near the front.
+fn pool(seed: u64, n: usize, n_obj: usize) -> Vec<Vec<f64>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            (0..n_obj)
+                .map(|_| match rng.gen_range(0..100u32) {
+                    0 => -0.0,
+                    1 => 0.0,
+                    2 => f64::NAN,
+                    3 => f64::INFINITY,
+                    4 => f64::NEG_INFINITY,
+                    // Coarse grid: collisions and duplicates are common.
+                    5..=40 => rng.gen_range(0..50u32) as f64 * 0.25,
+                    // Fine grid: a deeper, denser staircase.
+                    _ => rng.gen_range(0..5000u32) as f64 * 0.01,
+                })
+                .collect()
+        })
+        .collect()
+}
+
+#[test]
+fn bit_identical_to_batch_on_200k_2d_pool() {
+    for seed in [1u64, 42, 1234] {
+        let pts = pool(seed, 200_000, 2);
+        let mut inc = IncrementalFront::new(2);
+        for p in &pts {
+            inc.push(p);
+        }
+        let batch = pareto_front(&pts);
+        assert_eq!(inc.front_indices(), batch, "seed {seed}");
+        // The maintained front's points are the batch front's points, bit
+        // for bit.
+        let batch_pts: Vec<Vec<f64>> = batch.iter().map(|&i| pts[i].clone()).collect();
+        let inc_pts = inc.front_points();
+        assert_eq!(inc_pts.len(), batch_pts.len());
+        for (a, b) in inc_pts.iter().zip(&batch_pts) {
+            let ab: Vec<u64> = a.iter().map(|v| v.to_bits()).collect();
+            let bb: Vec<u64> = b.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(ab, bb, "seed {seed}");
+        }
+    }
+}
+
+#[test]
+fn bit_identical_to_batch_at_every_prefix() {
+    // Not just the final answer: after *every* push, the maintained front
+    // equals the batch front of the prefix. Checked on a smaller pool
+    // (the quadratic check cost dominates) with periodic deep checks on a
+    // 200k pool via stride.
+    let pts = pool(7, 4000, 2);
+    let mut inc = IncrementalFront::new(2);
+    for (i, p) in pts.iter().enumerate() {
+        inc.push(p);
+        if i % 37 == 0 || i + 1 == pts.len() {
+            assert_eq!(inc.front_indices(), pareto_front(&pts[..=i]), "prefix {}", i + 1);
+        }
+    }
+}
+
+#[test]
+fn bit_identical_to_batch_on_200k_3d_pool() {
+    let pts = pool(9, 200_000, 3);
+    let mut inc = IncrementalFront::new(3);
+    for p in &pts {
+        inc.push(p);
+    }
+    assert_eq!(inc.front_indices(), pareto_front(&pts));
+}
+
+#[test]
+fn incremental_hypervolume_matches_batch_on_200k_pool() {
+    let pts = pool(11, 200_000, 2);
+    let mut inc = IncrementalFront::new(2);
+    // The optimizer's reference point: the nadir over all finite samples
+    // (its samples are always finite; filter here because the pool salts
+    // non-finite values in).
+    let finite: Vec<(f64, f64)> = pts
+        .iter()
+        .filter(|p| p.iter().all(|v| v.is_finite()))
+        .map(|p| (p[0], p[1]))
+        .collect();
+    let reference = finite.iter().fold((f64::NEG_INFINITY, f64::NEG_INFINITY), |acc, p| {
+        (acc.0.max(p.0), acc.1.max(p.1))
+    });
+    for p in &pts {
+        inc.push(p);
+    }
+    let batch = hypervolume_2d(&finite, reference);
+    assert_eq!(inc.hypervolume(reference).to_bits(), batch.to_bits());
+}

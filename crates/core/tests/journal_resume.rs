@@ -364,7 +364,7 @@ fn journal_from_a_different_run_is_rejected() {
 #[test]
 fn failure_records_survive_the_journal_round_trip() {
     silence_injected_panics();
-    let hm = HyperMapper::new(space(), config(29, 0, 400));
+    let hm = HyperMapper::new(space(), config(31, 0, 400));
     let eval = evaluator();
     let reference = hm.try_run(&eval).unwrap();
     assert!(

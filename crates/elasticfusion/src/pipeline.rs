@@ -6,7 +6,7 @@ use crate::odometry::{estimate, OdometryInputs, OdometryParams};
 use crate::surfel::SurfelMap;
 use icl_nuim_synth::{DepthImage, Frame};
 use slam_geometry::{CameraIntrinsics, SE3};
-use std::time::Instant;
+use hm_timing::Stopwatch;
 
 /// Per-frame outcome and timing.
 #[derive(Debug, Clone)]
@@ -131,8 +131,10 @@ impl ElasticFusion {
         let window = self.config.time_window;
 
         // ---- Tracking. ----
-        // lint: allow(wall-clock-outside-timing): stage timings feed objectives only under MeasurementMode::Timing (DESIGN §9); the model path ignores them
-        let t0 = Instant::now();
+        // Stage timings feed objectives only under MeasurementMode::Timing
+        // (DESIGN §9); the model path ignores them. The clock itself comes
+        // from the audited `hm-timing` module.
+        let t0 = Stopwatch::start();
         let mut tracked = false;
         let mut relocalised = false;
         let mut rms = 0.0f32;
@@ -182,11 +184,10 @@ impl ElasticFusion {
                 self.lost_frames += 1;
             }
         }
-        let t_tracking = t0.elapsed().as_secs_f64();
+        let t_tracking = t0.elapsed_secs();
 
         // ---- Loop closure & relocalisation. ----
-        // lint: allow(wall-clock-outside-timing): stage timings feed objectives only under MeasurementMode::Timing (DESIGN §9)
-        let t1 = Instant::now();
+        let t1 = Stopwatch::start();
         let mut local_loop = false;
         if time > 0 {
             if !self.config.open_loop && tracked {
@@ -200,11 +201,10 @@ impl ElasticFusion {
         if tracked || time == 0 {
             self.ferns.try_add(&frame.rgb, &depth, self.pose, time as usize);
         }
-        let t_loops = t1.elapsed().as_secs_f64();
+        let t_loops = t1.elapsed_secs();
 
         // ---- Fusion + maintenance. ----
-        // lint: allow(wall-clock-outside-timing): stage timings feed objectives only under MeasurementMode::Timing (DESIGN §9)
-        let t2 = Instant::now();
+        let t2 = Stopwatch::start();
         if tracked || time == 0 {
             let assoc = self.map.predict(&self.k, &self.pose, |s| {
                 time.saturating_sub(s.last_seen) <= window
@@ -216,7 +216,7 @@ impl ElasticFusion {
         if time % 25 == 24 {
             self.map.cleanup(time, conf.min(2.0), window * 2);
         }
-        let t_fusion = t2.elapsed().as_secs_f64();
+        let t_fusion = t2.elapsed_secs();
 
         self.prev_intensity = Some(frame.rgb.intensity());
         self.trajectory.push(self.pose);

@@ -64,6 +64,97 @@ impl BinnedDataset {
         BinnedDataset { n_rows: n, levels, codes, max_levels }
     }
 
+    /// Extend the index to cover rows appended to `data` since this table
+    /// was built (rows `self.n_rows()..data.len()`).
+    ///
+    /// Active learning grows its training set by a handful of rows per
+    /// iteration; re-indexing every column from scratch each refit is
+    /// `O(n log n)` on the *whole* history. This merges the new rows'
+    /// distinct values into the existing level tables instead — `O(Δn log
+    /// Δn + levels)` per column — remapping existing codes only when a
+    /// genuinely new level appears.
+    ///
+    /// The result is **bit-for-bit identical** to `BinnedDataset::new` on
+    /// the full dataset, including the representative chosen for levels
+    /// with multiple equal encodings (`-0.0` vs `+0.0`, NaN payloads): the
+    /// first occurrence in row order wins, exactly as the fresh build's
+    /// stable sort + dedup would pick. Asserted by the parity tests below
+    /// and relied on by the optimizer's warm-start refits.
+    ///
+    /// # Panics
+    /// If `data` has a different feature width, or has *fewer* rows than
+    /// this table already covers (the rows already coded must be a stable
+    /// prefix of `data`; this cannot be checked cheaply and is the
+    /// caller's contract).
+    pub fn append_rows(&mut self, data: &Dataset) {
+        assert_eq!(
+            data.n_features(),
+            self.n_features(),
+            "append_rows: dataset width changed under the bins"
+        );
+        let old_n = self.n_rows;
+        let n = data.len();
+        assert!(n >= old_n, "append_rows: dataset shrank under the bins");
+        if n == old_n {
+            return;
+        }
+        let mut column: Vec<f64> = Vec::with_capacity(n - old_n);
+        for f in 0..self.levels.len() {
+            column.clear();
+            column.extend((old_n..n).map(|i| data.feature(i, f)));
+            // Distinct new values; stable sort + dedup keeps the first
+            // occurrence per equal run, matching the fresh build.
+            let mut new_lv = column.clone();
+            new_lv.sort_by(|a, b| feature_cmp(*a, *b));
+            new_lv.dedup_by(|a, b| feature_eq(*a, *b));
+            let lv = &mut self.levels[f];
+            // Values genuinely absent from the existing table. Values that
+            // match an existing level keep the existing representative —
+            // it occurred earlier in row order, so the fresh build would
+            // keep it too.
+            let fresh: Vec<f64> = new_lv
+                .iter()
+                .copied()
+                .filter(|v| {
+                    let p = lv.partition_point(|l| feature_cmp(*l, *v) == Ordering::Less);
+                    !(p < lv.len() && feature_eq(lv[p], *v))
+                })
+                .collect();
+            if !fresh.is_empty() {
+                // Merge, recording how far right each old level moves so
+                // existing codes can be remapped in one pass.
+                let mut merged = Vec::with_capacity(lv.len() + fresh.len());
+                let mut shift = vec![0u32; lv.len()];
+                let (mut i, mut j) = (0usize, 0usize);
+                while i < fresh.len() || j < lv.len() {
+                    if j == lv.len()
+                        || (i < fresh.len() && feature_cmp(fresh[i], lv[j]) == Ordering::Less)
+                    {
+                        merged.push(fresh[i]);
+                        i += 1;
+                    } else {
+                        shift[j] = i as u32;
+                        merged.push(lv[j]);
+                        j += 1;
+                    }
+                }
+                assert!(merged.len() <= u32::MAX as usize, "feature column too wide to code");
+                for c in self.codes[f].iter_mut() {
+                    *c += shift[*c as usize];
+                }
+                *lv = merged;
+            }
+            let lv = &self.levels[f];
+            self.codes[f].extend(
+                column
+                    .iter()
+                    .map(|v| lv.partition_point(|l| feature_cmp(*l, *v) == Ordering::Less) as u32),
+            );
+            self.max_levels = self.max_levels.max(lv.len());
+        }
+        self.n_rows = n;
+    }
+
     /// Number of rows the codes were built for.
     #[inline]
     pub fn n_rows(&self) -> usize {
@@ -148,6 +239,99 @@ mod tests {
                 assert_eq!(b.levels(f)[code], d.feature(i, f));
             }
         }
+    }
+
+    /// Full structural equality with a fresh build: row count, level
+    /// tables (bitwise), every code, and the scratch bound.
+    fn assert_bins_identical(a: &BinnedDataset, b: &BinnedDataset) {
+        assert_eq!(a.n_rows(), b.n_rows());
+        assert_eq!(a.n_features(), b.n_features());
+        assert_eq!(a.max_levels(), b.max_levels());
+        for f in 0..a.n_features() {
+            let la: Vec<u64> = a.levels(f).iter().map(|v| v.to_bits()).collect();
+            let lb: Vec<u64> = b.levels(f).iter().map(|v| v.to_bits()).collect();
+            assert_eq!(la, lb, "levels of feature {f}");
+            for row in 0..a.n_rows() {
+                assert_eq!(a.code(f, row), b.code(f, row), "code({f}, {row})");
+            }
+        }
+    }
+
+    #[test]
+    fn append_rows_matches_fresh_build() {
+        // Ordinal-ish synthetic data: small value grids so levels repeat,
+        // plus a second phase whose grid is offset so appends introduce
+        // genuinely new levels that must remap existing codes.
+        let mut d = Dataset::new(3);
+        for i in 0..40usize {
+            d.push_row(
+                &[(i % 5) as f64, ((i * 3) % 7) as f64 * 0.5, (i % 2) as f64],
+                i as f64,
+            );
+        }
+        let mut bins = BinnedDataset::new(&d);
+        for i in 40..90usize {
+            d.push_row(
+                &[(i % 5) as f64 + 0.25, ((i * 3) % 11) as f64 * 0.5, (i % 2) as f64],
+                i as f64,
+            );
+        }
+        bins.append_rows(&d);
+        assert_bins_identical(&bins, &BinnedDataset::new(&d));
+    }
+
+    #[test]
+    fn chunked_appends_match_one_fresh_build() {
+        // Resume can skip several iterations at once, so parity must hold
+        // for arbitrary chunk sizes — including empty appends.
+        let mut d = Dataset::new(2);
+        let mut bins = BinnedDataset::new(&d);
+        let chunks = [3usize, 0, 1, 12, 7, 0, 25];
+        let mut i = 0usize;
+        for chunk in chunks {
+            for _ in 0..chunk {
+                d.push_row(&[((i * 13) % 9) as f64 * 0.125, (i % 4) as f64 - 1.5], 0.0);
+                i += 1;
+            }
+            bins.append_rows(&d);
+            assert_bins_identical(&bins, &BinnedDataset::new(&d));
+        }
+    }
+
+    #[test]
+    fn append_keeps_first_seen_signed_zero_representative() {
+        // -0.0 and +0.0 are one level under `feature_eq`; both the fresh
+        // build and the incremental merge must keep the representative
+        // that occurred first in row order.
+        let mut d = Dataset::new(1);
+        d.push_row(&[-0.0], 0.0);
+        let mut bins = BinnedDataset::new(&d);
+        d.push_row(&[0.0], 1.0);
+        d.push_row(&[1.0], 2.0);
+        bins.append_rows(&d);
+        let fresh = BinnedDataset::new(&d);
+        assert_bins_identical(&bins, &fresh);
+        assert_eq!(bins.levels(0)[0].to_bits(), (-0.0f64).to_bits());
+    }
+
+    #[test]
+    #[should_panic(expected = "shrank")]
+    fn append_rejects_shrunk_dataset() {
+        let mut d = Dataset::new(1);
+        d.push_row(&[1.0], 0.0);
+        let mut bins = BinnedDataset::new(&d);
+        bins.append_rows(&Dataset::new(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "width")]
+    fn append_rejects_width_change() {
+        let mut d = Dataset::new(1);
+        d.push_row(&[1.0], 0.0);
+        let mut bins = BinnedDataset::new(&d);
+        let mut wide = Dataset::new(2);
+        wide.push_row(&[1.0, 2.0], 0.0);
+        bins.append_rows(&wide);
     }
 
     #[test]

@@ -13,7 +13,8 @@ pub struct ForestConfig {
     /// Number of trees in the ensemble.
     pub n_trees: usize,
     /// Per-tree CART parameters. A `tree.mtry` of 0 is replaced by
-    /// `ceil(n_features / 3)`, the standard regression default.
+    /// `n_features` — every split considers every feature, scikit-learn's
+    /// regression default (see the note in [`RandomForest::fit`]).
     pub tree: TreeConfig,
     /// Bootstrap sample size as a fraction of the training set (1.0 = classic
     /// bagging with replacement).
@@ -56,22 +57,68 @@ impl RandomForest {
     /// # Panics
     /// If `data` is empty or `config.n_trees == 0`.
     pub fn fit(data: &Dataset, config: &ForestConfig) -> RandomForest {
+        // Level codes are a property of the dataset rows, not of any one
+        // bootstrap resample, so one binning pass serves every tree. Trees
+        // fitted with bins are bit-for-bit identical to unbinned fits.
+        let bins = match config.tree.split {
+            SplitMethod::Exact => None,
+            SplitMethod::Histogram | SplitMethod::Auto => Some(BinnedDataset::new(data)),
+        };
+        Self::fit_inner(data, bins.as_ref(), config)
+    }
+
+    /// [`RandomForest::fit`] with a caller-maintained level index, for
+    /// warm-start refits: active learning appends a few rows per iteration,
+    /// so the caller keeps one [`BinnedDataset`] alive across iterations
+    /// (and across objectives — the feature matrix is shared, only targets
+    /// differ) and extends it with [`BinnedDataset::append_rows`] instead
+    /// of re-indexing the whole history every refit.
+    ///
+    /// The fitted forest is **bit-for-bit identical** to a cold
+    /// [`RandomForest::fit`] on the same data: trees never look at how the
+    /// index was built, only at the level tables and codes, and
+    /// `append_rows` reproduces the fresh build exactly.
+    ///
+    /// Under [`SplitMethod::Exact`] the bins are ignored (that path sorts
+    /// raw values per node), but the call is still valid so callers need
+    /// not branch on the split method.
+    ///
+    /// # Panics
+    /// If `bins` does not cover exactly `data`'s rows and feature width,
+    /// or `data` is empty, or `config.n_trees == 0`.
+    pub fn fit_with_bins(
+        data: &Dataset,
+        bins: &BinnedDataset,
+        config: &ForestConfig,
+    ) -> RandomForest {
+        assert_eq!(bins.n_rows(), data.len(), "bins cover a different row count than the dataset");
+        assert_eq!(bins.n_features(), data.n_features(), "bins/dataset feature width mismatch");
+        let bins = match config.tree.split {
+            SplitMethod::Exact => None,
+            SplitMethod::Histogram | SplitMethod::Auto => Some(bins),
+        };
+        Self::fit_inner(data, bins, config)
+    }
+
+    fn fit_inner(
+        data: &Dataset,
+        bins: Option<&BinnedDataset>,
+        config: &ForestConfig,
+    ) -> RandomForest {
         assert!(!data.is_empty(), "cannot fit a forest on an empty dataset");
         assert!(config.n_trees > 0, "n_trees must be positive");
         let n = data.len();
         let mut tree_cfg = config.tree.clone();
         if tree_cfg.mtry == 0 {
-            tree_cfg.mtry = data.n_features().div_ceil(3);
+            // All features, scikit-learn's regression default (and what the
+            // reference HyperMapper inherits from RandomForestRegressor).
+            // The R-randomForest p/3 heuristic we shipped with is actively
+            // harmful at the feature counts surrogates see here: with p = 2
+            // it gives mtry = 1, so half of all splits never even get to
+            // look at the informative feature (DESIGN.md §14).
+            tree_cfg.mtry = data.n_features();
         }
         let sample_size = ((n as f64 * config.bootstrap_fraction).round() as usize).clamp(1, n * 4);
-
-        // Level codes are a property of the dataset rows, not of any one
-        // bootstrap resample, so one binning pass serves every tree. Trees
-        // fitted with bins are bit-for-bit identical to unbinned fits.
-        let bins = match tree_cfg.split {
-            SplitMethod::Exact => None,
-            SplitMethod::Histogram | SplitMethod::Auto => Some(BinnedDataset::new(data)),
-        };
 
         let fitted: Vec<(RegressionTree, Vec<u32>)> = (0..config.n_trees)
             .into_par_iter()
@@ -88,7 +135,7 @@ impl RandomForest {
                     in_bag[i] = true;
                     indices.push(i);
                 }
-                let tree = match &bins {
+                let tree = match bins {
                     Some(b) => RegressionTree::fit_binned(data, b, &indices, &tree_cfg, &mut rng),
                     None => RegressionTree::fit(data, &indices, &tree_cfg, &mut rng),
                 };
@@ -407,7 +454,50 @@ mod tests {
     }
 
     #[test]
-    fn mtry_default_is_third_of_features() {
+    fn warm_bins_fit_is_bit_identical_to_cold_fit() {
+        // The warm-start contract: growing a BinnedDataset across appends
+        // and fitting through `fit_with_bins` gives the same forest, bit
+        // for bit, as a cold `fit` that re-indexes from scratch — same
+        // predictions *and* same OOB error.
+        let mut d = Dataset::new(2);
+        for i in 0..60usize {
+            let x = (i % 9) as f64 * 0.5;
+            let y = ((i * 5) % 7) as f64;
+            d.push_row(&[x, y], x * x - y);
+        }
+        let mut bins = BinnedDataset::new(&d);
+        // Grow in uneven chunks, including levels unseen before the append.
+        for (chunk, offset) in [(25usize, 0.25f64), (40, 0.125)] {
+            for i in 0..chunk {
+                let x = (i % 9) as f64 * 0.5 + offset;
+                let y = ((i * 5) % 7) as f64;
+                d.push_row(&[x, y], x * x - y);
+            }
+            bins.append_rows(&d);
+            let cfg = ForestConfig { n_trees: 20, seed: 13, ..Default::default() };
+            let warm = RandomForest::fit_with_bins(&d, &bins, &cfg);
+            let cold = RandomForest::fit(&d, &cfg);
+            for i in 0..50 {
+                let row = [i as f64 * 0.37, (i % 7) as f64];
+                assert_eq!(warm.predict(&row).to_bits(), cold.predict(&row).to_bits());
+            }
+            let (w, c) = (warm.oob_rmse(&d), cold.oob_rmse(&d));
+            assert_eq!(w.map(f64::to_bits), c.map(f64::to_bits));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "row count")]
+    fn stale_bins_are_rejected() {
+        let mut d = Dataset::new(1);
+        d.push_row(&[1.0], 0.0);
+        let bins = BinnedDataset::new(&d);
+        d.push_row(&[2.0], 1.0);
+        RandomForest::fit_with_bins(&d, &bins, &ForestConfig::default());
+    }
+
+    #[test]
+    fn mtry_default_uses_all_features() {
         // Smoke test: fitting with default mtry on a 6-feature set works and
         // uses the ensemble (tree predictions differ).
         let mut d = Dataset::new(6);

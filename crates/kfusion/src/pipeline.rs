@@ -8,7 +8,7 @@ use crate::tracking::{track, IcpResult, TrackingParams};
 use crate::volume::TsdfVolume;
 use icl_nuim_synth::Frame;
 use slam_geometry::{CameraIntrinsics, SE3};
-use std::time::Instant;
+use hm_timing::Stopwatch;
 
 /// Wall-clock seconds spent in each pipeline stage for one frame.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -118,20 +118,18 @@ impl KFusion {
         self.frame_count += 1;
 
         // ---- Preprocessing: resize + bilateral filter + pyramid. ----
-        // lint: allow(wall-clock-outside-timing): KernelTimings feed objectives only under MeasurementMode::Timing (DESIGN §9); the model path ignores them
-        let t0 = Instant::now();
+        // KernelTimings feed objectives only under MeasurementMode::Timing
+        // (DESIGN §9); the model path ignores them. The clock itself comes
+        // from the audited `hm-timing` module.
+        let t0 = Stopwatch::start();
         debug_assert_eq!(frame.depth.width, self.sensor_k.width);
         let resized = downsample(&frame.depth, self.config.compute_size_ratio);
         let filtered = bilateral_filter(&resized, 2, 1.5, 0.1);
-        let pyramid = DepthPyramid::build(filtered, self.proc_k, 3, &{
-            let it = self.config.pyramid_iterations;
-            [it[0], it[1].min(4), it[2].min(4)]
-        });
-        timings.preprocess = t0.elapsed().as_secs_f64();
+        let pyramid = DepthPyramid::build(filtered, self.proc_k, 3, &[0, 1, 1]);
+        timings.preprocess = t0.elapsed_secs();
 
         // ---- Tracking (every `tracking_rate` frames, never frame 0). ----
-        // lint: allow(wall-clock-outside-timing): KernelTimings feed objectives only under MeasurementMode::Timing (DESIGN §9)
-        let t1 = Instant::now();
+        let t1 = Stopwatch::start();
         let mut tracked = false;
         let tracking_attempted = idx > 0 && idx % self.config.tracking_rate == 0;
         if tracking_attempted {
@@ -150,11 +148,10 @@ impl KFusion {
                 }
             }
         }
-        timings.tracking = t1.elapsed().as_secs_f64();
+        timings.tracking = t1.elapsed_secs();
 
         // ---- Integration (every `integration_rate` frames + frame 0). ----
-        // lint: allow(wall-clock-outside-timing): KernelTimings feed objectives only under MeasurementMode::Timing (DESIGN §9)
-        let t2 = Instant::now();
+        let t2 = Stopwatch::start();
         let integrated = idx == 0 || idx % self.config.integration_rate == 0;
         if integrated {
             self.volume.integrate(
@@ -164,14 +161,13 @@ impl KFusion {
                 self.config.mu,
             );
         }
-        timings.integration = t2.elapsed().as_secs_f64();
+        timings.integration = t2.elapsed_secs();
 
         // ---- Raycast the model for the next frame's tracking. ----
-        // lint: allow(wall-clock-outside-timing): KernelTimings feed objectives only under MeasurementMode::Timing (DESIGN §9)
-        let t3 = Instant::now();
+        let t3 = Stopwatch::start();
         let model = raycast(&self.volume, &self.proc_k, &self.pose, self.config.mu);
         self.model = Some((model, self.pose));
-        timings.raycast = t3.elapsed().as_secs_f64();
+        timings.raycast = t3.elapsed_secs();
 
         self.trajectory.push(self.pose);
         FrameStats { pose: self.pose, tracking_attempted, tracked, integrated, timings }
@@ -228,6 +224,36 @@ mod tests {
     }
 
     #[test]
+    fn drift_stays_bounded_at_every_frame() {
+        // Regression guard for the pyramid-smoothing conflation fixed in
+        // this file: `pyramid_iterations` is the *ICP iteration budget*,
+        // and passing it to `DepthPyramid::build` as per-level smoothing
+        // pass counts over-blurred the coarse levels, which showed up not
+        // as a single bad frame but as steadily accumulating drift
+        // (~0.0655 m by frame 11 — `tracks_slow_motion_sequence` caught
+        // the total). Checking every frame pins the failure mode itself:
+        // the buggy pipeline stays under the final-drift bound for the
+        // first few frames, so a per-frame ceiling plus an increment
+        // ceiling fails fast and can't be masked by a lucky final frame.
+        let seq = sequence(200);
+        let mut kf = KFusion::new(small_config(), seq.intrinsics(), seq.gt_pose(0));
+        let mut prev = 0.0f32;
+        for i in 0..12 {
+            kf.process(&seq.frame(i));
+            let drift = kf.pose().translation_dist(&seq.gt_pose(i));
+            // Measured healthy ceiling is ~0.0185 m (frame 11); the bug
+            // blows through 0.03 m well before frame 11.
+            assert!(drift < 0.03, "frame {i}: drift {drift}");
+            assert!(
+                drift - prev < 0.012,
+                "frame {i}: drift grew by {} in one frame",
+                drift - prev
+            );
+            prev = drift;
+        }
+    }
+
+    #[test]
     fn tracking_rate_skips_localization() {
         let seq = sequence(6);
         let cfg = KFusionConfig { tracking_rate: 3, ..small_config() };
@@ -277,3 +303,4 @@ mod tests {
         KFusion::new(cfg, seq.intrinsics(), SE3::IDENTITY);
     }
 }
+

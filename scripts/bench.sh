@@ -79,8 +79,12 @@ END {
         ratio("batch_compute_auto_8cfg", "batch_compute_sequential_8cfg")
     printf "    \"timing_mode_overhead_ratio\": %s,\n", \
         ratio("timing_mode_eval_4f", "dedicated_sequential_4f")
-    printf "    \"journal_write_overhead_ratio\": %s\n", \
+    printf "    \"journal_write_overhead_ratio\": %s,\n", \
         ratio("journal_overhead_on", "journal_overhead_off")
+    printf "    \"refit_warm_vs_cold\": %s,\n", \
+        ratio("refit_warm_3000x50", "refit_cold_3000x50")
+    printf "    \"incremental_front_cost_ratio\": %s\n", \
+        ratio("incremental_front_200k", "batch_front_200k")
     printf "  }\n"
     printf "}\n"
 }

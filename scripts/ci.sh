@@ -300,6 +300,9 @@ fi
 
 cd "$REPO"
 cargo build --release
+# The test gate is a fully green suite — `set -e` fails the gate on any
+# failing test. The two seed-era failures (forest mtry default, KFusion
+# pyramid smoothing) are fixed (DESIGN §14); nothing is carved out.
 cargo test -q
 bash "$REPO/scripts/check_offline.sh"
 bench_regression
