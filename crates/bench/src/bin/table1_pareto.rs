@@ -13,10 +13,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("=== Table I — ElasticFusion Pareto points (scale {scale:?}) ===");
     print!("{}", table1_text(&rows));
     let default = &rows[0];
-    if rows.len() > 1 {
-        let best_speed = &rows[1];
-        // lint: allow(no-unaudited-panic): guarded by the rows.len() > 1 check above
-        let best_acc = rows.last().unwrap();
+    if let (Some(best_speed), Some(best_acc)) = (rows.get(1), rows.last()) {
         println!(
             "\nbest-speed speedup over default: {:.2}x (paper: 1.52x), accuracy {:.4} m vs default {:.4} m",
             default.runtime_s / best_speed.runtime_s, best_speed.error_m, default.error_m

@@ -182,6 +182,182 @@ impl ChaosPlan {
     }
 }
 
+/// One injected *network* fault, applied by a socket worker around the send
+/// of a result frame. Like [`Fault`], none of these can corrupt an accepted
+/// result — they lose, delay, reorder, duplicate, truncate, or sever the
+/// *carrier*; the frame checksum and the lease table absorb the rest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetFault {
+    /// Silently drop the result frame (classic packet loss past the retry
+    /// horizon). The lease expires and the coordinator re-grants.
+    Drop,
+    /// Hold the frame for `delay_ms` before sending (congested link).
+    Delay,
+    /// Hold this frame until after the *next* send (or a flush tick):
+    /// out-of-order delivery at frame granularity.
+    Reorder,
+    /// Send the frame, force a disconnect, reconnect with the session token,
+    /// and send the frame again — the TCP retransmit-after-failover shape
+    /// that produces duplicate results for an already-`Done` lease.
+    DupRetransmit,
+    /// Write only a prefix of the frame, then sever the connection: the
+    /// receiver sees a mid-frame EOF. Reconnect and retransmit in full.
+    TruncateMidFrame,
+    /// Sever the connection, stay dark for `partition_ms`, then reconnect
+    /// with the session token and deliver the held frame.
+    Partition,
+    /// Disconnect and reconnect several times in quick succession before
+    /// delivering (flapping link / reconnect storm).
+    ReconnectStorm,
+}
+
+/// Per-fault rates for the network layer, keyed on `(flat, attempt)` exactly
+/// like [`ChaosPlan`] — same argument: which *link event* sabotages a reply
+/// must be a pure function of the plan, not of scheduling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NetChaosPlan {
+    /// Root seed for the per-`(flat, attempt)` die. Mixed with a distinct
+    /// constant so a shared seed with [`ChaosPlan`] still yields independent
+    /// schedules.
+    pub seed: u64,
+    /// ‰ chance of [`NetFault::Drop`].
+    pub drop_permille: u16,
+    /// ‰ chance of [`NetFault::Delay`].
+    pub delay_permille: u16,
+    /// ‰ chance of [`NetFault::Reorder`].
+    pub reorder_permille: u16,
+    /// ‰ chance of [`NetFault::DupRetransmit`].
+    pub dup_permille: u16,
+    /// ‰ chance of [`NetFault::TruncateMidFrame`].
+    pub truncate_permille: u16,
+    /// ‰ chance of [`NetFault::Partition`].
+    pub partition_permille: u16,
+    /// ‰ chance of [`NetFault::ReconnectStorm`].
+    pub storm_permille: u16,
+    /// How long [`NetFault::Delay`] holds a frame, in ms.
+    pub delay_ms: u64,
+    /// How long [`NetFault::Partition`] stays dark, in ms. Should exceed the
+    /// read deadline so the coordinator actually observes the half-open peer.
+    pub partition_ms: u64,
+}
+
+/// Domain separator folded into the [`NetChaosPlan`] die so process faults
+/// and network faults from one CLI seed never correlate.
+const NET_MIX: u64 = 0x6e65_745f_6368_616f; // "net_chao"
+
+impl NetChaosPlan {
+    /// No network faults at all.
+    pub fn quiet() -> Self {
+        NetChaosPlan {
+            seed: 0,
+            drop_permille: 0,
+            delay_permille: 0,
+            reorder_permille: 0,
+            dup_permille: 0,
+            truncate_permille: 0,
+            partition_permille: 0,
+            storm_permille: 0,
+            delay_ms: 0,
+            partition_ms: 0,
+        }
+    }
+
+    /// The default network storm for the socket chaos gate: every fault
+    /// class enabled, ~20% of result sends sabotaged.
+    pub fn storm(seed: u64) -> Self {
+        NetChaosPlan {
+            seed,
+            drop_permille: 40,
+            delay_permille: 40,
+            reorder_permille: 25,
+            dup_permille: 30,
+            truncate_permille: 25,
+            partition_permille: 25,
+            storm_permille: 15,
+            delay_ms: 150,
+            partition_ms: 600,
+        }
+    }
+
+    /// True when some fault has a non-zero rate.
+    pub fn is_active(&self) -> bool {
+        self.drop_permille
+            + self.delay_permille
+            + self.reorder_permille
+            + self.dup_permille
+            + self.truncate_permille
+            + self.partition_permille
+            + self.storm_permille
+            > 0
+    }
+
+    /// The network fault (if any) for one `(flat, attempt)` result send.
+    /// Pure, and independent of [`ChaosPlan::fault_for`] under a shared seed.
+    pub fn fault_for(&self, flat: u64, attempt: u32) -> Option<NetFault> {
+        if !self.is_active() {
+            return None;
+        }
+        let key = flat.wrapping_add((attempt as u64) << 48);
+        let h = splitmix64(self.seed ^ NET_MIX ^ splitmix64(key ^ NET_MIX));
+        let mut roll = (h % 1000) as u16;
+        let bands = [
+            (self.drop_permille, NetFault::Drop),
+            (self.delay_permille, NetFault::Delay),
+            (self.reorder_permille, NetFault::Reorder),
+            (self.dup_permille, NetFault::DupRetransmit),
+            (self.truncate_permille, NetFault::TruncateMidFrame),
+            (self.partition_permille, NetFault::Partition),
+            (self.storm_permille, NetFault::ReconnectStorm),
+        ];
+        for (width, fault) in bands {
+            if roll < width {
+                return Some(fault);
+            }
+            roll -= width;
+        }
+        None
+    }
+
+    /// Encode for the worker environment variable: 10 comma-separated
+    /// decimal fields, in declaration order.
+    pub fn encode(&self) -> String {
+        format!(
+            "{},{},{},{},{},{},{},{},{},{}",
+            self.seed,
+            self.drop_permille,
+            self.delay_permille,
+            self.reorder_permille,
+            self.dup_permille,
+            self.truncate_permille,
+            self.partition_permille,
+            self.storm_permille,
+            self.delay_ms,
+            self.partition_ms
+        )
+    }
+
+    /// Decode a [`NetChaosPlan::encode`] string; `None` on malformation.
+    pub fn decode(s: &str) -> Option<Self> {
+        let mut it = s.split(',');
+        let plan = NetChaosPlan {
+            seed: it.next()?.parse().ok()?,
+            drop_permille: it.next()?.parse().ok()?,
+            delay_permille: it.next()?.parse().ok()?,
+            reorder_permille: it.next()?.parse().ok()?,
+            dup_permille: it.next()?.parse().ok()?,
+            truncate_permille: it.next()?.parse().ok()?,
+            partition_permille: it.next()?.parse().ok()?,
+            storm_permille: it.next()?.parse().ok()?,
+            delay_ms: it.next()?.parse().ok()?,
+            partition_ms: it.next()?.parse().ok()?,
+        };
+        if it.next().is_some() {
+            return None;
+        }
+        Some(plan)
+    }
+}
+
 /// SplitMix64 — the same tiny mixer the journal's tests use; full 64-bit
 /// avalanche, so consecutive flat indices land in unrelated bands.
 fn splitmix64(mut z: u64) -> u64 {
@@ -256,5 +432,57 @@ mod tests {
         let b = ChaosPlan::storm(2);
         let differs = (0..200u64).any(|f| a.fault_for(f, 1) != b.fault_for(f, 1));
         assert!(differs);
+    }
+
+    #[test]
+    fn net_storm_exercises_every_fault_class_and_is_deterministic() {
+        let plan = NetChaosPlan::storm(11);
+        let mut seen = [false; 7];
+        for flat in 0..20_000u64 {
+            assert_eq!(plan.fault_for(flat, 1), plan.fault_for(flat, 1));
+            if let Some(fault) = plan.fault_for(flat, 1) {
+                let i = match fault {
+                    NetFault::Drop => 0,
+                    NetFault::Delay => 1,
+                    NetFault::Reorder => 2,
+                    NetFault::DupRetransmit => 3,
+                    NetFault::TruncateMidFrame => 4,
+                    NetFault::Partition => 5,
+                    NetFault::ReconnectStorm => 6,
+                };
+                seen[i] = true;
+            }
+        }
+        assert_eq!(seen, [true; 7], "20k rolls must hit all network fault classes");
+    }
+
+    #[test]
+    fn net_schedule_is_independent_of_process_schedule() {
+        // Same CLI seed drives both layers; the domain separator must keep
+        // the two dice uncorrelated, not mirror each other band-for-band.
+        let proc_plan = ChaosPlan::storm(7);
+        let net_plan = NetChaosPlan::storm(7);
+        let both = (0..5_000u64)
+            .filter(|&f| proc_plan.fault_for(f, 1).is_some() && net_plan.fault_for(f, 1).is_some())
+            .count();
+        let net_only = (0..5_000u64)
+            .filter(|&f| proc_plan.fault_for(f, 1).is_none() && net_plan.fault_for(f, 1).is_some())
+            .count();
+        assert!(both > 0, "independent schedules must sometimes overlap");
+        assert!(net_only > 0, "independent schedules must sometimes diverge");
+    }
+
+    #[test]
+    fn net_quiet_plan_never_faults_and_codec_roundtrips() {
+        let quiet = NetChaosPlan::quiet();
+        assert!(!quiet.is_active());
+        assert!((0..1_000u64).all(|f| quiet.fault_for(f, 1).is_none()));
+        for plan in [quiet, NetChaosPlan::storm(123), NetChaosPlan::storm(u64::MAX)] {
+            assert_eq!(NetChaosPlan::decode(&plan.encode()), Some(plan));
+        }
+        assert_eq!(NetChaosPlan::decode(""), None);
+        assert_eq!(NetChaosPlan::decode("1,2,3"), None);
+        let extra = format!("{},9", NetChaosPlan::storm(1).encode());
+        assert_eq!(NetChaosPlan::decode(&extra), None);
     }
 }

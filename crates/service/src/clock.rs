@@ -37,6 +37,14 @@ impl ServiceClock {
     }
 }
 
+/// The `Duration` to sleep from `now_ms` until `wake_ms`, clamped to at
+/// least 1 ms so event-loop waits never degenerate into a busy spin when a
+/// deadline has just passed. Pure — used by the coordinator to size its
+/// channel-receive timeout from lease deadlines and reconnect grace windows.
+pub fn timeout_until(now_ms: u64, wake_ms: u64) -> std::time::Duration {
+    std::time::Duration::from_millis(wake_ms.saturating_sub(now_ms).max(1))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -50,5 +58,12 @@ mod tests {
         let b = clock.now_ms();
         assert!(b >= a);
         assert!(b >= 5, "5ms sleep must advance the clock, got {b}");
+    }
+
+    #[test]
+    fn timeout_until_clamps_and_subtracts() {
+        assert_eq!(timeout_until(100, 350), std::time::Duration::from_millis(250));
+        assert_eq!(timeout_until(350, 100), std::time::Duration::from_millis(1));
+        assert_eq!(timeout_until(100, 100), std::time::Duration::from_millis(1));
     }
 }

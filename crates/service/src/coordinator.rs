@@ -2,12 +2,12 @@
 //! slot-ordered merge that makes multi-process exploration bit-identical to
 //! a sequential run.
 //!
-//! [`ServicePool`] owns a pool of spawned worker processes and implements
-//! [`Evaluator`], so a `HyperMapper` run with `eval_workers = 0` (the
-//! sequential in-process path) transparently shards each batch across
-//! processes: the optimizer calls `try_evaluate_batch_detailed`, the pool
-//! drives the lease protocol until every slot is `Done`, and returns results
-//! in slot order.
+//! [`ServicePool`] owns a pool of worker processes (or, over the socket
+//! transport, worker *connections*) and implements [`Evaluator`], so a
+//! `HyperMapper` run with `eval_workers = 0` (the sequential in-process
+//! path) transparently shards each batch across processes: the optimizer
+//! calls `try_evaluate_batch_detailed`, the pool drives the lease protocol
+//! until every slot is `Done`, and returns results in slot order.
 //!
 //! # Why the front is bit-identical
 //!
@@ -20,31 +20,98 @@
 //!    dropped without side effects.
 //! 3. Results are returned indexed by slot, so arrival order is irrelevant.
 //!
-//! Scheduling, timing, worker count, and fault injection therefore cannot
-//! change the merged objective vectors — only how long they take to arrive.
+//! Scheduling, timing, worker count, fault injection — and, since PR 9, the
+//! transport itself with all its network weather — therefore cannot change
+//! the merged objective vectors; only how long they take to arrive.
+//!
+//! # Transports
+//!
+//! [`TransportMode::Stdio`] is the PR-7 behavior: spawned children, frames
+//! over pipes, liveness by EOF. The socket modes listen on TCP and bind each
+//! connection to a worker slot via the `hello2`/`welcome` handshake:
+//!
+//! - a first connection (token 0) mints a fresh *session token* and starts a
+//!   clean session (any leases from a predecessor are revoked);
+//! - a reconnection presenting the current token **resumes** the session —
+//!   the worker keeps its outstanding lease and busy state, so a partition
+//!   heals without forking the worker's lease view;
+//! - a connection presenting a stale token (the worker was reaped while
+//!   away) is treated as a fresh session.
+//!
+//! Sockets can half-open: a frozen peer keeps the connection alive while
+//! sending nothing. Liveness is therefore *clock-driven* — the heartbeat
+//! sweep reaps on deadline, never blocking on a socket read; the per-
+//! connection reader threads just translate bytes into channel events. A
+//! run that permanently loses every worker degrades gracefully: after a
+//! reconnect grace window it either evaluates the remaining slots with the
+//! in-process fallback evaluator (bit-identical, since evaluators are
+//! deterministic) or fails them with the transport event log attached —
+//! never hangs.
 
-use crate::chaos::ChaosPlan;
-use crate::clock::ServiceClock;
+use crate::chaos::{ChaosPlan, NetChaosPlan};
+use crate::clock::{timeout_until, ServiceClock};
 use crate::lease::{regrant_backoff_ms, LeaseTable, ReplyVerdict, SlotState};
-use crate::wire::{decode_frame, encode_frame, FrameError, Msg};
-use crate::worker::{ENV_CHAOS, ENV_EPOCH, ENV_HEARTBEAT_MS, ENV_ROLE, ENV_WORKER_ID, ROLE_WORKER};
+use crate::wire::{encode_frame, FrameError, FrameReader, Framed, Msg};
+use crate::worker::{
+    ENV_CHAOS, ENV_CONNECT, ENV_EPOCH, ENV_HEARTBEAT_MS, ENV_NET_CHAOS, ENV_ROLE, ENV_WORKER_ID,
+    ROLE_WORKER,
+};
 use hypermapper::evaluate::{Evaluator, FailedEvaluation};
 use hypermapper::journal::{Journal, LeaseRecord, RawOutcome};
 use hypermapper::space::{Configuration, ParamSpace};
 use hypermapper::EvalError;
 use std::collections::BTreeMap;
-use std::io::{self, BufRead, BufReader, Write};
+use std::io::{self, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::process::{Child, ChildStdin, Command, Stdio};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
+
+/// How worker frames reach the coordinator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TransportMode {
+    /// Spawn local children and talk over stdio pipes (PR-7 behavior,
+    /// byte-identical fingerprints).
+    Stdio,
+    /// Listen on `listen` (e.g. `127.0.0.1:0`) *and* spawn local children
+    /// that dial back in. Exercises the full socket path without leaving
+    /// the machine.
+    Socket {
+        /// Bind address; port 0 picks a free port (see
+        /// [`ServicePool::listen_addr`]).
+        listen: String,
+    },
+    /// Listen on `listen` and wait for remote workers started elsewhere
+    /// (`--connect`). The pool spawns and respawns nothing.
+    SocketRemote {
+        /// Bind address for remote workers to dial.
+        listen: String,
+    },
+}
+
+impl TransportMode {
+    fn listen(&self) -> Option<&str> {
+        match self {
+            TransportMode::Stdio => None,
+            TransportMode::Socket { listen } | TransportMode::SocketRemote { listen } => {
+                Some(listen)
+            }
+        }
+    }
+
+    fn is_socket(&self) -> bool {
+        !matches!(self, TransportMode::Stdio)
+    }
+}
 
 /// Tuning knobs for a [`ServicePool`].
 #[derive(Debug, Clone)]
 pub struct ServiceConfig {
-    /// Worker processes to keep alive. Must be ≥ 1.
+    /// Worker processes (or remote connection slots) to keep alive. Must be
+    /// ≥ 1.
     pub workers: usize,
     /// Lease deadline: a grant unanswered for this long is revoked and
     /// re-granted elsewhere.
@@ -52,13 +119,15 @@ pub struct ServiceConfig {
     /// Worker heartbeat period.
     pub heartbeat_ms: u64,
     /// Consecutive missed heartbeats before a silent worker is declared
-    /// dead, its process killed, and its leases revoked.
+    /// dead, its process killed and/or its connection severed, and its
+    /// leases revoked.
     pub heartbeat_grace: u32,
     /// Grants per configuration before the coordinator gives up and records
     /// a transient failure for the slot.
     pub max_attempts: u32,
     /// Worker processes the pool may respawn over its lifetime. Generous by
-    /// default: under chaos, respawns are routine.
+    /// default: under chaos, respawns are routine. Ignored for
+    /// [`TransportMode::SocketRemote`].
     pub respawn_budget: u32,
     /// Base of the deterministic re-grant backoff (doubles per attempt).
     pub backoff_base_ms: u64,
@@ -67,6 +136,9 @@ pub struct ServiceConfig {
     /// Fault-injection plan shipped to workers. [`ChaosPlan::quiet`] for
     /// production.
     pub chaos: ChaosPlan,
+    /// Network fault-injection plan shipped to socket workers.
+    /// [`NetChaosPlan::quiet`] for production; ignored on stdio.
+    pub net_chaos: NetChaosPlan,
     /// Worker epoch stamped on every frame; replies from other epochs are
     /// dropped. Bump it on every coordinator incarnation (see
     /// `Journal::append_worker_epoch`).
@@ -74,6 +146,16 @@ pub struct ServiceConfig {
     /// Optional sidecar journal path recording the lease grant history
     /// (`wepoch` + `lease` records) for post-mortem and resume audits.
     pub sidecar: Option<PathBuf>,
+    /// The transport workers use to reach this pool.
+    pub transport: TransportMode,
+    /// Socket modes only: once *every* worker is gone and nothing can
+    /// respawn, wait this long for reconnections before declaring the pool
+    /// lost (and falling back or failing the batch). Stdio fails
+    /// immediately, as in PR 7 — pipes cannot reconnect.
+    pub reconnect_grace_ms: u64,
+    /// Socket handshake deadline: a connection that has not completed
+    /// `hello2` within this window is dropped by the accept path.
+    pub handshake_ms: u64,
 }
 
 impl Default for ServiceConfig {
@@ -88,8 +170,12 @@ impl Default for ServiceConfig {
             backoff_base_ms: 10,
             backoff_cap_ms: 500,
             chaos: ChaosPlan::quiet(),
+            net_chaos: NetChaosPlan::quiet(),
             epoch: 1,
             sidecar: None,
+            transport: TransportMode::Stdio,
+            reconnect_grace_ms: 1_500,
+            handshake_ms: 1_000,
         }
     }
 }
@@ -108,6 +194,10 @@ pub struct ServiceStats {
     lease_expiries: AtomicU64,
     respawns: AtomicU64,
     exhausted: AtomicU64,
+    disconnects: AtomicU64,
+    reconnects: AtomicU64,
+    duplicates_after_reconnect: AtomicU64,
+    local_fallback_evals: AtomicU64,
 }
 
 /// A plain-number snapshot of [`ServiceStats`].
@@ -123,9 +213,10 @@ pub struct StatsSnapshot {
     pub stale_dropped: u64,
     /// Replies fenced off by worker-epoch mismatch, dropped.
     pub wrong_epoch_dropped: u64,
-    /// Frames that failed length/checksum/body validation.
+    /// Frames that failed length/checksum/body validation (mid-frame EOFs
+    /// from truncated socket streams land here too).
     pub garbled_frames: u64,
-    /// Workers declared dead (EOF or heartbeat-grace expiry).
+    /// Workers declared dead (EOF, exit, or heartbeat-grace expiry).
     pub worker_deaths: u64,
     /// Leases revoked because their deadline passed.
     pub lease_expiries: u64,
@@ -133,6 +224,17 @@ pub struct StatsSnapshot {
     pub respawns: u64,
     /// Slots abandoned after `max_attempts` grants.
     pub exhausted: u64,
+    /// Socket links lost (EOF/error on a live session, not yet a death).
+    pub disconnects: u64,
+    /// Socket sessions resumed by a reconnecting worker's token.
+    pub reconnects: u64,
+    /// Subset of `duplicates_dropped` where the accepted reply's retransmit
+    /// arrived over a *different* connection than the one it was accepted
+    /// on — the network-retransmit-after-reconnect shape.
+    pub duplicates_after_reconnect: u64,
+    /// Slots evaluated by the in-process fallback after the pool lost every
+    /// worker for longer than the reconnect grace.
+    pub local_fallback_evals: u64,
 }
 
 impl ServiceStats {
@@ -152,31 +254,70 @@ impl ServiceStats {
             lease_expiries: self.lease_expiries.load(Ordering::Relaxed),
             respawns: self.respawns.load(Ordering::Relaxed),
             exhausted: self.exhausted.load(Ordering::Relaxed),
+            disconnects: self.disconnects.load(Ordering::Relaxed),
+            reconnects: self.reconnects.load(Ordering::Relaxed),
+            duplicates_after_reconnect: self.duplicates_after_reconnect.load(Ordering::Relaxed),
+            local_fallback_evals: self.local_fallback_evals.load(Ordering::Relaxed),
         }
     }
 }
 
-/// What a reader thread forwards to the coordinator loop. Every event
-/// carries the *spawn generation* of the child it came from: after a
-/// respawn, the worker index points at a new process, and events still
-/// draining from the old child's reader thread (late frames, its final
-/// EOF) must not be attributed to the new one — waiting on a live
-/// respawned child because its predecessor EOF'd is a deadlock.
+/// What a reader thread (or the accept path) forwards to the coordinator
+/// loop. Frame/garble/close events carry the *link id* of the connection
+/// they came from: after a respawn or reconnect, the worker index points at
+/// a new byte stream, and events still draining from the old stream's reader
+/// thread (late frames, its final EOF) must not be attributed to the new one
+/// — acting on a predecessor's EOF as if the live link closed is a deadlock.
 enum Event {
-    /// A validated frame from worker `i`.
+    /// A validated frame from worker `i` over link `l`.
     Frame(u32, u64, Msg),
     /// A frame that failed validation (the error names how).
     Garbled(u32, u64, FrameError),
-    /// Worker `i`'s stdout reached EOF: the process exited or was killed.
+    /// Worker `i`'s link `l` reached EOF or errored.
     Closed(u32, u64),
+    /// A socket peer completed the `hello2` handshake: `(worker, token,
+    /// stream)`. The coordinator decides resume-vs-fresh and welcomes it.
+    Connected(u32, u64, TcpStream),
+}
+
+/// The write side of one worker's current link.
+enum Link {
+    Stdio(ChildStdin),
+    Socket(TcpStream),
+}
+
+impl Link {
+    fn write_frame(&mut self, frame: &str) -> bool {
+        match self {
+            Link::Stdio(stdin) => {
+                stdin.write_all(frame.as_bytes()).and_then(|_| stdin.flush()).is_ok()
+            }
+            Link::Socket(stream) => {
+                stream.write_all(frame.as_bytes()).and_then(|_| stream.flush()).is_ok()
+            }
+        }
+    }
+
+    fn sever(&mut self) {
+        if let Link::Socket(stream) = self {
+            let _ = stream.shutdown(std::net::Shutdown::Both);
+        }
+    }
 }
 
 struct WorkerHandle {
-    child: Child,
-    stdin: Option<ChildStdin>,
-    /// Spawn generation, unique across the pool's lifetime. Events tagged
-    /// with an older generation are from a dead predecessor.
-    generation: u64,
+    /// The spawned process, when this pool owns one (stdio always; socket
+    /// mode when it spawns loopback children; `None` for remote workers).
+    child: Option<Child>,
+    /// Write half of the current connection; `None` while a socket worker
+    /// is between connections.
+    link: Option<Link>,
+    /// Id of the current link, unique across the pool's lifetime. Events
+    /// tagged with an older link id are from a dead predecessor stream.
+    link_id: u64,
+    /// Session token a reconnecting socket worker must present to resume.
+    /// 0 when no session is established (stdio, or reaped).
+    token: u64,
     alive: bool,
     last_seen_ms: u64,
     /// The lease id this worker is currently servicing, if any. Throttles
@@ -184,12 +325,16 @@ struct WorkerHandle {
     busy: Option<u64>,
 }
 
+/// Upper bound on retained transport-event log lines.
+const TRANSPORT_LOG_CAP: usize = 64;
+
 struct Inner {
     workers: Vec<WorkerHandle>,
     tx: Sender<Event>,
     rx: Receiver<Event>,
     clock: ServiceClock,
-    next_generation: u64,
+    next_link: u64,
+    next_token: u64,
     /// First lease id for the next batch's table. Threaded through so ids
     /// are unique across the pool's lifetime: a worker stalled in batch N
     /// may reply after batch N+1 has begun, and a restarted counter would
@@ -198,9 +343,31 @@ struct Inner {
     next_lease_id: u64,
     respawns_left: u32,
     sidecar: Option<Journal>,
+    /// Resolved listener address (socket modes).
+    listen_addr: Option<SocketAddr>,
+    /// Stop flag shared with the accept thread.
+    accept_stop: Option<Arc<AtomicBool>>,
+    /// Ring of recent transport events (connects, disconnects, reaps,
+    /// fallback decisions) for diagnostics and failure records.
+    transport_log: Vec<String>,
+    /// When every worker first looked permanently gone (socket grace
+    /// timer); cleared the moment anything is alive again.
+    all_dead_since: Option<u64>,
+    /// Whether any socket worker ever completed a handshake. A remote pool
+    /// that nothing has joined yet is *waiting*, not *lost* — the grace
+    /// timer only arms once there were workers to lose.
+    ever_connected: bool,
 }
 
-/// A pool of worker processes behind the [`Evaluator`] interface.
+fn tlog(inner: &mut Inner, now: u64, msg: String) {
+    if inner.transport_log.len() >= TRANSPORT_LOG_CAP {
+        inner.transport_log.remove(0);
+    }
+    inner.transport_log.push(format!("[{now}ms] {msg}"));
+}
+
+/// A pool of worker processes/connections behind the [`Evaluator`]
+/// interface.
 pub struct ServicePool {
     space: ParamSpace,
     n_objectives: usize,
@@ -208,13 +375,18 @@ pub struct ServicePool {
     cfg: ServiceConfig,
     inner: Mutex<Inner>,
     stats: ServiceStats,
+    /// In-process evaluator of last resort: used only after every worker is
+    /// permanently gone and the reconnect grace has expired. Deterministic
+    /// evaluators make this bit-identical to the remote path.
+    fallback: Option<Box<dyn Evaluator + Send>>,
 }
 
 impl ServicePool {
-    /// Spawn `cfg.workers` worker processes (re-executing the current
-    /// binary, which must call [`crate::worker_entry`] first thing in
-    /// `main`) and return the pool. The `space` must be the same space the
-    /// workers' factory builds — flat indices are the shared vocabulary.
+    /// Spawn/await `cfg.workers` workers and return the pool. For spawned
+    /// modes the current binary is re-executed and must call
+    /// [`crate::worker_entry`] first thing in `main`. The `space` must be
+    /// the same space the workers' factory builds — flat indices are the
+    /// shared vocabulary.
     pub fn launch(
         space: ParamSpace,
         n_objectives: usize,
@@ -239,31 +411,148 @@ impl ServicePool {
             tx,
             rx,
             clock: ServiceClock::start(),
-            next_generation: 0,
+            next_link: 0,
+            next_token: 1,
             next_lease_id: 1,
             respawns_left: cfg.respawn_budget,
             sidecar,
+            listen_addr: None,
+            accept_stop: None,
+            transport_log: Vec::new(),
+            all_dead_since: None,
+            ever_connected: false,
         };
-        for i in 0..cfg.workers {
-            let now = inner.clock.now_ms();
-            let generation = inner.next_generation;
-            inner.next_generation += 1;
-            let handle = spawn_worker(&cfg, i as u32, generation, &inner.tx, now)?;
-            inner.workers.push(handle);
+        if let Some(listen) = cfg.transport.listen() {
+            let listener = TcpListener::bind(listen)?;
+            let addr = listener.local_addr()?;
+            inner.listen_addr = Some(addr);
+            let stop = Arc::new(AtomicBool::new(false));
+            inner.accept_stop = Some(Arc::clone(&stop));
+            spawn_accept_thread(listener, inner.tx.clone(), stop, cfg.handshake_ms);
         }
-        Ok(ServicePool {
+        match &cfg.transport {
+            TransportMode::Stdio => {
+                for i in 0..cfg.workers {
+                    let now = inner.clock.now_ms();
+                    let link_id = inner.next_link;
+                    inner.next_link += 1;
+                    let handle = spawn_stdio_worker(&cfg, i as u32, link_id, &inner.tx, now)?;
+                    inner.workers.push(handle);
+                }
+            }
+            TransportMode::Socket { .. } => {
+                let addr = inner
+                    .listen_addr
+                    .ok_or_else(|| io::Error::new(io::ErrorKind::Other, "listener not bound"))?;
+                for i in 0..cfg.workers {
+                    let now = inner.clock.now_ms();
+                    let child = spawn_socket_child(&cfg, i as u32, &addr)?;
+                    inner.workers.push(WorkerHandle {
+                        child: Some(child),
+                        link: None,
+                        link_id: 0,
+                        token: 0,
+                        alive: true,
+                        last_seen_ms: now,
+                        busy: None,
+                    });
+                }
+            }
+            TransportMode::SocketRemote { .. } => {
+                let now = inner.clock.now_ms();
+                for _ in 0..cfg.workers {
+                    inner.workers.push(WorkerHandle {
+                        child: None,
+                        link: None,
+                        link_id: 0,
+                        token: 0,
+                        alive: false,
+                        last_seen_ms: now,
+                        busy: None,
+                    });
+                }
+            }
+        }
+        let wait_spawned = matches!(cfg.transport, TransportMode::Socket { .. });
+        let pool = ServicePool {
             space,
             n_objectives,
             objective_names,
             cfg,
             inner: Mutex::new(inner),
             stats: ServiceStats::default(),
-        })
+            fallback: None,
+        };
+        if wait_spawned {
+            pool.await_spawned_connections();
+        }
+        Ok(pool)
+    }
+
+    /// Install an in-process evaluator used only when the pool permanently
+    /// loses every worker (see [`StatsSnapshot::local_fallback_evals`]).
+    pub fn with_local_fallback(mut self, evaluator: Box<dyn Evaluator + Send>) -> Self {
+        self.fallback = Some(evaluator);
+        self
+    }
+
+    /// The resolved socket listener address, if this pool listens.
+    pub fn listen_addr(&self) -> Option<SocketAddr> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner()).listen_addr
+    }
+
+    /// Recent transport events (connections, disconnects, reaps, fallback
+    /// decisions), oldest first. Bounded; for diagnostics.
+    pub fn transport_events(&self) -> Vec<String> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner()).transport_log.clone()
     }
 
     /// Counters observed so far.
     pub fn stats(&self) -> StatsSnapshot {
         self.stats.snapshot()
+    }
+
+    /// Startup barrier for spawned socket children: drain handshakes until
+    /// every worker has a link or the window closes (stragglers are handled
+    /// by the drive loop's reap/respawn machinery).
+    fn await_spawned_connections(&self) {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let deadline = inner.clock.now_ms() + 10_000;
+        while inner.workers.iter().any(|w| w.link.is_none()) {
+            let now = inner.clock.now_ms();
+            if now >= deadline {
+                break;
+            }
+            match inner.rx.recv_timeout(Duration::from_millis(100)) {
+                Ok(ev) => self.process_pre_batch_event(&mut inner, ev),
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => break,
+            }
+        }
+    }
+
+    /// Handle an event while no batch is running (startup). Only connection
+    /// lifecycle matters; there are no leases to judge yet.
+    fn process_pre_batch_event(&self, inner: &mut Inner, event: Event) {
+        let now = inner.clock.now_ms();
+        match event {
+            Event::Connected(worker, token, stream) => {
+                self.attach_connection(inner, None, worker, token, stream, now);
+            }
+            Event::Frame(i, l, _) => {
+                let idx = i as usize;
+                if idx < inner.workers.len() && inner.workers[idx].link_id == l {
+                    inner.workers[idx].last_seen_ms = now;
+                }
+            }
+            Event::Garbled(..) => ServiceStats::bump(&self.stats.garbled_frames),
+            Event::Closed(i, l) => {
+                let idx = i as usize;
+                if idx < inner.workers.len() && inner.workers[idx].link_id == l {
+                    self.handle_link_closed(inner, None, idx, now);
+                }
+            }
+        }
     }
 
     /// Evaluate a batch by leasing each configuration to the worker pool.
@@ -290,30 +579,31 @@ impl ServicePool {
         let flats: Vec<u64> = configs.iter().map(|c| self.space.flat_index(c)).collect();
         let mut table = LeaseTable::with_base(n, inner.next_lease_id);
         let mut lease_to_slot: BTreeMap<u64, usize> = BTreeMap::new();
+        // Which link each accepted lease's reply arrived on, for classifying
+        // transport-level duplicate retransmits after a reconnect.
+        let mut accepted_link: BTreeMap<u64, u64> = BTreeMap::new();
         let mut results: Vec<Option<Result<Vec<f64>, FailedEvaluation>>> = vec![None; n];
 
         while !table.all_done() {
             let now = inner.clock.now_ms();
             self.sweep_heartbeats(inner, &mut table, now);
-            self.sweep_expired(&mut table, now);
+            self.sweep_expired(inner, &mut table, now);
             self.respawn_dead(inner, &table);
 
-            if inner.workers.iter().all(|w| !w.alive) && inner.respawns_left == 0 {
-                // Nothing can ever answer again; fail the remaining slots.
-                for slot in 0..n {
-                    if table.state(slot) != SlotState::Done {
-                        table.give_up(slot);
-                        results[slot] = Some(Err(FailedEvaluation::single(EvalError::Transient {
-                            reason: "service pool lost all workers and its respawn budget"
-                                .to_string(),
-                        })));
-                    }
-                }
+            if self.handle_total_loss(inner, &mut table, configs, &mut results, now) {
                 break;
             }
 
             self.grant_leases(inner, &mut table, &mut lease_to_slot, &flats, &mut results, now);
-            self.pump_events(inner, &mut table, &lease_to_slot, &flats, &mut results, now);
+            self.pump_events(
+                inner,
+                &mut table,
+                &lease_to_slot,
+                &mut accepted_link,
+                &flats,
+                &mut results,
+                now,
+            );
         }
         inner.next_lease_id = table.next_lease_id();
 
@@ -332,29 +622,148 @@ impl ServicePool {
             .collect()
     }
 
+    /// Detect the pool being permanently out of workers and resolve the
+    /// remaining slots (fallback or failure). Returns true when the batch
+    /// is finished by this path.
+    ///
+    /// Stdio keeps PR-7 semantics: pipes cannot come back, so the moment
+    /// everything is dead with no respawn budget the batch fails. Socket
+    /// modes wait out `reconnect_grace_ms` first — remote workers reconnect,
+    /// and declaring loss early would fork the fingerprint away from runs
+    /// with luckier timing only in *failure* cases, which is acceptable: a
+    /// successful run never takes this path.
+    fn handle_total_loss(
+        &self,
+        inner: &mut Inner,
+        table: &mut LeaseTable,
+        configs: &[Configuration],
+        results: &mut [Option<Result<Vec<f64>, FailedEvaluation>>],
+        now: u64,
+    ) -> bool {
+        let all_dead = inner.workers.iter().all(|w| !w.alive);
+        let lost = all_dead
+            && match self.cfg.transport {
+                // Remote workers arrive on their own schedule: before the
+                // first one ever joins the pool is waiting, not lost; after
+                // that, only the grace window decides. Spawned modes are
+                // lost once the respawn budget is gone.
+                TransportMode::SocketRemote { .. } => inner.ever_connected,
+                _ => inner.respawns_left == 0,
+            };
+        if !lost {
+            inner.all_dead_since = None;
+            return false;
+        }
+        if self.cfg.transport.is_socket() {
+            match inner.all_dead_since {
+                None => {
+                    inner.all_dead_since = Some(now);
+                    tlog(inner, now, "all workers gone; reconnect grace started".to_string());
+                    return false;
+                }
+                Some(t0) if now.saturating_sub(t0) < self.cfg.reconnect_grace_ms => {
+                    return false;
+                }
+                Some(_) => {}
+            }
+        }
+        // Permanently lost. Resolve every remaining slot.
+        let via_fallback = self.fallback.is_some();
+        tlog(
+            inner,
+            now,
+            format!(
+                "pool lost all workers ({}); resolving {} open slot(s) via {}",
+                match self.cfg.transport {
+                    TransportMode::Stdio => "respawn budget exhausted",
+                    _ => "reconnect grace expired",
+                },
+                table.len() - table.done_count(),
+                if via_fallback { "local fallback" } else { "failure records" },
+            ),
+        );
+        for slot in 0..table.len() {
+            if table.state(slot) == SlotState::Done {
+                continue;
+            }
+            table.give_up(slot);
+            results[slot] = Some(match &self.fallback {
+                Some(evaluator) => {
+                    ServiceStats::bump(&self.stats.local_fallback_evals);
+                    evaluator.try_evaluate_detailed(&configs[slot])
+                }
+                None => Err(FailedEvaluation::single(EvalError::Transient {
+                    reason: format!(
+                        "service pool lost all workers{}; transport log: {}",
+                        match self.cfg.transport {
+                            TransportMode::Stdio => " and its respawn budget",
+                            _ => " past the reconnect grace",
+                        },
+                        inner.transport_log.iter().rev().take(6).rev().cloned()
+                            .collect::<Vec<_>>()
+                            .join(" | "),
+                    ),
+                })),
+            });
+        }
+        true
+    }
+
     /// Kill and revoke workers whose heartbeats stopped for longer than the
-    /// grace window (wedged or frozen processes that cannot EOF).
+    /// grace window. This is the *only* liveness verdict for a half-open
+    /// socket (a frozen-but-connected peer sends nothing but keeps the
+    /// stream up): it fires on the clock, never on a socket read.
     fn sweep_heartbeats(&self, inner: &mut Inner, table: &mut LeaseTable, now: u64) {
         let grace = self.cfg.heartbeat_ms.saturating_mul(self.cfg.heartbeat_grace as u64);
         for i in 0..inner.workers.len() {
             let w = &mut inner.workers[i];
             if w.alive && now.saturating_sub(w.last_seen_ms) > grace {
-                let _ = w.child.kill();
-                let _ = w.child.wait();
-                w.alive = false;
-                w.busy = None;
-                ServiceStats::bump(&self.stats.worker_deaths);
-                self.revoke_all(table, i as u32, now);
+                self.reap_worker(inner, table, i, now, "heartbeat grace expired");
             }
         }
     }
 
-    /// Revoke leases whose deadline passed. The holder may still be alive
-    /// and chewing (a stall); it keeps its `busy` flag so it gets no new
-    /// grants until it answers or dies, but the slot moves on.
-    fn sweep_expired(&self, table: &mut LeaseTable, now: u64) {
-        for (slot, _worker) in table.expired(now) {
+    /// Declare worker `i` dead: sever its link, reap its process (if owned),
+    /// clear its session, and revoke its leases.
+    fn reap_worker(
+        &self,
+        inner: &mut Inner,
+        table: &mut LeaseTable,
+        i: usize,
+        now: u64,
+        why: &str,
+    ) {
+        let w = &mut inner.workers[i];
+        if let Some(mut link) = w.link.take() {
+            link.sever();
+        }
+        if let Some(child) = w.child.as_mut() {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+        w.alive = false;
+        w.busy = None;
+        // Any later reconnect presents a now-stale token and starts fresh.
+        w.token = 0;
+        ServiceStats::bump(&self.stats.worker_deaths);
+        tlog(inner, now, format!("worker {i} reaped: {why}"));
+        self.revoke_all(table, i as u32, now);
+    }
+
+    /// Revoke leases whose deadline passed and free their holders for new
+    /// grants. Freeing the holder matters under network faults: a dropped
+    /// result frame leaves the worker healthy, heartbeating, and idle —
+    /// pinning its `busy` flag until it "answers or dies" would starve it
+    /// (and, with every worker in that state, deadlock the batch).
+    fn sweep_expired(&self, inner: &mut Inner, table: &mut LeaseTable, now: u64) {
+        for (slot, worker) in table.expired(now) {
             ServiceStats::bump(&self.stats.lease_expiries);
+            if let SlotState::Leased { lease_id, .. } = table.state(slot) {
+                let idx = worker as usize;
+                if idx < inner.workers.len() && inner.workers[idx].busy == Some(lease_id) {
+                    inner.workers[idx].busy = None;
+                }
+            }
             let backoff = regrant_backoff_ms(
                 self.cfg.backoff_base_ms,
                 table.attempts(slot),
@@ -379,8 +788,10 @@ impl ServicePool {
     }
 
     /// Respawn dead workers while work remains and the budget allows.
+    /// Remote pools own no processes and spawn nothing — their workers
+    /// come back (or don't) on their own.
     fn respawn_dead(&self, inner: &mut Inner, table: &LeaseTable) {
-        if table.all_done() {
+        if table.all_done() || matches!(self.cfg.transport, TransportMode::SocketRemote { .. }) {
             return;
         }
         for i in 0..inner.workers.len() {
@@ -388,18 +799,46 @@ impl ServicePool {
                 continue;
             }
             let now = inner.clock.now_ms();
-            let generation = inner.next_generation;
-            match spawn_worker(&self.cfg, i as u32, generation, &inner.tx, now) {
-                Ok(handle) => {
-                    inner.next_generation += 1;
+            let spawned = match &self.cfg.transport {
+                TransportMode::Stdio => {
+                    let link_id = inner.next_link;
+                    match spawn_stdio_worker(&self.cfg, i as u32, link_id, &inner.tx, now) {
+                        Ok(handle) => {
+                            inner.next_link += 1;
+                            Some(handle)
+                        }
+                        Err(_) => None,
+                    }
+                }
+                TransportMode::Socket { .. } => match inner.listen_addr {
+                    Some(addr) => match spawn_socket_child(&self.cfg, i as u32, &addr) {
+                        Ok(child) => Some(WorkerHandle {
+                            child: Some(child),
+                            link: None,
+                            link_id: 0,
+                            token: 0,
+                            alive: true,
+                            last_seen_ms: now,
+                            busy: None,
+                        }),
+                        Err(_) => None,
+                    },
+                    None => None,
+                },
+                TransportMode::SocketRemote { .. } => None,
+            };
+            match spawned {
+                Some(handle) => {
                     // Reap the corpse before dropping its handle.
-                    let _ = inner.workers[i].child.kill();
-                    let _ = inner.workers[i].child.wait();
+                    if let Some(child) = inner.workers[i].child.as_mut() {
+                        let _ = child.kill();
+                        let _ = child.wait();
+                    }
                     inner.workers[i] = handle;
                     inner.respawns_left -= 1;
                     ServiceStats::bump(&self.stats.respawns);
                 }
-                Err(_) => {
+                None => {
                     // Spawn failures (fd pressure, fork limits) are retried
                     // on the next loop iteration; the budget is untouched.
                 }
@@ -407,7 +846,8 @@ impl ServicePool {
         }
     }
 
-    /// Grant claimable slots to idle workers, one outstanding lease each.
+    /// Grant claimable slots to connected idle workers, one outstanding
+    /// lease each.
     fn grant_leases(
         &self,
         inner: &mut Inner,
@@ -418,7 +858,8 @@ impl ServicePool {
         now: u64,
     ) {
         for i in 0..inner.workers.len() {
-            if !inner.workers[i].alive || inner.workers[i].busy.is_some() {
+            let w = &inner.workers[i];
+            if !w.alive || w.busy.is_some() || w.link.is_none() {
                 continue;
             }
             let Some(slot) = table.claimable(now) else { break };
@@ -456,30 +897,160 @@ impl ServicePool {
                 flat: flats[slot],
                 attempt,
             });
-            let delivered = match inner.workers[i].stdin.as_mut() {
-                Some(stdin) => {
-                    stdin.write_all(frame.as_bytes()).and_then(|_| stdin.flush()).is_ok()
-                }
+            let delivered = match inner.workers[i].link.as_mut() {
+                Some(link) => link.write_frame(&frame),
                 None => false,
             };
             if delivered {
                 inner.workers[i].busy = Some(lease_id);
                 ServiceStats::bump(&self.stats.leases_granted);
             } else {
-                // Broken pipe: the worker is dying; EOF will follow. Undo
-                // the grant with no backoff — it never left the building.
+                // Broken pipe/socket: the link is gone; an EOF event will
+                // follow from its reader. Undo the grant with no backoff —
+                // it never left the building.
                 table.revoke(slot, now, 0);
+                if inner.workers[i].link.take().is_some() {
+                    ServiceStats::bump(&self.stats.disconnects);
+                    tlog(inner, now, format!("worker {i} link broke on lease delivery"));
+                }
             }
         }
     }
 
+    /// A socket link died under a live session: keep the session (its lease
+    /// view included) so a reconnecting worker can resume it; a stdio pipe
+    /// closing means the process is gone. Child processes that actually
+    /// exited are reaped immediately rather than waiting out the grace.
+    fn handle_link_closed(
+        &self,
+        inner: &mut Inner,
+        table: Option<&mut LeaseTable>,
+        idx: usize,
+        now: u64,
+    ) {
+        let is_stdio = matches!(inner.workers[idx].link, Some(Link::Stdio(_)) | None)
+            && !self.cfg.transport.is_socket();
+        let child_exited = match inner.workers[idx].child.as_mut() {
+            Some(child) => matches!(child.try_wait(), Ok(Some(_))),
+            None => false,
+        };
+        if is_stdio || child_exited {
+            if inner.workers[idx].alive {
+                match table {
+                    Some(table) => self.reap_worker(
+                        inner,
+                        table,
+                        idx,
+                        now,
+                        if child_exited { "process exited" } else { "pipe closed" },
+                    ),
+                    None => {
+                        // No batch running: there are no leases to revoke.
+                        let w = &mut inner.workers[idx];
+                        if let Some(mut link) = w.link.take() {
+                            link.sever();
+                        }
+                        if let Some(child) = w.child.as_mut() {
+                            let _ = child.kill();
+                            let _ = child.wait();
+                        }
+                        w.alive = false;
+                        w.busy = None;
+                        w.token = 0;
+                        ServiceStats::bump(&self.stats.worker_deaths);
+                    }
+                }
+            }
+            return;
+        }
+        // Socket disconnect with a possibly-live peer: hold the session
+        // open. The lease deadline and heartbeat grace bound how long.
+        if inner.workers[idx].link.take().is_some() {
+            ServiceStats::bump(&self.stats.disconnects);
+            tlog(inner, now, format!("worker {idx} disconnected (session held for resume)"));
+        }
+    }
+
+    /// Bind a completed `hello2` handshake to a worker slot: resume the
+    /// session when the token matches, otherwise start a fresh one.
+    fn attach_connection(
+        &self,
+        inner: &mut Inner,
+        table: Option<&mut LeaseTable>,
+        worker: u32,
+        token: u64,
+        mut stream: TcpStream,
+        now: u64,
+    ) {
+        let idx = worker as usize;
+        if idx >= inner.workers.len() {
+            tlog(inner, now, format!("rejected connection for unknown worker {worker}"));
+            let _ = stream.shutdown(std::net::Shutdown::Both);
+            return;
+        }
+        let resume = token != 0 && token == inner.workers[idx].token;
+        let session_token;
+        if resume {
+            session_token = token;
+            ServiceStats::bump(&self.stats.reconnects);
+            tlog(inner, now, format!("worker {idx} reconnected; session resumed"));
+        } else {
+            // Fresh session: nothing granted to a predecessor may survive.
+            if let Some(mut old) = inner.workers[idx].link.take() {
+                old.sever();
+            }
+            if let Some(table) = table {
+                self.revoke_all(table, worker, now);
+            }
+            inner.workers[idx].busy = None;
+            session_token = inner.next_token;
+            inner.next_token += 1;
+            tlog(inner, now, format!("worker {idx} connected; new session"));
+        }
+        let link_id = inner.next_link;
+        inner.next_link += 1;
+
+        // Reader thread: translate this connection's bytes into events.
+        let read_half = match stream.try_clone() {
+            Ok(s) => s,
+            Err(_) => {
+                let _ = stream.shutdown(std::net::Shutdown::Both);
+                return;
+            }
+        };
+        let _ = read_half.set_read_timeout(None);
+        spawn_socket_reader(read_half, worker, link_id, inner.tx.clone());
+
+        let welcome =
+            encode_frame(&Msg::Welcome { worker, epoch: self.cfg.epoch, token: session_token });
+        if stream.write_all(welcome.as_bytes()).and_then(|_| stream.flush()).is_err() {
+            let _ = stream.shutdown(std::net::Shutdown::Both);
+            tlog(inner, now, format!("worker {idx} welcome failed; connection dropped"));
+            return;
+        }
+
+        let w = &mut inner.workers[idx];
+        w.link = Some(Link::Socket(stream));
+        w.link_id = link_id;
+        w.token = session_token;
+        w.alive = true;
+        w.last_seen_ms = now;
+        if !resume {
+            w.busy = None;
+        }
+        inner.all_dead_since = None;
+        inner.ever_connected = true;
+    }
+
     /// Block for the next event (bounded by the nearest deadline) and apply
     /// it to the table.
+    #[allow(clippy::too_many_arguments)]
     fn pump_events(
         &self,
         inner: &mut Inner,
         table: &mut LeaseTable,
         lease_to_slot: &BTreeMap<u64, usize>,
+        accepted_link: &mut BTreeMap<u64, u64>,
         flats: &[u64],
         results: &mut [Option<Result<Vec<f64>, FailedEvaluation>>],
         now: u64,
@@ -491,28 +1062,46 @@ impl ServicePool {
         if let Some(e) = table.next_eligible_ms(now) {
             wake = wake.min(e);
         }
-        let timeout = Duration::from_millis(wake.saturating_sub(now).max(1));
-        let event = match inner.rx.recv_timeout(timeout) {
+        if let Some(t0) = inner.all_dead_since {
+            wake = wake.min(t0.saturating_add(self.cfg.reconnect_grace_ms));
+        }
+        let event = match inner.rx.recv_timeout(timeout_until(now, wake)) {
             Ok(ev) => ev,
             Err(RecvTimeoutError::Timeout) => return,
             Err(RecvTimeoutError::Disconnected) => return,
         };
         let now = inner.clock.now_ms();
-        // Drop events from a previous spawn generation: the index now names
-        // a different process, and a predecessor's dying gasps (late frames,
-        // its EOF) must not touch the current child's bookkeeping.
-        let (idx, generation) = match &event {
-            Event::Frame(i, g, _) | Event::Garbled(i, g, _) | Event::Closed(i, g) => {
-                (*i as usize, *g)
+        if let Event::Connected(worker, token, stream) = event {
+            self.attach_connection(inner, Some(table), worker, token, stream, now);
+            return;
+        }
+        // Drop events from a previous link: the index now names a different
+        // byte stream, and a predecessor's dying gasps (late frames, its
+        // EOF) must not touch the current link's bookkeeping.
+        let (idx, link) = match &event {
+            Event::Frame(i, l, _) | Event::Garbled(i, l, _) | Event::Closed(i, l) => {
+                (*i as usize, *l)
             }
+            // Consumed by the early return above; nothing to do if the
+            // compiler cannot see that.
+            Event::Connected(..) => return,
         };
-        if idx >= inner.workers.len() || inner.workers[idx].generation != generation {
+        if idx >= inner.workers.len() || inner.workers[idx].link_id != link {
             return;
         }
         match event {
-            Event::Frame(i, _, msg) => {
-                self.apply_frame(inner, table, lease_to_slot, flats, results, i, msg, now)
-            }
+            Event::Frame(i, l, msg) => self.apply_frame(
+                inner,
+                table,
+                lease_to_slot,
+                accepted_link,
+                flats,
+                results,
+                i,
+                l,
+                msg,
+                now,
+            ),
             Event::Garbled(i, _, _err) => {
                 ServiceStats::bump(&self.stats.garbled_frames);
                 // A garbled reply means the worker finished *something*;
@@ -522,18 +1111,10 @@ impl ServicePool {
                 inner.workers[idx].busy = None;
                 self.revoke_all(table, i, now);
             }
-            Event::Closed(i, _) => {
-                if inner.workers[idx].alive {
-                    // EOF means the process exited or closed stdout; kill
-                    // first so wait() can never block on a live child.
-                    let _ = inner.workers[idx].child.kill();
-                    let _ = inner.workers[idx].child.wait();
-                    inner.workers[idx].alive = false;
-                    inner.workers[idx].busy = None;
-                    ServiceStats::bump(&self.stats.worker_deaths);
-                    self.revoke_all(table, i, now);
-                }
+            Event::Closed(..) => {
+                self.handle_link_closed(inner, Some(table), idx, now);
             }
+            Event::Connected(..) => {}
         }
     }
 
@@ -543,9 +1124,11 @@ impl ServicePool {
         inner: &mut Inner,
         table: &mut LeaseTable,
         lease_to_slot: &BTreeMap<u64, usize>,
+        accepted_link: &mut BTreeMap<u64, u64>,
         flats: &[u64],
         results: &mut [Option<Result<Vec<f64>, FailedEvaluation>>],
         i: u32,
+        link: u64,
         msg: Msg,
         now: u64,
     ) {
@@ -592,17 +1175,27 @@ impl ServicePool {
                 match table.reply(slot, lease_id) {
                     ReplyVerdict::Accepted => {
                         ServiceStats::bump(&self.stats.accepted);
+                        accepted_link.insert(lease_id, link);
                         results[slot] = Some(outcome_to_result(outcome));
                     }
                     ReplyVerdict::Duplicate => {
-                        ServiceStats::bump(&self.stats.duplicates_dropped)
+                        ServiceStats::bump(&self.stats.duplicates_dropped);
+                        // Same winning lease, different connection: this is
+                        // a network retransmit landing after a reconnect,
+                        // not a worker double-send. Tag it so the chaos
+                        // gate can assert the path was exercised.
+                        if table.accepted_lease(slot) == Some(lease_id)
+                            && accepted_link.get(&lease_id).is_some_and(|&l| l != link)
+                        {
+                            ServiceStats::bump(&self.stats.duplicates_after_reconnect);
+                        }
                     }
                     ReplyVerdict::Stale => ServiceStats::bump(&self.stats.stale_dropped),
                 }
             }
-            // Coordinator-direction messages arriving from a worker are
-            // nonsense; ignore them.
-            Msg::Lease { .. } | Msg::Shutdown => {}
+            // Handshake frames are consumed by the accept path; coordinator-
+            // direction messages arriving from a worker are nonsense. Ignore.
+            Msg::HelloSocket { .. } | Msg::Welcome { .. } | Msg::Lease { .. } | Msg::Shutdown => {}
         }
     }
 }
@@ -611,15 +1204,27 @@ impl Drop for ServicePool {
     fn drop(&mut self) {
         let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
         for w in inner.workers.iter_mut() {
-            if let Some(stdin) = w.stdin.as_mut() {
-                let _ = stdin.write_all(encode_frame(&Msg::Shutdown).as_bytes());
-                let _ = stdin.flush();
+            if let Some(link) = w.link.as_mut() {
+                let _ = link.write_frame(&encode_frame(&Msg::Shutdown));
             }
-            // Closing stdin EOFs the worker's read loop; the kill is a
-            // backstop for stalled or frozen workers, and wait() reaps.
-            w.stdin = None;
-            let _ = w.child.kill();
-            let _ = w.child.wait();
+            // Dropping the link EOFs a stdio worker's read loop and closes
+            // the socket; the kill is a backstop for stalled or frozen
+            // spawned workers, and wait() reaps.
+            if let Some(mut link) = w.link.take() {
+                link.sever();
+            }
+            if let Some(child) = w.child.as_mut() {
+                let _ = child.kill();
+                let _ = child.wait();
+            }
+        }
+        // Stop the accept thread: raise the flag, then poke the listener so
+        // its blocking accept() wakes up and observes it.
+        if let Some(stop) = inner.accept_stop.take() {
+            stop.store(true, Ordering::Relaxed);
+            if let Some(addr) = inner.listen_addr {
+                let _ = TcpStream::connect_timeout(&addr, Duration::from_millis(200));
+            }
         }
         if let Some(j) = inner.sidecar.as_mut() {
             let _ = j.sync();
@@ -636,11 +1241,11 @@ fn outcome_to_result(outcome: RawOutcome) -> Result<Vec<f64>, FailedEvaluation> 
     }
 }
 
-/// Spawn one worker process and its stdout reader thread.
-fn spawn_worker(
+/// Spawn one stdio worker process and its stdout reader thread.
+fn spawn_stdio_worker(
     cfg: &ServiceConfig,
     index: u32,
-    generation: u64,
+    link_id: u64,
     tx: &Sender<Event>,
     now: u64,
 ) -> io::Result<WorkerHandle> {
@@ -650,6 +1255,8 @@ fn spawn_worker(
         .env(ENV_EPOCH, cfg.epoch.to_string())
         .env(ENV_WORKER_ID, index.to_string())
         .env(ENV_HEARTBEAT_MS, cfg.heartbeat_ms.to_string())
+        .env_remove(ENV_CONNECT)
+        .env_remove(ENV_NET_CHAOS)
         .stdin(Stdio::piped())
         .stdout(Stdio::piped())
         .stderr(Stdio::inherit());
@@ -666,27 +1273,146 @@ fn spawn_worker(
         .ok_or_else(|| io::Error::new(io::ErrorKind::Other, "worker stdout not piped"))?;
     let tx = tx.clone();
     std::thread::spawn(move || {
-        let mut reader = BufReader::new(stdout);
-        let mut line = String::new();
+        let mut reader = FrameReader::new(stdout);
         loop {
-            line.clear();
-            match reader.read_line(&mut line) {
-                Ok(0) | Err(_) => {
-                    let _ = tx.send(Event::Closed(index, generation));
+            let event = match reader.next_frame() {
+                Ok(Framed::Msg(msg)) => Event::Frame(index, link_id, msg),
+                Ok(Framed::Bad(e)) => Event::Garbled(index, link_id, e),
+                Ok(Framed::Eof) | Err(_) => {
+                    let _ = tx.send(Event::Closed(index, link_id));
                     return;
                 }
-                Ok(_) => {}
-            }
-            let event = match decode_frame(&line) {
-                Ok(msg) => Event::Frame(index, generation, msg),
-                Err(e) => Event::Garbled(index, generation, e),
             };
             if tx.send(event).is_err() {
                 return; // pool dropped; nobody is listening
             }
         }
     });
-    Ok(WorkerHandle { child, stdin, generation, alive: true, last_seen_ms: now, busy: None })
+    Ok(WorkerHandle {
+        child: Some(child),
+        link: stdin.map(Link::Stdio),
+        link_id,
+        token: 0,
+        alive: true,
+        last_seen_ms: now,
+        busy: None,
+    })
+}
+
+/// Spawn one socket worker child that dials back into `addr`.
+fn spawn_socket_child(cfg: &ServiceConfig, index: u32, addr: &SocketAddr) -> io::Result<Child> {
+    let exe = std::env::current_exe()?;
+    let mut cmd = Command::new(exe);
+    cmd.env(ENV_ROLE, ROLE_WORKER)
+        .env(ENV_EPOCH, cfg.epoch.to_string())
+        .env(ENV_WORKER_ID, index.to_string())
+        .env(ENV_HEARTBEAT_MS, cfg.heartbeat_ms.to_string())
+        .env(ENV_CONNECT, addr.to_string())
+        .stdin(Stdio::null())
+        .stdout(Stdio::inherit())
+        .stderr(Stdio::inherit());
+    if cfg.chaos.is_active() {
+        cmd.env(ENV_CHAOS, cfg.chaos.encode());
+    } else {
+        cmd.env_remove(ENV_CHAOS);
+    }
+    if cfg.net_chaos.is_active() {
+        cmd.env(ENV_NET_CHAOS, cfg.net_chaos.encode());
+    } else {
+        cmd.env_remove(ENV_NET_CHAOS);
+    }
+    cmd.spawn()
+}
+
+/// Reader thread for one accepted socket connection: frames and framing
+/// failures become events; EOF or a read error becomes `Closed`. Liveness
+/// decisions happen elsewhere (clock-driven) — this thread may block
+/// indefinitely on a silent peer, and that is fine: reaping severs the
+/// stream, which wakes the blocked read with an error.
+fn spawn_socket_reader(stream: TcpStream, worker: u32, link_id: u64, tx: Sender<Event>) {
+    std::thread::spawn(move || {
+        let mut reader = FrameReader::new(stream);
+        loop {
+            let event = match reader.next_frame() {
+                Ok(Framed::Msg(msg)) => Event::Frame(worker, link_id, msg),
+                Ok(Framed::Bad(e)) => Event::Garbled(worker, link_id, e),
+                Ok(Framed::Eof) | Err(_) => {
+                    let _ = tx.send(Event::Closed(worker, link_id));
+                    return;
+                }
+            };
+            if tx.send(event).is_err() {
+                return;
+            }
+        }
+    });
+}
+
+/// Accept loop: each connection gets a short-lived handshake thread (a slow
+/// or hostile peer must not block other workers from connecting) that reads
+/// exactly the `hello2` frame under a deadline and hands the stream to the
+/// coordinator as a [`Event::Connected`].
+fn spawn_accept_thread(
+    listener: TcpListener,
+    tx: Sender<Event>,
+    stop: Arc<AtomicBool>,
+    handshake_ms: u64,
+) {
+    std::thread::spawn(move || loop {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                if stop.load(Ordering::Relaxed) {
+                    return;
+                }
+                let tx = tx.clone();
+                std::thread::spawn(move || handshake(stream, tx, handshake_ms));
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => {
+                if stop.load(Ordering::Relaxed) {
+                    return;
+                }
+                // Transient accept failure (fd pressure); back off briefly.
+                std::thread::sleep(Duration::from_millis(50));
+            }
+        }
+    });
+}
+
+/// Read one `hello2` under the handshake deadline. The protocol guarantees
+/// the worker sends nothing else until it is welcomed, so the handshake
+/// reader's buffer is empty when we hand the stream over and the
+/// coordinator's own reader thread starts exactly at the next frame.
+fn handshake(stream: TcpStream, tx: Sender<Event>, handshake_ms: u64) {
+    if stream.set_read_timeout(Some(Duration::from_millis(handshake_ms.max(1)))).is_err() {
+        return;
+    }
+    let read_half = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    let mut reader = FrameReader::new(read_half);
+    loop {
+        match reader.next_frame() {
+            Ok(Framed::Msg(Msg::HelloSocket { worker, token, .. })) => {
+                let _ = tx.send(Event::Connected(worker, token, stream));
+                return;
+            }
+            // Legacy or stray frames before the handshake: drop the
+            // connection rather than guess.
+            Ok(Framed::Msg(_)) | Ok(Framed::Eof) => {
+                let _ = stream.shutdown(std::net::Shutdown::Both);
+                return;
+            }
+            Ok(Framed::Bad(_)) => continue,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => {
+                // Timeout or hard error inside the handshake window.
+                let _ = stream.shutdown(std::net::Shutdown::Both);
+                return;
+            }
+        }
+    }
 }
 
 impl Evaluator for ServicePool {

@@ -52,6 +52,11 @@ struct Slot {
     attempts: u32,
     /// Earliest service-clock ms at which the slot may be re-granted.
     eligible_at_ms: u64,
+    /// The lease id whose reply was accepted, once `Done` via a real reply
+    /// (`None` for [`LeaseTable::give_up`]). Lets the coordinator tell a
+    /// retransmit of the *winning* reply apart from a loser's late echo when
+    /// classifying transport-level duplicates.
+    accepted: Option<u64>,
 }
 
 /// Lease bookkeeping for one batch. Slots are indexed `0..len`.
@@ -79,7 +84,10 @@ impl LeaseTable {
     /// *live* lease in the new batch and be accepted for the wrong slot.
     pub fn with_base(n: usize, base: u64) -> Self {
         LeaseTable {
-            slots: vec![Slot { state: SlotState::Unassigned, attempts: 0, eligible_at_ms: 0 }; n],
+            slots: vec![
+                Slot { state: SlotState::Unassigned, attempts: 0, eligible_at_ms: 0, accepted: None };
+                n
+            ],
             next_lease_id: base.max(1),
             done: 0,
         }
@@ -120,6 +128,12 @@ impl LeaseTable {
     /// Grants made for a slot so far.
     pub fn attempts(&self, slot: usize) -> u32 {
         self.slots[slot].attempts
+    }
+
+    /// The lease id whose reply was accepted for a `Done` slot, or `None`
+    /// while the slot is live or was finished by [`LeaseTable::give_up`].
+    pub fn accepted_lease(&self, slot: usize) -> Option<u64> {
+        self.slots[slot].accepted
     }
 
     /// Lowest-indexed slot that is unassigned and past its backoff, if any.
@@ -220,6 +234,7 @@ impl LeaseTable {
             SlotState::Done => ReplyVerdict::Duplicate,
             SlotState::Leased { lease_id: current, .. } if current == lease_id => {
                 s.state = SlotState::Done;
+                s.accepted = Some(lease_id);
                 self.done += 1;
                 ReplyVerdict::Accepted
             }
@@ -311,6 +326,22 @@ mod tests {
         // Backoff applies to the revoked slots.
         assert_eq!(t.claimable(10), Some(3));
         assert_eq!(t.claimable(15), Some(0));
+    }
+
+    #[test]
+    fn accepted_lease_identifies_the_winning_reply() {
+        let mut t = LeaseTable::new(2);
+        let (id1, _) = t.grant(0, 0, 0, 50).expect("grant");
+        assert_eq!(t.accepted_lease(0), None);
+        t.revoke(0, 60, 0);
+        let (id2, _) = t.grant(0, 1, 60, 50).expect("re-grant");
+        assert_eq!(t.reply(0, id2), ReplyVerdict::Accepted);
+        // The winner is recorded; the loser's id is not it.
+        assert_eq!(t.accepted_lease(0), Some(id2));
+        assert_ne!(t.accepted_lease(0), Some(id1));
+        // A give-up slot has no winning lease.
+        t.give_up(1);
+        assert_eq!(t.accepted_lease(1), None);
     }
 
     #[test]

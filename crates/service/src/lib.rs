@@ -23,12 +23,26 @@
 //!  coordinator: slot-ordered merge → bit-identical batch results
 //! ```
 //!
-//! - [`wire`] — length-prefixed, CRC-checksummed line frames.
+//! Since PR 9 the pipes can be TCP sockets instead: the pool listens
+//! ([`TransportMode::Socket`] spawns loopback children that dial back in;
+//! [`TransportMode::SocketRemote`] waits for workers started on other
+//! machines with `run_socket_worker`). A `hello2`/`welcome` handshake binds
+//! each connection to a worker slot via a session token, so a reconnecting
+//! worker *resumes* its lease view instead of forking it, and a seeded
+//! network-fault layer ([`NetChaosPlan`]) proves in CI that drops, delays,
+//! reorders, retransmits, truncated frames, and partitions cannot change a
+//! single result bit.
+//!
+//! - [`wire`] — length-prefixed, CRC-checksummed line frames; the
+//!   corruption-safe [`FrameReader`] and the [`Transport`] abstraction
+//!   (stdio pipes or TCP).
 //! - [`lease`] — the pure lease state machine (grant / expire / revoke /
 //!   idempotent reply acceptance).
 //! - [`chaos`] — seeded fault injection keyed on `(flat, attempt)`:
-//!   kills, stalls, freezes, garbles, duplicates, late and stale-epoch
-//!   replies.
+//!   process faults (kills, stalls, freezes, garbles, duplicates, late and
+//!   stale-epoch replies) and network faults (drops, delays, reorders,
+//!   duplicate retransmits, mid-frame truncations, partitions, reconnect
+//!   storms).
 //! - [`worker`] — the child-process serve loop; [`worker_entry`] must be the
 //!   first statement of any hosting binary's `main`.
 //! - [`coordinator`] — [`ServicePool`]: spawning, heartbeat tracking,
@@ -80,9 +94,12 @@ pub mod lease;
 pub mod wire;
 pub mod worker;
 
-pub use chaos::{ChaosPlan, Fault};
-pub use clock::ServiceClock;
-pub use coordinator::{ServiceConfig, ServicePool, StatsSnapshot};
+pub use chaos::{ChaosPlan, Fault, NetChaosPlan, NetFault};
+pub use clock::{timeout_until, ServiceClock};
+pub use coordinator::{ServiceConfig, ServicePool, StatsSnapshot, TransportMode};
 pub use lease::{LeaseTable, ReplyVerdict, SlotState};
-pub use wire::{decode_frame, encode_frame, FrameError, Msg};
-pub use worker::worker_entry;
+pub use wire::{
+    decode_frame, encode_frame, is_timeout, FrameError, FrameReader, Framed, Msg, SharedWriter,
+    SocketTransport, StdioTransport, Transport, MAX_FRAME_LEN,
+};
+pub use worker::{run_socket_worker, worker_entry, SocketWorkerParams};

@@ -14,10 +14,18 @@
 //! | direction             | body                                                  |
 //! |-----------------------|-------------------------------------------------------|
 //! | worker → coordinator  | `hello <worker> <epoch> <pid>`                        |
+//! | worker → coordinator  | `hello2 <worker> <epoch> <pid> <token>`               |
+//! | coordinator → worker  | `welcome <worker> <epoch> <token>`                    |
 //! | worker → coordinator  | `hb <worker> <epoch> <seq>`                           |
 //! | worker → coordinator  | `result <worker> <lease_id> <epoch> <flat> <outcome>` |
 //! | coordinator → worker  | `lease <lease_id> <epoch> <flat> <attempt>`           |
 //! | coordinator → worker  | `shutdown`                                            |
+//!
+//! `hello2`/`welcome` are the socket handshake: a first connection carries
+//! token 0 and is answered with a freshly minted session token; a
+//! reconnecting worker echoes the token it was welcomed with, which lets the
+//! coordinator re-attach the connection to the worker's existing lease view
+//! instead of forking a new session (DESIGN.md §15).
 //!
 //! `<outcome>` is the journal's single-token [`RawOutcome`] codec
 //! ([`RawOutcome::encode_wire`]), so a reply the coordinator accepts is
@@ -34,6 +42,14 @@
 use hypermapper::journal::crc32;
 use hypermapper::RawOutcome;
 use std::fmt;
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+use std::sync::{Arc, Mutex};
+
+/// Upper bound on one frame line, newline included. Every legitimate message
+/// is far below this; anything longer is a corrupt or hostile stream, and the
+/// reader discards to the next newline rather than buffering without bound.
+pub const MAX_FRAME_LEN: usize = 64 * 1024;
 
 /// A protocol message, either direction.
 #[derive(Debug, Clone, PartialEq)]
@@ -82,6 +98,31 @@ pub enum Msg {
     },
     /// Coordinator asks the worker to exit cleanly.
     Shutdown,
+    /// Socket handshake, worker → coordinator: like [`Msg::Hello`] plus the
+    /// session token. Token 0 means "no prior session" (first connect); a
+    /// nonzero token is the one a previous [`Msg::Welcome`] granted, asking
+    /// to resume that session.
+    HelloSocket {
+        /// Worker index assigned at spawn (or via `--worker-id`).
+        worker: u32,
+        /// Worker epoch the worker runs under.
+        epoch: u64,
+        /// OS process id, for diagnostics.
+        pid: u32,
+        /// Session token from a prior welcome, or 0 on first connect.
+        token: u64,
+    },
+    /// Socket handshake, coordinator → worker: accepts the connection and
+    /// binds it to a session. The worker must adopt `epoch` and echo `token`
+    /// on every future reconnect.
+    Welcome {
+        /// Worker index the coordinator bound this connection to.
+        worker: u32,
+        /// The authoritative worker epoch for this session.
+        epoch: u64,
+        /// Session token; nonzero, unique per (worker, incarnation).
+        token: u64,
+    },
 }
 
 /// Why a frame failed to decode.
@@ -95,6 +136,9 @@ pub enum FrameError {
     Checksum,
     /// Framing was intact but the body was not a known message.
     Body,
+    /// The line exceeded [`MAX_FRAME_LEN`] before a newline arrived; the
+    /// reader discarded bytes up to the next newline to resynchronise.
+    Oversize,
 }
 
 impl fmt::Display for FrameError {
@@ -104,6 +148,7 @@ impl fmt::Display for FrameError {
             FrameError::Length => "length mismatch",
             FrameError::Checksum => "checksum mismatch",
             FrameError::Body => "unparseable body",
+            FrameError::Oversize => "oversize frame",
         };
         f.write_str(what)
     }
@@ -120,6 +165,10 @@ fn encode_body(msg: &Msg) -> String {
             format!("lease {lease_id} {epoch} {flat} {attempt}")
         }
         Msg::Shutdown => "shutdown".to_string(),
+        Msg::HelloSocket { worker, epoch, pid, token } => {
+            format!("hello2 {worker} {epoch} {pid} {token}")
+        }
+        Msg::Welcome { worker, epoch, token } => format!("welcome {worker} {epoch} {token}"),
     }
 }
 
@@ -157,6 +206,17 @@ fn decode_body(body: &str) -> Option<Msg> {
             attempt: it.next()?.parse().ok()?,
         },
         "shutdown" => Msg::Shutdown,
+        "hello2" => Msg::HelloSocket {
+            worker: it.next()?.parse().ok()?,
+            epoch: it.next()?.parse().ok()?,
+            pid: it.next()?.parse().ok()?,
+            token: it.next()?.parse().ok()?,
+        },
+        "welcome" => Msg::Welcome {
+            worker: it.next()?.parse().ok()?,
+            epoch: it.next()?.parse().ok()?,
+            token: it.next()?.parse().ok()?,
+        },
         _ => return None,
     };
     if it.next().is_some() {
@@ -195,6 +255,269 @@ pub fn garble_frame(frame: &str) -> String {
     String::from_utf8_lossy(&bytes).into_owned()
 }
 
+/// Incremental, bounded frame reader over any byte stream.
+///
+/// Unlike `BufRead::read_line`, this reader:
+///
+/// - survives read timeouts: a `WouldBlock`/`TimedOut` error is returned to
+///   the caller but the partial line stays buffered, so the next call resumes
+///   mid-frame instead of losing bytes (essential under `set_read_timeout`);
+/// - bounds memory: a line longer than [`MAX_FRAME_LEN`] yields
+///   [`FrameError::Oversize`] once and the reader discards to the next
+///   newline to resynchronise;
+/// - treats mid-frame EOF as data, not silence: a non-empty tail without a
+///   newline is decoded (and, being truncated, fails the length or checksum
+///   test as a *checked* error — never a silent short read).
+pub struct FrameReader<R> {
+    inner: R,
+    buf: Vec<u8>,
+    /// Bytes of `buf` already scanned for a newline; avoids re-scanning the
+    /// prefix after every short read.
+    scanned: usize,
+    /// True while discarding an oversize line's tail.
+    skipping: bool,
+    /// EOF has been observed on `inner`.
+    eof: bool,
+}
+
+/// One step of [`FrameReader::next_frame`].
+#[derive(Debug, PartialEq)]
+pub enum Framed {
+    /// A complete line arrived and decoded as a message.
+    Msg(Msg),
+    /// A complete line arrived but failed to decode; the reader is already
+    /// aligned on the next line.
+    Bad(FrameError),
+    /// Clean end of stream: no buffered bytes remain.
+    Eof,
+}
+
+impl<R: Read> FrameReader<R> {
+    /// Wrap a byte stream.
+    pub fn new(inner: R) -> Self {
+        FrameReader { inner, buf: Vec::new(), scanned: 0, skipping: false, eof: false }
+    }
+
+    /// Read until one frame line (or EOF) is available. Timeout-style errors
+    /// (`WouldBlock`, `TimedOut`) are surfaced as `Err` with all partial
+    /// input retained; call again to resume. `Interrupted` is retried
+    /// internally.
+    pub fn next_frame(&mut self) -> io::Result<Framed> {
+        loop {
+            // Scan unscanned bytes for a line terminator.
+            if let Some(pos) = self.buf[self.scanned..].iter().position(|&b| b == b'\n') {
+                let end = self.scanned + pos;
+                let line: Vec<u8> = self.buf.drain(..=end).collect();
+                self.scanned = 0;
+                if self.skipping {
+                    // Tail of an oversize line: already reported, just drop.
+                    self.skipping = false;
+                    continue;
+                }
+                return Ok(framed_from_line(&line[..line.len() - 1]));
+            }
+            self.scanned = self.buf.len();
+            if self.skipping {
+                // Discard the oversize body as it streams in.
+                self.buf.clear();
+                self.scanned = 0;
+            } else if self.buf.len() > MAX_FRAME_LEN {
+                self.buf.clear();
+                self.scanned = 0;
+                self.skipping = true;
+                return Ok(Framed::Bad(FrameError::Oversize));
+            }
+            if self.eof {
+                if self.buf.is_empty() || self.skipping {
+                    return Ok(Framed::Eof);
+                }
+                // Mid-frame EOF: decode the unterminated tail as-is. A
+                // truncated frame fails Length/Checksum; a complete frame
+                // that merely lost its newline still decodes.
+                let tail: Vec<u8> = self.buf.drain(..).collect();
+                self.scanned = 0;
+                return Ok(framed_from_line(&tail));
+            }
+            let mut chunk = [0u8; 4096];
+            match self.inner.read(&mut chunk) {
+                Ok(0) => self.eof = true,
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+fn framed_from_line(line: &[u8]) -> Framed {
+    match std::str::from_utf8(line) {
+        Ok(s) => match decode_frame(s) {
+            Ok(msg) => Framed::Msg(msg),
+            Err(e) => Framed::Bad(e),
+        },
+        Err(_) => Framed::Bad(FrameError::Malformed),
+    }
+}
+
+/// A detachable, thread-shared frame writer.
+///
+/// The worker's heartbeat thread and serve loop both write frames; wrapping
+/// the sink in one mutex keeps each `write_all + flush` atomic so frames
+/// never interleave. The sink is an `Option` so a socket worker can detach it
+/// during a reconnect window — sends then fail fast (reported as `false`)
+/// instead of racing the handshake.
+#[derive(Clone)]
+pub struct SharedWriter {
+    sink: Arc<Mutex<Option<Box<dyn Write + Send>>>>,
+}
+
+impl Default for SharedWriter {
+    fn default() -> Self {
+        Self::detached()
+    }
+}
+
+impl SharedWriter {
+    /// A writer with no sink attached; sends fail until [`Self::attach`].
+    pub fn detached() -> Self {
+        SharedWriter { sink: Arc::new(Mutex::new(None)) }
+    }
+
+    /// A writer over the given sink.
+    pub fn new(sink: Box<dyn Write + Send>) -> Self {
+        SharedWriter { sink: Arc::new(Mutex::new(Some(sink))) }
+    }
+
+    /// Replace the sink (e.g. after a socket reconnect).
+    pub fn attach(&self, sink: Box<dyn Write + Send>) {
+        *self.lock() = Some(sink);
+    }
+
+    /// Drop the sink; subsequent sends fail fast.
+    pub fn detach(&self) {
+        *self.lock() = None;
+    }
+
+    /// True when a sink is attached.
+    pub fn is_attached(&self) -> bool {
+        self.lock().is_some()
+    }
+
+    /// Write one message atomically. Returns `false` when detached or on any
+    /// I/O error (the caller decides whether that is fatal).
+    pub fn send(&self, msg: &Msg) -> bool {
+        self.send_raw(&encode_frame(msg))
+    }
+
+    /// Write a pre-encoded frame (or deliberately corrupted bytes, for the
+    /// chaos harness) atomically.
+    pub fn send_raw(&self, frame: &str) -> bool {
+        let mut guard = self.lock();
+        match guard.as_mut() {
+            Some(sink) => {
+                let ok = sink.write_all(frame.as_bytes()).and_then(|_| sink.flush()).is_ok();
+                if !ok {
+                    *guard = None; // a broken sink stays broken; fail fast from now on
+                }
+                ok
+            }
+            None => false,
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Option<Box<dyn Write + Send>>> {
+        // A poisoned lock only means another thread panicked mid-send; the
+        // Option state is still coherent.
+        self.sink.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+/// How a worker reaches its coordinator: the byte-stream pair the wire
+/// protocol runs over. Both directions speak identical frames, so the lease
+/// machinery above this layer cannot tell transports apart — which is the
+/// whole point: fingerprints must not change when the pipe becomes a socket.
+pub trait Transport {
+    /// The read side, to feed a [`FrameReader`].
+    fn reader(&mut self) -> io::Result<Box<dyn Read + Send>>;
+    /// The write side, to attach to a [`SharedWriter`].
+    fn writer(&mut self) -> io::Result<Box<dyn Write + Send>>;
+    /// Bound how long a single read may block, where the stream supports it
+    /// (no-op for stdio: pipe reads are unbounded, as before PR 9).
+    fn set_read_timeout_ms(&mut self, _ms: u64) -> io::Result<()> {
+        Ok(())
+    }
+    /// Tear the connection down (both directions where applicable).
+    fn shutdown(&mut self);
+}
+
+/// The PR-7 transport: the process's own stdin/stdout. Spawned stdio workers
+/// keep byte-identical behavior — this is a rename, not a rewrite.
+pub struct StdioTransport;
+
+impl Transport for StdioTransport {
+    fn reader(&mut self) -> io::Result<Box<dyn Read + Send>> {
+        Ok(Box::new(io::stdin()))
+    }
+    fn writer(&mut self) -> io::Result<Box<dyn Write + Send>> {
+        Ok(Box::new(io::stdout()))
+    }
+    fn shutdown(&mut self) {}
+}
+
+/// A TCP connection to the coordinator, std-only. `TcpStream::try_clone`
+/// gives independently owned read/write halves over one socket.
+pub struct SocketTransport {
+    stream: TcpStream,
+}
+
+impl SocketTransport {
+    /// Connect to `addr` (e.g. `127.0.0.1:7071`), with Nagle disabled — the
+    /// protocol is small request/response frames, exactly the case delayed
+    /// ACK + Nagle interact badly with.
+    pub fn connect(addr: &str, io_timeout_ms: u64) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        if io_timeout_ms > 0 {
+            let t = std::time::Duration::from_millis(io_timeout_ms);
+            stream.set_read_timeout(Some(t))?;
+            stream.set_write_timeout(Some(t))?;
+        }
+        Ok(SocketTransport { stream })
+    }
+
+    /// Wrap an accepted stream (coordinator side).
+    pub fn from_stream(stream: TcpStream) -> Self {
+        SocketTransport { stream }
+    }
+
+    /// The underlying stream, for peer-address diagnostics.
+    pub fn stream(&self) -> &TcpStream {
+        &self.stream
+    }
+}
+
+impl Transport for SocketTransport {
+    fn reader(&mut self) -> io::Result<Box<dyn Read + Send>> {
+        Ok(Box::new(self.stream.try_clone()?))
+    }
+    fn writer(&mut self) -> io::Result<Box<dyn Write + Send>> {
+        Ok(Box::new(self.stream.try_clone()?))
+    }
+    fn set_read_timeout_ms(&mut self, ms: u64) -> io::Result<()> {
+        let t = if ms == 0 { None } else { Some(std::time::Duration::from_millis(ms)) };
+        self.stream.set_read_timeout(t)
+    }
+    fn shutdown(&mut self) {
+        let _ = self.stream.shutdown(std::net::Shutdown::Both);
+    }
+}
+
+/// True for the error kinds a read timeout produces (platform-dependent:
+/// `WouldBlock` on Unix, `TimedOut` on Windows).
+pub fn is_timeout(e: &io::Error) -> bool {
+    matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -212,6 +535,9 @@ mod tests {
         roundtrip(Msg::Heartbeat { worker: 0, epoch: 1, seq: 42 });
         roundtrip(Msg::Lease { lease_id: 9, epoch: 2, flat: 123456, attempt: 4 });
         roundtrip(Msg::Shutdown);
+        roundtrip(Msg::HelloSocket { worker: 5, epoch: 3, pid: 999, token: 0 });
+        roundtrip(Msg::HelloSocket { worker: 5, epoch: 3, pid: 999, token: u64::MAX });
+        roundtrip(Msg::Welcome { worker: 5, epoch: 4, token: 0xdead_beef });
         roundtrip(Msg::Result {
             worker: 1,
             lease_id: 9,
@@ -275,5 +601,113 @@ mod tests {
         let body = "shutdown now";
         let line = format!("{:08x} {:08x} {body}", body.len(), crc32(body.as_bytes()));
         assert_eq!(decode_frame(&line), Err(FrameError::Body));
+    }
+
+    #[test]
+    fn frame_reader_walks_a_mixed_stream() {
+        let good = encode_frame(&Msg::Heartbeat { worker: 1, epoch: 1, seq: 1 });
+        let lease = encode_frame(&Msg::Lease { lease_id: 2, epoch: 1, flat: 9, attempt: 1 });
+        let stream = format!("{good}garbage line\n{}{lease}", garble_frame(&good));
+        let mut r = FrameReader::new(stream.as_bytes());
+        assert_eq!(
+            r.next_frame().unwrap(),
+            Framed::Msg(Msg::Heartbeat { worker: 1, epoch: 1, seq: 1 })
+        );
+        assert_eq!(r.next_frame().unwrap(), Framed::Bad(FrameError::Malformed));
+        assert_eq!(r.next_frame().unwrap(), Framed::Bad(FrameError::Checksum));
+        assert_eq!(
+            r.next_frame().unwrap(),
+            Framed::Msg(Msg::Lease { lease_id: 2, epoch: 1, flat: 9, attempt: 1 })
+        );
+        assert_eq!(r.next_frame().unwrap(), Framed::Eof);
+        assert_eq!(r.next_frame().unwrap(), Framed::Eof);
+    }
+
+    #[test]
+    fn frame_reader_reports_mid_frame_eof_as_checked_error() {
+        let frame = encode_frame(&Msg::Lease { lease_id: 7, epoch: 1, flat: 3, attempt: 2 });
+        let cut = &frame.as_bytes()[..frame.len() - 4]; // lose newline + 3 body bytes
+        let mut r = FrameReader::new(cut);
+        match r.next_frame().unwrap() {
+            Framed::Bad(FrameError::Length | FrameError::Checksum) => {}
+            other => panic!("truncated tail must fail checked, got {other:?}"),
+        }
+        assert_eq!(r.next_frame().unwrap(), Framed::Eof);
+    }
+
+    #[test]
+    fn frame_reader_bounds_oversize_lines_and_resyncs() {
+        let good = encode_frame(&Msg::Shutdown);
+        let mut stream = vec![b'x'; MAX_FRAME_LEN + 5000];
+        stream.push(b'\n');
+        stream.extend_from_slice(good.as_bytes());
+        let mut r = FrameReader::new(&stream[..]);
+        assert_eq!(r.next_frame().unwrap(), Framed::Bad(FrameError::Oversize));
+        assert_eq!(r.next_frame().unwrap(), Framed::Msg(Msg::Shutdown));
+        assert_eq!(r.next_frame().unwrap(), Framed::Eof);
+    }
+
+    #[test]
+    fn frame_reader_retains_partials_across_timeouts() {
+        // A reader that yields the frame in two chunks with a timeout error
+        // between them: the partial first half must survive the error.
+        struct Chunky {
+            chunks: Vec<Vec<u8>>,
+            timeouts_between: bool,
+            last_was_data: bool,
+        }
+        impl io::Read for Chunky {
+            fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+                if self.timeouts_between && self.last_was_data {
+                    self.last_was_data = false;
+                    return Err(io::Error::new(io::ErrorKind::WouldBlock, "timeout"));
+                }
+                match self.chunks.pop() {
+                    Some(c) => {
+                        buf[..c.len()].copy_from_slice(&c);
+                        self.last_was_data = true;
+                        Ok(c.len())
+                    }
+                    None => Ok(0),
+                }
+            }
+        }
+        let frame = encode_frame(&Msg::Heartbeat { worker: 2, epoch: 5, seq: 9 });
+        let mid = frame.len() / 2;
+        let mut r = FrameReader::new(Chunky {
+            chunks: vec![frame.as_bytes()[mid..].to_vec(), frame.as_bytes()[..mid].to_vec()],
+            timeouts_between: true,
+            last_was_data: false,
+        });
+        let e = r.next_frame().expect_err("first call must surface the timeout");
+        assert!(is_timeout(&e));
+        assert_eq!(
+            r.next_frame().unwrap(),
+            Framed::Msg(Msg::Heartbeat { worker: 2, epoch: 5, seq: 9 })
+        );
+    }
+
+    #[test]
+    fn shared_writer_detach_fails_fast_and_reattaches() {
+        let w = SharedWriter::detached();
+        assert!(!w.is_attached());
+        assert!(!w.send(&Msg::Shutdown));
+        let buf: Arc<Mutex<Vec<u8>>> = Arc::new(Mutex::new(Vec::new()));
+        struct Sink(Arc<Mutex<Vec<u8>>>);
+        impl io::Write for Sink {
+            fn write(&mut self, b: &[u8]) -> io::Result<usize> {
+                self.0.lock().unwrap_or_else(|e| e.into_inner()).extend_from_slice(b);
+                Ok(b.len())
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        w.attach(Box::new(Sink(Arc::clone(&buf))));
+        assert!(w.send(&Msg::Shutdown));
+        w.detach();
+        assert!(!w.send(&Msg::Shutdown));
+        let got = buf.lock().unwrap_or_else(|e| e.into_inner()).clone();
+        assert_eq!(String::from_utf8(got).unwrap(), encode_frame(&Msg::Shutdown));
     }
 }

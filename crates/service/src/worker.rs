@@ -8,20 +8,36 @@
 //! no-op and the binary proceeds as the coordinator; in a child it never
 //! returns.
 //!
-//! A worker is a loop over stdin frames: `lease` → evaluate → `result`, with
-//! a side thread emitting heartbeats. All sabotage (the [`crate::chaos`]
-//! faults) is *self-inflicted* here, keyed on the lease's `(flat, attempt)`,
-//! so the coordinator code path under test is identical with and without
-//! chaos.
+//! A worker is a loop over inbound frames: `lease` → evaluate → `result`,
+//! with a side thread emitting heartbeats. Two transports carry the frames:
+//!
+//! - **stdio** (the PR-7 default): the coordinator owns the worker's
+//!   stdin/stdout pipes. Liveness is EOF — pipes cannot half-open.
+//! - **socket** ([`ENV_CONNECT`] set, or [`run_socket_worker`]): the worker
+//!   dials the coordinator's TCP listener, performs the `hello2`/`welcome`
+//!   handshake, and *reconnects with capped-exponential backoff* whenever
+//!   the link drops, presenting its session token so the coordinator resumes
+//!   the same lease view instead of forking a new session.
+//!
+//! All sabotage (the [`crate::chaos`] faults) is *self-inflicted* here,
+//! keyed on the lease's `(flat, attempt)`, so the coordinator code path
+//! under test is identical with and without chaos. Socket workers add the
+//! [`NetFault`] layer around result sends: drops, delays, reorders,
+//! duplicate retransmits, mid-frame truncations, partitions, and reconnect
+//! storms — the coordinator only ever *observes* network weather.
 
-use crate::chaos::{ChaosPlan, Fault};
-use crate::wire::{decode_frame, encode_frame, garble_frame, Msg};
+use crate::chaos::{ChaosPlan, Fault, NetChaosPlan, NetFault};
+use crate::lease::regrant_backoff_ms;
+use crate::wire::{
+    encode_frame, garble_frame, is_timeout, FrameReader, Framed, Msg, SharedWriter,
+    SocketTransport, Transport,
+};
 use hypermapper::evaluate::Evaluator;
 use hypermapper::journal::RawOutcome;
 use hypermapper::space::ParamSpace;
 use hypermapper::EvalError;
-use std::io::{self, BufRead, Write};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::io::{self, Write};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -37,11 +53,28 @@ pub const ENV_WORKER_ID: &str = "HM_SERVICE_WORKER_ID";
 pub const ENV_HEARTBEAT_MS: &str = "HM_SERVICE_HEARTBEAT_MS";
 /// Optional [`ChaosPlan::encode`] string enabling self-sabotage.
 pub const ENV_CHAOS: &str = "HM_SERVICE_CHAOS";
+/// Coordinator socket address (`host:port`). Presence selects the socket
+/// transport; absence selects stdio.
+pub const ENV_CONNECT: &str = "HM_SERVICE_CONNECT";
+/// Optional [`NetChaosPlan::encode`] string enabling network self-sabotage
+/// (socket transport only).
+pub const ENV_NET_CHAOS: &str = "HM_SERVICE_NET_CHAOS";
 
 /// Exit code for a clean worker shutdown (EOF or `shutdown` frame).
 const EXIT_OK: i32 = 0;
 /// Exit code when the worker environment is missing or malformed.
 const EXIT_BAD_ENV: i32 = 2;
+/// Exit code when a socket worker exhausts its reconnect budget.
+const EXIT_NO_COORDINATOR: i32 = 3;
+
+/// Socket read timeout: doubles as the tick that flushes a held
+/// [`NetFault::Reorder`] frame when no later send displaces it.
+const SOCKET_TICK_MS: u64 = 200;
+/// Reconnect budget: capped-exponential backoff (base 25 ms, cap 500 ms)
+/// over this many attempts spans ~18 s of coordinator absence.
+const RECONNECT_ATTEMPTS: u32 = 40;
+const RECONNECT_BASE_MS: u64 = 25;
+const RECONNECT_CAP_MS: u64 = 500;
 
 /// Route a worker process into its serve loop; no-op in the coordinator.
 ///
@@ -58,7 +91,10 @@ where
     if std::env::var(ENV_ROLE).as_deref() != Ok(ROLE_WORKER) {
         return;
     }
-    let code = serve(factory);
+    let code = match std::env::var(ENV_CONNECT) {
+        Ok(addr) => serve_socket_env(factory, addr),
+        Err(_) => serve(factory),
+    };
     std::process::exit(code);
 }
 
@@ -66,7 +102,7 @@ fn env_u64(name: &str) -> Option<u64> {
     std::env::var(name).ok()?.parse().ok()
 }
 
-/// Write one frame atomically: stdout's internal lock spans the whole
+/// Write one frame atomically to stdout: its internal lock spans the whole
 /// `write_all` + `flush`, so heartbeat and result frames never interleave.
 fn send(frame: &str) {
     let mut out = io::stdout().lock();
@@ -74,6 +110,78 @@ fn send(frame: &str) {
         // The coordinator is gone; there is nobody left to serve.
         std::process::exit(EXIT_OK);
     }
+}
+
+/// Outcome of servicing one lease, before the reply leaves the process.
+enum Served {
+    /// A result frame to deliver, plus the process fault that still applies
+    /// to its *delivery* (garble/late/duplicate).
+    Reply(String, Option<Fault>),
+    /// The fault demands the process stop serving (freeze ran its course).
+    Exit(i32),
+}
+
+/// Evaluate one lease under the process-level fault schedule. Shared by both
+/// transports so sabotage semantics cannot drift between them. `Kill`
+/// aborts here; `Stall`/`Freeze` sleep here; delivery-time faults are
+/// returned for the caller's send path to apply.
+#[allow(clippy::too_many_arguments)]
+fn service_lease<E: Evaluator>(
+    space: &ParamSpace,
+    evaluator: &E,
+    chaos: &ChaosPlan,
+    mute: &AtomicBool,
+    worker: u32,
+    epoch: u64,
+    lease_id: u64,
+    flat: u64,
+    attempt: u32,
+) -> Served {
+    let fault = chaos.fault_for(flat, attempt);
+    match fault {
+        Some(Fault::Kill) => {
+            // No reply, no cleanup: the closest safe stand-in for SIGKILL.
+            // Pipes close / the socket resets, and the coordinator notices.
+            std::process::abort();
+        }
+        Some(Fault::Stall) => {
+            std::thread::sleep(Duration::from_millis(chaos.stall_ms));
+        }
+        Some(Fault::Freeze) => {
+            // Look wedged: heartbeats stop but the process (and any socket)
+            // stays open. The coordinator must reclaim us via heartbeat
+            // grace, never via a blocking read. Exit eventually so a
+            // coordinator bug cannot hang the harness.
+            mute.store(true, Ordering::Relaxed);
+            std::thread::sleep(Duration::from_millis(chaos.stall_ms.saturating_mul(4)));
+            return Served::Exit(EXIT_OK);
+        }
+        _ => {}
+    }
+
+    let outcome = if flat < space.size() {
+        RawOutcome::from_detailed(evaluator.try_evaluate_detailed(&space.config_at(flat)))
+    } else {
+        // Defensive: a framing bug upstream must not panic the worker.
+        RawOutcome::Err {
+            error: EvalError::Transient {
+                reason: format!("flat index {flat} out of range for this space"),
+            },
+            attempts: 1,
+            elapsed_ms: 0,
+        }
+    };
+
+    let reply_epoch = match fault {
+        Some(Fault::StaleEpoch) => epoch.saturating_sub(1),
+        _ => epoch,
+    };
+    let mut frame =
+        encode_frame(&Msg::Result { worker, lease_id, epoch: reply_epoch, flat, outcome });
+    if fault == Some(Fault::Garble) {
+        frame = garble_frame(&frame);
+    }
+    Served::Reply(frame, fault)
 }
 
 fn serve<E, F>(factory: F) -> i32
@@ -119,72 +227,375 @@ where
         }
     });
 
-    let stdin = io::stdin();
-    let mut line = String::new();
+    let mut reader = FrameReader::new(io::stdin());
     loop {
-        line.clear();
-        let mut input = stdin.lock();
-        match input.read_line(&mut line) {
-            Ok(0) | Err(_) => return EXIT_OK, // coordinator hung up
-            Ok(_) => {}
-        }
-        drop(input);
-        let (lease_id, flat, attempt) = match decode_frame(&line) {
-            Ok(Msg::Lease { lease_id, epoch: _, flat, attempt }) => (lease_id, flat, attempt),
-            Ok(Msg::Shutdown) => return EXIT_OK,
+        let (lease_id, flat, attempt) = match reader.next_frame() {
+            Ok(Framed::Msg(Msg::Lease { lease_id, epoch: _, flat, attempt })) => {
+                (lease_id, flat, attempt)
+            }
+            Ok(Framed::Msg(Msg::Shutdown)) => return EXIT_OK,
+            Ok(Framed::Eof) => return EXIT_OK, // coordinator hung up
             // The coordinator never sends anything else; drop noise rather
             // than die over it.
-            Ok(_) | Err(_) => continue,
+            Ok(Framed::Msg(_) | Framed::Bad(_)) => continue,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => return EXIT_OK,
         };
 
-        let fault = chaos.fault_for(flat, attempt);
-        match fault {
-            Some(Fault::Kill) => {
-                // No reply, no cleanup: the closest safe stand-in for
-                // SIGKILL. Pipes close, the coordinator sees EOF.
-                std::process::abort();
+        match service_lease(
+            &space, &evaluator, &chaos, &mute, worker, epoch, lease_id, flat, attempt,
+        ) {
+            Served::Exit(code) => return code,
+            Served::Reply(frame, fault) => {
+                if fault == Some(Fault::Late) {
+                    std::thread::sleep(Duration::from_millis(chaos.late_ms));
+                }
+                send(&frame);
+                if fault == Some(Fault::Duplicate) {
+                    send(&frame);
+                }
             }
-            Some(Fault::Stall) => {
-                std::thread::sleep(Duration::from_millis(chaos.stall_ms));
-            }
-            Some(Fault::Freeze) => {
-                // Look wedged: heartbeats stop but the process lives. The
-                // coordinator must reclaim us via heartbeat grace. Exit
-                // eventually so a coordinator bug cannot hang the harness.
-                mute.store(true, Ordering::Relaxed);
-                std::thread::sleep(Duration::from_millis(chaos.stall_ms.saturating_mul(4)));
-                return EXIT_OK;
-            }
-            _ => {}
-        }
-
-        let outcome = if flat < space.size() {
-            RawOutcome::from_detailed(evaluator.try_evaluate_detailed(&space.config_at(flat)))
-        } else {
-            // Defensive: a framing bug upstream must not panic the worker.
-            RawOutcome::Err {
-                error: EvalError::Transient {
-                    reason: format!("flat index {flat} out of range for this space"),
-                },
-                attempts: 1,
-                elapsed_ms: 0,
-            }
-        };
-
-        let reply_epoch = match fault {
-            Some(Fault::StaleEpoch) => epoch.saturating_sub(1),
-            _ => epoch,
-        };
-        let mut frame =
-            encode_frame(&Msg::Result { worker, lease_id, epoch: reply_epoch, flat, outcome });
-        match fault {
-            Some(Fault::Garble) => frame = garble_frame(&frame),
-            Some(Fault::Late) => std::thread::sleep(Duration::from_millis(chaos.late_ms)),
-            _ => {}
-        }
-        send(&frame);
-        if fault == Some(Fault::Duplicate) {
-            send(&frame);
         }
     }
+}
+
+/// Everything a socket worker needs to find and keep finding its
+/// coordinator.
+pub struct SocketWorkerParams {
+    /// Coordinator listener address, `host:port`.
+    pub addr: String,
+    /// Worker index within the coordinator's pool.
+    pub worker: u32,
+    /// Worker epoch to announce; the coordinator's `welcome` is
+    /// authoritative and overrides this.
+    pub epoch: u64,
+    /// Heartbeat period in ms.
+    pub heartbeat_ms: u64,
+    /// Process-level fault schedule.
+    pub chaos: ChaosPlan,
+    /// Network-level fault schedule.
+    pub net_chaos: NetChaosPlan,
+}
+
+/// The socket worker's connection state machine: dial → `hello2` → await
+/// `welcome` → serve; on any link failure, redial with deterministic
+/// capped-exponential backoff, presenting the session token so the
+/// coordinator resumes this worker's lease view.
+struct SocketSession {
+    params: SocketWorkerParams,
+    /// Session token from the last `welcome`; 0 before the first handshake.
+    token: u64,
+    /// Authoritative epoch, shared with the heartbeat thread. 0 means "not
+    /// yet welcomed", which also mutes heartbeats.
+    epoch: Arc<AtomicU64>,
+    writer: SharedWriter,
+    transport: Option<SocketTransport>,
+}
+
+impl SocketSession {
+    /// Sever the current link (if any) and leave the writer detached so the
+    /// heartbeat thread fails fast instead of racing the next handshake.
+    fn disconnect(&mut self) {
+        self.writer.detach();
+        if let Some(mut t) = self.transport.take() {
+            t.shutdown();
+        }
+    }
+
+    /// Dial until welcomed or the attempt budget runs out. On success the
+    /// writer is attached and the returned [`FrameReader`] — which must be
+    /// used for *all* subsequent reads, since the coordinator may pipeline a
+    /// lease right behind the `welcome` — is positioned after the handshake.
+    fn connect(&mut self) -> Option<FrameReader<Box<dyn io::Read + Send>>> {
+        self.disconnect();
+        for attempt in 1..=RECONNECT_ATTEMPTS {
+            match self.try_handshake() {
+                Some(reader) => return Some(reader),
+                None => std::thread::sleep(Duration::from_millis(regrant_backoff_ms(
+                    RECONNECT_BASE_MS,
+                    attempt,
+                    RECONNECT_CAP_MS,
+                ))),
+            }
+        }
+        None
+    }
+
+    fn try_handshake(&mut self) -> Option<FrameReader<Box<dyn io::Read + Send>>> {
+        let mut transport = SocketTransport::connect(&self.params.addr, SOCKET_TICK_MS).ok()?;
+        let mut write_half = transport.writer().ok()?;
+        let hello = encode_frame(&Msg::HelloSocket {
+            worker: self.params.worker,
+            epoch: self.epoch.load(Ordering::Relaxed).max(self.params.epoch),
+            pid: std::process::id(),
+            token: self.token,
+        });
+        write_half.write_all(hello.as_bytes()).and_then(|_| write_half.flush()).ok()?;
+        let mut reader = FrameReader::new(transport.reader().ok()?);
+        // Await the welcome for up to ~2 s of read ticks.
+        let mut ticks = 0u32;
+        loop {
+            match reader.next_frame() {
+                Ok(Framed::Msg(Msg::Welcome { worker, epoch, token })) => {
+                    if worker != self.params.worker {
+                        return None;
+                    }
+                    self.epoch.store(epoch, Ordering::Relaxed);
+                    self.token = token;
+                    self.writer.attach(write_half);
+                    self.transport = Some(transport);
+                    return Some(reader);
+                }
+                Ok(Framed::Bad(_)) => continue,
+                Ok(Framed::Msg(_)) => continue,
+                Ok(Framed::Eof) => return None,
+                Err(e) if is_timeout(&e) => {
+                    ticks += 1;
+                    if ticks as u64 * SOCKET_TICK_MS > 2_000 {
+                        return None;
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => return None,
+            }
+        }
+    }
+}
+
+fn serve_socket_env<E, F>(factory: F, addr: String) -> i32
+where
+    E: Evaluator,
+    F: FnOnce() -> (ParamSpace, E),
+{
+    let (Some(epoch), Some(worker), Some(heartbeat_ms)) =
+        (env_u64(ENV_EPOCH), env_u64(ENV_WORKER_ID), env_u64(ENV_HEARTBEAT_MS))
+    else {
+        eprintln!("hm-service worker: missing or malformed identity environment");
+        return EXIT_BAD_ENV;
+    };
+    let chaos = match std::env::var(ENV_CHAOS) {
+        Ok(s) => match ChaosPlan::decode(&s) {
+            Some(plan) => plan,
+            None => {
+                eprintln!("hm-service worker: malformed {ENV_CHAOS}");
+                return EXIT_BAD_ENV;
+            }
+        },
+        Err(_) => ChaosPlan::quiet(),
+    };
+    let net_chaos = match std::env::var(ENV_NET_CHAOS) {
+        Ok(s) => match NetChaosPlan::decode(&s) {
+            Some(plan) => plan,
+            None => {
+                eprintln!("hm-service worker: malformed {ENV_NET_CHAOS}");
+                return EXIT_BAD_ENV;
+            }
+        },
+        Err(_) => NetChaosPlan::quiet(),
+    };
+    run_socket_worker(
+        factory,
+        SocketWorkerParams {
+            addr,
+            worker: worker as u32,
+            epoch,
+            heartbeat_ms,
+            chaos,
+            net_chaos,
+        },
+    )
+}
+
+/// Run the socket worker loop until shutdown. Public so binaries can offer a
+/// `--connect` mode for genuinely remote workers (no spawning coordinator on
+/// this machine); returns the process exit code.
+pub fn run_socket_worker<E, F>(factory: F, params: SocketWorkerParams) -> i32
+where
+    E: Evaluator,
+    F: FnOnce() -> (ParamSpace, E),
+{
+    let (space, evaluator) = factory();
+    let heartbeat_ms = params.heartbeat_ms;
+    let worker = params.worker;
+    let chaos = params.chaos;
+    let net = params.net_chaos;
+
+    let mute = Arc::new(AtomicBool::new(false));
+    let epoch = Arc::new(AtomicU64::new(0));
+    let writer = SharedWriter::detached();
+
+    // Heartbeats: skip while detached (reconnect window) or pre-welcome
+    // (epoch 0) — a heartbeat must never race the handshake onto the wire.
+    {
+        let mute = Arc::clone(&mute);
+        let epoch = Arc::clone(&epoch);
+        let writer = writer.clone();
+        std::thread::spawn(move || {
+            let mut seq = 0u64;
+            loop {
+                std::thread::sleep(Duration::from_millis(heartbeat_ms.max(1)));
+                let e = epoch.load(Ordering::Relaxed);
+                if mute.load(Ordering::Relaxed) || e == 0 || !writer.is_attached() {
+                    continue;
+                }
+                seq += 1;
+                writer.send(&Msg::Heartbeat { worker, epoch: e, seq });
+            }
+        });
+    }
+
+    let mut session = SocketSession {
+        params,
+        token: 0,
+        epoch: Arc::clone(&epoch),
+        writer: writer.clone(),
+        transport: None,
+    };
+    let Some(mut reader) = session.connect() else {
+        eprintln!("hm-service worker {worker}: no coordinator at {}", session.params.addr);
+        return EXIT_NO_COORDINATOR;
+    };
+
+    // A frame held back by NetFault::Reorder, delivered after the next send
+    // (or on a read-timeout tick, so it cannot be held forever).
+    let mut pending: Option<String> = None;
+
+    loop {
+        match reader.next_frame() {
+            Err(e) if is_timeout(&e) => {
+                if let Some(p) = pending.take() {
+                    session.writer.send_raw(&p);
+                }
+                continue;
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) | Ok(Framed::Eof) => {
+                // Link lost: flush any held frame on the next link, after
+                // reconnecting with the session token.
+                match session.connect() {
+                    Some(r) => {
+                        reader = r;
+                        if let Some(p) = pending.take() {
+                            session.writer.send_raw(&p);
+                        }
+                    }
+                    None => return EXIT_NO_COORDINATOR,
+                }
+            }
+            Ok(Framed::Bad(_)) => continue,
+            Ok(Framed::Msg(msg)) => {
+                let (lease_id, flat, attempt) = match msg {
+                    Msg::Lease { lease_id, epoch: _, flat, attempt } => (lease_id, flat, attempt),
+                    Msg::Shutdown => return EXIT_OK,
+                    _ => continue,
+                };
+                let e = epoch.load(Ordering::Relaxed);
+                match service_lease(
+                    &space, &evaluator, &chaos, &mute, worker, e, lease_id, flat, attempt,
+                ) {
+                    Served::Exit(code) => return code,
+                    Served::Reply(frame, fault) => {
+                        if fault == Some(Fault::Late) {
+                            std::thread::sleep(Duration::from_millis(chaos.late_ms));
+                        }
+                        let net_fault = net.fault_for(flat, attempt);
+                        if !net_send(
+                            &mut session,
+                            &mut reader,
+                            &mut pending,
+                            &net,
+                            frame.clone(),
+                            net_fault,
+                        ) {
+                            return EXIT_NO_COORDINATOR;
+                        }
+                        if fault == Some(Fault::Duplicate) {
+                            // Plain duplicate: same link, back to back. The
+                            // second copy rolls no new network die; a lost
+                            // duplicate is indistinguishable from no fault.
+                            session.writer.send_raw(&frame);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Deliver one result frame through the network fault layer. Returns `false`
+/// only when a fault forced a reconnect and the reconnect budget ran out.
+fn net_send(
+    session: &mut SocketSession,
+    reader: &mut FrameReader<Box<dyn io::Read + Send>>,
+    pending: &mut Option<String>,
+    net: &NetChaosPlan,
+    frame: String,
+    fault: Option<NetFault>,
+) -> bool {
+    // Any real send first releases a held reorder frame's *successor*: the
+    // held frame goes out after the current one, which is the reordering.
+    let deliver = |session: &SocketSession, frame: &str, pending: &mut Option<String>| {
+        session.writer.send_raw(frame);
+        if let Some(p) = pending.take() {
+            session.writer.send_raw(&p);
+        }
+    };
+    match fault {
+        None => deliver(session, &frame, pending),
+        Some(NetFault::Drop) => {
+            // Lost on the wire; the lease expires and the coordinator
+            // re-grants. Nothing to do — that is the fault.
+        }
+        Some(NetFault::Delay) => {
+            std::thread::sleep(Duration::from_millis(net.delay_ms));
+            deliver(session, &frame, pending);
+        }
+        Some(NetFault::Reorder) => {
+            // Hold this frame until after the next send (or a tick).
+            if let Some(p) = pending.replace(frame) {
+                session.writer.send_raw(&p);
+            }
+        }
+        Some(NetFault::DupRetransmit) => {
+            // The failover shape: deliver, lose the link before the ack
+            // would have arrived, reconnect, retransmit.
+            deliver(session, &frame, pending);
+            match session.connect() {
+                Some(r) => *reader = r,
+                None => return false,
+            }
+            session.writer.send_raw(&frame);
+        }
+        Some(NetFault::TruncateMidFrame) => {
+            // Half a frame, then a severed link: the coordinator's reader
+            // sees a mid-frame EOF and must report a checked frame error.
+            session.writer.send_raw(&frame[..frame.len() / 2]);
+            match session.connect() {
+                Some(r) => *reader = r,
+                None => return false,
+            }
+            session.writer.send_raw(&frame);
+        }
+        Some(NetFault::Partition) => {
+            // Dark for partition_ms — long enough for the coordinator's
+            // deadlines to notice — then resume the session and deliver.
+            session.disconnect();
+            std::thread::sleep(Duration::from_millis(net.partition_ms));
+            match session.connect() {
+                Some(r) => *reader = r,
+                None => return false,
+            }
+            deliver(session, &frame, pending);
+        }
+        Some(NetFault::ReconnectStorm) => {
+            for _ in 0..3 {
+                match session.connect() {
+                    Some(r) => *reader = r,
+                    None => return false,
+                }
+            }
+            deliver(session, &frame, pending);
+        }
+    }
+    true
 }

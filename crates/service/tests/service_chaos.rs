@@ -8,7 +8,9 @@
 //! coordinator re-execs `current_exe()`), so `main` must route into
 //! [`worker_entry`] before any test machinery runs.
 
-use hm_service::{worker_entry, ChaosPlan, ServiceConfig, ServicePool};
+use hm_service::{
+    worker_entry, ChaosPlan, NetChaosPlan, ServiceConfig, ServicePool, TransportMode,
+};
 use hypermapper::journal::RawOutcome;
 use hypermapper::{
     Configuration, Evaluator, ExplorationResult, HyperMapper, OptimizerConfig, ParamSpace,
@@ -90,6 +92,31 @@ fn pool(workers: usize, chaos: ChaosPlan, lease_ms: u64) -> ServicePool {
     };
     ServicePool::launch(space(), 2, vec!["time".into(), "error".into()], cfg)
         .expect("launch worker pool")
+}
+
+/// A pool on the socket transport: listens on an ephemeral loopback port
+/// and spawns children that dial back in. The heartbeat grace is looser
+/// than the stdio pools' so simulated partitions can heal by session
+/// resume instead of always tripping the reaper.
+fn socket_pool(
+    workers: usize,
+    chaos: ChaosPlan,
+    net: NetChaosPlan,
+    lease_ms: u64,
+) -> ServicePool {
+    let cfg = ServiceConfig {
+        workers,
+        lease_ms,
+        heartbeat_ms: 25,
+        heartbeat_grace: 40,
+        chaos,
+        net_chaos: net,
+        transport: TransportMode::Socket { listen: "127.0.0.1:0".into() },
+        reconnect_grace_ms: 400,
+        ..ServiceConfig::default()
+    };
+    ServicePool::launch(space(), 2, vec!["time".into(), "error".into()], cfg)
+        .expect("launch socket worker pool")
 }
 
 fn assert_service_matches_sequential(p: &ServicePool, configs: &[Configuration]) {
@@ -248,6 +275,143 @@ fn stalls_straddling_batch_boundaries_never_cross_attribute() {
     assert!(stats.stale_dropped > 0, "straddling replies must be dropped: {stats:?}");
 }
 
+fn socket_parity_matches_stdio_and_sequential() {
+    // The transport is invisible to results: a quiet socket pool produces
+    // the same bytes as the stdio pools and the sequential reference.
+    let configs = batch(40);
+    let p = socket_pool(4, ChaosPlan::quiet(), NetChaosPlan::quiet(), 2_000);
+    assert!(p.listen_addr().is_some(), "socket pool must expose its bound address");
+    assert_service_matches_sequential(&p, &configs);
+    let stats = p.stats();
+    assert_eq!(stats.accepted, 40);
+    assert_eq!(stats.worker_deaths, 0, "quiet socket run: {stats:?}");
+    assert_eq!(stats.garbled_frames, 0, "quiet socket run: {stats:?}");
+}
+
+fn socket_storm_with_network_faults_is_bit_identical() {
+    // The tentpole gate in-process: process chaos AND network chaos at
+    // once — drops, delays, reorders, retransmits, truncated frames,
+    // partitions, reconnect storms on top of kills and stalls — and the
+    // merged bytes still cannot move.
+    let configs = batch(50);
+    let p = socket_pool(4, ChaosPlan::storm(23), NetChaosPlan::storm(11), 300);
+    assert_service_matches_sequential(&p, &configs);
+    let stats = p.stats();
+    assert_eq!(stats.accepted, 50, "every slot must complete: {stats:?}");
+    assert!(
+        stats.reconnects > 0,
+        "a net storm must exercise session resume: {stats:?}"
+    );
+    assert!(
+        stats.disconnects + stats.worker_deaths > 0,
+        "a net storm must sever links: {stats:?}"
+    );
+}
+
+fn duplicate_retransmit_after_reconnect_counts_as_duplicate() {
+    // Satellite regression: a worker delivers a result, loses the link
+    // before any ack could arrive, reconnects (resuming its session), and
+    // retransmits. The copy that loses the race must land under the
+    // existing `Duplicate` verdict — tagged as transport-level — and must
+    // not perturb accounting or results.
+    let net = NetChaosPlan { dup_permille: 1000, ..NetChaosPlan::quiet() };
+    let configs = batch(50);
+    let p = socket_pool(3, ChaosPlan::quiet(), net, 500);
+    assert_service_matches_sequential(&p, &configs);
+    let stats = p.stats();
+    assert_eq!(stats.accepted, 50, "exactly one accept per slot: {stats:?}");
+    assert!(stats.reconnects > 0, "retransmit implies reconnect: {stats:?}");
+    assert!(
+        stats.duplicates_after_reconnect > 0,
+        "cross-link retransmits of the winning reply must be tagged: {stats:?}"
+    );
+    assert!(
+        stats.duplicates_dropped >= stats.duplicates_after_reconnect,
+        "the transport tag is a subset of the duplicate verdict: {stats:?}"
+    );
+}
+
+fn frozen_socket_peer_is_reaped_on_heartbeat_deadline() {
+    // Satellite: a frozen worker keeps its TCP connection open while
+    // sending nothing — the half-open shape. Liveness must come from the
+    // heartbeat clock, not from waiting for a socket read to fail; the
+    // batch completes because the reaper severs the stream and re-grants.
+    let chaos = ChaosPlan {
+        seed: 13,
+        freeze_permille: 350,
+        stall_ms: 400,
+        ..ChaosPlan::quiet()
+    };
+    let cfg = ServiceConfig {
+        workers: 3,
+        lease_ms: 100,
+        heartbeat_ms: 25,
+        heartbeat_grace: 8, // 200 ms — far below the 1.6 s freeze
+        chaos,
+        transport: TransportMode::Socket { listen: "127.0.0.1:0".into() },
+        reconnect_grace_ms: 400,
+        ..ServiceConfig::default()
+    };
+    let p = ServicePool::launch(space(), 2, vec!["time".into(), "error".into()], cfg)
+        .expect("launch socket worker pool");
+    assert_service_matches_sequential(&p, &batch(24));
+    let stats = p.stats();
+    assert!(
+        stats.worker_deaths > 0,
+        "frozen-but-connected peers must die by heartbeat grace: {stats:?}"
+    );
+    assert!(stats.respawns > 0, "reaped workers must be replaced: {stats:?}");
+}
+
+fn dropped_result_frames_do_not_starve_workers() {
+    // Regression for the lease/busy interaction under pure frame loss: a
+    // dropped result leaves the worker healthy and idle but its lease
+    // unanswered. Expiry must free the *worker* too, or with every worker
+    // in that state the batch deadlocks.
+    let net = NetChaosPlan { drop_permille: 700, ..NetChaosPlan::quiet() };
+    let configs = batch(30);
+    let p = socket_pool(3, ChaosPlan::quiet(), net, 150);
+    assert_service_matches_sequential(&p, &configs);
+    let stats = p.stats();
+    assert_eq!(stats.accepted, 30, "{stats:?}");
+    assert!(stats.lease_expiries > 0, "drops must surface as expiries: {stats:?}");
+}
+
+fn losing_every_worker_degrades_to_local_fallback() {
+    // Tentpole degradation path: every worker dies, nothing can respawn,
+    // and after the reconnect grace the pool evaluates the remaining slots
+    // in-process — bit-identically (the evaluator is deterministic) — with
+    // the transport event log recording what happened, instead of hanging.
+    let chaos = ChaosPlan { seed: 3, kill_permille: 1000, ..ChaosPlan::quiet() };
+    let cfg = ServiceConfig {
+        workers: 2,
+        lease_ms: 300,
+        heartbeat_ms: 25,
+        heartbeat_grace: 8,
+        respawn_budget: 0,
+        chaos,
+        transport: TransportMode::Socket { listen: "127.0.0.1:0".into() },
+        reconnect_grace_ms: 250,
+        ..ServiceConfig::default()
+    };
+    let p = ServicePool::launch(space(), 2, vec!["time".into(), "error".into()], cfg)
+        .expect("launch socket worker pool")
+        .with_local_fallback(Box::new(Toy));
+    let configs = batch(12);
+    assert_service_matches_sequential(&p, &configs);
+    let stats = p.stats();
+    assert_eq!(stats.accepted, 0, "kill-everything chaos accepts nothing: {stats:?}");
+    assert_eq!(
+        stats.local_fallback_evals, 12,
+        "every slot must come from the fallback: {stats:?}"
+    );
+    let log = p.transport_events();
+    assert!(
+        log.iter().any(|l| l.contains("lost all workers")),
+        "the degradation must be visible in the transport log: {log:?}"
+    );
+}
+
 /// Debug-free structural fingerprint of an exploration (flat indices, phase,
 /// objective bits, failure kinds, Pareto indices) — wall-clock metadata
 /// excluded, NaN bits included.
@@ -309,6 +473,30 @@ fn main() {
             stalls_straddling_batch_boundaries_never_cross_attribute,
         ),
         ("frozen_workers_die_by_heartbeat_grace", frozen_workers_die_by_heartbeat_grace),
+        (
+            "socket_parity_matches_stdio_and_sequential",
+            socket_parity_matches_stdio_and_sequential,
+        ),
+        (
+            "socket_storm_with_network_faults_is_bit_identical",
+            socket_storm_with_network_faults_is_bit_identical,
+        ),
+        (
+            "duplicate_retransmit_after_reconnect_counts_as_duplicate",
+            duplicate_retransmit_after_reconnect_counts_as_duplicate,
+        ),
+        (
+            "frozen_socket_peer_is_reaped_on_heartbeat_deadline",
+            frozen_socket_peer_is_reaped_on_heartbeat_deadline,
+        ),
+        (
+            "dropped_result_frames_do_not_starve_workers",
+            dropped_result_frames_do_not_starve_workers,
+        ),
+        (
+            "losing_every_worker_degrades_to_local_fallback",
+            losing_every_worker_degrades_to_local_fallback,
+        ),
         (
             "full_dse_through_the_service_is_bit_identical",
             full_dse_through_the_service_is_bit_identical,

@@ -1,0 +1,277 @@
+//! Deterministic fuzz/property tests for the wire codec and [`FrameReader`].
+//!
+//! The claim under test (DESIGN §13/§15): **every** corruption of a byte
+//! stream — truncation, single-bit flips, mid-frame EOF, random garbage —
+//! surfaces as a *checked* frame error ([`Framed::Bad`]) or a clean EOF,
+//! never a panic and never a silently mis-decoded or skipped frame. The
+//! reader is transport-agnostic (the same `FrameReader` runs over stdio
+//! pipes and TCP sockets); what differs between transports is byte
+//! *delivery* — fragmentation and read timeouts — so every property here is
+//! exercised both on whole-buffer streams (pipe-like) and on 1-byte
+//! fragmented streams with interleaved timeouts (socket-like).
+//!
+//! All randomness is a fixed-seed splitmix64 walk: failures reproduce.
+
+use hm_service::wire::{decode_frame, encode_frame, is_timeout, FrameReader, Framed, Msg};
+use hypermapper::journal::RawOutcome;
+use hypermapper::EvalError;
+use std::io::{self, Read};
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// A corpus covering every message kind with boundary-ish field values.
+fn corpus(seed: u64) -> Vec<Msg> {
+    let mut msgs = vec![Msg::Shutdown];
+    for i in 0..8u64 {
+        let r = splitmix64(seed.wrapping_add(i));
+        let worker = (r % 7) as u32;
+        let epoch = r >> 3;
+        msgs.push(Msg::Hello { worker, epoch, pid: r as u32 });
+        msgs.push(Msg::Heartbeat { worker, epoch, seq: r.rotate_left(17) });
+        msgs.push(Msg::Lease { lease_id: r, epoch, flat: r >> 7, attempt: (r % 31) as u32 + 1 });
+        msgs.push(Msg::HelloSocket { worker, epoch, pid: r as u32, token: r ^ 0xdead_beef });
+        msgs.push(Msg::Welcome { worker, epoch, token: r | 1 });
+        let outcome = if r % 3 == 0 {
+            RawOutcome::Err {
+                error: EvalError::Transient { reason: format!("fuzz-{i}") },
+                attempts: (r % 5) as u32 + 1,
+                elapsed_ms: r % 10_000,
+            }
+        } else {
+            // Bit-exact float round-tripping is part of the codec contract;
+            // feed it awkward values.
+            RawOutcome::Ok(vec![
+                f64::from_bits(r),
+                -0.0,
+                f64::MIN_POSITIVE * ((r % 9) as f64),
+            ])
+        };
+        msgs.push(Msg::Result { worker, lease_id: r, epoch, flat: r >> 9, outcome });
+    }
+    msgs
+}
+
+/// Feed `bytes` through a `FrameReader` and collect everything until EOF,
+/// panicking (test failure) if the reader spins without terminating.
+fn drain(bytes: &[u8]) -> Vec<Framed> {
+    let mut reader = FrameReader::new(bytes);
+    let mut out = Vec::new();
+    for _ in 0..10_000 {
+        match reader.next_frame().expect("in-memory reads cannot fail") {
+            Framed::Eof => return out,
+            item => out.push(item),
+        }
+    }
+    panic!("FrameReader failed to reach EOF on a {}-byte stream", bytes.len());
+}
+
+/// Socket-shaped delivery: one byte per read, with a `WouldBlock` timeout
+/// error before every data byte, the way a TCP stream under a read deadline
+/// behaves when the peer dribbles.
+struct Dribble {
+    bytes: Vec<u8>,
+    pos: usize,
+    timeout_next: bool,
+}
+
+impl Read for Dribble {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        if self.pos >= self.bytes.len() {
+            return Ok(0);
+        }
+        if self.timeout_next {
+            self.timeout_next = false;
+            return Err(io::Error::new(io::ErrorKind::WouldBlock, "deadline"));
+        }
+        self.timeout_next = true;
+        buf[0] = self.bytes[self.pos];
+        self.pos += 1;
+        Ok(1)
+    }
+}
+
+/// Drain a dribbled (1-byte fragments + timeouts) stream.
+fn drain_dribbled(bytes: &[u8]) -> Vec<Framed> {
+    let mut reader =
+        FrameReader::new(Dribble { bytes: bytes.to_vec(), pos: 0, timeout_next: false });
+    let mut out = Vec::new();
+    for _ in 0..10 * bytes.len() + 10_000 {
+        match reader.next_frame() {
+            Ok(Framed::Eof) => return out,
+            Ok(item) => out.push(item),
+            Err(e) if is_timeout(&e) => continue,
+            Err(e) => panic!("unexpected io error from dribbled stream: {e}"),
+        }
+    }
+    panic!("FrameReader failed to reach EOF on a dribbled {}-byte stream", bytes.len());
+}
+
+#[test]
+fn every_truncation_decodes_as_a_checked_error() {
+    for msg in corpus(1) {
+        let frame = encode_frame(&msg);
+        assert_eq!(decode_frame(&frame), Ok(msg.clone()), "full frame must round-trip");
+        // Frames are ASCII, so every byte boundary is a char boundary.
+        for cut in 0..frame.len().saturating_sub(1) {
+            let prefix = &frame[..cut];
+            match decode_frame(prefix) {
+                Err(_) => {}
+                Ok(got) => panic!(
+                    "truncation to {cut}/{} bytes decoded as {:?} (frame {frame:?})",
+                    frame.len(),
+                    got
+                ),
+            }
+        }
+    }
+}
+
+#[test]
+fn mid_frame_eof_is_a_checked_error_on_both_delivery_shapes() {
+    for msg in corpus(2) {
+        let frame = encode_frame(&msg);
+        for cut in 1..frame.len().saturating_sub(1) {
+            let bytes = &frame.as_bytes()[..cut];
+            for items in [drain(bytes), drain_dribbled(bytes)] {
+                assert_eq!(items.len(), 1, "cut at {cut} of {frame:?} yielded {items:?}");
+                assert!(
+                    matches!(items[0], Framed::Bad(_)),
+                    "cut at {cut} of {frame:?} yielded {items:?}, want a checked error"
+                );
+            }
+        }
+        // Losing only the trailing newline before EOF still leaves a
+        // complete, verifiable line: the tail decodes.
+        let no_newline = &frame.as_bytes()[..frame.len() - 1];
+        assert_eq!(drain(no_newline), vec![Framed::Msg(msg.clone())]);
+        assert_eq!(drain_dribbled(no_newline), vec![Framed::Msg(msg)]);
+    }
+}
+
+#[test]
+fn every_single_bit_flip_is_caught() {
+    for msg in corpus(3) {
+        let frame = encode_frame(&msg).into_bytes();
+        // Skip the newline terminator: flipping it is the mid-frame-EOF
+        // case, covered above.
+        for byte in 0..frame.len() - 1 {
+            for bit in 0..8 {
+                let mut corrupt = frame.clone();
+                corrupt[byte] ^= 1 << bit;
+                let items = drain(&corrupt);
+                // The safety property is "never a *wrong* message": CRC-32
+                // catches all single-bit body errors, the length/checksum
+                // headers self-mismatch, non-UTF-8 is malformed, and a flip
+                // that *creates* a newline splits the line into checked
+                // errors. One benign alias exists — flipping 0x20 on a hex
+                // digit of the header changes its case, which
+                // `from_str_radix` reads as the same value, re-decoding the
+                // identical message. That is allowed; anything else is not.
+                assert!(!items.is_empty(), "flip swallowed the frame entirely");
+                for f in &items {
+                    match f {
+                        Framed::Bad(_) => {}
+                        Framed::Msg(m) => assert_eq!(
+                            m,
+                            &msg,
+                            "bit {bit} of byte {byte} in {:?} mis-decoded: {items:?}",
+                            String::from_utf8_lossy(&frame)
+                        ),
+                        Framed::Eof => unreachable!("drain strips Eof"),
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn corruption_never_desyncs_the_stream_from_later_good_frames() {
+    // Interleave good frames with an adversarial walk of corruptions; every
+    // good frame must still arrive, in order, regardless of what garbage
+    // sits between them — on both delivery shapes.
+    let msgs = corpus(4);
+    let mut stream: Vec<u8> = Vec::new();
+    let mut expected = Vec::new();
+    for (i, msg) in msgs.iter().enumerate() {
+        let r = splitmix64(0xfeed ^ i as u64);
+        let frame = encode_frame(msg);
+        match r % 4 {
+            0 => {
+                // Truncated copy of this frame first (mid-frame newline cut),
+                // then the real thing.
+                let cut = 1 + (r as usize >> 3) % (frame.len() - 2);
+                stream.extend_from_slice(&frame.as_bytes()[..cut]);
+                stream.push(b'\n');
+            }
+            1 => {
+                // A burst of random garbage bytes (newline-terminated so it
+                // reads as one or more bad lines).
+                let mut x = r;
+                for _ in 0..(r % 40) + 1 {
+                    x = splitmix64(x);
+                    let b = (x >> 13) as u8;
+                    stream.push(if b == b'\n' { b'*' } else { b });
+                }
+                stream.push(b'\n');
+            }
+            2 => {
+                // A bit-flipped copy of the previous frame (dup + corrupt).
+                let mut bad = frame.clone().into_bytes();
+                let pos = (r as usize >> 7) % (bad.len() - 1);
+                bad[pos] ^= 0x04;
+                stream.extend_from_slice(&bad);
+            }
+            _ => {}
+        }
+        stream.extend_from_slice(frame.as_bytes());
+        expected.push(msg.clone());
+    }
+    for items in [drain(&stream), drain_dribbled(&stream)] {
+        let good: Vec<&Msg> = items
+            .iter()
+            .filter_map(|f| match f {
+                Framed::Msg(m) => Some(m),
+                Framed::Bad(_) => None,
+                Framed::Eof => None,
+            })
+            .collect();
+        // Bit-flipped duplicates are CRC-caught, so *exactly* the genuine
+        // frames survive — nothing lost, nothing invented.
+        assert_eq!(good.len(), expected.len(), "items: {items:?}");
+        for (got, want) in good.iter().zip(expected.iter()) {
+            assert_eq!(*got, want);
+        }
+    }
+}
+
+#[test]
+fn random_garbage_streams_never_panic_and_always_terminate() {
+    for round in 0..64u64 {
+        let mut x = splitmix64(0xbad5_eed ^ round);
+        let len = (x % 4_000) as usize;
+        let mut bytes = Vec::with_capacity(len);
+        for _ in 0..len {
+            x = splitmix64(x);
+            bytes.push((x >> 23) as u8);
+        }
+        // Whole-buffer shape only: dribbling 4k random bytes at 2 reads per
+        // byte adds nothing but runtime here, and the fragmentation
+        // property is covered by the structured tests above.
+        for f in drain(&bytes) {
+            match f {
+                Framed::Bad(_) => {}
+                Framed::Msg(m) => panic!(
+                    "random garbage (round {round}) decoded as {m:?} — \
+                     a 1-in-2^32 CRC collision or a codec hole; investigate"
+                ),
+                Framed::Eof => unreachable!("drain strips Eof"),
+            }
+        }
+    }
+}

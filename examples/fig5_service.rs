@@ -7,7 +7,19 @@
 //! Usage:
 //!   cargo run -p hm-examples --release --bin fig5_service -- \
 //!       [--workers <n>] [--quick] [--seed <s>] \
-//!       [--journal <path>] [--resume] [--chaos-seed <s>] [--out <tag>]
+//!       [--journal <path>] [--resume] [--chaos-seed <s>] [--out <tag>] \
+//!       [--transport stdio|socket] [--net-seed <s>] [--lose-workers] \
+//!       [--listen <addr>]
+//!
+//! Transport: `--transport socket` runs the same pool over loopback TCP
+//! (ephemeral port, spawned children dial back in); `--net-seed` turns on
+//! the seeded network fault storm (drops, delays, reorders, retransmits,
+//! truncated frames, partitions, reconnect storms); `--lose-workers` kills
+//! every worker with no respawn budget so the run must degrade to the
+//! in-process fallback. `--listen <addr>` waits for *remote* workers
+//! started elsewhere as:
+//!   fig5_service --connect <addr> --worker-id <i> [--phase dse|crowd] \
+//!       [--best <hex>] [--epoch <e>] [--net-seed <s>]
 //!
 //! Phase 1 leases every DSE evaluation to the worker pool and writes
 //! `results/<tag>.fingerprint` (same codec as `fig3_kfusion_dse`, so a
@@ -23,7 +35,10 @@
 use device_models::{crowd_devices, kf_frame_time, odroid_xu3, DeviceModel, KfParams};
 use hm_bench::experiments::{install_graceful_shutdown, kf_space, result_fingerprint, DseScale};
 use hm_bench::report::write_results_file;
-use hm_service::{worker_entry, ChaosPlan, ServiceConfig, ServicePool};
+use hm_service::{
+    run_socket_worker, worker_entry, ChaosPlan, NetChaosPlan, ServiceConfig, ServicePool,
+    SocketWorkerParams, StatsSnapshot, TransportMode,
+};
 use hypermapper::{Evaluator, Journal, ParamSpace};
 use slambench::{kf_params_from_config, kfusion_space, SimulatedKFusionEvaluator};
 use std::path::PathBuf;
@@ -138,24 +153,128 @@ fn flag_value(name: &str) -> Option<String> {
     args.iter().position(|a| a == name).and_then(|i| args.get(i + 1).cloned())
 }
 
-fn service_config(workers: usize, chaos: ChaosPlan, epoch: u64, sidecar: Option<PathBuf>) -> ServiceConfig {
-    ServiceConfig {
-        workers,
+struct RunShape {
+    workers: usize,
+    chaos: ChaosPlan,
+    net_chaos: NetChaosPlan,
+    transport: TransportMode,
+    /// Kill every worker with no respawn budget, forcing the degradation
+    /// path: the run must finish via the in-process fallback evaluator.
+    lose_workers: bool,
+}
+
+fn service_config(shape: &RunShape, epoch: u64, sidecar: Option<PathBuf>) -> ServiceConfig {
+    let mut cfg = ServiceConfig {
+        workers: shape.workers,
         // Shorter than the storm's 400 ms stall so stalls exercise lease
         // expiry; comfortably above a model evaluation (microseconds).
         lease_ms: 250,
         heartbeat_ms: 50,
         heartbeat_grace: 10,
-        chaos,
+        chaos: shape.chaos.clone(),
+        net_chaos: shape.net_chaos.clone(),
+        transport: shape.transport.clone(),
         epoch,
         sidecar,
         ..ServiceConfig::default()
+    };
+    if shape.lose_workers {
+        cfg.chaos = ChaosPlan { seed: 1, kill_permille: 1000, ..ChaosPlan::quiet() };
+        cfg.respawn_budget = 0;
+        cfg.reconnect_grace_ms = 400;
     }
+    cfg
+}
+
+/// Launch a pool for the current phase, installing the in-process fallback
+/// when the run is meant to survive losing every worker.
+fn launch_pool(
+    space: ParamSpace,
+    names: Vec<String>,
+    shape: &RunShape,
+    epoch: u64,
+    sidecar: Option<PathBuf>,
+) -> Result<ServicePool, Box<dyn std::error::Error>> {
+    let mut pool =
+        ServicePool::launch(space, 2, names, service_config(shape, epoch, sidecar))?;
+    if shape.lose_workers {
+        pool = pool.with_local_fallback(Box::new(worker_factory().1));
+    }
+    if let (TransportMode::SocketRemote { .. }, Some(addr)) =
+        (&shape.transport, pool.listen_addr())
+    {
+        let phase = std::env::var(ENV_PHASE).unwrap_or_default();
+        let best = std::env::var(ENV_BEST).map(|b| format!(" --best {b}")).unwrap_or_default();
+        println!(
+            "listening on {addr} — start workers with: fig5_service --connect {addr} \
+             --worker-id <0..{}> --phase {phase}{best}",
+            shape.workers - 1,
+        );
+    }
+    Ok(pool)
+}
+
+fn stats_line(s: &StatsSnapshot) -> String {
+    format!(
+        "leases {} accepted {} dup {} stale {} wrong-epoch {} garbled {} deaths {} \
+         expiries {} respawns {} disconnects {} reconnects {} dup-reconnect {} local-fallback {}",
+        s.leases_granted,
+        s.accepted,
+        s.duplicates_dropped,
+        s.stale_dropped,
+        s.wrong_epoch_dropped,
+        s.garbled_frames,
+        s.worker_deaths,
+        s.lease_expiries,
+        s.respawns,
+        s.disconnects,
+        s.reconnects,
+        s.duplicates_after_reconnect,
+        s.local_fallback_evals,
+    )
+}
+
+/// `--connect` mode: this invocation *is* a remote worker. Serve until the
+/// coordinator shuts us down or stays unreachable past the reconnect budget.
+fn run_as_remote_worker(addr: String) -> Result<i32, Box<dyn std::error::Error>> {
+    let worker: u32 = match flag_value("--worker-id") {
+        Some(v) => v.parse().map_err(|_| "--worker-id takes an integer ≥ 0")?,
+        None => 0,
+    };
+    let epoch: u64 = match flag_value("--epoch") {
+        Some(v) => v.parse().map_err(|_| "--epoch takes an integer ≥ 1")?,
+        None => 1, // the coordinator's welcome overrides this anyway
+    };
+    let phase = flag_value("--phase").unwrap_or_else(|| "dse".into());
+    std::env::set_var(ENV_PHASE, &phase);
+    if let Some(best) = flag_value("--best") {
+        std::env::set_var(ENV_BEST, best);
+    } else if phase == "crowd" {
+        return Err("--phase crowd needs --best <hex> (printed by the coordinator)".into());
+    }
+    let chaos = match flag_value("--chaos-seed") {
+        Some(v) => ChaosPlan::storm(v.parse().map_err(|_| "--chaos-seed takes an integer")?),
+        None => ChaosPlan::quiet(),
+    };
+    let net_chaos = match flag_value("--net-seed") {
+        Some(v) => NetChaosPlan::storm(v.parse().map_err(|_| "--net-seed takes an integer")?),
+        None => NetChaosPlan::quiet(),
+    };
+    println!("worker {worker} dialing {addr} (phase {phase})");
+    Ok(run_socket_worker(
+        worker_factory,
+        SocketWorkerParams { addr, worker, epoch, heartbeat_ms: 50, chaos, net_chaos },
+    ))
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Spawned children route into the serve loop here and never return.
     worker_entry(worker_factory);
+
+    // Remote-worker mode: this invocation serves an existing coordinator.
+    if let Some(addr) = flag_value("--connect") {
+        std::process::exit(run_as_remote_worker(addr)?);
+    }
 
     let scale = DseScale::from_args();
     let workers: usize = match flag_value("--workers") {
@@ -170,13 +289,39 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         Some(v) => ChaosPlan::storm(v.parse().map_err(|_| "--chaos-seed takes an integer")?),
         None => ChaosPlan::quiet(),
     };
+    let net_chaos = match flag_value("--net-seed") {
+        Some(v) => NetChaosPlan::storm(v.parse().map_err(|_| "--net-seed takes an integer")?),
+        None => NetChaosPlan::quiet(),
+    };
+    let lose_workers = std::env::args().any(|a| a == "--lose-workers");
+    let transport = if let Some(listen) = flag_value("--listen") {
+        TransportMode::SocketRemote { listen }
+    } else {
+        match flag_value("--transport").as_deref() {
+            None | Some("stdio") => {
+                if net_chaos.is_active() || lose_workers {
+                    // Network faults and worker loss are socket-layer
+                    // stories; run them over loopback sockets.
+                    TransportMode::Socket { listen: "127.0.0.1:0".into() }
+                } else {
+                    TransportMode::Stdio
+                }
+            }
+            Some("socket") => TransportMode::Socket { listen: "127.0.0.1:0".into() },
+            Some(other) => return Err(format!("unknown --transport {other}").into()),
+        }
+    };
+    let shape = RunShape { workers, chaos: chaos.clone(), net_chaos, transport, lose_workers };
     let journal_path = flag_value("--journal");
     let resume = std::env::args().any(|a| a == "--resume");
     let tag = flag_value("--out").unwrap_or_else(|| "fig5_service".into());
 
     println!(
-        "=== Fig. 5 via hm-service — scale {scale:?}, {workers} workers{} ===",
-        if chaos.is_active() { ", chaos ON" } else { "" }
+        "=== Fig. 5 via hm-service — scale {scale:?}, {workers} workers, {:?} transport{}{}{} ===",
+        shape.transport,
+        if chaos.is_active() { ", chaos ON" } else { "" },
+        if shape.net_chaos.is_active() { ", net chaos ON" } else { "" },
+        if lose_workers { ", LOSING ALL WORKERS" } else { "" },
     );
 
     // ---- Phase 1: the KFusion DSE, every evaluation leased to a worker ----
@@ -206,30 +351,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let sidecar = journal_path.as_ref().map(|p| PathBuf::from(format!("{p}.leases")));
 
     std::env::set_var(ENV_PHASE, "dse");
-    let pool = ServicePool::launch(
+    let pool = launch_pool(
         kfusion_space(),
-        2,
         vec!["kf_frame_time".into(), "kf_ate".into()],
-        service_config(workers, chaos, epoch, sidecar.clone()),
+        &shape,
+        epoch,
+        sidecar.clone(),
     )?;
     let hm = hypermapper::HyperMapper::new(kfusion_space(), scale.kfusion_optimizer(seed));
     let result = hm.try_run_controlled(&pool, journal.as_mut(), Some(stop))?;
     let stats = pool.stats();
     drop(pool);
     println!(
-        "DSE: {} samples, {} failures | leases {} accepted {} dup {} stale {} wrong-epoch {} \
-         garbled {} deaths {} expiries {} respawns {}",
+        "DSE: {} samples, {} failures | {}",
         result.samples.len(),
         result.failures.len(),
-        stats.leases_granted,
-        stats.accepted,
-        stats.duplicates_dropped,
-        stats.stale_dropped,
-        stats.wrong_epoch_dropped,
-        stats.garbled_frames,
-        stats.worker_deaths,
-        stats.lease_expiries,
-        stats.respawns,
+        stats_line(&stats),
     );
     write_results_file(
         &format!("{tag}.fingerprint"),
@@ -262,11 +399,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     std::env::set_var(ENV_BEST, encode_best(&best));
     let space = crowd_space(devices.len())?;
     let configs: Vec<_> = (0..devices.len() as u64).map(|f| space.config_at(f)).collect();
-    let pool = ServicePool::launch(
+    let pool = launch_pool(
         space,
-        2,
         vec!["default_time".into(), "best_time".into()],
-        service_config(workers, chaos, epoch, sidecar),
+        &shape,
+        epoch,
+        sidecar,
     )?;
     let outcomes = pool.evaluate_batch(&configs);
     let crowd_stats = pool.stats();
@@ -284,10 +422,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let max = speedups.iter().copied().fold(0.0f64, f64::max);
     let mean = speedups.iter().sum::<f64>() / speedups.len() as f64;
     println!(
-        "crowd: {} devices through {workers} workers ({} leases) — speedups min {min:.2}x \
-         mean {mean:.2}x max {max:.2}x (paper: 2x .. >12x)",
+        "crowd: {} devices through {workers} workers — speedups min {min:.2}x \
+         mean {mean:.2}x max {max:.2}x (paper: 2x .. >12x) | {}",
         speedups.len(),
-        crowd_stats.leases_granted,
+        stats_line(&crowd_stats),
     );
     write_results_file(&format!("{tag}_crowd.csv"), &csv)?;
     println!("wrote results/{tag}_crowd.csv");

@@ -227,6 +227,20 @@ resume_smoke() {
 # NOTHING about process count, scheduling, or failure timing is allowed to
 # leak into the result. The fingerprints are full-precision (bit-level
 # objective values), so any leak fails the gate.
+#
+# The socket stage re-proves the same contract over the TCP transport
+# (loopback only — no external network, so it runs fine offline):
+#
+#   4. four socket workers under the process storm PLUS a seeded network
+#      fault storm (drops, delays, reorders, duplicate retransmits,
+#      truncated frames, partitions, reconnect storms) -> byte-identical,
+#      and the stats line must show sessions actually resumed (reconnects
+#      and severed links both nonzero, i.e. partition/reconnect happened)
+#   5. same, with the coordinator SIGKILLed mid-run and resumed from its
+#      journal over sockets                            -> byte-identical
+#   6. every worker killed with no respawn budget      -> byte-identical
+#      via the in-process fallback (local-fallback count must equal the
+#      sample count, proving the run degraded instead of hanging)
 # ---------------------------------------------------------------------------
 chaos_gate() {
     cd "$REPO"
@@ -280,6 +294,65 @@ chaos_gate() {
         return 1
     fi
     echo "chaos gate: kill-anywhere is bit-identical"
+
+    echo "chaos gate: 4 socket workers under process + network fault storms"
+    "$bin" --quick --workers 4 --transport socket --chaos-seed 7 --net-seed 11 \
+        --out socknet >socknet.log
+    if ! cmp -s ref.fingerprint results/socknet.fingerprint; then
+        echo "chaos gate: socket+net-storm run diverged from the reference" >&2
+        diff ref.fingerprint results/socknet.fingerprint | head >&2 || true
+        return 1
+    fi
+    if ! grep -Eq 'reconnects [1-9]' socknet.log; then
+        echo "chaos gate: net storm never exercised session resume" >&2
+        grep '^DSE:' socknet.log >&2 || true
+        return 1
+    fi
+    if ! grep -Eq 'disconnects [1-9]' socknet.log; then
+        echo "chaos gate: net storm never severed a link" >&2
+        grep '^DSE:' socknet.log >&2 || true
+        return 1
+    fi
+
+    echo "chaos gate: socket workers + storms, SIGKILL the coordinator, resume"
+    "$bin" --quick --workers 4 --transport socket --chaos-seed 7 --net-seed 11 \
+        --journal sockkill.journal --out sockkilled >/dev/null 2>&1 &
+    pid=$!
+    evals=0
+    for i in $(seq 1 100); do
+        evals=$(grep -c ' eval ' sockkill.journal 2>/dev/null || true)
+        [ "${evals:-0}" -ge 30 ] && break
+        sleep 0.02
+    done
+    kill -9 "$pid" 2>/dev/null || true
+    wait "$pid" 2>/dev/null || true
+    evals=$(grep -c ' eval ' sockkill.journal || true)
+    if [ "${evals:-0}" -lt 1 ]; then
+        echo "chaos gate: socket coordinator died before journaling anything" >&2
+        return 1
+    fi
+    echo "chaos gate: coordinator killed with $evals evaluations journaled; resuming over sockets"
+    "$bin" --quick --workers 4 --transport socket --chaos-seed 7 --net-seed 11 \
+        --journal sockkill.journal --resume --out sockresumed >/dev/null
+    if ! cmp -s ref.fingerprint results/sockresumed.fingerprint; then
+        echo "chaos gate: socket resume diverged from the reference" >&2
+        diff ref.fingerprint results/sockresumed.fingerprint | head >&2 || true
+        return 1
+    fi
+
+    echo "chaos gate: lose every socket worker, degrade to the local fallback"
+    "$bin" --quick --workers 2 --lose-workers --out lost >lost.log
+    if ! cmp -s ref.fingerprint results/lost.fingerprint; then
+        echo "chaos gate: lose-workers run diverged from the reference" >&2
+        diff ref.fingerprint results/lost.fingerprint | head >&2 || true
+        return 1
+    fi
+    if ! grep -Eq 'local-fallback [1-9]' lost.log; then
+        echo "chaos gate: lose-workers run never hit the fallback path" >&2
+        grep '^DSE:' lost.log >&2 || true
+        return 1
+    fi
+    echo "chaos gate: socket transport, network chaos, and total worker loss are bit-identical"
     cd "$REPO"
 }
 
