@@ -119,12 +119,11 @@ pub trait Evaluator: Sync {
         &self,
         config: &Configuration,
     ) -> Result<Vec<f64>, FailedEvaluation> {
-        // lint: allow(wall-clock-outside-timing): elapsed_ms is failure metadata only; it never reaches objectives, RNG, or the journal fingerprint
-        let start = std::time::Instant::now();
+        let clock = hm_timing::Stopwatch::start();
         self.try_evaluate(config).map_err(|error| FailedEvaluation {
             error,
             attempts: 1,
-            elapsed_ms: start.elapsed().as_millis() as u64,
+            elapsed_ms: clock.elapsed_ms(),
         })
     }
 

@@ -13,7 +13,7 @@ use crate::space::Configuration;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Default bound on the failure log (entries, not configurations).
 pub const DEFAULT_LOG_CAPACITY: usize = 4096;
@@ -205,12 +205,11 @@ impl<E: Evaluator> Evaluator for ResilientEvaluator<'_, E> {
         &self,
         config: &Configuration,
     ) -> Result<Vec<f64>, FailedEvaluation> {
-        // lint: allow(wall-clock-outside-timing): elapsed_ms is retry/failure metadata only; it never reaches objectives, RNG, or the journal fingerprint
-        let start = Instant::now();
+        let clock = hm_timing::Stopwatch::start();
         let mut attempt = 1usize;
         loop {
             let result = self.inner.try_evaluate(config);
-            let elapsed = start.elapsed();
+            let elapsed = clock.elapsed();
             let overdue = self
                 .policy
                 .deadline
@@ -265,6 +264,7 @@ mod tests {
     use super::*;
     use crate::evaluate::FnEvaluator;
     use crate::space::ParamSpace;
+    use std::time::Instant;
 
     fn space() -> ParamSpace {
         ParamSpace::builder()

@@ -1,8 +1,10 @@
 //! Rule engine: file context (tokens, test regions, suppressions),
 //! diagnostics, and the per-file check driver.
 
+use crate::flow::{self, FileFacts, WorkspaceIndex};
 use crate::lexer::{lex, TokKind, Token};
 use crate::rules::Rule;
+use crate::tree::ScopeTree;
 use std::collections::HashMap;
 use std::fmt;
 use std::path::{Path, PathBuf};
@@ -68,6 +70,11 @@ pub struct FileCtx<'s> {
     pub file_is_test: bool,
     /// Active `lint: zone(...)` markers (each covers its line to EOF).
     pub zones: &'s [Zone],
+    /// Brace-tree scope structure (modules, fns, impls, nested blocks).
+    pub tree: &'s ScopeTree,
+    /// Cross-file analysis: loop reachability and lock-cycle edges. For a
+    /// single-file check this is built from that file alone.
+    pub index: &'s WorkspaceIndex,
 }
 
 impl FileCtx<'_> {
@@ -320,7 +327,48 @@ fn matching_close_at(
     None
 }
 
-/// Run `rules` over one file's source. `rel` is the workspace-relative path
+/// Phase-1 product for one file: everything derivable without seeing the
+/// rest of the workspace. The workspace scan analyzes every file first,
+/// builds the cross-file [`WorkspaceIndex`] from the collected
+/// [`FileFacts`], then runs rules (phase 2) with that index in scope.
+pub struct Analyzed {
+    pub path: PathBuf,
+    pub rel: String,
+    pub src: String,
+    pub file_is_test: bool,
+    tokens: Vec<Token>,
+    sig: Vec<usize>,
+    test_regions: Vec<(usize, usize)>,
+    tree: ScopeTree,
+    pub facts: FileFacts,
+}
+
+/// Phase 1: lex, locate test regions, build the brace tree, and run the
+/// symbol pass.
+pub fn analyze(path: &Path, rel: &str, src: String, file_is_test: bool) -> Analyzed {
+    let tokens = lex(&src);
+    let sig: Vec<usize> = (0..tokens.len()).filter(|&i| !tokens[i].is_comment()).collect();
+    let regions = test_regions(&src, &tokens, &sig);
+    let tree = crate::tree::parse(&src, &tokens, &sig);
+    let in_test = |offset: usize| {
+        file_is_test || regions.iter().any(|&(s, e)| offset >= s && offset < e)
+    };
+    let facts = flow::analyze_file(rel, &src, &tokens, &sig, &tree, &in_test);
+    Analyzed {
+        path: path.to_path_buf(),
+        rel: rel.to_string(),
+        src,
+        file_is_test,
+        tokens,
+        sig,
+        test_regions: regions,
+        tree,
+        facts,
+    }
+}
+
+/// Run `rules` over one file's source in isolation: the cross-file index
+/// is built from this file alone. `rel` is the workspace-relative path
 /// (used for rule scoping); `file_is_test` marks whole-file test targets.
 pub fn check_file(
     path: &Path,
@@ -329,12 +377,22 @@ pub fn check_file(
     rules: &[Box<dyn Rule>],
     file_is_test: bool,
 ) -> FileReport {
-    let tokens = lex(src);
-    let sig: Vec<usize> =
-        (0..tokens.len()).filter(|&i| !tokens[i].is_comment()).collect();
-    let regions = test_regions(src, &tokens, &sig);
-    let (sups, zones, mut marker_diags) = parse_suppressions(path, src, &tokens);
-    marker_diags.extend(stale_audit_markers(path, src, &tokens));
+    let analyzed = analyze(path, rel, src.to_string(), file_is_test);
+    let index = flow::build_index(std::slice::from_ref(&analyzed.facts));
+    check_analyzed(&analyzed, rules, &index)
+}
+
+/// Phase 2: run `rules` over an analyzed file with the workspace index in
+/// scope, then apply suppressions.
+pub fn check_analyzed(
+    a: &Analyzed,
+    rules: &[Box<dyn Rule>],
+    index: &WorkspaceIndex,
+) -> FileReport {
+    let (path, src) = (a.path.as_path(), a.src.as_str());
+    let (tokens, sig) = (&a.tokens, &a.sig);
+    let (sups, zones, mut marker_diags) = parse_suppressions(path, src, tokens);
+    marker_diags.extend(stale_audit_markers(path, src, tokens));
 
     // Warn on allows naming no known rule — a typo'd rule name suppresses
     // nothing and should not pass silently.
@@ -354,13 +412,15 @@ pub fn check_file(
 
     let ctx = FileCtx {
         path,
-        rel: rel.to_string(),
+        rel: a.rel.clone(),
         src,
-        tokens: &tokens,
-        sig: &sig,
-        test_regions: &regions,
-        file_is_test,
+        tokens,
+        sig,
+        test_regions: &a.test_regions,
+        file_is_test: a.file_is_test,
         zones: &zones,
+        tree: &a.tree,
+        index,
     };
 
     let mut raw = Vec::new();

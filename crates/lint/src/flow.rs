@@ -1,0 +1,542 @@
+//! Flow analysis: per-file symbols (fns + call sites + lock-guard spans)
+//! and the cross-file fixpoint rules use to reason about "reachable from
+//! the coordinator sweep" or "while a `Mutex` guard is live".
+//!
+//! Everything here is conservative-by-name: calls resolve to every function
+//! sharing the callee's simple name, receivers are dotted identifier paths,
+//! guard liveness is lexical (binding statement to end of the enclosing
+//! block, truncated at `drop(guard)`). That over-approximates reachability
+//! and guard extent — the right direction for deny-level rules, and cheap
+//! enough to run on every lint invocation.
+
+use crate::lexer::{TokKind, Token};
+use crate::tree::ScopeTree;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A call site attributed to its enclosing fn: `name(` or `recv.name(`.
+#[derive(Debug, Clone)]
+pub struct CallSite {
+    /// Callee simple name (`recv_timeout`, `lock`, …); macros keep their
+    /// bang (`println!`) so rules can tell them apart.
+    pub name: String,
+    /// Dotted receiver path for method calls (`self.inner.rx`), `None` for
+    /// free / associated calls.
+    pub receiver: Option<String>,
+    /// Sig index of the callee name token.
+    pub sig_idx: usize,
+    pub line: u32,
+    pub col: u32,
+    /// True when the argument list is exactly `()` — distinguishes
+    /// `child.wait()` (blocking) from `condvar.wait(guard)` (releases the
+    /// lock while parked).
+    pub args_empty: bool,
+}
+
+/// A lexical range during which a `.lock()` guard is live.
+#[derive(Debug, Clone)]
+pub struct GuardSpan {
+    /// Lock identity: receiver path with `self` qualified by the impl type
+    /// (`ServicePool.inner`), so same-named fields on different types never
+    /// alias in the acquisition graph.
+    pub lock_id: String,
+    /// Sig-index range `[start, end]` in which the guard is held.
+    pub start_sig: usize,
+    pub end_sig: usize,
+    pub line: u32,
+    pub col: u32,
+}
+
+/// An edge in the lock acquisition graph: `to` was acquired while `from`
+/// was held, at the recorded site.
+#[derive(Debug, Clone)]
+pub struct LockEdge {
+    pub from: String,
+    pub to: String,
+    pub rel: String,
+    pub line: u32,
+    pub col: u32,
+}
+
+/// One function's facts for the cross-file pass.
+#[derive(Debug, Clone)]
+pub struct FnFacts {
+    pub name: String,
+    /// Callee simple names (macros excluded — they do not resolve to fns).
+    pub calls: BTreeSet<String>,
+}
+
+/// Per-file product of the symbol pass.
+#[derive(Debug, Clone, Default)]
+pub struct FileFacts {
+    pub rel: String,
+    pub fns: Vec<FnFacts>,
+    pub lock_edges: Vec<LockEdge>,
+}
+
+/// Keywords that may directly precede `(` without being calls.
+const CALL_KEYWORDS: &[&str] = &[
+    "if", "while", "for", "match", "return", "loop", "in", "as", "let", "else", "move", "fn",
+    "impl", "dyn", "where", "break", "continue", "unsafe", "extern",
+];
+
+/// Extract every call site inside sig range `[from, to]` (inclusive).
+pub fn call_sites(src: &str, tokens: &[Token], sig: &[usize], from: usize, to: usize) -> Vec<CallSite> {
+    let mut out = Vec::new();
+    let tok = |i: usize| -> &Token { &tokens[sig[i]] };
+    let mut i = from;
+    while i <= to && i < sig.len() {
+        let t = tok(i);
+        if t.kind == TokKind::Ident && !CALL_KEYWORDS.contains(&t.text(src)) {
+            let next = sig.get(i + 1).map(|&ti| &tokens[ti]);
+            // Macro call `name!(…)` / `name![…]` / `name!{…}`.
+            if next.is_some_and(|n| n.is_punct(src, '!'))
+                && sig.get(i + 2).map(|&ti| &tokens[ti]).is_some_and(|p| {
+                    p.is_punct(src, '(') || p.is_punct(src, '[') || p.is_punct(src, '{')
+                })
+            {
+                out.push(CallSite {
+                    name: format!("{}!", t.text(src)),
+                    receiver: None,
+                    sig_idx: i,
+                    line: t.line,
+                    col: t.col,
+                    args_empty: false,
+                });
+                i += 1;
+                continue;
+            }
+            if next.is_some_and(|n| n.is_punct(src, '(')) {
+                let is_method = i > 0 && tok(i - 1).is_punct(src, '.');
+                let receiver = if is_method { Some(receiver_path(src, tokens, sig, i - 1)) } else { None };
+                let args_empty =
+                    sig.get(i + 2).map(|&ti| &tokens[ti]).is_some_and(|p| p.is_punct(src, ')'));
+                out.push(CallSite {
+                    name: t.text(src).to_string(),
+                    receiver,
+                    sig_idx: i,
+                    line: t.line,
+                    col: t.col,
+                    args_empty,
+                });
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Walk back from the `.` before a method name, collecting the dotted
+/// identifier path: `self.inner.rx.recv(` → `self.inner.rx`. A call or
+/// index in the chain (`io::stdout().lock(`) contributes its trailing
+/// callee name (`stdout()`), which is enough identity for lock ids.
+fn receiver_path(src: &str, tokens: &[Token], sig: &[usize], dot_sig: usize) -> String {
+    let mut parts: Vec<String> = Vec::new();
+    let mut i = dot_sig; // points at the `.`
+    while i > 0 {
+        let prev = &tokens[sig[i - 1]];
+        if prev.kind == TokKind::Ident || prev.kind == TokKind::Num {
+            parts.push(prev.text(src).to_string());
+            // Continue the chain only through another `.`.
+            if i >= 2 && tokens[sig[i - 2]].is_punct(src, '.') {
+                i -= 2;
+                continue;
+            }
+            break;
+        }
+        if prev.is_punct(src, ')') {
+            // A call result in the chain: find its callee name.
+            if let Some(open) = matching_open(src, tokens, sig, i - 1, '(', ')') {
+                if open > 0 {
+                    let callee = &tokens[sig[open - 1]];
+                    if callee.kind == TokKind::Ident {
+                        parts.push(format!("{}()", callee.text(src)));
+                        if open >= 2 && tokens[sig[open - 2]].is_punct(src, '.') {
+                            i = open - 1;
+                            continue;
+                        }
+                    }
+                }
+            }
+            break;
+        }
+        break;
+    }
+    parts.reverse();
+    parts.join(".")
+}
+
+/// Backward bracket match: the sig index of the `(` matching the `)` at
+/// `close_sig`.
+fn matching_open(
+    src: &str,
+    tokens: &[Token],
+    sig: &[usize],
+    close_sig: usize,
+    open: char,
+    close: char,
+) -> Option<usize> {
+    let mut depth = 0usize;
+    let mut i = close_sig + 1;
+    while i > 0 {
+        i -= 1;
+        let t = &tokens[sig[i]];
+        if t.is_punct(src, close) {
+            depth += 1;
+        } else if t.is_punct(src, open) {
+            depth = depth.saturating_sub(1);
+            if depth == 0 {
+                return Some(i);
+            }
+        }
+    }
+    None
+}
+
+/// Qualify a receiver path into a lock identity: `self` becomes the
+/// enclosing impl's type name, so `self.inner` in `impl ServicePool`
+/// yields `ServicePool.inner`.
+fn lock_identity(receiver: &str, owner: Option<&str>) -> String {
+    let owner = owner.unwrap_or("file");
+    if receiver == "self" {
+        owner.to_string()
+    } else if let Some(rest) = receiver.strip_prefix("self.") {
+        format!("{owner}.{rest}")
+    } else if receiver.is_empty() {
+        format!("{owner}.<lock>")
+    } else {
+        receiver.to_string()
+    }
+}
+
+/// Find every `.lock()` guard span inside the fn scope `fn_id`.
+///
+/// A `let`-bound guard lives from its statement's end to the close of the
+/// enclosing block (truncated at a `drop(name)` call); a temporary guard
+/// (`*self.lock() = …`, `self.inner.lock().field`) lives to the end of its
+/// own statement.
+pub fn guard_spans(
+    src: &str,
+    tokens: &[Token],
+    sig: &[usize],
+    tree: &ScopeTree,
+    fn_id: usize,
+) -> Vec<GuardSpan> {
+    let fn_scope = &tree.scopes[fn_id];
+    let owner = tree.owner_name(fn_id).map(|s| s.to_string());
+    let calls = call_sites(src, tokens, sig, fn_scope.open_sig, fn_scope.close_sig);
+    let tok = |i: usize| -> &Token { &tokens[sig[i]] };
+    let mut out = Vec::new();
+    for c in &calls {
+        if c.name != "lock" || !c.args_empty {
+            continue;
+        }
+        // Skip lock acquisitions in a deeper nested fn (closures stay —
+        // they run on some thread with the guard pattern intact).
+        if tree.enclosing_fn(c.sig_idx) != Some(fn_id) {
+            continue;
+        }
+        let lock_id =
+            lock_identity(c.receiver.as_deref().unwrap_or(""), owner.as_deref());
+        // Statement bounds: the enclosing scope of the call, then the
+        // nearest `;` at that scope's own level on each side.
+        let stmt_scope = tree.scope_at(c.sig_idx);
+        let (s_open, s_close) = {
+            let s = &tree.scopes[stmt_scope];
+            (s.open_sig, s.close_sig)
+        };
+        let at_stmt_level = |i: usize| tree.scope_at(i) == stmt_scope;
+        let mut stmt_start = s_open;
+        let mut j = c.sig_idx;
+        while j > s_open {
+            j -= 1;
+            if tok(j).is_punct(src, ';') && at_stmt_level(j) {
+                stmt_start = j;
+                break;
+            }
+        }
+        let mut stmt_end = s_close;
+        let mut k = c.sig_idx;
+        while k < s_close && k + 1 < sig.len() {
+            k += 1;
+            if tok(k).is_punct(src, ';') && at_stmt_level(k) {
+                stmt_end = k;
+                break;
+            }
+        }
+        // `let [mut] name = …`?
+        let first = stmt_start
+            + usize::from(tok(stmt_start).is_punct(src, ';') || tok(stmt_start).is_punct(src, '{'));
+        let mut bound: Option<&str> = None;
+        if first < sig.len() && tok(first).is_ident(src, "let") {
+            let mut n = first + 1;
+            if n < sig.len() && tok(n).is_ident(src, "mut") {
+                n += 1;
+            }
+            if n < sig.len() && tok(n).kind == TokKind::Ident {
+                bound = Some(tok(n).text(src));
+            }
+        }
+        let (start, mut end) = match bound {
+            Some(_) => (stmt_end, s_close),
+            None => (c.sig_idx, stmt_end),
+        };
+        // Truncate at `drop(name)` / `mem::drop(name)`.
+        if let Some(name) = bound {
+            for d in &calls {
+                if d.name == "drop"
+                    && d.sig_idx > start
+                    && d.sig_idx < end
+                    && sig.get(d.sig_idx + 2).map(|&ti| &tokens[ti]).is_some_and(|a| a.is_ident(src, name))
+                {
+                    end = d.sig_idx;
+                    break;
+                }
+            }
+        }
+        out.push(GuardSpan { lock_id, start_sig: start, end_sig: end, line: c.line, col: c.col });
+    }
+    out
+}
+
+/// The symbol pass for one file: fn facts (name + callee set, test code
+/// excluded) and lock-acquisition edges for the workspace graph.
+pub fn analyze_file(
+    rel: &str,
+    src: &str,
+    tokens: &[Token],
+    sig: &[usize],
+    tree: &ScopeTree,
+    in_test: &dyn Fn(usize) -> bool,
+) -> FileFacts {
+    let mut facts = FileFacts { rel: rel.to_string(), ..Default::default() };
+    for fn_id in tree.fn_scopes() {
+        let scope = &tree.scopes[fn_id];
+        let open_tok = sig.get(scope.open_sig).map(|&ti| &tokens[ti]);
+        if open_tok.is_some_and(|t| in_test(t.start)) {
+            continue;
+        }
+        let calls: BTreeSet<String> = call_sites(src, tokens, sig, scope.open_sig, scope.close_sig)
+            .into_iter()
+            .filter(|c| !c.name.ends_with('!'))
+            .map(|c| c.name)
+            .collect();
+        for g in guard_spans(src, tokens, sig, tree, fn_id) {
+            for c in locks_taken_under(src, tokens, sig, tree, fn_id, &g) {
+                facts.lock_edges.push(LockEdge {
+                    from: g.lock_id.clone(),
+                    to: c,
+                    rel: rel.to_string(),
+                    line: g.line,
+                    col: g.col,
+                });
+            }
+        }
+        facts.fns.push(FnFacts { name: scope.name.clone(), calls });
+    }
+    facts
+}
+
+/// `.lock()` acquisitions inside a live guard span → target lock ids.
+fn locks_taken_under(
+    src: &str,
+    tokens: &[Token],
+    sig: &[usize],
+    tree: &ScopeTree,
+    fn_id: usize,
+    g: &GuardSpan,
+) -> Vec<String> {
+    let owner = tree.owner_name(fn_id).map(|s| s.to_string());
+    call_sites(src, tokens, sig, g.start_sig, g.end_sig)
+        .into_iter()
+        .filter(|c| c.name == "lock" && c.args_empty && c.sig_idx > g.start_sig)
+        .map(|c| lock_identity(c.receiver.as_deref().unwrap_or(""), owner.as_deref()))
+        .filter(|id| *id != g.lock_id)
+        .collect()
+}
+
+/// Cross-file analysis: the reachability fixpoint from the service-loop
+/// roots plus the lock-order cycle set.
+#[derive(Debug, Default)]
+pub struct WorkspaceIndex {
+    /// `(rel, fn_name)` pairs reachable from [`LOOP_ROOTS`] through the
+    /// service-layer call graph (conservative: calls resolve by simple
+    /// name to every service fn with that name).
+    pub reachable: BTreeSet<(String, String)>,
+    /// Lock edges that participate in an acquisition-order cycle.
+    pub cycle_edges: Vec<LockEdge>,
+}
+
+/// The event-loop roots: the coordinator sweep and the worker serve loops.
+/// Everything transitively called from these runs inside a loop whose
+/// stalls block lease scheduling, so the blocking rules anchor here.
+pub const LOOP_ROOTS: &[(&str, &str)] = &[
+    ("crates/service/src/coordinator.rs", "drive"),
+    ("crates/service/src/coordinator.rs", "await_spawned_connections"),
+    ("crates/service/src/worker.rs", "serve"),
+    ("crates/service/src/worker.rs", "run_socket_worker"),
+];
+
+/// Files whose fns participate in the service call graph.
+pub fn in_service_scope(rel: &str) -> bool {
+    rel.starts_with("crates/service/src/")
+}
+
+/// Build the workspace index from every file's facts.
+pub fn build_index(files: &[FileFacts]) -> WorkspaceIndex {
+    // Name → defining (rel, name) pairs, service scope only.
+    let mut defs: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
+    let mut calls_of: BTreeMap<(&str, &str), &BTreeSet<String>> = BTreeMap::new();
+    for f in files {
+        if !in_service_scope(&f.rel) {
+            continue;
+        }
+        for fun in &f.fns {
+            defs.entry(fun.name.as_str()).or_default().push(f.rel.as_str());
+            calls_of.insert((f.rel.as_str(), fun.name.as_str()), &fun.calls);
+        }
+    }
+    let mut reachable: BTreeSet<(String, String)> = BTreeSet::new();
+    let mut work: Vec<(String, String)> = LOOP_ROOTS
+        .iter()
+        .filter(|(rel, name)| calls_of.contains_key(&(*rel, *name)))
+        .map(|(rel, name)| (rel.to_string(), name.to_string()))
+        .collect();
+    while let Some(key) = work.pop() {
+        if !reachable.insert(key.clone()) {
+            continue;
+        }
+        let Some(calls) = calls_of.get(&(key.0.as_str(), key.1.as_str())) else {
+            continue;
+        };
+        for callee in calls.iter() {
+            if let Some(rels) = defs.get(callee.as_str()) {
+                for rel in rels {
+                    let next = (rel.to_string(), callee.clone());
+                    if !reachable.contains(&next) {
+                        work.push(next);
+                    }
+                }
+            }
+        }
+    }
+
+    // Lock graph: adjacency over lock ids; an edge is cyclic iff its target
+    // can reach its source.
+    let mut adj: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+    let all_edges: Vec<&LockEdge> = files.iter().flat_map(|f| f.lock_edges.iter()).collect();
+    for e in &all_edges {
+        adj.entry(e.from.as_str()).or_default().insert(e.to.as_str());
+    }
+    let reaches = |from: &str, target: &str| -> bool {
+        let mut seen: BTreeSet<&str> = BTreeSet::new();
+        let mut stack = vec![from];
+        while let Some(n) = stack.pop() {
+            if n == target {
+                return true;
+            }
+            if !seen.insert(n) {
+                continue;
+            }
+            if let Some(next) = adj.get(n) {
+                stack.extend(next.iter().copied());
+            }
+        }
+        false
+    };
+    let cycle_edges = all_edges
+        .iter()
+        .filter(|e| reaches(e.to.as_str(), e.from.as_str()))
+        .map(|e| (*e).clone())
+        .collect();
+
+    WorkspaceIndex { reachable, cycle_edges }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::tree;
+
+    fn facts(rel: &str, src: &str) -> FileFacts {
+        let tokens = lex(src);
+        let sig: Vec<usize> = (0..tokens.len()).filter(|&i| !tokens[i].is_comment()).collect();
+        let t = tree::parse(src, &tokens, &sig);
+        analyze_file(rel, src, &tokens, &sig, &t, &|_| false)
+    }
+
+    #[test]
+    fn calls_are_attributed_per_fn() {
+        let f = facts(
+            "crates/service/src/coordinator.rs",
+            "fn drive(&mut self) { self.sweep(); pump(); } fn other() { idle(); }",
+        );
+        assert_eq!(f.fns.len(), 2);
+        assert!(f.fns[0].calls.contains("sweep"));
+        assert!(f.fns[0].calls.contains("pump"));
+        assert!(!f.fns[0].calls.contains("idle"));
+    }
+
+    #[test]
+    fn fixpoint_crosses_files() {
+        let a = facts(
+            "crates/service/src/coordinator.rs",
+            "fn drive(&mut self) { pump_events(); } fn pump_events() { next_frame(); }",
+        );
+        let b = facts(
+            "crates/service/src/wire.rs",
+            "fn next_frame() { fill(); } fn fill() {} fn unrelated() {}",
+        );
+        let idx = build_index(&[a, b]);
+        let has = |rel: &str, name: &str| {
+            idx.reachable.contains(&(rel.to_string(), name.to_string()))
+        };
+        assert!(has("crates/service/src/coordinator.rs", "drive"));
+        assert!(has("crates/service/src/wire.rs", "next_frame"));
+        assert!(has("crates/service/src/wire.rs", "fill"));
+        assert!(!has("crates/service/src/wire.rs", "unrelated"));
+    }
+
+    #[test]
+    fn non_service_files_stay_out_of_the_graph() {
+        let a = facts("crates/service/src/coordinator.rs", "fn drive() { evaluate(); }");
+        let b = facts("crates/core/src/evaluate.rs", "fn evaluate() { read_exact(); }");
+        let idx = build_index(&[a, b]);
+        assert!(!idx
+            .reachable
+            .contains(&("crates/core/src/evaluate.rs".to_string(), "evaluate".to_string())));
+    }
+
+    #[test]
+    fn lock_edges_and_cycles() {
+        let a = facts(
+            "crates/service/src/x.rs",
+            "impl A { fn f(&self) { let g = self.m1.lock(); let h = self.m2.lock(); use_(g, h); } }",
+        );
+        let b = facts(
+            "crates/service/src/y.rs",
+            "impl A { fn g(&self) { let g = self.m2.lock(); let h = self.m1.lock(); use_(g, h); } }",
+        );
+        assert_eq!(a.lock_edges.len(), 1);
+        assert_eq!(a.lock_edges[0].from, "A.m1");
+        assert_eq!(a.lock_edges[0].to, "A.m2");
+        let idx = build_index(&[a.clone(), b]);
+        assert_eq!(idx.cycle_edges.len(), 2, "both edges of the A.m1 <-> A.m2 cycle");
+        let one_way = build_index(&[a]);
+        assert!(one_way.cycle_edges.is_empty(), "a single ordering is not a cycle");
+    }
+
+    #[test]
+    fn guard_span_ends_at_drop() {
+        let src = "impl A { fn f(&self) { let g = self.m.lock(); touch(); drop(g); self.n.lock(); } }";
+        let f = facts("crates/service/src/x.rs", src);
+        assert!(f.lock_edges.is_empty(), "acquisition after drop(g) is not nested: {:?}", f.lock_edges);
+    }
+
+    #[test]
+    fn temporary_guard_spans_its_statement_only() {
+        let src = "impl A { fn f(&self) { *self.m.lock() = 1; self.n.lock(); } }";
+        let f = facts("crates/service/src/x.rs", src);
+        assert!(f.lock_edges.is_empty(), "{:?}", f.lock_edges);
+    }
+}

@@ -12,10 +12,12 @@
 //! stub harness (`scripts/check_offline.sh`) with no external crates.
 
 pub mod engine;
+pub mod flow;
 pub mod lexer;
 pub mod rules;
+pub mod tree;
 
-use engine::{check_file, Diagnostic, Severity};
+use engine::{analyze, check_analyzed, Diagnostic, Severity};
 use rules::Rule;
 use std::collections::BTreeMap;
 use std::fs;
@@ -81,27 +83,53 @@ pub fn collect_rs_files(root: &Path) -> io::Result<Vec<PathBuf>> {
     Ok(out)
 }
 
-/// Lint every `.rs` file under `root` with `rules`.
+/// Lint every `.rs` file under `root` with `rules`. Two-pass: every file
+/// is analyzed first (lex, brace tree, symbol pass), the cross-file index
+/// is built from the collected facts, then rules run with that index —
+/// so `blocking-without-deadline` sees calls that cross file boundaries
+/// and `lock-order` sees acquisition cycles split across files.
 pub fn scan_workspace(root: &Path, rules: &[Box<dyn Rule>]) -> io::Result<WorkspaceReport> {
     let files = collect_rs_files(root)?;
-    let mut report = WorkspaceReport::default();
-    for path in &files {
+    let mut sources = Vec::with_capacity(files.len());
+    for path in files {
         let rel: String = path
             .strip_prefix(root)
-            .unwrap_or(path)
+            .unwrap_or(&path)
             .components()
             .map(|c| c.as_os_str().to_string_lossy())
             .collect::<Vec<_>>()
             .join("/");
-        let src = fs::read_to_string(path)?;
-        let file_report = check_file(path, &rel, &src, rules, is_test_path(&rel));
+        let src = fs::read_to_string(&path)?;
+        sources.push((path, rel, src));
+    }
+    Ok(scan_sources(sources, rules))
+}
+
+/// Lint a set of in-memory sources as one workspace (the cross-file tests
+/// drive this directly). `sources` is `(path, workspace-relative, text)`.
+pub fn scan_sources(
+    sources: Vec<(PathBuf, String, String)>,
+    rules: &[Box<dyn Rule>],
+) -> WorkspaceReport {
+    let analyzed: Vec<engine::Analyzed> = sources
+        .into_iter()
+        .map(|(path, rel, src)| {
+            let is_test = is_test_path(&rel);
+            analyze(&path, &rel, src, is_test)
+        })
+        .collect();
+    let facts: Vec<flow::FileFacts> = analyzed.iter().map(|a| a.facts.clone()).collect();
+    let index = flow::build_index(&facts);
+    let mut report = WorkspaceReport::default();
+    for a in &analyzed {
+        let file_report = check_analyzed(a, rules, &index);
         report.diagnostics.extend(file_report.diagnostics);
         for (rule, _line) in file_report.suppressed {
             *report.suppressed.entry(rule).or_insert(0) += 1;
         }
         report.files_scanned += 1;
     }
-    Ok(report)
+    report
 }
 
 /// Promote every warning to an error (`--deny warnings`).
@@ -187,6 +215,83 @@ pub fn render_json(report: &WorkspaceReport, root: &Path) -> String {
     }
     out.push_str("}\n}\n");
     out
+}
+
+/// Serialize the per-rule suppression counts as the committed ratchet
+/// baseline (`lint-baseline.json`): sorted keys, one per line, zero-count
+/// rules omitted.
+pub fn render_baseline(report: &WorkspaceReport) -> String {
+    let mut out = String::from("{\n");
+    let nonzero: Vec<(&String, &usize)> =
+        report.suppressed.iter().filter(|(_, n)| **n > 0).collect();
+    for (i, (rule, n)) in nonzero.iter().enumerate() {
+        out.push_str(&format!(
+            "  {}: {}{}\n",
+            json_str(rule),
+            n,
+            if i + 1 == nonzero.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Parse a baseline file: a flat JSON object of rule → count. Hand-rolled
+/// like the rest of the crate's JSON (std-only), deliberately strict — a
+/// malformed ratchet baseline must fail loudly, not read as empty.
+pub fn parse_baseline(text: &str) -> Result<BTreeMap<String, usize>, String> {
+    let body = text.trim();
+    let body = body
+        .strip_prefix('{')
+        .and_then(|b| b.strip_suffix('}'))
+        .ok_or("baseline is not a JSON object")?;
+    let mut out = BTreeMap::new();
+    for part in body.split(',') {
+        let part = part.trim();
+        if part.is_empty() {
+            continue;
+        }
+        let (key, val) = part.split_once(':').ok_or_else(|| format!("bad entry {part:?}"))?;
+        let key = key
+            .trim()
+            .strip_prefix('"')
+            .and_then(|k| k.strip_suffix('"'))
+            .ok_or_else(|| format!("unquoted key in {part:?}"))?;
+        let val: usize =
+            val.trim().parse().map_err(|_| format!("non-numeric count in {part:?}"))?;
+        out.insert(key.to_string(), val);
+    }
+    Ok(out)
+}
+
+/// The suppression ratchet: compare the fresh per-rule counts against the
+/// committed baseline. Growth is always a failure; shrinkage is also a
+/// failure with a "tighten the baseline" message, so the committed file
+/// stays exact and burn-downs are recorded in the same change that earns
+/// them.
+pub fn compare_baseline(
+    report: &WorkspaceReport,
+    baseline: &BTreeMap<String, usize>,
+) -> Vec<String> {
+    let mut problems = Vec::new();
+    let mut rules: Vec<&String> =
+        report.suppressed.keys().chain(baseline.keys()).collect();
+    rules.sort();
+    rules.dedup();
+    for rule in rules {
+        let fresh = report.suppressed.get(rule).copied().unwrap_or(0);
+        let base = baseline.get(rule).copied().unwrap_or(0);
+        if fresh > base {
+            problems.push(format!(
+                "ratchet: `{rule}` suppressions grew {base} -> {fresh}; fix the new sites instead of suppressing them"
+            ));
+        } else if fresh < base {
+            problems.push(format!(
+                "ratchet: `{rule}` suppressions shrank {base} -> {fresh}; tighten lint-baseline.json so the burn-down sticks"
+            ));
+        }
+    }
+    problems
 }
 
 fn json_str(s: &str) -> String {

@@ -24,12 +24,17 @@ struct Options {
     deny_warnings: bool,
     allows: Vec<String>,
     list_rules: bool,
+    baseline: Option<PathBuf>,
+    write_baseline: Option<PathBuf>,
 }
 
 fn usage() -> &'static str {
     "usage: hm-lint [--workspace] [--root DIR] [--json] [--deny warnings] \
-     [--allow RULE]... [--list-rules] [FILE...]\n\
-     With no FILEs (or with --workspace) lints every .rs under the workspace root."
+     [--allow RULE]... [--baseline FILE] [--write-baseline FILE] \
+     [--list-rules] [FILE...]\n\
+     With no FILEs (or with --workspace) lints every .rs under the workspace root.\n\
+     --baseline ratchets suppression counts against a committed FILE: any rule\n\
+     whose count grew or shrank relative to it fails the run."
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -40,6 +45,8 @@ fn parse_args() -> Result<Options, String> {
         deny_warnings: false,
         allows: Vec::new(),
         list_rules: false,
+        baseline: None,
+        write_baseline: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -58,6 +65,14 @@ fn parse_args() -> Result<Options, String> {
             "--root" => match args.next() {
                 Some(dir) => opts.root = PathBuf::from(dir),
                 None => return Err("--root needs a directory".into()),
+            },
+            "--baseline" => match args.next() {
+                Some(p) => opts.baseline = Some(PathBuf::from(p)),
+                None => return Err("--baseline needs a file path".into()),
+            },
+            "--write-baseline" => match args.next() {
+                Some(p) => opts.write_baseline = Some(PathBuf::from(p)),
+                None => return Err("--write-baseline needs a file path".into()),
             },
             "--list-rules" => opts.list_rules = true,
             "--help" | "-h" => return Err(String::new()),
@@ -160,9 +175,45 @@ fn main() -> ExitCode {
     } else {
         print!("{}", render_human(&report, &opts.root));
     }
+
+    if let Some(path) = &opts.write_baseline {
+        let text = hm_lint::render_baseline(&report);
+        if let Err(e) = std::fs::write(path, &text) {
+            eprintln!("hm-lint: writing baseline {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        eprintln!("hm-lint: wrote suppression baseline to {}", path.display());
+    }
+
+    let mut ratchet_broken = false;
+    if let Some(path) = &opts.baseline {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!(
+                    "hm-lint: reading baseline {}: {e}\n(bootstrap one with --write-baseline)",
+                    path.display()
+                );
+                return ExitCode::from(2);
+            }
+        };
+        let baseline = match hm_lint::parse_baseline(&text) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("hm-lint: baseline {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        };
+        let violations = hm_lint::compare_baseline(&report, &baseline);
+        for v in &violations {
+            eprintln!("hm-lint: {v}");
+        }
+        ratchet_broken = !violations.is_empty();
+    }
+
     let failing =
         report.diagnostics.iter().filter(|d| d.severity == Severity::Deny).count();
-    if failing > 0 {
+    if failing > 0 || ratchet_broken {
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS

@@ -6,6 +6,7 @@
 //! plumbing, inline suppression, and severity policy.
 
 use crate::engine::{Diagnostic, FileCtx, Severity};
+use crate::flow;
 use crate::lexer::{TokKind, Token};
 
 /// One lint rule. Implementations push raw diagnostics; the engine applies
@@ -28,6 +29,9 @@ pub fn default_rules() -> Vec<Box<dyn Rule>> {
         Box::new(WallClockOutsideTiming),
         Box::new(NondeterministicIteration),
         Box::new(FloatEnv),
+        Box::new(LockOrder),
+        Box::new(BlockingWithoutDeadline),
+        Box::new(WireUncheckedArith),
     ]
 }
 
@@ -447,6 +451,348 @@ impl Rule for FloatEnv {
             {
                 out.push(diag(self.name(), self.severity(), ctx, t,
                     "decimal float parse in a float-exact zone; decode via `from_bits`".into()));
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// lock-order
+// ---------------------------------------------------------------------------
+
+/// The service layer's liveness story assumes two things about its locks:
+/// acquisition order is globally consistent (no deadlock cycles), and no
+/// thread parks indefinitely while holding a guard (a blocked guard-holder
+/// stalls every contender — in the coordinator that freezes the heartbeat
+/// sweep itself). This rule builds the Mutex acquisition graph from the
+/// whole workspace (`flow::build_index`) and flags (a) every edge on a
+/// cycle and (b) unbounded blocking calls made while a guard is lexically
+/// live. Bounded waits (`recv_timeout`, `wait_timeout`, `try_wait`) and
+/// `Condvar::wait(guard)` — which releases the lock while parked — stay
+/// legal, as do plain writes (`write_all` under the `SharedWriter` sink
+/// lock is the atomic-frame design; write-side deadlines are
+/// `blocking-without-deadline`'s jurisdiction).
+pub struct LockOrder;
+
+/// Calls that park the thread with no bound regardless of arguments.
+const BLOCKING_ANY_ARGS: &[&str] =
+    &["sleep", "read_exact", "read_to_end", "read_line", "read_to_string", "accept", "park"];
+/// Calls that only block unboundedly in their no-argument form:
+/// `child.wait()` / `rx.recv()` / `handle.join()` vs `condvar.wait(guard)`.
+const BLOCKING_EMPTY_ARGS: &[&str] = &["wait", "recv", "join", "read"];
+
+impl Rule for LockOrder {
+    fn name(&self) -> &'static str {
+        "lock-order"
+    }
+    fn description(&self) -> &'static str {
+        "no lock acquisition cycles; no unbounded blocking while a guard is live (DESIGN \u{a7}16)"
+    }
+    fn severity(&self) -> Severity {
+        Severity::Deny
+    }
+    fn check(&self, ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
+        if ctx.file_is_test {
+            return;
+        }
+        // (a) Cycle edges located in this file (the graph is workspace-wide).
+        for e in &ctx.index.cycle_edges {
+            if e.rel != ctx.rel {
+                continue;
+            }
+            out.push(Diagnostic {
+                rule: self.name(),
+                severity: self.severity(),
+                file: ctx.path.to_path_buf(),
+                line: e.line,
+                col: e.col,
+                message: format!(
+                    "lock acquisition order cycle: `{}` is held here while `{}` is taken, and the reverse order exists elsewhere in the workspace — pick one global order",
+                    e.from, e.to
+                ),
+            });
+        }
+        // (b) Unbounded blocking calls inside a live guard span.
+        let src = ctx.src;
+        for fn_id in ctx.tree.fn_scopes() {
+            let scope = &ctx.tree.scopes[fn_id];
+            let Some(open_tok) = ctx.sig_tok(scope.open_sig) else { continue };
+            if ctx.in_test_code(open_tok.start) {
+                continue;
+            }
+            for g in flow::guard_spans(src, ctx.tokens, ctx.sig, ctx.tree, fn_id) {
+                for c in
+                    flow::call_sites(src, ctx.tokens, ctx.sig, g.start_sig, g.end_sig)
+                {
+                    let blocking = BLOCKING_ANY_ARGS.contains(&c.name.as_str())
+                        || (c.args_empty && BLOCKING_EMPTY_ARGS.contains(&c.name.as_str()));
+                    if !blocking {
+                        continue;
+                    }
+                    out.push(Diagnostic {
+                        rule: self.name(),
+                        severity: self.severity(),
+                        file: ctx.path.to_path_buf(),
+                        line: c.line,
+                        col: c.col,
+                        message: format!(
+                            "`{}` while the `{}` guard is live — an unbounded block with a lock held stalls every contender; drop the guard first or use a bounded variant (`recv_timeout`, `wait_timeout`, `try_wait`)",
+                            c.name, g.lock_id
+                        ),
+                    });
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// blocking-without-deadline
+// ---------------------------------------------------------------------------
+
+/// Heartbeat reaping only works if the sweep keeps sweeping: any socket or
+/// stdio read/write reachable from the coordinator sweep or a worker serve
+/// loop must carry a read/write deadline or be owned by the heartbeat
+/// clock — a bare blocking call anywhere in that call graph lets one silent
+/// peer freeze lease scheduling for everyone. Reachability is the
+/// cross-file fixpoint from [`flow::LOOP_ROOTS`]; a reachable fn passes if
+/// it arms a deadline itself (`set_read_timeout(Some…)`,
+/// `set_write_timeout_ms`, `connect_timeout`, …) or is registered in
+/// [`CLOCK_BOUNDED`] — the audited sites whose liveness the reap path
+/// owns (severing a stream wakes its blocked reader).
+pub struct BlockingWithoutDeadline;
+
+/// Audited `(file, fn)` pairs whose raw I/O is bounded by the service
+/// design rather than a lexical deadline:
+///
+/// - `wire.rs::next_frame` — the single raw-read pump. It is
+///   deadline-*transparent*: timeouts surface as resumable
+///   `FrameError::Timeout`, so the binding policy lives with whoever armed
+///   (or deliberately did not arm) the stream, and reaping severs the fd
+///   to wake it.
+/// - `wire.rs::send_raw` — the atomic-frame write under the sink lock.
+///   Socket sinks carry a write deadline from `SocketTransport::connect` /
+///   `attach_connection`; stdio sinks are drained by dedicated reader
+///   threads on the peer.
+/// - `coordinator.rs::write_frame` — lease grants over links. Socket links
+///   get a write deadline armed at attach; stdio frames are far smaller
+///   than the pipe buffer and each worker holds at most one outstanding
+///   lease, so a frozen child cannot absorb enough frames to fill it.
+/// - `worker.rs::send` — worker→coordinator results on stdout; the
+///   coordinator's per-worker reader thread always drains, and worker
+///   death is the coordinator's problem, not the worker's.
+/// - `worker.rs::try_handshake` — the hello write rides the stream that
+///   `SocketTransport::connect` just armed with tick-length read *and*
+///   write timeouts; the welcome loop counts ticks and gives up at ~2 s.
+const CLOCK_BOUNDED: &[(&str, &str)] = &[
+    ("crates/service/src/wire.rs", "next_frame"),
+    ("crates/service/src/wire.rs", "send_raw"),
+    ("crates/service/src/coordinator.rs", "write_frame"),
+    ("crates/service/src/worker.rs", "send"),
+    ("crates/service/src/worker.rs", "try_handshake"),
+];
+
+/// Raw stream I/O that blocks until the peer acts.
+const BARE_IO: &[&str] = &[
+    "read", "read_exact", "read_to_end", "read_line", "read_to_string", "write_all",
+    "write_fmt", "flush", "accept",
+];
+
+impl Rule for BlockingWithoutDeadline {
+    fn name(&self) -> &'static str {
+        "blocking-without-deadline"
+    }
+    fn description(&self) -> &'static str {
+        "I/O reachable from the coordinator sweep / worker loop needs a deadline or the heartbeat clock (DESIGN \u{a7}16)"
+    }
+    fn severity(&self) -> Severity {
+        Severity::Deny
+    }
+    fn check(&self, ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
+        if ctx.file_is_test || !flow::in_service_scope(&ctx.rel) {
+            return;
+        }
+        let src = ctx.src;
+        for fn_id in ctx.tree.fn_scopes() {
+            let scope = &ctx.tree.scopes[fn_id];
+            let key = (ctx.rel.clone(), scope.name.clone());
+            if !ctx.index.reachable.contains(&key) {
+                continue;
+            }
+            if CLOCK_BOUNDED.iter().any(|(f, n)| *f == key.0 && *n == key.1) {
+                continue;
+            }
+            let Some(open_tok) = ctx.sig_tok(scope.open_sig) else { continue };
+            if ctx.in_test_code(open_tok.start) {
+                continue;
+            }
+            let calls =
+                flow::call_sites(src, ctx.tokens, ctx.sig, scope.open_sig, scope.close_sig);
+            // Deadline evidence: the fn arms a timeout on a stream itself.
+            // `set_read_timeout(None)` (explicit unbounding) is not evidence.
+            let armed = calls.iter().any(|c| {
+                let arming = c.name.starts_with("set_read_timeout")
+                    || c.name.starts_with("set_write_timeout")
+                    || c.name == "connect_timeout";
+                arming
+                    && !ctx
+                        .sig_tok(c.sig_idx + 2)
+                        .is_some_and(|a| a.is_ident(src, "None"))
+            });
+            if armed {
+                continue;
+            }
+            for c in &calls {
+                let bare = (c.receiver.is_some() && BARE_IO.contains(&c.name.as_str()))
+                    || (c.args_empty && (c.name == "recv" || c.name == "wait"));
+                if !bare {
+                    continue;
+                }
+                // Kill-then-reap: a `wait()` whose receiver was `kill()`ed
+                // earlier in the same fn is bounded — SIGKILL is already
+                // delivered, so the wait returns as soon as the OS reaps.
+                if c.name == "wait"
+                    && c.args_empty
+                    && calls.iter().any(|k| {
+                        k.name == "kill" && k.sig_idx < c.sig_idx && k.receiver == c.receiver
+                    })
+                {
+                    continue;
+                }
+                out.push(Diagnostic {
+                    rule: self.name(),
+                    severity: self.severity(),
+                    file: ctx.path.to_path_buf(),
+                    line: c.line,
+                    col: c.col,
+                    message: format!(
+                        "`{}` in `{}` is reachable from the coordinator sweep / worker loop with no deadline; arm `set_read_timeout`/`set_write_timeout`, use a `_timeout` variant, or (if the reap path provably severs this stream) register the fn in CLOCK_BOUNDED with its audit note",
+                        c.name, scope.name
+                    ),
+                });
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// wire-unchecked-arith
+// ---------------------------------------------------------------------------
+
+/// Frame decoding parses attacker-controllable lengths (`<len:08x>` headers
+/// arrive off the wire before any checksum is verified), so inside a
+/// `lint: zone(wire-frame)` region every `+`/`*` whose operand is a
+/// length/offset and every `as` narrowing of one must be `checked_*` /
+/// `saturating_*` / `try_into` — a hostile length that wraps an index
+/// turns a checked frame error into a panic or a mis-slice.
+pub struct WireUncheckedArith;
+
+const INT_TYPES: &[&str] = &[
+    "u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize",
+];
+
+/// Is this identifier a length/offset quantity by name?
+fn lengthish_ident(name: &str) -> bool {
+    let lower = name.to_ascii_lowercase();
+    lower.contains("len")
+        || lower.contains("size")
+        || lower.contains("offset")
+        || lower.contains("count")
+        || matches!(lower.as_str(), "pos" | "idx" | "scanned" | "start" | "end" | "cursor" | "n")
+}
+
+impl Rule for WireUncheckedArith {
+    fn name(&self) -> &'static str {
+        "wire-unchecked-arith"
+    }
+    fn description(&self) -> &'static str {
+        "length/offset arithmetic in wire-frame zones must be checked_*/try_into (DESIGN \u{a7}16)"
+    }
+    fn severity(&self) -> Severity {
+        Severity::Deny
+    }
+    fn check(&self, ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
+        if ctx.file_is_test || ctx.zones.iter().all(|z| z.name != "wire-frame") {
+            return;
+        }
+        let src = ctx.src;
+        // Does the expression *ending* at sig index `i` look like a
+        // length/offset? Either a length-named identifier, or a call chain
+        // ending in `.len()`.
+        let lengthish_before = |i: usize| -> bool {
+            let Some(t) = ctx.sig_tok(i) else { return false };
+            if t.kind == TokKind::Ident {
+                return lengthish_ident(t.text(src));
+            }
+            if t.is_punct(src, ')') && i >= 3 {
+                // `….len()` — close, open, callee.
+                return ctx.sig_tok(i - 1).is_some_and(|p| p.is_punct(src, '('))
+                    && ctx.sig_tok(i - 2).is_some_and(|m| {
+                        m.kind == TokKind::Ident && lengthish_ident(m.text(src))
+                    });
+            }
+            false
+        };
+        // Does the expression *starting* at sig index `i` look like one?
+        let lengthish_after = |i: usize| -> bool {
+            let Some(t) = ctx.sig_tok(i) else { return false };
+            if t.kind != TokKind::Ident {
+                return false;
+            }
+            if lengthish_ident(t.text(src)) {
+                return true;
+            }
+            // `name.len()` / `self.field.len()` — scan the dotted chain.
+            let mut j = i;
+            while ctx.sig_tok(j + 1).is_some_and(|d| d.is_punct(src, '.'))
+                && ctx.sig_tok(j + 2).is_some_and(|m| m.kind == TokKind::Ident)
+            {
+                j += 2;
+                if ctx.sig_tok(j).is_some_and(|m| lengthish_ident(m.text(src)))
+                    && ctx.sig_tok(j + 1).is_some_and(|p| p.is_punct(src, '('))
+                {
+                    return true;
+                }
+            }
+            false
+        };
+        for i in 0..ctx.sig.len() {
+            let t = &ctx.tokens[ctx.sig[i]];
+            if ctx.in_test_code(t.start) || !ctx.in_zone("wire-frame", t.line) {
+                continue;
+            }
+            let plus = t.is_punct(src, '+');
+            let star = t.is_punct(src, '*');
+            if plus || star {
+                // Binary position: something value-like on the left.
+                let binary = i > 0
+                    && ctx.sig_tok(i - 1).is_some_and(|p| {
+                        matches!(p.kind, TokKind::Ident | TokKind::Num)
+                            || p.is_punct(src, ')')
+                            || p.is_punct(src, ']')
+                    });
+                if !binary {
+                    continue;
+                }
+                // Right operand: skip the `=` of a compound `+=`/`*=`.
+                let rhs =
+                    if ctx.sig_tok(i + 1).is_some_and(|e| e.is_punct(src, '=')) { i + 2 } else { i + 1 };
+                if lengthish_before(i - 1) || lengthish_after(rhs) {
+                    let op = if plus { "+" } else { "*" };
+                    let fix = if plus { "checked_add" } else { "checked_mul" };
+                    out.push(diag(self.name(), self.severity(), ctx, t, format!(
+                        "unchecked `{op}` on length/offset arithmetic in a wire-frame zone; a hostile length must not wrap — use `{fix}` (or `saturating_*` where clamping is provably equivalent)"
+                    )));
+                }
+            }
+            if t.is_ident(src, "as")
+                && ctx.sig_tok(i + 1)
+                    .is_some_and(|ty| INT_TYPES.contains(&ty.text(src)))
+                && i > 0
+                && lengthish_before(i - 1)
+            {
+                out.push(diag(self.name(), self.severity(), ctx, t,
+                    "`as` cast of a length/offset in a wire-frame zone truncates silently; use `try_into` with an explicit error path".into()));
             }
         }
     }

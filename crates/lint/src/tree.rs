@@ -1,0 +1,294 @@
+//! Brace-tree / item parser: the structural layer between the flat token
+//! stream and the flow-aware rules.
+//!
+//! The lexer guarantees that braces inside strings and comments never reach
+//! us, so a single forward pass over the significant tokens with a scope
+//! stack recovers the item structure rules care about: which module / `fn` /
+//! `impl` a token lives in, and how blocks nest. It is deliberately not a
+//! Rust parser — expressions are opaque, generics are skipped heuristically
+//! — but it is total: any byte soup the lexer tokenises produces a tree,
+//! scopes always satisfy `open_sig <= close_sig`, and unbalanced braces
+//! close at end of file instead of failing (fuzz-tested in
+//! `tests/fuzz_lexer.rs`).
+
+use crate::lexer::Token;
+
+/// What kind of item a scope's braces belong to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScopeKind {
+    /// The whole file (no braces of its own).
+    Root,
+    /// `mod name { … }`
+    Module,
+    /// `fn name(…) { … }` — including methods and nested fns.
+    Fn,
+    /// `impl Type { … }` / `impl Trait for Type { … }` (name = the type).
+    Impl,
+    /// `trait Name { … }`
+    Trait,
+    /// Any other `{ … }`: blocks, match arms, struct literals, closures.
+    Block,
+}
+
+/// One scope in the arena. `open_sig`/`close_sig` are indices into the
+/// engine's significant-token list (`FileCtx::sig`); a token at sig index
+/// `i` is inside the scope iff `open_sig <= i <= close_sig`.
+#[derive(Debug, Clone)]
+pub struct Scope {
+    pub kind: ScopeKind,
+    /// Item name (`fn`/`mod`/`trait` name, `impl` target type); empty for
+    /// `Root` and `Block`.
+    pub name: String,
+    pub open_sig: usize,
+    pub close_sig: usize,
+    pub parent: Option<usize>,
+    pub children: Vec<usize>,
+}
+
+/// Arena of scopes; index 0 is always the root.
+#[derive(Debug)]
+pub struct ScopeTree {
+    pub scopes: Vec<Scope>,
+}
+
+/// Keywords that can be followed by `(` without being a call, and can
+/// appear where an item name would otherwise be read.
+const NON_ITEM_KEYWORDS: &[&str] = &[
+    "for", "where", "dyn", "mut", "const", "unsafe", "async", "extern", "pub", "in", "crate",
+];
+
+/// Build the scope tree for one file. `src` is the source the tokens were
+/// lexed from; `sig` holds indices of non-comment tokens.
+pub fn parse(src: &str, tokens: &[Token], sig: &[usize]) -> ScopeTree {
+    let mut scopes = vec![Scope {
+        kind: ScopeKind::Root,
+        name: String::new(),
+        open_sig: 0,
+        close_sig: sig.len(),
+        parent: None,
+        children: Vec::new(),
+    }];
+    let mut stack: Vec<usize> = vec![0];
+    // The item header seen since the last statement boundary, waiting for
+    // its `{`. Cancelled by `;` (trait method decls, `mod name;`).
+    let mut pending: Option<(ScopeKind, String)> = None;
+
+    let tok = |i: usize| -> &Token { &tokens[sig[i]] };
+    let mut i = 0usize;
+    while i < sig.len() {
+        let t = tok(i);
+        if t.is_ident(src, "fn") {
+            // `fn name` — a bare `fn` (fn-pointer type) has no ident next.
+            if let Some(name) = sig.get(i + 1).map(|&ti| &tokens[ti]).filter(|n| {
+                n.kind == crate::lexer::TokKind::Ident && !NON_ITEM_KEYWORDS.contains(&n.text(src))
+            }) {
+                pending = Some((ScopeKind::Fn, name.text(src).to_string()));
+            }
+        } else if t.is_ident(src, "mod") || t.is_ident(src, "trait") {
+            let kind = if t.is_ident(src, "mod") { ScopeKind::Module } else { ScopeKind::Trait };
+            if let Some(name) = sig.get(i + 1).map(|&ti| &tokens[ti]) {
+                if name.kind == crate::lexer::TokKind::Ident {
+                    pending = Some((kind, name.text(src).to_string()));
+                }
+            }
+        } else if t.is_ident(src, "impl") {
+            pending = Some((ScopeKind::Impl, impl_target_name(src, tokens, sig, i + 1)));
+        } else if t.is_punct(src, ';') {
+            pending = None;
+        } else if t.is_punct(src, '{') {
+            let (kind, name) = pending.take().unwrap_or((ScopeKind::Block, String::new()));
+            let parent = *stack.last().unwrap_or(&0);
+            let id = scopes.len();
+            scopes.push(Scope {
+                kind,
+                name,
+                open_sig: i,
+                close_sig: sig.len(), // patched on close (or stays EOF)
+                parent: Some(parent),
+                children: Vec::new(),
+            });
+            if let Some(p) = scopes.get_mut(parent) {
+                p.children.push(id);
+            }
+            stack.push(id);
+        } else if t.is_punct(src, '}') {
+            // Stray closers at the root are ignored — the tree must absorb
+            // unbalanced input without failing.
+            if stack.len() > 1 {
+                if let Some(id) = stack.pop() {
+                    if let Some(s) = scopes.get_mut(id) {
+                        s.close_sig = i;
+                    }
+                }
+            }
+            pending = None;
+        }
+        i += 1;
+    }
+    ScopeTree { scopes }
+}
+
+/// The type name an `impl` header targets: the first plain identifier at
+/// angle-bracket depth 0 after `for` if present (`impl Trait for Type`),
+/// else the first after the generics (`impl<T> Type<T>`). Heuristic — used
+/// for labels and lock identities, where a rare miss is harmless.
+fn impl_target_name(src: &str, tokens: &[Token], sig: &[usize], from: usize) -> String {
+    let mut depth = 0i32;
+    let mut first: Option<&str> = None;
+    let mut after_for: Option<&str> = None;
+    let mut saw_for = false;
+    let mut i = from;
+    while i < sig.len() {
+        let t = &tokens[sig[i]];
+        if t.is_punct(src, '{') || t.is_punct(src, ';') || t.is_ident(src, "where") {
+            break;
+        }
+        if t.is_punct(src, '<') {
+            depth += 1;
+        } else if t.is_punct(src, '>') {
+            // `->` in a generic bound like `Fn() -> T` is not a closer.
+            let arrow = i > from && tokens[sig[i - 1]].is_punct(src, '-');
+            if !arrow {
+                depth -= 1;
+            }
+        } else if depth == 0 && t.kind == crate::lexer::TokKind::Ident {
+            let txt = t.text(src);
+            if txt == "for" {
+                saw_for = true;
+            } else if !NON_ITEM_KEYWORDS.contains(&txt) {
+                if saw_for {
+                    if after_for.is_none() {
+                        after_for = Some(txt);
+                    }
+                } else if first.is_none() {
+                    first = Some(txt);
+                }
+            }
+        }
+        i += 1;
+    }
+    after_for.or(first).unwrap_or("").to_string()
+}
+
+impl ScopeTree {
+    /// The innermost scope containing sig index `i` (root if none deeper).
+    pub fn scope_at(&self, i: usize) -> usize {
+        let mut cur = 0usize;
+        'descend: loop {
+            for &c in &self.scopes[cur].children {
+                let s = &self.scopes[c];
+                if s.open_sig <= i && i <= s.close_sig {
+                    cur = c;
+                    continue 'descend;
+                }
+            }
+            return cur;
+        }
+    }
+
+    /// The innermost `Fn` scope containing sig index `i`.
+    pub fn enclosing_fn(&self, i: usize) -> Option<usize> {
+        let mut cur = Some(self.scope_at(i));
+        while let Some(id) = cur {
+            if self.scopes[id].kind == ScopeKind::Fn {
+                return Some(id);
+            }
+            cur = self.scopes[id].parent;
+        }
+        None
+    }
+
+    /// The nearest enclosing `Impl`/`Trait`/`Module` name above scope `id`
+    /// (for qualifying method names and lock identities).
+    pub fn owner_name(&self, id: usize) -> Option<&str> {
+        let mut cur = self.scopes[id].parent;
+        while let Some(p) = cur {
+            let s = &self.scopes[p];
+            if matches!(s.kind, ScopeKind::Impl | ScopeKind::Trait) && !s.name.is_empty() {
+                return Some(&s.name);
+            }
+            cur = s.parent;
+        }
+        None
+    }
+
+    /// All `Fn` scopes, in source order, as arena indices.
+    pub fn fn_scopes(&self) -> Vec<usize> {
+        (0..self.scopes.len()).filter(|&i| self.scopes[i].kind == ScopeKind::Fn).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn tree_of(src: &str) -> (Vec<Token>, Vec<usize>, ScopeTree) {
+        let tokens = lex(src);
+        let sig: Vec<usize> = (0..tokens.len()).filter(|&i| !tokens[i].is_comment()).collect();
+        let tree = parse(src, &tokens, &sig);
+        (tokens, sig, tree)
+    }
+
+    #[test]
+    fn fn_mod_impl_nesting() {
+        let src = "mod m { impl Foo { fn bar(&self) { if x { y(); } } } }";
+        let (_t, _s, tree) = tree_of(src);
+        let kinds: Vec<_> = tree.scopes.iter().map(|s| (s.kind, s.name.clone())).collect();
+        assert_eq!(kinds[0].0, ScopeKind::Root);
+        assert_eq!(kinds[1], (ScopeKind::Module, "m".into()));
+        assert_eq!(kinds[2], (ScopeKind::Impl, "Foo".into()));
+        assert_eq!(kinds[3], (ScopeKind::Fn, "bar".into()));
+        assert_eq!(kinds[4].0, ScopeKind::Block);
+        assert_eq!(tree.scopes[4].parent, Some(3));
+    }
+
+    #[test]
+    fn impl_trait_for_type_names_the_type() {
+        let src = "impl<T: Clone> Display for Wrapper<T> { fn fmt(&self) {} }";
+        let (_t, _s, tree) = tree_of(src);
+        assert_eq!(tree.scopes[1].kind, ScopeKind::Impl);
+        assert_eq!(tree.scopes[1].name, "Wrapper");
+    }
+
+    #[test]
+    fn trait_method_decl_without_body_is_not_a_scope() {
+        let src = "trait T { fn a(&self); fn b(&self) { c(); } }";
+        let (_t, _s, tree) = tree_of(src);
+        let fns: Vec<_> =
+            tree.scopes.iter().filter(|s| s.kind == ScopeKind::Fn).map(|s| s.name.clone()).collect();
+        assert_eq!(fns, vec!["b"]);
+    }
+
+    #[test]
+    fn enclosing_fn_attribution() {
+        let src = "fn outer() { helper(); } fn second() { other(); }";
+        let (tokens, sig, tree) = tree_of(src);
+        let helper_sig = sig
+            .iter()
+            .position(|&ti| tokens[ti].is_ident(src, "helper"))
+            .expect("helper token");
+        let f = tree.enclosing_fn(helper_sig).expect("inside a fn");
+        assert_eq!(tree.scopes[f].name, "outer");
+    }
+
+    #[test]
+    fn unbalanced_braces_do_not_fail() {
+        for src in ["}}} fn a() {{", "fn a() { {", "{ } }", "impl ;", "fn"] {
+            let (_t, _s, tree) = tree_of(src);
+            assert!(!tree.scopes.is_empty());
+            for s in &tree.scopes {
+                assert!(s.open_sig <= s.close_sig);
+            }
+        }
+    }
+
+    #[test]
+    fn fn_pointer_type_is_not_an_item() {
+        let src = "fn real(cb: fn(u32) -> u32) { cb(1); }";
+        let (_t, _s, tree) = tree_of(src);
+        let fns: Vec<_> =
+            tree.scopes.iter().filter(|s| s.kind == ScopeKind::Fn).map(|s| s.name.clone()).collect();
+        assert_eq!(fns, vec!["real"]);
+    }
+}

@@ -1,0 +1,43 @@
+//! Fixture: reachable I/O is fine when the fn arms a deadline itself,
+//! uses a `_timeout` variant, follows the kill-then-reap idiom, or is not
+//! reachable from a loop root at all. Grep-killers at the bottom.
+
+use std::io::Read;
+use std::net::TcpStream;
+use std::process::Child;
+use std::sync::mpsc::Receiver;
+use std::time::Duration;
+
+fn drive(rx: &Receiver<u32>, stream: &mut TcpStream, child: &mut Child) {
+    armed(stream);
+    bounded(rx);
+    reap(child);
+    log_for(rx);
+}
+
+fn armed(stream: &mut TcpStream) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+    let mut buf = [0u8; 4];
+    let _ = stream.read_exact(&mut buf);
+}
+
+fn bounded(rx: &Receiver<u32>) {
+    let _ = rx.recv_timeout(Duration::from_millis(50));
+}
+
+fn reap(child: &mut Child) {
+    let _ = child.kill();
+    let _ = child.wait();
+}
+
+fn not_reachable(stream: &mut TcpStream) {
+    let mut s = String::new();
+    let _ = stream.read_to_string(&mut s);
+}
+
+// Grep-killers: bare-I/O text in a string and a comment, inside a
+// reachable fn.
+fn log_for(_rx: &Receiver<u32>) -> &'static str {
+    // let _ = stream.read_exact(&mut buf); rx.recv();
+    " stream.read_to_end(&mut body); rx.recv(); "
+}

@@ -1,0 +1,24 @@
+//! Fixture: bare blocking I/O reachable from the coordinator sweep —
+//! directly in `drive`, transitively through a helper, and behind an
+//! explicit `set_read_timeout(None)` (unbounding is not evidence).
+
+use std::io::Read;
+use std::net::TcpStream;
+use std::sync::mpsc::Receiver;
+
+fn drive(rx: &Receiver<u32>, stream: &mut TcpStream) {
+    let _ = rx.recv();
+    pump(stream);
+    unbound(stream);
+}
+
+fn pump(stream: &mut TcpStream) {
+    let mut buf = [0u8; 4];
+    let _ = stream.read_exact(&mut buf);
+}
+
+fn unbound(stream: &mut TcpStream) {
+    let _ = stream.set_read_timeout(None);
+    let mut body = Vec::new();
+    let _ = stream.read_to_end(&mut body);
+}

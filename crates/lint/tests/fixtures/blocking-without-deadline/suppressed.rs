@@ -1,0 +1,15 @@
+//! Fixture: an audited bare read on a reachable path may be suppressed
+//! with its justification.
+
+use std::io::Read;
+use std::net::TcpStream;
+
+fn drive(stream: &mut TcpStream) {
+    legacy(stream);
+}
+
+fn legacy(stream: &mut TcpStream) {
+    let mut buf = [0u8; 4];
+    // lint: allow(blocking-without-deadline): fixture — peer writes eagerly before we read
+    let _ = stream.read_exact(&mut buf);
+}

@@ -1,0 +1,58 @@
+//! Fixture: consistent acquisition order, `Condvar::wait(guard)` (which
+//! releases the lock while parked), bounded waits, and drop-before-block
+//! are all legal. Grep-killers: the violation text below lives only in
+//! strings and comments.
+
+use std::sync::mpsc::Receiver;
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+struct Cell {
+    m: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl Cell {
+    fn consistent(&self, other: &Mutex<u32>) {
+        let g = self.m.lock().unwrap();
+        let h = other.lock().unwrap();
+        drop(h);
+        drop(g);
+    }
+
+    fn consistent_again(&self, other: &Mutex<u32>) {
+        let g = self.m.lock().unwrap();
+        let h = other.lock().unwrap();
+        drop(h);
+        drop(g);
+    }
+
+    fn wait_releases(&self) {
+        let mut g = self.m.lock().unwrap();
+        while !*g {
+            g = self.cv.wait(g).unwrap();
+        }
+    }
+
+    fn bounded(&self, rx: &Receiver<u32>) {
+        let g = self.m.lock().unwrap();
+        let _ = rx.recv_timeout(Duration::from_millis(10));
+        drop(g);
+    }
+
+    fn drop_first(&self, rx: &Receiver<u32>) {
+        let g = self.m.lock().unwrap();
+        drop(g);
+        let _ = rx.recv();
+    }
+}
+
+// Grep-killers: `lock` + blocking-call text that never executes.
+fn strings() -> (&'static str, &'static str) {
+    (
+        " let g = self.m.lock().unwrap(); rx.recv(); ",
+        r#"fn fake() { let g = a.lock(); let h = b.lock(); child.wait(); }"#,
+    )
+}
+// let g = self.m.lock().unwrap(); child.wait();
+/* let gb = self.b.lock(); let ga = self.a.lock(); */

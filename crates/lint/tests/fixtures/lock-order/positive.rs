@@ -1,0 +1,32 @@
+//! Fixture: an acquisition-order cycle between two mutexes in the same
+//! impl, plus an unbounded `recv()` while a guard is live.
+
+use std::sync::mpsc::Receiver;
+use std::sync::Mutex;
+
+struct Pool {
+    a: Mutex<u32>,
+    b: Mutex<u32>,
+}
+
+impl Pool {
+    fn forward(&self) {
+        let ga = self.a.lock().unwrap();
+        let gb = self.b.lock().unwrap();
+        drop(gb);
+        drop(ga);
+    }
+
+    fn backward(&self) {
+        let gb = self.b.lock().unwrap();
+        let ga = self.a.lock().unwrap();
+        drop(ga);
+        drop(gb);
+    }
+
+    fn parked(&self, rx: &Receiver<u32>) {
+        let g = self.a.lock().unwrap();
+        let _ = rx.recv();
+        drop(g);
+    }
+}

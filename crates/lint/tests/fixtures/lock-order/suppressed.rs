@@ -1,0 +1,18 @@
+//! Fixture: an audited block-under-guard may be suppressed with its
+//! justification.
+
+use std::sync::mpsc::Receiver;
+use std::sync::Mutex;
+
+struct Pool {
+    a: Mutex<u32>,
+}
+
+impl Pool {
+    fn parked(&self, rx: &Receiver<u32>) {
+        let g = self.a.lock().unwrap();
+        // lint: allow(lock-order): fixture — sender is on the same thread, recv cannot park
+        let _ = rx.recv();
+        drop(g);
+    }
+}

@@ -1,0 +1,32 @@
+//! Fixture: checked/saturating arithmetic and `try_from` are the legal
+//! forms inside the zone; lengthish arithmetic before the marker is out of
+//! scope, and non-length operands stay legal. Grep-killers at the bottom.
+
+fn pre_zone(len: usize) -> usize {
+    len + 1
+}
+
+// lint: zone(wire-frame): fixture — everything below handles wire lengths
+
+fn frame_end(len: usize, offset: usize) -> Option<usize> {
+    offset.checked_add(len)
+}
+
+fn padded(len: usize) -> usize {
+    len.saturating_mul(2)
+}
+
+fn header_field(len: usize) -> Option<u32> {
+    u32::try_from(len).ok()
+}
+
+fn not_a_length(x: f64, y: f64) -> f64 {
+    x + y
+}
+
+// Grep-killers: zone-violating text in a string and comments only.
+fn strings() -> &'static str {
+    // let end = offset + len; let short = len as u32;
+    " offset + len * 2 "
+}
+/* let end = self.scanned + pos; */

@@ -1,0 +1,15 @@
+//! Fixture: unchecked `+`/`*` on length fields and an `as` narrowing cast
+//! inside a wire-frame zone.
+// lint: zone(wire-frame): fixture — header fields arrive off the wire
+
+fn frame_end(len: usize, offset: usize) -> usize {
+    offset + len
+}
+
+fn padded(len: usize) -> usize {
+    len * 2
+}
+
+fn header_field(len: usize) -> u32 {
+    len as u32
+}

@@ -1,0 +1,8 @@
+//! Fixture: arithmetic whose bounds are proven elsewhere may be
+//! suppressed with the proof.
+// lint: zone(wire-frame): fixture
+
+fn frame_end(len: usize, offset: usize) -> usize {
+    // lint: allow(wire-unchecked-arith): fixture — caller clamps len to MAX_FRAME_LEN
+    offset + len
+}

@@ -1,0 +1,61 @@
+//! Snapshot test pinning the `--json` report schema.
+//!
+//! Downstream tooling (the CI ratchet, editor integrations) parses this
+//! output, so the shape — key names, nesting, diagnostic fields, the
+//! suppressed-count map — is a contract. A deliberate schema change must
+//! update this snapshot in the same PR.
+
+use hm_lint::rules::default_rules;
+use hm_lint::{render_json, scan_sources};
+use std::path::{Path, PathBuf};
+
+#[test]
+fn json_report_schema_is_pinned() {
+    let rel = "crates/core/src/snapshot_fixture.rs";
+    let src = "\
+fn f(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+
+fn g(y: Option<u32>) -> u32 {
+    // lint: allow(no-unaudited-panic): snapshot fixture — exercises the suppressed map
+    y.unwrap()
+}
+";
+    let report = scan_sources(
+        vec![(PathBuf::from(rel), rel.to_string(), src.to_string())],
+        &default_rules(),
+    );
+    let json = render_json(&report, Path::new("."));
+    let expected = r#"{
+  "files_scanned": 1,
+  "errors": 1,
+  "warnings": 0,
+  "diagnostics": [
+    {"file": "crates/core/src/snapshot_fixture.rs", "line": 2, "col": 7, "rule": "no-unaudited-panic", "severity": "error", "message": "`.unwrap()` in non-test code; return an error, recover, or add `// lint: allow(no-unaudited-panic): <reason>`"}
+  ],
+  "suppressed": {"no-unaudited-panic": 1}
+}
+"#;
+    assert_eq!(
+        json, expected,
+        "--json schema drifted; if deliberate, update this snapshot\n--- actual ---\n{json}"
+    );
+}
+
+#[test]
+fn json_escapes_are_wellformed() {
+    // Quotes and backslashes in messages/paths must arrive escaped; a
+    // clean report keeps the same top-level shape with an empty list.
+    let rel = "crates/core/src/clean.rs";
+    let src = "fn ok() -> u32 { 1 }\n";
+    let report = scan_sources(
+        vec![(PathBuf::from(rel), rel.to_string(), src.to_string())],
+        &default_rules(),
+    );
+    let json = render_json(&report, Path::new("."));
+    assert!(json.starts_with("{\n  \"files_scanned\": 1,\n"));
+    assert!(json.contains("  \"diagnostics\": [\n  ],\n"));
+    assert!(json.contains("\"suppressed\": {}"));
+    assert!(json.ends_with("}\n"));
+}

@@ -128,6 +128,70 @@ const CASES: &[Case] = &[
         expect_diags: 0,
         expect_suppressed: 1,
     },
+    Case {
+        rule: "lock-order",
+        fixture: "positive.rs",
+        rel: "crates/service/src/fixture.rs",
+        expect_diags: 3, // both cycle edges + recv under a live guard
+        expect_suppressed: 0,
+    },
+    Case {
+        rule: "lock-order",
+        fixture: "negative.rs",
+        rel: "crates/service/src/fixture.rs",
+        expect_diags: 0,
+        expect_suppressed: 0,
+    },
+    Case {
+        rule: "lock-order",
+        fixture: "suppressed.rs",
+        rel: "crates/service/src/fixture.rs",
+        expect_diags: 0,
+        expect_suppressed: 1,
+    },
+    Case {
+        rule: "blocking-without-deadline",
+        fixture: "positive.rs",
+        // A loop-root file: reachability starts at `drive`.
+        rel: "crates/service/src/coordinator.rs",
+        expect_diags: 3, // recv in drive, read_exact via helper, read behind set_read_timeout(None)
+        expect_suppressed: 0,
+    },
+    Case {
+        rule: "blocking-without-deadline",
+        fixture: "negative.rs",
+        rel: "crates/service/src/coordinator.rs",
+        expect_diags: 0,
+        expect_suppressed: 0,
+    },
+    Case {
+        rule: "blocking-without-deadline",
+        fixture: "suppressed.rs",
+        rel: "crates/service/src/coordinator.rs",
+        expect_diags: 0,
+        expect_suppressed: 1,
+    },
+    Case {
+        rule: "wire-unchecked-arith",
+        fixture: "positive.rs",
+        rel: "crates/service/src/fixture.rs",
+        expect_diags: 3, // `+`, `*`, and the `as` cast
+        expect_suppressed: 0,
+    },
+    Case {
+        rule: "wire-unchecked-arith",
+        fixture: "negative.rs",
+        rel: "crates/service/src/fixture.rs",
+        expect_diags: 0,
+        expect_suppressed: 0,
+    },
+    Case {
+        rule: "wire-unchecked-arith",
+        fixture: "suppressed.rs",
+        rel: "crates/service/src/fixture.rs",
+        expect_diags: 0,
+        expect_suppressed: 1,
+    },
 ];
 
 fn fixture_path(rule: &str, file: &str) -> PathBuf {
@@ -137,7 +201,8 @@ fn fixture_path(rule: &str, file: &str) -> PathBuf {
 #[test]
 fn every_rule_has_all_three_fixtures() {
     for rule in ["no-unaudited-panic", "nan-unsafe-cmp", "wall-clock-outside-timing",
-                 "nondeterministic-iteration", "float-env"] {
+                 "nondeterministic-iteration", "float-env", "lock-order",
+                 "blocking-without-deadline", "wire-unchecked-arith"] {
         for file in ["positive.rs", "negative.rs", "suppressed.rs"] {
             assert!(
                 fixture_path(rule, file).is_file(),

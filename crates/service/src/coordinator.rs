@@ -1021,6 +1021,18 @@ impl ServicePool {
         let _ = read_half.set_read_timeout(None);
         spawn_socket_reader(read_half, worker, link_id, inner.tx.clone());
 
+        // The write half keeps a deadline for the life of the link: the
+        // welcome below and every later lease grant must not let one wedged
+        // worker (full socket buffer, frozen peer) stall the event loop.
+        if stream
+            .set_write_timeout(Some(Duration::from_millis(self.cfg.handshake_ms.max(1))))
+            .is_err()
+        {
+            let _ = stream.shutdown(std::net::Shutdown::Both);
+            tlog(inner, now, format!("worker {idx} write deadline failed; connection dropped"));
+            return;
+        }
+
         let welcome =
             encode_frame(&Msg::Welcome { worker, epoch: self.cfg.epoch, token: session_token });
         if stream.write_all(welcome.as_bytes()).and_then(|_| stream.flush()).is_err() {
@@ -1202,8 +1214,14 @@ impl ServicePool {
 
 impl Drop for ServicePool {
     fn drop(&mut self) {
-        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
-        for w in inner.workers.iter_mut() {
+        // Move the workers out from under the pool lock before reaping:
+        // `child.wait()` with `inner` held would stall any thread still
+        // probing `listen_addr()`/stats while we wait on N corpses.
+        let (mut workers, stop, addr) = {
+            let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+            (std::mem::take(&mut inner.workers), inner.accept_stop.take(), inner.listen_addr)
+        };
+        for w in workers.iter_mut() {
             if let Some(link) = w.link.as_mut() {
                 let _ = link.write_frame(&encode_frame(&Msg::Shutdown));
             }
@@ -1220,12 +1238,14 @@ impl Drop for ServicePool {
         }
         // Stop the accept thread: raise the flag, then poke the listener so
         // its blocking accept() wakes up and observes it.
-        if let Some(stop) = inner.accept_stop.take() {
+        if let Some(stop) = stop {
             stop.store(true, Ordering::Relaxed);
-            if let Some(addr) = inner.listen_addr {
+            if let Some(addr) = addr {
                 let _ = TcpStream::connect_timeout(&addr, Duration::from_millis(200));
             }
         }
+        // Sync last so death notices journaled during teardown land too.
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
         if let Some(j) = inner.sidecar.as_mut() {
             let _ = j.sync();
         }

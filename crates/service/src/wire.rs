@@ -39,6 +39,9 @@
 //! no resynchronisation protocol — frames are newline-delimited, so the
 //! reader is already aligned on the next line.
 
+// lint: zone(wire-frame): lengths and offsets here arrive off the wire
+// before any checksum passes, so arithmetic on them must be checked.
+
 use hypermapper::journal::crc32;
 use hypermapper::RawOutcome;
 use std::fmt;
@@ -306,7 +309,10 @@ impl<R: Read> FrameReader<R> {
         loop {
             // Scan unscanned bytes for a line terminator.
             if let Some(pos) = self.buf[self.scanned..].iter().position(|&b| b == b'\n') {
-                let end = self.scanned + pos;
+                // `pos` indexes into `buf[scanned..]`, so the sum is bounded
+                // by `buf.len()`; saturating keeps the zone's no-wrap
+                // guarantee without an unreachable error path.
+                let end = self.scanned.saturating_add(pos);
                 let line: Vec<u8> = self.buf.drain(..=end).collect();
                 self.scanned = 0;
                 if self.skipping {

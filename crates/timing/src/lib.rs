@@ -46,6 +46,20 @@ impl Stopwatch {
         self.start.elapsed().as_secs_f64()
     }
 
+    /// The elapsed time as a [`std::time::Duration`], for deadline
+    /// comparisons (`elapsed() > policy.deadline`) in retry loops.
+    #[inline]
+    pub fn elapsed(&self) -> std::time::Duration {
+        self.start.elapsed()
+    }
+
+    /// Whole milliseconds since [`Stopwatch::start`] — the shape failure
+    /// metadata (`FailedEvaluation::elapsed_ms`) records.
+    #[inline]
+    pub fn elapsed_ms(&self) -> u64 {
+        self.start.elapsed().as_millis() as u64
+    }
+
     /// Seconds since the last lap (or since start), advancing the lap
     /// marker: consecutive stages can share one stopwatch without gaps
     /// between their measured windows.
